@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Ablation — keyframe interval (GOP size) sensitivity (Sec. II-B:
+ * live game streams use *shorter* keyframe intervals than video
+ * streaming, which is exactly what breaks NEMO): per-GOP-average
+ * upscale latency and client energy for both designs across GOP
+ * sizes. NEMO amortizes its expensive reference frames over the GOP
+ * so it improves with longer GOPs; GameStreamSR is flat — its
+ * advantage grows as keyframes get more frequent.
+ */
+
+#include "bench_util.hh"
+#include "pipeline/client.hh"
+
+using namespace gssr;
+using namespace gssr::bench;
+
+namespace
+{
+
+struct GopNumbers
+{
+    f64 mean_upscale_ms = 0.0;
+    f64 mean_energy_mj = 0.0;
+};
+
+GopNumbers
+measure(StreamingClient &client, int gop,
+        const std::optional<Rect> &roi)
+{
+    GopNumbers out;
+    for (i64 i = 0; i < gop; ++i) {
+        EncodedFrame frame;
+        frame.type =
+            i == 0 ? FrameType::Reference : FrameType::NonReference;
+        frame.size = {1280, 720};
+        frame.index = i;
+        FrameTrace t = client.processFrame(frame, roi).trace;
+        out.mean_upscale_ms += t.clientBottleneckMs();
+        out.mean_energy_mj += t.clientEnergyMj();
+    }
+    out.mean_upscale_ms /= f64(gop);
+    out.mean_energy_mj /= f64(gop);
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    printHeader("Ablation",
+                "keyframe interval (GOP size) sensitivity, "
+                "720p -> 1440p on Galaxy Tab S8");
+
+    ClientConfig config;
+    config.device = DeviceProfile::galaxyTabS8();
+    config.lr_size = {1280, 720};
+    config.compute_pixels = false;
+    Rect roi{490, 210, 300, 300};
+
+    TableWriter table({"GOP (frames)", "keyframe interval",
+                       "SOTA mean stage (ms)", "ours mean stage (ms)",
+                       "GOP speedup", "SOTA mJ/frame",
+                       "ours mJ/frame"});
+    for (int gop : {15, 30, 60, 120, 240}) {
+        GssrClient ours(config);
+        NemoClient nemo(config);
+        GopNumbers ours_n = measure(ours, gop, roi);
+        GopNumbers nemo_n = measure(nemo, gop, std::nullopt);
+        f64 seconds = f64(gop) / 60.0;
+        table.addRow(
+            {std::to_string(gop),
+             TableWriter::num(seconds, 2) + " s",
+             TableWriter::num(nemo_n.mean_upscale_ms, 1),
+             TableWriter::num(ours_n.mean_upscale_ms, 1),
+             TableWriter::num(nemo_n.mean_upscale_ms /
+                                  ours_n.mean_upscale_ms, 2) + "x",
+             TableWriter::num(nemo_n.mean_energy_mj, 1),
+             TableWriter::num(ours_n.mean_energy_mj, 1)});
+    }
+    printTable(table);
+    std::cout << "\ntakeaway: video streaming's 4 s keyframe "
+                 "interval (GOP 240) is where NEMO's amortization "
+                 "works; at the <=1-2 s intervals live game streams "
+                 "need (Sec. II-B), the per-GOP cost of full-frame "
+                 "reference SR dominates and GameStreamSR's "
+                 "advantage widens. NEMO's quality *drift* over long "
+                 "GOPs (Fig. 13) is measured separately.\n";
+    return 0;
+}

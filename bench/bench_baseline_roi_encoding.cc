@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Related-work baseline — RoI-based *encoding* (Liu et al.
+ * TCSVT'15 and the content-aware encoders the paper's Related Work
+ * surveys): spend the bitrate budget on the important region at
+ * encode time instead of super-resolving it at the client. This
+ * bench compares, at (approximately) matched stream size:
+ *
+ *   A. uniform encode + bilinear upscale (plain streaming),
+ *   B. RoI-weighted encode (fine qp inside RoI) + bilinear upscale,
+ *   C. uniform encode + RoI DNN super-resolution (GameStreamSR).
+ *
+ * The reproduced insight: RoI-encoding shifts fidelity into the RoI
+ * but cannot recover *resolution* — only SR adds the missing
+ * high-frequency content, which is why the paper builds on SR.
+ */
+
+#include "bench_util.hh"
+#include "codec/bitstream.hh"
+#include "codec/plane_coder.hh"
+#include "frame/downsample.hh"
+#include "metrics/psnr.hh"
+#include "render/rasterizer.hh"
+#include "roi/roi_detector.hh"
+#include "sr/interpolate.hh"
+#include "sr/upscaler.hh"
+
+using namespace gssr;
+using namespace gssr::bench;
+
+namespace
+{
+
+/** Intra-encode a YUV frame with optional RoI weighting; returns the
+ *  reconstruction and the compressed size. */
+struct IntraResult
+{
+    Yuv420Image recon;
+    size_t bytes = 0;
+};
+
+PlaneF32
+unbias(const PlaneU8 &in)
+{
+    PlaneF32 out(in.width(), in.height());
+    for (i64 i = 0; i < in.sampleCount(); ++i)
+        out.data()[size_t(i)] = f32(in.data()[size_t(i)]) - 128.0f;
+    return out;
+}
+
+PlaneU8
+rebias(const PlaneF32 &in)
+{
+    PlaneU8 out(in.width(), in.height());
+    for (i64 i = 0; i < in.sampleCount(); ++i)
+        out.data()[size_t(i)] =
+            toPixel(f64(in.data()[size_t(i)]) + 128.0);
+    return out;
+}
+
+IntraResult
+intraEncode(const ColorImage &frame, int qp, int roi_qp,
+            const Rect *roi)
+{
+    Yuv420Image yuv = rgbToYuv420(frame);
+    ByteWriter writer;
+    IntraResult out;
+    out.recon = Yuv420Image(frame.width(), frame.height());
+    auto code = [&](const PlaneU8 &plane, PlaneU8 &recon, int shift) {
+        if (roi) {
+            Rect r{roi->x >> shift, roi->y >> shift,
+                   roi->width >> shift, roi->height >> shift};
+            recon = rebias(
+                encodePlaneRoi(unbias(plane), qp, roi_qp, r, writer));
+        } else {
+            recon = rebias(encodePlane(unbias(plane), qp, writer));
+        }
+    };
+    code(yuv.y, out.recon.y, 0);
+    code(yuv.u, out.recon.u, 1);
+    code(yuv.v, out.recon.v, 1);
+    out.bytes = writer.size();
+    return out;
+}
+
+f64
+roiPsnr(const ColorImage &a, const ColorImage &b, const Rect &roi)
+{
+    return psnr(a.crop(roi), b.crop(roi));
+}
+
+} // namespace
+
+int
+main()
+{
+    printHeader("Baseline",
+                "RoI-based encoding vs. RoI-based super-resolution "
+                "(G3, 480x270 -> 960x540, intra frames)");
+
+    GameWorld world(GameId::G3_Witcher3, 12);
+    DnnUpscaler dnn(sharedSrNet(), 2);
+    RoiDetector detector(ServerProfile::gamingWorkstation());
+
+    TableWriter table({"scheme", "stream KB", "RoI PSNR (dB)",
+                       "frame PSNR (dB)"});
+    SampleStats roi_a, roi_b, roi_c, size_a, size_b;
+
+    const int frames = 3;
+    for (int i = 0; i < frames; ++i) {
+        RenderOutput hr =
+            renderScene(world.sceneAt(0.5 + i * 0.6), {960, 540});
+        ColorImage lr = boxDownsample(hr.color, 2);
+        DepthMap lr_depth = boxDownsample(hr.depth, 2);
+        RoiDetection d = detector.detect(lr_depth, {110, 110});
+        Rect hr_roi{d.roi.x * 2, d.roi.y * 2, d.roi.width * 2,
+                    d.roi.height * 2};
+
+        // A: uniform qp 14 + bilinear.
+        IntraResult a = intraEncode(lr, 14, 0, nullptr);
+        ColorImage a_up = resizeImage(yuv420ToRgb(a.recon),
+                                      {960, 540},
+                                      InterpKernel::Bilinear);
+
+        // B: RoI-weighted (qp 4 inside, qp coarser outside chosen so
+        // the size roughly matches A) + bilinear.
+        IntraResult b = intraEncode(lr, 14, 4, &d.roi);
+        for (int qp_out = 15; qp_out <= 40 &&
+                              b.bytes > a.bytes * 11 / 10;
+             ++qp_out) {
+            b = intraEncode(lr, qp_out, 4, &d.roi);
+        }
+        ColorImage b_up = resizeImage(yuv420ToRgb(b.recon),
+                                      {960, 540},
+                                      InterpKernel::Bilinear);
+
+        // C: GameStreamSR — A's stream, RoI super-resolved.
+        ColorImage c_up = a_up;
+        ColorImage lr_decoded = yuv420ToRgb(a.recon);
+        c_up.blit(dnn.upscale(lr_decoded.crop(d.roi), 2),
+                  hr_roi.x, hr_roi.y);
+
+        roi_a.add(roiPsnr(a_up, hr.color, hr_roi));
+        roi_b.add(roiPsnr(b_up, hr.color, hr_roi));
+        roi_c.add(roiPsnr(c_up, hr.color, hr_roi));
+        size_a.add(f64(a.bytes));
+        size_b.add(f64(b.bytes));
+
+        if (i == frames - 1) {
+            table.addRow({"A: uniform + bilinear",
+                          TableWriter::num(size_a.mean() / 1024, 0),
+                          TableWriter::num(roi_a.mean(), 2),
+                          TableWriter::num(psnr(a_up, hr.color), 2)});
+            table.addRow({"B: RoI-encode + bilinear",
+                          TableWriter::num(size_b.mean() / 1024, 0),
+                          TableWriter::num(roi_b.mean(), 2),
+                          TableWriter::num(psnr(b_up, hr.color), 2)});
+            table.addRow({"C: uniform + RoI-SR (this work)",
+                          TableWriter::num(size_a.mean() / 1024, 0),
+                          TableWriter::num(roi_c.mean(), 2),
+                          TableWriter::num(psnr(c_up, hr.color), 2)});
+        }
+    }
+    printTable(table);
+    std::cout
+        << "\ntakeaways: (1) RoI-weighted encoding does lift in-RoI "
+           "fidelity, but it pays with a\ndegraded periphery at "
+           "matched bitrate (lower full-frame PSNR) and — the "
+           "paper's\nactual objection (Sec. VII) — it requires "
+           "encoder/decoder modifications that break\nthe "
+           "codec-agnostic hardware-decode path and capped prior "
+           "work below 30 FPS.\n(2) RoI-SR (C) improves on plain "
+           "streaming (A) at identical bytes with an\nunmodified "
+           "codec, and the two techniques are complementary rather "
+           "than exclusive.\n";
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Fig. 11 — Overall client energy savings of GameStreamSR relative
+ * to the SOTA for each game on both devices, over a full GOP at the
+ * paper's operating point (including the constant device base power
+ * over the session wall-clock).
+ *
+ * Paper anchors: ~26 % average savings on the S8 Tab, ~33 % on the
+ * Pixel 7 Pro (the tablet's larger panel eats into the savings).
+ */
+
+#include "bench_util.hh"
+
+using namespace gssr;
+using namespace gssr::bench;
+
+int
+main()
+{
+    printHeader("Fig. 11",
+                "overall client energy savings vs. SOTA (GOP of 60, "
+                "720p -> 1440p)");
+
+    TableWriter table({"game", "S8 savings (%)", "Pixel savings (%)"});
+    SampleStats s8_savings, pixel_savings;
+
+    for (const GameInfo &game : tableOneGames()) {
+        std::vector<std::string> row = {game.short_name};
+        for (const DeviceProfile &device :
+             {DeviceProfile::galaxyTabS8(),
+              DeviceProfile::pixel7Pro()}) {
+            SessionConfig config = accountingSessionConfig();
+            config.game = game.id;
+            config.device = device;
+
+            config.design = DesignKind::GameStreamSR;
+            f64 ours = runSession(config).overallClientEnergyMj(
+                device.base_power_w);
+            config.design = DesignKind::Nemo;
+            f64 nemo = runSession(config).overallClientEnergyMj(
+                device.base_power_w);
+
+            f64 savings = (nemo - ours) / nemo * 100.0;
+            (device.name == "galaxy-tab-s8" ? s8_savings
+                                            : pixel_savings)
+                .add(savings);
+            row.push_back(TableWriter::num(savings, 1));
+        }
+        table.addRow(row);
+    }
+    table.addRow({"MEAN", TableWriter::num(s8_savings.mean(), 1),
+                  TableWriter::num(pixel_savings.mean(), 1)});
+    printTable(table);
+    std::cout << "\npaper: ~26 % (S8 Tab), ~33 % (Pixel 7 Pro)\n";
+    return 0;
+}

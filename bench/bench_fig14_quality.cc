@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Fig. 14 — Quality vs. the SOTA across all ten games:
+ *  (a) objective: mean PSNR gain (paper: ~2 dB average),
+ *  (b) perceptual: LPIPS improvement, lower = better (paper: ~0.2
+ *      average difference; >=0.15 is visibly discernible).
+ *
+ * Runs at 480x270 -> 960x540 so all ten games complete in a few
+ * minutes; the per-game ordering and the gain magnitudes are the
+ * reproduced quantities.
+ */
+
+#include "bench_util.hh"
+
+using namespace gssr;
+using namespace gssr::bench;
+
+int
+main()
+{
+    printHeader("Fig. 14",
+                "quality vs. SOTA across the Table I games "
+                "(480x270 -> 960x540, GOP 30)");
+
+    TableWriter table({"game", "SOTA PSNR", "ours PSNR",
+                       "PSNR gain (dB)", "SOTA LPIPS", "ours LPIPS",
+                       "LPIPS improvement"});
+    SampleStats psnr_gain, lpips_gain;
+
+    for (const GameInfo &game : tableOneGames()) {
+        SessionConfig config = paperSessionConfig();
+        config.game = game.id;
+        config.lr_size = {480, 270};
+        config.frames = 30;
+        config.codec.gop_size = 30;
+        config.sr_net = sharedSrNet();
+        config.measure_quality = true;
+        config.quality_stride = 3;
+        config.measure_perceptual = true;
+        config.perceptual_stride = 4;
+
+        std::cout << "running " << game.short_name << " ("
+                  << game.title << ") ...\n";
+        config.design = DesignKind::GameStreamSR;
+        SessionResult ours = runSession(config);
+        config.design = DesignKind::Nemo;
+        SessionResult nemo = runSession(config);
+
+        f64 gain = ours.meanPsnrDb() - nemo.meanPsnrDb();
+        f64 lpips_improvement = nemo.meanLpips() - ours.meanLpips();
+        psnr_gain.add(gain);
+        lpips_gain.add(lpips_improvement);
+        table.addRow({game.short_name,
+                      TableWriter::num(nemo.meanPsnrDb(), 2),
+                      TableWriter::num(ours.meanPsnrDb(), 2),
+                      TableWriter::num(gain, 2),
+                      TableWriter::num(nemo.meanLpips(), 3),
+                      TableWriter::num(ours.meanLpips(), 3),
+                      TableWriter::num(lpips_improvement, 3)});
+    }
+    printTable(table);
+    std::cout << "\nmean PSNR gain: "
+              << TableWriter::num(psnr_gain.mean(), 2)
+              << " dB (paper: ~2 dB)\nmean LPIPS improvement: "
+              << TableWriter::num(lpips_gain.mean(), 3)
+              << " (paper: ~0.2; >=0.15 visibly discernible)\n";
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Fig. 15 / Sec. VI — the RoI-guided SR-integrated decoder
+ * prototype (future work): cache the RoI-upscaled reference frame in
+ * the decoder buffer and reconstruct non-reference frames inside the
+ * extended decoder hardware, bypassing the NPU.
+ *
+ * Paper expectation: up to ~50 % additional energy savings over
+ * this work, while keeping real-time throughput.
+ */
+
+#include "bench_util.hh"
+
+using namespace gssr;
+using namespace gssr::bench;
+
+int
+main()
+{
+    printHeader("Fig. 15",
+                "RoI-guided SR-integrated decoder prototype "
+                "(Sec. VI future work)");
+
+    DeviceProfile device = DeviceProfile::pixel7Pro();
+    TableWriter table({"design", "processing mJ/frame",
+                       "overall GOP energy (mJ)",
+                       "savings vs SOTA (%)",
+                       "savings vs this work (%)", "ref FPS",
+                       "nonref FPS"});
+
+    f64 nemo_overall = 0.0;
+    f64 ours_overall = 0.0;
+    for (DesignKind design :
+         {DesignKind::Nemo, DesignKind::GameStreamSR,
+          DesignKind::SrDecoder}) {
+        SessionConfig config = accountingSessionConfig();
+        config.game = GameId::G3_Witcher3;
+        config.device = device;
+        config.design = design;
+        SessionResult r = runSession(config);
+        f64 overall =
+            r.overallClientEnergyMj(device.base_power_w);
+        if (design == DesignKind::Nemo)
+            nemo_overall = overall;
+        if (design == DesignKind::GameStreamSR)
+            ours_overall = overall;
+        std::string vs_ours = "-";
+        if (design == DesignKind::SrDecoder) {
+            vs_ours = TableWriter::num(
+                (ours_overall - overall) / ours_overall * 100.0, 1);
+        }
+        table.addRow(
+            {designName(design),
+             TableWriter::num(r.meanClientEnergyMj(), 1),
+             TableWriter::num(overall, 0),
+             TableWriter::num(
+                 (nemo_overall - overall) / nemo_overall * 100.0, 1),
+             vs_ours,
+             TableWriter::num(r.outputFps(FrameType::Reference), 1),
+             TableWriter::num(r.outputFps(FrameType::NonReference),
+                              1)});
+    }
+    printTable(table);
+    std::cout << "\npaper: the SR-integrated decoder is expected to "
+                 "save up to ~50 % energy (vs. SOTA) by bypassing "
+                 "the upscale engine on non-reference frames.\n";
+    return 0;
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Fig. 3 — SR characterization on the mobile NPU:
+ *  (a) execution latency and quality across upscaling factors
+ *      (x2/x3/x4 to a fixed 1440p target): quality drops sharply
+ *      with the factor, so x2 from 720p is the quality-preserving
+ *      choice — but its full-frame latency misses the deadline;
+ *  (b) execution latency across input resolutions at x2: only small
+ *      inputs (~240p) meet the 16.66 ms deadline.
+ */
+
+#include "bench_util.hh"
+#include "frame/downsample.hh"
+#include "metrics/psnr.hh"
+#include "render/rasterizer.hh"
+#include "sr/upscaler.hh"
+
+using namespace gssr;
+using namespace gssr::bench;
+
+int
+main()
+{
+    DeviceProfile s8 = DeviceProfile::galaxyTabS8();
+
+    // ---- Fig. 3a: upscale factor sweep to a fixed target. -------
+    printHeader("Fig. 3a",
+                "SR latency and quality vs. upscale factor "
+                "(fixed 1440p target, S8 Tab NPU)");
+
+    // Quality measured against a shared ground truth render; the
+    // LR input for factor k is the k x box-downsample (SSAA render).
+    GameWorld world(GameId::G3_Witcher3, 21);
+    const Size gt_size{480, 240}; // divisible by 2, 3 and 4
+    ColorImage ground_truth =
+        renderScene(world.sceneAt(0.8), gt_size).color;
+    DnnUpscaler dnn(sharedSrNet(), 2);
+
+    TableWriter fig3a({"factor", "input (for 1440p)", "NPU latency (ms)",
+                       "PSNR (dB)", "meets 16.66 ms"});
+    for (int factor : {2, 3, 4}) {
+        Size input{2560 / factor, 1440 / factor};
+        i64 macs = dnn.macs(input, factor);
+        f64 latency = s8.npu.latencyMs(macs, input.area());
+
+        ColorImage lr = boxDownsample(ground_truth, factor);
+        f64 quality = psnr(dnn.upscale(lr, factor), ground_truth);
+        fig3a.addRow({"x" + std::to_string(factor),
+                      std::to_string(input.width) + "x" +
+                          std::to_string(input.height),
+                      TableWriter::num(latency, 1),
+                      TableWriter::num(quality, 2),
+                      latency <= 1000.0 / 60.0 ? "yes" : "no"});
+    }
+    printTable(fig3a);
+    std::cout << "paper shape: quality drops sharply beyond x2; "
+                 "x2-from-720p latency far above the deadline.\n";
+
+    // ---- Fig. 3b: input resolution sweep at x2. ------------------
+    printHeader("Fig. 3b",
+                "SR latency vs. input resolution (x2, S8 Tab NPU)");
+    TableWriter fig3b({"input", "pixels", "GMACs", "latency (ms)",
+                       "meets 16.66 ms"});
+    struct Res
+    {
+        const char *name;
+        Size size;
+    };
+    for (const Res &r :
+         {Res{"144p", {256, 144}}, Res{"240p", {320, 240}},
+          Res{"300x300 (RoI)", {300, 300}}, Res{"360p", {640, 360}},
+          Res{"480p", {854, 480}}, Res{"720p", {1280, 720}}}) {
+        i64 macs = dnn.macs(r.size, 2);
+        f64 latency = s8.npu.latencyMs(macs, r.size.area());
+        fig3b.addRow({r.name,
+                      std::to_string(r.size.area()),
+                      TableWriter::num(f64(macs) / 1e9, 1),
+                      TableWriter::num(latency, 1),
+                      latency <= 1000.0 / 60.0 ? "yes" : "no"});
+    }
+    printTable(fig3b);
+    std::cout << "paper shape: ~240p meets the real-time deadline, "
+                 "720p is ~13x over it.\n";
+    return 0;
+}

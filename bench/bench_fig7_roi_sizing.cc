@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Fig. 7 / Sec. IV-B1 — Desired RoI window sizing: the foveal
+ * minimum from human visual physiology and the device maximum from
+ * the NPU capability probe, for both evaluation devices.
+ *
+ * Paper anchors: foveal diameter ~1.25 in; ~343 px on the S8's 2K
+ * panel -> ~172 px on the 720p LR frame; device maximum ~300 px.
+ */
+
+#include "bench_util.hh"
+#include "roi/foveal.hh"
+#include "sr/upscaler.hh"
+
+using namespace gssr;
+using namespace gssr::bench;
+
+int
+main()
+{
+    printHeader("Fig. 7", "desired RoI window sizing (Sec. IV-B1)");
+
+    FovealParams foveal;
+    std::cout << "foveal visual angle " << foveal.visual_angle_deg
+              << " deg at " << foveal.viewing_distance_cm
+              << " cm -> foveal diameter "
+              << TableWriter::num(fovealDiameterInches(foveal), 2)
+              << " in (paper: ~1.25 in)\n\n";
+
+    DnnUpscaler edsr(std::make_shared<const CompactSrNet>(), 2);
+
+    TableWriter table({"device", "ppi", "foveal px (display)",
+                       "foveal px (720p LR)", "max real-time RoI px",
+                       "paper"});
+    for (const DeviceProfile &device :
+         {DeviceProfile::galaxyTabS8(), DeviceProfile::pixel7Pro()}) {
+        int display_px =
+            minRoiSizePixels(foveal, device.display_ppi, 1);
+        int lr_px = minRoiSizePixels(foveal, device.display_ppi, 2);
+        int max_px = maxRoiSizePixels(device.npu, edsr, 2);
+        table.addRow({device.name,
+                      TableWriter::num(device.display_ppi, 0),
+                      std::to_string(display_px),
+                      std::to_string(lr_px), std::to_string(max_px),
+                      device.name == "galaxy-tab-s8"
+                          ? "343 / 172 / 300"
+                          : "- / - / ~300"});
+    }
+    printTable(table);
+    return 0;
+}

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Host-side microbenchmarks (google-benchmark) of the library's
+ * computational kernels: rasterization, transform coding, motion
+ * estimation, RoI detection, interpolation and CNN inference. These
+ * measure *this host's* throughput (the simulated device timings in
+ * the figure benches come from the device models instead).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "codec/codec.hh"
+#include "codec/dct.hh"
+#include "frame/downsample.hh"
+#include "metrics/psnr.hh"
+#include "nn/layers.hh"
+#include "render/games.hh"
+#include "render/rasterizer.hh"
+#include "roi/roi_detector.hh"
+#include "sr/interpolate.hh"
+#include "sr/srcnn.hh"
+
+namespace gssr
+{
+namespace
+{
+
+void
+BM_RasterizeGameFrame(benchmark::State &state)
+{
+    GameWorld world(GameId::G3_Witcher3, 1);
+    Scene scene = world.sceneAt(1.0);
+    int width = int(state.range(0));
+    int height = width * 9 / 16;
+    for (auto _ : state) {
+        RenderOutput out = renderScene(scene, {width, height});
+        benchmark::DoNotOptimize(out.color.r().data().data());
+    }
+    state.SetItemsProcessed(state.iterations() * width * height);
+}
+BENCHMARK(BM_RasterizeGameFrame)->Arg(320)->Arg(640)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_Dct8x8RoundTrip(benchmark::State &state)
+{
+    Rng rng(1);
+    Block8x8 block{};
+    for (auto &v : block)
+        v = f32(rng.uniform(-128.0, 128.0));
+    for (auto _ : state) {
+        Block8x8 out = inverseDct8x8(forwardDct8x8(block));
+        benchmark::DoNotOptimize(out[0]);
+    }
+}
+BENCHMARK(BM_Dct8x8RoundTrip);
+
+void
+BM_EncodeFrame(benchmark::State &state)
+{
+    GameWorld world(GameId::G5_GrandTheftAutoV, 1);
+    int width = int(state.range(0));
+    int height = width * 9 / 16;
+    ColorImage frame =
+        renderScene(world.sceneAt(0.5), {width, height}).color;
+    CodecConfig config;
+    config.gop_size = 2;
+    for (auto _ : state) {
+        GopEncoder encoder(config, frame.size());
+        EncodedFrame out = encoder.encode(frame);
+        benchmark::DoNotOptimize(out.payload.data());
+    }
+    state.SetItemsProcessed(state.iterations() * width * height);
+}
+BENCHMARK(BM_EncodeFrame)->Arg(320)->Unit(benchmark::kMillisecond);
+
+void
+BM_MotionEstimation(benchmark::State &state)
+{
+    GameWorld world(GameId::G10_ForzaHorizon5, 1);
+    PlaneU8 ref =
+        toGrayscale(renderScene(world.sceneAt(0.5), {320, 180}).color);
+    PlaneU8 cur =
+        toGrayscale(renderScene(world.sceneAt(0.55), {320, 180}).color);
+    for (auto _ : state) {
+        MvField mv = estimateMotion(ref, cur, 16, 7);
+        benchmark::DoNotOptimize(mv.vectors.data());
+    }
+}
+BENCHMARK(BM_MotionEstimation)->Unit(benchmark::kMillisecond);
+
+void
+BM_RoiDetection(benchmark::State &state)
+{
+    GameWorld world(GameId::G1_MetroExodus, 1);
+    DepthMap depth =
+        renderScene(world.sceneAt(1.0), {640, 360}).depth;
+    RoiDetector detector(ServerProfile::gamingWorkstation());
+    for (auto _ : state) {
+        RoiDetection d = detector.detect(depth, {150, 150});
+        benchmark::DoNotOptimize(d.roi);
+    }
+}
+BENCHMARK(BM_RoiDetection)->Unit(benchmark::kMillisecond);
+
+void
+BM_BilinearUpscale2x(benchmark::State &state)
+{
+    GameWorld world(GameId::G2_FarCry5, 1);
+    ColorImage lr = renderScene(world.sceneAt(0.4), {320, 180}).color;
+    for (auto _ : state) {
+        ColorImage hr =
+            resizeImage(lr, {640, 360}, InterpKernel::Bilinear);
+        benchmark::DoNotOptimize(hr.r().data().data());
+    }
+    state.SetItemsProcessed(state.iterations() * 640 * 360);
+}
+BENCHMARK(BM_BilinearUpscale2x)->Unit(benchmark::kMillisecond);
+
+void
+BM_CompactSrNetForward(benchmark::State &state)
+{
+    CompactSrNet net;
+    int edge = int(state.range(0));
+    Tensor input(1, edge, edge);
+    for (auto _ : state) {
+        Tensor out = net.forward(input);
+        benchmark::DoNotOptimize(out.data().data());
+    }
+}
+BENCHMARK(BM_CompactSrNetForward)->Arg(75)->Arg(150)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_Conv2dForward(benchmark::State &state)
+{
+    Rng rng(2);
+    Conv2d conv(14, 14, 3);
+    conv.initHe(rng);
+    Tensor input(14, 64, 64);
+    for (auto _ : state) {
+        Tensor out = conv.forward(input);
+        benchmark::DoNotOptimize(out.data().data());
+    }
+}
+BENCHMARK(BM_Conv2dForward)->Unit(benchmark::kMillisecond);
+
+void
+BM_PsnrFullFrame(benchmark::State &state)
+{
+    GameWorld world(GameId::G6_GodOfWar, 1);
+    ColorImage a = renderScene(world.sceneAt(0.2), {640, 360}).color;
+    ColorImage b = boxDownsample(
+        resizeImage(a, {1280, 720}, InterpKernel::Bilinear), 2);
+    for (auto _ : state) {
+        f64 v = psnr(a, b);
+        benchmark::DoNotOptimize(v);
+    }
+}
+BENCHMARK(BM_PsnrFullFrame)->Unit(benchmark::kMillisecond);
+
+} // namespace
+} // namespace gssr
+
+BENCHMARK_MAIN();

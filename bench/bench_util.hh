@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction bench binaries: the
+ * cached trained SR net, the standard paper operating point, and
+ * common printing.
+ */
+
+#ifndef GSSR_BENCH_BENCH_UTIL_HH
+#define GSSR_BENCH_BENCH_UTIL_HH
+
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "common/table.hh"
+#include "pipeline/session.hh"
+#include "sr/trainer.hh"
+
+namespace gssr::bench
+{
+
+/** Paper operating point: 720p -> 1440p at 60 FPS, GOP 60. */
+inline SessionConfig
+paperSessionConfig()
+{
+    SessionConfig config;
+    config.lr_size = {1280, 720};
+    config.scale_factor = 2;
+    config.frames = 60;
+    config.codec.gop_size = 60;
+    return config;
+}
+
+/**
+ * Accounting-only paper session (latency/energy figures): model
+ * numbers at 720p, server rasterizing at a reduced proxy size.
+ */
+inline SessionConfig
+accountingSessionConfig()
+{
+    SessionConfig config = paperSessionConfig();
+    config.compute_pixels = false;
+    config.server_proxy_size = {256, 144};
+    return config;
+}
+
+/** The shared trained SR quality net (cached on disk). */
+inline std::shared_ptr<const CompactSrNet>
+sharedSrNet()
+{
+    static std::shared_ptr<const CompactSrNet> net =
+        std::make_shared<const CompactSrNet>(
+            trainedSrNet("bench_sr_weights.bin"));
+    return net;
+}
+
+/** Print the standard bench header. */
+inline void
+printHeader(const std::string &figure, const std::string &caption)
+{
+    std::cout << "\n=== " << figure << " — " << caption << " ===\n\n";
+}
+
+/** Print a table and flush. */
+inline void
+printTable(const TableWriter &table)
+{
+    table.renderText(std::cout);
+    std::cout.flush();
+}
+
+} // namespace gssr::bench
+
+#endif // GSSR_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Device calibration report: the Fig. 6 step-1 capability probe for
+ * both evaluation devices — foveal RoI sizing from the display
+ * geometry (Sec. IV-B1), the maximum real-time RoI from the NPU
+ * model, and the EDSR latency ladder across input sizes that the
+ * probe walks.
+ *
+ * Usage: ./device_calibration
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "device/profiles.hh"
+#include "roi/foveal.hh"
+#include "sr/upscaler.hh"
+
+using namespace gssr;
+
+int
+main()
+{
+    std::cout << "GameStreamSR device calibration (Fig. 6 step-1)\n";
+    std::cout << "================================================\n\n";
+
+    FovealParams foveal;
+    std::cout << "foveal visual angle    : " << foveal.visual_angle_deg
+              << " deg\n";
+    std::cout << "viewing distance       : "
+              << foveal.viewing_distance_cm << " cm\n";
+    std::cout << "foveal diameter        : "
+              << TableWriter::num(fovealDiameterInches(foveal), 2)
+              << " in (paper: ~1.25 in)\n\n";
+
+    DnnUpscaler upscaler(std::make_shared<const CompactSrNet>(), 2);
+
+    TableWriter table({"device", "ppi", "min RoI (px, LR)",
+                       "max RoI (px, LR)", "negotiated window"});
+    for (const DeviceProfile &device :
+         {DeviceProfile::galaxyTabS8(), DeviceProfile::pixel7Pro()}) {
+        int min_edge =
+            minRoiSizePixels(foveal, device.display_ppi, 2);
+        int max_edge = maxRoiSizePixels(device.npu, upscaler, 2);
+        Size window =
+            chooseRoiWindow(foveal, device.display_ppi, device.npu,
+                            upscaler, 2, {1280, 720});
+        table.addRow({device.name, TableWriter::num(device.display_ppi, 0),
+                      std::to_string(min_edge),
+                      std::to_string(max_edge),
+                      std::to_string(window.width) + "x" +
+                          std::to_string(window.height)});
+    }
+    table.renderText(std::cout);
+
+    std::cout << "\nEDSR x2 NPU latency ladder (the probe's "
+                 "measurements):\n";
+    TableWriter ladder({"input (px)", "GMACs", "S8 Tab (ms)",
+                        "Pixel 7 Pro (ms)", "meets 16.66 ms"});
+    DeviceProfile s8 = DeviceProfile::galaxyTabS8();
+    DeviceProfile pixel = DeviceProfile::pixel7Pro();
+    for (int edge : {100, 172, 200, 250, 300, 340, 400, 500}) {
+        i64 macs = upscaler.macs({edge, edge}, 2);
+        f64 s8_ms = s8.npu.latencyMs(macs, i64(edge) * edge);
+        f64 pixel_ms = pixel.npu.latencyMs(macs, i64(edge) * edge);
+        ladder.addRow({std::to_string(edge) + "x" +
+                           std::to_string(edge),
+                       TableWriter::num(f64(macs) / 1e9, 1),
+                       TableWriter::num(s8_ms, 1),
+                       TableWriter::num(pixel_ms, 1),
+                       s8_ms <= kRealTimeDeadlineMs &&
+                               pixel_ms <= kRealTimeDeadlineMs
+                           ? "yes"
+                           : "no"});
+    }
+    ladder.renderText(std::cout);
+    std::cout << "\npaper anchors: 300x300 -> 16.2 ms (S8) / 16.4 ms "
+                 "(Pixel); 1280x720 -> ~217 / ~233 ms\n";
+    return 0;
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Cloud VR extension demo (paper Sec. VI): render a game world in
+ * stereo, run depth-guided RoI detection per eye, and analyze the
+ * two-eye real-time budget — all without any headset eye-tracking
+ * sensor (the paper's inclusiveness argument).
+ *
+ * Usage: ./vr_streaming [G1..G10]
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "frame/image_io.hh"
+#include "render/games.hh"
+#include "render/stereo.hh"
+#include "roi/foveal.hh"
+#include "roi/roi_detector.hh"
+#include "sr/upscaler.hh"
+
+using namespace gssr;
+
+int
+main(int argc, char **argv)
+{
+    GameId game = GameId::G6_GodOfWar;
+    if (argc > 1) {
+        for (const auto &info : tableOneGames())
+            if (std::strcmp(info.short_name, argv[1]) == 0)
+                game = info.id;
+    }
+
+    std::printf("Cloud VR extension demo — %s\n",
+                gameInfo(game).title);
+    std::printf("=====================================\n\n");
+
+    GameWorld world(game, 2);
+    Scene scene = world.sceneAt(1.0);
+    StereoConfig stereo;
+    StereoRenderOutput eyes = renderStereo(scene, {480, 270}, stereo);
+    writePpm("vr_left.ppm", eyes.left.color);
+    writePpm("vr_right.ppm", eyes.right.color);
+    std::printf("wrote vr_left.ppm / vr_right.ppm (IPD %.3f)\n\n",
+                stereo.ipd);
+
+    RoiDetector detector(ServerProfile::gamingWorkstation());
+    RoiDetection left = detector.detect(eyes.left.depth, {110, 110});
+    RoiDetection right =
+        detector.detect(eyes.right.depth, {110, 110});
+    std::printf("left-eye RoI : x=%d y=%d (depth-guided: %s)\n",
+                left.roi.x, left.roi.y,
+                left.depth_guided ? "yes" : "no");
+    std::printf("right-eye RoI: x=%d y=%d (depth-guided: %s)\n",
+                right.roi.x, right.roi.y,
+                right.depth_guided ? "yes" : "no");
+    Rect inter = left.roi.intersect(right.roi);
+    std::printf("RoI overlap  : %.1f %% — one detection can serve "
+                "both eyes\n\n",
+                100.0 * f64(inter.area()) / f64(left.roi.area()));
+
+    // Two-eye NPU budget on the Pixel 7 Pro.
+    DeviceProfile device = DeviceProfile::pixel7Pro();
+    DnnUpscaler edsr(std::make_shared<const CompactSrNet>(), 2);
+    int mono =
+        maxRoiSizePixels(device.npu, edsr, 2, kRealTimeDeadlineMs);
+    int stereo_edge = maxRoiSizePixels(device.npu, edsr, 2,
+                                       kRealTimeDeadlineMs / 2.0);
+    std::printf("NPU budget on %s:\n", device.name.c_str());
+    std::printf("  mono RoI window  : %d px (one eye per frame)\n",
+                mono);
+    std::printf("  stereo RoI window: %d px per eye (both eyes per "
+                "16.66 ms)\n",
+                stereo_edge);
+    std::printf("\nVR headsets sit ~5 cm from the eye with high-PPI "
+                "panels, so per-eye foveal\nregions are small in "
+                "panel inches; the %d px stereo budget remains "
+                "usable.\n",
+                stereo_edge);
+    return 0;
+}

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Byte-oriented bitstream primitives for the codec: LEB128 varints,
+ * zigzag signed mapping, and reader/writer cursors over byte buffers.
+ */
+
+#ifndef GSSR_CODEC_BITSTREAM_HH
+#define GSSR_CODEC_BITSTREAM_HH
+
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace gssr
+{
+
+/** Map a signed integer to an unsigned one (zigzag). */
+constexpr u64
+zigzagEncode(i64 v)
+{
+    return (u64(v) << 1) ^ u64(v >> 63);
+}
+
+/** Inverse of zigzagEncode. */
+constexpr i64
+zigzagDecode(u64 v)
+{
+    return i64(v >> 1) ^ -i64(v & 1);
+}
+
+/** Append-only byte buffer with varint helpers. */
+class ByteWriter
+{
+  public:
+    /** Append one raw byte. */
+    void putByte(u8 b) { bytes_.push_back(b); }
+
+    /** Append an unsigned LEB128 varint. */
+    void
+    putVarint(u64 v)
+    {
+        while (v >= 0x80) {
+            bytes_.push_back(u8(v) | 0x80);
+            v >>= 7;
+        }
+        bytes_.push_back(u8(v));
+    }
+
+    /** Append a signed varint (zigzag + LEB128). */
+    void putSignedVarint(i64 v) { putVarint(zigzagEncode(v)); }
+
+    /** Append a little-endian u16. */
+    void
+    putU16(u16 v)
+    {
+        putByte(u8(v & 0xff));
+        putByte(u8(v >> 8));
+    }
+
+    /** Number of bytes written so far. */
+    size_t size() const { return bytes_.size(); }
+
+    /** Take the accumulated bytes (writer is left empty). */
+    std::vector<u8> take() { return std::move(bytes_); }
+
+    /** Read-only view of the accumulated bytes. */
+    const std::vector<u8> &bytes() const { return bytes_; }
+
+  private:
+    std::vector<u8> bytes_;
+};
+
+/** Sequential reader over an encoded byte buffer. */
+class ByteReader
+{
+  public:
+    /** Read from @p bytes; the buffer must outlive the reader. */
+    explicit ByteReader(const std::vector<u8> &bytes)
+        : bytes_(bytes)
+    {}
+
+    /** Read one raw byte. */
+    u8
+    getByte()
+    {
+        if (pos_ >= bytes_.size())
+            fatal("bitstream truncated");
+        return bytes_[pos_++];
+    }
+
+    /** Read an unsigned LEB128 varint. */
+    u64
+    getVarint()
+    {
+        u64 v = 0;
+        int shift = 0;
+        while (true) {
+            u8 b = getByte();
+            v |= u64(b & 0x7f) << shift;
+            if (!(b & 0x80))
+                return v;
+            shift += 7;
+            if (shift > 63)
+                fatal("varint overlong");
+        }
+    }
+
+    /** Read a signed varint. */
+    i64 getSignedVarint() { return zigzagDecode(getVarint()); }
+
+    /** Read a little-endian u16. */
+    u16
+    getU16()
+    {
+        u16 lo = getByte();
+        u16 hi = getByte();
+        return u16(lo | (hi << 8));
+    }
+
+    /** True when every byte has been consumed. */
+    bool atEnd() const { return pos_ >= bytes_.size(); }
+
+    /** Current read offset. */
+    size_t position() const { return pos_; }
+
+  private:
+    const std::vector<u8> &bytes_;
+    size_t pos_ = 0;
+};
+
+} // namespace gssr
+
+#endif // GSSR_CODEC_BITSTREAM_HH

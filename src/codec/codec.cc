@@ -1,0 +1,234 @@
+#include "codec/codec.hh"
+
+#include "codec/bitstream.hh"
+#include "codec/plane_coder.hh"
+#include "common/mathutil.hh"
+
+namespace gssr
+{
+
+namespace
+{
+
+/** u8 plane -> f32 samples with the intra bias of 128 removed. */
+PlaneF32
+unbias(const PlaneU8 &in)
+{
+    PlaneF32 out(in.width(), in.height());
+    for (i64 i = 0; i < in.sampleCount(); ++i)
+        out.data()[size_t(i)] = f32(in.data()[size_t(i)]) - 128.0f;
+    return out;
+}
+
+/** f32 samples + 128 bias -> clamped u8 plane. */
+PlaneU8
+rebias(const PlaneF32 &in)
+{
+    PlaneU8 out(in.width(), in.height());
+    for (i64 i = 0; i < in.sampleCount(); ++i)
+        out.data()[size_t(i)] = toPixel(f64(in.data()[size_t(i)]) + 128.0);
+    return out;
+}
+
+/** current - prediction as f32 residual plane. */
+PlaneF32
+subtract(const PlaneU8 &current, const PlaneU8 &prediction)
+{
+    PlaneF32 out(current.width(), current.height());
+    for (i64 i = 0; i < current.sampleCount(); ++i) {
+        out.data()[size_t(i)] = f32(current.data()[size_t(i)]) -
+                                f32(prediction.data()[size_t(i)]);
+    }
+    return out;
+}
+
+/** prediction + residual, clamped to u8. */
+PlaneU8
+add(const PlaneU8 &prediction, const PlaneF32 &residual)
+{
+    PlaneU8 out(prediction.width(), prediction.height());
+    for (i64 i = 0; i < prediction.sampleCount(); ++i) {
+        out.data()[size_t(i)] =
+            toPixel(f64(prediction.data()[size_t(i)]) +
+                    f64(residual.data()[size_t(i)]));
+    }
+    return out;
+}
+
+void
+writeMvField(const MvField &field, ByteWriter &writer)
+{
+    writer.putVarint(u64(field.block_size));
+    // Delta-code vectors in raster order (neighbouring blocks move
+    // similarly, so deltas are small).
+    i64 prev_dx = 0, prev_dy = 0;
+    for (const MotionVector &v : field.vectors) {
+        writer.putSignedVarint(v.dx - prev_dx);
+        writer.putSignedVarint(v.dy - prev_dy);
+        prev_dx = v.dx;
+        prev_dy = v.dy;
+    }
+}
+
+MvField
+readMvField(ByteReader &reader, Size luma_size)
+{
+    MvField field;
+    field.block_size = int(reader.getVarint());
+    if (field.block_size < 4)
+        fatal("corrupt stream: bad MV block size");
+    field.blocks_x = int(ceilDiv(luma_size.width, field.block_size));
+    field.blocks_y = int(ceilDiv(luma_size.height, field.block_size));
+    field.vectors.resize(size_t(field.blocks_x) *
+                         size_t(field.blocks_y));
+    i64 prev_dx = 0, prev_dy = 0;
+    for (MotionVector &v : field.vectors) {
+        prev_dx += reader.getSignedVarint();
+        prev_dy += reader.getSignedVarint();
+        v.dx = i16(prev_dx);
+        v.dy = i16(prev_dy);
+    }
+    return field;
+}
+
+constexpr u8 kTagReference = 0x49;    // 'I'
+constexpr u8 kTagNonReference = 0x50; // 'P'
+
+} // namespace
+
+GopEncoder::GopEncoder(const CodecConfig &config, Size frame_size)
+    : config_(config), size_(frame_size)
+{
+    GSSR_ASSERT(config_.gop_size >= 1, "gop_size must be >= 1");
+    GSSR_ASSERT(config_.qp >= 1, "qp must be >= 1");
+    GSSR_ASSERT(frame_size.width % 2 == 0 && frame_size.height % 2 == 0,
+                "codec frames need even dimensions");
+}
+
+FrameType
+GopEncoder::nextFrameType() const
+{
+    return next_index_ % config_.gop_size == 0 ? FrameType::Reference
+                                               : FrameType::NonReference;
+}
+
+EncodedFrame
+GopEncoder::encode(const ColorImage &frame)
+{
+    return encodeYuv(rgbToYuv420(frame));
+}
+
+EncodedFrame
+GopEncoder::encodeYuv(const Yuv420Image &frame)
+{
+    GSSR_ASSERT(frame.size() == size_, "frame size changed mid-stream");
+
+    EncodedFrame out;
+    out.type = nextFrameType();
+    out.size = size_;
+    out.index = next_index_;
+    out.qp = config_.qp;
+
+    ByteWriter writer;
+    writer.putByte(out.type == FrameType::Reference ? kTagReference
+                                                    : kTagNonReference);
+    writer.putU16(u16(size_.width));
+    writer.putU16(u16(size_.height));
+    writer.putByte(u8(config_.qp));
+
+    if (out.type == FrameType::Reference) {
+        Yuv420Image recon(size_.width, size_.height);
+        recon.y = rebias(encodePlane(unbias(frame.y), config_.qp,
+                                     writer));
+        recon.u = rebias(encodePlane(unbias(frame.u), config_.qp,
+                                     writer));
+        recon.v = rebias(encodePlane(unbias(frame.v), config_.qp,
+                                     writer));
+        recon_prev_ = std::move(recon);
+    } else {
+        MvField mv = estimateMotion(recon_prev_.y, frame.y,
+                                    config_.mv_block_size,
+                                    config_.search_range);
+        writeMvField(mv, writer);
+        Yuv420Image prediction = motionCompensate(recon_prev_, mv);
+
+        Yuv420Image recon(size_.width, size_.height);
+        recon.y = add(prediction.y,
+                      encodePlane(subtract(frame.y, prediction.y),
+                                  config_.qp, writer));
+        recon.u = add(prediction.u,
+                      encodePlane(subtract(frame.u, prediction.u),
+                                  config_.qp, writer));
+        recon.v = add(prediction.v,
+                      encodePlane(subtract(frame.v, prediction.v),
+                                  config_.qp, writer));
+        recon_prev_ = std::move(recon);
+    }
+
+    out.payload = writer.take();
+    next_index_ += 1;
+    return out;
+}
+
+FrameDecoder::FrameDecoder(const CodecConfig &config, Size frame_size)
+    : config_(config), size_(frame_size)
+{
+}
+
+Yuv420Image
+FrameDecoder::decode(const EncodedFrame &frame,
+                     DecoderInternals *internals)
+{
+    ByteReader reader(frame.payload);
+    u8 tag = reader.getByte();
+    if (tag != kTagReference && tag != kTagNonReference)
+        fatal("corrupt stream: bad frame tag");
+    FrameType type = tag == kTagReference ? FrameType::Reference
+                                          : FrameType::NonReference;
+    if (type != frame.type)
+        fatal("frame metadata/payload type mismatch");
+    Size size{int(reader.getU16()), int(reader.getU16())};
+    if (size != size_)
+        fatal("frame size does not match decoder configuration");
+    int qp = reader.getByte();
+    if (qp < 1)
+        fatal("corrupt stream: bad qp");
+
+    Size chroma{size.width / 2, size.height / 2};
+    Yuv420Image recon(size.width, size.height);
+
+    if (type == FrameType::Reference) {
+        recon.y = rebias(decodePlane(size, qp, reader));
+        recon.u = rebias(decodePlane(chroma, qp, reader));
+        recon.v = rebias(decodePlane(chroma, qp, reader));
+        if (internals) {
+            internals->mv = MvField{};
+            internals->residual.y = PlaneF32(size.width, size.height);
+            internals->residual.u = PlaneF32(chroma.width,
+                                             chroma.height);
+            internals->residual.v = PlaneF32(chroma.width,
+                                             chroma.height);
+        }
+    } else {
+        if (recon_prev_.empty())
+            fatal("non-reference frame before any reference frame");
+        MvField mv = readMvField(reader, size);
+        Yuv420Image prediction = motionCompensate(recon_prev_, mv);
+        PlaneF32 res_y = decodePlane(size, qp, reader);
+        PlaneF32 res_u = decodePlane(chroma, qp, reader);
+        PlaneF32 res_v = decodePlane(chroma, qp, reader);
+        recon.y = add(prediction.y, res_y);
+        recon.u = add(prediction.u, res_u);
+        recon.v = add(prediction.v, res_v);
+        if (internals) {
+            internals->mv = std::move(mv);
+            internals->residual.y = std::move(res_y);
+            internals->residual.u = std::move(res_u);
+            internals->residual.v = std::move(res_v);
+        }
+    }
+    recon_prev_ = recon;
+    return recon;
+}
+
+} // namespace gssr

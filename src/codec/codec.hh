@@ -1,0 +1,198 @@
+/**
+ * @file
+ * GOP video codec: encoder, decoder, and the two decoder *bindings*
+ * the paper's evaluation contrasts —
+ *
+ *  - HardwareDecoder: the narrow, codec-agnostic interface of a
+ *    mobile hardware decoder. It yields decoded pixels only; this is
+ *    all GameStreamSR needs (Sec. VI "Codec Agnostic").
+ *  - SoftwareDecoder: a CPU decoder that additionally exposes its
+ *    internal motion vectors and residuals. NEMO's non-reference
+ *    frame reconstruction requires these internals, which is exactly
+ *    why NEMO cannot use the energy-efficient hardware decoder
+ *    (Sec. V-A "Baseline").
+ *
+ * The bitstream: reference (key) frames are intra coded (8x8 DCT +
+ * quantization); non-reference frames carry a block motion-vector
+ * field against the previous reconstructed frame plus transform-coded
+ * residuals.
+ */
+
+#ifndef GSSR_CODEC_CODEC_HH
+#define GSSR_CODEC_CODEC_HH
+
+#include <optional>
+#include <vector>
+
+#include "codec/motion.hh"
+#include "frame/frame.hh"
+#include "frame/yuv.hh"
+
+namespace gssr
+{
+
+/** Codec tuning parameters. */
+struct CodecConfig
+{
+    /** Frames per GOP: 1 reference + (gop_size - 1) non-reference. */
+    int gop_size = 60;
+
+    /**
+     * Quantization parameter; larger = smaller and lossier. The
+     * default is the streaming operating point: ~37 dB decoded
+     * quality at ~30 Mbit/s for 720p60 game content.
+     */
+    int qp = 14;
+
+    /** Luma motion block size (pixels). */
+    int mv_block_size = 16;
+
+    /** Motion search range (pixels per axis). */
+    int search_range = 7;
+};
+
+/** One compressed frame as transmitted over the network. */
+struct EncodedFrame
+{
+    FrameType type = FrameType::Reference;
+    Size size;
+    i64 index = 0;
+    int qp = 0;
+    std::vector<u8> payload;
+
+    /** Compressed size in bytes (what the network transports). */
+    size_t sizeBytes() const { return payload.size(); }
+};
+
+/** Signed residual planes exposed by the software decoder. */
+struct ResidualImage
+{
+    PlaneF32 y;
+    PlaneF32 u;
+    PlaneF32 v;
+};
+
+/** Decoder internals that only a software decoder can expose. */
+struct DecoderInternals
+{
+    /** Motion-vector field of the decoded (non-reference) frame. */
+    MvField mv;
+
+    /** Decoded residual planes (zero planes for reference frames). */
+    ResidualImage residual;
+};
+
+/**
+ * GOP encoder. Maintains the reconstructed previous frame so inter
+ * frames predict from exactly what the decoder will have.
+ */
+class GopEncoder
+{
+  public:
+    /** @param frame_size size of every frame in the stream. */
+    GopEncoder(const CodecConfig &config, Size frame_size);
+
+    /** Type the next encoded frame will get (GOP position). */
+    FrameType nextFrameType() const;
+
+    /** Encode the next frame of the stream (RGB convenience). */
+    EncodedFrame encode(const ColorImage &frame);
+
+    /** Encode the next frame of the stream. */
+    EncodedFrame encodeYuv(const Yuv420Image &frame);
+
+    /** Stream position (number of frames encoded so far). */
+    i64 frameCount() const { return next_index_; }
+
+    /**
+     * Change the quantization parameter for subsequent frames (used
+     * by the rate controller). The qp travels in each frame header,
+     * so no decoder coordination is needed.
+     */
+    void
+    setQp(int qp)
+    {
+        GSSR_ASSERT(qp >= 1, "qp must be >= 1");
+        config_.qp = qp;
+    }
+
+    const CodecConfig &config() const { return config_; }
+
+  private:
+    CodecConfig config_;
+    Size size_;
+    i64 next_index_ = 0;
+    Yuv420Image recon_prev_;
+};
+
+/**
+ * Stateful frame decoder (the shared decode logic behind both
+ * bindings). Frames must be fed in stream order.
+ */
+class FrameDecoder
+{
+  public:
+    FrameDecoder(const CodecConfig &config, Size frame_size);
+
+    /**
+     * Decode one frame.
+     * @param internals when non-null, receives MV field and residuals
+     *        (the software-decoder-only view).
+     */
+    Yuv420Image decode(const EncodedFrame &frame,
+                       DecoderInternals *internals = nullptr);
+
+  private:
+    CodecConfig config_;
+    Size size_;
+    Yuv420Image recon_prev_;
+};
+
+/**
+ * Hardware decoder binding: codec-agnostic, pixels only. The device
+ * model charges hardware-decode latency/energy for each call.
+ */
+class HardwareDecoder
+{
+  public:
+    HardwareDecoder(const CodecConfig &config, Size frame_size)
+        : decoder_(config, frame_size)
+    {}
+
+    /** Decode to RGB; no internals are available by construction. */
+    ColorImage
+    decode(const EncodedFrame &frame)
+    {
+        return yuv420ToRgb(decoder_.decode(frame));
+    }
+
+  private:
+    FrameDecoder decoder_;
+};
+
+/**
+ * Software decoder binding: runs on the CPU and exposes the decoder
+ * internals (motion vectors, residuals) that NEMO's reconstruction
+ * consumes.
+ */
+class SoftwareDecoder
+{
+  public:
+    SoftwareDecoder(const CodecConfig &config, Size frame_size)
+        : decoder_(config, frame_size)
+    {}
+
+    /** Decode one frame and surface the internals. */
+    Yuv420Image
+    decode(const EncodedFrame &frame, DecoderInternals &internals)
+    {
+        return decoder_.decode(frame, &internals);
+    }
+
+  private:
+    FrameDecoder decoder_;
+};
+
+} // namespace gssr
+
+#endif // GSSR_CODEC_CODEC_HH

@@ -1,0 +1,154 @@
+#include "codec/dct.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace gssr
+{
+
+namespace
+{
+
+/** Precomputed orthonormal DCT-II basis: basis[k][n]. */
+struct DctTables
+{
+    f32 basis[8][8];
+
+    DctTables()
+    {
+        for (int k = 0; k < 8; ++k) {
+            f64 scale = k == 0 ? std::sqrt(1.0 / 8.0)
+                               : std::sqrt(2.0 / 8.0);
+            for (int n = 0; n < 8; ++n) {
+                basis[k][n] = f32(
+                    scale *
+                    std::cos(M_PI * (2.0 * n + 1.0) * k / 16.0));
+            }
+        }
+    }
+};
+
+const DctTables &
+tables()
+{
+    static const DctTables t;
+    return t;
+}
+
+/**
+ * Frequency weighting for quantization steps; low frequencies get
+ * finer steps. Flat 1..~2.9 ramp along the zigzag diagonal.
+ */
+f32
+quantWeight(int u, int v)
+{
+    return 1.0f + 0.14f * f32(u + v);
+}
+
+} // namespace
+
+Block8x8
+forwardDct8x8(const Block8x8 &spatial)
+{
+    const auto &t = tables();
+    // Rows then columns (separable).
+    Block8x8 tmp{};
+    for (int y = 0; y < 8; ++y) {
+        for (int k = 0; k < 8; ++k) {
+            f32 acc = 0.0f;
+            for (int n = 0; n < 8; ++n)
+                acc += spatial[size_t(y * 8 + n)] * t.basis[k][n];
+            tmp[size_t(y * 8 + k)] = acc;
+        }
+    }
+    Block8x8 out{};
+    for (int x = 0; x < 8; ++x) {
+        for (int k = 0; k < 8; ++k) {
+            f32 acc = 0.0f;
+            for (int n = 0; n < 8; ++n)
+                acc += tmp[size_t(n * 8 + x)] * t.basis[k][n];
+            out[size_t(k * 8 + x)] = acc;
+        }
+    }
+    return out;
+}
+
+Block8x8
+inverseDct8x8(const Block8x8 &coefficients)
+{
+    const auto &t = tables();
+    Block8x8 tmp{};
+    for (int x = 0; x < 8; ++x) {
+        for (int n = 0; n < 8; ++n) {
+            f32 acc = 0.0f;
+            for (int k = 0; k < 8; ++k)
+                acc += coefficients[size_t(k * 8 + x)] * t.basis[k][n];
+            tmp[size_t(n * 8 + x)] = acc;
+        }
+    }
+    Block8x8 out{};
+    for (int y = 0; y < 8; ++y) {
+        for (int n = 0; n < 8; ++n) {
+            f32 acc = 0.0f;
+            for (int k = 0; k < 8; ++k)
+                acc += tmp[size_t(y * 8 + k)] * t.basis[k][n];
+            out[size_t(y * 8 + n)] = acc;
+        }
+    }
+    return out;
+}
+
+QuantBlock
+quantize(const Block8x8 &coefficients, int qp)
+{
+    GSSR_ASSERT(qp >= 1, "qp must be positive");
+    QuantBlock out{};
+    for (int v = 0; v < 8; ++v) {
+        for (int u = 0; u < 8; ++u) {
+            f32 step = f32(qp) * quantWeight(u, v);
+            f32 c = coefficients[size_t(v * 8 + u)];
+            out[size_t(v * 8 + u)] = i32(std::lround(c / step));
+        }
+    }
+    return out;
+}
+
+Block8x8
+dequantize(const QuantBlock &levels, int qp)
+{
+    GSSR_ASSERT(qp >= 1, "qp must be positive");
+    Block8x8 out{};
+    for (int v = 0; v < 8; ++v) {
+        for (int u = 0; u < 8; ++u) {
+            f32 step = f32(qp) * quantWeight(u, v);
+            out[size_t(v * 8 + u)] =
+                f32(levels[size_t(v * 8 + u)]) * step;
+        }
+    }
+    return out;
+}
+
+const std::array<int, 64> &
+zigzagOrder()
+{
+    static const std::array<int, 64> order = [] {
+        std::array<int, 64> o{};
+        int idx = 0;
+        for (int s = 0; s < 15; ++s) {
+            if (s % 2 == 0) {
+                // Walk up-right.
+                for (int y = std::min(s, 7); y >= 0 && s - y <= 7; --y)
+                    o[size_t(idx++)] = y * 8 + (s - y);
+            } else {
+                // Walk down-left.
+                for (int x = std::min(s, 7); x >= 0 && s - x <= 7; --x)
+                    o[size_t(idx++)] = (s - x) * 8 + x;
+            }
+        }
+        return o;
+    }();
+    return order;
+}
+
+} // namespace gssr

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * 8x8 block DCT transform and quantization used by the intra and
+ * residual coding paths of the GOP codec.
+ */
+
+#ifndef GSSR_CODEC_DCT_HH
+#define GSSR_CODEC_DCT_HH
+
+#include <array>
+
+#include "common/types.hh"
+
+namespace gssr
+{
+
+/** One 8x8 block of spatial samples or transform coefficients. */
+using Block8x8 = std::array<f32, 64>;
+using QuantBlock = std::array<i32, 64>;
+
+/** Forward 8x8 type-II DCT (orthonormal). */
+Block8x8 forwardDct8x8(const Block8x8 &spatial);
+
+/** Inverse 8x8 DCT (type-III, orthonormal). */
+Block8x8 inverseDct8x8(const Block8x8 &coefficients);
+
+/**
+ * Quantize DCT coefficients. The step for coefficient i is
+ * qp * weight(i), where weight grows with frequency (JPEG-flavored).
+ */
+QuantBlock quantize(const Block8x8 &coefficients, int qp);
+
+/** Reconstruct coefficients from quantized levels. */
+Block8x8 dequantize(const QuantBlock &levels, int qp);
+
+/** Zigzag scan order for an 8x8 block (index -> raster position). */
+const std::array<int, 64> &zigzagOrder();
+
+} // namespace gssr
+
+#endif // GSSR_CODEC_DCT_HH

@@ -1,0 +1,135 @@
+#include "codec/motion.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+#include "common/mathutil.hh"
+
+namespace gssr
+{
+
+namespace
+{
+
+/** SAD between a block in @p cur at (x, y) and @p ref at (x+dx, y+dy). */
+i64
+blockSad(const PlaneU8 &ref, const PlaneU8 &cur, int x, int y,
+         int block, int dx, int dy, i64 early_exit)
+{
+    i64 sad = 0;
+    for (int by = 0; by < block; ++by) {
+        for (int bx = 0; bx < block; ++bx) {
+            int cx = x + bx;
+            int cy = y + by;
+            i32 c = cur.at(cx, cy);
+            i32 r = ref.atClamped(cx + dx, cy + dy);
+            sad += std::abs(c - r);
+        }
+        if (sad >= early_exit)
+            return sad;
+    }
+    return sad;
+}
+
+} // namespace
+
+MvField
+estimateMotion(const PlaneU8 &reference, const PlaneU8 &current,
+               int block_size, int search_range)
+{
+    GSSR_ASSERT(reference.size() == current.size(),
+                "motion estimation needs equal plane sizes");
+    GSSR_ASSERT(block_size >= 4 && block_size % 2 == 0,
+                "bad motion block size");
+    GSSR_ASSERT(search_range >= 1, "bad search range");
+
+    MvField field;
+    field.block_size = block_size;
+    field.blocks_x = (current.width() + block_size - 1) / block_size;
+    field.blocks_y = (current.height() + block_size - 1) / block_size;
+    field.vectors.resize(size_t(field.blocks_x) * size_t(field.blocks_y));
+
+    for (int by = 0; by < field.blocks_y; ++by) {
+        for (int bx = 0; bx < field.blocks_x; ++bx) {
+            int x = bx * block_size;
+            int y = by * block_size;
+            int bw = std::min(block_size, current.width() - x);
+            int bh = std::min(block_size, current.height() - y);
+            // For edge partial blocks use the clipped square size.
+            int block = std::min(bw, bh);
+            if (block < 4) {
+                field.at(bx, by) = {0, 0};
+                continue;
+            }
+
+            int best_dx = 0, best_dy = 0;
+            i64 best_sad = blockSad(reference, current, x, y, block, 0,
+                                    0, INT64_MAX);
+
+            // Three-step search: halve the step until 1.
+            int step = 1;
+            while (step * 2 <= search_range)
+                step *= 2;
+            int cx = 0, cy = 0;
+            while (step >= 1) {
+                for (int sy = -1; sy <= 1; ++sy) {
+                    for (int sx = -1; sx <= 1; ++sx) {
+                        if (sx == 0 && sy == 0)
+                            continue;
+                        int dx = cx + sx * step;
+                        int dy = cy + sy * step;
+                        if (std::abs(dx) > search_range ||
+                            std::abs(dy) > search_range) {
+                            continue;
+                        }
+                        i64 sad = blockSad(reference, current, x, y,
+                                           block, dx, dy, best_sad);
+                        if (sad < best_sad) {
+                            best_sad = sad;
+                            best_dx = dx;
+                            best_dy = dy;
+                        }
+                    }
+                }
+                cx = best_dx;
+                cy = best_dy;
+                step /= 2;
+            }
+            field.at(bx, by) = {i16(best_dx), i16(best_dy)};
+        }
+    }
+    return field;
+}
+
+namespace
+{
+
+/** Apply one plane's motion compensation. @p shift halves MVs for chroma. */
+void
+compensatePlane(const PlaneU8 &ref, PlaneU8 &out, const MvField &mv,
+                int block_size, int shift)
+{
+    for (int y = 0; y < out.height(); ++y) {
+        int by = clamp(y / block_size, 0, mv.blocks_y - 1);
+        for (int x = 0; x < out.width(); ++x) {
+            int bx = clamp(x / block_size, 0, mv.blocks_x - 1);
+            const MotionVector &v = mv.at(bx, by);
+            out.at(x, y) =
+                ref.atClamped(x + (v.dx >> shift), y + (v.dy >> shift));
+        }
+    }
+}
+
+} // namespace
+
+Yuv420Image
+motionCompensate(const Yuv420Image &reference, const MvField &mv)
+{
+    Yuv420Image out(reference.width(), reference.height());
+    compensatePlane(reference.y, out.y, mv, mv.block_size, 0);
+    compensatePlane(reference.u, out.u, mv, mv.block_size / 2, 1);
+    compensatePlane(reference.v, out.v, mv, mv.block_size / 2, 1);
+    return out;
+}
+
+} // namespace gssr

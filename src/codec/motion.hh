@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Block motion estimation and compensation for the inter-coded
+ * (non-reference) frames of the GOP codec. Motion vectors are
+ * estimated on the luma plane with a three-step search and applied to
+ * chroma at half resolution.
+ */
+
+#ifndef GSSR_CODEC_MOTION_HH
+#define GSSR_CODEC_MOTION_HH
+
+#include <vector>
+
+#include "frame/yuv.hh"
+
+namespace gssr
+{
+
+/** One block motion vector (pixels, luma resolution). */
+struct MotionVector
+{
+    i16 dx = 0;
+    i16 dy = 0;
+
+    bool operator==(const MotionVector &o) const = default;
+};
+
+/** Motion vector field: one vector per mv_block x mv_block luma block. */
+struct MvField
+{
+    int block_size = 16;     ///< luma block size in pixels
+    int blocks_x = 0;        ///< blocks per row
+    int blocks_y = 0;        ///< blocks per column
+    std::vector<MotionVector> vectors; ///< row-major
+
+    /** Vector for block (bx, by). */
+    MotionVector &
+    at(int bx, int by)
+    {
+        return vectors[size_t(by * blocks_x + bx)];
+    }
+
+    const MotionVector &
+    at(int bx, int by) const
+    {
+        return vectors[size_t(by * blocks_x + bx)];
+    }
+};
+
+/**
+ * Estimate motion of @p current relative to @p reference using a
+ * three-step (logarithmic) search minimizing SAD.
+ *
+ * @param reference previous reconstructed luma plane.
+ * @param current luma plane being encoded.
+ * @param block_size luma block size (multiple of 2).
+ * @param search_range maximum displacement per axis in pixels.
+ */
+MvField estimateMotion(const PlaneU8 &reference, const PlaneU8 &current,
+                       int block_size = 16, int search_range = 7);
+
+/**
+ * Build the motion-compensated prediction of a full YUV frame from
+ * @p reference and @p mv (chroma uses halved vectors). Out-of-bounds
+ * references clamp to the edge.
+ */
+Yuv420Image motionCompensate(const Yuv420Image &reference,
+                             const MvField &mv);
+
+} // namespace gssr
+
+#endif // GSSR_CODEC_MOTION_HH

@@ -1,0 +1,175 @@
+#include "codec/plane_coder.hh"
+
+#include "codec/dct.hh"
+#include "common/mathutil.hh"
+
+namespace gssr
+{
+
+namespace
+{
+
+/** Value used as the run field of the end-of-block marker. */
+constexpr u64 kEobMarker = 64;
+
+/** Extract the 8x8 block at (bx*8, by*8), edge-replicating. */
+Block8x8
+extractBlock(const PlaneF32 &plane, int bx, int by)
+{
+    Block8x8 block{};
+    for (int y = 0; y < 8; ++y) {
+        for (int x = 0; x < 8; ++x) {
+            block[size_t(y * 8 + x)] =
+                plane.atClamped(bx * 8 + x, by * 8 + y);
+        }
+    }
+    return block;
+}
+
+/** Write the in-bounds part of an 8x8 block back into the plane. */
+void
+depositBlock(PlaneF32 &plane, const Block8x8 &block, int bx, int by)
+{
+    for (int y = 0; y < 8; ++y) {
+        int py = by * 8 + y;
+        if (py >= plane.height())
+            break;
+        for (int x = 0; x < 8; ++x) {
+            int px = bx * 8 + x;
+            if (px >= plane.width())
+                break;
+            plane.at(px, py) = block[size_t(y * 8 + x)];
+        }
+    }
+}
+
+/** Entropy-code one quantized block (zigzag run-length). */
+void
+writeBlock(const QuantBlock &levels, ByteWriter &writer)
+{
+    const auto &order = zigzagOrder();
+    int run = 0;
+    for (int i = 0; i < 64; ++i) {
+        i32 level = levels[size_t(order[size_t(i)])];
+        if (level == 0) {
+            ++run;
+            continue;
+        }
+        writer.putVarint(u64(run));
+        writer.putSignedVarint(level);
+        run = 0;
+    }
+    writer.putVarint(kEobMarker);
+}
+
+/** Inverse of writeBlock. */
+QuantBlock
+readBlock(ByteReader &reader)
+{
+    const auto &order = zigzagOrder();
+    QuantBlock levels{};
+    int i = 0;
+    while (true) {
+        u64 run = reader.getVarint();
+        if (run == kEobMarker)
+            break;
+        i += int(run);
+        if (i >= 64)
+            fatal("corrupt block: coefficient index out of range");
+        levels[size_t(order[size_t(i)])] = i32(reader.getSignedVarint());
+        ++i;
+        if (i == 64) {
+            // Full block: the EOB marker still follows.
+            u64 eob = reader.getVarint();
+            if (eob != kEobMarker)
+                fatal("corrupt block: missing end-of-block");
+            break;
+        }
+    }
+    return levels;
+}
+
+} // namespace
+
+namespace
+{
+
+/** True when block (bx, by)'s centre lies inside @p roi. */
+bool
+blockInRoi(int bx, int by, const Rect &roi)
+{
+    return roi.contains(bx * 8 + 4, by * 8 + 4);
+}
+
+/** Shared block-loop for uniform and RoI-weighted coding. */
+template <typename QpOf>
+PlaneF32
+encodeBlocks(const PlaneF32 &plane, ByteWriter &writer, QpOf qp_of)
+{
+    int blocks_x = int(ceilDiv(plane.width(), 8));
+    int blocks_y = int(ceilDiv(plane.height(), 8));
+    PlaneF32 recon(plane.width(), plane.height());
+    for (int by = 0; by < blocks_y; ++by) {
+        for (int bx = 0; bx < blocks_x; ++bx) {
+            int qp = qp_of(bx, by);
+            Block8x8 spatial = extractBlock(plane, bx, by);
+            QuantBlock levels = quantize(forwardDct8x8(spatial), qp);
+            writeBlock(levels, writer);
+            Block8x8 rec = inverseDct8x8(dequantize(levels, qp));
+            depositBlock(recon, rec, bx, by);
+        }
+    }
+    return recon;
+}
+
+template <typename QpOf>
+PlaneF32
+decodeBlocks(Size size, ByteReader &reader, QpOf qp_of)
+{
+    int blocks_x = int(ceilDiv(size.width, 8));
+    int blocks_y = int(ceilDiv(size.height, 8));
+    PlaneF32 out(size.width, size.height);
+    for (int by = 0; by < blocks_y; ++by) {
+        for (int bx = 0; bx < blocks_x; ++bx) {
+            QuantBlock levels = readBlock(reader);
+            Block8x8 rec =
+                inverseDct8x8(dequantize(levels, qp_of(bx, by)));
+            depositBlock(out, rec, bx, by);
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+PlaneF32
+encodePlane(const PlaneF32 &plane, int qp, ByteWriter &writer)
+{
+    return encodeBlocks(plane, writer, [qp](int, int) { return qp; });
+}
+
+PlaneF32
+decodePlane(Size size, int qp, ByteReader &reader)
+{
+    return decodeBlocks(size, reader, [qp](int, int) { return qp; });
+}
+
+PlaneF32
+encodePlaneRoi(const PlaneF32 &plane, int qp, int roi_qp,
+               const Rect &roi, ByteWriter &writer)
+{
+    return encodeBlocks(plane, writer, [&](int bx, int by) {
+        return blockInRoi(bx, by, roi) ? roi_qp : qp;
+    });
+}
+
+PlaneF32
+decodePlaneRoi(Size size, int qp, int roi_qp, const Rect &roi,
+               ByteReader &reader)
+{
+    return decodeBlocks(size, reader, [&](int bx, int by) {
+        return blockInRoi(bx, by, roi) ? roi_qp : qp;
+    });
+}
+
+} // namespace gssr

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Transform coding of whole planes: 8x8 DCT + quantization +
+ * zigzag/run-length entropy coding. Shared by the intra path (pixel
+ * planes, bias 128) and the inter path (signed residual planes).
+ */
+
+#ifndef GSSR_CODEC_PLANE_CODER_HH
+#define GSSR_CODEC_PLANE_CODER_HH
+
+#include "codec/bitstream.hh"
+#include "frame/plane.hh"
+
+namespace gssr
+{
+
+/**
+ * Encode @p plane into @p writer and return the reconstruction the
+ * decoder will produce (needed to keep the encoder's reference state
+ * drift-free). Planes whose dimensions are not multiples of 8 are
+ * edge-padded for coding.
+ *
+ * @param plane samples (pixels minus bias, or residuals).
+ * @param qp quantization parameter (>= 1).
+ */
+PlaneF32 encodePlane(const PlaneF32 &plane, int qp, ByteWriter &writer);
+
+/** Decode one plane of @p size coded with encodePlane at @p qp. */
+PlaneF32 decodePlane(Size size, int qp, ByteReader &reader);
+
+/**
+ * RoI-weighted variant (the related-work alternative of RoI-based
+ * *encoding*, e.g. Liu et al. TCSVT'15): blocks whose centre falls
+ * inside @p roi are quantized with @p roi_qp, the rest with @p qp.
+ * The same (qp, roi_qp, roi) must be passed to the decoder.
+ */
+PlaneF32 encodePlaneRoi(const PlaneF32 &plane, int qp, int roi_qp,
+                        const Rect &roi, ByteWriter &writer);
+
+/** Inverse of encodePlaneRoi. */
+PlaneF32 decodePlaneRoi(Size size, int qp, int roi_qp, const Rect &roi,
+                        ByteReader &reader);
+
+} // namespace gssr
+
+#endif // GSSR_CODEC_PLANE_CODER_HH

@@ -1,0 +1,67 @@
+#include "codec/rate_control.hh"
+
+#include <cmath>
+
+#include "common/mathutil.hh"
+
+namespace gssr
+{
+
+RateController::RateController(const RateControlConfig &config,
+                               int initial_qp)
+    : config_(config), qp_(initial_qp)
+{
+    GSSR_ASSERT(config_.target_mbps > 0.0, "target bitrate must be > 0");
+    GSSR_ASSERT(config_.min_qp >= 1 &&
+                    config_.min_qp <= config_.max_qp,
+                "invalid qp bounds");
+    qp_ = clamp(qp_, config_.min_qp, config_.max_qp);
+}
+
+void
+RateController::observeBytes(size_t frame_bytes)
+{
+    f64 bytes = f64(frame_bytes);
+    if (!has_observation_) {
+        // The first observation is usually an intra frame; amortize
+        // it as one frame of a typical GOP mix (intra ~2x inter).
+        smoothed_bytes_ = bytes * 0.6;
+        has_observation_ = true;
+        return;
+    }
+    smoothed_bytes_ = config_.smoothing * smoothed_bytes_ +
+                      (1.0 - config_.smoothing) * bytes;
+}
+
+f64
+RateController::observedMbps() const
+{
+    return smoothed_bytes_ * 8.0 * config_.fps / 1e6;
+}
+
+int
+RateController::qpForNextFrame(FrameType type)
+{
+    if (type != FrameType::Reference || !has_observation_)
+        return qp_;
+
+    f64 observed = observedMbps();
+    f64 high = config_.target_mbps * (1.0 + config_.dead_zone);
+    f64 low = config_.target_mbps * (1.0 - config_.dead_zone);
+    if (observed > high) {
+        // Bitrate scales roughly as 1/qp; step proportionally to the
+        // overshoot, at least one step.
+        f64 ratio = observed / config_.target_mbps;
+        int step = std::max(1, int(std::lround(f64(qp_) *
+                                               (ratio - 1.0) * 0.5)));
+        qp_ = clamp(qp_ + step, config_.min_qp, config_.max_qp);
+    } else if (observed < low) {
+        f64 ratio = config_.target_mbps / std::max(observed, 1e-6);
+        int step = std::max(1, int(std::lround(f64(qp_) *
+                                               (ratio - 1.0) * 0.25)));
+        qp_ = clamp(qp_ - step, config_.min_qp, config_.max_qp);
+    }
+    return qp_;
+}
+
+} // namespace gssr

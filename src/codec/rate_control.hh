@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Bitrate controller for the GOP encoder. Streaming servers pace
+ * their encoders to a target bitrate so the stream fits the channel;
+ * this controller adapts the quantization parameter (qp) from the
+ * observed compressed sizes using a multiplicative-increase /
+ * multiplicative-decrease rule with per-GOP granularity (qp changes
+ * only at reference frames, so a GOP is coded consistently).
+ */
+
+#ifndef GSSR_CODEC_RATE_CONTROL_HH
+#define GSSR_CODEC_RATE_CONTROL_HH
+
+#include "codec/codec.hh"
+
+namespace gssr
+{
+
+/** Rate controller configuration. */
+struct RateControlConfig
+{
+    /** Target stream bitrate (Mbit/s). */
+    f64 target_mbps = 40.0;
+
+    /** Stream frame rate used to convert bytes to bitrate. */
+    f64 fps = 60.0;
+
+    /** qp bounds. */
+    int min_qp = 4;
+    int max_qp = 48;
+
+    /** EWMA smoothing of the observed per-frame bytes. */
+    f64 smoothing = 0.9;
+
+    /**
+     * Dead zone around the target (fraction); inside it qp is left
+     * alone to avoid oscillation.
+     */
+    f64 dead_zone = 0.10;
+};
+
+/**
+ * Adaptive qp controller. Call observe() after each encoded frame
+ * and qpForNextFrame() before encoding the next one.
+ */
+class RateController
+{
+  public:
+    RateController(const RateControlConfig &config, int initial_qp);
+
+    /** Record the compressed size of an encoded frame. */
+    void observe(const EncodedFrame &frame)
+    {
+        observeBytes(frame.sizeBytes());
+    }
+
+    /** Record a compressed frame size directly. */
+    void observeBytes(size_t bytes);
+
+    /**
+     * qp to use for the frame of the given type. Adjustments are
+     * only applied at reference frames (GOP boundaries).
+     */
+    int qpForNextFrame(FrameType type);
+
+    /** Smoothed observed bitrate (Mbit/s). */
+    f64 observedMbps() const;
+
+    /** Current qp. */
+    int qp() const { return qp_; }
+
+    const RateControlConfig &config() const { return config_; }
+
+  private:
+    RateControlConfig config_;
+    int qp_;
+    f64 smoothed_bytes_ = 0.0;
+    bool has_observation_ = false;
+};
+
+} // namespace gssr
+
+#endif // GSSR_CODEC_RATE_CONTROL_HH

@@ -1,0 +1,18 @@
+#include "common/logging.hh"
+
+#include <cstdio>
+
+namespace gssr
+{
+namespace detail
+{
+
+void
+emit(const char *tag, const std::string &message)
+{
+    std::fprintf(stderr, "[%s] %s\n", tag, message.c_str());
+    std::fflush(stderr);
+}
+
+} // namespace detail
+} // namespace gssr

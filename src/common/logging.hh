@@ -1,0 +1,101 @@
+/**
+ * @file
+ * gem5-style status and error reporting helpers.
+ *
+ * fatal()  — unrecoverable user/configuration error; throws FatalError.
+ * panic()  — internal invariant violation (a bug); throws PanicError.
+ * warn()   — suspicious but non-fatal condition, printed to stderr.
+ * inform() — normal status message, printed to stderr.
+ *
+ * Exceptions (rather than abort/exit) keep the library embeddable and
+ * make error paths testable.
+ */
+
+#ifndef GSSR_COMMON_LOGGING_HH
+#define GSSR_COMMON_LOGGING_HH
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace gssr
+{
+
+/** Error signalling an invalid configuration or argument (user error). */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &what)
+        : std::runtime_error(what)
+    {}
+};
+
+/** Error signalling a broken internal invariant (library bug). */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &what)
+        : std::logic_error(what)
+    {}
+};
+
+namespace detail
+{
+
+/** Fold a pack of streamable values into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+void emit(const char *tag, const std::string &message);
+
+} // namespace detail
+
+/** Report an unrecoverable configuration/usage error. */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    throw FatalError(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Report a violated internal invariant. */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    throw PanicError(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Print a warning to stderr. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::emit("warn", detail::concat(std::forward<Args>(args)...));
+}
+
+/** Print a status message to stderr. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::emit("info", detail::concat(std::forward<Args>(args)...));
+}
+
+/** Throw a PanicError unless @p condition holds. */
+#define GSSR_ASSERT(condition, message)                                   \
+    do {                                                                  \
+        if (!(condition))                                                 \
+            ::gssr::panic("assertion failed: ", #condition, " — ",        \
+                          message);                                       \
+    } while (0)
+
+} // namespace gssr
+
+#endif // GSSR_COMMON_LOGGING_HH

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Small math helpers shared across modules: clamping, interpolation,
+ * 3-D vectors and 4x4 matrices for the renderer, and Gaussian weights
+ * for the RoI spatial-weighting stage.
+ */
+
+#ifndef GSSR_COMMON_MATHUTIL_HH
+#define GSSR_COMMON_MATHUTIL_HH
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/types.hh"
+
+namespace gssr
+{
+
+/** Clamp @p v into [lo, hi]. */
+template <typename T>
+constexpr T
+clamp(T v, T lo, T hi)
+{
+    return v < lo ? lo : (v > hi ? hi : v);
+}
+
+/** Linear interpolation between a (t=0) and b (t=1). */
+constexpr f64
+lerp(f64 a, f64 b, f64 t)
+{
+    return a + (b - a) * t;
+}
+
+/** Round-and-clamp a floating value into an 8-bit pixel channel. */
+inline u8
+toPixel(f64 v)
+{
+    return u8(clamp(i64(std::lround(v)), i64(0), i64(255)));
+}
+
+/** Integer ceiling division for non-negative operands. */
+constexpr i64
+ceilDiv(i64 a, i64 b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Unnormalized isotropic 2-D Gaussian centred at (cx, cy). */
+inline f64
+gaussian2d(f64 x, f64 y, f64 cx, f64 cy, f64 sigma)
+{
+    f64 dx = x - cx;
+    f64 dy = y - cy;
+    return std::exp(-(dx * dx + dy * dy) / (2.0 * sigma * sigma));
+}
+
+/** 3-component vector used by the renderer's geometry stages. */
+struct Vec3
+{
+    f64 x = 0.0;
+    f64 y = 0.0;
+    f64 z = 0.0;
+
+    Vec3 operator+(const Vec3 &o) const { return {x + o.x, y + o.y, z + o.z}; }
+    Vec3 operator-(const Vec3 &o) const { return {x - o.x, y - o.y, z - o.z}; }
+    Vec3 operator*(f64 s) const { return {x * s, y * s, z * s}; }
+
+    /** Dot product. */
+    f64 dot(const Vec3 &o) const { return x * o.x + y * o.y + z * o.z; }
+
+    /** Cross product. */
+    Vec3
+    cross(const Vec3 &o) const
+    {
+        return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+    }
+
+    /** Euclidean length. */
+    f64 length() const { return std::sqrt(dot(*this)); }
+
+    /** Unit-length copy (returns self when degenerate). */
+    Vec3
+    normalized() const
+    {
+        f64 len = length();
+        return len > 1e-12 ? *this * (1.0 / len) : *this;
+    }
+};
+
+/**
+ * Column-major 4x4 matrix; only the operations the rasterizer needs.
+ * Element (row, col) is at m[col * 4 + row].
+ */
+struct Mat4
+{
+    f64 m[16] = {};
+
+    /** Identity matrix. */
+    static Mat4
+    identity()
+    {
+        Mat4 r;
+        r.m[0] = r.m[5] = r.m[10] = r.m[15] = 1.0;
+        return r;
+    }
+
+    /** Translation matrix. */
+    static Mat4
+    translate(const Vec3 &t)
+    {
+        Mat4 r = identity();
+        r.m[12] = t.x;
+        r.m[13] = t.y;
+        r.m[14] = t.z;
+        return r;
+    }
+
+    /** Uniform or per-axis scale matrix. */
+    static Mat4
+    scale(const Vec3 &s)
+    {
+        Mat4 r = identity();
+        r.m[0] = s.x;
+        r.m[5] = s.y;
+        r.m[10] = s.z;
+        return r;
+    }
+
+    /** Rotation about the Y axis by @p radians. */
+    static Mat4
+    rotateY(f64 radians)
+    {
+        Mat4 r = identity();
+        f64 c = std::cos(radians), s = std::sin(radians);
+        r.m[0] = c;
+        r.m[2] = -s;
+        r.m[8] = s;
+        r.m[10] = c;
+        return r;
+    }
+
+    /** Rotation about the X axis by @p radians. */
+    static Mat4
+    rotateX(f64 radians)
+    {
+        Mat4 r = identity();
+        f64 c = std::cos(radians), s = std::sin(radians);
+        r.m[5] = c;
+        r.m[6] = s;
+        r.m[9] = -s;
+        r.m[10] = c;
+        return r;
+    }
+
+    Mat4
+    operator*(const Mat4 &o) const
+    {
+        Mat4 r;
+        for (int col = 0; col < 4; ++col) {
+            for (int row = 0; row < 4; ++row) {
+                f64 acc = 0.0;
+                for (int k = 0; k < 4; ++k)
+                    acc += m[k * 4 + row] * o.m[col * 4 + k];
+                r.m[col * 4 + row] = acc;
+            }
+        }
+        return r;
+    }
+
+    /** Transform a point (w component produced separately). */
+    Vec3
+    transformPoint(const Vec3 &p, f64 &w_out) const
+    {
+        Vec3 r;
+        r.x = m[0] * p.x + m[4] * p.y + m[8] * p.z + m[12];
+        r.y = m[1] * p.x + m[5] * p.y + m[9] * p.z + m[13];
+        r.z = m[2] * p.x + m[6] * p.y + m[10] * p.z + m[14];
+        w_out = m[3] * p.x + m[7] * p.y + m[11] * p.z + m[15];
+        return r;
+    }
+};
+
+} // namespace gssr
+
+#endif // GSSR_COMMON_MATHUTIL_HH

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All stochastic behaviour in GameStreamSR (scene generation, network
+ * loss, NN weight init, ...) flows through Rng so that a single seed
+ * reproduces an entire experiment bit-for-bit. The generator is
+ * xoshiro256**, seeded via SplitMix64, matching the reference
+ * implementations by Blackman & Vigna.
+ */
+
+#ifndef GSSR_COMMON_RNG_HH
+#define GSSR_COMMON_RNG_HH
+
+#include <array>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace gssr
+{
+
+/** One step of the SplitMix64 generator; used for seeding. */
+inline u64
+splitMix64(u64 &state)
+{
+    u64 z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/**
+ * Deterministic xoshiro256** generator with convenience distributions.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded via SplitMix64). */
+    explicit Rng(u64 seed = 0x6a09e667f3bcc908ULL)
+    {
+        u64 sm = seed;
+        for (auto &word : state_)
+            word = splitMix64(sm);
+    }
+
+    /** Next raw 64-bit output. */
+    u64
+    next()
+    {
+        u64 result = rotl(state_[1] * 5, 7) * 9;
+        u64 t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform double in [0, 1). */
+    f64
+    uniform()
+    {
+        return f64(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform double in [lo, hi). */
+    f64
+    uniform(f64 lo, f64 hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. Requires lo <= hi. */
+    int
+    uniformInt(int lo, int hi)
+    {
+        GSSR_ASSERT(lo <= hi, "uniformInt bounds inverted");
+        u64 span = u64(i64(hi) - i64(lo)) + 1;
+        return int(i64(lo) + i64(next() % span));
+    }
+
+    /** Standard normal via Box-Muller (one value per call). */
+    f64
+    normal()
+    {
+        if (have_spare_) {
+            have_spare_ = false;
+            return spare_;
+        }
+        f64 u1 = 0.0;
+        do {
+            u1 = uniform();
+        } while (u1 <= 1e-300);
+        f64 u2 = uniform();
+        f64 mag = std::sqrt(-2.0 * std::log(u1));
+        spare_ = mag * std::sin(2.0 * M_PI * u2);
+        have_spare_ = true;
+        return mag * std::cos(2.0 * M_PI * u2);
+    }
+
+    /** Normal with explicit mean and standard deviation. */
+    f64
+    normal(f64 mean, f64 stddev)
+    {
+        return mean + stddev * normal();
+    }
+
+    /** Bernoulli trial with probability @p p of returning true. */
+    bool
+    bernoulli(f64 p)
+    {
+        return uniform() < p;
+    }
+
+    /** Derive an independent child generator (for parallel streams). */
+    Rng
+    fork()
+    {
+        return Rng(next());
+    }
+
+  private:
+    static u64
+    rotl(u64 x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::array<u64, 4> state_{};
+    bool have_spare_ = false;
+    f64 spare_ = 0.0;
+};
+
+} // namespace gssr
+
+#endif // GSSR_COMMON_RNG_HH

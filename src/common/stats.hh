@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Streaming statistics helpers used by the benchmark harness and the
+ * pipeline accounting: running mean/variance (Welford), min/max, and
+ * percentile extraction over collected samples.
+ */
+
+#ifndef GSSR_COMMON_STATS_HH
+#define GSSR_COMMON_STATS_HH
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace gssr
+{
+
+/**
+ * Accumulates scalar samples and exposes summary statistics.
+ * Samples are retained so percentiles can be computed exactly.
+ */
+class SampleStats
+{
+  public:
+    /** Add one sample. */
+    void
+    add(f64 value)
+    {
+        samples_.push_back(value);
+        count_ += 1;
+        f64 delta = value - mean_;
+        mean_ += delta / f64(count_);
+        m2_ += delta * (value - mean_);
+        min_ = std::min(min_, value);
+        max_ = std::max(max_, value);
+    }
+
+    /** Number of samples seen. */
+    i64 count() const { return count_; }
+
+    /** Arithmetic mean (0 when empty). */
+    f64 mean() const { return count_ ? mean_ : 0.0; }
+
+    /** Population variance (0 when fewer than two samples). */
+    f64
+    variance() const
+    {
+        return count_ > 1 ? m2_ / f64(count_) : 0.0;
+    }
+
+    /** Population standard deviation. */
+    f64 stddev() const { return std::sqrt(variance()); }
+
+    /** Smallest sample (+inf when empty). */
+    f64 min() const { return min_; }
+
+    /** Largest sample (-inf when empty). */
+    f64 max() const { return max_; }
+
+    /** Sum of all samples. */
+    f64 sum() const { return mean_ * f64(count_); }
+
+    /**
+     * Exact percentile via nearest-rank on the sorted samples.
+     * @param p percentile in [0, 100].
+     */
+    f64
+    percentile(f64 p) const
+    {
+        GSSR_ASSERT(!samples_.empty(), "percentile of empty stats");
+        GSSR_ASSERT(p >= 0.0 && p <= 100.0, "percentile out of range");
+        std::vector<f64> sorted = samples_;
+        std::sort(sorted.begin(), sorted.end());
+        f64 rank = p / 100.0 * f64(sorted.size() - 1);
+        auto lo = size_t(std::floor(rank));
+        auto hi = size_t(std::ceil(rank));
+        f64 frac = rank - f64(lo);
+        return lerpSample(sorted[lo], sorted[hi], frac);
+    }
+
+    /** Access the raw samples in insertion order. */
+    const std::vector<f64> &samples() const { return samples_; }
+
+  private:
+    static f64
+    lerpSample(f64 a, f64 b, f64 t)
+    {
+        return a + (b - a) * t;
+    }
+
+    std::vector<f64> samples_;
+    i64 count_ = 0;
+    f64 mean_ = 0.0;
+    f64 m2_ = 0.0;
+    f64 min_ = std::numeric_limits<f64>::infinity();
+    f64 max_ = -std::numeric_limits<f64>::infinity();
+};
+
+} // namespace gssr
+
+#endif // GSSR_COMMON_STATS_HH

@@ -1,0 +1,91 @@
+#include "common/table.hh"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace gssr
+{
+
+TableWriter::TableWriter(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    GSSR_ASSERT(!headers_.empty(), "table needs at least one column");
+}
+
+void
+TableWriter::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != headers_.size()) {
+        fatal("table row has ", cells.size(), " cells, expected ",
+              headers_.size());
+    }
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TableWriter::num(double value, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << value;
+    return oss.str();
+}
+
+void
+TableWriter::renderText(std::ostream &os) const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            os << "  " << std::left << std::setw(int(widths[c]))
+               << row[c];
+        }
+        os << "\n";
+    };
+
+    emit_row(headers_);
+    size_t total = 0;
+    for (size_t w : widths)
+        total += w + 2;
+    os << "  " << std::string(total > 2 ? total - 2 : 0, '-') << "\n";
+    for (const auto &row : rows_)
+        emit_row(row);
+}
+
+void
+TableWriter::renderCsv(std::ostream &os) const
+{
+    auto quote = [](const std::string &cell) {
+        if (cell.find_first_of(",\"\n") == std::string::npos)
+            return cell;
+        std::string out = "\"";
+        for (char ch : cell) {
+            if (ch == '"')
+                out += '"';
+            out += ch;
+        }
+        out += '"';
+        return out;
+    };
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            if (c)
+                os << ",";
+            os << quote(row[c]);
+        }
+        os << "\n";
+    };
+    emit_row(headers_);
+    for (const auto &row : rows_)
+        emit_row(row);
+}
+
+} // namespace gssr

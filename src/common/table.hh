@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Text table and CSV emission for the benchmark harness. Every bench
+ * binary prints the rows/series of one paper table or figure through
+ * TableWriter so the output format is uniform and diffable.
+ */
+
+#ifndef GSSR_COMMON_TABLE_HH
+#define GSSR_COMMON_TABLE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace gssr
+{
+
+/**
+ * Collects rows of string cells and renders them either as an aligned
+ * ASCII table (for the console) or as CSV (for plotting scripts).
+ */
+class TableWriter
+{
+  public:
+    /** Construct with column headers. */
+    explicit TableWriter(std::vector<std::string> headers);
+
+    /** Append a fully formed row; must match the header arity. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Format a double with @p precision digits after the point. */
+    static std::string num(double value, int precision = 2);
+
+    /** Render as an aligned ASCII table. */
+    void renderText(std::ostream &os) const;
+
+    /** Render as CSV (RFC-4180-ish, minimal quoting). */
+    void renderCsv(std::ostream &os) const;
+
+    /** Number of data rows added so far. */
+    size_t rowCount() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace gssr
+
+#endif // GSSR_COMMON_TABLE_HH

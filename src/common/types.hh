@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Fundamental scalar type aliases and small geometry value types used
+ * across every GameStreamSR module.
+ */
+
+#ifndef GSSR_COMMON_TYPES_HH
+#define GSSR_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <ostream>
+
+namespace gssr
+{
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+using f32 = float;
+using f64 = double;
+
+/**
+ * Integer width/height pair. Used for frame, window and display sizes.
+ */
+struct Size
+{
+    int width = 0;
+    int height = 0;
+
+    /** Total number of pixels covered by this size. */
+    i64 area() const { return i64(width) * i64(height); }
+
+    bool operator==(const Size &o) const = default;
+};
+
+/**
+ * Integer pixel position (top-left origin, x to the right, y down).
+ */
+struct Point
+{
+    int x = 0;
+    int y = 0;
+
+    bool operator==(const Point &o) const = default;
+};
+
+/**
+ * Axis-aligned integer rectangle in pixel space. The rectangle spans
+ * [x, x+width) x [y, y+height) with a top-left origin.
+ */
+struct Rect
+{
+    int x = 0;
+    int y = 0;
+    int width = 0;
+    int height = 0;
+
+    /** Number of pixels inside the rectangle. */
+    i64 area() const { return i64(width) * i64(height); }
+
+    /** True if the rectangle covers no pixels. */
+    bool empty() const { return width <= 0 || height <= 0; }
+
+    /** Exclusive right edge. */
+    int right() const { return x + width; }
+
+    /** Exclusive bottom edge. */
+    int bottom() const { return y + height; }
+
+    /** True if pixel (px, py) lies inside the rectangle. */
+    bool
+    contains(int px, int py) const
+    {
+        return px >= x && px < right() && py >= y && py < bottom();
+    }
+
+    /** True if @p inner lies fully within this rectangle. */
+    bool
+    contains(const Rect &inner) const
+    {
+        return inner.x >= x && inner.y >= y &&
+               inner.right() <= right() && inner.bottom() <= bottom();
+    }
+
+    /** Intersection of two rectangles (empty if disjoint). */
+    Rect
+    intersect(const Rect &o) const
+    {
+        int nx = x > o.x ? x : o.x;
+        int ny = y > o.y ? y : o.y;
+        int nr = right() < o.right() ? right() : o.right();
+        int nb = bottom() < o.bottom() ? bottom() : o.bottom();
+        if (nr <= nx || nb <= ny)
+            return Rect{};
+        return Rect{nx, ny, nr - nx, nb - ny};
+    }
+
+    bool operator==(const Rect &o) const = default;
+};
+
+inline std::ostream &
+operator<<(std::ostream &os, const Size &s)
+{
+    return os << s.width << "x" << s.height;
+}
+
+inline std::ostream &
+operator<<(std::ostream &os, const Point &p)
+{
+    return os << "(" << p.x << "," << p.y << ")";
+}
+
+inline std::ostream &
+operator<<(std::ostream &os, const Rect &r)
+{
+    return os << "[" << r.x << "," << r.y << " "
+              << r.width << "x" << r.height << "]";
+}
+
+} // namespace gssr
+
+#endif // GSSR_COMMON_TYPES_HH

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Analytical latency/energy models for the mobile SoC components and
+ * the streaming server. These are the reproduction's stand-in for
+ * real silicon (Snapdragon 8 Gen 1 NPU, Tensor G2 TPU, hardware
+ * decoders, ...): all image/DNN/codec *computation* in this library
+ * executes for real on the host, while all reported *latencies and
+ * energies* come from these models, calibrated at the operating
+ * points the paper publishes (see device/profiles.cc for the anchor
+ * table). This keeps every figure reproducible on any machine.
+ */
+
+#ifndef GSSR_DEVICE_MODELS_HH
+#define GSSR_DEVICE_MODELS_HH
+
+#include <string>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace gssr
+{
+
+/**
+ * Neural processing unit (NPU / edge-TPU) model.
+ *
+ * latency = overhead + macs * (1 + area/area_knee) / macs_per_ms
+ *
+ * The (1 + area/area_knee) term models the memory-bandwidth
+ * degradation for large feature maps: big inputs spill activations
+ * to DRAM, so effective throughput drops with input area. This is
+ * what makes full-frame 720p EDSR disproportionally slower than
+ * RoI-sized inputs (paper Fig. 3b).
+ */
+struct NpuModel
+{
+    f64 overhead_ms = 1.0;      ///< invocation/dispatch cost
+    f64 macs_per_ms = 8.5e9;    ///< peak effective MAC throughput
+    f64 area_knee_px = 2.0e6;   ///< memory-bound degradation knee
+    f64 active_power_w = 2.3;   ///< power while running
+
+    /** Latency of a DNN invocation of @p macs on an @p area_px input. */
+    f64
+    latencyMs(i64 macs, i64 area_px) const
+    {
+        GSSR_ASSERT(macs >= 0 && area_px >= 0, "negative NPU work");
+        f64 degrade = 1.0 + f64(area_px) / area_knee_px;
+        return overhead_ms + f64(macs) * degrade / macs_per_ms;
+    }
+
+    /** Energy in millijoules for a run of @p latency_ms. */
+    f64 energyMj(f64 latency_ms) const
+    {
+        return latency_ms * active_power_w;
+    }
+};
+
+/** Mobile GPU model (interpolation, blits, merges). */
+struct GpuModel
+{
+    f64 overhead_ms = 0.15;   ///< kernel launch cost
+    f64 ops_per_ms = 3.5e7;   ///< arithmetic op throughput
+    f64 active_power_w = 1.5;
+
+    f64
+    latencyMs(i64 ops) const
+    {
+        GSSR_ASSERT(ops >= 0, "negative GPU work");
+        return overhead_ms + f64(ops) / ops_per_ms;
+    }
+
+    f64 energyMj(f64 latency_ms) const
+    {
+        return latency_ms * active_power_w;
+    }
+};
+
+/** Mobile CPU model (software decode, NEMO's interpolation path). */
+struct CpuModel
+{
+    f64 overhead_ms = 0.05;
+    f64 ops_per_ms = 2.9e6;   ///< scalar/NEON arithmetic throughput
+    f64 active_power_w = 2.6;
+
+    f64
+    latencyMs(i64 ops) const
+    {
+        GSSR_ASSERT(ops >= 0, "negative CPU work");
+        return overhead_ms + f64(ops) / ops_per_ms;
+    }
+
+    f64 energyMj(f64 latency_ms) const
+    {
+        return latency_ms * active_power_w;
+    }
+};
+
+/** Fixed-function hardware video decoder. */
+struct HwDecoderModel
+{
+    f64 base_ms = 0.4;
+    f64 ms_per_mpixel = 1.6;
+    f64 active_power_w = 1.1; ///< includes DRAM traffic share
+
+    /** Latency for decoding a frame of @p pixels. */
+    f64
+    latencyMs(i64 pixels) const
+    {
+        return base_ms + f64(pixels) / 1e6 * ms_per_mpixel;
+    }
+
+    f64 energyMj(f64 latency_ms) const
+    {
+        return latency_ms * active_power_w;
+    }
+};
+
+/**
+ * Software video decoder on the CPU (libvpx-style). NEMO requires
+ * this binding because it needs decoder-internal MVs/residuals.
+ */
+struct SwDecoderModel
+{
+    f64 base_ms = 1.0;
+    f64 ms_per_mpixel = 13.0;
+    f64 active_power_w = 2.8;
+
+    f64
+    latencyMs(i64 pixels) const
+    {
+        return base_ms + f64(pixels) / 1e6 * ms_per_mpixel;
+    }
+
+    f64 energyMj(f64 latency_ms) const
+    {
+        return latency_ms * active_power_w;
+    }
+};
+
+/** Display pipeline (composition + scanout; not the panel backlight). */
+struct DisplayModel
+{
+    f64 processing_power_w = 0.15;
+    f64 queue_ms = 10.0;      ///< BufferQueue/compositor latency
+    f64 vsync_wait_ms = 8.3;  ///< mean wait for the next 60 Hz slot
+    f64 scanout_ms = 8.0;     ///< until the frame is fully emitted
+
+    /** Display-stage contribution to motion-to-photon latency. */
+    f64
+    latencyMs() const
+    {
+        return queue_ms + vsync_wait_ms + scanout_ms;
+    }
+
+    /** Display-processing energy for one frame period. */
+    f64 energyMjPerFrame(f64 frame_period_ms) const
+    {
+        return processing_power_w * frame_period_ms;
+    }
+};
+
+/** Wireless radio (receive path). */
+struct RadioModel
+{
+    f64 active_power_w = 0.9;
+    f64 energy_mj_per_mb = 90.0;
+
+    /** Energy to receive @p bytes. */
+    f64 energyMj(i64 bytes) const
+    {
+        return f64(bytes) / 1e6 * energy_mj_per_mb;
+    }
+};
+
+} // namespace gssr
+
+#endif // GSSR_DEVICE_MODELS_HH

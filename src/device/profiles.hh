@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Complete device profiles: the two commodity mobile clients of the
+ * paper's evaluation (Samsung Galaxy Tab S8, Google Pixel 7 Pro) and
+ * the gaming-workstation streaming server. Each profile bundles the
+ * component models of device/models.hh plus display geometry (needed
+ * by the foveal RoI sizing of Sec. IV-B1).
+ */
+
+#ifndef GSSR_DEVICE_PROFILES_HH
+#define GSSR_DEVICE_PROFILES_HH
+
+#include "device/models.hh"
+
+namespace gssr
+{
+
+/** One mobile client device. */
+struct DeviceProfile
+{
+    std::string name;
+
+    /** Panel pixel density (pixels per inch). */
+    f64 display_ppi = 274.0;
+
+    /** Native panel resolution. */
+    Size display_resolution{2560, 1600};
+
+    /**
+     * Constant device power while the streaming app runs (panel
+     * backlight, SoC fabric, OS) — identical across designs, charged
+     * per wall-clock frame period. Included in overall energy
+     * (Fig. 11) but not in the processing-stage breakdown (Fig. 12),
+     * matching how the paper reports the two.
+     */
+    f64 base_power_w = 2.6;
+
+    /**
+     * Extra power of front-camera software eye tracking — the
+     * direct-approach alternative the paper rejects (Sec. III-A,
+     * measured +2.8 W on a Pixel 7 Pro).
+     */
+    f64 camera_eye_tracking_w = 2.8;
+
+    NpuModel npu;
+    GpuModel gpu;
+    CpuModel cpu;
+    HwDecoderModel hw_decoder;
+    SwDecoderModel sw_decoder;
+    DisplayModel display;
+    RadioModel radio;
+
+    /** Samsung Galaxy Tab S8 (Snapdragon 8 Gen 1 + Hexagon NPU). */
+    static DeviceProfile galaxyTabS8();
+
+    /** Google Pixel 7 Pro (Tensor G2 + edge TPU). */
+    static DeviceProfile pixel7Pro();
+};
+
+/** The cloud-gaming server (Ryzen 9 5900X + GTX 3080 Ti class). */
+struct ServerProfile
+{
+    std::string name = "gaming-workstation";
+
+    /** Input event capture/processing latency (ms). */
+    f64 input_capture_ms = 1.5;
+
+    /** Game logic simulation per tick (ms). */
+    f64 game_logic_ms = 4.0;
+
+    /** Frame render time at 720p (ms). */
+    f64 render_720p_ms = 6.0;
+
+    /** Frame render time at 1440p (ms). */
+    f64 render_1440p_ms = 9.2;
+
+    /** Hardware (NVENC-class) encode time per megapixel (ms). */
+    f64 encode_ms_per_mpixel = 2.6;
+
+    /**
+     * Server-GPU compute-shader throughput available for depth-map
+     * processing / RoI search (ops per ms). The RoI detector's cost
+     * model divides its op count by this.
+     */
+    f64 gpu_ops_per_ms = 2.2e9;
+
+    /**
+     * GPU utilization fractions the paper reports for rendering +
+     * encoding at the two resolutions (79 % at 1440p vs 52 % at
+     * 720p on a GTX 3080 Ti) — exposed for the motivation bench.
+     */
+    f64 gpu_utilization_1440p = 0.79;
+    f64 gpu_utilization_720p = 0.52;
+
+    /** Encode latency for a frame of @p pixels. */
+    f64 encodeLatencyMs(i64 pixels) const
+    {
+        return f64(pixels) / 1e6 * encode_ms_per_mpixel;
+    }
+
+    static ServerProfile gamingWorkstation();
+};
+
+} // namespace gssr
+
+#endif // GSSR_DEVICE_PROFILES_HH

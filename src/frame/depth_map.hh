@@ -1,0 +1,78 @@
+/**
+ * @file
+ * DepthMap: the per-pixel depth buffer captured from the rendering
+ * pipeline (Sec. III-B of the paper). Depth values are normalized to
+ * [0, 1] where 0 is the near plane (closest to the player) and 1 is
+ * the far plane / background.
+ */
+
+#ifndef GSSR_FRAME_DEPTH_MAP_HH
+#define GSSR_FRAME_DEPTH_MAP_HH
+
+#include "frame/plane.hh"
+
+namespace gssr
+{
+
+/**
+ * Normalized depth buffer. Wraps a PlaneF32 and adds the conventions
+ * the RoI pipeline relies on: nearness() converts depth to the
+ * paper's "darkness intensity" (near == large), and toGrayscale()
+ * renders the Fig. 5-style visualization (near == dark).
+ */
+class DepthMap
+{
+  public:
+    DepthMap() = default;
+
+    /** Depth map initialized to the far plane (1.0). */
+    DepthMap(int width, int height) : depth_(width, height, 1.0f) {}
+
+    explicit DepthMap(Size size) : DepthMap(size.width, size.height) {}
+
+    /** Wrap an existing plane of normalized depth values. */
+    explicit DepthMap(PlaneF32 plane) : depth_(std::move(plane)) {}
+
+    int width() const { return depth_.width(); }
+    int height() const { return depth_.height(); }
+    Size size() const { return depth_.size(); }
+    bool empty() const { return depth_.empty(); }
+
+    /** Normalized depth at (x, y); 0 = near plane, 1 = far plane. */
+    f32 &at(int x, int y) { return depth_.at(x, y); }
+    f32 at(int x, int y) const { return depth_.at(x, y); }
+
+    /** Underlying plane. */
+    PlaneF32 &plane() { return depth_; }
+    const PlaneF32 &plane() const { return depth_; }
+
+    /**
+     * Nearness of the pixel to the camera in [0, 1]; the quantity the
+     * RoI detector maximizes (1 - depth).
+     */
+    f32 nearness(int x, int y) const { return 1.0f - depth_.at(x, y); }
+
+    /**
+     * Grayscale rendering of the depth buffer in the paper's Fig. 5
+     * convention: near pixels are dark, far pixels are light.
+     */
+    PlaneU8
+    toGrayscale() const
+    {
+        PlaneU8 out(width(), height());
+        for (int y = 0; y < height(); ++y)
+            for (int x = 0; x < width(); ++x)
+                out.at(x, y) = u8(depth_.at(x, y) * 255.0f + 0.5f);
+        return out;
+    }
+
+    /** Crop a sub-rectangle of the depth buffer. */
+    DepthMap crop(const Rect &r) const { return DepthMap(depth_.crop(r)); }
+
+  private:
+    PlaneF32 depth_;
+};
+
+} // namespace gssr
+
+#endif // GSSR_FRAME_DEPTH_MAP_HH

@@ -1,0 +1,68 @@
+#include "frame/downsample.hh"
+
+#include "common/logging.hh"
+
+namespace gssr
+{
+
+namespace
+{
+
+template <typename T, typename Acc>
+Plane<T>
+downsamplePlane(const Plane<T> &in, int k)
+{
+    GSSR_ASSERT(k >= 1, "downsample factor must be >= 1");
+    GSSR_ASSERT(in.width() % k == 0 && in.height() % k == 0,
+                "plane dimensions must be divisible by the factor");
+    if (k == 1)
+        return in;
+    Plane<T> out(in.width() / k, in.height() / k);
+    const Acc norm = Acc(k) * Acc(k);
+    for (int y = 0; y < out.height(); ++y) {
+        for (int x = 0; x < out.width(); ++x) {
+            Acc acc = 0;
+            for (int dy = 0; dy < k; ++dy)
+                for (int dx = 0; dx < k; ++dx)
+                    acc += Acc(in.at(x * k + dx, y * k + dy));
+            if constexpr (std::is_integral_v<T>) {
+                out.at(x, y) = T((acc + norm / 2) / norm);
+            } else {
+                out.at(x, y) = T(acc / norm);
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+PlaneU8
+boxDownsample(const PlaneU8 &in, int k)
+{
+    return downsamplePlane<u8, u32>(in, k);
+}
+
+PlaneF32
+boxDownsample(const PlaneF32 &in, int k)
+{
+    return downsamplePlane<f32, f64>(in, k);
+}
+
+ColorImage
+boxDownsample(const ColorImage &in, int k)
+{
+    ColorImage out;
+    out.r() = boxDownsample(in.r(), k);
+    out.g() = boxDownsample(in.g(), k);
+    out.b() = boxDownsample(in.b(), k);
+    return out;
+}
+
+DepthMap
+boxDownsample(const DepthMap &in, int k)
+{
+    return DepthMap(boxDownsample(in.plane(), k));
+}
+
+} // namespace gssr

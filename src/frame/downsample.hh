@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Integer box-filter downsampling. Rendering at k x resolution and
+ * box-downsampling is exactly k x k supersampling anti-aliasing —
+ * the streaming server renders its low-resolution frames this way
+ * (real game engines render anti-aliased frames; a point-sampled
+ * low-resolution rasterization would bake aliasing noise into the
+ * stream that no upscaler could undo).
+ */
+
+#ifndef GSSR_FRAME_DOWNSAMPLE_HH
+#define GSSR_FRAME_DOWNSAMPLE_HH
+
+#include "frame/depth_map.hh"
+#include "frame/image.hh"
+
+namespace gssr
+{
+
+/** Box-downsample a u8 plane by integer factor @p k (dims divisible). */
+PlaneU8 boxDownsample(const PlaneU8 &in, int k);
+
+/** Box-downsample a float plane by integer factor @p k. */
+PlaneF32 boxDownsample(const PlaneF32 &in, int k);
+
+/** Box-downsample all three channels. */
+ColorImage boxDownsample(const ColorImage &in, int k);
+
+/** Box-downsample a depth buffer (average depth per block). */
+DepthMap boxDownsample(const DepthMap &in, int k);
+
+} // namespace gssr
+
+#endif // GSSR_FRAME_DOWNSAMPLE_HH

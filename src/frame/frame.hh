@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Frame: one rendered game frame flowing through the streaming
+ * pipeline — color, the depth buffer captured server-side, and the
+ * stream metadata (index, GOP position, frame type).
+ */
+
+#ifndef GSSR_FRAME_FRAME_HH
+#define GSSR_FRAME_FRAME_HH
+
+#include "frame/depth_map.hh"
+#include "frame/image.hh"
+
+namespace gssr
+{
+
+/** Position of a frame within its GOP. */
+enum class FrameType
+{
+    /** Reference/key frame: intra coded, anchors the GOP. */
+    Reference,
+    /** Non-reference frame: predicted from the previous frame. */
+    NonReference,
+};
+
+/** Human-readable frame type name. */
+inline const char *
+frameTypeName(FrameType type)
+{
+    return type == FrameType::Reference ? "reference" : "non-reference";
+}
+
+/**
+ * One game frame plus the server-side metadata the GameStreamSR
+ * pipeline attaches to it.
+ */
+struct Frame
+{
+    /** Rendered color data (framebuffer contents). */
+    ColorImage color;
+
+    /** Depth buffer captured during rendering (empty client-side). */
+    DepthMap depth;
+
+    /** Global frame index within the stream (0-based). */
+    i64 index = 0;
+
+    /** Reference or non-reference, set by the GOP structure. */
+    FrameType type = FrameType::Reference;
+
+    /** Simulation timestamp of the user input that caused the frame. */
+    f64 input_time_ms = 0.0;
+
+    int width() const { return color.width(); }
+    int height() const { return color.height(); }
+    Size size() const { return color.size(); }
+};
+
+} // namespace gssr
+
+#endif // GSSR_FRAME_FRAME_HH

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * ColorImage: a three-plane (R, G, B) 8-bit image, plus grayscale
+ * conversion. The renderer produces ColorImages; the codec converts
+ * them to YUV 4:2:0; the SR backends upscale them.
+ */
+
+#ifndef GSSR_FRAME_IMAGE_HH
+#define GSSR_FRAME_IMAGE_HH
+
+#include "frame/plane.hh"
+
+namespace gssr
+{
+
+/** Planar 8-bit RGB image. */
+class ColorImage
+{
+  public:
+    ColorImage() = default;
+
+    /** Image of @p width x @p height pixels, initialized to black. */
+    ColorImage(int width, int height)
+        : r_(width, height), g_(width, height), b_(width, height)
+    {}
+
+    explicit ColorImage(Size size) : ColorImage(size.width, size.height) {}
+
+    int width() const { return r_.width(); }
+    int height() const { return r_.height(); }
+    Size size() const { return r_.size(); }
+    bool empty() const { return r_.empty(); }
+
+    PlaneU8 &r() { return r_; }
+    PlaneU8 &g() { return g_; }
+    PlaneU8 &b() { return b_; }
+    const PlaneU8 &r() const { return r_; }
+    const PlaneU8 &g() const { return g_; }
+    const PlaneU8 &b() const { return b_; }
+
+    /** Access one channel by index (0=R, 1=G, 2=B). */
+    PlaneU8 &
+    channel(int c)
+    {
+        GSSR_ASSERT(c >= 0 && c < 3, "bad channel index");
+        return c == 0 ? r_ : (c == 1 ? g_ : b_);
+    }
+
+    const PlaneU8 &
+    channel(int c) const
+    {
+        GSSR_ASSERT(c >= 0 && c < 3, "bad channel index");
+        return c == 0 ? r_ : (c == 1 ? g_ : b_);
+    }
+
+    /** Set pixel (x, y) to the given RGB triple. */
+    void
+    setPixel(int x, int y, u8 red, u8 green, u8 blue)
+    {
+        r_.at(x, y) = red;
+        g_.at(x, y) = green;
+        b_.at(x, y) = blue;
+    }
+
+    /** Crop a rectangle out of all three channels. */
+    ColorImage
+    crop(const Rect &rect) const
+    {
+        ColorImage out;
+        out.r_ = r_.crop(rect);
+        out.g_ = g_.crop(rect);
+        out.b_ = b_.crop(rect);
+        return out;
+    }
+
+    /** Paste @p src at (x, y) in all three channels. */
+    void
+    blit(const ColorImage &src, int x, int y)
+    {
+        r_.blit(src.r_, x, y);
+        g_.blit(src.g_, x, y);
+        b_.blit(src.b_, x, y);
+    }
+
+    /** Fill the whole image with one RGB color. */
+    void
+    fill(u8 red, u8 green, u8 blue)
+    {
+        r_.fill(red);
+        g_.fill(green);
+        b_.fill(blue);
+    }
+
+    bool
+    operator==(const ColorImage &o) const
+    {
+        return r_ == o.r_ && g_ == o.g_ && b_ == o.b_;
+    }
+
+  private:
+    PlaneU8 r_;
+    PlaneU8 g_;
+    PlaneU8 b_;
+};
+
+/** BT.601 luma of one RGB triple (full range, rounded). */
+inline u8
+lumaOf(u8 r, u8 g, u8 b)
+{
+    f64 y = 0.299 * r + 0.587 * g + 0.114 * b;
+    return u8(y + 0.5);
+}
+
+/** Convert an RGB image to a single-plane BT.601 luma image. */
+inline PlaneU8
+toGrayscale(const ColorImage &img)
+{
+    PlaneU8 out(img.width(), img.height());
+    for (int y = 0; y < img.height(); ++y) {
+        for (int x = 0; x < img.width(); ++x) {
+            out.at(x, y) =
+                lumaOf(img.r().at(x, y), img.g().at(x, y),
+                       img.b().at(x, y));
+        }
+    }
+    return out;
+}
+
+} // namespace gssr
+
+#endif // GSSR_FRAME_IMAGE_HH

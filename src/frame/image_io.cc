@@ -1,0 +1,148 @@
+#include "frame/image_io.hh"
+
+#include <fstream>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace gssr
+{
+
+namespace
+{
+
+/** Skip whitespace and '#' comments in a PNM header. */
+void
+skipPnmSpace(std::istream &is)
+{
+    while (true) {
+        int ch = is.peek();
+        if (ch == '#') {
+            std::string line;
+            std::getline(is, line);
+        } else if (std::isspace(ch)) {
+            is.get();
+        } else {
+            return;
+        }
+    }
+}
+
+int
+readPnmInt(std::istream &is, const std::string &path)
+{
+    skipPnmSpace(is);
+    int value = 0;
+    if (!(is >> value))
+        fatal("malformed PNM header in ", path);
+    return value;
+}
+
+std::ifstream
+openForRead(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        fatal("cannot open ", path, " for reading");
+    return is;
+}
+
+std::ofstream
+openForWrite(const std::string &path)
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        fatal("cannot open ", path, " for writing");
+    return os;
+}
+
+} // namespace
+
+void
+writePpm(const std::string &path, const ColorImage &img)
+{
+    auto os = openForWrite(path);
+    os << "P6\n" << img.width() << " " << img.height() << "\n255\n";
+    std::vector<u8> row(size_t(img.width()) * 3);
+    for (int y = 0; y < img.height(); ++y) {
+        for (int x = 0; x < img.width(); ++x) {
+            row[size_t(x) * 3 + 0] = img.r().at(x, y);
+            row[size_t(x) * 3 + 1] = img.g().at(x, y);
+            row[size_t(x) * 3 + 2] = img.b().at(x, y);
+        }
+        os.write(reinterpret_cast<const char *>(row.data()),
+                 std::streamsize(row.size()));
+    }
+    if (!os)
+        fatal("failed writing ", path);
+}
+
+void
+writePgm(const std::string &path, const PlaneU8 &plane)
+{
+    auto os = openForWrite(path);
+    os << "P5\n" << plane.width() << " " << plane.height() << "\n255\n";
+    for (int y = 0; y < plane.height(); ++y) {
+        os.write(reinterpret_cast<const char *>(plane.row(y)),
+                 plane.width());
+    }
+    if (!os)
+        fatal("failed writing ", path);
+}
+
+ColorImage
+readPpm(const std::string &path)
+{
+    auto is = openForRead(path);
+    std::string magic(2, '\0');
+    is.read(magic.data(), 2);
+    if (magic != "P6")
+        fatal(path, " is not a binary PPM (P6) file");
+    int width = readPnmInt(is, path);
+    int height = readPnmInt(is, path);
+    int maxval = readPnmInt(is, path);
+    if (maxval != 255)
+        fatal(path, ": only maxval 255 PPM supported");
+    is.get(); // single whitespace after maxval
+
+    ColorImage img(width, height);
+    std::vector<u8> row(size_t(width) * 3);
+    for (int y = 0; y < height; ++y) {
+        is.read(reinterpret_cast<char *>(row.data()),
+                std::streamsize(row.size()));
+        if (!is)
+            fatal(path, ": truncated PPM pixel data");
+        for (int x = 0; x < width; ++x) {
+            img.r().at(x, y) = row[size_t(x) * 3 + 0];
+            img.g().at(x, y) = row[size_t(x) * 3 + 1];
+            img.b().at(x, y) = row[size_t(x) * 3 + 2];
+        }
+    }
+    return img;
+}
+
+PlaneU8
+readPgm(const std::string &path)
+{
+    auto is = openForRead(path);
+    std::string magic(2, '\0');
+    is.read(magic.data(), 2);
+    if (magic != "P5")
+        fatal(path, " is not a binary PGM (P5) file");
+    int width = readPnmInt(is, path);
+    int height = readPnmInt(is, path);
+    int maxval = readPnmInt(is, path);
+    if (maxval != 255)
+        fatal(path, ": only maxval 255 PGM supported");
+    is.get();
+
+    PlaneU8 plane(width, height);
+    for (int y = 0; y < height; ++y) {
+        is.read(reinterpret_cast<char *>(plane.row(y)), width);
+        if (!is)
+            fatal(path, ": truncated PGM pixel data");
+    }
+    return plane;
+}
+
+} // namespace gssr

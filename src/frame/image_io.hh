@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Binary PPM (P6) / PGM (P5) image reading and writing, used by the
+ * examples to dump frames, depth maps and RoI visualizations.
+ */
+
+#ifndef GSSR_FRAME_IMAGE_IO_HH
+#define GSSR_FRAME_IMAGE_IO_HH
+
+#include <string>
+
+#include "frame/image.hh"
+
+namespace gssr
+{
+
+/** Write an RGB image as a binary PPM (P6) file. */
+void writePpm(const std::string &path, const ColorImage &img);
+
+/** Write a grayscale plane as a binary PGM (P5) file. */
+void writePgm(const std::string &path, const PlaneU8 &plane);
+
+/** Read a binary PPM (P6) file. Throws FatalError on malformed input. */
+ColorImage readPpm(const std::string &path);
+
+/** Read a binary PGM (P5) file. Throws FatalError on malformed input. */
+PlaneU8 readPgm(const std::string &path);
+
+} // namespace gssr
+
+#endif // GSSR_FRAME_IMAGE_IO_HH

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Plane<T>: a dense, row-major 2-D array of samples. The fundamental
+ * storage type for color channels, luma/chroma planes, depth buffers
+ * and weight maps throughout the library.
+ */
+
+#ifndef GSSR_FRAME_PLANE_HH
+#define GSSR_FRAME_PLANE_HH
+
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace gssr
+{
+
+/**
+ * Dense row-major 2-D sample array with bounds-checked access.
+ *
+ * @tparam T sample type (u8 for pixels, f32 for depth/NN data).
+ */
+template <typename T>
+class Plane
+{
+  public:
+    /** Empty 0x0 plane. */
+    Plane() = default;
+
+    /** Plane of @p width x @p height samples, value-initialized. */
+    Plane(int width, int height, T fill_value = T{})
+        : width_(width), height_(height),
+          data_(size_t(i64(width) * i64(height)), fill_value)
+    {
+        GSSR_ASSERT(width >= 0 && height >= 0, "negative plane size");
+    }
+
+    /** Plane sized from a Size. */
+    explicit Plane(Size size, T fill_value = T{})
+        : Plane(size.width, size.height, fill_value)
+    {}
+
+    int width() const { return width_; }
+    int height() const { return height_; }
+    Size size() const { return {width_, height_}; }
+
+    /** Total number of samples. */
+    i64 sampleCount() const { return i64(width_) * i64(height_); }
+
+    /** True when the plane holds no samples. */
+    bool empty() const { return data_.empty(); }
+
+    /** Bounds-checked sample access. */
+    T &
+    at(int x, int y)
+    {
+        checkBounds(x, y);
+        return data_[size_t(i64(y) * width_ + x)];
+    }
+
+    /** Bounds-checked sample access (const). */
+    const T &
+    at(int x, int y) const
+    {
+        checkBounds(x, y);
+        return data_[size_t(i64(y) * width_ + x)];
+    }
+
+    /** Sample access clamped to the plane edge (for filtering). */
+    const T &
+    atClamped(int x, int y) const
+    {
+        x = clamp(x, 0, width_ - 1);
+        y = clamp(y, 0, height_ - 1);
+        return data_[size_t(i64(y) * width_ + x)];
+    }
+
+    /** Raw row pointer (row @p y, unchecked within the row). */
+    T *row(int y) { return &at(0, y); }
+    const T *row(int y) const { return &at(0, y); }
+
+    /** Flat sample storage in row-major order. */
+    std::vector<T> &data() { return data_; }
+    const std::vector<T> &data() const { return data_; }
+
+    /** Set every sample to @p value. */
+    void
+    fill(T value)
+    {
+        std::fill(data_.begin(), data_.end(), value);
+    }
+
+    /** Copy out the rectangle @p r (must lie inside the plane). */
+    Plane<T>
+    crop(const Rect &r) const
+    {
+        GSSR_ASSERT((Rect{0, 0, width_, height_}.contains(r)),
+                    "crop rect outside plane");
+        Plane<T> out(r.width, r.height);
+        for (int y = 0; y < r.height; ++y) {
+            const T *src = &at(r.x, r.y + y);
+            T *dst = out.row(y);
+            std::copy(src, src + r.width, dst);
+        }
+        return out;
+    }
+
+    /**
+     * Paste @p src into this plane with its top-left corner at
+     * (@p x, @p y). The pasted region must fit.
+     */
+    void
+    blit(const Plane<T> &src, int x, int y)
+    {
+        Rect dst_rect{x, y, src.width(), src.height()};
+        GSSR_ASSERT((Rect{0, 0, width_, height_}.contains(dst_rect)),
+                    "blit rect outside plane");
+        for (int sy = 0; sy < src.height(); ++sy) {
+            const T *s = src.row(sy);
+            T *d = &at(x, y + sy);
+            std::copy(s, s + src.width(), d);
+        }
+    }
+
+    bool
+    operator==(const Plane<T> &o) const
+    {
+        return width_ == o.width_ && height_ == o.height_ &&
+               data_ == o.data_;
+    }
+
+  private:
+    void
+    checkBounds(int x, int y) const
+    {
+        GSSR_ASSERT(x >= 0 && x < width_ && y >= 0 && y < height_,
+                    "plane access out of bounds");
+    }
+
+    static int
+    clamp(int v, int lo, int hi)
+    {
+        return v < lo ? lo : (v > hi ? hi : v);
+    }
+
+    int width_ = 0;
+    int height_ = 0;
+    std::vector<T> data_;
+};
+
+using PlaneU8 = Plane<u8>;
+using PlaneF32 = Plane<f32>;
+using PlaneF64 = Plane<f64>;
+
+} // namespace gssr
+
+#endif // GSSR_FRAME_PLANE_HH

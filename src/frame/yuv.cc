@@ -1,0 +1,64 @@
+#include "frame/yuv.hh"
+
+#include "common/mathutil.hh"
+
+namespace gssr
+{
+
+Yuv420Image
+rgbToYuv420(const ColorImage &rgb)
+{
+    GSSR_ASSERT(rgb.width() % 2 == 0 && rgb.height() % 2 == 0,
+                "rgbToYuv420 needs even dimensions");
+    Yuv420Image out(rgb.width(), rgb.height());
+
+    for (int y = 0; y < rgb.height(); ++y) {
+        for (int x = 0; x < rgb.width(); ++x) {
+            f64 r = rgb.r().at(x, y);
+            f64 g = rgb.g().at(x, y);
+            f64 b = rgb.b().at(x, y);
+            out.y.at(x, y) = toPixel(0.299 * r + 0.587 * g + 0.114 * b);
+        }
+    }
+
+    // Chroma: average each 2x2 block, then convert.
+    for (int cy = 0; cy < out.u.height(); ++cy) {
+        for (int cx = 0; cx < out.u.width(); ++cx) {
+            f64 r = 0.0, g = 0.0, b = 0.0;
+            for (int dy = 0; dy < 2; ++dy) {
+                for (int dx = 0; dx < 2; ++dx) {
+                    r += rgb.r().at(cx * 2 + dx, cy * 2 + dy);
+                    g += rgb.g().at(cx * 2 + dx, cy * 2 + dy);
+                    b += rgb.b().at(cx * 2 + dx, cy * 2 + dy);
+                }
+            }
+            r *= 0.25;
+            g *= 0.25;
+            b *= 0.25;
+            f64 u = -0.168736 * r - 0.331264 * g + 0.5 * b + 128.0;
+            f64 v = 0.5 * r - 0.418688 * g - 0.081312 * b + 128.0;
+            out.u.at(cx, cy) = toPixel(u);
+            out.v.at(cx, cy) = toPixel(v);
+        }
+    }
+    return out;
+}
+
+ColorImage
+yuv420ToRgb(const Yuv420Image &yuv)
+{
+    ColorImage out(yuv.width(), yuv.height());
+    for (int y = 0; y < yuv.height(); ++y) {
+        for (int x = 0; x < yuv.width(); ++x) {
+            f64 yy = yuv.y.at(x, y);
+            f64 u = f64(yuv.u.at(x / 2, y / 2)) - 128.0;
+            f64 v = f64(yuv.v.at(x / 2, y / 2)) - 128.0;
+            out.r().at(x, y) = toPixel(yy + 1.402 * v);
+            out.g().at(x, y) = toPixel(yy - 0.344136 * u - 0.714136 * v);
+            out.b().at(x, y) = toPixel(yy + 1.772 * u);
+        }
+    }
+    return out;
+}
+
+} // namespace gssr

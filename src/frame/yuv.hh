@@ -1,0 +1,52 @@
+/**
+ * @file
+ * YUV 4:2:0 image representation and BT.601 full-range conversion to
+ * and from planar RGB. The video codec operates on Yuv420Image.
+ */
+
+#ifndef GSSR_FRAME_YUV_HH
+#define GSSR_FRAME_YUV_HH
+
+#include "frame/image.hh"
+#include "frame/plane.hh"
+
+namespace gssr
+{
+
+/**
+ * Planar YUV image with 4:2:0 chroma subsampling. Luma is full
+ * resolution; U and V are half resolution in both dimensions.
+ * Dimensions must be even.
+ */
+struct Yuv420Image
+{
+    PlaneU8 y;
+    PlaneU8 u;
+    PlaneU8 v;
+
+    Yuv420Image() = default;
+
+    /** Allocate planes for a @p width x @p height image (even dims). */
+    Yuv420Image(int width, int height)
+        : y(width, height), u(width / 2, height / 2),
+          v(width / 2, height / 2)
+    {
+        GSSR_ASSERT(width % 2 == 0 && height % 2 == 0,
+                    "YUV 4:2:0 needs even dimensions");
+    }
+
+    int width() const { return y.width(); }
+    int height() const { return y.height(); }
+    Size size() const { return y.size(); }
+    bool empty() const { return y.empty(); }
+};
+
+/** Convert planar RGB to YUV 4:2:0 (BT.601 full range). */
+Yuv420Image rgbToYuv420(const ColorImage &rgb);
+
+/** Convert YUV 4:2:0 back to planar RGB (BT.601 full range). */
+ColorImage yuv420ToRgb(const Yuv420Image &yuv);
+
+} // namespace gssr
+
+#endif // GSSR_FRAME_YUV_HH

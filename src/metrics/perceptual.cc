@@ -1,0 +1,153 @@
+#include "metrics/perceptual.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace gssr
+{
+
+namespace
+{
+
+/** Luma plane scaled to [0, 1] floats. */
+PlaneF32
+toLumaF32(const ColorImage &img)
+{
+    PlaneF32 out(img.width(), img.height());
+    for (int y = 0; y < img.height(); ++y) {
+        for (int x = 0; x < img.width(); ++x) {
+            f64 luma = 0.299 * img.r().at(x, y) +
+                       0.587 * img.g().at(x, y) +
+                       0.114 * img.b().at(x, y);
+            out.at(x, y) = f32(luma / 255.0);
+        }
+    }
+    return out;
+}
+
+/** 2x box-filter downsample (trailing odd row/column dropped). */
+PlaneF32
+downsample2(const PlaneF32 &in)
+{
+    PlaneF32 out(in.width() / 2, in.height() / 2);
+    for (int y = 0; y < out.height(); ++y) {
+        for (int x = 0; x < out.width(); ++x) {
+            f32 acc = in.at(x * 2, y * 2) + in.at(x * 2 + 1, y * 2) +
+                      in.at(x * 2, y * 2 + 1) +
+                      in.at(x * 2 + 1, y * 2 + 1);
+            out.at(x, y) = acc * 0.25f;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+PerceptualMetric::PerceptualMetric() : PerceptualMetric(Config{}) {}
+
+PerceptualMetric::PerceptualMetric(const Config &config)
+    : config_(config)
+{
+    GSSR_ASSERT(config_.scales >= 1, "need at least one pyramid scale");
+    GSSR_ASSERT(config_.filters_per_scale >= 1, "need at least one filter");
+
+    Rng rng(config_.seed);
+    filters_.resize(size_t(config_.scales));
+    for (auto &scale_filters : filters_) {
+        scale_filters.resize(size_t(config_.filters_per_scale));
+        for (auto &filter : scale_filters) {
+            // Draw Gaussian taps, remove the mean (so flat regions give
+            // zero response) and normalize to unit energy.
+            f64 mean = 0.0;
+            for (auto &tap : filter.taps) {
+                tap = f32(rng.normal());
+                mean += tap;
+            }
+            mean /= 9.0;
+            f64 norm = 0.0;
+            for (auto &tap : filter.taps) {
+                tap = f32(tap - mean);
+                norm += f64(tap) * f64(tap);
+            }
+            norm = std::sqrt(norm);
+            GSSR_ASSERT(norm > 1e-9, "degenerate random filter");
+            for (auto &tap : filter.taps)
+                tap = f32(tap / norm);
+        }
+    }
+}
+
+f64
+PerceptualMetric::distance(const ColorImage &a, const ColorImage &b) const
+{
+    GSSR_ASSERT(a.size() == b.size(),
+                "perceptual distance of differently sized images");
+    GSSR_ASSERT(!a.empty(), "perceptual distance of empty images");
+
+    PlaneF32 la = toLumaF32(a);
+    PlaneF32 lb = toLumaF32(b);
+
+    f64 total = 0.0;
+    int scales_used = 0;
+
+    for (int scale = 0; scale < config_.scales; ++scale) {
+        if (scale > 0) {
+            if (la.width() < 6 || la.height() < 6)
+                break;
+            la = downsample2(la);
+            lb = downsample2(lb);
+        }
+        const auto &bank = filters_[size_t(scale)];
+        const int nf = int(bank.size());
+
+        f64 scale_acc = 0.0;
+        i64 pixel_count = 0;
+        const size_t nf_s = size_t(nf);
+        std::vector<f64> fa(nf_s);
+        std::vector<f64> fb(nf_s);
+
+        for (int y = 1; y + 1 < la.height(); ++y) {
+            for (int x = 1; x + 1 < la.width(); ++x) {
+                f64 na = 0.0, nb = 0.0;
+                for (int k = 0; k < nf; ++k) {
+                    const auto &f = bank[size_t(k)];
+                    f64 ra = 0.0, rb = 0.0;
+                    int t = 0;
+                    for (int dy = -1; dy <= 1; ++dy) {
+                        for (int dx = -1; dx <= 1; ++dx, ++t) {
+                            ra += f.taps[t] * la.at(x + dx, y + dy);
+                            rb += f.taps[t] * lb.at(x + dx, y + dy);
+                        }
+                    }
+                    fa[size_t(k)] = ra;
+                    fb[size_t(k)] = rb;
+                    na += ra * ra;
+                    nb += rb * rb;
+                }
+                // Unit-normalize the per-pixel feature vectors (LPIPS
+                // style) with an epsilon guard for flat regions.
+                constexpr f64 eps = 1e-6;
+                na = std::sqrt(na) + eps;
+                nb = std::sqrt(nb) + eps;
+                f64 d = 0.0;
+                for (int k = 0; k < nf; ++k) {
+                    f64 diff = fa[size_t(k)] / na - fb[size_t(k)] / nb;
+                    d += diff * diff;
+                }
+                // Max of ||ua - ub||^2 for unit vectors is 4.
+                scale_acc += d / 4.0;
+                pixel_count += 1;
+            }
+        }
+        if (pixel_count > 0) {
+            total += scale_acc / f64(pixel_count);
+            scales_used += 1;
+        }
+    }
+    GSSR_ASSERT(scales_used > 0, "image too small for perceptual metric");
+    return total / f64(scales_used);
+}
+
+} // namespace gssr

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Perceptual patch similarity — the reproduction's stand-in for LPIPS
+ * (paper Fig. 14b).
+ *
+ * LPIPS compares images in the feature space of a pretrained deep
+ * network. No pretrained network is available offline, so we use a
+ * fixed, seeded *random-convolution feature pyramid*: random deep
+ * features are an established proxy for perceptual metrics (they
+ * capture local structure/texture statistics, exactly what successive
+ * bilinear interpolation destroys). The substitution is documented in
+ * DESIGN.md §1.
+ *
+ * Properties preserved: (a) full-reference, (b) score in [0, 1] with
+ * 0 = identical, (c) monotonically increasing under blur/detail loss,
+ * (d) deterministic for a given seed.
+ */
+
+#ifndef GSSR_METRICS_PERCEPTUAL_HH
+#define GSSR_METRICS_PERCEPTUAL_HH
+
+#include <vector>
+
+#include "frame/image.hh"
+
+namespace gssr
+{
+
+/**
+ * Fixed random-feature perceptual metric. Construct once (filters are
+ * generated from the seed) and reuse across comparisons.
+ */
+class PerceptualMetric
+{
+  public:
+    /** Configuration of the feature pyramid. */
+    struct Config
+    {
+        /** Number of pyramid scales (each halves resolution). */
+        int scales = 3;
+        /** Random 3x3 filters per scale. */
+        int filters_per_scale = 12;
+        /** Seed for filter generation. */
+        u64 seed = 0x5eed1234abcdULL;
+    };
+
+    /** Default configuration (3 scales, 12 filters). */
+    PerceptualMetric();
+
+    explicit PerceptualMetric(const Config &config);
+
+    /**
+     * Perceptual distance between two equally sized images, in [0, 1].
+     * 0 means perceptually identical; larger means more different.
+     */
+    f64 distance(const ColorImage &a, const ColorImage &b) const;
+
+  private:
+    /** One 3x3 filter with zero mean and unit L2 norm. */
+    struct Filter
+    {
+        f32 taps[9];
+    };
+
+    Config config_;
+    std::vector<std::vector<Filter>> filters_; // [scale][filter]
+};
+
+} // namespace gssr
+
+#endif // GSSR_METRICS_PERCEPTUAL_HH

@@ -1,0 +1,59 @@
+#include "metrics/psnr.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace gssr
+{
+
+f64
+meanSquaredError(const PlaneU8 &a, const PlaneU8 &b)
+{
+    GSSR_ASSERT(a.size() == b.size(), "MSE of differently sized planes");
+    GSSR_ASSERT(a.sampleCount() > 0, "MSE of empty planes");
+    f64 acc = 0.0;
+    const auto &da = a.data();
+    const auto &db = b.data();
+    for (size_t i = 0; i < da.size(); ++i) {
+        f64 diff = f64(da[i]) - f64(db[i]);
+        acc += diff * diff;
+    }
+    return acc / f64(a.sampleCount());
+}
+
+f64
+meanSquaredError(const ColorImage &a, const ColorImage &b)
+{
+    return (meanSquaredError(a.r(), b.r()) +
+            meanSquaredError(a.g(), b.g()) +
+            meanSquaredError(a.b(), b.b())) / 3.0;
+}
+
+namespace
+{
+
+f64
+mseToPsnr(f64 mse)
+{
+    if (mse <= 0.0)
+        return std::numeric_limits<f64>::infinity();
+    return 10.0 * std::log10(255.0 * 255.0 / mse);
+}
+
+} // namespace
+
+f64
+psnr(const ColorImage &a, const ColorImage &b)
+{
+    return mseToPsnr(meanSquaredError(a, b));
+}
+
+f64
+psnr(const PlaneU8 &a, const PlaneU8 &b)
+{
+    return mseToPsnr(meanSquaredError(a, b));
+}
+
+} // namespace gssr

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Pixel-wise full-reference quality metrics: mean squared error and
+ * peak signal-to-noise ratio (PSNR), the objective metric of the
+ * paper's Fig. 13 and Fig. 14a.
+ */
+
+#ifndef GSSR_METRICS_PSNR_HH
+#define GSSR_METRICS_PSNR_HH
+
+#include "frame/image.hh"
+
+namespace gssr
+{
+
+/** Mean squared error between two equally sized planes. */
+f64 meanSquaredError(const PlaneU8 &a, const PlaneU8 &b);
+
+/** Mean squared error averaged over the three RGB channels. */
+f64 meanSquaredError(const ColorImage &a, const ColorImage &b);
+
+/**
+ * PSNR in decibels for 8-bit data. Returns +infinity for identical
+ * inputs. Computed over all three RGB channels.
+ */
+f64 psnr(const ColorImage &a, const ColorImage &b);
+
+/** PSNR in decibels between two single planes (e.g. luma). */
+f64 psnr(const PlaneU8 &a, const PlaneU8 &b);
+
+} // namespace gssr
+
+#endif // GSSR_METRICS_PSNR_HH

@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Structural similarity (SSIM) index, computed on luma with the
+ * standard 11x11 Gaussian window (sigma = 1.5) of Wang et al.
+ */
+
+#ifndef GSSR_METRICS_SSIM_HH
+#define GSSR_METRICS_SSIM_HH
+
+#include "frame/image.hh"
+
+namespace gssr
+{
+
+/** Mean SSIM between two equally sized luma planes, in [-1, 1]. */
+f64 ssim(const PlaneU8 &a, const PlaneU8 &b);
+
+/** Mean SSIM between the BT.601 lumas of two RGB images. */
+f64 ssim(const ColorImage &a, const ColorImage &b);
+
+} // namespace gssr
+
+#endif // GSSR_METRICS_SSIM_HH

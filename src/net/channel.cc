@@ -1,0 +1,114 @@
+#include "net/channel.hh"
+
+#include <cmath>
+
+#include "common/mathutil.hh"
+
+namespace gssr
+{
+
+/*
+ * Capacity calibration note: these capacities are expressed relative
+ * to *this repository's* codec, which is ~3x less efficient than the
+ * H.265/VP9 encoders of the paper's testbed (block codec, simple
+ * entropy coding). What the experiments depend on is the ratio of
+ * stream bitrate to channel capacity: a 720p60 stream (~40-70
+ * Mbit/s here depending on the game) must fit comfortably, while a
+ * 2K stream (~3x the bytes, ~215 Mbit/s) must drop heavily on WiFi
+ * (~90 %) and substantially on 5G mmWave (~44 %) — the paper's
+ * Sec. II-A motivation. See DESIGN.md §1.
+ */
+
+ChannelConfig
+ChannelConfig::wifi()
+{
+    ChannelConfig c;
+    c.name = "wifi";
+    c.bandwidth_mbps = 105.0;
+    c.bandwidth_jitter = 0.25;
+    c.rtt_ms = 12.0;
+    c.jitter_ms = 3.0;
+    c.packet_loss = 4e-5;
+    c.congestion_knee = 0.80;
+    return c;
+}
+
+ChannelConfig
+ChannelConfig::fiveGEmbb()
+{
+    ChannelConfig c;
+    c.name = "5g-embb";
+    c.bandwidth_mbps = 170.0;
+    c.bandwidth_jitter = 0.45; // mmWave is bursty
+    c.rtt_ms = 28.0;
+    c.jitter_ms = 6.0;
+    c.packet_loss = 2e-5;
+    c.congestion_knee = 0.85;
+    return c;
+}
+
+ChannelConfig
+ChannelConfig::fiveGUrllc()
+{
+    ChannelConfig c;
+    c.name = "5g-urllc";
+    c.bandwidth_mbps = 4.0; // low-bandwidth, latency-optimized slice
+    c.bandwidth_jitter = 0.10;
+    c.rtt_ms = 4.0;
+    c.jitter_ms = 0.5;
+    c.packet_loss = 1e-5;
+    c.congestion_knee = 0.90;
+    return c;
+}
+
+NetworkChannel::NetworkChannel(const ChannelConfig &config, u64 seed)
+    : config_(config), rng_(seed)
+{
+    GSSR_ASSERT(config_.bandwidth_mbps > 0.0, "bandwidth must be > 0");
+    GSSR_ASSERT(config_.mtu_bytes > 0, "mtu must be > 0");
+}
+
+TransmitResult
+NetworkChannel::transmitFrame(size_t frame_bytes, f64 offered_load_mbps)
+{
+    TransmitResult result;
+    result.packets =
+        int(ceilDiv(i64(frame_bytes), i64(config_.mtu_bytes)));
+    frames_total_ += 1;
+
+    // Sample this frame's effective capacity.
+    f64 capacity = config_.bandwidth_mbps *
+                   std::max(0.05, rng_.normal(1.0,
+                                              config_.bandwidth_jitter));
+
+    // Congestion drop: ramps from 0 at the knee to 1 at 2x capacity.
+    f64 knee = capacity * config_.congestion_knee;
+    if (offered_load_mbps > knee) {
+        f64 overload = (offered_load_mbps - knee) / (capacity * 2.0 - knee);
+        if (rng_.bernoulli(clamp(overload, 0.0, 1.0))) {
+            result.dropped = true;
+            frames_dropped_ += 1;
+            return result;
+        }
+    }
+
+    // Random per-packet loss; any lost packet drops the frame.
+    f64 frame_loss =
+        1.0 - std::pow(1.0 - config_.packet_loss, f64(result.packets));
+    if (rng_.bernoulli(frame_loss)) {
+        result.dropped = true;
+        frames_dropped_ += 1;
+        return result;
+    }
+
+    f64 serialization_ms =
+        f64(frame_bytes) * 8.0 / (capacity * 1e6) * 1e3;
+    f64 propagation_ms =
+        config_.rtt_ms * 0.5 +
+        std::abs(rng_.normal(0.0, config_.jitter_ms));
+    result.latency_ms = serialization_ms + propagation_ms;
+    latency_stats_.add(result.latency_ms);
+    return result;
+}
+
+} // namespace gssr

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Stochastic network channel simulation: the reproduction's stand-in
+ * for the live WiFi / 5G links of the paper (Sec. II-A and the
+ * network stage of the MTP breakdown, Fig. 10c).
+ *
+ * The model captures the behaviours the experiments depend on:
+ *  - serialization latency proportional to compressed frame size,
+ *  - base propagation delay (RTT/2) with jitter,
+ *  - random per-packet loss (a lost packet drops the frame — game
+ *    streams cannot wait for retransmission),
+ *  - congestion drops that ramp up once the offered load approaches
+ *    the channel's effective capacity (this is what produces the
+ *    44 % / 90 % frame-drop numbers for 2K streams in the paper's
+ *    motivation, and the 5G bandwidth/latency trade-off of the eMBB
+ *    vs URLLC channels).
+ */
+
+#ifndef GSSR_NET_CHANNEL_HH
+#define GSSR_NET_CHANNEL_HH
+
+#include <string>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace gssr
+{
+
+/** Static description of one wireless channel. */
+struct ChannelConfig
+{
+    std::string name = "wifi";
+
+    /** Mean effective application-level throughput (Mbit/s). */
+    f64 bandwidth_mbps = 18.0;
+
+    /** Relative standard deviation of per-frame bandwidth samples. */
+    f64 bandwidth_jitter = 0.30;
+
+    /** Base round-trip time (ms). */
+    f64 rtt_ms = 12.0;
+
+    /** Standard deviation of one-way delay jitter (ms). */
+    f64 jitter_ms = 2.0;
+
+    /** Independent per-packet loss probability. */
+    f64 packet_loss = 2e-4;
+
+    /**
+     * Fraction of the sampled capacity at which congestion drops
+     * start; above it, drop probability ramps linearly to 1 at
+     * 2x capacity.
+     */
+    f64 congestion_knee = 0.85;
+
+    /** Path MTU (bytes per packet). */
+    int mtu_bytes = 1400;
+
+    /** Typical home/venue WiFi (high loss variance). */
+    static ChannelConfig wifi();
+
+    /** 5G mmWave eMBB: high bandwidth, higher latency. */
+    static ChannelConfig fiveGEmbb();
+
+    /** 5G URLLC: very low latency, very low bandwidth. */
+    static ChannelConfig fiveGUrllc();
+};
+
+/** Outcome of transmitting one frame. */
+struct TransmitResult
+{
+    /** One-way transfer latency (serialization + propagation), ms. */
+    f64 latency_ms = 0.0;
+
+    /** True when the frame was lost (loss or congestion). */
+    bool dropped = false;
+
+    /** Number of packets the frame was split into. */
+    int packets = 0;
+};
+
+/**
+ * One simulated wireless link. Deterministic for a given seed.
+ */
+class NetworkChannel
+{
+  public:
+    NetworkChannel(const ChannelConfig &config, u64 seed);
+
+    /**
+     * Transmit one compressed frame.
+     * @param frame_bytes compressed frame size.
+     * @param offered_load_mbps total stream bitrate currently offered
+     *        to the channel (drives congestion drops).
+     */
+    TransmitResult transmitFrame(size_t frame_bytes,
+                                 f64 offered_load_mbps);
+
+    /** Delivered (non-dropped) frame latency statistics. */
+    const SampleStats &latencyStats() const { return latency_stats_; }
+
+    /** Fraction of transmitted frames dropped so far. */
+    f64
+    dropRate() const
+    {
+        return frames_total_ ? f64(frames_dropped_) / f64(frames_total_)
+                             : 0.0;
+    }
+
+    /** Frames offered to the channel so far. */
+    i64 framesTotal() const { return frames_total_; }
+
+    const ChannelConfig &config() const { return config_; }
+
+  private:
+    ChannelConfig config_;
+    Rng rng_;
+    SampleStats latency_stats_;
+    i64 frames_total_ = 0;
+    i64 frames_dropped_ = 0;
+};
+
+/**
+ * Bitrate (Mbit/s) of a stream of @p bytes_per_frame at @p fps —
+ * helper for computing offered load from codec output.
+ */
+inline f64
+streamBitrateMbps(f64 bytes_per_frame, f64 fps)
+{
+    return bytes_per_frame * 8.0 * fps / 1e6;
+}
+
+} // namespace gssr
+
+#endif // GSSR_NET_CHANNEL_HH

@@ -1,0 +1,232 @@
+#include "nn/layers.hh"
+
+#include <cmath>
+
+namespace gssr
+{
+
+Conv2d::Conv2d(int in_channels, int out_channels, int kernel_size)
+    : in_channels_(in_channels), out_channels_(out_channels),
+      kernel_(kernel_size), pad_(kernel_size / 2)
+{
+    GSSR_ASSERT(in_channels >= 1 && out_channels >= 1,
+                "conv needs positive channel counts");
+    GSSR_ASSERT(kernel_size >= 1 && kernel_size % 2 == 1,
+                "conv kernel must be odd");
+    size_t n = size_t(i64(out_channels_) * in_channels_ * kernel_ *
+                      kernel_);
+    weight_.assign(n, 0.0f);
+    bias_.assign(size_t(out_channels_), 0.0f);
+    weight_grad_.assign(n, 0.0f);
+    bias_grad_.assign(size_t(out_channels_), 0.0f);
+}
+
+void
+Conv2d::initHe(Rng &rng)
+{
+    f64 fan_in = f64(in_channels_) * kernel_ * kernel_;
+    f64 stddev = std::sqrt(2.0 / fan_in);
+    for (auto &w : weight_)
+        w = f32(rng.normal(0.0, stddev));
+    for (auto &b : bias_)
+        b = 0.0f;
+}
+
+Tensor
+Conv2d::forward(const Tensor &input) const
+{
+    GSSR_ASSERT(input.channels() == in_channels_,
+                "conv input channel mismatch");
+    const int h = input.height();
+    const int w = input.width();
+    Tensor out(out_channels_, h, w);
+
+    for (int co = 0; co < out_channels_; ++co) {
+        f32 *out_c = out.channelData(co);
+        // Bias fill.
+        f32 b = bias_[size_t(co)];
+        for (i64 i = 0; i < i64(h) * w; ++i)
+            out_c[size_t(i)] = b;
+
+        for (int ci = 0; ci < in_channels_; ++ci) {
+            const f32 *in_c = input.channelData(ci);
+            for (int ky = 0; ky < kernel_; ++ky) {
+                for (int kx = 0; kx < kernel_; ++kx) {
+                    f32 wv = weight_[weightIndex(co, ci, ky, kx)];
+                    if (wv == 0.0f)
+                        continue;
+                    int dy = ky - pad_;
+                    int dx = kx - pad_;
+                    int y0 = std::max(0, -dy);
+                    int y1 = std::min(h, h - dy);
+                    int x0 = std::max(0, -dx);
+                    int x1 = std::min(w, w - dx);
+                    for (int y = y0; y < y1; ++y) {
+                        const f32 *src =
+                            in_c + size_t(y + dy) * w + size_t(x0 + dx);
+                        f32 *dst = out_c + size_t(y) * w + size_t(x0);
+                        for (int x = x0; x < x1; ++x)
+                            *dst++ += wv * *src++;
+                    }
+                }
+            }
+        }
+    }
+    return out;
+}
+
+Tensor
+Conv2d::backward(const Tensor &input, const Tensor &grad_output)
+{
+    GSSR_ASSERT(input.channels() == in_channels_,
+                "conv backward input mismatch");
+    GSSR_ASSERT(grad_output.channels() == out_channels_ &&
+                    grad_output.height() == input.height() &&
+                    grad_output.width() == input.width(),
+                "conv backward grad shape mismatch");
+    const int h = input.height();
+    const int w = input.width();
+    Tensor grad_input(in_channels_, h, w);
+
+    for (int co = 0; co < out_channels_; ++co) {
+        const f32 *go = grad_output.channelData(co);
+        // Bias gradient.
+        f64 bg = 0.0;
+        for (i64 i = 0; i < i64(h) * w; ++i)
+            bg += go[size_t(i)];
+        bias_grad_[size_t(co)] += f32(bg);
+
+        for (int ci = 0; ci < in_channels_; ++ci) {
+            const f32 *in_c = input.channelData(ci);
+            for (int ky = 0; ky < kernel_; ++ky) {
+                for (int kx = 0; kx < kernel_; ++kx) {
+                    int dy = ky - pad_;
+                    int dx = kx - pad_;
+                    int y0 = std::max(0, -dy);
+                    int y1 = std::min(h, h - dy);
+                    int x0 = std::max(0, -dx);
+                    int x1 = std::min(w, w - dx);
+                    f32 wv = weight_[weightIndex(co, ci, ky, kx)];
+                    f64 wg = 0.0;
+                    for (int y = y0; y < y1; ++y) {
+                        const f32 *src =
+                            in_c + size_t(y + dy) * w + size_t(x0 + dx);
+                        f32 *gsrc = grad_input.channelData(ci) +
+                                    size_t(y + dy) * w + size_t(x0 + dx);
+                        const f32 *g = go + size_t(y) * w + size_t(x0);
+                        for (int x = x0; x < x1; ++x) {
+                            wg += f64(*g) * f64(*src);
+                            *gsrc += wv * *g;
+                            ++src;
+                            ++gsrc;
+                            ++g;
+                        }
+                    }
+                    weight_grad_[weightIndex(co, ci, ky, kx)] += f32(wg);
+                }
+            }
+        }
+    }
+    return grad_input;
+}
+
+std::vector<ParamRef>
+Conv2d::params()
+{
+    return {{&weight_, &weight_grad_}, {&bias_, &bias_grad_}};
+}
+
+Tensor
+Relu::forward(const Tensor &input)
+{
+    Tensor out = input;
+    for (auto &v : out.data())
+        v = v > 0.0f ? v : 0.0f;
+    return out;
+}
+
+Tensor
+Relu::backward(const Tensor &input, const Tensor &grad_output)
+{
+    GSSR_ASSERT(input.sameShape(grad_output),
+                "relu backward shape mismatch");
+    Tensor out = grad_output;
+    for (size_t i = 0; i < out.data().size(); ++i) {
+        if (input.data()[i] <= 0.0f)
+            out.data()[i] = 0.0f;
+    }
+    return out;
+}
+
+PixelShuffle::PixelShuffle(int upscale_factor) : factor_(upscale_factor)
+{
+    GSSR_ASSERT(factor_ >= 1, "pixel shuffle factor must be >= 1");
+}
+
+Tensor
+PixelShuffle::forward(const Tensor &input) const
+{
+    const int r = factor_;
+    GSSR_ASSERT(input.channels() % (r * r) == 0,
+                "pixel shuffle channel count not divisible by r^2");
+    const int out_c = input.channels() / (r * r);
+    Tensor out(out_c, input.height() * r, input.width() * r);
+    for (int c = 0; c < out_c; ++c) {
+        for (int y = 0; y < input.height(); ++y) {
+            for (int x = 0; x < input.width(); ++x) {
+                for (int ry = 0; ry < r; ++ry) {
+                    for (int rx = 0; rx < r; ++rx) {
+                        int in_c = c * r * r + ry * r + rx;
+                        out.at(c, y * r + ry, x * r + rx) =
+                            input.at(in_c, y, x);
+                    }
+                }
+            }
+        }
+    }
+    return out;
+}
+
+Tensor
+PixelShuffle::backward(const Tensor &grad_output) const
+{
+    const int r = factor_;
+    GSSR_ASSERT(grad_output.height() % r == 0 &&
+                    grad_output.width() % r == 0,
+                "pixel shuffle backward shape not divisible by r");
+    const int in_c = grad_output.channels() * r * r;
+    const int in_h = grad_output.height() / r;
+    const int in_w = grad_output.width() / r;
+    Tensor grad_input(in_c, in_h, in_w);
+    for (int c = 0; c < grad_output.channels(); ++c) {
+        for (int y = 0; y < in_h; ++y) {
+            for (int x = 0; x < in_w; ++x) {
+                for (int ry = 0; ry < r; ++ry) {
+                    for (int rx = 0; rx < r; ++rx) {
+                        grad_input.at(c * r * r + ry * r + rx, y, x) =
+                            grad_output.at(c, y * r + ry, x * r + rx);
+                    }
+                }
+            }
+        }
+    }
+    return grad_input;
+}
+
+f64
+mseLoss(const Tensor &prediction, const Tensor &target, Tensor &grad_out)
+{
+    GSSR_ASSERT(prediction.sameShape(target), "mse shape mismatch");
+    grad_out = Tensor(prediction.channels(), prediction.height(),
+                      prediction.width());
+    f64 loss = 0.0;
+    f64 n = f64(prediction.elementCount());
+    for (size_t i = 0; i < prediction.data().size(); ++i) {
+        f64 diff = f64(prediction.data()[i]) - f64(target.data()[i]);
+        loss += diff * diff;
+        grad_out.data()[i] = f32(2.0 * diff / n);
+    }
+    return loss / n;
+}
+
+} // namespace gssr

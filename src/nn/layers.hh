@@ -1,0 +1,132 @@
+/**
+ * @file
+ * CNN layers with explicit forward/backward passes: 2-D convolution,
+ * ReLU and PixelShuffle — the building blocks of EDSR-style
+ * super-resolution networks. Backward passes are hand-derived (no
+ * autograd); each layer accumulates parameter gradients for the
+ * optimizer.
+ */
+
+#ifndef GSSR_NN_LAYERS_HH
+#define GSSR_NN_LAYERS_HH
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "nn/tensor.hh"
+
+namespace gssr
+{
+
+/** View of one trainable parameter array and its gradient. */
+struct ParamRef
+{
+    std::vector<f32> *values = nullptr;
+    std::vector<f32> *grads = nullptr;
+};
+
+/**
+ * 2-D convolution with square kernel and "same" zero padding
+ * (stride 1). Weight layout: [out_ch][in_ch][k][k].
+ */
+class Conv2d
+{
+  public:
+    /**
+     * @param kernel_size odd kernel size (1, 3, 5, ...).
+     */
+    Conv2d(int in_channels, int out_channels, int kernel_size);
+
+    /** He-normal weight initialization; zero biases. */
+    void initHe(Rng &rng);
+
+    /** Forward pass. Input must have in_channels channels. */
+    Tensor forward(const Tensor &input) const;
+
+    /**
+     * Backward pass: accumulates weight/bias gradients and returns
+     * the gradient w.r.t. the input.
+     * @param input the tensor given to the matching forward call.
+     * @param grad_output gradient w.r.t. the forward output.
+     */
+    Tensor backward(const Tensor &input, const Tensor &grad_output);
+
+    /** Trainable parameters (weights and biases). */
+    std::vector<ParamRef> params();
+
+    /** Multiply-accumulate count for an input of @p h x @p w. */
+    i64
+    macs(int h, int w) const
+    {
+        return i64(out_channels_) * in_channels_ * kernel_ * kernel_ *
+               h * w;
+    }
+
+    int inChannels() const { return in_channels_; }
+    int outChannels() const { return out_channels_; }
+    int kernelSize() const { return kernel_; }
+
+    std::vector<f32> &weights() { return weight_; }
+    std::vector<f32> &biases() { return bias_; }
+    const std::vector<f32> &weights() const { return weight_; }
+    const std::vector<f32> &biases() const { return bias_; }
+
+  private:
+    size_t
+    weightIndex(int co, int ci, int ky, int kx) const
+    {
+        return size_t(((i64(co) * in_channels_ + ci) * kernel_ + ky) *
+                          kernel_ +
+                      kx);
+    }
+
+    int in_channels_;
+    int out_channels_;
+    int kernel_;
+    int pad_;
+    std::vector<f32> weight_;
+    std::vector<f32> bias_;
+    std::vector<f32> weight_grad_;
+    std::vector<f32> bias_grad_;
+};
+
+/** Elementwise max(0, x). */
+class Relu
+{
+  public:
+    /** Forward pass. */
+    static Tensor forward(const Tensor &input);
+
+    /** Backward: zero where the forward input was negative. */
+    static Tensor backward(const Tensor &input,
+                           const Tensor &grad_output);
+};
+
+/**
+ * PixelShuffle (depth-to-space): rearranges (c*r^2, h, w) into
+ * (c, h*r, w*r). The standard sub-pixel upsampling layer of ESPCN /
+ * EDSR.
+ */
+class PixelShuffle
+{
+  public:
+    explicit PixelShuffle(int upscale_factor);
+
+    Tensor forward(const Tensor &input) const;
+
+    /** Backward pass (exact inverse rearrangement). */
+    Tensor backward(const Tensor &grad_output) const;
+
+    int factor() const { return factor_; }
+
+  private:
+    int factor_;
+};
+
+/** Mean-squared-error loss; returns loss and fills grad (d loss/d pred). */
+f64 mseLoss(const Tensor &prediction, const Tensor &target,
+            Tensor &grad_out);
+
+} // namespace gssr
+
+#endif // GSSR_NN_LAYERS_HH

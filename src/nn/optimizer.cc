@@ -1,0 +1,109 @@
+#include "nn/optimizer.hh"
+
+#include <cmath>
+#include <fstream>
+
+namespace gssr
+{
+
+Adam::Adam(std::vector<ParamRef> params)
+    : Adam(std::move(params), Config{})
+{
+}
+
+Adam::Adam(std::vector<ParamRef> params, const Config &config)
+    : params_(std::move(params)), config_(config)
+{
+    for (const auto &p : params_) {
+        GSSR_ASSERT(p.values && p.grads, "null parameter reference");
+        GSSR_ASSERT(p.values->size() == p.grads->size(),
+                    "parameter/gradient size mismatch");
+        m_.emplace_back(p.values->size(), 0.0f);
+        v_.emplace_back(p.values->size(), 0.0f);
+    }
+}
+
+void
+Adam::step()
+{
+    step_count_ += 1;
+    f64 bc1 = 1.0 - std::pow(config_.beta1, f64(step_count_));
+    f64 bc2 = 1.0 - std::pow(config_.beta2, f64(step_count_));
+    for (size_t pi = 0; pi < params_.size(); ++pi) {
+        auto &values = *params_[pi].values;
+        auto &grads = *params_[pi].grads;
+        auto &m = m_[pi];
+        auto &v = v_[pi];
+        for (size_t i = 0; i < values.size(); ++i) {
+            f64 g = grads[i];
+            m[i] = f32(config_.beta1 * m[i] + (1.0 - config_.beta1) * g);
+            v[i] = f32(config_.beta2 * v[i] +
+                       (1.0 - config_.beta2) * g * g);
+            f64 m_hat = m[i] / bc1;
+            f64 v_hat = v[i] / bc2;
+            values[i] -= f32(config_.learning_rate * m_hat /
+                             (std::sqrt(v_hat) + config_.epsilon));
+            grads[i] = 0.0f;
+        }
+    }
+}
+
+void
+Adam::zeroGrad()
+{
+    for (auto &p : params_)
+        std::fill(p.grads->begin(), p.grads->end(), 0.0f);
+}
+
+namespace
+{
+constexpr u32 kWeightsMagic = 0x47535357; // "GSSW"
+} // namespace
+
+void
+saveParams(const std::string &path, const std::vector<ParamRef> &params)
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        fatal("cannot open ", path, " for writing");
+    u32 magic = kWeightsMagic;
+    u32 count = u32(params.size());
+    os.write(reinterpret_cast<const char *>(&magic), sizeof(magic));
+    os.write(reinterpret_cast<const char *>(&count), sizeof(count));
+    for (const auto &p : params) {
+        u64 n = p.values->size();
+        os.write(reinterpret_cast<const char *>(&n), sizeof(n));
+        os.write(reinterpret_cast<const char *>(p.values->data()),
+                 std::streamsize(n * sizeof(f32)));
+    }
+    if (!os)
+        fatal("failed writing weights to ", path);
+}
+
+bool
+loadParams(const std::string &path, const std::vector<ParamRef> &params)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        return false;
+    u32 magic = 0, count = 0;
+    is.read(reinterpret_cast<char *>(&magic), sizeof(magic));
+    is.read(reinterpret_cast<char *>(&count), sizeof(count));
+    if (!is || magic != kWeightsMagic)
+        fatal(path, " is not a GameStreamSR weights file");
+    if (count != params.size())
+        fatal(path, ": parameter array count mismatch");
+    for (const auto &p : params) {
+        u64 n = 0;
+        is.read(reinterpret_cast<char *>(&n), sizeof(n));
+        if (!is || n != p.values->size())
+            fatal(path, ": parameter array length mismatch");
+        is.read(reinterpret_cast<char *>(p.values->data()),
+                std::streamsize(n * sizeof(f32)));
+        if (!is)
+            fatal(path, ": truncated weights file");
+    }
+    return true;
+}
+
+} // namespace gssr

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Adam optimizer over a registered set of parameter arrays, plus
+ * weight (de)serialization so trained SR models can be cached on
+ * disk between runs.
+ */
+
+#ifndef GSSR_NN_OPTIMIZER_HH
+#define GSSR_NN_OPTIMIZER_HH
+
+#include <string>
+#include <vector>
+
+#include "nn/layers.hh"
+
+namespace gssr
+{
+
+/** Adam (Kingma & Ba) with bias correction. */
+class Adam
+{
+  public:
+    struct Config
+    {
+        f64 learning_rate = 1e-3;
+        f64 beta1 = 0.9;
+        f64 beta2 = 0.999;
+        f64 epsilon = 1e-8;
+    };
+
+    /** @param params every trainable array of the model. */
+    explicit Adam(std::vector<ParamRef> params);
+
+    Adam(std::vector<ParamRef> params, const Config &config);
+
+    /** Apply one update from the accumulated gradients, then clear them. */
+    void step();
+
+    /** Clear accumulated gradients without updating. */
+    void zeroGrad();
+
+    /** Change the learning rate (for schedules). */
+    void setLearningRate(f64 lr) { config_.learning_rate = lr; }
+
+    /** Number of steps taken. */
+    i64 stepCount() const { return step_count_; }
+
+  private:
+    std::vector<ParamRef> params_;
+    Config config_;
+    std::vector<std::vector<f32>> m_;
+    std::vector<std::vector<f32>> v_;
+    i64 step_count_ = 0;
+};
+
+/**
+ * Serialize parameter arrays to a binary file (magic + per-array
+ * length + raw little-endian f32 data).
+ */
+void saveParams(const std::string &path,
+                const std::vector<ParamRef> &params);
+
+/**
+ * Load parameter arrays saved by saveParams. Array count and lengths
+ * must match exactly.
+ * @return false if the file does not exist; throws on mismatch.
+ */
+bool loadParams(const std::string &path,
+                const std::vector<ParamRef> &params);
+
+} // namespace gssr
+
+#endif // GSSR_NN_OPTIMIZER_HH

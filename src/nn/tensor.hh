@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Tensor: a dense CHW float tensor — the data type flowing through
+ * the from-scratch CNN inference/training library used by the SR
+ * models.
+ */
+
+#ifndef GSSR_NN_TENSOR_HH
+#define GSSR_NN_TENSOR_HH
+
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+#include "frame/plane.hh"
+
+namespace gssr
+{
+
+/** Dense CHW (channels, height, width) float tensor. */
+class Tensor
+{
+  public:
+    Tensor() = default;
+
+    /** Zero-initialized tensor of shape (c, h, w). */
+    Tensor(int channels, int height, int width)
+        : c_(channels), h_(height), w_(width),
+          data_(size_t(i64(channels) * height * width), 0.0f)
+    {
+        GSSR_ASSERT(channels >= 0 && height >= 0 && width >= 0,
+                    "negative tensor shape");
+    }
+
+    int channels() const { return c_; }
+    int height() const { return h_; }
+    int width() const { return w_; }
+    i64 elementCount() const { return i64(c_) * h_ * w_; }
+    bool empty() const { return data_.empty(); }
+
+    /** Element access. */
+    f32 &
+    at(int c, int y, int x)
+    {
+        checkBounds(c, y, x);
+        return data_[offset(c, y, x)];
+    }
+
+    f32
+    at(int c, int y, int x) const
+    {
+        checkBounds(c, y, x);
+        return data_[offset(c, y, x)];
+    }
+
+    /** Pointer to the start of channel @p c. */
+    f32 *channelData(int c) { return &data_[offset(c, 0, 0)]; }
+    const f32 *channelData(int c) const { return &data_[offset(c, 0, 0)]; }
+
+    std::vector<f32> &data() { return data_; }
+    const std::vector<f32> &data() const { return data_; }
+
+    /** Set every element to @p v. */
+    void fill(f32 v) { std::fill(data_.begin(), data_.end(), v); }
+
+    /** True when shapes match. */
+    bool
+    sameShape(const Tensor &o) const
+    {
+        return c_ == o.c_ && h_ == o.h_ && w_ == o.w_;
+    }
+
+    /** Elementwise in-place addition. */
+    void
+    add(const Tensor &o)
+    {
+        GSSR_ASSERT(sameShape(o), "tensor add shape mismatch");
+        for (size_t i = 0; i < data_.size(); ++i)
+            data_[i] += o.data_[i];
+    }
+
+    /** Build a 1-channel tensor from a plane scaled into [0, 1]. */
+    static Tensor
+    fromPlane(const PlaneU8 &plane)
+    {
+        Tensor t(1, plane.height(), plane.width());
+        for (i64 i = 0; i < plane.sampleCount(); ++i)
+            t.data_[size_t(i)] = f32(plane.data()[size_t(i)]) / 255.0f;
+        return t;
+    }
+
+    /** Convert channel @p c back to a u8 plane ([0,1] -> [0,255]). */
+    PlaneU8
+    toPlane(int c = 0) const
+    {
+        PlaneU8 plane(w_, h_);
+        const f32 *src = channelData(c);
+        for (i64 i = 0; i < plane.sampleCount(); ++i) {
+            f32 v = src[size_t(i)];
+            v = v < 0.0f ? 0.0f : (v > 1.0f ? 1.0f : v);
+            plane.data()[size_t(i)] = u8(v * 255.0f + 0.5f);
+        }
+        return plane;
+    }
+
+  private:
+    size_t
+    offset(int c, int y, int x) const
+    {
+        return size_t((i64(c) * h_ + y) * w_ + x);
+    }
+
+    void
+    checkBounds(int c, int y, int x) const
+    {
+        GSSR_ASSERT(c >= 0 && c < c_ && y >= 0 && y < h_ && x >= 0 &&
+                        x < w_,
+                    "tensor access out of bounds");
+    }
+
+    int c_ = 0;
+    int h_ = 0;
+    int w_ = 0;
+    std::vector<f32> data_;
+};
+
+} // namespace gssr
+
+#endif // GSSR_NN_TENSOR_HH

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Client-side upscaling pipelines (paper Fig. 6 Phase-2). Three
+ * designs share the StreamingClient interface:
+ *
+ *  - GssrClient       — this work: hardware decode, then parallel
+ *                       NPU RoI SR + GPU bilinear for the rest,
+ *                       merged into the HR framebuffer (Fig. 9).
+ *  - NemoClient       — the SOTA baseline (NEMO): software decode
+ *                       (it needs codec internals), full-frame DNN
+ *                       SR on reference frames, CPU bilinear
+ *                       MV/residual reconstruction for the rest.
+ *  - SrDecoderClient  — the paper's Sec. VI future-work prototype:
+ *                       an RoI-guided SR-integrated decoder that
+ *                       caches the upscaled reference frame and
+ *                       reconstructs non-reference frames in the
+ *                       (extended) decoder hardware, bypassing the
+ *                       NPU.
+ *
+ * All pixel computation is real; all latency/energy numbers come
+ * from the device models. `compute_pixels = false` turns a client
+ * into a pure accounting model for latency/energy-only benches.
+ */
+
+#ifndef GSSR_PIPELINE_CLIENT_HH
+#define GSSR_PIPELINE_CLIENT_HH
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "codec/codec.hh"
+#include "device/profiles.hh"
+#include "pipeline/trace.hh"
+#include "sr/upscaler.hh"
+
+namespace gssr
+{
+
+/** Configuration shared by all client designs. */
+struct ClientConfig
+{
+    DeviceProfile device = DeviceProfile::galaxyTabS8();
+
+    /** Received (low) resolution; HR = lr * scale. */
+    Size lr_size{1280, 720};
+    int scale_factor = 2;
+
+    /** Must match the server codec configuration. */
+    CodecConfig codec;
+
+    /**
+     * When false, skip the actual pixel work (decode/SR/merge) and
+     * only produce stage accounting — used by the latency/energy
+     * benches, which do not read pixels.
+     */
+    bool compute_pixels = true;
+
+    /** Trained quality net (required when compute_pixels). */
+    std::shared_ptr<const CompactSrNet> sr_net;
+};
+
+/** Output of processing one frame at the client. */
+struct ClientFrameResult
+{
+    /** Upscaled HR frame (empty in accounting-only mode). */
+    ColorImage upscaled;
+
+    /** Client stage records for this frame. */
+    FrameTrace trace;
+};
+
+/** Abstract client design. */
+class StreamingClient
+{
+  public:
+    explicit StreamingClient(const ClientConfig &config);
+    virtual ~StreamingClient() = default;
+
+    /** Design name for tables ("gamestreamsr", "nemo", ...). */
+    virtual std::string name() const = 0;
+
+    /**
+     * Process one received frame.
+     * @param roi RoI metadata from the server (when present).
+     */
+    virtual ClientFrameResult
+    processFrame(const EncodedFrame &frame,
+                 const std::optional<Rect> &roi) = 0;
+
+    /** High-resolution output size. */
+    Size
+    hrSize() const
+    {
+        return {config_.lr_size.width * config_.scale_factor,
+                config_.lr_size.height * config_.scale_factor};
+    }
+
+    const ClientConfig &config() const { return config_; }
+
+  protected:
+    /** Append the display stage (shared by every design). */
+    void addDisplayStage(FrameTrace &trace) const;
+
+    ClientConfig config_;
+    DnnUpscaler dnn_;
+};
+
+/** This work: RoI-assisted hybrid NPU/GPU upscaling. */
+class GssrClient : public StreamingClient
+{
+  public:
+    explicit GssrClient(const ClientConfig &config);
+
+    std::string name() const override { return "gamestreamsr"; }
+
+    ClientFrameResult processFrame(const EncodedFrame &frame,
+                                   const std::optional<Rect> &roi)
+        override;
+
+  private:
+    HardwareDecoder decoder_;
+};
+
+/** NEMO baseline (Yeo et al., MobiCom 2020) ported to game streams. */
+class NemoClient : public StreamingClient
+{
+  public:
+    explicit NemoClient(const ClientConfig &config);
+
+    std::string name() const override { return "nemo"; }
+
+    ClientFrameResult processFrame(const EncodedFrame &frame,
+                                   const std::optional<Rect> &roi)
+        override;
+
+  private:
+    SoftwareDecoder decoder_;
+    Yuv420Image hr_previous_; ///< reconstructed HR anchor state
+};
+
+/** Sec. VI prototype: RoI-guided SR-integrated decoder. */
+class SrDecoderClient : public StreamingClient
+{
+  public:
+    explicit SrDecoderClient(const ClientConfig &config);
+
+    std::string name() const override { return "sr-decoder"; }
+
+    ClientFrameResult processFrame(const EncodedFrame &frame,
+                                   const std::optional<Rect> &roi)
+        override;
+
+  private:
+    FrameDecoder decoder_; ///< models the SR-integrated HW decoder
+    Yuv420Image hr_cached_; ///< decoder-buffer cached upscaled ref
+    Rect hr_roi_;           ///< RoI (HR coordinates) of the cached ref
+};
+
+} // namespace gssr
+
+#endif // GSSR_PIPELINE_CLIENT_HH

@@ -1,0 +1,125 @@
+#include "pipeline/server.hh"
+
+#include "common/mathutil.hh"
+#include "frame/downsample.hh"
+
+namespace gssr
+{
+
+GameStreamServer::GameStreamServer(const GameWorld &world,
+                                   const ServerConfig &config,
+                                   const ServerProfile &profile,
+                                   Size roi_window)
+    : world_(world), config_(config), profile_(profile),
+      roi_window_(roi_window), roi_detector_(profile),
+      encoder_(config.codec, config.proxy_size.area() > 0
+                                 ? config.proxy_size
+                                 : config.lr_size)
+{
+    GSSR_ASSERT(config_.fps > 0.0, "server fps must be positive");
+    GSSR_ASSERT(config_.scale_factor >= 2, "scale factor must be >= 2");
+    if (config_.proxy_size.area() > 0) {
+        GSSR_ASSERT(config_.proxy_size.width <= config_.lr_size.width &&
+                        config_.proxy_size.height <=
+                            config_.lr_size.height,
+                    "proxy size must not exceed the stream size");
+    }
+    if (config_.target_bitrate_mbps > 0.0) {
+        RateControlConfig rc;
+        rc.target_mbps = config_.target_bitrate_mbps;
+        rc.fps = config_.fps;
+        rate_controller_.emplace(rc, config_.codec.qp);
+    }
+}
+
+ServerFrameOutput
+GameStreamServer::nextFrame()
+{
+    ServerFrameOutput out;
+    out.time_s = f64(frame_index_) / config_.fps;
+    out.trace.frame_index = frame_index_;
+
+    // Step 1-2 (Fig. 1a): input capture + game logic tick.
+    out.trace.add(Stage::InputCapture, Resource::ServerCpu,
+                  profile_.input_capture_ms, 0.0);
+    out.trace.add(Stage::GameLogic, Resource::ServerCpu,
+                  profile_.game_logic_ms, 0.0);
+
+    // Render the LR frame with supersampling anti-aliasing; the
+    // depth buffer falls out of the rasterizer's z-buffer for free
+    // (Sec. III-B). In proxy mode we rasterize at the reduced size
+    // but keep charging lr_size model latencies.
+    const bool proxy = config_.proxy_size.area() > 0;
+    const Size render_size =
+        proxy ? config_.proxy_size : config_.lr_size;
+    const int ss = std::max(1, config_.supersample);
+    Scene scene = world_.sceneAt(out.time_s);
+    RenderOutput rendered = renderScene(
+        scene, {render_size.width * ss, render_size.height * ss});
+    out.rendered.color = boxDownsample(rendered.color, ss);
+    out.rendered.depth = boxDownsample(rendered.depth, ss);
+    if (config_.keep_hr_render) {
+        GSSR_ASSERT(!proxy && ss == config_.scale_factor,
+                    "keep_hr_render requires supersample == scale "
+                    "and no proxy");
+        out.hr_render = std::move(rendered.color);
+    }
+    out.rendered.index = frame_index_;
+    out.rendered.input_time_ms = out.time_s * 1e3;
+    out.trace.add(Stage::Render, Resource::ServerGpu,
+                  profile_.render_720p_ms, 0.0);
+
+    // Depth-guided RoI detection on the server GPU (Fig. 6 step-3).
+    if (config_.enable_roi) {
+        f64 scale_x = f64(config_.lr_size.width) / render_size.width;
+        f64 scale_y = f64(config_.lr_size.height) / render_size.height;
+        Size window = roi_window_;
+        if (proxy) {
+            window = {std::max(1, int(window.width / scale_x)),
+                      std::max(1, int(window.height / scale_y))};
+        }
+        RoiDetection detection =
+            roi_detector_.detect(out.rendered.depth, window);
+        Rect roi = detection.roi;
+        if (proxy) {
+            roi = {int(roi.x * scale_x), int(roi.y * scale_y),
+                   roi_window_.width, roi_window_.height};
+            roi.x = clamp(roi.x, 0,
+                          config_.lr_size.width - roi.width);
+            roi.y = clamp(roi.y, 0,
+                          config_.lr_size.height - roi.height);
+        }
+        out.roi = roi;
+        out.depth_guided = detection.depth_guided;
+        out.trace.add(Stage::RoiDetect, Resource::ServerGpu,
+                      detection.server_gpu_ms, 0.0);
+    }
+
+    // Encode (server hardware encoder). In proxy mode the byte count
+    // is scaled by the area ratio (bitrate scales ~linearly with
+    // pixel count for the same content and qp).
+    if (rate_controller_) {
+        encoder_.setQp(rate_controller_->qpForNextFrame(
+            encoder_.nextFrameType()));
+    }
+    out.encoded = encoder_.encode(out.rendered.color);
+    out.rendered.type = out.encoded.type;
+    out.trace.type = out.encoded.type;
+    size_t stream_bytes = out.encoded.sizeBytes();
+    if (proxy) {
+        stream_bytes = size_t(
+            f64(stream_bytes) * f64(config_.lr_size.area()) /
+            f64(render_size.area()));
+    }
+    out.trace.encoded_bytes = stream_bytes;
+    if (rate_controller_)
+        rate_controller_->observeBytes(stream_bytes);
+    out.trace.add(Stage::Encode, Resource::ServerGpu,
+                  profile_.encodeLatencyMs(config_.lr_size.area()),
+                  0.0);
+
+    frame_index_ += 1;
+    return out;
+}
+
+} // namespace gssr

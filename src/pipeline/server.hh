@@ -1,0 +1,141 @@
+/**
+ * @file
+ * The cloud-gaming server pipeline (paper Fig. 6 Phase-1): on each
+ * user input, advance the game, render the low-resolution frame with
+ * its depth buffer, run depth-guided RoI detection, encode, and hand
+ * the (encoded frame, RoI coordinates) pair to the network.
+ */
+
+#ifndef GSSR_PIPELINE_SERVER_HH
+#define GSSR_PIPELINE_SERVER_HH
+
+#include <optional>
+
+#include "codec/codec.hh"
+#include "codec/rate_control.hh"
+#include "device/profiles.hh"
+#include "pipeline/trace.hh"
+#include "render/games.hh"
+#include "render/rasterizer.hh"
+#include "roi/roi_detector.hh"
+
+namespace gssr
+{
+
+/** Server-side configuration. */
+struct ServerConfig
+{
+    /** Streamed (low) resolution. */
+    Size lr_size{1280, 720};
+
+    /** Client SR scale factor (target = lr * scale). */
+    int scale_factor = 2;
+
+    /** Codec configuration (GOP size, qp). */
+    CodecConfig codec;
+
+    /**
+     * Depth-guided RoI detection on (GameStreamSR) or off (the NEMO
+     * baseline server streams without RoI metadata).
+     */
+    bool enable_roi = true;
+
+    /** Target frame rate driving the input/tick cadence. */
+    f64 fps = 60.0;
+
+    /**
+     * Encoder rate-control target (Mbit/s); 0 disables rate control
+     * and the codec qp stays fixed.
+     */
+    f64 target_bitrate_mbps = 0.0;
+
+    /**
+     * Supersampling factor of the server render: the LR frame is
+     * rasterized at supersample x resolution and box-downsampled
+     * (i.e. SSAA — game engines stream anti-aliased frames; see
+     * frame/downsample.hh). When supersample == scale_factor the
+     * pre-downsample render doubles as the native high-resolution
+     * ground truth for quality measurement.
+     */
+    int supersample = 2;
+
+    /**
+     * Keep the pre-downsample (high-resolution) render in the frame
+     * output for quality measurement. Requires
+     * supersample == scale_factor.
+     */
+    bool keep_hr_render = false;
+
+    /**
+     * Accounting-only fast path: when non-zero, the server actually
+     * rasterizes and encodes at this reduced resolution (same aspect
+     * ratio) while *charging* all model latencies for lr_size and
+     * scaling the RoI coordinates and compressed byte counts up to
+     * lr_size. Only valid when the client runs with
+     * compute_pixels = false (the proxy pixels are never displayed).
+     */
+    Size proxy_size{0, 0};
+};
+
+/** One produced frame, ready for transmission. */
+struct ServerFrameOutput
+{
+    EncodedFrame encoded;
+
+    /** RoI on the LR frame (unset when RoI detection is off). */
+    std::optional<Rect> roi;
+
+    /** False when the RoI came from the centre fallback. */
+    bool depth_guided = false;
+
+    /** The rendered LR frame (color + depth), pre-encode. */
+    Frame rendered;
+
+    /**
+     * Native high-resolution render (the quality ground truth);
+     * only kept when ServerConfig::keep_hr_render is set.
+     */
+    ColorImage hr_render;
+
+    /** Simulation time of this frame (seconds). */
+    f64 time_s = 0.0;
+
+    /** Server + RoI stage records (client appends its own). */
+    FrameTrace trace;
+};
+
+/** Streaming server bound to one game world. */
+class GameStreamServer
+{
+  public:
+    /**
+     * @param world game world to stream (borrowed).
+     * @param roi_window the RoI window size the client negotiated at
+     *        session start (Fig. 6 step-1); ignored when RoI is off.
+     */
+    GameStreamServer(const GameWorld &world, const ServerConfig &config,
+                     const ServerProfile &profile, Size roi_window);
+
+    /** Produce the next frame of the stream. */
+    ServerFrameOutput nextFrame();
+
+    /** Frames produced so far. */
+    i64 frameCount() const { return frame_index_; }
+
+    const ServerConfig &config() const { return config_; }
+    const RoiDetector &roiDetector() const { return roi_detector_; }
+
+  private:
+    const GameWorld &world_;
+    ServerConfig config_;
+    ServerProfile profile_;
+    Size roi_window_;
+    RoiDetector roi_detector_;
+    GopEncoder encoder_;
+    std::optional<RateController> rate_controller_;
+    i64 frame_index_ = 0;
+};
+
+} // namespace gssr
+
+#endif // GSSR_PIPELINE_SERVER_HH

@@ -1,0 +1,281 @@
+#include "pipeline/session.hh"
+
+#include <cmath>
+
+#include "common/mathutil.hh"
+#include "metrics/psnr.hh"
+#include "roi/foveal.hh"
+
+namespace gssr
+{
+
+const char *
+designName(DesignKind design)
+{
+    switch (design) {
+      case DesignKind::GameStreamSR:
+        return "gamestreamsr";
+      case DesignKind::Nemo:
+        return "nemo";
+      case DesignKind::SrDecoder:
+        return "sr-decoder";
+    }
+    return "?";
+}
+
+namespace
+{
+
+std::unique_ptr<StreamingClient>
+makeClient(DesignKind design, const ClientConfig &config)
+{
+    switch (design) {
+      case DesignKind::GameStreamSR:
+        return std::make_unique<GssrClient>(config);
+      case DesignKind::Nemo:
+        return std::make_unique<NemoClient>(config);
+      case DesignKind::SrDecoder:
+        return std::make_unique<SrDecoderClient>(config);
+    }
+    panic("unknown design");
+}
+
+} // namespace
+
+Size
+negotiatedRoiWindow(const DeviceProfile &device, int scale_factor,
+                    Size lr_size)
+{
+    // Probe with the deployed SR model (EDSR cost model); the
+    // quality net inside the upscaler is irrelevant for sizing.
+    DnnUpscaler probe(std::make_shared<const CompactSrNet>(),
+                      scale_factor);
+    return chooseRoiWindow(FovealParams{}, device.display_ppi,
+                           device.npu, probe, scale_factor, lr_size);
+}
+
+f64
+SessionResult::meanMtpMs(FrameType type) const
+{
+    f64 total = 0.0;
+    i64 n = 0;
+    for (const auto &t : traces) {
+        if (t.type == type && !t.dropped) {
+            total += t.mtpLatencyMs();
+            n += 1;
+        }
+    }
+    return n ? total / f64(n) : 0.0;
+}
+
+f64
+SessionResult::meanStageMs(Stage stage, FrameType type) const
+{
+    f64 total = 0.0;
+    i64 n = 0;
+    for (const auto &t : traces) {
+        if (t.type == type && !t.dropped) {
+            total += t.stageLatencyMs(stage);
+            n += 1;
+        }
+    }
+    return n ? total / f64(n) : 0.0;
+}
+
+f64
+SessionResult::meanBottleneckMs(FrameType type) const
+{
+    f64 total = 0.0;
+    i64 n = 0;
+    for (const auto &t : traces) {
+        if (t.type == type && !t.dropped) {
+            total += t.clientBottleneckMs();
+            n += 1;
+        }
+    }
+    return n ? total / f64(n) : 0.0;
+}
+
+f64
+SessionResult::outputFps(FrameType type) const
+{
+    f64 bottleneck = meanBottleneckMs(type);
+    return bottleneck > 0.0 ? 1000.0 / bottleneck : 0.0;
+}
+
+f64
+SessionResult::meanClientEnergyMj() const
+{
+    f64 total = 0.0;
+    i64 n = 0;
+    for (const auto &t : traces) {
+        total += t.clientEnergyMj();
+        n += 1;
+    }
+    return n ? total / f64(n) : 0.0;
+}
+
+f64
+SessionResult::overallClientEnergyMj(f64 base_power_w) const
+{
+    f64 processing = 0.0;
+    for (const auto &t : traces)
+        processing += t.clientEnergyMj();
+    f64 session_ms = f64(traces.size()) * 1000.0 / 60.0;
+    return processing + base_power_w * session_ms;
+}
+
+f64
+SessionResult::meanPsnrDb() const
+{
+    f64 total = 0.0;
+    i64 n = 0;
+    for (const auto &q : quality) {
+        total += q.psnr_db;
+        n += 1;
+    }
+    return n ? total / f64(n) : 0.0;
+}
+
+f64
+SessionResult::meanLpips() const
+{
+    f64 total = 0.0;
+    i64 n = 0;
+    for (const auto &q : quality) {
+        if (q.lpips >= 0.0) {
+            total += q.lpips;
+            n += 1;
+        }
+    }
+    return n ? total / f64(n) : 0.0;
+}
+
+SessionResult
+runSession(const SessionConfig &config)
+{
+    GSSR_ASSERT(config.frames >= 1, "session needs at least one frame");
+
+    GameWorld world(config.game, config.world_seed);
+
+    ServerConfig server_config;
+    server_config.lr_size = config.lr_size;
+    server_config.scale_factor = config.scale_factor;
+    server_config.codec = config.codec;
+    server_config.enable_roi =
+        config.design != DesignKind::Nemo; // NEMO has no RoI phase
+    server_config.target_bitrate_mbps = config.target_bitrate_mbps;
+    if (config.server_proxy_size.area() > 0) {
+        GSSR_ASSERT(!config.compute_pixels,
+                    "server proxy mode is accounting-only");
+        server_config.proxy_size = config.server_proxy_size;
+    }
+    if (!config.compute_pixels) {
+        // Accounting runs never look at pixels; skip the
+        // supersampled render.
+        server_config.supersample = 1;
+    } else if (config.measure_quality &&
+               config.scale_factor == server_config.supersample) {
+        // The pre-downsample render doubles as the ground truth.
+        server_config.keep_hr_render = true;
+    }
+
+    // Negotiate the RoI window at the paper's reference resolution
+    // (720p), then scale it with the configured stream width so a
+    // reduced-resolution session keeps the same RoI area *fraction*
+    // (~9.8 % of the frame for a 300 px window on 720p).
+    Size reference_window = negotiatedRoiWindow(
+        config.device, config.scale_factor, {1280, 720});
+    int edge = int(std::lround(f64(reference_window.width) *
+                               config.lr_size.width / 1280.0));
+    edge = clamp(edge, 16,
+                 std::min(config.lr_size.width,
+                          config.lr_size.height));
+    Size roi_window{edge, edge};
+
+    GameStreamServer server(world, server_config,
+                            config.server_profile, roi_window);
+
+    ClientConfig client_config;
+    client_config.device = config.device;
+    client_config.lr_size = config.lr_size;
+    client_config.scale_factor = config.scale_factor;
+    client_config.codec = config.codec;
+    client_config.compute_pixels = config.compute_pixels;
+    client_config.sr_net = config.sr_net;
+    auto client = makeClient(config.design, client_config);
+
+    NetworkChannel channel(config.channel, config.channel_seed);
+
+    PerceptualMetric perceptual;
+
+    Size hr_size{config.lr_size.width * config.scale_factor,
+                 config.lr_size.height * config.scale_factor};
+
+    SessionResult result;
+    f64 mean_frame_bytes = 0.0;
+    int measured = 0;
+
+    for (int i = 0; i < config.frames; ++i) {
+        ServerFrameOutput produced = server.nextFrame();
+        FrameTrace trace = produced.trace;
+
+        // Network transmission: the offered load is the running
+        // stream bitrate. The very first (intra) frame is amortized
+        // over its GOP — a paced encoder emits at the average rate,
+        // not at the instantaneous key-frame rate.
+        if (mean_frame_bytes == 0.0) {
+            mean_frame_bytes = f64(produced.encoded.sizeBytes()) /
+                               f64(config.codec.gop_size);
+        } else {
+            mean_frame_bytes =
+                0.9 * mean_frame_bytes +
+                0.1 * f64(produced.encoded.sizeBytes());
+        }
+        f64 offered = streamBitrateMbps(mean_frame_bytes, 60.0);
+        TransmitResult tx =
+            channel.transmitFrame(produced.encoded.sizeBytes(),
+                                  offered);
+        trace.dropped = tx.dropped;
+        trace.add(Stage::Network, Resource::NetworkLink, tx.latency_ms,
+                  config.device.radio.energyMj(
+                      i64(produced.encoded.sizeBytes())));
+
+        // Client processing. Dropped frames are still fed to the
+        // client so the codec reference chain stays intact (a real
+        // deployment retransmits or conceals; we keep the comparison
+        // between designs content-identical).
+        ClientFrameResult processed =
+            client->processFrame(produced.encoded, produced.roi);
+        for (const auto &record : processed.trace.records)
+            trace.records.push_back(record);
+
+        // Quality vs. the native HR render of the same scene.
+        if (config.measure_quality && config.compute_pixels &&
+            i % config.quality_stride == 0) {
+            ColorImage ground_truth =
+                produced.hr_render.empty()
+                    ? renderScene(world.sceneAt(produced.time_s),
+                                  hr_size)
+                          .color
+                    : std::move(produced.hr_render);
+            FrameQuality q;
+            q.frame_index = produced.encoded.index;
+            q.type = produced.encoded.type;
+            q.psnr_db = psnr(processed.upscaled, ground_truth);
+            if (config.measure_perceptual &&
+                measured % config.perceptual_stride == 0) {
+                q.lpips =
+                    perceptual.distance(processed.upscaled,
+                                        ground_truth);
+            }
+            result.quality.push_back(q);
+            measured += 1;
+        }
+
+        result.traces.push_back(std::move(trace));
+    }
+    return result;
+}
+
+} // namespace gssr

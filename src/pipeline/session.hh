@@ -1,0 +1,137 @@
+/**
+ * @file
+ * End-to-end streaming session driver: wires a game world, the
+ * server pipeline, the network channel and one client design
+ * together, runs a configurable number of frames, and collects the
+ * per-frame traces and quality measurements the benchmark harness
+ * aggregates into the paper's figures.
+ */
+
+#ifndef GSSR_PIPELINE_SESSION_HH
+#define GSSR_PIPELINE_SESSION_HH
+
+#include <memory>
+#include <vector>
+
+#include "metrics/perceptual.hh"
+#include "net/channel.hh"
+#include "pipeline/client.hh"
+#include "pipeline/server.hh"
+
+namespace gssr
+{
+
+/** Client design selection. */
+enum class DesignKind
+{
+    GameStreamSR, ///< this work
+    Nemo,         ///< SOTA baseline
+    SrDecoder,    ///< Sec. VI future-work prototype
+};
+
+/** Design name for tables. */
+const char *designName(DesignKind design);
+
+/** Full session configuration. */
+struct SessionConfig
+{
+    GameId game = GameId::G3_Witcher3;
+    u64 world_seed = 1;
+
+    /** Number of frames to stream. */
+    int frames = 60;
+
+    DesignKind design = DesignKind::GameStreamSR;
+    DeviceProfile device = DeviceProfile::galaxyTabS8();
+    ServerProfile server_profile = ServerProfile::gamingWorkstation();
+    ChannelConfig channel = ChannelConfig::wifi();
+    u64 channel_seed = 99;
+
+    /** Streamed resolution and scale. */
+    Size lr_size{1280, 720};
+    int scale_factor = 2;
+    CodecConfig codec;
+
+    /** Encoder rate-control target (Mbit/s); 0 = fixed qp. */
+    f64 target_bitrate_mbps = 0.0;
+
+    /** Skip pixel work (latency/energy-only benches). */
+    bool compute_pixels = true;
+
+    /**
+     * Accounting-only server fast path: rasterize/encode at this
+     * reduced resolution while charging lr_size model numbers (see
+     * ServerConfig::proxy_size). Requires compute_pixels == false.
+     */
+    Size server_proxy_size{0, 0};
+
+    /** Trained SR net (required when compute_pixels). */
+    std::shared_ptr<const CompactSrNet> sr_net;
+
+    /** Measure PSNR every quality_stride-th frame. */
+    bool measure_quality = false;
+    int quality_stride = 1;
+
+    /** Additionally measure the perceptual (LPIPS-proxy) metric
+     *  every perceptual_stride-th measured frame. */
+    bool measure_perceptual = false;
+    int perceptual_stride = 10;
+};
+
+/** Quality of one sampled frame vs. the native HR render. */
+struct FrameQuality
+{
+    i64 frame_index = 0;
+    FrameType type = FrameType::Reference;
+    f64 psnr_db = 0.0;
+    f64 lpips = -1.0; ///< negative when not measured
+};
+
+/** Collected session output. */
+struct SessionResult
+{
+    std::vector<FrameTrace> traces;
+    std::vector<FrameQuality> quality;
+
+    /** Mean MTP latency over frames of @p type. */
+    f64 meanMtpMs(FrameType type) const;
+
+    /** Mean latency of one stage over frames of @p type. */
+    f64 meanStageMs(Stage stage, FrameType type) const;
+
+    /** Mean client pipelined-throughput bound for @p type frames. */
+    f64 meanBottleneckMs(FrameType type) const;
+
+    /** Output FPS for @p type frames (1000 / mean bottleneck). */
+    f64 outputFps(FrameType type) const;
+
+    /** Mean client-side processing energy per frame (mJ). */
+    f64 meanClientEnergyMj() const;
+
+    /**
+     * Total client energy over the session, including the constant
+     * device base power over the wall-clock session length
+     * (frames x 16.66 ms) — the Fig. 11 quantity.
+     */
+    f64 overallClientEnergyMj(f64 base_power_w) const;
+
+    /** Mean PSNR over measured frames. */
+    f64 meanPsnrDb() const;
+
+    /** Mean LPIPS-proxy over frames where it was measured. */
+    f64 meanLpips() const;
+};
+
+/** Run one full session. */
+SessionResult runSession(const SessionConfig &config);
+
+/**
+ * The RoI window a device negotiates at session start (Fig. 6
+ * step-1): probes the device NPU model with the EDSR cost model.
+ */
+Size negotiatedRoiWindow(const DeviceProfile &device, int scale_factor,
+                         Size lr_size);
+
+} // namespace gssr
+
+#endif // GSSR_PIPELINE_SESSION_HH

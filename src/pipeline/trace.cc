@@ -1,0 +1,58 @@
+#include "pipeline/trace.hh"
+
+namespace gssr
+{
+
+const char *
+stageName(Stage stage)
+{
+    switch (stage) {
+      case Stage::InputCapture:
+        return "input";
+      case Stage::GameLogic:
+        return "game-logic";
+      case Stage::Render:
+        return "render";
+      case Stage::RoiDetect:
+        return "roi-detect";
+      case Stage::Encode:
+        return "encode";
+      case Stage::Network:
+        return "network";
+      case Stage::Decode:
+        return "decode";
+      case Stage::Upscale:
+        return "upscale";
+      case Stage::Merge:
+        return "merge";
+      case Stage::Display:
+        return "display";
+    }
+    return "?";
+}
+
+const char *
+resourceName(Resource resource)
+{
+    switch (resource) {
+      case Resource::ServerCpu:
+        return "server-cpu";
+      case Resource::ServerGpu:
+        return "server-gpu";
+      case Resource::NetworkLink:
+        return "network";
+      case Resource::ClientCpu:
+        return "client-cpu";
+      case Resource::ClientGpu:
+        return "client-gpu";
+      case Resource::ClientNpu:
+        return "client-npu";
+      case Resource::ClientHwDecoder:
+        return "client-hw-decoder";
+      case Resource::ClientDisplay:
+        return "client-display";
+    }
+    return "?";
+}
+
+} // namespace gssr

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Per-frame latency/energy accounting. Every pipeline stage a frame
+ * passes through appends a StageRecord{stage, device, latency,
+ * energy}; the benchmark harness aggregates these traces into the
+ * paper's figures (FPS, MTP breakdown, energy breakdown).
+ */
+
+#ifndef GSSR_PIPELINE_TRACE_HH
+#define GSSR_PIPELINE_TRACE_HH
+
+#include <string>
+#include <vector>
+
+#include "frame/frame.hh"
+
+namespace gssr
+{
+
+/** Game-streaming pipeline stages (Fig. 1a + Fig. 6). */
+enum class Stage
+{
+    InputCapture,
+    GameLogic,
+    Render,
+    RoiDetect,
+    Encode,
+    Network,
+    Decode,
+    Upscale,
+    Merge,
+    Display,
+};
+
+/** Compute resource a stage ran on. */
+enum class Resource
+{
+    ServerCpu,
+    ServerGpu,
+    NetworkLink,
+    ClientCpu,
+    ClientGpu,
+    ClientNpu,
+    ClientHwDecoder,
+    ClientDisplay,
+};
+
+/** Stage name for tables. */
+const char *stageName(Stage stage);
+
+/** Resource name for tables. */
+const char *resourceName(Resource resource);
+
+/** One executed stage. */
+struct StageRecord
+{
+    Stage stage;
+    Resource resource;
+    f64 latency_ms = 0.0;
+    f64 energy_mj = 0.0;
+};
+
+/** Complete trace of one frame through the pipeline. */
+struct FrameTrace
+{
+    i64 frame_index = 0;
+    FrameType type = FrameType::Reference;
+    bool dropped = false;         ///< lost in the network
+    size_t encoded_bytes = 0;
+    std::vector<StageRecord> records;
+
+    /** Append a stage record. */
+    void
+    add(Stage stage, Resource resource, f64 latency_ms, f64 energy_mj)
+    {
+        records.push_back({stage, resource, latency_ms, energy_mj});
+    }
+
+    /** Motion-to-photon latency: sum of all stage latencies. */
+    f64
+    mtpLatencyMs() const
+    {
+        f64 total = 0.0;
+        for (const auto &r : records)
+            total += r.latency_ms;
+        return total;
+    }
+
+    /** Total latency of one stage (0 when absent). */
+    f64
+    stageLatencyMs(Stage stage) const
+    {
+        f64 total = 0.0;
+        for (const auto &r : records)
+            if (r.stage == stage)
+                total += r.latency_ms;
+        return total;
+    }
+
+    /** Total energy of one stage (0 when absent). */
+    f64
+    stageEnergyMj(Stage stage) const
+    {
+        f64 total = 0.0;
+        for (const auto &r : records)
+            if (r.stage == stage)
+                total += r.energy_mj;
+        return total;
+    }
+
+    /** Energy drawn on the client device (all client resources). */
+    f64
+    clientEnergyMj() const
+    {
+        f64 total = 0.0;
+        for (const auto &r : records) {
+            switch (r.resource) {
+              case Resource::ClientCpu:
+              case Resource::ClientGpu:
+              case Resource::ClientNpu:
+              case Resource::ClientHwDecoder:
+              case Resource::ClientDisplay:
+                total += r.energy_mj;
+                break;
+              default:
+                break;
+            }
+        }
+        return total;
+    }
+
+    /**
+     * The client-side work that limits pipelined throughput. Stages
+     * on *different* resources (HW decoder, NPU, GPU) overlap across
+     * consecutive frames, but stages serialized on the *same*
+     * resource (NEMO's CPU decode + CPU upscale) add up. Output FPS
+     * is 1000 / this.
+     */
+    f64
+    clientBottleneckMs() const
+    {
+        f64 per_resource[8] = {};
+        for (const auto &r : records) {
+            if (r.stage == Stage::Decode || r.stage == Stage::Upscale ||
+                r.stage == Stage::Merge) {
+                per_resource[size_t(r.resource)] += r.latency_ms;
+            }
+        }
+        f64 bottleneck = 0.0;
+        for (f64 v : per_resource)
+            bottleneck = std::max(bottleneck, v);
+        return bottleneck;
+    }
+};
+
+} // namespace gssr
+
+#endif // GSSR_PIPELINE_TRACE_HH

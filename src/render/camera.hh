@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Perspective camera for the software renderer (paper Fig. 4 step-a:
+ * vertex processing). Produces a combined view-projection matrix; the
+ * rasterizer performs clipping, perspective division and the viewport
+ * transform.
+ */
+
+#ifndef GSSR_RENDER_CAMERA_HH
+#define GSSR_RENDER_CAMERA_HH
+
+#include <cmath>
+
+#include "common/mathutil.hh"
+
+namespace gssr
+{
+
+/**
+ * Right-handed perspective camera. The camera looks along -Z in view
+ * space; yaw rotates about +Y, pitch about +X.
+ */
+class Camera
+{
+  public:
+    /** Camera position in world space. */
+    Vec3 position{0.0, 1.7, 0.0};
+
+    /** Heading in radians (0 looks along -Z, positive turns left). */
+    f64 yaw = 0.0;
+
+    /** Elevation in radians (positive looks up). */
+    f64 pitch = 0.0;
+
+    /** Vertical field of view in radians. */
+    f64 fov_y = 60.0 * M_PI / 180.0;
+
+    /** Near clip plane distance (> 0). */
+    f64 near_plane = 0.1;
+
+    /** Far clip plane distance (> near). */
+    f64 far_plane = 200.0;
+
+    /** Unit forward direction in world space. */
+    Vec3
+    forward() const
+    {
+        return Vec3{-std::sin(yaw) * std::cos(pitch), std::sin(pitch),
+                    -std::cos(yaw) * std::cos(pitch)}
+            .normalized();
+    }
+
+    /** World-to-view matrix. */
+    Mat4
+    viewMatrix() const
+    {
+        // Inverse of translate(position) * rotY(yaw) * rotX(pitch):
+        // rotX(-pitch) * rotY(-yaw) * translate(-position).
+        return Mat4::rotateX(-pitch) * Mat4::rotateY(-yaw) *
+               Mat4::translate(position * -1.0);
+    }
+
+    /** View-to-clip perspective projection for @p aspect = w/h. */
+    Mat4
+    projectionMatrix(f64 aspect) const
+    {
+        Mat4 p; // zero
+        f64 f = 1.0 / std::tan(fov_y * 0.5);
+        f64 n = near_plane, fa = far_plane;
+        p.m[0] = f / aspect;
+        p.m[5] = f;
+        p.m[10] = (fa + n) / (n - fa);
+        p.m[11] = -1.0;
+        p.m[14] = 2.0 * fa * n / (n - fa);
+        return p;
+    }
+
+    /** Combined world-to-clip matrix. */
+    Mat4
+    viewProjection(f64 aspect) const
+    {
+        return projectionMatrix(aspect) * viewMatrix();
+    }
+};
+
+} // namespace gssr
+
+#endif // GSSR_RENDER_CAMERA_HH

@@ -1,0 +1,373 @@
+#include "render/games.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace gssr
+{
+
+namespace
+{
+
+const std::array<GameInfo, 12> kAllGames = {{
+    {GameId::G1_MetroExodus, "G1", "Metro Exodus",
+     "First Person Shooter", ViewPerspective::FirstPerson},
+    {GameId::G2_FarCry5, "G2", "Far Cry 5", "Third Person Shooter",
+     ViewPerspective::ThirdPerson},
+    {GameId::G3_Witcher3, "G3", "Witcher 3", "Role playing",
+     ViewPerspective::ThirdPerson},
+    {GameId::G4_RedDeadRedemption2, "G4", "Red Dead Redemption 2",
+     "Action", ViewPerspective::ThirdPerson},
+    {GameId::G5_GrandTheftAutoV, "G5", "Grand Theft Auto V",
+     "Adventure", ViewPerspective::ThirdPerson},
+    {GameId::G6_GodOfWar, "G6", "God of War", "Action-adventure",
+     ViewPerspective::ThirdPerson},
+    {GameId::G7_TombRaider, "G7", "Shadow of the Tomb Raider",
+     "Survival", ViewPerspective::ThirdPerson},
+    {GameId::G8_PlagueTale, "G8", "A Plague Tale: Requiem", "Stealth",
+     ViewPerspective::ThirdPerson},
+    {GameId::G9_FarmingSimulator, "G9", "Farming Simulator 22",
+     "Simulation", ViewPerspective::ThirdPerson},
+    {GameId::G10_ForzaHorizon5, "G10", "Forza Horizon 5", "Racing",
+     ViewPerspective::ThirdPerson},
+    {GameId::TopDownStrategy, "TD", "Top-Down Strategy (degenerate)",
+     "Strategy", ViewPerspective::TopDown},
+    {GameId::SideScroller, "SS", "Side-Scroller (degenerate)",
+     "Platformer", ViewPerspective::SideScroll},
+}};
+
+/** World-space length of the camera path (units). */
+constexpr f64 kWorldLength = 400.0;
+
+} // namespace
+
+const std::array<GameInfo, 10> &
+tableOneGames()
+{
+    static const std::array<GameInfo, 10> games = [] {
+        std::array<GameInfo, 10> out{};
+        for (int i = 0; i < 10; ++i)
+            out[size_t(i)] = kAllGames[size_t(i)];
+        return out;
+    }();
+    return games;
+}
+
+const GameInfo &
+gameInfo(GameId id)
+{
+    for (const auto &info : kAllGames)
+        if (info.id == id)
+            return info;
+    panic("unknown GameId");
+}
+
+GameWorld::GameWorld(GameId id, u64 seed)
+    : info_(gameInfo(id)), seed_(seed)
+{
+    // Genre-specific tuning. Values chosen so the depth statistics
+    // (near/far separation, motion magnitude, clutter) differ across
+    // workloads the way the genres differ.
+    Config &c = config_;
+    switch (id) {
+      case GameId::G1_MetroExodus: // FPS in a ruined corridor
+        c.camera_speed = 3.5;
+        c.corridor = true;
+        c.prop_count = 26;
+        c.building_count = 8;
+        c.fog_density = 0.012;
+        c.ground_color = {84, 80, 74};
+        break;
+      case GameId::G2_FarCry5: // open terrain, trees
+        c.camera_speed = 4.5;
+        c.has_avatar = true;
+        c.tree_count = 46;
+        c.prop_count = 14;
+        c.ground_color = {88, 126, 66};
+        break;
+      case GameId::G3_Witcher3: // village + countryside
+        c.camera_speed = 3.0;
+        c.has_avatar = true;
+        c.tree_count = 28;
+        c.building_count = 18;
+        c.prop_count = 18;
+        c.ground_color = {104, 122, 70};
+        break;
+      case GameId::G4_RedDeadRedemption2: // plains, sparse props
+        c.camera_speed = 5.5;
+        c.has_avatar = true;
+        c.tree_count = 18;
+        c.prop_count = 10;
+        c.fog_density = 0.003;
+        c.ground_color = {140, 118, 78};
+        break;
+      case GameId::G5_GrandTheftAutoV: // dense city grid
+        c.camera_speed = 6.0;
+        c.has_avatar = true;
+        c.has_vehicle = true;
+        c.building_count = 56;
+        c.prop_count = 20;
+        c.ground_color = {92, 92, 96};
+        c.ground_material = Material::Checker;
+        break;
+      case GameId::G6_GodOfWar: // rocky, mid-density
+        c.camera_speed = 2.8;
+        c.has_avatar = true;
+        c.tree_count = 16;
+        c.prop_count = 30;
+        c.fog_density = 0.006;
+        c.ground_color = {110, 112, 118};
+        break;
+      case GameId::G7_TombRaider: // tight cave corridor
+        c.camera_speed = 2.2;
+        c.has_avatar = true;
+        c.corridor = true;
+        c.prop_count = 22;
+        c.fog_density = 0.016;
+        c.ground_color = {96, 90, 80};
+        break;
+      case GameId::G8_PlagueTale: // slow stealth alley
+        c.camera_speed = 1.6;
+        c.has_avatar = true;
+        c.corridor = true;
+        c.building_count = 20;
+        c.prop_count = 16;
+        c.fog_density = 0.010;
+        c.ground_color = {88, 86, 82};
+        break;
+      case GameId::G9_FarmingSimulator: // flat fields, slow vehicle
+        c.camera_speed = 2.0;
+        c.has_vehicle = true;
+        c.tree_count = 10;
+        c.prop_count = 6;
+        c.fog_density = 0.002;
+        c.ground_color = {122, 132, 60};
+        c.ground_material = Material::Checker;
+        break;
+      case GameId::G10_ForzaHorizon5: // fast road
+        c.camera_speed = 22.0;
+        c.has_vehicle = true;
+        c.tree_count = 30;
+        c.building_count = 10;
+        c.prop_count = 8;
+        c.yaw_amplitude = 0.06;
+        c.ground_color = {70, 70, 74};
+        c.ground_material = Material::Checker;
+        break;
+      case GameId::TopDownStrategy:
+        c.camera_speed = 1.2;
+        c.camera_height = 60.0;
+        c.yaw_amplitude = 0.0;
+        c.building_count = 40;
+        c.prop_count = 20;
+        c.fog_density = 0.0;
+        break;
+      case GameId::SideScroller:
+        c.camera_speed = 3.0;
+        c.camera_height = 4.0;
+        c.yaw_amplitude = 0.0;
+        c.prop_count = 40;
+        c.fog_density = 0.0;
+        break;
+    }
+
+    Rng rng(seed_ * 0x9e3779b97f4a7c15ULL + u64(id) + 1);
+    buildStaticWorld(rng);
+}
+
+void
+GameWorld::buildStaticWorld(Rng &rng)
+{
+    const Config &c = config_;
+
+    // Ground.
+    auto ground = std::make_shared<Mesh>(makeGroundPlane(
+        140.0, kWorldLength + 200.0, Color{c.ground_color.r,
+        c.ground_color.g, c.ground_color.b}, c.ground_material, 10));
+    static_instances_.push_back(
+        {ground, Mat4::translate({0.0, 0.0, -kWorldLength * 0.5})});
+
+    // Lateral offset biased towards the path so near geometry exists
+    // in most frames.
+    auto lateral = [&rng]() {
+        f64 u = rng.uniform();
+        f64 magnitude = 3.0 + 30.0 * u * u;
+        return rng.bernoulli(0.5) ? magnitude : -magnitude;
+    };
+    auto along_path = [&rng]() {
+        return -rng.uniform(0.0, kWorldLength);
+    };
+
+    if (info_.perspective == ViewPerspective::SideScroll) {
+        // Flat playfield: a background wall and platforms, all at one
+        // of two constant camera distances (degenerate depth).
+        auto wall = std::make_shared<Mesh>(makeBox(
+            {kWorldLength + 100.0, 40.0, 1.0}, Color{70, 90, 130},
+            Material::Brick));
+        static_instances_.push_back(
+            {wall, Mat4::translate({kWorldLength * 0.5, 16.0, -24.0})});
+        auto platform = std::make_shared<Mesh>(makeBox(
+            {6.0, 1.2, 2.5}, Color{150, 110, 60}, Material::Checker));
+        for (int i = 0; i < c.prop_count; ++i) {
+            f64 x = rng.uniform(0.0, kWorldLength);
+            f64 y = rng.uniform(1.0, 8.0);
+            static_instances_.push_back(
+                {platform, Mat4::translate({x, y, -12.0})});
+        }
+        return;
+    }
+
+    // Buildings.
+    for (int i = 0; i < c.building_count; ++i) {
+        f64 w = rng.uniform(4.0, 10.0);
+        f64 h = rng.uniform(5.0, 22.0);
+        f64 d = rng.uniform(4.0, 10.0);
+        u8 shade = u8(rng.uniformInt(120, 190));
+        auto mesh = std::make_shared<Mesh>(makeBox(
+            {w, h, d}, Color{shade, u8(shade - 15), u8(shade - 25)},
+            Material::Brick));
+        f64 x = lateral();
+        if (std::abs(x) < 6.0)
+            x += x >= 0.0 ? 6.0 : -6.0; // keep the street clear
+        static_instances_.push_back(
+            {mesh,
+             Mat4::translate({x, h * 0.5, along_path()}) *
+                 Mat4::rotateY(rng.uniform(0.0, M_PI))});
+    }
+
+    // Trees.
+    for (int i = 0; i < c.tree_count; ++i) {
+        f64 h = rng.uniform(3.0, 7.0);
+        auto mesh = std::make_shared<Mesh>(makeTree(
+            h, Color{96, 70, 44},
+            Color{u8(rng.uniformInt(40, 80)),
+                  u8(rng.uniformInt(100, 150)),
+                  u8(rng.uniformInt(40, 70))}));
+        static_instances_.push_back(
+            {mesh, Mat4::translate({lateral(), 0.0, along_path()})});
+    }
+
+    // Props: crates and boulders near the path.
+    for (int i = 0; i < c.prop_count; ++i) {
+        std::shared_ptr<const Mesh> mesh;
+        if (rng.bernoulli(0.5)) {
+            f64 s = rng.uniform(0.5, 1.8);
+            u8 shade = u8(rng.uniformInt(110, 180));
+            mesh = std::make_shared<Mesh>(makeBox(
+                {s, s, s}, Color{shade, u8(shade - 20), u8(shade - 40)},
+                Material::Noise));
+        } else {
+            f64 r = rng.uniform(0.4, 1.3);
+            u8 shade = u8(rng.uniformInt(100, 160));
+            mesh = std::make_shared<Mesh>(makeSphere(
+                r, 6, 8, Color{shade, shade, u8(shade + 10)},
+                Material::Noise));
+        }
+        f64 u = rng.uniform();
+        f64 x = (2.0 + 12.0 * u * u) * (rng.bernoulli(0.5) ? 1.0 : -1.0);
+        static_instances_.push_back(
+            {mesh, Mat4::translate({x, 0.8, along_path()})});
+    }
+
+    // Corridor walls flanking the path (metro tunnel, cave, alley).
+    if (c.corridor) {
+        auto wall = std::make_shared<Mesh>(makeBox(
+            {1.5, 9.0, 24.0}, Color{120, 112, 100}, Material::Brick));
+        for (f64 z = 8.0; z > -kWorldLength; z -= 26.0) {
+            static_instances_.push_back(
+                {wall, Mat4::translate({-6.5, 4.5, z})});
+            static_instances_.push_back(
+                {wall, Mat4::translate({6.5, 4.5, z - 13.0})});
+        }
+    }
+
+    // Dynamic meshes shared across frames.
+    if (c.has_avatar || info_.perspective == ViewPerspective::TopDown) {
+        avatar_mesh_ = std::make_shared<Mesh>(
+            makeHumanoid(1.8, Color{150, 60, 50}, Color{224, 188, 150}));
+    }
+    if (c.has_vehicle) {
+        Mesh vehicle = makeBox({2.0, 0.9, 4.2}, Color{170, 40, 40},
+                               Material::Noise);
+        Mesh cabin = makeBox({1.6, 0.7, 2.0}, Color{60, 60, 70},
+                             Material::Flat);
+        for (auto &v : cabin.vertices) {
+            v.y += 0.8;
+            v.z -= 0.3;
+        }
+        vehicle.append(cabin);
+        vehicle_mesh_ = std::make_shared<Mesh>(std::move(vehicle));
+    }
+    if (info_.perspective == ViewPerspective::FirstPerson) {
+        weapon_mesh_ = std::make_shared<Mesh>(makeBox(
+            {0.10, 0.12, 0.9}, Color{48, 48, 54}, Material::Noise));
+    }
+}
+
+Scene
+GameWorld::sceneAt(f64 time_s) const
+{
+    const Config &c = config_;
+    Scene scene;
+    scene.instances = static_instances_;
+    scene.fog_density = c.fog_density;
+
+    f64 travelled = c.camera_speed * time_s;
+    // Keep the camera inside the generated world.
+    f64 cam_z = -std::fmod(travelled, kWorldLength * 0.8);
+
+    Camera &cam = scene.camera;
+    cam.position = {0.0, c.camera_height, cam_z};
+    cam.yaw = c.yaw_amplitude *
+              std::sin(2.0 * M_PI * c.yaw_frequency * time_s);
+    cam.pitch = 0.0;
+
+    switch (info_.perspective) {
+      case ViewPerspective::FirstPerson:
+        cam.position.y +=
+            c.bob_amplitude * std::sin(2.0 * M_PI * 1.8 * time_s);
+        if (weapon_mesh_) {
+            scene.add(weapon_mesh_,
+                      Mat4::translate(cam.position) *
+                          Mat4::rotateY(cam.yaw) *
+                          Mat4::translate({0.28, -0.25, -0.9}));
+        }
+        break;
+      case ViewPerspective::ThirdPerson: {
+        cam.pitch = -0.10;
+        if (avatar_mesh_) {
+            // Avatar ~4.5 units ahead on the path, lightly swaying.
+            f64 sway = 0.4 * std::sin(2.0 * M_PI * 0.5 * time_s);
+            scene.add(avatar_mesh_,
+                      Mat4::translate({sway, 0.0, cam_z - 4.5}) *
+                          Mat4::rotateY(M_PI));
+        }
+        if (vehicle_mesh_) {
+            scene.add(vehicle_mesh_,
+                      Mat4::translate({0.0, 0.5, cam_z - 7.0}));
+        }
+        break;
+      }
+      case ViewPerspective::TopDown:
+        cam.pitch = -M_PI * 0.5 + 0.001;
+        cam.yaw = 0.0;
+        if (avatar_mesh_) {
+            // Units marching on the ground far below.
+            for (int i = 0; i < 5; ++i) {
+                f64 x = -6.0 + 3.0 * i;
+                scene.add(avatar_mesh_,
+                          Mat4::translate({x, 0.0,
+                                           cam_z - 2.0 * i}));
+            }
+        }
+        break;
+      case ViewPerspective::SideScroll:
+        cam.position = {travelled, c.camera_height, 0.0};
+        cam.yaw = 0.0;
+        break;
+    }
+    return scene;
+}
+
+} // namespace gssr

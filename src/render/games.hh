@@ -1,0 +1,118 @@
+/**
+ * @file
+ * The ten game workloads of the paper's Table I, reproduced as
+ * procedural 3-D worlds with genre-matched scene statistics and
+ * camera behaviour, plus the degenerate perspectives discussed in
+ * Sec. VI (top-down strategy, side-scroller) for which depth-guided
+ * RoI detection is expected to fail.
+ */
+
+#ifndef GSSR_RENDER_GAMES_HH
+#define GSSR_RENDER_GAMES_HH
+
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "render/scene.hh"
+
+namespace gssr
+{
+
+/** Workload identifiers matching the paper's Table I. */
+enum class GameId
+{
+    G1_MetroExodus,       ///< first-person shooter
+    G2_FarCry5,           ///< third-person shooter
+    G3_Witcher3,          ///< role playing
+    G4_RedDeadRedemption2,///< action
+    G5_GrandTheftAutoV,   ///< adventure
+    G6_GodOfWar,          ///< action-adventure
+    G7_TombRaider,        ///< survival
+    G8_PlagueTale,        ///< stealth
+    G9_FarmingSimulator,  ///< simulation
+    G10_ForzaHorizon5,    ///< racing
+    // Degenerate perspectives (Sec. VI), not part of Table I:
+    TopDownStrategy,
+    SideScroller,
+};
+
+/** Camera perspective class of a game world. */
+enum class ViewPerspective
+{
+    FirstPerson,
+    ThirdPerson,
+    TopDown,
+    SideScroll,
+};
+
+/** Static description of one workload (Table I row). */
+struct GameInfo
+{
+    GameId id;
+    const char *short_name; ///< "G1" ... "G10"
+    const char *title;      ///< commercial title the workload models
+    const char *genre;      ///< genre string from Table I
+    ViewPerspective perspective;
+};
+
+/** All ten Table I workloads, in order. */
+const std::array<GameInfo, 10> &tableOneGames();
+
+/** Lookup info for any GameId (including degenerate perspectives). */
+const GameInfo &gameInfo(GameId id);
+
+/**
+ * Procedurally generated game world. Construction builds the static
+ * geometry deterministically from (game, seed); sceneAt() yields the
+ * scene for any simulation time, with genre-specific camera motion
+ * and dynamic objects (avatar, vehicle, NPCs).
+ */
+class GameWorld
+{
+  public:
+    /** Build the world for @p id using @p seed for layout. */
+    explicit GameWorld(GameId id, u64 seed = 1);
+
+    /** Scene state at simulation time @p time_s seconds. */
+    Scene sceneAt(f64 time_s) const;
+
+    /** Table-I style info for this world. */
+    const GameInfo &info() const { return info_; }
+
+  private:
+    /** Per-genre tuning derived from the game id. */
+    struct Config
+    {
+        f64 camera_speed = 4.0;     ///< forward units per second
+        f64 camera_height = 1.7;
+        f64 yaw_amplitude = 0.15;   ///< look-around swing (radians)
+        f64 yaw_frequency = 0.35;   ///< look-around rate (Hz)
+        f64 bob_amplitude = 0.04;   ///< head-bob (first person)
+        int building_count = 0;
+        int tree_count = 0;
+        int prop_count = 12;
+        bool corridor = false;      ///< walls flanking the path
+        bool has_avatar = false;    ///< third-person character
+        bool has_vehicle = false;   ///< car/tractor ahead of camera
+        f64 fog_density = 0.004;
+        Color ground_color{96, 120, 72};
+        Material ground_material = Material::Noise;
+    };
+
+    void buildStaticWorld(Rng &rng);
+
+    GameInfo info_;
+    Config config_;
+    u64 seed_;
+    std::vector<Instance> static_instances_;
+    std::shared_ptr<const Mesh> avatar_mesh_;
+    std::shared_ptr<const Mesh> vehicle_mesh_;
+    std::shared_ptr<const Mesh> weapon_mesh_;
+};
+
+} // namespace gssr
+
+#endif // GSSR_RENDER_GAMES_HH

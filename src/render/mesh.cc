@@ -1,0 +1,153 @@
+#include "render/mesh.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace gssr
+{
+
+namespace
+{
+
+/** Add a quad as two triangles. */
+void
+addQuad(Mesh &mesh, int a, int b, int c, int d, Color color,
+        Material material)
+{
+    mesh.triangles.push_back({a, b, c, color, material});
+    mesh.triangles.push_back({a, c, d, color, material});
+}
+
+} // namespace
+
+Mesh
+makeBox(const Vec3 &size, Color color, Material material)
+{
+    Mesh mesh;
+    f64 hx = size.x * 0.5, hy = size.y * 0.5, hz = size.z * 0.5;
+    mesh.vertices = {
+        {-hx, -hy, -hz}, {hx, -hy, -hz}, {hx, hy, -hz}, {-hx, hy, -hz},
+        {-hx, -hy, hz},  {hx, -hy, hz},  {hx, hy, hz},  {-hx, hy, hz},
+    };
+    addQuad(mesh, 0, 1, 2, 3, color, material); // -z
+    addQuad(mesh, 5, 4, 7, 6, color, material); // +z
+    addQuad(mesh, 4, 0, 3, 7, color, material); // -x
+    addQuad(mesh, 1, 5, 6, 2, color, material); // +x
+    addQuad(mesh, 3, 2, 6, 7, color, material); // +y (top)
+    addQuad(mesh, 4, 5, 1, 0, color, material); // -y (bottom)
+    return mesh;
+}
+
+Mesh
+makeGroundPlane(f64 extent_x, f64 extent_z, Color color,
+                Material material, int subdivisions)
+{
+    GSSR_ASSERT(subdivisions >= 1, "ground plane needs >= 1 subdivision");
+    Mesh mesh;
+    int n = subdivisions;
+    for (int iz = 0; iz <= n; ++iz) {
+        for (int ix = 0; ix <= n; ++ix) {
+            f64 x = (f64(ix) / n - 0.5) * extent_x;
+            f64 z = (f64(iz) / n - 0.5) * extent_z;
+            mesh.vertices.push_back({x, 0.0, z});
+        }
+    }
+    auto idx = [n](int ix, int iz) { return iz * (n + 1) + ix; };
+    for (int iz = 0; iz < n; ++iz) {
+        for (int ix = 0; ix < n; ++ix) {
+            addQuad(mesh, idx(ix, iz), idx(ix + 1, iz),
+                    idx(ix + 1, iz + 1), idx(ix, iz + 1), color,
+                    material);
+        }
+    }
+    return mesh;
+}
+
+Mesh
+makeSphere(f64 radius, int rings, int sectors, Color color,
+           Material material)
+{
+    GSSR_ASSERT(rings >= 3 && sectors >= 3, "sphere too coarse");
+    Mesh mesh;
+    for (int r = 0; r <= rings; ++r) {
+        f64 phi = M_PI * f64(r) / rings;
+        for (int s = 0; s <= sectors; ++s) {
+            f64 theta = 2.0 * M_PI * f64(s) / sectors;
+            mesh.vertices.push_back({
+                radius * std::sin(phi) * std::cos(theta),
+                radius * std::cos(phi),
+                radius * std::sin(phi) * std::sin(theta),
+            });
+        }
+    }
+    auto idx = [sectors](int r, int s) { return r * (sectors + 1) + s; };
+    for (int r = 0; r < rings; ++r) {
+        for (int s = 0; s < sectors; ++s) {
+            addQuad(mesh, idx(r, s), idx(r, s + 1), idx(r + 1, s + 1),
+                    idx(r + 1, s), color, material);
+        }
+    }
+    return mesh;
+}
+
+Mesh
+makeTree(f64 height, Color trunk, Color canopy)
+{
+    Mesh mesh;
+    f64 trunk_h = height * 0.4;
+    Mesh trunk_mesh =
+        makeBox({height * 0.08, trunk_h, height * 0.08}, trunk,
+                Material::Noise);
+    for (auto &v : trunk_mesh.vertices)
+        v.y += trunk_h * 0.5;
+    mesh.append(trunk_mesh);
+
+    Mesh canopy_mesh =
+        makeSphere(height * 0.3, 6, 8, canopy, Material::Foliage);
+    for (auto &v : canopy_mesh.vertices)
+        v.y += trunk_h + height * 0.25;
+    mesh.append(canopy_mesh);
+    return mesh;
+}
+
+Mesh
+makeHumanoid(f64 height, Color body, Color head)
+{
+    Mesh mesh;
+    f64 torso_h = height * 0.35;
+    f64 leg_h = height * 0.45;
+    f64 head_r = height * 0.10;
+
+    Mesh torso = makeBox({height * 0.25, torso_h, height * 0.12}, body,
+                         Material::Noise);
+    for (auto &v : torso.vertices)
+        v.y += leg_h + torso_h * 0.5;
+    mesh.append(torso);
+
+    Mesh head_mesh = makeSphere(head_r, 5, 6, head, Material::Noise);
+    for (auto &v : head_mesh.vertices)
+        v.y += leg_h + torso_h + head_r * 1.1;
+    mesh.append(head_mesh);
+
+    for (int side = -1; side <= 1; side += 2) {
+        Mesh leg = makeBox({height * 0.09, leg_h, height * 0.09}, body,
+                           Material::Noise);
+        for (auto &v : leg.vertices) {
+            v.x += side * height * 0.07;
+            v.y += leg_h * 0.5;
+        }
+        mesh.append(leg);
+
+        Mesh arm = makeBox({height * 0.07, torso_h * 0.9, height * 0.07},
+                           body, Material::Noise);
+        for (auto &v : arm.vertices) {
+            v.x += side * height * 0.17;
+            v.y += leg_h + torso_h * 0.5;
+        }
+        mesh.append(arm);
+    }
+    return mesh;
+}
+
+} // namespace gssr

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Triangle meshes and procedural generators for the synthetic game
+ * renderer. Meshes are plain triangle soups with per-triangle base
+ * colors and a material id that selects the procedural surface detail
+ * applied during shading.
+ */
+
+#ifndef GSSR_RENDER_MESH_HH
+#define GSSR_RENDER_MESH_HH
+
+#include <vector>
+
+#include "common/mathutil.hh"
+#include "common/types.hh"
+
+namespace gssr
+{
+
+/** Procedural surface detail classes applied in the pixel shader. */
+enum class Material : u8
+{
+    Flat,      ///< no detail (sky, distant fill geometry)
+    Checker,   ///< checkerboard (floors, roads)
+    Noise,     ///< value-noise texture (rock, terrain, cloth)
+    Brick,     ///< brick-like grid (buildings, walls)
+    Foliage,   ///< high-frequency speckle (trees, grass)
+};
+
+/** One RGB surface color. */
+struct Color
+{
+    u8 r = 0;
+    u8 g = 0;
+    u8 b = 0;
+};
+
+/** One triangle: three vertex indices plus surface attributes. */
+struct Triangle
+{
+    int v0 = 0;
+    int v1 = 0;
+    int v2 = 0;
+    Color color;
+    Material material = Material::Flat;
+};
+
+/** Indexed triangle mesh in object space. */
+struct Mesh
+{
+    std::vector<Vec3> vertices;
+    std::vector<Triangle> triangles;
+
+    /** Append another mesh (indices re-based). */
+    void
+    append(const Mesh &other)
+    {
+        int base = int(vertices.size());
+        vertices.insert(vertices.end(), other.vertices.begin(),
+                        other.vertices.end());
+        for (Triangle t : other.triangles) {
+            t.v0 += base;
+            t.v1 += base;
+            t.v2 += base;
+            triangles.push_back(t);
+        }
+    }
+};
+
+/**
+ * Axis-aligned box centred at the origin.
+ * @param size extents along x/y/z.
+ */
+Mesh makeBox(const Vec3 &size, Color color, Material material);
+
+/**
+ * Horizontal rectangle in the XZ plane at y = 0, centred at origin.
+ * Subdivided into a grid so large grounds do not produce huge clipped
+ * triangles.
+ */
+Mesh makeGroundPlane(f64 extent_x, f64 extent_z, Color color,
+                     Material material, int subdivisions = 8);
+
+/**
+ * UV sphere centred at origin.
+ * @param radius sphere radius.
+ * @param rings latitude bands (>= 3).
+ * @param sectors longitude bands (>= 3).
+ */
+Mesh makeSphere(f64 radius, int rings, int sectors, Color color,
+                Material material);
+
+/**
+ * Stylized tree: a Noise trunk box with a Foliage sphere canopy.
+ * Origin at the trunk base.
+ */
+Mesh makeTree(f64 height, Color trunk, Color canopy);
+
+/**
+ * Stylized humanoid: torso, head and limbs from boxes. Origin at the
+ * feet. Used for player avatars and NPCs in the game scenes.
+ */
+Mesh makeHumanoid(f64 height, Color body, Color head);
+
+} // namespace gssr
+
+#endif // GSSR_RENDER_MESH_HH

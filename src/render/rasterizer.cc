@@ -1,0 +1,324 @@
+#include "render/rasterizer.hh"
+
+#include <array>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace gssr
+{
+
+namespace
+{
+
+/** Vertex after transformation: clip position plus world position. */
+struct ShadedVertex
+{
+    // Clip-space position (x, y, z, w).
+    f64 cx, cy, cz, cw;
+    // World-space position (for procedural detail).
+    Vec3 world;
+};
+
+/** Integer lattice hash -> [0, 1). */
+f64
+hash3(i64 x, i64 y, i64 z)
+{
+    u64 h = u64(x) * 0x9e3779b97f4a7c15ULL ^
+            u64(y) * 0xc2b2ae3d27d4eb4fULL ^
+            u64(z) * 0x165667b19e3779f9ULL;
+    h ^= h >> 29;
+    h *= 0xbf58476d1ce4e5b9ULL;
+    h ^= h >> 32;
+    return f64(h >> 11) * 0x1.0p-53;
+}
+
+/** Smooth trilinear value noise on the unit lattice. */
+f64
+valueNoise(const Vec3 &p)
+{
+    f64 fx = std::floor(p.x), fy = std::floor(p.y), fz = std::floor(p.z);
+    i64 ix = i64(fx), iy = i64(fy), iz = i64(fz);
+    f64 tx = p.x - fx, ty = p.y - fy, tz = p.z - fz;
+    auto smooth = [](f64 t) { return t * t * (3.0 - 2.0 * t); };
+    tx = smooth(tx);
+    ty = smooth(ty);
+    tz = smooth(tz);
+    f64 acc = 0.0;
+    for (int dz = 0; dz <= 1; ++dz) {
+        for (int dy = 0; dy <= 1; ++dy) {
+            for (int dx = 0; dx <= 1; ++dx) {
+                f64 w = (dx ? tx : 1.0 - tx) * (dy ? ty : 1.0 - ty) *
+                        (dz ? tz : 1.0 - tz);
+                acc += w * hash3(ix + dx, iy + dy, iz + dz);
+            }
+        }
+    }
+    return acc;
+}
+
+/**
+ * Procedural surface detail in [-1, 1] for a world position. This is
+ * the high-frequency content that distinguishes a high-resolution
+ * render from an upscaled low-resolution one — i.e. what the SR model
+ * must recover.
+ */
+f64
+surfaceDetail(Material material, const Vec3 &p)
+{
+    switch (material) {
+      case Material::Flat:
+        return 0.0;
+      case Material::Checker: {
+        i64 cx = i64(std::floor(p.x * 1.2));
+        i64 cz = i64(std::floor(p.z * 1.2));
+        f64 checker = ((cx + cz) & 1) ? 0.5 : -0.5;
+        return checker + 0.6 * (valueNoise(p * 7.0) - 0.5);
+      }
+      case Material::Noise:
+        return 0.9 * (valueNoise(p * 5.0) - 0.5) +
+               0.5 * (valueNoise(p * 17.0) - 0.5);
+      case Material::Brick: {
+        f64 row = std::floor(p.y * 3.0);
+        f64 offset = (i64(row) & 1) ? 0.5 : 0.0;
+        f64 bx = (p.x + p.z) * 1.5 + offset;
+        f64 mortar_x = std::abs(bx - std::floor(bx) - 0.5) > 0.44;
+        f64 mortar_y =
+            std::abs(p.y * 3.0 - row - 0.5) > 0.40;
+        f64 mortar = (mortar_x || mortar_y) ? -0.7 : 0.15;
+        return mortar + 0.4 * (valueNoise(p * 11.0) - 0.5);
+      }
+      case Material::Foliage:
+        return 1.2 * (valueNoise(p * 23.0) - 0.5) +
+               0.6 * (valueNoise(p * 47.0) - 0.5);
+    }
+    return 0.0;
+}
+
+/** Clip a polygon against the near plane z + w > eps (clip space). */
+int
+clipNear(std::array<ShadedVertex, 4> &poly, int count)
+{
+    constexpr f64 eps = 1e-6;
+    std::array<ShadedVertex, 4> out;
+    int out_count = 0;
+    auto dist = [&](const ShadedVertex &v) { return v.cz + v.cw; };
+    for (int i = 0; i < count; ++i) {
+        const ShadedVertex &a = poly[size_t(i)];
+        const ShadedVertex &b = poly[size_t((i + 1) % count)];
+        f64 da = dist(a), db = dist(b);
+        bool ina = da > eps, inb = db > eps;
+        if (ina)
+            out[size_t(out_count++)] = a;
+        if (ina != inb) {
+            f64 t = da / (da - db);
+            ShadedVertex v;
+            v.cx = a.cx + (b.cx - a.cx) * t;
+            v.cy = a.cy + (b.cy - a.cy) * t;
+            v.cz = a.cz + (b.cz - a.cz) * t;
+            v.cw = a.cw + (b.cw - a.cw) * t;
+            v.world = a.world + (b.world - a.world) * t;
+            out[size_t(out_count++)] = v;
+        }
+        if (out_count == 4)
+            break;
+    }
+    for (int i = 0; i < out_count; ++i)
+        poly[size_t(i)] = out[size_t(i)];
+    return out_count;
+}
+
+/** Screen-space vertex ready for rasterization. */
+struct ScreenVertex
+{
+    f64 sx, sy;     // pixel coordinates
+    f64 inv_w;      // 1 / clip w (linear in screen space)
+    Vec3 world_ow;  // world position / w
+};
+
+} // namespace
+
+RenderOutput
+renderScene(const Scene &scene, Size resolution,
+            const RasterizerConfig &config)
+{
+    GSSR_ASSERT(resolution.width > 0 && resolution.height > 0,
+                "render target must be non-empty");
+    const int width = resolution.width;
+    const int height = resolution.height;
+
+    RenderOutput out;
+    out.color = ColorImage(width, height);
+    out.depth = DepthMap(width, height);
+
+    // Background: vertical sky gradient; depth stays at the far plane.
+    for (int y = 0; y < height; ++y) {
+        f64 t = f64(y) / f64(height - 1 > 0 ? height - 1 : 1);
+        u8 r = toPixel(lerp(scene.sky_top.r, scene.sky_horizon.r, t));
+        u8 g = toPixel(lerp(scene.sky_top.g, scene.sky_horizon.g, t));
+        u8 b = toPixel(lerp(scene.sky_top.b, scene.sky_horizon.b, t));
+        for (int x = 0; x < width; ++x)
+            out.color.setPixel(x, y, r, g, b);
+    }
+
+    // Depth test operates on 1/w (w == view distance along -Z); the
+    // stored buffer is normalized linear view depth.
+    PlaneF64 inv_w_buffer(width, height, 0.0);
+
+    const f64 aspect = f64(width) / f64(height);
+    const Mat4 view_proj = scene.camera.viewProjection(aspect);
+    const Vec3 sun = scene.sun_direction.normalized();
+    const f64 near = scene.camera.near_plane;
+    const f64 far = scene.camera.far_plane;
+    const f64 depth_range = far - near;
+
+    for (const auto &instance : scene.instances) {
+        GSSR_ASSERT(instance.mesh != nullptr, "instance without mesh");
+        const Mesh &mesh = *instance.mesh;
+        const Mat4 mvp = view_proj * instance.transform;
+
+        // Pre-transform all vertices of the instance once.
+        std::vector<ShadedVertex> transformed(mesh.vertices.size());
+        std::vector<Vec3> world_positions(mesh.vertices.size());
+        for (size_t i = 0; i < mesh.vertices.size(); ++i) {
+            f64 w_world = 1.0;
+            world_positions[i] = instance.transform.transformPoint(
+                mesh.vertices[i], w_world);
+            f64 w_clip = 1.0;
+            Vec3 clip =
+                mvp.transformPoint(mesh.vertices[i], w_clip);
+            transformed[i] = {clip.x, clip.y, clip.z, w_clip,
+                              world_positions[i]};
+        }
+
+        for (const Triangle &tri : mesh.triangles) {
+            std::array<ShadedVertex, 4> poly = {
+                transformed[size_t(tri.v0)],
+                transformed[size_t(tri.v1)],
+                transformed[size_t(tri.v2)],
+                ShadedVertex{},
+            };
+            int count = clipNear(poly, 3);
+            if (count < 3)
+                continue;
+
+            // World-space face normal for flat shading.
+            const Vec3 &wa = world_positions[size_t(tri.v0)];
+            const Vec3 &wb = world_positions[size_t(tri.v1)];
+            const Vec3 &wc = world_positions[size_t(tri.v2)];
+            Vec3 normal = (wb - wa).cross(wc - wa).normalized();
+            f64 n_dot_l = normal.dot(sun);
+            // Two-sided shading (no backface culling; see below).
+            f64 diffuse = std::abs(n_dot_l);
+            f64 light = config.ambient +
+                        (1.0 - config.ambient) * diffuse;
+
+            // Fan-triangulate the clipped polygon.
+            for (int fan = 1; fan + 1 < count; ++fan) {
+                std::array<ScreenVertex, 3> v;
+                const ShadedVertex *src[3] = {&poly[0],
+                                              &poly[size_t(fan)],
+                                              &poly[size_t(fan + 1)]};
+                for (int k = 0; k < 3; ++k) {
+                    const ShadedVertex &sv = *src[k];
+                    f64 inv_w = 1.0 / sv.cw;
+                    v[size_t(k)] = {
+                        (sv.cx * inv_w * 0.5 + 0.5) * width,
+                        (0.5 - sv.cy * inv_w * 0.5) * height,
+                        inv_w,
+                        sv.world * inv_w,
+                    };
+                }
+
+                // Signed doubled area; meshes are not guaranteed a
+                // consistent winding, so render both orientations
+                // (two-sided) by flipping when negative.
+                f64 area = (v[1].sx - v[0].sx) * (v[2].sy - v[0].sy) -
+                           (v[2].sx - v[0].sx) * (v[1].sy - v[0].sy);
+                if (std::abs(area) < 1e-12)
+                    continue;
+                if (area < 0.0) {
+                    std::swap(v[1], v[2]);
+                    area = -area;
+                }
+                f64 inv_area = 1.0 / area;
+
+                int min_x = int(std::floor(
+                    std::min({v[0].sx, v[1].sx, v[2].sx})));
+                int max_x = int(std::ceil(
+                    std::max({v[0].sx, v[1].sx, v[2].sx})));
+                int min_y = int(std::floor(
+                    std::min({v[0].sy, v[1].sy, v[2].sy})));
+                int max_y = int(std::ceil(
+                    std::max({v[0].sy, v[1].sy, v[2].sy})));
+                min_x = clamp(min_x, 0, width - 1);
+                max_x = clamp(max_x, 0, width - 1);
+                min_y = clamp(min_y, 0, height - 1);
+                max_y = clamp(max_y, 0, height - 1);
+
+                for (int py = min_y; py <= max_y; ++py) {
+                    f64 cy = py + 0.5;
+                    for (int px = min_x; px <= max_x; ++px) {
+                        f64 cx = px + 0.5;
+                        f64 w0 = (v[1].sx - cx) * (v[2].sy - cy) -
+                                 (v[2].sx - cx) * (v[1].sy - cy);
+                        f64 w1 = (v[2].sx - cx) * (v[0].sy - cy) -
+                                 (v[0].sx - cx) * (v[2].sy - cy);
+                        f64 w2 = (v[0].sx - cx) * (v[1].sy - cy) -
+                                 (v[1].sx - cx) * (v[0].sy - cy);
+                        if (w0 < 0.0 || w1 < 0.0 || w2 < 0.0)
+                            continue;
+                        w0 *= inv_area;
+                        w1 *= inv_area;
+                        w2 *= inv_area;
+
+                        f64 inv_w = w0 * v[0].inv_w + w1 * v[1].inv_w +
+                                    w2 * v[2].inv_w;
+                        if (inv_w <= inv_w_buffer.at(px, py))
+                            continue; // farther than current pixel
+                        inv_w_buffer.at(px, py) = inv_w;
+
+                        f64 view_dist = 1.0 / inv_w;
+                        f64 depth =
+                            clamp((view_dist - near) / depth_range,
+                                  0.0, 1.0);
+                        out.depth.at(px, py) = f32(depth);
+
+                        // Perspective-correct world position.
+                        Vec3 world =
+                            (v[0].world_ow * w0 + v[1].world_ow * w1 +
+                             v[2].world_ow * w2) *
+                            view_dist;
+
+                        // Level-of-detail: surface detail amplitude
+                        // decays with distance, emulating mipmapping
+                        // (Sec. III-B).
+                        f64 lod = 1.0 /
+                                  (1.0 + view_dist / config.detail_range);
+                        f64 detail =
+                            surfaceDetail(tri.material, world) * lod;
+
+                        f64 shade = light * (1.0 + 0.55 * detail);
+
+                        f64 r = tri.color.r * shade;
+                        f64 g = tri.color.g * shade;
+                        f64 b = tri.color.b * shade;
+
+                        if (scene.fog_density > 0.0) {
+                            f64 fog = 1.0 - std::exp(-view_dist *
+                                                     scene.fog_density);
+                            r = lerp(r, scene.sky_horizon.r, fog);
+                            g = lerp(g, scene.sky_horizon.g, fog);
+                            b = lerp(b, scene.sky_horizon.b, fog);
+                        }
+                        out.color.setPixel(px, py, toPixel(r),
+                                           toPixel(g), toPixel(b));
+                    }
+                }
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace gssr

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Software z-buffer triangle rasterizer — the reproduction's stand-in
+ * for the server GPU's rendering pipeline (paper Fig. 4). For each
+ * frame it produces exactly what the GameStreamSR server consumes:
+ * the color framebuffer and the depth buffer.
+ *
+ * Pipeline stages implemented (mirroring Fig. 4):
+ *   (a) vertex processing — world/view/projection transforms,
+ *   (b) primitive assembly + near-plane clipping,
+ *   (c) rasterization — perspective-correct edge-function scanning
+ *       with a z-buffer,
+ *   (d) pixel shading — directional diffuse light, procedural surface
+ *       detail whose amplitude falls off with distance (the
+ *       mipmapping/level-of-detail effect of Sec. III-B), and
+ *       exponential distance fog.
+ */
+
+#ifndef GSSR_RENDER_RASTERIZER_HH
+#define GSSR_RENDER_RASTERIZER_HH
+
+#include "frame/depth_map.hh"
+#include "frame/image.hh"
+#include "render/scene.hh"
+
+namespace gssr
+{
+
+/** Color framebuffer + depth buffer produced by one render. */
+struct RenderOutput
+{
+    ColorImage color;
+    DepthMap depth;
+};
+
+/** Rasterizer tuning knobs. */
+struct RasterizerConfig
+{
+    /**
+     * Scale on the distance at which procedural detail fades out
+     * (emulates mip level-of-detail selection). Larger keeps detail
+     * visible further away.
+     */
+    f64 detail_range = 30.0;
+
+    /** Ambient light floor in [0, 1]. */
+    f64 ambient = 0.35;
+};
+
+/**
+ * Render @p scene into a @p resolution color image and depth map.
+ * Depth values are view-space distance normalized by the camera's
+ * near/far planes into [0, 1] (0 = near plane).
+ */
+RenderOutput renderScene(const Scene &scene, Size resolution,
+                         const RasterizerConfig &config = {});
+
+} // namespace gssr
+
+#endif // GSSR_RENDER_RASTERIZER_HH

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Scene description consumed by the rasterizer: mesh instances with
+ * world transforms, the camera, and global lighting/atmosphere
+ * parameters.
+ */
+
+#ifndef GSSR_RENDER_SCENE_HH
+#define GSSR_RENDER_SCENE_HH
+
+#include <memory>
+#include <vector>
+
+#include "render/camera.hh"
+#include "render/mesh.hh"
+
+namespace gssr
+{
+
+/** One placed mesh. */
+struct Instance
+{
+    std::shared_ptr<const Mesh> mesh;
+    Mat4 transform = Mat4::identity();
+};
+
+/** Complete renderable scene state for one frame. */
+struct Scene
+{
+    std::vector<Instance> instances;
+    Camera camera;
+
+    /** Direction *towards* the sun (normalized at use). */
+    Vec3 sun_direction{0.4, 0.8, 0.3};
+
+    /** Sky gradient colors (zenith and horizon). */
+    Color sky_top{90, 140, 210};
+    Color sky_horizon{190, 210, 235};
+
+    /**
+     * Exponential distance-fog density; 0 disables fog. Fog blends
+     * geometry towards the horizon color, giving the color image the
+     * same near/far cue the depth buffer encodes.
+     */
+    f64 fog_density = 0.004;
+
+    /** Convenience: place a mesh with a world transform. */
+    void
+    add(std::shared_ptr<const Mesh> mesh, const Mat4 &transform)
+    {
+        instances.push_back({std::move(mesh), transform});
+    }
+
+    /** Total triangle count across all instances. */
+    i64
+    triangleCount() const
+    {
+        i64 n = 0;
+        for (const auto &inst : instances)
+            n += i64(inst.mesh->triangles.size());
+        return n;
+    }
+};
+
+} // namespace gssr
+
+#endif // GSSR_RENDER_SCENE_HH

@@ -1,0 +1,33 @@
+#include "render/stereo.hh"
+
+#include <cmath>
+
+namespace gssr
+{
+
+Camera
+eyeCamera(const Camera &head, Eye eye, const StereoConfig &config)
+{
+    Camera cam = head;
+    f64 sign = eye == Eye::Left ? -1.0 : 1.0;
+    // Right axis of the camera: rotate world +X by the yaw.
+    Vec3 right{std::cos(head.yaw), 0.0, -std::sin(head.yaw)};
+    cam.position = head.position + right * (sign * config.ipd * 0.5);
+    cam.yaw = head.yaw - sign * config.convergence;
+    return cam;
+}
+
+StereoRenderOutput
+renderStereo(const Scene &scene, Size per_eye,
+             const StereoConfig &config)
+{
+    StereoRenderOutput out;
+    Scene eye_scene = scene;
+    eye_scene.camera = eyeCamera(scene.camera, Eye::Left, config);
+    out.left = renderScene(eye_scene, per_eye);
+    eye_scene.camera = eyeCamera(scene.camera, Eye::Right, config);
+    out.right = renderScene(eye_scene, per_eye);
+    return out;
+}
+
+} // namespace gssr

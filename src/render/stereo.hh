@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Stereo rendering for the Cloud VR extension the paper sketches in
+ * Sec. VI ("owing to underlying 3D rendering process similarity with
+ * VR games, our design can also extend to Cloud VR gaming"): the
+ * same scene rendered from two eye cameras separated by the
+ * interpupillary distance, each with its own depth buffer, so the
+ * depth-guided RoI detection runs per eye — no eye-tracking sensor
+ * required, which is the paper's inclusiveness argument for headsets
+ * without gaze hardware.
+ */
+
+#ifndef GSSR_RENDER_STEREO_HH
+#define GSSR_RENDER_STEREO_HH
+
+#include "render/rasterizer.hh"
+
+namespace gssr
+{
+
+/** Stereo rig parameters. */
+struct StereoConfig
+{
+    /** Interpupillary distance in world units (~6.4 cm). */
+    f64 ipd = 0.064;
+
+    /**
+     * Horizontal convergence offset applied symmetrically to the
+     * eye cameras' yaw (toe-in), radians. 0 = parallel eyes.
+     */
+    f64 convergence = 0.0;
+};
+
+/** Both eye renders of one frame. */
+struct StereoRenderOutput
+{
+    RenderOutput left;
+    RenderOutput right;
+};
+
+/** Eye selector. */
+enum class Eye
+{
+    Left,
+    Right,
+};
+
+/**
+ * Derive the eye camera from the head (centre) camera: offset along
+ * the camera's right axis by half the IPD, with optional toe-in.
+ */
+Camera eyeCamera(const Camera &head, Eye eye,
+                 const StereoConfig &config);
+
+/**
+ * Render both eyes of @p scene at @p per_eye resolution. The scene's
+ * camera is the head pose.
+ */
+StereoRenderOutput renderStereo(const Scene &scene, Size per_eye,
+                                const StereoConfig &config = {});
+
+} // namespace gssr
+
+#endif // GSSR_RENDER_STEREO_HH

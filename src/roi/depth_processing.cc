@@ -1,0 +1,246 @@
+#include "roi/depth_processing.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/mathutil.hh"
+
+namespace gssr
+{
+
+namespace
+{
+
+/** Depth histogram over [0, 1]. */
+std::vector<i64>
+buildHistogram(const DepthMap &depth, int bins)
+{
+    std::vector<i64> hist(size_t(bins), 0);
+    for (f32 d : depth.plane().data()) {
+        int bin = clamp(int(f64(d) * bins), 0, bins - 1);
+        hist[size_t(bin)] += 1;
+    }
+    return hist;
+}
+
+/**
+ * Find the paper's "noticeable gap (valley)" between the foreground
+ * and background depth distributions: the longest run of near-empty
+ * bins with significant mass on both sides. Returns the depth
+ * threshold, or a negative value when no valley exists.
+ */
+f64
+findValleyThreshold(const std::vector<i64> &hist, i64 total)
+{
+    const int bins = int(hist.size());
+    const i64 empty_limit = std::max<i64>(1, total / 1000);
+    const i64 side_mass_min = total / 20; // >= 5 % on each side
+
+    // Prefix sums for O(1) side-mass queries.
+    std::vector<i64> prefix(size_t(bins) + 1, 0);
+    for (int i = 0; i < bins; ++i)
+        prefix[size_t(i) + 1] = prefix[size_t(i)] + hist[size_t(i)];
+
+    int best_start = -1, best_len = 0;
+    int run_start = -1;
+    for (int i = 0; i <= bins; ++i) {
+        bool empty = i < bins && hist[size_t(i)] <= empty_limit;
+        if (empty) {
+            if (run_start < 0)
+                run_start = i;
+            continue;
+        }
+        if (run_start >= 0) {
+            int run_len = i - run_start;
+            i64 mass_before = prefix[size_t(run_start)];
+            i64 mass_after = total - prefix[size_t(i)];
+            if (mass_before >= side_mass_min &&
+                mass_after >= side_mass_min && run_len > best_len) {
+                best_len = run_len;
+                best_start = run_start;
+            }
+            run_start = -1;
+        }
+    }
+    if (best_start < 0)
+        return -1.0;
+    return (f64(best_start) + f64(best_len) * 0.5) / f64(bins);
+}
+
+/** Otsu's threshold on the depth histogram (fallback). */
+f64
+otsuThreshold(const std::vector<i64> &hist, i64 total, f64 &variance)
+{
+    const int bins = int(hist.size());
+    f64 sum_all = 0.0;
+    for (int i = 0; i < bins; ++i)
+        sum_all += f64(i) * f64(hist[size_t(i)]);
+
+    f64 best_var = 0.0;
+    int best_bin = bins / 2;
+    f64 sum_b = 0.0;
+    i64 count_b = 0;
+    for (int t = 0; t < bins; ++t) {
+        count_b += hist[size_t(t)];
+        if (count_b == 0)
+            continue;
+        i64 count_f = total - count_b;
+        if (count_f == 0)
+            break;
+        sum_b += f64(t) * f64(hist[size_t(t)]);
+        f64 mean_b = sum_b / f64(count_b);
+        f64 mean_f = (sum_all - sum_b) / f64(count_f);
+        f64 var = f64(count_b) * f64(count_f) * (mean_b - mean_f) *
+                  (mean_b - mean_f);
+        if (var > best_var) {
+            best_var = var;
+            best_bin = t;
+        }
+    }
+    // Normalize: maximum possible weighted variance is
+    // (total/2)^2 * (bins-1)^2.
+    f64 norm = (f64(total) * 0.5) * (f64(total) * 0.5) *
+               f64(bins - 1) * f64(bins - 1);
+    variance = norm > 0.0 ? best_var / norm : 0.0;
+    return (f64(best_bin) + 1.0) / f64(bins);
+}
+
+} // namespace
+
+DepthPreprocessResult
+preprocessDepthMap(const DepthMap &depth,
+                   const DepthPreprocessConfig &config)
+{
+    GSSR_ASSERT(!depth.empty(), "empty depth map");
+    GSSR_ASSERT(config.histogram_bins >= 4, "too few histogram bins");
+    GSSR_ASSERT(config.depth_layers >= 1, "need at least one layer");
+
+    const int width = depth.width();
+    const int height = depth.height();
+    const i64 total = depth.plane().sampleCount();
+
+    DepthPreprocessResult result;
+
+    // Step 1: Foreground Extraction via the histogram valley, with
+    // Otsu as the fallback when the distribution has no clean gap.
+    std::vector<i64> hist =
+        buildHistogram(depth, config.histogram_bins);
+    f64 threshold = findValleyThreshold(hist, total);
+    bool valley_found = threshold >= 0.0;
+    f64 otsu_variance = 0.0;
+    if (!valley_found)
+        threshold = otsuThreshold(hist, total, otsu_variance);
+    result.foreground_threshold = f32(threshold);
+
+    i64 fg_count = 0;
+    f64 fg_depth_sum = 0.0, bg_depth_sum = 0.0;
+    for (f32 d : depth.plane().data()) {
+        if (d < threshold) {
+            fg_count += 1;
+            fg_depth_sum += d;
+        } else {
+            bg_depth_sum += d;
+        }
+    }
+    result.foreground_fraction = f64(fg_count) / f64(total);
+
+    // Informativeness checks (Sec. VI degenerate perspectives).
+    f64 fg_mean = fg_count ? fg_depth_sum / f64(fg_count) : 0.0;
+    f64 bg_mean = (total - fg_count)
+                      ? bg_depth_sum / f64(total - fg_count)
+                      : 1.0;
+    bool fraction_ok =
+        result.foreground_fraction >= config.min_foreground_fraction &&
+        result.foreground_fraction <= config.max_foreground_fraction;
+    bool separation_ok =
+        (bg_mean - fg_mean) >= config.min_depth_separation;
+    result.depth_informative = fraction_ok && separation_ok;
+
+    // Nearness map: foreground pixels weighted by closeness.
+    PlaneF32 weighted(width, height, 0.0f);
+    for (int y = 0; y < height; ++y) {
+        for (int x = 0; x < width; ++x) {
+            f32 d = depth.at(x, y);
+            if (d < threshold)
+                weighted.at(x, y) = 1.0f - d;
+        }
+    }
+
+    // Step 2: Spatial Weighting — centre-biased Gaussian matrix added
+    // pixel-wise (on surviving foreground pixels).
+    if (config.enable_spatial_weighting) {
+        f64 cx = (width - 1) * 0.5;
+        f64 cy = (height - 1) * 0.5;
+        f64 sigma =
+            config.gaussian_sigma_frac * f64(std::min(width, height));
+        for (int y = 0; y < height; ++y) {
+            for (int x = 0; x < width; ++x) {
+                if (weighted.at(x, y) <= 0.0f)
+                    continue;
+                weighted.at(x, y) += f32(
+                    config.spatial_weight *
+                    gaussian2d(x, y, cx, cy, sigma));
+            }
+        }
+    }
+
+    // Steps 3 + 4: Depth Map Layering and Depth Layer Selection.
+    // The selection score applies the centre-bias (insight ①) a
+    // second time: without it, a layer full of near-but-peripheral
+    // ground/wall pixels can outvote the layer holding the centred
+    // foreground objects on open scenes (see
+    // bench_ablation_preprocess).
+    if (config.enable_layering) {
+        f32 max_value = 0.0f;
+        for (f32 v : weighted.data())
+            max_value = std::max(max_value, v);
+        int layers = config.depth_layers;
+        result.layer_scores.assign(size_t(layers), 0.0);
+        if (max_value > 0.0f) {
+            f64 cx = (width - 1) * 0.5;
+            f64 cy = (height - 1) * 0.5;
+            f64 sigma = config.gaussian_sigma_frac *
+                        f64(std::min(width, height));
+            for (int y = 0; y < height; ++y) {
+                for (int x = 0; x < width; ++x) {
+                    f32 v = weighted.at(x, y);
+                    if (v <= 0.0f)
+                        continue;
+                    int layer = clamp(
+                        int(f64(v) / max_value * layers), 0,
+                        layers - 1);
+                    result.layer_scores[size_t(layer)] +=
+                        f64(v) * gaussian2d(x, y, cx, cy, sigma);
+                }
+            }
+            int best = 0;
+            for (int l = 1; l < layers; ++l) {
+                if (result.layer_scores[size_t(l)] >
+                    result.layer_scores[size_t(best)]) {
+                    best = l;
+                }
+            }
+            result.selected_layer = best;
+            f32 lo = f32(f64(best) / layers * max_value);
+            f32 hi = f32(f64(best + 1) / layers * max_value);
+            for (f32 &v : weighted.data()) {
+                if (v <= lo || v > hi * 1.0000001f)
+                    v = 0.0f;
+            }
+        }
+    }
+
+    result.processed = std::move(weighted);
+    return result;
+}
+
+i64
+preprocessOpCount(Size size)
+{
+    // Histogram (1 op/px) + threshold scan + nearness (2 ops/px) +
+    // Gaussian weighting (~6 ops/px) + layering (2 passes).
+    return size.area() * 12;
+}
+
+} // namespace gssr

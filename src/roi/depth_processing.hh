@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Depth-map pre-processing (paper Sec. IV-B2, Fig. 8): the four
+ * steps that turn the raw depth buffer into the processed importance
+ * map the RoI search scans —
+ *
+ *   1. Foreground Extraction — histogram the depth values and find
+ *      the valley separating the foreground peak(s) from the
+ *      background mass; discard background pixels.
+ *   2. Spatial Weighting — add a centre-biased Gaussian weight
+ *      matrix (players look at the screen centre).
+ *   3. Depth Map Layering — split the weighted map into layers by
+ *      equal value ranges.
+ *   4. Depth Layer Selection — keep the layer with the maximum
+ *      total weight; zero everything else.
+ */
+
+#ifndef GSSR_ROI_DEPTH_PROCESSING_HH
+#define GSSR_ROI_DEPTH_PROCESSING_HH
+
+#include <vector>
+
+#include "frame/depth_map.hh"
+
+namespace gssr
+{
+
+/** Pre-processing knobs (defaults follow the paper; flags are for
+ *  the ablation benches). */
+struct DepthPreprocessConfig
+{
+    /** Depth histogram resolution. */
+    int histogram_bins = 64;
+
+    /** Gaussian sigma as a fraction of min(frame width, height). */
+    f64 gaussian_sigma_frac = 0.28;
+
+    /**
+     * Magnitude of the centre-bias added to the nearness map. Must
+     * be comparable to the nearness range (~1) so that the layering
+     * step can separate centred foreground objects from the
+     * near-but-peripheral ground/wall pixels at the frame edges
+     * (the paper's challenge ②).
+     */
+    f64 spatial_weight = 1.0;
+
+    /** Number of depth layers for step 3. */
+    int depth_layers = 4;
+
+    /** Ablation: disable step 2 (spatial weighting). */
+    bool enable_spatial_weighting = true;
+
+    /** Ablation: disable steps 3-4 (layering/selection). */
+    bool enable_layering = true;
+
+    /**
+     * Minimum fraction of pixels that must land in the foreground
+     * for the depth signal to be considered informative (top-down /
+     * flat perspectives fail this; Sec. VI).
+     */
+    f64 min_foreground_fraction = 0.01;
+    f64 max_foreground_fraction = 0.95;
+
+    /**
+     * Minimum normalized-depth separation between the mean
+     * foreground and mean background depth for the split to count as
+     * informative (top-down views have near-uniform depth; Sec. VI).
+     */
+    f64 min_depth_separation = 0.10;
+};
+
+/** Output of the pre-processing phase. */
+struct DepthPreprocessResult
+{
+    /** Processed importance map the RoI search scans (zeros outside
+     *  the selected layer). */
+    PlaneF32 processed;
+
+    /** Depth threshold separating foreground from background. */
+    f32 foreground_threshold = 1.0f;
+
+    /** Fraction of pixels classified foreground. */
+    f64 foreground_fraction = 0.0;
+
+    /** Index of the selected depth layer. */
+    int selected_layer = 0;
+
+    /** Total weight per layer (layer-selection scores). */
+    std::vector<f64> layer_scores;
+
+    /**
+     * False when the depth distribution carries no usable
+     * foreground/background separation (degenerate perspectives) —
+     * the caller should fall back to a centre RoI.
+     */
+    bool depth_informative = true;
+};
+
+/** Run the four pre-processing steps on a depth buffer. */
+DepthPreprocessResult preprocessDepthMap(const DepthMap &depth,
+                                         const DepthPreprocessConfig
+                                             &config);
+
+/**
+ * Arithmetic op count of pre-processing a @p size map (drives the
+ * server-GPU cost model; the real GPU runs this in compute shaders).
+ */
+i64 preprocessOpCount(Size size);
+
+} // namespace gssr
+
+#endif // GSSR_ROI_DEPTH_PROCESSING_HH

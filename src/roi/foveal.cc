@@ -1,0 +1,84 @@
+#include "roi/foveal.hh"
+
+#include <cmath>
+
+#include "common/mathutil.hh"
+
+namespace gssr
+{
+
+f64
+fovealDiameterInches(const FovealParams &params)
+{
+    GSSR_ASSERT(params.visual_angle_deg > 0.0 &&
+                    params.viewing_distance_cm > 0.0,
+                "invalid foveal parameters");
+    f64 half_angle_rad =
+        params.visual_angle_deg * 0.5 * M_PI / 180.0;
+    f64 diameter_cm =
+        2.0 * params.viewing_distance_cm * std::tan(half_angle_rad);
+    return diameter_cm / 2.54;
+}
+
+int
+minRoiSizePixels(const FovealParams &params, f64 display_ppi,
+                 int scale_factor)
+{
+    GSSR_ASSERT(display_ppi > 0.0, "invalid pixel density");
+    GSSR_ASSERT(scale_factor >= 1, "invalid scale factor");
+    f64 display_pixels = display_ppi * fovealDiameterInches(params);
+    return int(std::lround(display_pixels / f64(scale_factor)));
+}
+
+int
+maxRoiSizePixels(const NpuModel &npu, const Upscaler &upscaler,
+                 int scale_factor, f64 deadline_ms)
+{
+    // Largest n with latency(n x n) <= deadline; latency is monotone
+    // in n, so binary search.
+    auto latency = [&](int n) {
+        i64 macs = upscaler.macs({n, n}, scale_factor);
+        return npu.latencyMs(macs, i64(n) * n);
+    };
+    int lo = 8;
+    if (latency(lo) > deadline_ms)
+        return 0; // device cannot do real-time DNN SR at all
+    int hi = 4096;
+    while (latency(hi) <= deadline_ms && hi < 1 << 16)
+        hi *= 2;
+    while (lo + 1 < hi) {
+        int mid = (lo + hi) / 2;
+        if (latency(mid) <= deadline_ms)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return lo;
+}
+
+Size
+chooseRoiWindow(const FovealParams &params, f64 display_ppi,
+                const NpuModel &npu, const Upscaler &upscaler,
+                int scale_factor, Size lr_frame)
+{
+    int max_edge =
+        maxRoiSizePixels(npu, upscaler, scale_factor);
+    int min_edge = minRoiSizePixels(params, display_ppi, scale_factor);
+    if (max_edge < min_edge) {
+        // High-PPI panels (Pixel 7 Pro: 512 PPI -> 317 px foveal
+        // minimum) can exceed the ~300 px real-time bound; the
+        // device bound wins. Warn once per process.
+        static bool warned = false;
+        if (!warned) {
+            warned = true;
+            warn("device cannot super-resolve the full foveal area "
+                 "in real time (max ", max_edge, " px < foveal ",
+                 min_edge, " px); using the device bound");
+        }
+    }
+    int edge = max_edge;
+    edge = clamp(edge, 1, std::min(lr_frame.width, lr_frame.height));
+    return {edge, edge};
+}
+
+} // namespace gssr

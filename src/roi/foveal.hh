@@ -1,0 +1,72 @@
+/**
+ * @file
+ * RoI window sizing (paper Sec. IV-B1):
+ *
+ *  - the *minimum* desired RoI size comes from human visual
+ *    physiology: the foveal visual angle (5-6 degrees) at the typical
+ *    mobile viewing distance (~30 cm) spans ~1.25 inches on the
+ *    panel, which the device's pixel density converts to pixels, and
+ *    the SR scale factor maps onto the low-resolution frame;
+ *  - the *maximum* RoI size is the largest square the client NPU can
+ *    super-resolve within the real-time deadline (16.66 ms),
+ *    determined by benchmarking the SR model against the NPU model.
+ */
+
+#ifndef GSSR_ROI_FOVEAL_HH
+#define GSSR_ROI_FOVEAL_HH
+
+#include "device/models.hh"
+#include "sr/upscaler.hh"
+
+namespace gssr
+{
+
+/** Human-visual-system constants (paper Sec. IV-B1). */
+struct FovealParams
+{
+    /** Foveal visual angle in degrees (humans: 5-6). */
+    f64 visual_angle_deg = 6.0;
+
+    /** Viewing distance from eye to panel in centimetres. */
+    f64 viewing_distance_cm = 30.0;
+};
+
+/** 60-FPS real-time deadline in milliseconds. */
+constexpr f64 kRealTimeDeadlineMs = 1000.0 / 60.0;
+
+/**
+ * Foveal diameter on the panel in inches:
+ * 2 * d * tan(angle / 2). For the defaults: ~1.24 in.
+ */
+f64 fovealDiameterInches(const FovealParams &params);
+
+/**
+ * Minimum desired RoI edge length in *low-resolution frame* pixels:
+ * (pixel density x foveal diameter) / scale factor.
+ * For a 274-PPI Galaxy Tab S8 at x2: ~172 px (paper's example).
+ */
+int minRoiSizePixels(const FovealParams &params, f64 display_ppi,
+                     int scale_factor);
+
+/**
+ * Maximum RoI edge length (pixels, LR frame) the client can
+ * super-resolve within @p deadline_ms on its NPU: the largest n such
+ * that the NPU latency of @p upscaler on an n x n input meets the
+ * deadline. This is the step-1 capability probe of Fig. 6.
+ */
+int maxRoiSizePixels(const NpuModel &npu, const Upscaler &upscaler,
+                     int scale_factor,
+                     f64 deadline_ms = kRealTimeDeadlineMs);
+
+/**
+ * The RoI window the client requests: the device capability bound,
+ * clamped to at least the foveal minimum (when the device can afford
+ * it) and to the LR frame size.
+ */
+Size chooseRoiWindow(const FovealParams &params, f64 display_ppi,
+                     const NpuModel &npu, const Upscaler &upscaler,
+                     int scale_factor, Size lr_frame);
+
+} // namespace gssr
+
+#endif // GSSR_ROI_FOVEAL_HH

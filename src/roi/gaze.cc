@@ -1,0 +1,113 @@
+#include "roi/gaze.hh"
+
+#include <cmath>
+
+#include "common/mathutil.hh"
+
+namespace gssr
+{
+
+GazeModel::GazeModel(const GazeModelConfig &config, Size frame)
+    : config_(config), frame_(frame), rng_(config.seed)
+{
+    GSSR_ASSERT(frame_.width > 0 && frame_.height > 0,
+                "gaze model needs a frame size");
+    current_ = {frame_.width / 2, frame_.height / 2};
+    target_ = current_;
+}
+
+Point
+GazeModel::pickFixationTarget(const DepthMap &depth)
+{
+    if (!depth.empty() &&
+        rng_.bernoulli(config_.object_tracking_probability)) {
+        // Fixate near the most salient (nearest, centre-weighted)
+        // region: coarse 16x16 grid argmax of mean nearness x
+        // centre weight.
+        const int grid = 16;
+        f64 best_score = -1.0;
+        Point best{frame_.width / 2, frame_.height / 2};
+        f64 sigma = 0.35 * std::min(depth.width(), depth.height());
+        for (int gy = 0; gy < grid; ++gy) {
+            for (int gx = 0; gx < grid; ++gx) {
+                int x = (2 * gx + 1) * depth.width() / (2 * grid);
+                int y = (2 * gy + 1) * depth.height() / (2 * grid);
+                f64 score =
+                    f64(depth.nearness(x, y)) *
+                    gaussian2d(x, y, depth.width() * 0.5,
+                               depth.height() * 0.5, sigma);
+                if (score > best_score) {
+                    best_score = score;
+                    best = {x * frame_.width / depth.width(),
+                            y * frame_.height / depth.height()};
+                }
+            }
+        }
+        return best;
+    }
+    // Centre-biased random fixation.
+    f64 sx = config_.centre_sigma_frac * frame_.width;
+    f64 sy = config_.centre_sigma_frac * frame_.height;
+    int x = int(std::lround(rng_.normal(frame_.width * 0.5, sx)));
+    int y = int(std::lround(rng_.normal(frame_.height * 0.5, sy)));
+    return {clamp(x, 0, frame_.width - 1),
+            clamp(y, 0, frame_.height - 1)};
+}
+
+Point
+GazeModel::nextGaze(const DepthMap &depth, f64 dt_s)
+{
+    time_to_refixate_s_ -= dt_s;
+    if (time_to_refixate_s_ <= 0.0) {
+        target_ = pickFixationTarget(depth);
+        time_to_refixate_s_ =
+            std::max(0.1, rng_.normal(config_.fixation_duration_s,
+                                      config_.fixation_duration_s *
+                                          0.3));
+    }
+    // Saccade: exponential approach towards the target (fast).
+    f64 alpha = 0.55;
+    current_.x = int(std::lround(
+        lerp(f64(current_.x), f64(target_.x), alpha)));
+    current_.y = int(std::lround(
+        lerp(f64(current_.y), f64(target_.y), alpha)));
+    return current_;
+}
+
+CameraGazeTracker::CameraGazeTracker(const CameraTrackerConfig &config,
+                                     Size frame, u64 seed)
+    : config_(config), frame_(frame), rng_(seed)
+{
+    GSSR_ASSERT(config_.latency_frames >= 0, "negative latency");
+    estimate_ = {frame_.width / 2, frame_.height / 2};
+}
+
+Point
+CameraGazeTracker::observe(Point true_gaze)
+{
+    // Noisy measurement enters the latency pipeline.
+    f64 noise = config_.estimate_noise_frac * frame_.width;
+    Point measured{
+        clamp(int(std::lround(true_gaze.x + rng_.normal(0.0, noise))),
+              0, frame_.width - 1),
+        clamp(int(std::lround(true_gaze.y + rng_.normal(0.0, noise))),
+              0, frame_.height - 1)};
+    pipeline_.push_back(measured);
+    if (int(pipeline_.size()) > config_.latency_frames) {
+        estimate_ = pipeline_.front();
+        pipeline_.erase(pipeline_.begin());
+    }
+    return estimate_;
+}
+
+Rect
+CameraGazeTracker::roiFromEstimate(Size window) const
+{
+    int x = clamp(estimate_.x - window.width / 2, 0,
+                  frame_.width - window.width);
+    int y = clamp(estimate_.y - window.height / 2, 0,
+                  frame_.height - window.height);
+    return {x, y, window.width, window.height};
+}
+
+} // namespace gssr

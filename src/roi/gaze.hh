@@ -1,0 +1,124 @@
+/**
+ * @file
+ * The *direct approach* the paper evaluates and rejects (Sec. III-A):
+ * camera-based software eye tracking on the client. Implemented here
+ * so the trade-off can be reproduced quantitatively —
+ *
+ *  - a gaze model generates the player's true fixation point
+ *    (centre-biased fixations on near objects with saccades, per the
+ *    paper's cited gaze studies [40]),
+ *  - a camera tracker observes it with estimation noise and latency,
+ *    at a continuous +2.8 W camera/ISP power cost (the paper's
+ *    Pixel 7 Pro measurement),
+ *  - an RoI can be derived from the (lagged, noisy) estimate and
+ *    compared against the depth-guided RoI.
+ */
+
+#ifndef GSSR_ROI_GAZE_HH
+#define GSSR_ROI_GAZE_HH
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "frame/depth_map.hh"
+
+namespace gssr
+{
+
+/** Player gaze model parameters. */
+struct GazeModelConfig
+{
+    /** Mean fixation duration (seconds). */
+    f64 fixation_duration_s = 0.45;
+
+    /** Centre bias of fixation targets (fraction of frame size). */
+    f64 centre_sigma_frac = 0.16;
+
+    /**
+     * Probability that a new fixation targets the nearest salient
+     * object (the depth-map argmax region) rather than a random
+     * centre-biased point — gamers track threats/targets.
+     */
+    f64 object_tracking_probability = 0.65;
+
+    u64 seed = 2024;
+};
+
+/** Camera-based tracker parameters (the rejected alternative). */
+struct CameraTrackerConfig
+{
+    /** Gaze estimation noise, fraction of frame width (software
+     *  front-camera tracking is coarse). */
+    f64 estimate_noise_frac = 0.05;
+
+    /** Estimation latency in frames (camera + CNN inference). */
+    int latency_frames = 3;
+
+    /** Continuous extra power draw (paper: +2.8 W on Pixel 7 Pro). */
+    f64 camera_power_w = 2.8;
+};
+
+/**
+ * Generates the player's true gaze point per frame. Deterministic
+ * for a given seed.
+ */
+class GazeModel
+{
+  public:
+    explicit GazeModel(const GazeModelConfig &config, Size frame);
+
+    /**
+     * Advance to the next frame and return the true gaze point.
+     * @param depth current frame's depth buffer (used for
+     *        object-tracking fixations); may be empty.
+     */
+    Point nextGaze(const DepthMap &depth, f64 dt_s = 1.0 / 60.0);
+
+  private:
+    Point pickFixationTarget(const DepthMap &depth);
+
+    GazeModelConfig config_;
+    Size frame_;
+    Rng rng_;
+    Point current_{0, 0};
+    Point target_{0, 0};
+    f64 time_to_refixate_s_ = 0.0;
+};
+
+/**
+ * Camera-based gaze tracker: observes the true gaze with noise and
+ * latency and derives an RoI window from the estimate.
+ */
+class CameraGazeTracker
+{
+  public:
+    CameraGazeTracker(const CameraTrackerConfig &config, Size frame,
+                      u64 seed);
+
+    /** Feed the true gaze; returns the tracker's (lagged) estimate. */
+    Point observe(Point true_gaze);
+
+    /** RoI window of @p window size centred on the last estimate,
+     *  clamped inside the frame. */
+    Rect roiFromEstimate(Size window) const;
+
+    /** Tracker energy per frame period (mJ). */
+    f64
+    energyMjPerFrame(f64 frame_period_ms) const
+    {
+        return config_.camera_power_w * frame_period_ms;
+    }
+
+    const CameraTrackerConfig &config() const { return config_; }
+
+  private:
+    CameraTrackerConfig config_;
+    Size frame_;
+    Rng rng_;
+    std::vector<Point> pipeline_; ///< latency FIFO
+    Point estimate_{0, 0};
+};
+
+} // namespace gssr
+
+#endif // GSSR_ROI_GAZE_HH

@@ -1,0 +1,59 @@
+#include "roi/roi_detector.hh"
+
+#include "common/logging.hh"
+
+namespace gssr
+{
+
+RoiDetector::RoiDetector(const DepthPreprocessConfig &preprocess_config,
+                         const RoiSearchConfig &search_config,
+                         const ServerProfile &server)
+    : preprocess_config_(preprocess_config),
+      search_config_(search_config), server_(server)
+{
+}
+
+RoiDetector::RoiDetector(const ServerProfile &server)
+    : RoiDetector(DepthPreprocessConfig{}, RoiSearchConfig{}, server)
+{
+}
+
+RoiDetection
+RoiDetector::detect(const DepthMap &depth, Size window) const
+{
+    GSSR_ASSERT(window.width >= 1 && window.height >= 1,
+                "RoI window not configured");
+    GSSR_ASSERT(window.width <= depth.width() &&
+                    window.height <= depth.height(),
+                "RoI window larger than the frame");
+
+    RoiDetection out;
+    out.preprocess = preprocessDepthMap(depth, preprocess_config_);
+
+    i64 ops = preprocessOpCount(depth.size());
+
+    if (!out.preprocess.depth_informative) {
+        // Degenerate perspective (Sec. VI): centre fallback.
+        out.depth_guided = false;
+        out.roi = {(depth.width() - window.width) / 2,
+                   (depth.height() - window.height) / 2, window.width,
+                   window.height};
+        out.ops = ops;
+        out.server_gpu_ms = f64(ops) / server_.gpu_ops_per_ms;
+        return out;
+    }
+
+    RoiSearchConfig search = search_config_;
+    search.window_width = window.width;
+    search.window_height = window.height;
+    RoiSearchResult found = searchRoi(out.preprocess.processed, search);
+
+    ops += roiSearchOpCount(depth.size(), search);
+    out.roi = found.roi;
+    out.score = found.score;
+    out.ops = ops;
+    out.server_gpu_ms = f64(ops) / server_.gpu_ops_per_ms;
+    return out;
+}
+
+} // namespace gssr

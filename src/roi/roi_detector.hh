@@ -1,0 +1,83 @@
+/**
+ * @file
+ * RoiDetector: the complete server-side RoI detection phase of
+ * GameStreamSR (paper Fig. 6 Phase-1) — depth-map pre-processing
+ * followed by Algorithm 1 search, with the server-GPU cost model and
+ * the centre-fallback for depth-degenerate perspectives (Sec. VI).
+ */
+
+#ifndef GSSR_ROI_ROI_DETECTOR_HH
+#define GSSR_ROI_ROI_DETECTOR_HH
+
+#include "device/profiles.hh"
+#include "roi/depth_processing.hh"
+#include "roi/roi_search.hh"
+
+namespace gssr
+{
+
+/** Complete RoI detection output for one frame. */
+struct RoiDetection
+{
+    /** RoI window on the low-resolution frame. */
+    Rect roi;
+
+    /** Window score (sum of processed importance values). */
+    f64 score = 0.0;
+
+    /** Detection time charged to the server GPU (ms). */
+    f64 server_gpu_ms = 0.0;
+
+    /** Total arithmetic ops of pre-processing + search. */
+    i64 ops = 0;
+
+    /** False when the depth buffer was non-informative and the
+     *  detector fell back to the frame-centre window. */
+    bool depth_guided = true;
+
+    /** Pre-processing diagnostics. */
+    DepthPreprocessResult preprocess;
+};
+
+/** Server-side depth-guided RoI detector. */
+class RoiDetector
+{
+  public:
+    /**
+     * @param preprocess_config depth pre-processing knobs.
+     * @param search_config Algorithm 1 knobs (the window size fields
+     *        are overridden per call).
+     */
+    RoiDetector(const DepthPreprocessConfig &preprocess_config,
+                const RoiSearchConfig &search_config,
+                const ServerProfile &server);
+
+    /** Detector with all-default configuration. */
+    explicit RoiDetector(const ServerProfile &server);
+
+    /**
+     * Detect the RoI of @p window size on @p depth.
+     * Falls back to a centred window when the depth distribution is
+     * degenerate (top-down / flat perspectives).
+     */
+    RoiDetection detect(const DepthMap &depth, Size window) const;
+
+    const DepthPreprocessConfig &preprocessConfig() const
+    {
+        return preprocess_config_;
+    }
+
+    const RoiSearchConfig &searchConfig() const
+    {
+        return search_config_;
+    }
+
+  private:
+    DepthPreprocessConfig preprocess_config_;
+    RoiSearchConfig search_config_;
+    ServerProfile server_;
+};
+
+} // namespace gssr
+
+#endif // GSSR_ROI_ROI_DETECTOR_HH

@@ -1,0 +1,182 @@
+#include "roi/roi_search.hh"
+
+#include <cmath>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/mathutil.hh"
+
+namespace gssr
+{
+
+namespace
+{
+
+/** Summed-area table: sat(x, y) = sum of processed[0..x) x [0..y). */
+std::vector<f64>
+buildIntegral(const PlaneF32 &map)
+{
+    const int w = map.width();
+    const int h = map.height();
+    std::vector<f64> sat(size_t(w + 1) * size_t(h + 1), 0.0);
+    auto at = [&](int x, int y) -> f64 & {
+        return sat[size_t(y) * size_t(w + 1) + size_t(x)];
+    };
+    for (int y = 0; y < h; ++y) {
+        f64 row = 0.0;
+        for (int x = 0; x < w; ++x) {
+            row += f64(map.at(x, y));
+            at(x + 1, y + 1) = at(x + 1, y) + row;
+        }
+    }
+    return sat;
+}
+
+/** O(1) window sum from the summed-area table. */
+f64
+windowSum(const std::vector<f64> &sat, int stride_w, int x, int y,
+          int w, int h)
+{
+    auto at = [&](int xx, int yy) {
+        return sat[size_t(yy) * size_t(stride_w) + size_t(xx)];
+    };
+    return at(x + w, y + h) - at(x, y + h) - at(x + w, y) + at(x, y);
+}
+
+/** Squared distance from the window centre to the frame centre. */
+f64
+centerDistanceSq(int x, int y, int w, int h, int map_w, int map_h)
+{
+    f64 cx = x + w * 0.5;
+    f64 cy = y + h * 0.5;
+    f64 fx = map_w * 0.5;
+    f64 fy = map_h * 0.5;
+    return (cx - fx) * (cx - fx) + (cy - fy) * (cy - fy);
+}
+
+/** Best-so-far tracker with the paper's centre-bias tie-break. */
+struct Best
+{
+    f64 score = -1.0;
+    f64 center_dist_sq = 0.0;
+    int x = 0;
+    int y = 0;
+
+    void
+    consider(f64 s, f64 dist_sq, int px, int py)
+    {
+        constexpr f64 eps = 1e-12;
+        if (s > score + eps ||
+            (std::abs(s - score) <= eps && dist_sq < center_dist_sq)) {
+            score = s;
+            center_dist_sq = dist_sq;
+            x = px;
+            y = py;
+        }
+    }
+};
+
+} // namespace
+
+RoiSearchResult
+searchRoi(const PlaneF32 &processed, const RoiSearchConfig &config)
+{
+    const int map_w = processed.width();
+    const int map_h = processed.height();
+    const int w = config.window_width;
+    const int h = config.window_height;
+    GSSR_ASSERT(w >= 1 && h >= 1, "RoI window not configured");
+    GSSR_ASSERT(w <= map_w && h <= map_h,
+                "RoI window larger than the depth map");
+
+    int coarse_stride = config.coarse_stride > 0
+                            ? config.coarse_stride
+                            : std::max(w, h) / 2;
+    coarse_stride = std::max(coarse_stride, 1);
+    int fine_stride = std::max(config.fine_stride, 1);
+    int boundary = config.fine_boundary > 0 ? config.fine_boundary
+                                            : coarse_stride;
+
+    std::vector<f64> sat = buildIntegral(processed);
+    const int sat_w = map_w + 1;
+
+    RoiSearchResult result;
+    Best best;
+
+    auto scan = [&](int x0, int y0, int x1, int y1, int stride) {
+        // Inclusive bounds, window kept inside the map; the last
+        // position in each axis is always evaluated so the scan
+        // covers the full range even when stride does not divide it.
+        x0 = clamp(x0, 0, map_w - w);
+        y0 = clamp(y0, 0, map_h - h);
+        x1 = clamp(x1, 0, map_w - w);
+        y1 = clamp(y1, 0, map_h - h);
+        for (int y = y0;; y += stride) {
+            if (y > y1)
+                y = y1;
+            for (int x = x0;; x += stride) {
+                if (x > x1)
+                    x = x1;
+                f64 s = windowSum(sat, sat_w, x, y, w, h);
+                best.consider(
+                    s, centerDistanceSq(x, y, w, h, map_w, map_h), x,
+                    y);
+                result.positions_evaluated += 1;
+                if (x == x1)
+                    break;
+            }
+            if (y == y1)
+                break;
+        }
+    };
+
+    if (config.mode == RoiSearchMode::Exhaustive) {
+        scan(0, 0, map_w - w, map_h - h, 1);
+    } else {
+        // Coarse phase (Algorithm 1 lines 1-4).
+        scan(0, 0, map_w - w, map_h - h, coarse_stride);
+        if (config.mode == RoiSearchMode::TwoPhase) {
+            // Fine phase around the coarse winner (lines 5-8).
+            int cx = best.x;
+            int cy = best.y;
+            scan(cx - boundary, cy - boundary, cx + boundary,
+                 cy + boundary, fine_stride);
+        }
+    }
+
+    result.roi = {best.x, best.y, w, h};
+    result.score = best.score;
+    return result;
+}
+
+i64
+roiSearchOpCount(Size map, const RoiSearchConfig &config)
+{
+    const int w = config.window_width;
+    const int h = config.window_height;
+    int coarse_stride = config.coarse_stride > 0
+                            ? config.coarse_stride
+                            : std::max(w, h) / 2;
+    coarse_stride = std::max(coarse_stride, 1);
+    int fine_stride = std::max(config.fine_stride, 1);
+    int boundary = config.fine_boundary > 0 ? config.fine_boundary
+                                            : coarse_stride;
+
+    auto positions = [&](i64 range_x, i64 range_y, int stride) {
+        return (range_x / stride + 1) * (range_y / stride + 1);
+    };
+
+    i64 prefix_ops = map.area() * 2; // build the parallel prefix sums
+    i64 coarse_pos =
+        positions(map.width - w, map.height - h, coarse_stride);
+    i64 fine_pos = config.mode == RoiSearchMode::TwoPhase
+                       ? positions(2 * boundary, 2 * boundary,
+                                   fine_stride)
+                       : 0;
+    if (config.mode == RoiSearchMode::Exhaustive)
+        coarse_pos = positions(map.width - w, map.height - h, 1);
+    // 4 fetches + compare per window position.
+    return prefix_ops + (coarse_pos + fine_pos) * 5;
+}
+
+} // namespace gssr

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * RoI Area Searching (paper Algorithm 1): a two-phase sliding-window
+ * maximization over the processed depth map — a coarse-grained scan
+ * with a large stride localizes the candidate, then a fine-grained
+ * scan with a small stride inside a boundary around the candidate
+ * pins the final RoI. Ties break towards the frame centre.
+ */
+
+#ifndef GSSR_ROI_ROI_SEARCH_HH
+#define GSSR_ROI_ROI_SEARCH_HH
+
+#include "frame/plane.hh"
+
+namespace gssr
+{
+
+/** Search phases available (ablation bench). */
+enum class RoiSearchMode
+{
+    TwoPhase,   ///< Algorithm 1: coarse then fine
+    CoarseOnly, ///< coarse phase only
+    Exhaustive, ///< stride-1 full scan (quality upper bound)
+};
+
+/** Algorithm 1 parameters. */
+struct RoiSearchConfig
+{
+    /** RoI window size (w, h) requested by the client. */
+    int window_width = 0;
+    int window_height = 0;
+
+    /**
+     * Coarse stride S; 0 selects the paper's default
+     * S = max(h, w) / 2.
+     */
+    int coarse_stride = 0;
+
+    /** Fine stride s (must be < S). */
+    int fine_stride = 4;
+
+    /**
+     * Boundary b around the coarse result for the fine scan; 0
+     * selects b = S.
+     */
+    int fine_boundary = 0;
+
+    RoiSearchMode mode = RoiSearchMode::TwoPhase;
+};
+
+/** Search result. */
+struct RoiSearchResult
+{
+    /** Winning RoI window position. */
+    Rect roi;
+
+    /** Sum of processed-map values inside the window. */
+    f64 score = 0.0;
+
+    /** Window positions evaluated (coarse + fine). */
+    i64 positions_evaluated = 0;
+};
+
+/**
+ * Run Algorithm 1 on the processed depth map. The window must fit
+ * inside the map.
+ */
+RoiSearchResult searchRoi(const PlaneF32 &processed,
+                          const RoiSearchConfig &config);
+
+/**
+ * Arithmetic op count of the search for the server-GPU cost model
+ * (window sums on the GPU are parallel prefix sums; we charge
+ * one op per pixel per evaluated window position divided by the
+ * reuse factor of the integral-image formulation).
+ */
+i64 roiSearchOpCount(Size map, const RoiSearchConfig &config);
+
+} // namespace gssr
+
+#endif // GSSR_ROI_ROI_SEARCH_HH

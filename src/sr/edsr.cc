@@ -1,0 +1,76 @@
+#include "sr/edsr.hh"
+
+namespace gssr
+{
+
+EdsrNetwork::EdsrNetwork(const EdsrConfig &config, u64 seed)
+    : config_(config),
+      head_(config.in_channels, config.channels, 3),
+      body_tail_(config.channels, config.channels, 3),
+      upsample_(config.channels, config.channels * config.scale *
+                                     config.scale,
+                3),
+      shuffle_(config.scale),
+      tail_(config.channels, config.in_channels, 3)
+{
+    GSSR_ASSERT(config.residual_blocks >= 1, "EDSR needs >= 1 block");
+    GSSR_ASSERT(config.scale >= 1 && config.scale <= 4,
+                "EDSR scale must be 1..4");
+    Rng rng(seed);
+    head_.initHe(rng);
+    body_.reserve(size_t(config.residual_blocks) * 2);
+    for (int i = 0; i < config.residual_blocks * 2; ++i) {
+        body_.emplace_back(config.channels, config.channels, 3);
+        body_.back().initHe(rng);
+    }
+    body_tail_.initHe(rng);
+    upsample_.initHe(rng);
+    tail_.initHe(rng);
+}
+
+Tensor
+EdsrNetwork::forward(const Tensor &input) const
+{
+    Tensor features = head_.forward(input);
+    Tensor skip = features;
+    for (int block = 0; block < config_.residual_blocks; ++block) {
+        const Conv2d &conv1 = body_[size_t(block) * 2];
+        const Conv2d &conv2 = body_[size_t(block) * 2 + 1];
+        Tensor t = conv2.forward(Relu::forward(conv1.forward(features)));
+        for (auto &v : t.data())
+            v *= config_.residual_scale;
+        t.add(features);
+        features = std::move(t);
+    }
+    features = body_tail_.forward(features);
+    features.add(skip);
+    Tensor up = shuffle_.forward(upsample_.forward(features));
+    return tail_.forward(up);
+}
+
+i64
+EdsrNetwork::macs(int h, int w) const
+{
+    i64 total = head_.macs(h, w);
+    for (const auto &conv : body_)
+        total += conv.macs(h, w);
+    total += body_tail_.macs(h, w);
+    total += upsample_.macs(h, w);
+    total += tail_.macs(h * config_.scale, w * config_.scale);
+    return total;
+}
+
+i64
+EdsrNetwork::parameterCount() const
+{
+    auto count = [](const Conv2d &conv) {
+        return i64(conv.weights().size()) + i64(conv.biases().size());
+    };
+    i64 total = count(head_) + count(body_tail_) + count(upsample_) +
+                count(tail_);
+    for (const auto &conv : body_)
+        total += count(conv);
+    return total;
+}
+
+} // namespace gssr

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * EDSR (Lim et al., CVPR-W 2017) network graph — the super-resolution
+ * DNN the paper runs on the mobile NPU (16 residual blocks, 64
+ * channels, x2). The graph here serves two roles:
+ *
+ *  1. Faithful per-layer MAC accounting: the NPU latency/energy model
+ *     (src/device) consumes EdsrNetwork::macs(), which is what makes
+ *     full-frame 720p SR slow and 300x300 RoI SR real-time — the core
+ *     trade-off of the paper (Fig. 3).
+ *  2. An executable forward pass for validation at small input sizes
+ *     (the full 720p forward is ~1.2 TMAC and is never executed on
+ *     the host; latency always comes from the device model).
+ *
+ * Weights are seeded pseudo-random: this graph models *compute*, not
+ * *quality*. Quality experiments use the trained CompactSrNet
+ * (sr/srcnn.hh); see DESIGN.md §1 for the substitution rationale.
+ */
+
+#ifndef GSSR_SR_EDSR_HH
+#define GSSR_SR_EDSR_HH
+
+#include <memory>
+#include <vector>
+
+#include "nn/layers.hh"
+
+namespace gssr
+{
+
+/** EDSR architecture hyperparameters. */
+struct EdsrConfig
+{
+    int residual_blocks = 16; ///< paper: 16
+    int channels = 64;        ///< paper: 64
+    int scale = 2;            ///< upscale factor (2, 3 or 4)
+    int in_channels = 3;      ///< RGB
+    f32 residual_scale = 0.1f;
+};
+
+/** The EDSR super-resolution network. */
+class EdsrNetwork
+{
+  public:
+    explicit EdsrNetwork(const EdsrConfig &config, u64 seed = 7);
+
+    /** Run the network on a (in_channels, h, w) tensor. */
+    Tensor forward(const Tensor &input) const;
+
+    /** Exact multiply-accumulate count for an h x w input. */
+    i64 macs(int h, int w) const;
+
+    /** Total trainable parameter count. */
+    i64 parameterCount() const;
+
+    const EdsrConfig &config() const { return config_; }
+
+  private:
+    EdsrConfig config_;
+    Conv2d head_;
+    std::vector<Conv2d> body_; // 2 convs per residual block
+    Conv2d body_tail_;
+    Conv2d upsample_;
+    PixelShuffle shuffle_;
+    Conv2d tail_;
+};
+
+} // namespace gssr
+
+#endif // GSSR_SR_EDSR_HH

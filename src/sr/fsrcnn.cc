@@ -1,0 +1,113 @@
+#include "sr/fsrcnn.hh"
+
+#include "sr/srcnn.hh" // bilinearUpscaleTensor
+
+namespace gssr
+{
+
+FsrcnnNet::FsrcnnNet() : FsrcnnNet(FsrcnnConfig{}) {}
+
+FsrcnnNet::FsrcnnNet(const FsrcnnConfig &config)
+    : config_(config), shuffle_(config.scale)
+{
+    GSSR_ASSERT(config.feature_channels >= 1 &&
+                    config.shrink_channels >= 1 &&
+                    config.mapping_layers >= 1,
+                "invalid FSRCNN configuration");
+    GSSR_ASSERT(config.scale >= 2, "SR scale must be >= 2");
+
+    const int d = config.feature_channels;
+    const int s = config.shrink_channels;
+    convs_.emplace_back(1, d, 5); // feature
+    convs_.emplace_back(d, s, 1); // shrink
+    for (int i = 0; i < config.mapping_layers; ++i)
+        convs_.emplace_back(s, s, 3); // mapping trunk
+    convs_.emplace_back(s, d, 1);     // expand
+    convs_.emplace_back(d, config.scale * config.scale, 3); // head
+
+    Rng rng(config.seed);
+    for (auto &conv : convs_)
+        conv.initHe(rng);
+    // Near-zero residual head: start at the bilinear baseline.
+    for (auto &w : convs_.back().weights())
+        w *= 0.01f;
+}
+
+Tensor
+FsrcnnNet::forwardInternal(const Tensor &input, Activations *acts) const
+{
+    Tensor x = input;
+    const size_t head = convs_.size() - 1;
+    for (size_t i = 0; i < convs_.size(); ++i) {
+        Tensor pre = convs_[i].forward(x);
+        Tensor post = i == head ? pre : Relu::forward(pre);
+        if (acts) {
+            acts->pre.push_back(pre);
+            acts->post.push_back(post);
+        }
+        x = std::move(post);
+    }
+    Tensor out = shuffle_.forward(x);
+    out.add(bilinearUpscaleTensor(input, config_.scale));
+    return out;
+}
+
+Tensor
+FsrcnnNet::forward(const Tensor &input) const
+{
+    return forwardInternal(input, nullptr);
+}
+
+f64
+FsrcnnNet::accumulateGradients(const Tensor &input,
+                               const Tensor &target)
+{
+    Activations acts;
+    Tensor prediction = forwardInternal(input, &acts);
+    Tensor grad;
+    f64 loss = mseLoss(prediction, target, grad);
+
+    Tensor g = shuffle_.backward(grad);
+    const size_t head = convs_.size() - 1;
+    for (size_t i = convs_.size(); i-- > 0;) {
+        if (i != head)
+            g = Relu::backward(acts.pre[i], g);
+        const Tensor &conv_input =
+            i == 0 ? input : acts.post[i - 1];
+        g = convs_[i].backward(conv_input, g);
+    }
+    return loss;
+}
+
+std::vector<ParamRef>
+FsrcnnNet::params()
+{
+    std::vector<ParamRef> out;
+    for (auto &conv : convs_)
+        for (auto &p : conv.params())
+            out.push_back(p);
+    return out;
+}
+
+i64
+FsrcnnNet::macs(int h, int w) const
+{
+    i64 total = 0;
+    for (const auto &conv : convs_)
+        total += conv.macs(h, w);
+    return total;
+}
+
+void
+FsrcnnNet::save(const std::string &path)
+{
+    saveParams(path, params());
+}
+
+bool
+FsrcnnNet::load(const std::string &path)
+{
+    return loadParams(path, params());
+}
+
+} // namespace gssr

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * FsrcnnNet: an FSRCNN-style (Dong et al., ECCV 2016)
+ * shrink-map-expand super-resolution network — the class of
+ * *efficient mobile SR architectures* the paper's related work
+ * surveys ([43], MobiSR, NAS/pruning [108]). Compared to
+ * CompactSrNet it trades a wider feature extractor for a narrow
+ * mapping trunk, landing at a different point on the quality /
+ * compute curve (see bench_ext_sr_architectures).
+ *
+ * Architecture (luma, [0,1]):
+ *   feature  conv 1->d (5x5) + ReLU
+ *   shrink   conv d->s (1x1) + ReLU
+ *   map      m x [conv s->s (3x3) + ReLU]
+ *   expand   conv s->d (1x1) + ReLU
+ *   head     conv d->r^2 (3x3), PixelShuffle(r)
+ *   output = bilinear_upscale(input) + residual
+ */
+
+#ifndef GSSR_SR_FSRCNN_HH
+#define GSSR_SR_FSRCNN_HH
+
+#include <string>
+#include <vector>
+
+#include "nn/layers.hh"
+#include "nn/optimizer.hh"
+
+namespace gssr
+{
+
+/** FsrcnnNet hyperparameters. */
+struct FsrcnnConfig
+{
+    int feature_channels = 16; ///< d
+    int shrink_channels = 5;   ///< s
+    int mapping_layers = 3;    ///< m
+    int scale = 2;
+    u64 seed = 5;
+};
+
+/** Trainable FSRCNN-style network on single-channel tensors. */
+class FsrcnnNet
+{
+  public:
+    FsrcnnNet();
+
+    explicit FsrcnnNet(const FsrcnnConfig &config);
+
+    /** Upscale a (1, h, w) tensor to (1, h*r, w*r). */
+    Tensor forward(const Tensor &input) const;
+
+    /** One training accumulation step (see CompactSrNet). */
+    f64 accumulateGradients(const Tensor &input, const Tensor &target);
+
+    /** Trainable parameters. */
+    std::vector<ParamRef> params();
+
+    /** Multiply-accumulate count for an h x w input. */
+    i64 macs(int h, int w) const;
+
+    /** Save/load weights. */
+    void save(const std::string &path);
+    bool load(const std::string &path);
+
+    const FsrcnnConfig &config() const { return config_; }
+
+  private:
+    struct Activations
+    {
+        std::vector<Tensor> pre;  ///< pre-activation per conv
+        std::vector<Tensor> post; ///< post-ReLU per conv
+    };
+
+    Tensor forwardInternal(const Tensor &input,
+                           Activations *acts) const;
+
+    FsrcnnConfig config_;
+    std::vector<Conv2d> convs_; ///< feature..head in order
+    PixelShuffle shuffle_;
+};
+
+} // namespace gssr
+
+#endif // GSSR_SR_FSRCNN_HH

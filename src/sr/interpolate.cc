@@ -1,0 +1,176 @@
+#include "sr/interpolate.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/mathutil.hh"
+
+namespace gssr
+{
+
+namespace
+{
+
+/** Kernel support radius (taps = 2 * radius). */
+int
+kernelRadius(InterpKernel kernel)
+{
+    switch (kernel) {
+      case InterpKernel::Bilinear:
+        return 1;
+      case InterpKernel::Bicubic:
+        return 2;
+      case InterpKernel::Lanczos3:
+        return 3;
+    }
+    return 1;
+}
+
+/** Kernel weight at distance @p t. */
+f64
+kernelWeight(InterpKernel kernel, f64 t)
+{
+    t = std::abs(t);
+    switch (kernel) {
+      case InterpKernel::Bilinear:
+        return t < 1.0 ? 1.0 - t : 0.0;
+      case InterpKernel::Bicubic: {
+        // Catmull-Rom (Keys, a = -0.5).
+        constexpr f64 a = -0.5;
+        if (t < 1.0)
+            return ((a + 2.0) * t - (a + 3.0)) * t * t + 1.0;
+        if (t < 2.0)
+            return (((t - 5.0) * t + 8.0) * t - 4.0) * a;
+        return 0.0;
+      }
+      case InterpKernel::Lanczos3: {
+        if (t < 1e-9)
+            return 1.0;
+        if (t >= 3.0)
+            return 0.0;
+        f64 pit = M_PI * t;
+        return 3.0 * std::sin(pit) * std::sin(pit / 3.0) / (pit * pit);
+    }
+    }
+    return 0.0;
+}
+
+/**
+ * Generic separable resize. Samples are fetched clamped; weights are
+ * renormalized per output pixel so edges stay unbiased.
+ */
+template <typename T, typename Fetch, typename Store>
+void
+resizeGeneric(int in_w, int in_h, int out_w, int out_h,
+              InterpKernel kernel, Fetch fetch, Store store)
+{
+    const int radius = kernelRadius(kernel);
+    const f64 sx = f64(in_w) / f64(out_w);
+    const f64 sy = f64(in_h) / f64(out_h);
+
+    // Horizontal pass into a temporary float buffer.
+    std::vector<f64> tmp(size_t(out_w) * size_t(in_h));
+    for (int x = 0; x < out_w; ++x) {
+        f64 src_x = (x + 0.5) * sx - 0.5;
+        int x0 = int(std::floor(src_x)) - radius + 1;
+        f64 weights[8];
+        f64 weight_sum = 0.0;
+        int taps = 2 * radius;
+        for (int k = 0; k < taps; ++k) {
+            weights[k] = kernelWeight(kernel, src_x - (x0 + k));
+            weight_sum += weights[k];
+        }
+        for (int y = 0; y < in_h; ++y) {
+            f64 acc = 0.0;
+            for (int k = 0; k < taps; ++k)
+                acc += weights[k] * fetch(x0 + k, y);
+            tmp[size_t(y) * size_t(out_w) + size_t(x)] =
+                acc / weight_sum;
+        }
+    }
+
+    // Vertical pass.
+    for (int y = 0; y < out_h; ++y) {
+        f64 src_y = (y + 0.5) * sy - 0.5;
+        int y0 = int(std::floor(src_y)) - radius + 1;
+        f64 weights[8];
+        f64 weight_sum = 0.0;
+        int taps = 2 * radius;
+        for (int k = 0; k < taps; ++k) {
+            weights[k] = kernelWeight(kernel, src_y - (y0 + k));
+            weight_sum += weights[k];
+        }
+        for (int x = 0; x < out_w; ++x) {
+            f64 acc = 0.0;
+            for (int k = 0; k < taps; ++k) {
+                int yy = clamp(y0 + k, 0, in_h - 1);
+                acc += weights[k] *
+                       tmp[size_t(yy) * size_t(out_w) + size_t(x)];
+            }
+            store(x, y, acc / weight_sum);
+        }
+    }
+}
+
+} // namespace
+
+const char *
+interpKernelName(InterpKernel kernel)
+{
+    switch (kernel) {
+      case InterpKernel::Bilinear:
+        return "bilinear";
+      case InterpKernel::Bicubic:
+        return "bicubic";
+      case InterpKernel::Lanczos3:
+        return "lanczos3";
+    }
+    return "?";
+}
+
+PlaneU8
+resizePlane(const PlaneU8 &in, Size target, InterpKernel kernel)
+{
+    GSSR_ASSERT(!in.empty() && target.width > 0 && target.height > 0,
+                "resize of empty plane");
+    PlaneU8 out(target.width, target.height);
+    resizeGeneric<u8>(
+        in.width(), in.height(), target.width, target.height, kernel,
+        [&](int x, int y) { return f64(in.atClamped(x, y)); },
+        [&](int x, int y, f64 v) { out.at(x, y) = toPixel(v); });
+    return out;
+}
+
+PlaneF32
+resizePlane(const PlaneF32 &in, Size target, InterpKernel kernel)
+{
+    GSSR_ASSERT(!in.empty() && target.width > 0 && target.height > 0,
+                "resize of empty plane");
+    PlaneF32 out(target.width, target.height);
+    resizeGeneric<f32>(
+        in.width(), in.height(), target.width, target.height, kernel,
+        [&](int x, int y) { return f64(in.atClamped(x, y)); },
+        [&](int x, int y, f64 v) { out.at(x, y) = f32(v); });
+    return out;
+}
+
+ColorImage
+resizeImage(const ColorImage &in, Size target, InterpKernel kernel)
+{
+    ColorImage out(target.width, target.height);
+    out.r() = resizePlane(in.r(), target, kernel);
+    out.g() = resizePlane(in.g(), target, kernel);
+    out.b() = resizePlane(in.b(), target, kernel);
+    return out;
+}
+
+i64
+resizeOpCount(Size target, InterpKernel kernel)
+{
+    // Separable filter: taps MACs per pixel per pass, two passes,
+    // three channels.
+    i64 taps = 2 * kernelRadius(kernel);
+    return target.area() * taps * 2 * 3;
+}
+
+} // namespace gssr

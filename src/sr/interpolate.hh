@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Classical interpolation-based upscaling: bilinear (the paper's
+ * non-RoI / baseline path), bicubic and Lanczos-3 (the higher-quality
+ * kernels proposed for the RoI-guided SR-integrated decoder of
+ * Sec. VI). All resizers use half-pixel-centre alignment.
+ */
+
+#ifndef GSSR_SR_INTERPOLATE_HH
+#define GSSR_SR_INTERPOLATE_HH
+
+#include "frame/image.hh"
+
+namespace gssr
+{
+
+/** Interpolation kernel selection. */
+enum class InterpKernel
+{
+    Bilinear,
+    Bicubic,  ///< Catmull-Rom (a = -0.5)
+    Lanczos3,
+};
+
+/** Human-readable kernel name. */
+const char *interpKernelName(InterpKernel kernel);
+
+/** Resize a u8 plane to @p target with the given kernel. */
+PlaneU8 resizePlane(const PlaneU8 &in, Size target,
+                    InterpKernel kernel = InterpKernel::Bilinear);
+
+/** Resize a float plane (residuals, weights, depth). */
+PlaneF32 resizePlane(const PlaneF32 &in, Size target,
+                     InterpKernel kernel = InterpKernel::Bilinear);
+
+/** Resize an RGB image channel-wise. */
+ColorImage resizeImage(const ColorImage &in, Size target,
+                       InterpKernel kernel = InterpKernel::Bilinear);
+
+/**
+ * Approximate arithmetic operation count of resizing to @p target
+ * with @p kernel (drives the CPU/GPU latency models).
+ */
+i64 resizeOpCount(Size target, InterpKernel kernel);
+
+} // namespace gssr
+
+#endif // GSSR_SR_INTERPOLATE_HH

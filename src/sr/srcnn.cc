@@ -1,0 +1,125 @@
+#include "sr/srcnn.hh"
+
+#include "sr/interpolate.hh"
+
+namespace gssr
+{
+
+Tensor
+bilinearUpscaleTensor(const Tensor &input, int factor)
+{
+    GSSR_ASSERT(input.channels() == 1, "expected single-channel tensor");
+    PlaneF32 plane(input.width(), input.height());
+    std::copy(input.data().begin(), input.data().end(),
+              plane.data().begin());
+    PlaneF32 up = resizePlane(
+        plane, {input.width() * factor, input.height() * factor},
+        InterpKernel::Bilinear);
+    Tensor out(1, up.height(), up.width());
+    std::copy(up.data().begin(), up.data().end(), out.data().begin());
+    return out;
+}
+
+CompactSrNet::CompactSrNet() : CompactSrNet(CompactSrConfig{}) {}
+
+CompactSrNet::CompactSrNet(const CompactSrConfig &config)
+    : config_(config),
+      conv1_(1, config.channels, 3),
+      conv2_(config.channels, config.channels, 3),
+      conv3_(config.channels, config.scale * config.scale, 3),
+      shuffle_(config.scale)
+{
+    GSSR_ASSERT(config.channels >= 1, "need at least one channel");
+    GSSR_ASSERT(config.scale >= 2, "SR scale must be >= 2");
+    Rng rng(config.seed);
+    conv1_.initHe(rng);
+    conv2_.initHe(rng);
+    conv3_.initHe(rng);
+    // Start the residual branch near zero so the initial output is
+    // (almost) exactly the bilinear baseline.
+    for (auto &w : conv3_.weights())
+        w *= 0.01f;
+}
+
+Tensor
+CompactSrNet::forwardInternal(const Tensor &input,
+                              Activations *acts) const
+{
+    Tensor z1 = conv1_.forward(input);
+    Tensor a1 = Relu::forward(z1);
+    Tensor z2 = conv2_.forward(a1);
+    Tensor a2 = Relu::forward(z2);
+    Tensor z3 = conv3_.forward(a2);
+    Tensor up = shuffle_.forward(z3);
+    Tensor base = bilinearUpscaleTensor(input, config_.scale);
+    Tensor out = std::move(up);
+    out.add(base);
+    if (acts) {
+        acts->z1 = std::move(z1);
+        acts->a1 = std::move(a1);
+        acts->z2 = std::move(z2);
+        acts->a2 = std::move(a2);
+        acts->base = std::move(base);
+    }
+    return out;
+}
+
+Tensor
+CompactSrNet::forward(const Tensor &input) const
+{
+    return forwardInternal(input, nullptr);
+}
+
+f64
+CompactSrNet::accumulateGradients(const Tensor &input,
+                                  const Tensor &target)
+{
+    Activations acts;
+    Tensor prediction = forwardInternal(input, &acts);
+
+    Tensor grad;
+    f64 loss = mseLoss(prediction, target, grad);
+
+    // The bilinear base has no parameters; the gradient flows only
+    // through the residual branch.
+    Tensor g_z3 = shuffle_.backward(grad);
+    Tensor g_a2 = conv3_.backward(acts.a2, g_z3);
+    Tensor g_z2 = Relu::backward(acts.z2, g_a2);
+    Tensor g_a1 = conv2_.backward(acts.a1, g_z2);
+    Tensor g_z1 = Relu::backward(acts.z1, g_a1);
+    conv1_.backward(input, g_z1);
+    return loss;
+}
+
+std::vector<ParamRef>
+CompactSrNet::params()
+{
+    std::vector<ParamRef> out;
+    for (auto &p : conv1_.params())
+        out.push_back(p);
+    for (auto &p : conv2_.params())
+        out.push_back(p);
+    for (auto &p : conv3_.params())
+        out.push_back(p);
+    return out;
+}
+
+i64
+CompactSrNet::macs(int h, int w) const
+{
+    return conv1_.macs(h, w) + conv2_.macs(h, w) + conv3_.macs(h, w);
+}
+
+void
+CompactSrNet::save(const std::string &path)
+{
+    saveParams(path, params());
+}
+
+bool
+CompactSrNet::load(const std::string &path)
+{
+    return loadParams(path, params());
+}
+
+} // namespace gssr

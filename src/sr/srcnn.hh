@@ -1,0 +1,96 @@
+/**
+ * @file
+ * CompactSrNet: a small trainable residual super-resolution CNN
+ * (ESPCN/VDSR-flavored) that is trained *in-process* on renderer
+ * output and serves as the executable quality stand-in for a trained
+ * EDSR (see DESIGN.md §1: a randomly initialized EDSR cannot beat
+ * bilinear; a trained compact net preserves the DNN-SR > interpolation
+ * quality ordering the paper's experiments rely on).
+ *
+ * Architecture (luma, [0,1]):
+ *   conv 1->C (3x3) + ReLU
+ *   conv C->C (3x3) + ReLU
+ *   conv C->r^2 (3x3)
+ *   PixelShuffle(r)
+ *   output = bilinear_upscale(input) + network residual
+ *
+ * The global residual connection guarantees the untrained network
+ * starts at bilinear quality and training can only sharpen from
+ * there.
+ */
+
+#ifndef GSSR_SR_SRCNN_HH
+#define GSSR_SR_SRCNN_HH
+
+#include <string>
+
+#include "nn/layers.hh"
+#include "nn/optimizer.hh"
+
+namespace gssr
+{
+
+/** CompactSrNet hyperparameters. */
+struct CompactSrConfig
+{
+    int channels = 14;
+    int scale = 2;
+    u64 seed = 3;
+};
+
+/** Trainable compact SR network operating on single-channel tensors. */
+class CompactSrNet
+{
+  public:
+    CompactSrNet();
+
+    explicit CompactSrNet(const CompactSrConfig &config);
+
+    /** Upscale a (1, h, w) tensor to (1, h*r, w*r). */
+    Tensor forward(const Tensor &input) const;
+
+    /**
+     * One training step on an (input, target) pair: forward, MSE
+     * loss, backward, gradient accumulation. Caller owns the Adam
+     * step (allows mini-batching by accumulating several pairs).
+     * @return the MSE loss of this pair.
+     */
+    f64 accumulateGradients(const Tensor &input, const Tensor &target);
+
+    /** Trainable parameters for the optimizer / serialization. */
+    std::vector<ParamRef> params();
+
+    /** Multiply-accumulate count for an h x w input. */
+    i64 macs(int h, int w) const;
+
+    /** Save weights to @p path. */
+    void save(const std::string &path);
+
+    /** Load weights from @p path; false if the file is absent. */
+    bool load(const std::string &path);
+
+    const CompactSrConfig &config() const { return config_; }
+
+  private:
+    /** Forward pass retaining intermediate activations. */
+    struct Activations
+    {
+        Tensor z1, a1, z2, a2, z3;
+        Tensor base; // bilinear-upscaled input
+    };
+
+    Tensor forwardInternal(const Tensor &input, Activations *acts) const;
+
+    CompactSrConfig config_;
+    Conv2d conv1_;
+    Conv2d conv2_;
+    Conv2d conv3_;
+    PixelShuffle shuffle_;
+};
+
+/** Bilinear x-factor upscale of a (1, h, w) tensor (shared helper). */
+Tensor bilinearUpscaleTensor(const Tensor &input, int factor);
+
+} // namespace gssr
+
+#endif // GSSR_SR_SRCNN_HH

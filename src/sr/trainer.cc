@@ -1,0 +1,183 @@
+#include "sr/trainer.hh"
+
+#include <cmath>
+
+#include "codec/codec.hh"
+#include "common/logging.hh"
+#include "frame/downsample.hh"
+#include "render/games.hh"
+#include "render/rasterizer.hh"
+#include "sr/interpolate.hh"
+
+namespace gssr
+{
+
+namespace
+{
+
+/** Luma PSNR between two planes (local, avoids metrics dependency). */
+f64
+lumaPsnr(const PlaneU8 &a, const PlaneU8 &b)
+{
+    GSSR_ASSERT(a.size() == b.size(), "psnr size mismatch");
+    f64 acc = 0.0;
+    for (i64 i = 0; i < a.sampleCount(); ++i) {
+        f64 d = f64(a.data()[size_t(i)]) - f64(b.data()[size_t(i)]);
+        acc += d * d;
+    }
+    f64 mse = acc / f64(a.sampleCount());
+    if (mse <= 0.0)
+        return 99.0;
+    return 10.0 * std::log10(255.0 * 255.0 / mse);
+}
+
+} // namespace
+
+SrTrainer::SrTrainer(CompactSrNet &net, const TrainerConfig &config)
+    : net_(net), config_(config)
+{
+    GSSR_ASSERT(config_.iterations >= 1, "need at least one iteration");
+    GSSR_ASSERT(config_.patch_size >= 16, "patch too small");
+    GSSR_ASSERT(config_.batch_size >= 1, "batch too small");
+}
+
+void
+SrTrainer::addPair(PlaneU8 lr_luma, PlaneU8 hr_luma)
+{
+    int scale = net_.config().scale;
+    GSSR_ASSERT(hr_luma.width() == lr_luma.width() * scale &&
+                    hr_luma.height() == lr_luma.height() * scale,
+                "training pair sizes must differ by the net scale");
+    GSSR_ASSERT(lr_luma.width() >= config_.patch_size &&
+                    lr_luma.height() >= config_.patch_size,
+                "training pair smaller than the patch size");
+    pairs_.push_back({std::move(lr_luma), std::move(hr_luma)});
+}
+
+f64
+SrTrainer::train()
+{
+    GSSR_ASSERT(!pairs_.empty(), "no training pairs registered");
+    Adam::Config adam_config;
+    adam_config.learning_rate = config_.learning_rate;
+    Adam adam(net_.params(), adam_config);
+    Rng rng(config_.seed);
+
+    const int scale = net_.config().scale;
+    const int patch = config_.patch_size;
+    f64 smoothed_loss = 0.0;
+    bool first = true;
+
+    for (int iter = 0; iter < config_.iterations; ++iter) {
+        f64 batch_loss = 0.0;
+        for (int b = 0; b < config_.batch_size; ++b) {
+            const TrainingPair &pair =
+                pairs_[size_t(rng.uniformInt(0, int(pairs_.size()) - 1))];
+            int max_x = pair.lr_luma.width() - patch;
+            int max_y = pair.lr_luma.height() - patch;
+            int x = rng.uniformInt(0, max_x);
+            int y = rng.uniformInt(0, max_y);
+            Tensor input = Tensor::fromPlane(
+                pair.lr_luma.crop({x, y, patch, patch}));
+            Tensor target = Tensor::fromPlane(pair.hr_luma.crop(
+                {x * scale, y * scale, patch * scale, patch * scale}));
+            batch_loss += net_.accumulateGradients(input, target);
+        }
+        adam.step();
+        batch_loss /= f64(config_.batch_size);
+        smoothed_loss = first ? batch_loss
+                              : 0.98 * smoothed_loss + 0.02 * batch_loss;
+        first = false;
+
+        // Simple step decay keeps late training stable.
+        if (iter == config_.iterations * 2 / 3)
+            adam.setLearningRate(config_.learning_rate * 0.3);
+    }
+    return smoothed_loss;
+}
+
+f64
+SrTrainer::evaluatePsnr() const
+{
+    GSSR_ASSERT(!pairs_.empty(), "no pairs to evaluate");
+    f64 total = 0.0;
+    for (const auto &pair : pairs_) {
+        Tensor out = net_.forward(Tensor::fromPlane(pair.lr_luma));
+        total += lumaPsnr(out.toPlane(), pair.hr_luma);
+    }
+    return total / f64(pairs_.size());
+}
+
+f64
+SrTrainer::bilinearPsnr() const
+{
+    GSSR_ASSERT(!pairs_.empty(), "no pairs to evaluate");
+    f64 total = 0.0;
+    for (const auto &pair : pairs_) {
+        PlaneU8 up = resizePlane(pair.lr_luma, pair.hr_luma.size(),
+                                 InterpKernel::Bilinear);
+        total += lumaPsnr(up, pair.hr_luma);
+    }
+    return total / f64(pairs_.size());
+}
+
+CompactSrNet
+trainedSrNet(const std::string &cache_path, const TrainerConfig &config)
+{
+    CompactSrNet net;
+    if (!cache_path.empty() && net.load(cache_path)) {
+        inform("loaded trained SR weights from ", cache_path);
+        return net;
+    }
+
+    inform("training CompactSrNet (", config.iterations,
+           " iterations) ...");
+    SrTrainer trainer(net, config);
+
+    // Training corpus: a few frames from a genre-diverse subset of
+    // the Table I worlds. The LR input is what the client actually
+    // sees: the box-downsample of the HR render (anti-aliased SSAA
+    // frame, see frame/downsample.hh) *after* a codec round trip at
+    // the streaming qp — per-content training on the streamed
+    // frames, as the NEMO/NAS line of work does. This teaches the
+    // net both detail synthesis and compression-artifact
+    // suppression.
+    const GameId train_games[] = {
+        GameId::G1_MetroExodus,
+        GameId::G3_Witcher3,
+        GameId::G5_GrandTheftAutoV,
+        GameId::G10_ForzaHorizon5,
+    };
+    const Size hr_size{320, 192};
+    const Size lr_size{hr_size.width / 2, hr_size.height / 2};
+    CodecConfig stream_codec; // default streaming qp
+    stream_codec.gop_size = 1;
+    for (GameId id : train_games) {
+        GameWorld world(id, 42);
+        GopEncoder encoder(stream_codec, lr_size);
+        FrameDecoder decoder(stream_codec, lr_size);
+        for (int frame = 0; frame < 3; ++frame) {
+            Scene scene = world.sceneAt(f64(frame) * 0.8);
+            ColorImage hr = renderScene(scene, hr_size).color;
+            ColorImage lr_decoded = yuv420ToRgb(decoder.decode(
+                encoder.encode(boxDownsample(hr, 2))));
+            trainer.addPair(toGrayscale(lr_decoded),
+                            toGrayscale(hr));
+        }
+    }
+
+    f64 loss = trainer.train();
+    f64 net_psnr = trainer.evaluatePsnr();
+    f64 bilinear_psnr = trainer.bilinearPsnr();
+    inform("SR training done: loss=", loss, " net=", net_psnr,
+           "dB bilinear=", bilinear_psnr, "dB");
+    if (net_psnr < bilinear_psnr) {
+        warn("trained SR net did not beat bilinear; quality deltas "
+             "will be conservative");
+    }
+    if (!cache_path.empty())
+        net.save(cache_path);
+    return net;
+}
+
+} // namespace gssr

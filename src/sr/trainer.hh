@@ -1,0 +1,77 @@
+/**
+ * @file
+ * In-process training of CompactSrNet on (low-res, high-res) luma
+ * pairs produced by the game renderer — patch sampling, Adam updates
+ * and PSNR evaluation.
+ */
+
+#ifndef GSSR_SR_TRAINER_HH
+#define GSSR_SR_TRAINER_HH
+
+#include <vector>
+
+#include "sr/srcnn.hh"
+
+namespace gssr
+{
+
+/** One aligned training pair (HR is scale x the LR size). */
+struct TrainingPair
+{
+    PlaneU8 lr_luma;
+    PlaneU8 hr_luma;
+};
+
+/** Training configuration. */
+struct TrainerConfig
+{
+    int iterations = 1500;
+    int patch_size = 48; ///< LR patch edge length
+    int batch_size = 4;  ///< pairs accumulated per Adam step
+    f64 learning_rate = 2e-3;
+    u64 seed = 11;
+};
+
+/**
+ * Patch-based SR trainer.
+ */
+class SrTrainer
+{
+  public:
+    /** @param net the network to train (borrowed). */
+    SrTrainer(CompactSrNet &net, const TrainerConfig &config);
+
+    /** Register a training pair (copied). */
+    void addPair(PlaneU8 lr_luma, PlaneU8 hr_luma);
+
+    /**
+     * Run the configured number of iterations.
+     * @return final smoothed training loss.
+     */
+    f64 train();
+
+    /** Mean luma PSNR of the net over full registered pairs. */
+    f64 evaluatePsnr() const;
+
+    /** Mean luma PSNR of plain bilinear over the registered pairs. */
+    f64 bilinearPsnr() const;
+
+  private:
+    CompactSrNet &net_;
+    TrainerConfig config_;
+    std::vector<TrainingPair> pairs_;
+};
+
+/**
+ * Convenience: obtain a CompactSrNet trained on frames of the given
+ * game worlds, cached at @p cache_path (trained once, then reloaded).
+ * Training data: luma of LR/HR renders of a few frames per world.
+ *
+ * @param cache_path weights cache file ("" disables caching).
+ */
+CompactSrNet trainedSrNet(const std::string &cache_path,
+                          const TrainerConfig &config = TrainerConfig{});
+
+} // namespace gssr
+
+#endif // GSSR_SR_TRAINER_HH

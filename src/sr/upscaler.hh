@@ -1,0 +1,111 @@
+/**
+ * @file
+ * The upscaler abstraction used by the client pipelines: a common
+ * interface over interpolation kernels (GPU path) and the DNN SR
+ * model (NPU path), exposing both the executable quality path and
+ * the compute cost the device models charge for it.
+ */
+
+#ifndef GSSR_SR_UPSCALER_HH
+#define GSSR_SR_UPSCALER_HH
+
+#include <memory>
+#include <string>
+
+#include "frame/image.hh"
+#include "sr/edsr.hh"
+#include "sr/interpolate.hh"
+#include "sr/srcnn.hh"
+
+namespace gssr
+{
+
+/** Abstract frame upscaler. */
+class Upscaler
+{
+  public:
+    virtual ~Upscaler() = default;
+
+    /** Short identifier ("bilinear", "edsr", ...). */
+    virtual std::string name() const = 0;
+
+    /** Upscale @p input by @p factor (both dimensions). */
+    virtual ColorImage upscale(const ColorImage &input,
+                               int factor) const = 0;
+
+    /**
+     * Multiply-accumulate cost of upscaling an @p input -sized frame
+     * by @p factor — consumed by the device latency/energy models.
+     */
+    virtual i64 macs(Size input, int factor) const = 0;
+};
+
+/** Interpolation upscaler (bilinear / bicubic / lanczos). */
+class InterpUpscaler : public Upscaler
+{
+  public:
+    explicit InterpUpscaler(InterpKernel kernel = InterpKernel::Bilinear)
+        : kernel_(kernel)
+    {}
+
+    std::string name() const override
+    {
+        return interpKernelName(kernel_);
+    }
+
+    ColorImage
+    upscale(const ColorImage &input, int factor) const override
+    {
+        return resizeImage(input,
+                           {input.width() * factor,
+                            input.height() * factor},
+                           kernel_);
+    }
+
+    i64
+    macs(Size input, int factor) const override
+    {
+        return resizeOpCount(
+            {input.width * factor, input.height * factor}, kernel_);
+    }
+
+  private:
+    InterpKernel kernel_;
+};
+
+/**
+ * DNN super-resolution upscaler.
+ *
+ * Quality path (executed): the trained CompactSrNet on luma, with
+ * bicubic chroma — standard SR practice.
+ * Cost path (charged to the NPU device model): the full EDSR-16/64
+ * graph, the model the paper deploys. See DESIGN.md §1.
+ */
+class DnnUpscaler : public Upscaler
+{
+  public:
+    /**
+     * @param quality_net trained CompactSrNet (shared, scale 2).
+     * @param scale EDSR cost-model scale (2, 3 or 4).
+     */
+    DnnUpscaler(std::shared_ptr<const CompactSrNet> quality_net,
+                int scale = 2);
+
+    std::string name() const override { return "edsr"; }
+
+    ColorImage upscale(const ColorImage &input, int factor) const
+        override;
+
+    i64 macs(Size input, int factor) const override;
+
+    /** The EDSR cost model (for per-layer inspection). */
+    const EdsrNetwork &costModel() const { return cost_model_; }
+
+  private:
+    std::shared_ptr<const CompactSrNet> quality_net_;
+    EdsrNetwork cost_model_;
+};
+
+} // namespace gssr
+
+#endif // GSSR_SR_UPSCALER_HH

@@ -1,0 +1,544 @@
+/**
+ * @file
+ * Unit tests for src/codec: bitstream primitives, the 8x8 DCT and
+ * quantizer, plane transform coding, block motion estimation /
+ * compensation, and the full GOP encoder/decoder including the
+ * hardware/software decoder bindings.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "codec/bitstream.hh"
+#include "codec/codec.hh"
+#include "codec/dct.hh"
+#include "codec/motion.hh"
+#include "codec/plane_coder.hh"
+#include "common/mathutil.hh"
+#include "common/rng.hh"
+#include "metrics/psnr.hh"
+
+namespace gssr
+{
+namespace
+{
+
+TEST(BitstreamTest, ZigzagMapping)
+{
+    EXPECT_EQ(zigzagEncode(0), 0u);
+    EXPECT_EQ(zigzagEncode(-1), 1u);
+    EXPECT_EQ(zigzagEncode(1), 2u);
+    EXPECT_EQ(zigzagEncode(-2), 3u);
+    for (i64 v : {0L, 1L, -1L, 12345L, -987654321L,
+                  i64(1) << 40, -(i64(1) << 40)}) {
+        EXPECT_EQ(zigzagDecode(zigzagEncode(v)), v);
+    }
+}
+
+TEST(BitstreamTest, VarintRoundTrip)
+{
+    ByteWriter writer;
+    std::vector<u64> values = {0, 1, 127, 128, 300, 1u << 20,
+                               u64(1) << 50};
+    for (u64 v : values)
+        writer.putVarint(v);
+    std::vector<u8> bytes = writer.take();
+    ByteReader reader(bytes);
+    for (u64 v : values)
+        EXPECT_EQ(reader.getVarint(), v);
+    EXPECT_TRUE(reader.atEnd());
+}
+
+TEST(BitstreamTest, SignedVarintRoundTrip)
+{
+    ByteWriter writer;
+    std::vector<i64> values = {0, -1, 1, -64, 64, -100000, 100000};
+    for (i64 v : values)
+        writer.putSignedVarint(v);
+    std::vector<u8> bytes = writer.take();
+    ByteReader reader(bytes);
+    for (i64 v : values)
+        EXPECT_EQ(reader.getSignedVarint(), v);
+}
+
+TEST(BitstreamTest, SmallVarintsUseOneByte)
+{
+    ByteWriter writer;
+    writer.putVarint(127);
+    EXPECT_EQ(writer.size(), 1u);
+    writer.putVarint(128);
+    EXPECT_EQ(writer.size(), 3u);
+}
+
+TEST(BitstreamTest, TruncatedStreamThrows)
+{
+    std::vector<u8> bytes = {0x80}; // continuation without end
+    ByteReader reader(bytes);
+    EXPECT_THROW(reader.getVarint(), FatalError);
+}
+
+TEST(BitstreamTest, U16RoundTrip)
+{
+    ByteWriter writer;
+    writer.putU16(0xabcd);
+    std::vector<u8> bytes = writer.take();
+    ByteReader reader(bytes);
+    EXPECT_EQ(reader.getU16(), 0xabcd);
+}
+
+TEST(DctTest, RoundTripIsNearExact)
+{
+    Rng rng(1);
+    Block8x8 block{};
+    for (auto &v : block)
+        v = f32(rng.uniform(-128.0, 128.0));
+    Block8x8 back = inverseDct8x8(forwardDct8x8(block));
+    for (int i = 0; i < 64; ++i)
+        EXPECT_NEAR(back[size_t(i)], block[size_t(i)], 1e-3);
+}
+
+TEST(DctTest, ConstantBlockHasOnlyDcCoefficient)
+{
+    Block8x8 block{};
+    block.fill(100.0f);
+    Block8x8 coeffs = forwardDct8x8(block);
+    // Orthonormal DCT: DC = 8 * mean.
+    EXPECT_NEAR(coeffs[0], 800.0f, 1e-2);
+    for (int i = 1; i < 64; ++i)
+        EXPECT_NEAR(coeffs[size_t(i)], 0.0f, 1e-3);
+}
+
+TEST(DctTest, ParsevalEnergyPreserved)
+{
+    Rng rng(2);
+    Block8x8 block{};
+    for (auto &v : block)
+        v = f32(rng.uniform(-100.0, 100.0));
+    Block8x8 coeffs = forwardDct8x8(block);
+    f64 e_spatial = 0.0, e_freq = 0.0;
+    for (int i = 0; i < 64; ++i) {
+        e_spatial += f64(block[size_t(i)]) * block[size_t(i)];
+        e_freq += f64(coeffs[size_t(i)]) * coeffs[size_t(i)];
+    }
+    EXPECT_NEAR(e_freq / e_spatial, 1.0, 1e-4);
+}
+
+TEST(DctTest, ZigzagOrderIsAPermutation)
+{
+    const auto &order = zigzagOrder();
+    std::array<bool, 64> seen{};
+    for (int idx : order) {
+        ASSERT_GE(idx, 0);
+        ASSERT_LT(idx, 64);
+        EXPECT_FALSE(seen[size_t(idx)]);
+        seen[size_t(idx)] = true;
+    }
+    // Standard zigzag prefix.
+    EXPECT_EQ(order[0], 0);
+    EXPECT_EQ(order[1], 1);
+    EXPECT_EQ(order[2], 8);
+    EXPECT_EQ(order[63], 63);
+}
+
+TEST(DctTest, QuantizeDequantizeBoundsError)
+{
+    Rng rng(3);
+    Block8x8 coeffs{};
+    for (auto &v : coeffs)
+        v = f32(rng.uniform(-200.0, 200.0));
+    int qp = 8;
+    Block8x8 back = dequantize(quantize(coeffs, qp), qp);
+    for (int v = 0; v < 8; ++v) {
+        for (int u = 0; u < 8; ++u) {
+            f32 step = f32(qp) * (1.0f + 0.14f * f32(u + v));
+            EXPECT_LE(std::abs(back[size_t(v * 8 + u)] -
+                               coeffs[size_t(v * 8 + u)]),
+                      step * 0.5f + 1e-3f);
+        }
+    }
+}
+
+TEST(DctTest, LargerQpCoarser)
+{
+    Block8x8 coeffs{};
+    coeffs[5] = 40.0f;
+    EXPECT_NE(quantize(coeffs, 2)[5], 0);
+    EXPECT_EQ(quantize(coeffs, 100)[5], 0);
+}
+
+PlaneF32
+randomPlane(int w, int h, u64 seed, f64 lo, f64 hi)
+{
+    Rng rng(seed);
+    PlaneF32 p(w, h);
+    for (auto &v : p.data())
+        v = f32(rng.uniform(lo, hi));
+    return p;
+}
+
+TEST(PlaneCoderTest, RoundTripErrorBounded)
+{
+    PlaneF32 plane = randomPlane(32, 24, 4, -120.0, 120.0);
+    ByteWriter writer;
+    PlaneF32 recon = encodePlane(plane, 6, writer);
+    std::vector<u8> bytes = writer.take();
+    ByteReader reader(bytes);
+    PlaneF32 decoded = decodePlane(plane.size(), 6, reader);
+    // Decoder must reproduce the encoder's reconstruction exactly.
+    for (i64 i = 0; i < plane.sampleCount(); ++i) {
+        EXPECT_NEAR(decoded.data()[size_t(i)],
+                    recon.data()[size_t(i)], 1e-4);
+    }
+}
+
+TEST(PlaneCoderTest, SmoothContentCompresses)
+{
+    PlaneF32 smooth(64, 64);
+    for (int y = 0; y < 64; ++y)
+        for (int x = 0; x < 64; ++x)
+            smooth.at(x, y) = f32(x + y);
+    ByteWriter writer;
+    encodePlane(smooth, 6, writer);
+    // Far below 1 byte per sample for smooth data.
+    EXPECT_LT(writer.size(), 64u * 64u / 4u);
+}
+
+TEST(PlaneCoderTest, NonMultipleOfEightSizes)
+{
+    PlaneF32 plane = randomPlane(37, 19, 5, -50.0, 50.0);
+    ByteWriter writer;
+    PlaneF32 recon = encodePlane(plane, 4, writer);
+    std::vector<u8> bytes = writer.take();
+    ByteReader reader(bytes);
+    PlaneF32 decoded = decodePlane(plane.size(), 4, reader);
+    EXPECT_EQ(decoded.size(), plane.size());
+    for (i64 i = 0; i < plane.sampleCount(); ++i) {
+        EXPECT_NEAR(decoded.data()[size_t(i)],
+                    recon.data()[size_t(i)], 1e-4);
+    }
+}
+
+TEST(PlaneCoderTest, RoiWeightedRoundTripMatchesEncoderRecon)
+{
+    PlaneF32 plane = randomPlane(48, 40, 9, -100.0, 100.0);
+    Rect roi{8, 8, 24, 16};
+    ByteWriter writer;
+    PlaneF32 recon = encodePlaneRoi(plane, 20, 4, roi, writer);
+    std::vector<u8> bytes = writer.take();
+    ByteReader reader(bytes);
+    PlaneF32 decoded =
+        decodePlaneRoi(plane.size(), 20, 4, roi, reader);
+    for (i64 i = 0; i < plane.sampleCount(); ++i) {
+        EXPECT_NEAR(decoded.data()[size_t(i)],
+                    recon.data()[size_t(i)], 1e-4);
+    }
+}
+
+TEST(PlaneCoderTest, RoiWeightedQualityIsHigherInsideRoi)
+{
+    PlaneF32 plane = randomPlane(64, 64, 10, -100.0, 100.0);
+    Rect roi{16, 16, 32, 32};
+    ByteWriter writer;
+    PlaneF32 recon = encodePlaneRoi(plane, 28, 4, roi, writer);
+    f64 err_in = 0.0, err_out = 0.0;
+    i64 n_in = 0, n_out = 0;
+    for (int y = 0; y < 64; ++y) {
+        for (int x = 0; x < 64; ++x) {
+            f64 e = std::pow(
+                f64(recon.at(x, y)) - f64(plane.at(x, y)), 2);
+            if (roi.contains(x, y)) {
+                err_in += e;
+                n_in += 1;
+            } else {
+                err_out += e;
+                n_out += 1;
+            }
+        }
+    }
+    EXPECT_LT(err_in / f64(n_in), err_out / f64(n_out) / 4.0);
+}
+
+TEST(PlaneCoderTest, RoiWeightedSpendsBytesInsideRoi)
+{
+    PlaneF32 plane = randomPlane(64, 64, 11, -100.0, 100.0);
+    Rect roi{16, 16, 32, 32};
+    ByteWriter coarse_writer, mixed_writer;
+    encodePlane(plane, 28, coarse_writer);
+    encodePlaneRoi(plane, 28, 4, roi, mixed_writer);
+    // Finer quantization inside the RoI costs more bytes than the
+    // uniform coarse encode, but fewer than a uniform fine encode.
+    ByteWriter fine_writer;
+    encodePlane(plane, 4, fine_writer);
+    EXPECT_GT(mixed_writer.size(), coarse_writer.size());
+    EXPECT_LT(mixed_writer.size(), fine_writer.size());
+}
+
+/** Shift an image by (dx, dy) with edge clamping. */
+PlaneU8
+shiftPlane(const PlaneU8 &in, int dx, int dy)
+{
+    PlaneU8 out(in.width(), in.height());
+    for (int y = 0; y < in.height(); ++y)
+        for (int x = 0; x < in.width(); ++x)
+            out.at(x, y) = in.atClamped(x - dx, y - dy);
+    return out;
+}
+
+PlaneU8
+texturedPlane(int w, int h, u64 seed)
+{
+    Rng rng(seed);
+    PlaneU8 p(w, h);
+    for (int y = 0; y < h; ++y)
+        for (int x = 0; x < w; ++x)
+            p.at(x, y) = u8(rng.uniformInt(0, 255));
+    return p;
+}
+
+/**
+ * Smooth textured plane: incommensurate sinusoids give the SAD
+ * landscape the gradient a logarithmic (three-step) search needs —
+ * white noise has a flat landscape with a single spike, which no
+ * gradient-following search can find.
+ */
+PlaneU8
+smoothTexturedPlane(int w, int h)
+{
+    PlaneU8 p(w, h);
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+            f64 v = 128.0 + 55.0 * std::sin(0.37 * x + 0.21 * y) +
+                    45.0 * std::cos(0.23 * x - 0.31 * y) +
+                    20.0 * std::sin(0.11 * x * 0.9 + 0.05 * y);
+            p.at(x, y) = u8(v < 0 ? 0 : (v > 255 ? 255 : v));
+        }
+    }
+    return p;
+}
+
+TEST(MotionTest, RecoversGlobalTranslation)
+{
+    PlaneU8 reference = smoothTexturedPlane(96, 64);
+    PlaneU8 current = shiftPlane(reference, 3, -2);
+    MvField mv = estimateMotion(reference, current, 16, 7);
+    // Interior blocks should find the exact shift: current(x) =
+    // reference(x - 3, y + 2) -> MV (-3, +2).
+    int exact = 0, total = 0;
+    for (int by = 1; by + 1 < mv.blocks_y; ++by) {
+        for (int bx = 1; bx + 1 < mv.blocks_x; ++bx) {
+            total += 1;
+            if (mv.at(bx, by) == (MotionVector{-3, 2}))
+                exact += 1;
+        }
+    }
+    EXPECT_GT(exact, total * 8 / 10);
+}
+
+TEST(MotionTest, StaticSceneGivesZeroVectors)
+{
+    PlaneU8 reference = texturedPlane(64, 64, 7);
+    MvField mv = estimateMotion(reference, reference, 16, 7);
+    for (const auto &v : mv.vectors)
+        EXPECT_EQ(v, (MotionVector{0, 0}));
+}
+
+TEST(MotionTest, CompensationReconstructsShiftedFrame)
+{
+    PlaneU8 ref_luma = texturedPlane(64, 48, 8);
+    Yuv420Image reference(64, 48);
+    reference.y = ref_luma;
+    reference.u.fill(128);
+    reference.v.fill(128);
+
+    Yuv420Image current(64, 48);
+    current.y = shiftPlane(ref_luma, 4, 0);
+    current.u.fill(128);
+    current.v.fill(128);
+
+    MvField mv = estimateMotion(reference.y, current.y, 16, 7);
+    Yuv420Image predicted = motionCompensate(reference, mv);
+    // Interior pixels should match nearly exactly.
+    i64 err = 0, n = 0;
+    for (int y = 16; y < 32; ++y) {
+        for (int x = 16; x < 48; ++x) {
+            err += std::abs(int(predicted.y.at(x, y)) -
+                            int(current.y.at(x, y)));
+            n += 1;
+        }
+    }
+    EXPECT_LT(f64(err) / f64(n), 2.0);
+}
+
+TEST(MotionTest, SizeMismatchThrows)
+{
+    PlaneU8 a(32, 32), b(16, 16);
+    EXPECT_THROW(estimateMotion(a, b, 16, 7), PanicError);
+}
+
+/** Deterministic colorful test frame with moving content. */
+ColorImage
+movingFrame(int w, int h, int t)
+{
+    ColorImage img(w, h);
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+            f64 v = 128 + 80 * std::sin((x + t * 2) * 0.22) *
+                              std::cos(y * 0.17);
+            img.setPixel(x, y, toPixel(v), toPixel(255 - v),
+                         toPixel(v * 0.5 + 60));
+        }
+    }
+    return img;
+}
+
+TEST(CodecTest, ReferenceFrameRoundTripQuality)
+{
+    CodecConfig config;
+    config.qp = 6;
+    Size size{64, 48};
+    GopEncoder encoder(config, size);
+    FrameDecoder decoder(config, size);
+
+    ColorImage frame = movingFrame(64, 48, 0);
+    EncodedFrame encoded = encoder.encode(frame);
+    EXPECT_EQ(encoded.type, FrameType::Reference);
+    ColorImage decoded = yuv420ToRgb(decoder.decode(encoded));
+    EXPECT_GT(psnr(decoded, frame), 30.0);
+}
+
+TEST(CodecTest, GopStructureFollowsConfiguredSize)
+{
+    CodecConfig config;
+    config.gop_size = 4;
+    GopEncoder encoder(config, {32, 32});
+    for (int i = 0; i < 10; ++i) {
+        EncodedFrame f = encoder.encode(movingFrame(32, 32, i));
+        if (i % 4 == 0)
+            EXPECT_EQ(f.type, FrameType::Reference) << "frame " << i;
+        else
+            EXPECT_EQ(f.type, FrameType::NonReference)
+                << "frame " << i;
+        EXPECT_EQ(f.index, i);
+    }
+}
+
+TEST(CodecTest, StreamRoundTripStaysAbove30Db)
+{
+    CodecConfig config;
+    config.gop_size = 8;
+    config.qp = 6;
+    Size size{64, 48};
+    GopEncoder encoder(config, size);
+    FrameDecoder decoder(config, size);
+    for (int i = 0; i < 12; ++i) {
+        ColorImage frame = movingFrame(64, 48, i);
+        ColorImage decoded =
+            yuv420ToRgb(decoder.decode(encoder.encode(frame)));
+        EXPECT_GT(psnr(decoded, frame), 29.0) << "frame " << i;
+    }
+}
+
+TEST(CodecTest, InterFramesSmallerThanIntraForStaticContent)
+{
+    CodecConfig config;
+    config.gop_size = 4;
+    GopEncoder encoder(config, {64, 64});
+    ColorImage frame = movingFrame(64, 64, 0);
+    size_t intra = encoder.encode(frame).sizeBytes();
+    size_t inter = encoder.encode(frame).sizeBytes();
+    EXPECT_LT(inter, intra / 3);
+}
+
+TEST(CodecTest, SoftwareDecoderExposesInternals)
+{
+    CodecConfig config;
+    config.gop_size = 4;
+    Size size{64, 48};
+    GopEncoder encoder(config, size);
+    SoftwareDecoder decoder(config, size);
+    DecoderInternals internals;
+
+    decoder.decode(encoder.encode(movingFrame(64, 48, 0)), internals);
+    EXPECT_TRUE(internals.mv.vectors.empty()); // reference frame
+
+    decoder.decode(encoder.encode(movingFrame(64, 48, 1)), internals);
+    EXPECT_EQ(internals.mv.blocks_x, 4);
+    EXPECT_EQ(internals.mv.blocks_y, 3);
+    EXPECT_EQ(internals.residual.y.size(), size);
+    EXPECT_EQ(internals.residual.u.size(), (Size{32, 24}));
+}
+
+TEST(CodecTest, HardwareAndSoftwareDecodersAgree)
+{
+    CodecConfig config;
+    config.gop_size = 4;
+    Size size{64, 48};
+    GopEncoder encoder(config, size);
+    HardwareDecoder hw(config, size);
+    SoftwareDecoder sw(config, size);
+    DecoderInternals internals;
+    for (int i = 0; i < 6; ++i) {
+        EncodedFrame f = encoder.encode(movingFrame(64, 48, i));
+        ColorImage from_hw = hw.decode(f);
+        ColorImage from_sw =
+            yuv420ToRgb(sw.decode(f, internals));
+        EXPECT_EQ(from_hw, from_sw) << "frame " << i;
+    }
+}
+
+TEST(CodecTest, NonReferenceBeforeReferenceThrows)
+{
+    CodecConfig config;
+    config.gop_size = 4;
+    Size size{32, 32};
+    GopEncoder encoder(config, size);
+    encoder.encode(movingFrame(32, 32, 0)); // discard the reference
+    EncodedFrame p = encoder.encode(movingFrame(32, 32, 1));
+    FrameDecoder fresh(config, size);
+    EXPECT_THROW(fresh.decode(p), FatalError);
+}
+
+TEST(CodecTest, CorruptPayloadThrows)
+{
+    CodecConfig config;
+    Size size{32, 32};
+    GopEncoder encoder(config, size);
+    EncodedFrame f = encoder.encode(movingFrame(32, 32, 0));
+    f.payload[0] = 0xff; // bad tag
+    FrameDecoder decoder(config, size);
+    EXPECT_THROW(decoder.decode(f), FatalError);
+}
+
+TEST(CodecTest, HigherQpSmallerPayloadLowerQuality)
+{
+    Size size{64, 48};
+    ColorImage frame = movingFrame(64, 48, 0);
+
+    CodecConfig low_qp;
+    low_qp.qp = 3;
+    GopEncoder enc_low(low_qp, size);
+    FrameDecoder dec_low(low_qp, size);
+    EncodedFrame f_low = enc_low.encode(frame);
+    f64 psnr_low = psnr(yuv420ToRgb(dec_low.decode(f_low)), frame);
+
+    CodecConfig high_qp;
+    high_qp.qp = 24;
+    GopEncoder enc_high(high_qp, size);
+    FrameDecoder dec_high(high_qp, size);
+    EncodedFrame f_high = enc_high.encode(frame);
+    f64 psnr_high = psnr(yuv420ToRgb(dec_high.decode(f_high)), frame);
+
+    EXPECT_LT(f_high.sizeBytes(), f_low.sizeBytes());
+    EXPECT_LT(psnr_high, psnr_low);
+}
+
+TEST(CodecTest, FrameSizeChangeMidStreamThrows)
+{
+    CodecConfig config;
+    GopEncoder encoder(config, {32, 32});
+    EXPECT_THROW(encoder.encode(movingFrame(64, 48, 0)), PanicError);
+}
+
+} // namespace
+} // namespace gssr

@@ -1,0 +1,320 @@
+/**
+ * @file
+ * Unit tests for src/common: geometry types, logging/error helpers,
+ * the deterministic RNG, streaming statistics and the table writer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/mathutil.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "common/types.hh"
+
+namespace gssr
+{
+namespace
+{
+
+TEST(RectTest, AreaAndEmpty)
+{
+    Rect r{2, 3, 10, 5};
+    EXPECT_EQ(r.area(), 50);
+    EXPECT_FALSE(r.empty());
+    EXPECT_TRUE(Rect{}.empty());
+    EXPECT_TRUE((Rect{0, 0, 0, 5}).empty());
+}
+
+TEST(RectTest, ContainsPoint)
+{
+    Rect r{2, 3, 10, 5};
+    EXPECT_TRUE(r.contains(2, 3));
+    EXPECT_TRUE(r.contains(11, 7));
+    EXPECT_FALSE(r.contains(12, 3));
+    EXPECT_FALSE(r.contains(2, 8));
+    EXPECT_FALSE(r.contains(1, 3));
+}
+
+TEST(RectTest, ContainsRect)
+{
+    Rect outer{0, 0, 100, 50};
+    EXPECT_TRUE(outer.contains(Rect{0, 0, 100, 50}));
+    EXPECT_TRUE(outer.contains(Rect{10, 10, 20, 20}));
+    EXPECT_FALSE(outer.contains(Rect{90, 40, 20, 20}));
+    EXPECT_FALSE(outer.contains(Rect{-1, 0, 10, 10}));
+}
+
+TEST(RectTest, Intersection)
+{
+    Rect a{0, 0, 10, 10};
+    Rect b{5, 5, 10, 10};
+    Rect i = a.intersect(b);
+    EXPECT_EQ(i, (Rect{5, 5, 5, 5}));
+    EXPECT_TRUE(a.intersect(Rect{20, 20, 5, 5}).empty());
+    // Intersection is commutative.
+    EXPECT_EQ(a.intersect(b), b.intersect(a));
+}
+
+TEST(SizeTest, Area)
+{
+    EXPECT_EQ((Size{1280, 720}).area(), 921600);
+    EXPECT_EQ((Size{2560, 1440}).area(), 3686400);
+}
+
+TEST(LoggingTest, FatalThrowsFatalError)
+{
+    EXPECT_THROW(fatal("bad config: ", 42), FatalError);
+}
+
+TEST(LoggingTest, PanicThrowsPanicError)
+{
+    EXPECT_THROW(panic("invariant broken"), PanicError);
+}
+
+TEST(LoggingTest, AssertMacroPassesAndFails)
+{
+    EXPECT_NO_THROW(GSSR_ASSERT(1 + 1 == 2, "math"));
+    EXPECT_THROW(GSSR_ASSERT(false, "always"), PanicError);
+}
+
+TEST(LoggingTest, MessageContainsFormattedArgs)
+{
+    try {
+        fatal("value=", 7, " name=", "x");
+        FAIL() << "fatal did not throw";
+    } catch (const FatalError &e) {
+        EXPECT_STREQ(e.what(), "value=7 name=x");
+    }
+}
+
+TEST(RngTest, DeterministicForSameSeed)
+{
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        f64 u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusive)
+{
+    Rng rng(7);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 1000; ++i) {
+        int v = rng.uniformInt(3, 7);
+        EXPECT_GE(v, 3);
+        EXPECT_LE(v, 7);
+        saw_lo |= v == 3;
+        saw_hi |= v == 7;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformIntSingleValue)
+{
+    Rng rng(7);
+    EXPECT_EQ(rng.uniformInt(5, 5), 5);
+}
+
+TEST(RngTest, NormalMomentsApproximatelyStandard)
+{
+    Rng rng(11);
+    SampleStats stats;
+    for (int i = 0; i < 20000; ++i)
+        stats.add(rng.normal());
+    EXPECT_NEAR(stats.mean(), 0.0, 0.03);
+    EXPECT_NEAR(stats.stddev(), 1.0, 0.03);
+}
+
+TEST(RngTest, BernoulliFrequency)
+{
+    Rng rng(13);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i)
+        hits += rng.bernoulli(0.3);
+    EXPECT_NEAR(f64(hits) / 20000.0, 0.3, 0.02);
+}
+
+TEST(RngTest, ForkProducesIndependentStream)
+{
+    Rng parent(17);
+    Rng child = parent.fork();
+    // The fork must not replay the parent's outputs.
+    Rng parent2(17);
+    parent2.fork();
+    EXPECT_NE(child.next(), parent.next());
+}
+
+TEST(MathTest, ClampAndLerp)
+{
+    EXPECT_EQ(clamp(5, 0, 10), 5);
+    EXPECT_EQ(clamp(-1, 0, 10), 0);
+    EXPECT_EQ(clamp(11, 0, 10), 10);
+    EXPECT_DOUBLE_EQ(lerp(0.0, 10.0, 0.5), 5.0);
+    EXPECT_DOUBLE_EQ(lerp(2.0, 4.0, 0.0), 2.0);
+    EXPECT_DOUBLE_EQ(lerp(2.0, 4.0, 1.0), 4.0);
+}
+
+TEST(MathTest, ToPixelClamps)
+{
+    EXPECT_EQ(toPixel(-5.0), 0);
+    EXPECT_EQ(toPixel(0.4), 0);
+    EXPECT_EQ(toPixel(0.6), 1);
+    EXPECT_EQ(toPixel(254.6), 255);
+    EXPECT_EQ(toPixel(300.0), 255);
+}
+
+TEST(MathTest, CeilDiv)
+{
+    EXPECT_EQ(ceilDiv(10, 5), 2);
+    EXPECT_EQ(ceilDiv(11, 5), 3);
+    EXPECT_EQ(ceilDiv(0, 5), 0);
+}
+
+TEST(MathTest, Gaussian2dPeaksAtCentre)
+{
+    f64 centre = gaussian2d(50, 50, 50, 50, 10);
+    f64 off = gaussian2d(60, 50, 50, 50, 10);
+    EXPECT_DOUBLE_EQ(centre, 1.0);
+    EXPECT_LT(off, centre);
+    EXPECT_GT(off, 0.0);
+}
+
+TEST(MathTest, Vec3Operations)
+{
+    Vec3 a{1, 0, 0};
+    Vec3 b{0, 1, 0};
+    Vec3 c = a.cross(b);
+    EXPECT_DOUBLE_EQ(c.z, 1.0);
+    EXPECT_DOUBLE_EQ(a.dot(b), 0.0);
+    EXPECT_DOUBLE_EQ((a + b).length(), std::sqrt(2.0));
+    Vec3 n = Vec3{3, 4, 0}.normalized();
+    EXPECT_NEAR(n.length(), 1.0, 1e-12);
+}
+
+TEST(MathTest, Mat4IdentityAndTranslate)
+{
+    Mat4 m = Mat4::translate({1, 2, 3});
+    f64 w = 0.0;
+    Vec3 p = m.transformPoint({0, 0, 0}, w);
+    EXPECT_DOUBLE_EQ(p.x, 1.0);
+    EXPECT_DOUBLE_EQ(p.y, 2.0);
+    EXPECT_DOUBLE_EQ(p.z, 3.0);
+    EXPECT_DOUBLE_EQ(w, 1.0);
+}
+
+TEST(MathTest, Mat4RotateYQuarterTurn)
+{
+    Mat4 m = Mat4::rotateY(M_PI / 2.0);
+    f64 w = 0.0;
+    Vec3 p = m.transformPoint({1, 0, 0}, w);
+    EXPECT_NEAR(p.x, 0.0, 1e-12);
+    EXPECT_NEAR(p.z, -1.0, 1e-12);
+}
+
+TEST(MathTest, Mat4Composition)
+{
+    Mat4 t = Mat4::translate({5, 0, 0});
+    Mat4 s = Mat4::scale({2, 2, 2});
+    f64 w = 0.0;
+    // translate(scale(p)): scale applied first.
+    Vec3 p = (t * s).transformPoint({1, 1, 1}, w);
+    EXPECT_DOUBLE_EQ(p.x, 7.0);
+    EXPECT_DOUBLE_EQ(p.y, 2.0);
+}
+
+TEST(StatsTest, MeanVarianceMinMax)
+{
+    SampleStats s;
+    for (f64 v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(v);
+    EXPECT_EQ(s.count(), 8);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.variance(), 4.0, 1e-9);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(StatsTest, Percentiles)
+{
+    SampleStats s;
+    for (int i = 1; i <= 100; ++i)
+        s.add(f64(i));
+    EXPECT_NEAR(s.percentile(0), 1.0, 1e-9);
+    EXPECT_NEAR(s.percentile(100), 100.0, 1e-9);
+    EXPECT_NEAR(s.percentile(50), 50.5, 1e-9);
+}
+
+TEST(StatsTest, EmptyStatsSafeDefaults)
+{
+    SampleStats s;
+    EXPECT_EQ(s.count(), 0);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_THROW(s.percentile(50), PanicError);
+}
+
+TEST(TableTest, TextRenderingAligned)
+{
+    TableWriter t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"b", "22"});
+    std::ostringstream oss;
+    t.renderText(oss);
+    std::string out = oss.str();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_EQ(t.rowCount(), 2u);
+}
+
+TEST(TableTest, CsvQuoting)
+{
+    TableWriter t({"a", "b"});
+    t.addRow({"x,y", "he said \"hi\""});
+    std::ostringstream oss;
+    t.renderCsv(oss);
+    EXPECT_NE(oss.str().find("\"x,y\""), std::string::npos);
+    EXPECT_NE(oss.str().find("\"he said \"\"hi\"\"\""),
+              std::string::npos);
+}
+
+TEST(TableTest, RowArityChecked)
+{
+    TableWriter t({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), FatalError);
+}
+
+TEST(TableTest, NumFormatting)
+{
+    EXPECT_EQ(TableWriter::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TableWriter::num(2.0, 0), "2");
+    EXPECT_EQ(TableWriter::num(1.005, 1), "1.0");
+}
+
+} // namespace
+} // namespace gssr

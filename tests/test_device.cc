@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Unit tests for src/device: component latency/energy models and the
+ * paper-anchored calibration of the two device profiles. These tests
+ * pin the reproduction to the operating points the paper reports
+ * (EDSR 300x300 RoI in ~16.2/16.4 ms, full 720p in ~217/233 ms,
+ * full-frame GPU bilinear in ~1.4 ms).
+ */
+
+#include <gtest/gtest.h>
+
+#include "device/profiles.hh"
+#include "sr/edsr.hh"
+#include "sr/interpolate.hh"
+
+namespace gssr
+{
+namespace
+{
+
+/** MACs of the deployed SR model (EDSR-16/64 x2) for an n x n input. */
+i64
+edsrMacs(int h, int w)
+{
+    static const EdsrNetwork net{EdsrConfig{}};
+    return net.macs(h, w);
+}
+
+TEST(NpuModelTest, LatencyMonotoneInWorkAndArea)
+{
+    NpuModel npu;
+    EXPECT_LT(npu.latencyMs(1000, 100), npu.latencyMs(2000, 100));
+    EXPECT_LT(npu.latencyMs(1000, 100), npu.latencyMs(1000, 1000000));
+}
+
+TEST(NpuModelTest, ZeroWorkCostsOverheadOnly)
+{
+    NpuModel npu;
+    EXPECT_DOUBLE_EQ(npu.latencyMs(0, 0), npu.overhead_ms);
+}
+
+TEST(NpuModelTest, EnergyIsPowerTimesTime)
+{
+    NpuModel npu;
+    npu.active_power_w = 2.0;
+    EXPECT_DOUBLE_EQ(npu.energyMj(10.0), 20.0);
+}
+
+TEST(GalaxyTabS8Test, RoiWindowAnchor)
+{
+    // Paper Sec. IV-C: 300x300 RoI upscales in ~16.2 ms on the S8's
+    // NPU — i.e. just inside the 16.66 ms deadline.
+    DeviceProfile s8 = DeviceProfile::galaxyTabS8();
+    f64 roi_ms = s8.npu.latencyMs(edsrMacs(300, 300), 300 * 300);
+    EXPECT_NEAR(roi_ms, 16.2, 0.8);
+    EXPECT_LT(roi_ms, 1000.0 / 60.0);
+}
+
+TEST(GalaxyTabS8Test, FullFrameAnchor)
+{
+    // Paper Fig. 10a: full-frame 720p EDSR runs at ~4.6 FPS on the
+    // S8 (~217 ms).
+    DeviceProfile s8 = DeviceProfile::galaxyTabS8();
+    f64 full_ms =
+        s8.npu.latencyMs(edsrMacs(720, 1280), 1280 * 720);
+    EXPECT_NEAR(full_ms, 217.0, 10.0);
+    EXPECT_NEAR(1000.0 / full_ms, 4.6, 0.3);
+}
+
+TEST(Pixel7ProTest, RoiAndFullFrameAnchors)
+{
+    // Paper Fig. 10c: RoI 16.4 ms, full frame ~233 ms on the Pixel.
+    DeviceProfile pixel = DeviceProfile::pixel7Pro();
+    f64 roi_ms =
+        pixel.npu.latencyMs(edsrMacs(300, 300), 300 * 300);
+    f64 full_ms =
+        pixel.npu.latencyMs(edsrMacs(720, 1280), 1280 * 720);
+    EXPECT_NEAR(roi_ms, 16.4, 0.8);
+    EXPECT_NEAR(full_ms, 233.0, 10.0);
+    EXPECT_NEAR(1000.0 / full_ms, 4.3, 0.3);
+}
+
+TEST(GpuModelTest, FullFrameBilinearAnchor)
+{
+    // Paper Sec. IV-C: non-RoI bilinear upscaling of a 1440p frame
+    // takes ~1.4 ms on the mobile GPU.
+    DeviceProfile s8 = DeviceProfile::galaxyTabS8();
+    i64 ops = resizeOpCount({2560, 1440}, InterpKernel::Bilinear);
+    EXPECT_NEAR(s8.gpu.latencyMs(ops), 1.4, 0.2);
+}
+
+TEST(DecoderModelsTest, HardwareIsMuchFasterAndCheaperThanSoftware)
+{
+    DeviceProfile pixel = DeviceProfile::pixel7Pro();
+    i64 px_720p = 1280 * 720;
+    f64 hw_ms = pixel.hw_decoder.latencyMs(px_720p);
+    f64 sw_ms = pixel.sw_decoder.latencyMs(px_720p);
+    EXPECT_LT(hw_ms, 3.0);
+    EXPECT_GT(sw_ms, 10.0);
+    EXPECT_GT(pixel.sw_decoder.energyMj(sw_ms),
+              pixel.hw_decoder.energyMj(hw_ms) * 5);
+}
+
+TEST(DecoderModelsTest, SoftwareDecodePlusNemoCpuUpscaleMissesDeadline)
+{
+    // The Fig. 2 observation: even NEMO's non-reference frames
+    // (software decode + CPU interpolation) exceed 16.66 ms.
+    DeviceProfile s8 = DeviceProfile::galaxyTabS8();
+    f64 decode_ms = s8.sw_decoder.latencyMs(1280 * 720);
+    EXPECT_GT(decode_ms, 1000.0 / 60.0 * 0.6);
+}
+
+TEST(DisplayModelTest, LatencyAndEnergy)
+{
+    DisplayModel display;
+    EXPECT_DOUBLE_EQ(display.latencyMs(),
+                     display.queue_ms + display.vsync_wait_ms +
+                         display.scanout_ms);
+    EXPECT_NEAR(display.energyMjPerFrame(16.66),
+                display.processing_power_w * 16.66, 1e-9);
+}
+
+TEST(RadioModelTest, EnergyScalesWithBytes)
+{
+    RadioModel radio;
+    EXPECT_DOUBLE_EQ(radio.energyMj(2000000),
+                     radio.energyMj(1000000) * 2.0);
+}
+
+TEST(ProfilesTest, DisplayGeometryMatchesSpecs)
+{
+    DeviceProfile s8 = DeviceProfile::galaxyTabS8();
+    DeviceProfile pixel = DeviceProfile::pixel7Pro();
+    EXPECT_NEAR(s8.display_ppi, 274.0, 1.0);   // GSMArena spec
+    EXPECT_NEAR(pixel.display_ppi, 512.0, 2.0);
+    // The tablet's larger panel costs more base power (the paper's
+    // explanation for the S8's smaller energy savings).
+    EXPECT_GT(s8.base_power_w, pixel.base_power_w);
+}
+
+TEST(ProfilesTest, EyeTrackingPowerMatchesPaperProfiling)
+{
+    // Sec. III-A: +2.8 W for camera-based eye tracking.
+    EXPECT_DOUBLE_EQ(
+        DeviceProfile::pixel7Pro().camera_eye_tracking_w, 2.8);
+}
+
+TEST(ServerProfileTest, UtilizationAndEncodeAnchors)
+{
+    ServerProfile server = ServerProfile::gamingWorkstation();
+    // Sec. IV-B2: GPU utilization 79 % at 1440p vs 52 % at 720p.
+    EXPECT_DOUBLE_EQ(server.gpu_utilization_1440p, 0.79);
+    EXPECT_DOUBLE_EQ(server.gpu_utilization_720p, 0.52);
+    EXPECT_GT(server.render_1440p_ms, server.render_720p_ms);
+    // 720p encode fits comfortably in a 60 FPS budget.
+    EXPECT_LT(server.encodeLatencyMs(1280 * 720), 5.0);
+}
+
+} // namespace
+} // namespace gssr

@@ -1,0 +1,326 @@
+/**
+ * @file
+ * Tests for the extension modules: codec rate control, the
+ * camera-based gaze-tracking alternative (Sec. III-A), and the
+ * Cloud VR stereo rendering extension (Sec. VI).
+ */
+
+#include <gtest/gtest.h>
+
+#include "codec/rate_control.hh"
+#include "pipeline/session.hh"
+#include "render/games.hh"
+#include "render/stereo.hh"
+#include "roi/gaze.hh"
+#include "roi/roi_detector.hh"
+
+namespace gssr
+{
+namespace
+{
+
+// ---------------------------------------------------------------
+// Rate control.
+// ---------------------------------------------------------------
+
+TEST(RateControlTest, HoldsQpInsideDeadZone)
+{
+    RateControlConfig config;
+    config.target_mbps = 40.0;
+    RateController rc(config, 14);
+    // 40 Mbps at 60 FPS = ~83.3 KB/frame.
+    for (int i = 0; i < 50; ++i)
+        rc.observeBytes(83333);
+    EXPECT_EQ(rc.qpForNextFrame(FrameType::Reference), 14);
+}
+
+TEST(RateControlTest, RaisesQpWhenOverTarget)
+{
+    RateControlConfig config;
+    config.target_mbps = 20.0;
+    RateController rc(config, 10);
+    for (int i = 0; i < 50; ++i)
+        rc.observeBytes(160000); // ~77 Mbps
+    int qp = rc.qpForNextFrame(FrameType::Reference);
+    EXPECT_GT(qp, 10);
+    EXPECT_LE(qp, config.max_qp);
+}
+
+TEST(RateControlTest, LowersQpWhenUnderTarget)
+{
+    RateControlConfig config;
+    config.target_mbps = 40.0;
+    RateController rc(config, 20);
+    for (int i = 0; i < 50; ++i)
+        rc.observeBytes(20000); // ~9.6 Mbps
+    EXPECT_LT(rc.qpForNextFrame(FrameType::Reference), 20);
+}
+
+TEST(RateControlTest, OnlyAdjustsAtReferenceFrames)
+{
+    RateControlConfig config;
+    config.target_mbps = 10.0;
+    RateController rc(config, 10);
+    for (int i = 0; i < 50; ++i)
+        rc.observeBytes(200000);
+    EXPECT_EQ(rc.qpForNextFrame(FrameType::NonReference), 10);
+    EXPECT_GT(rc.qpForNextFrame(FrameType::Reference), 10);
+}
+
+TEST(RateControlTest, QpStaysWithinBounds)
+{
+    RateControlConfig config;
+    config.target_mbps = 1.0;
+    config.max_qp = 30;
+    RateController rc(config, 28);
+    for (int round = 0; round < 10; ++round) {
+        for (int i = 0; i < 20; ++i)
+            rc.observeBytes(500000);
+        int qp = rc.qpForNextFrame(FrameType::Reference);
+        EXPECT_LE(qp, 30);
+    }
+    EXPECT_EQ(rc.qp(), 30);
+}
+
+TEST(RateControlTest, ObservedBitrateConversion)
+{
+    RateControlConfig config;
+    RateController rc(config, 14);
+    rc.observeBytes(100000);
+    // First observation is amortized (x0.6).
+    EXPECT_NEAR(rc.observedMbps(), 100000 * 0.6 * 8 * 60 / 1e6, 0.1);
+}
+
+TEST(RateControlTest, ConvergesOnRealEncoder)
+{
+    // Closed loop against the actual codec: the controller must
+    // bring the stream near the target bitrate.
+    GameWorld world(GameId::G5_GrandTheftAutoV, 2);
+    Size size{320, 180};
+    CodecConfig codec;
+    codec.gop_size = 6;
+    codec.qp = 4; // deliberately way too fine
+    GopEncoder encoder(codec, size);
+    RateControlConfig rc_config;
+    // Target ~2.5 Mbps at this small resolution.
+    rc_config.target_mbps = 2.5;
+    RateController rc(rc_config, codec.qp);
+
+    f64 recent_bytes = 0.0;
+    int recent_count = 0;
+    for (int i = 0; i < 36; ++i) {
+        encoder.setQp(rc.qpForNextFrame(encoder.nextFrameType()));
+        EncodedFrame f = encoder.encode(
+            renderScene(world.sceneAt(i / 60.0), size).color);
+        rc.observe(f);
+        if (i >= 24) {
+            recent_bytes += f64(f.sizeBytes());
+            recent_count += 1;
+        }
+    }
+    f64 achieved =
+        streamBitrateMbps(recent_bytes / recent_count, 60.0);
+    EXPECT_NEAR(achieved, rc_config.target_mbps,
+                rc_config.target_mbps * 0.5);
+}
+
+// ---------------------------------------------------------------
+// Gaze model + camera tracker (Sec. III-A direct approach).
+// ---------------------------------------------------------------
+
+TEST(GazeModelTest, StaysInsideFrame)
+{
+    GazeModel model(GazeModelConfig{}, {320, 180});
+    DepthMap depth; // empty: centre-biased fixations only
+    for (int i = 0; i < 300; ++i) {
+        Point g = model.nextGaze(depth);
+        EXPECT_GE(g.x, 0);
+        EXPECT_LT(g.x, 320);
+        EXPECT_GE(g.y, 0);
+        EXPECT_LT(g.y, 180);
+    }
+}
+
+TEST(GazeModelTest, CentreBiased)
+{
+    GazeModel model(GazeModelConfig{}, {320, 180});
+    DepthMap depth;
+    f64 mean_x = 0.0, mean_y = 0.0;
+    const int n = 600;
+    for (int i = 0; i < n; ++i) {
+        Point g = model.nextGaze(depth);
+        mean_x += g.x;
+        mean_y += g.y;
+    }
+    EXPECT_NEAR(mean_x / n, 160.0, 25.0);
+    EXPECT_NEAR(mean_y / n, 90.0, 20.0);
+}
+
+TEST(GazeModelTest, TracksNearObjects)
+{
+    // A single very-near blob on the right side should attract
+    // fixations when depth is provided.
+    DepthMap depth(320, 180);
+    for (int y = 60; y < 120; ++y)
+        for (int x = 220; x < 280; ++x)
+            depth.at(x, y) = 0.05f;
+    GazeModelConfig config;
+    config.object_tracking_probability = 1.0;
+    GazeModel model(config, {320, 180});
+    // Let a few fixations happen.
+    Point g{0, 0};
+    for (int i = 0; i < 120; ++i)
+        g = model.nextGaze(depth);
+    EXPECT_GT(g.x, 180);
+    EXPECT_GT(g.y, 40);
+    EXPECT_LT(g.y, 140);
+}
+
+TEST(GazeModelTest, DeterministicPerSeed)
+{
+    DepthMap depth;
+    GazeModel a(GazeModelConfig{}, {320, 180});
+    GazeModel b(GazeModelConfig{}, {320, 180});
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(a.nextGaze(depth), b.nextGaze(depth));
+}
+
+TEST(CameraTrackerTest, EstimateLagsBehindTruth)
+{
+    CameraTrackerConfig config;
+    config.estimate_noise_frac = 0.0;
+    config.latency_frames = 3;
+    CameraGazeTracker tracker(config, {320, 180}, 7);
+    // Step change in gaze: the estimate must take latency_frames to
+    // catch up.
+    for (int i = 0; i < 10; ++i)
+        tracker.observe({100, 100});
+    Point before = tracker.observe({250, 50});
+    EXPECT_EQ(before.x, 100);
+    tracker.observe({250, 50});
+    tracker.observe({250, 50});
+    Point after = tracker.observe({250, 50});
+    EXPECT_EQ(after.x, 250);
+}
+
+TEST(CameraTrackerTest, RoiClampedInsideFrame)
+{
+    CameraTrackerConfig config;
+    config.estimate_noise_frac = 0.0;
+    config.latency_frames = 0;
+    CameraGazeTracker tracker(config, {320, 180}, 7);
+    for (int i = 0; i < 4; ++i)
+        tracker.observe({2, 2}); // corner gaze
+    Rect roi = tracker.roiFromEstimate({100, 100});
+    EXPECT_TRUE((Rect{0, 0, 320, 180}.contains(roi)));
+    EXPECT_EQ(roi.x, 0);
+    EXPECT_EQ(roi.y, 0);
+}
+
+TEST(CameraTrackerTest, EnergyMatchesPaperMeasurement)
+{
+    CameraTrackerConfig config;
+    CameraGazeTracker tracker(config, {320, 180}, 7);
+    // +2.8 W over a 16.66 ms frame = ~46.7 mJ per frame.
+    EXPECT_NEAR(tracker.energyMjPerFrame(1000.0 / 60.0), 46.7, 0.2);
+}
+
+// ---------------------------------------------------------------
+// Stereo / Cloud VR (Sec. VI).
+// ---------------------------------------------------------------
+
+TEST(StereoTest, EyesAreIpdApart)
+{
+    Camera head;
+    head.position = {1.0, 1.7, -5.0};
+    head.yaw = 0.3;
+    StereoConfig config;
+    Camera left = eyeCamera(head, Eye::Left, config);
+    Camera right = eyeCamera(head, Eye::Right, config);
+    EXPECT_NEAR((right.position - left.position).length(),
+                config.ipd, 1e-9);
+    // Eye midpoint is the head position.
+    Vec3 mid = (left.position + right.position) * 0.5;
+    EXPECT_NEAR((mid - head.position).length(), 0.0, 1e-9);
+}
+
+TEST(StereoTest, RendersDisparity)
+{
+    // A near object must appear at different horizontal positions
+    // in the two eyes (binocular disparity).
+    Scene scene;
+    scene.fog_density = 0.0;
+    auto box = std::make_shared<Mesh>(
+        makeBox({0.5, 0.5, 0.5}, {220, 40, 40}, Material::Flat));
+    scene.add(box, Mat4::translate({0.0, 1.7, -2.0}));
+    scene.camera.position = {0.0, 1.7, 0.0};
+    StereoConfig config;
+    config.ipd = 0.3; // exaggerated for a visible shift
+    StereoRenderOutput out = renderStereo(scene, {128, 72}, config);
+
+    auto redCentroidX = [](const ColorImage &img) {
+        f64 sum = 0.0, weight = 0.0;
+        for (int y = 0; y < img.height(); ++y) {
+            for (int x = 0; x < img.width(); ++x) {
+                // Red box under diffuse shading: the red channel
+                // dominates even if dimmed.
+                if (img.r().at(x, y) > 90 &&
+                    img.r().at(x, y) > 2 * img.g().at(x, y)) {
+                    sum += x;
+                    weight += 1.0;
+                }
+            }
+        }
+        return weight > 0.0 ? sum / weight : -1.0;
+    };
+    f64 left_x = redCentroidX(out.left.color);
+    f64 right_x = redCentroidX(out.right.color);
+    ASSERT_GE(left_x, 0.0);
+    ASSERT_GE(right_x, 0.0);
+    // The left eye sees the object shifted right and vice versa.
+    EXPECT_GT(left_x, right_x + 2.0);
+}
+
+TEST(StereoTest, PerEyeDepthSupportsRoiDetection)
+{
+    GameWorld world(GameId::G3_Witcher3, 4);
+    Scene scene = world.sceneAt(0.8);
+    StereoRenderOutput out = renderStereo(scene, {320, 180});
+    RoiDetector detector(ServerProfile::gamingWorkstation());
+    RoiDetection left = detector.detect(out.left.depth, {75, 75});
+    RoiDetection right = detector.detect(out.right.depth, {75, 75});
+    EXPECT_TRUE(left.depth_guided);
+    EXPECT_TRUE(right.depth_guided);
+    // The two eyes agree on the RoI up to disparity (a few pixels
+    // at this IPD and scene depth).
+    EXPECT_LT(std::abs(left.roi.x - right.roi.x), 40);
+    EXPECT_LT(std::abs(left.roi.y - right.roi.y), 25);
+}
+
+// ---------------------------------------------------------------
+// Rate-controlled end-to-end session.
+// ---------------------------------------------------------------
+
+TEST(RateControlledSessionTest, StreamsWithAdaptiveQp)
+{
+    SessionConfig config;
+    config.game = GameId::G5_GrandTheftAutoV;
+    config.frames = 8;
+    config.lr_size = {192, 96};
+    config.codec.gop_size = 4;
+    config.codec.qp = 4;
+    config.target_bitrate_mbps = 1.5;
+    config.compute_pixels = false;
+    SessionResult result = runSession(config);
+    ASSERT_EQ(result.traces.size(), 8u);
+    // The second GOP must be smaller than the first (qp raised).
+    size_t gop1 = 0, gop2 = 0;
+    for (int i = 0; i < 4; ++i)
+        gop1 += result.traces[size_t(i)].encoded_bytes;
+    for (int i = 4; i < 8; ++i)
+        gop2 += result.traces[size_t(i)].encoded_bytes;
+    EXPECT_LT(gop2, gop1);
+}
+
+} // namespace
+} // namespace gssr

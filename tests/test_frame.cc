@@ -1,0 +1,323 @@
+/**
+ * @file
+ * Unit tests for src/frame: planes, color images, YUV 4:2:0
+ * conversion, depth maps and PPM/PGM I/O.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "frame/depth_map.hh"
+#include "frame/downsample.hh"
+#include "frame/frame.hh"
+#include "frame/image.hh"
+#include "frame/image_io.hh"
+#include "frame/plane.hh"
+#include "frame/yuv.hh"
+
+namespace gssr
+{
+namespace
+{
+
+TEST(PlaneTest, ConstructionAndFill)
+{
+    PlaneU8 p(4, 3, 7);
+    EXPECT_EQ(p.width(), 4);
+    EXPECT_EQ(p.height(), 3);
+    EXPECT_EQ(p.sampleCount(), 12);
+    for (int y = 0; y < 3; ++y)
+        for (int x = 0; x < 4; ++x)
+            EXPECT_EQ(p.at(x, y), 7);
+    p.fill(9);
+    EXPECT_EQ(p.at(2, 2), 9);
+}
+
+TEST(PlaneTest, OutOfBoundsAccessThrows)
+{
+    PlaneU8 p(4, 3);
+    EXPECT_THROW(p.at(4, 0), PanicError);
+    EXPECT_THROW(p.at(0, 3), PanicError);
+    EXPECT_THROW(p.at(-1, 0), PanicError);
+}
+
+TEST(PlaneTest, ClampedAccess)
+{
+    PlaneU8 p(3, 3);
+    p.at(0, 0) = 1;
+    p.at(2, 2) = 9;
+    EXPECT_EQ(p.atClamped(-5, -5), 1);
+    EXPECT_EQ(p.atClamped(10, 10), 9);
+}
+
+TEST(PlaneTest, CropExtractsRegion)
+{
+    PlaneU8 p(6, 6);
+    for (int y = 0; y < 6; ++y)
+        for (int x = 0; x < 6; ++x)
+            p.at(x, y) = u8(y * 6 + x);
+    PlaneU8 c = p.crop({2, 1, 3, 2});
+    EXPECT_EQ(c.width(), 3);
+    EXPECT_EQ(c.height(), 2);
+    EXPECT_EQ(c.at(0, 0), p.at(2, 1));
+    EXPECT_EQ(c.at(2, 1), p.at(4, 2));
+}
+
+TEST(PlaneTest, CropOutsideThrows)
+{
+    PlaneU8 p(6, 6);
+    EXPECT_THROW(p.crop({4, 4, 4, 4}), PanicError);
+}
+
+TEST(PlaneTest, BlitRoundTripsWithCrop)
+{
+    PlaneU8 p(8, 8, 0);
+    PlaneU8 patch(3, 3, 5);
+    p.blit(patch, 2, 4);
+    EXPECT_EQ(p.at(2, 4), 5);
+    EXPECT_EQ(p.at(4, 6), 5);
+    EXPECT_EQ(p.at(1, 4), 0);
+    EXPECT_EQ(p.crop({2, 4, 3, 3}), patch);
+}
+
+TEST(PlaneTest, BlitOutsideThrows)
+{
+    PlaneU8 p(4, 4);
+    PlaneU8 patch(3, 3);
+    EXPECT_THROW(p.blit(patch, 2, 2), PanicError);
+}
+
+TEST(ColorImageTest, ChannelAccessAndPixels)
+{
+    ColorImage img(4, 4);
+    img.setPixel(1, 2, 10, 20, 30);
+    EXPECT_EQ(img.r().at(1, 2), 10);
+    EXPECT_EQ(img.g().at(1, 2), 20);
+    EXPECT_EQ(img.b().at(1, 2), 30);
+    EXPECT_EQ(&img.channel(0), &img.r());
+    EXPECT_EQ(&img.channel(2), &img.b());
+    EXPECT_THROW(img.channel(3), PanicError);
+}
+
+TEST(ColorImageTest, CropAndBlit)
+{
+    ColorImage img(8, 8);
+    img.fill(1, 2, 3);
+    ColorImage patch(2, 2);
+    patch.fill(9, 9, 9);
+    img.blit(patch, 3, 3);
+    ColorImage back = img.crop({3, 3, 2, 2});
+    EXPECT_EQ(back, patch);
+}
+
+TEST(ColorImageTest, LumaOfKnownColors)
+{
+    EXPECT_EQ(lumaOf(255, 255, 255), 255);
+    EXPECT_EQ(lumaOf(0, 0, 0), 0);
+    // BT.601 green weight dominates.
+    EXPECT_GT(lumaOf(0, 255, 0), lumaOf(255, 0, 0));
+    EXPECT_GT(lumaOf(255, 0, 0), lumaOf(0, 0, 255));
+}
+
+TEST(ColorImageTest, GrayscaleConversion)
+{
+    ColorImage img(2, 1);
+    img.setPixel(0, 0, 255, 255, 255);
+    img.setPixel(1, 0, 0, 0, 0);
+    PlaneU8 gray = toGrayscale(img);
+    EXPECT_EQ(gray.at(0, 0), 255);
+    EXPECT_EQ(gray.at(1, 0), 0);
+}
+
+TEST(YuvTest, RequiresEvenDimensions)
+{
+    EXPECT_THROW(Yuv420Image(5, 4), PanicError);
+    EXPECT_THROW(Yuv420Image(4, 5), PanicError);
+    EXPECT_NO_THROW(Yuv420Image(4, 4));
+}
+
+TEST(YuvTest, ChromaIsQuarterResolution)
+{
+    Yuv420Image yuv(8, 6);
+    EXPECT_EQ(yuv.y.size(), (Size{8, 6}));
+    EXPECT_EQ(yuv.u.size(), (Size{4, 3}));
+    EXPECT_EQ(yuv.v.size(), (Size{4, 3}));
+}
+
+TEST(YuvTest, GrayRoundTripIsExactOnLuma)
+{
+    ColorImage img(8, 8);
+    for (int y = 0; y < 8; ++y)
+        for (int x = 0; x < 8; ++x)
+            img.setPixel(x, y, u8(x * 30), u8(x * 30), u8(x * 30));
+    ColorImage back = yuv420ToRgb(rgbToYuv420(img));
+    for (int y = 0; y < 8; ++y) {
+        for (int x = 0; x < 8; ++x) {
+            EXPECT_NEAR(back.r().at(x, y), img.r().at(x, y), 1);
+            EXPECT_NEAR(back.g().at(x, y), img.g().at(x, y), 1);
+            EXPECT_NEAR(back.b().at(x, y), img.b().at(x, y), 1);
+        }
+    }
+}
+
+TEST(YuvTest, ColorRoundTripCloseForSmoothContent)
+{
+    // Chroma subsampling loses detail; smooth gradients survive.
+    ColorImage img(16, 16);
+    for (int y = 0; y < 16; ++y)
+        for (int x = 0; x < 16; ++x)
+            img.setPixel(x, y, u8(x * 15), u8(y * 15),
+                         u8((x + y) * 7));
+    ColorImage back = yuv420ToRgb(rgbToYuv420(img));
+    for (int y = 0; y < 16; ++y) {
+        for (int x = 0; x < 16; ++x) {
+            EXPECT_NEAR(back.r().at(x, y), img.r().at(x, y), 14);
+            EXPECT_NEAR(back.g().at(x, y), img.g().at(x, y), 14);
+            EXPECT_NEAR(back.b().at(x, y), img.b().at(x, y), 14);
+        }
+    }
+}
+
+TEST(DepthMapTest, DefaultsToFarPlane)
+{
+    DepthMap d(4, 4);
+    EXPECT_FLOAT_EQ(d.at(0, 0), 1.0f);
+    EXPECT_FLOAT_EQ(d.nearness(0, 0), 0.0f);
+}
+
+TEST(DepthMapTest, NearnessInvertsDepth)
+{
+    DepthMap d(2, 2);
+    d.at(0, 0) = 0.25f;
+    EXPECT_FLOAT_EQ(d.nearness(0, 0), 0.75f);
+}
+
+TEST(DepthMapTest, GrayscaleUsesPaperConvention)
+{
+    // Near pixels are dark, far pixels are light (Fig. 5).
+    DepthMap d(2, 1);
+    d.at(0, 0) = 0.0f;
+    d.at(1, 0) = 1.0f;
+    PlaneU8 gray = d.toGrayscale();
+    EXPECT_EQ(gray.at(0, 0), 0);
+    EXPECT_EQ(gray.at(1, 0), 255);
+}
+
+TEST(DownsampleTest, AveragesBlocks)
+{
+    PlaneU8 p(4, 2);
+    p.at(0, 0) = 0;
+    p.at(1, 0) = 100;
+    p.at(0, 1) = 50;
+    p.at(1, 1) = 50;
+    p.at(2, 0) = 200;
+    p.at(3, 0) = 200;
+    p.at(2, 1) = 200;
+    p.at(3, 1) = 200;
+    PlaneU8 d = boxDownsample(p, 2);
+    EXPECT_EQ(d.size(), (Size{2, 1}));
+    EXPECT_EQ(d.at(0, 0), 50);
+    EXPECT_EQ(d.at(1, 0), 200);
+}
+
+TEST(DownsampleTest, FactorOneIsIdentity)
+{
+    PlaneU8 p(4, 4, 42);
+    EXPECT_EQ(boxDownsample(p, 1), p);
+}
+
+TEST(DownsampleTest, IndivisibleDimensionsThrow)
+{
+    PlaneU8 p(5, 4);
+    EXPECT_THROW(boxDownsample(p, 2), PanicError);
+}
+
+TEST(DownsampleTest, DepthMapAveragesDepth)
+{
+    DepthMap d(2, 2);
+    d.at(0, 0) = 0.0f;
+    d.at(1, 0) = 1.0f;
+    d.at(0, 1) = 0.5f;
+    d.at(1, 1) = 0.5f;
+    DepthMap out = boxDownsample(d, 2);
+    EXPECT_NEAR(out.at(0, 0), 0.5f, 1e-6);
+}
+
+TEST(FrameTest, TypeNames)
+{
+    EXPECT_STREQ(frameTypeName(FrameType::Reference), "reference");
+    EXPECT_STREQ(frameTypeName(FrameType::NonReference),
+                 "non-reference");
+}
+
+class ImageIoTest : public ::testing::Test
+{
+  protected:
+    std::string
+    tempPath(const std::string &name)
+    {
+        return (std::filesystem::temp_directory_path() /
+                ("gssr_test_" + name))
+            .string();
+    }
+
+    void
+    TearDown() override
+    {
+        for (const auto &p : created_)
+            std::remove(p.c_str());
+    }
+
+    std::string
+    track(const std::string &p)
+    {
+        created_.push_back(p);
+        return p;
+    }
+
+    std::vector<std::string> created_;
+};
+
+TEST_F(ImageIoTest, PpmRoundTrip)
+{
+    ColorImage img(5, 3);
+    for (int y = 0; y < 3; ++y)
+        for (int x = 0; x < 5; ++x)
+            img.setPixel(x, y, u8(x * 50), u8(y * 80), u8(x + y));
+    std::string path = track(tempPath("roundtrip.ppm"));
+    writePpm(path, img);
+    ColorImage back = readPpm(path);
+    EXPECT_EQ(back, img);
+}
+
+TEST_F(ImageIoTest, PgmRoundTrip)
+{
+    PlaneU8 plane(7, 4);
+    for (int y = 0; y < 4; ++y)
+        for (int x = 0; x < 7; ++x)
+            plane.at(x, y) = u8(x * 30 + y);
+    std::string path = track(tempPath("roundtrip.pgm"));
+    writePgm(path, plane);
+    EXPECT_EQ(readPgm(path), plane);
+}
+
+TEST_F(ImageIoTest, ReadMissingFileThrows)
+{
+    EXPECT_THROW(readPpm("/nonexistent/nope.ppm"), FatalError);
+}
+
+TEST_F(ImageIoTest, ReadWrongMagicThrows)
+{
+    std::string path = track(tempPath("bad.ppm"));
+    {
+        std::ofstream os(path);
+        os << "P3\n1 1\n255\n0 0 0\n";
+    }
+    EXPECT_THROW(readPpm(path), FatalError);
+}
+
+} // namespace
+} // namespace gssr

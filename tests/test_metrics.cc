@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Unit tests for src/metrics: PSNR, SSIM and the LPIPS-proxy
+ * perceptual metric, including the monotonicity properties the
+ * quality experiments rely on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "metrics/perceptual.hh"
+#include "metrics/psnr.hh"
+#include "metrics/ssim.hh"
+#include "sr/interpolate.hh"
+
+namespace gssr
+{
+namespace
+{
+
+/** Deterministic textured test image. */
+ColorImage
+makeTexturedImage(int w, int h, u64 seed)
+{
+    Rng rng(seed);
+    ColorImage img(w, h);
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+            u8 base = u8(120 + 60 * std::sin(x * 0.7) *
+                                   std::cos(y * 0.5));
+            u8 noise = u8(rng.uniformInt(0, 40));
+            img.setPixel(x, y, u8(base + noise), base,
+                         u8(255 - base));
+        }
+    }
+    return img;
+}
+
+/** Add uniform noise of amplitude @p amp to every channel. */
+ColorImage
+addNoise(const ColorImage &img, int amp, u64 seed)
+{
+    Rng rng(seed);
+    ColorImage out = img;
+    for (int c = 0; c < 3; ++c) {
+        for (auto &v : out.channel(c).data()) {
+            int nv = int(v) + rng.uniformInt(-amp, amp);
+            v = u8(nv < 0 ? 0 : (nv > 255 ? 255 : nv));
+        }
+    }
+    return out;
+}
+
+/** Blur by downscaling and re-upscaling (detail loss). */
+ColorImage
+blurByResample(const ColorImage &img, int factor)
+{
+    Size small{img.width() / factor, img.height() / factor};
+    return resizeImage(resizeImage(img, small), img.size());
+}
+
+TEST(PsnrTest, IdenticalImagesAreInfinite)
+{
+    ColorImage img = makeTexturedImage(32, 32, 1);
+    EXPECT_TRUE(std::isinf(psnr(img, img)));
+    EXPECT_DOUBLE_EQ(meanSquaredError(img, img), 0.0);
+}
+
+TEST(PsnrTest, KnownUniformError)
+{
+    ColorImage a(8, 8);
+    ColorImage b(8, 8);
+    a.fill(100, 100, 100);
+    b.fill(110, 110, 110);
+    // MSE = 100 -> PSNR = 10*log10(255^2/100) = 28.13 dB.
+    EXPECT_NEAR(meanSquaredError(a, b), 100.0, 1e-9);
+    EXPECT_NEAR(psnr(a, b), 28.13, 0.01);
+}
+
+TEST(PsnrTest, MoreNoiseMeansLowerPsnr)
+{
+    ColorImage img = makeTexturedImage(64, 64, 2);
+    f64 psnr_small = psnr(img, addNoise(img, 5, 3));
+    f64 psnr_large = psnr(img, addNoise(img, 25, 3));
+    EXPECT_GT(psnr_small, psnr_large);
+    EXPECT_GT(psnr_small, 30.0);
+}
+
+TEST(PsnrTest, SizeMismatchThrows)
+{
+    ColorImage a(8, 8), b(8, 9);
+    EXPECT_THROW(psnr(a, b), PanicError);
+}
+
+TEST(SsimTest, IdenticalImagesScoreOne)
+{
+    ColorImage img = makeTexturedImage(48, 48, 4);
+    EXPECT_NEAR(ssim(img, img), 1.0, 1e-9);
+}
+
+TEST(SsimTest, DegradationLowersSsim)
+{
+    ColorImage img = makeTexturedImage(64, 64, 5);
+    f64 s_light = ssim(img, addNoise(img, 8, 6));
+    f64 s_heavy = ssim(img, addNoise(img, 40, 6));
+    EXPECT_GT(s_light, s_heavy);
+    EXPECT_LT(s_heavy, 1.0);
+}
+
+TEST(SsimTest, RangeIsBounded)
+{
+    ColorImage a = makeTexturedImage(32, 32, 7);
+    ColorImage b = makeTexturedImage(32, 32, 8);
+    f64 s = ssim(a, b);
+    EXPECT_GE(s, -1.0);
+    EXPECT_LE(s, 1.0);
+}
+
+TEST(PerceptualTest, IdenticalImagesNearZero)
+{
+    PerceptualMetric metric;
+    ColorImage img = makeTexturedImage(64, 64, 9);
+    EXPECT_LT(metric.distance(img, img), 1e-9);
+}
+
+TEST(PerceptualTest, RangeWithinUnitInterval)
+{
+    PerceptualMetric metric;
+    ColorImage a = makeTexturedImage(64, 64, 10);
+    ColorImage b = makeTexturedImage(64, 64, 11);
+    f64 d = metric.distance(a, b);
+    EXPECT_GE(d, 0.0);
+    EXPECT_LE(d, 1.0);
+}
+
+TEST(PerceptualTest, MonotoneUnderDetailLoss)
+{
+    // Successive interpolation blur (what NEMO's non-reference
+    // reconstruction accumulates) must increase the distance.
+    PerceptualMetric metric;
+    ColorImage img = makeTexturedImage(96, 96, 12);
+    f64 d2 = metric.distance(img, blurByResample(img, 2));
+    f64 d4 = metric.distance(img, blurByResample(img, 4));
+    EXPECT_GT(d2, 0.0);
+    EXPECT_GT(d4, d2);
+}
+
+TEST(PerceptualTest, DeterministicForSameSeed)
+{
+    PerceptualMetric m1;
+    PerceptualMetric m2;
+    ColorImage a = makeTexturedImage(48, 48, 13);
+    ColorImage b = addNoise(a, 10, 14);
+    EXPECT_DOUBLE_EQ(m1.distance(a, b), m2.distance(a, b));
+}
+
+TEST(PerceptualTest, SymmetricEnough)
+{
+    PerceptualMetric metric;
+    ColorImage a = makeTexturedImage(48, 48, 15);
+    ColorImage b = addNoise(a, 15, 16);
+    EXPECT_NEAR(metric.distance(a, b), metric.distance(b, a), 1e-12);
+}
+
+TEST(PerceptualTest, SizeMismatchThrows)
+{
+    PerceptualMetric metric;
+    ColorImage a(32, 32), b(16, 16);
+    EXPECT_THROW(metric.distance(a, b), PanicError);
+}
+
+} // namespace
+} // namespace gssr

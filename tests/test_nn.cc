@@ -1,0 +1,311 @@
+/**
+ * @file
+ * Unit tests for src/nn: tensors, convolution forward/backward
+ * (including numerical gradient checks), ReLU, PixelShuffle, the MSE
+ * loss, the Adam optimizer and weight serialization.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "nn/layers.hh"
+#include "nn/optimizer.hh"
+#include "nn/tensor.hh"
+
+namespace gssr
+{
+namespace
+{
+
+TEST(TensorTest, ShapeAndAccess)
+{
+    Tensor t(2, 3, 4);
+    EXPECT_EQ(t.channels(), 2);
+    EXPECT_EQ(t.height(), 3);
+    EXPECT_EQ(t.width(), 4);
+    EXPECT_EQ(t.elementCount(), 24);
+    t.at(1, 2, 3) = 5.0f;
+    EXPECT_FLOAT_EQ(t.at(1, 2, 3), 5.0f);
+    EXPECT_THROW(t.at(2, 0, 0), PanicError);
+}
+
+TEST(TensorTest, PlaneRoundTrip)
+{
+    PlaneU8 plane(4, 3);
+    for (int y = 0; y < 3; ++y)
+        for (int x = 0; x < 4; ++x)
+            plane.at(x, y) = u8(x * 60 + y * 10);
+    Tensor t = Tensor::fromPlane(plane);
+    EXPECT_EQ(t.channels(), 1);
+    PlaneU8 back = t.toPlane();
+    for (int y = 0; y < 3; ++y)
+        for (int x = 0; x < 4; ++x)
+            EXPECT_NEAR(back.at(x, y), plane.at(x, y), 1);
+}
+
+TEST(TensorTest, ToPlaneClampsOutOfRange)
+{
+    Tensor t(1, 1, 2);
+    t.at(0, 0, 0) = -0.5f;
+    t.at(0, 0, 1) = 1.5f;
+    PlaneU8 p = t.toPlane();
+    EXPECT_EQ(p.at(0, 0), 0);
+    EXPECT_EQ(p.at(1, 0), 255);
+}
+
+TEST(TensorTest, AddRequiresSameShape)
+{
+    Tensor a(1, 2, 2), b(1, 2, 3);
+    EXPECT_THROW(a.add(b), PanicError);
+}
+
+TEST(Conv2dTest, IdentityKernelPassesThrough)
+{
+    Conv2d conv(1, 1, 3);
+    conv.weights()[4] = 1.0f; // centre tap
+    Tensor in(1, 4, 4);
+    for (int i = 0; i < 16; ++i)
+        in.data()[size_t(i)] = f32(i);
+    Tensor out = conv.forward(in);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_FLOAT_EQ(out.data()[size_t(i)], f32(i));
+}
+
+TEST(Conv2dTest, BiasAddsEverywhere)
+{
+    Conv2d conv(1, 2, 1);
+    conv.biases()[0] = 3.0f;
+    conv.biases()[1] = -1.0f;
+    Tensor in(1, 2, 2);
+    Tensor out = conv.forward(in);
+    EXPECT_FLOAT_EQ(out.at(0, 1, 1), 3.0f);
+    EXPECT_FLOAT_EQ(out.at(1, 0, 0), -1.0f);
+}
+
+TEST(Conv2dTest, KnownBoxFilter)
+{
+    Conv2d conv(1, 1, 3);
+    for (auto &w : conv.weights())
+        w = 1.0f;
+    Tensor in(1, 3, 3);
+    in.fill(1.0f);
+    Tensor out = conv.forward(in);
+    // Centre sees all nine ones; corner sees four (zero padding).
+    EXPECT_FLOAT_EQ(out.at(0, 1, 1), 9.0f);
+    EXPECT_FLOAT_EQ(out.at(0, 0, 0), 4.0f);
+}
+
+TEST(Conv2dTest, MacCountFormula)
+{
+    Conv2d conv(3, 8, 3);
+    EXPECT_EQ(conv.macs(10, 20), i64(8) * 3 * 9 * 10 * 20);
+}
+
+TEST(Conv2dTest, ChannelMismatchThrows)
+{
+    Conv2d conv(2, 4, 3);
+    Tensor in(3, 4, 4);
+    EXPECT_THROW(conv.forward(in), PanicError);
+}
+
+/** Numerical gradient check of Conv2d via central differences. */
+TEST(Conv2dTest, GradientsMatchNumerical)
+{
+    Rng rng(5);
+    Conv2d conv(2, 3, 3);
+    conv.initHe(rng);
+    Tensor in(2, 5, 5);
+    for (auto &v : in.data())
+        v = f32(rng.uniform(-1.0, 1.0));
+    Tensor target(3, 5, 5);
+    for (auto &v : target.data())
+        v = f32(rng.uniform(-1.0, 1.0));
+
+    auto loss_of = [&]() {
+        Tensor out = conv.forward(in);
+        Tensor grad;
+        return mseLoss(out, target, grad);
+    };
+
+    // Analytic gradients.
+    Tensor out = conv.forward(in);
+    Tensor grad;
+    mseLoss(out, target, grad);
+    Tensor grad_in = conv.backward(in, grad);
+    auto params = conv.params();
+    std::vector<f32> analytic_w = *params[0].grads;
+    std::vector<f32> analytic_b = *params[1].grads;
+
+    const f64 eps = 1e-3;
+    // Check a sample of weight gradients.
+    for (size_t idx : {size_t(0), size_t(7), size_t(25), size_t(40)}) {
+        f32 saved = conv.weights()[idx];
+        conv.weights()[idx] = f32(saved + eps);
+        f64 up = loss_of();
+        conv.weights()[idx] = f32(saved - eps);
+        f64 down = loss_of();
+        conv.weights()[idx] = saved;
+        f64 numeric = (up - down) / (2.0 * eps);
+        EXPECT_NEAR(analytic_w[idx], numeric, 2e-3)
+            << "weight " << idx;
+    }
+    // Check a bias gradient.
+    {
+        f32 saved = conv.biases()[1];
+        conv.biases()[1] = f32(saved + eps);
+        f64 up = loss_of();
+        conv.biases()[1] = f32(saved - eps);
+        f64 down = loss_of();
+        conv.biases()[1] = saved;
+        EXPECT_NEAR(analytic_b[1], (up - down) / (2.0 * eps), 2e-3);
+    }
+    // Check input gradients numerically.
+    for (size_t idx : {size_t(3), size_t(12), size_t(30)}) {
+        f32 saved = in.data()[idx];
+        in.data()[idx] = f32(saved + eps);
+        f64 up = loss_of();
+        in.data()[idx] = f32(saved - eps);
+        f64 down = loss_of();
+        in.data()[idx] = saved;
+        EXPECT_NEAR(grad_in.data()[idx], (up - down) / (2.0 * eps),
+                    2e-3)
+            << "input " << idx;
+    }
+}
+
+TEST(ReluTest, ForwardAndBackward)
+{
+    Tensor in(1, 1, 4);
+    in.data() = {-2.0f, -0.5f, 0.5f, 2.0f};
+    Tensor out = Relu::forward(in);
+    EXPECT_FLOAT_EQ(out.data()[0], 0.0f);
+    EXPECT_FLOAT_EQ(out.data()[2], 0.5f);
+
+    Tensor grad(1, 1, 4);
+    grad.fill(1.0f);
+    Tensor gin = Relu::backward(in, grad);
+    EXPECT_FLOAT_EQ(gin.data()[0], 0.0f);
+    EXPECT_FLOAT_EQ(gin.data()[1], 0.0f);
+    EXPECT_FLOAT_EQ(gin.data()[2], 1.0f);
+    EXPECT_FLOAT_EQ(gin.data()[3], 1.0f);
+}
+
+TEST(PixelShuffleTest, RearrangesDepthToSpace)
+{
+    PixelShuffle shuffle(2);
+    Tensor in(4, 1, 1);
+    in.data() = {1.0f, 2.0f, 3.0f, 4.0f};
+    Tensor out = shuffle.forward(in);
+    EXPECT_EQ(out.channels(), 1);
+    EXPECT_EQ(out.height(), 2);
+    EXPECT_EQ(out.width(), 2);
+    EXPECT_FLOAT_EQ(out.at(0, 0, 0), 1.0f);
+    EXPECT_FLOAT_EQ(out.at(0, 0, 1), 2.0f);
+    EXPECT_FLOAT_EQ(out.at(0, 1, 0), 3.0f);
+    EXPECT_FLOAT_EQ(out.at(0, 1, 1), 4.0f);
+}
+
+TEST(PixelShuffleTest, BackwardIsExactInverse)
+{
+    PixelShuffle shuffle(2);
+    Rng rng(6);
+    Tensor in(8, 3, 4);
+    for (auto &v : in.data())
+        v = f32(rng.uniform(-1.0, 1.0));
+    Tensor out = shuffle.forward(in);
+    Tensor back = shuffle.backward(out);
+    ASSERT_TRUE(back.sameShape(in));
+    for (size_t i = 0; i < in.data().size(); ++i)
+        EXPECT_FLOAT_EQ(back.data()[i], in.data()[i]);
+}
+
+TEST(PixelShuffleTest, BadChannelCountThrows)
+{
+    PixelShuffle shuffle(2);
+    Tensor in(3, 2, 2); // 3 not divisible by 4
+    EXPECT_THROW(shuffle.forward(in), PanicError);
+}
+
+TEST(MseLossTest, ValueAndGradient)
+{
+    Tensor pred(1, 1, 2);
+    pred.data() = {1.0f, 3.0f};
+    Tensor target(1, 1, 2);
+    target.data() = {0.0f, 1.0f};
+    Tensor grad;
+    f64 loss = mseLoss(pred, target, grad);
+    // ((1)^2 + (2)^2) / 2 = 2.5.
+    EXPECT_NEAR(loss, 2.5, 1e-9);
+    EXPECT_FLOAT_EQ(grad.data()[0], 1.0f);  // 2*1/2
+    EXPECT_FLOAT_EQ(grad.data()[1], 2.0f);  // 2*2/2
+}
+
+TEST(AdamTest, ConvergesOnQuadratic)
+{
+    // Minimize (w - 3)^2 over a single scalar parameter.
+    std::vector<f32> w = {0.0f};
+    std::vector<f32> g = {0.0f};
+    Adam::Config config;
+    config.learning_rate = 0.1;
+    Adam adam({{&w, &g}}, config);
+    for (int i = 0; i < 300; ++i) {
+        g[0] = 2.0f * (w[0] - 3.0f);
+        adam.step();
+    }
+    EXPECT_NEAR(w[0], 3.0f, 0.05);
+    EXPECT_EQ(adam.stepCount(), 300);
+}
+
+TEST(AdamTest, StepClearsGradients)
+{
+    std::vector<f32> w = {1.0f};
+    std::vector<f32> g = {5.0f};
+    std::vector<ParamRef> params = {{&w, &g}};
+    Adam adam(params);
+    adam.step();
+    EXPECT_FLOAT_EQ(g[0], 0.0f);
+}
+
+TEST(ParamsIoTest, SaveLoadRoundTrip)
+{
+    std::string path =
+        (std::filesystem::temp_directory_path() / "gssr_weights.bin")
+            .string();
+    std::vector<f32> a = {1.0f, 2.0f, 3.0f};
+    std::vector<f32> ag(3, 0.0f);
+    std::vector<f32> b = {-1.5f};
+    std::vector<f32> bg(1, 0.0f);
+    saveParams(path, {{&a, &ag}, {&b, &bg}});
+
+    std::vector<f32> a2(3, 0.0f), b2(1, 0.0f);
+    EXPECT_TRUE(loadParams(path, {{&a2, &ag}, {&b2, &bg}}));
+    EXPECT_EQ(a2, a);
+    EXPECT_EQ(b2, b);
+    std::remove(path.c_str());
+}
+
+TEST(ParamsIoTest, MissingFileReturnsFalse)
+{
+    std::vector<f32> a = {1.0f};
+    std::vector<f32> g = {0.0f};
+    EXPECT_FALSE(loadParams("/nonexistent/gssr.bin", {{&a, &g}}));
+}
+
+TEST(ParamsIoTest, LengthMismatchThrows)
+{
+    std::string path =
+        (std::filesystem::temp_directory_path() / "gssr_w2.bin")
+            .string();
+    std::vector<f32> a = {1.0f, 2.0f};
+    std::vector<f32> g(2, 0.0f);
+    saveParams(path, {{&a, &g}});
+    std::vector<f32> wrong(3, 0.0f);
+    std::vector<f32> wg(3, 0.0f);
+    EXPECT_THROW(loadParams(path, {{&wrong, &wg}}), FatalError);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace gssr

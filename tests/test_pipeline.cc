@@ -1,0 +1,444 @@
+/**
+ * @file
+ * Unit tests for src/pipeline: the stage-trace accounting, the
+ * streaming server, the three client designs (GameStreamSR, NEMO,
+ * SR-integrated decoder) and the session driver. Latency-ratio tests
+ * run in accounting-only mode at the paper's real resolutions; pixel
+ * tests run at reduced resolutions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "metrics/psnr.hh"
+#include "pipeline/client.hh"
+#include "pipeline/server.hh"
+#include "pipeline/session.hh"
+#include "sr/trainer.hh"
+
+namespace gssr
+{
+namespace
+{
+
+TEST(TraceTest, StageAndResourceNames)
+{
+    EXPECT_STREQ(stageName(Stage::Upscale), "upscale");
+    EXPECT_STREQ(stageName(Stage::RoiDetect), "roi-detect");
+    EXPECT_STREQ(resourceName(Resource::ClientNpu), "client-npu");
+}
+
+TEST(TraceTest, MtpIsSumOfStageLatencies)
+{
+    FrameTrace t;
+    t.add(Stage::Render, Resource::ServerGpu, 6.0, 0.0);
+    t.add(Stage::Network, Resource::NetworkLink, 10.0, 1.0);
+    t.add(Stage::Upscale, Resource::ClientNpu, 16.0, 30.0);
+    EXPECT_DOUBLE_EQ(t.mtpLatencyMs(), 32.0);
+    EXPECT_DOUBLE_EQ(t.stageLatencyMs(Stage::Upscale), 16.0);
+    EXPECT_DOUBLE_EQ(t.stageEnergyMj(Stage::Upscale), 30.0);
+}
+
+TEST(TraceTest, BottleneckGroupsByResource)
+{
+    // NEMO-style: decode and upscale share the CPU -> they add up.
+    FrameTrace nemo;
+    nemo.add(Stage::Decode, Resource::ClientCpu, 12.0, 0.0);
+    nemo.add(Stage::Upscale, Resource::ClientCpu, 14.0, 0.0);
+    EXPECT_DOUBLE_EQ(nemo.clientBottleneckMs(), 26.0);
+
+    // GameStreamSR: decode (HW), upscale (NPU), merge (GPU) overlap.
+    FrameTrace ours;
+    ours.add(Stage::Decode, Resource::ClientHwDecoder, 2.0, 0.0);
+    ours.add(Stage::Upscale, Resource::ClientNpu, 16.2, 0.0);
+    ours.add(Stage::Merge, Resource::ClientGpu, 0.5, 0.0);
+    EXPECT_DOUBLE_EQ(ours.clientBottleneckMs(), 16.2);
+}
+
+TEST(TraceTest, ClientEnergyExcludesServerStages)
+{
+    FrameTrace t;
+    t.add(Stage::Render, Resource::ServerGpu, 6.0, 100.0);
+    t.add(Stage::Upscale, Resource::ClientNpu, 16.0, 30.0);
+    t.add(Stage::Display, Resource::ClientDisplay, 16.0, 2.5);
+    EXPECT_DOUBLE_EQ(t.clientEnergyMj(), 32.5);
+}
+
+/** Small, fast server configuration for structural tests. */
+ServerConfig
+smallServerConfig()
+{
+    ServerConfig config;
+    config.lr_size = {192, 96};
+    config.codec.gop_size = 4;
+    return config;
+}
+
+TEST(ServerTest, ProducesGopStructureWithRoi)
+{
+    GameWorld world(GameId::G1_MetroExodus, 7);
+    GameStreamServer server(world, smallServerConfig(),
+                            ServerProfile::gamingWorkstation(),
+                            {48, 48});
+    for (int i = 0; i < 6; ++i) {
+        ServerFrameOutput out = server.nextFrame();
+        EXPECT_EQ(out.encoded.index, i);
+        EXPECT_EQ(out.encoded.type, i % 4 == 0
+                                        ? FrameType::Reference
+                                        : FrameType::NonReference);
+        ASSERT_TRUE(out.roi.has_value());
+        EXPECT_TRUE((Rect{0, 0, 192, 96}.contains(*out.roi)));
+        EXPECT_GT(out.trace.stageLatencyMs(Stage::Render), 0.0);
+        EXPECT_GT(out.trace.stageLatencyMs(Stage::RoiDetect), 0.0);
+        EXPECT_GT(out.encoded.sizeBytes(), 0u);
+        EXPECT_FALSE(out.rendered.depth.empty());
+    }
+}
+
+TEST(ServerTest, NemoModeServerSkipsRoi)
+{
+    GameWorld world(GameId::G1_MetroExodus, 7);
+    ServerConfig config = smallServerConfig();
+    config.enable_roi = false;
+    GameStreamServer server(world, config,
+                            ServerProfile::gamingWorkstation(),
+                            {48, 48});
+    ServerFrameOutput out = server.nextFrame();
+    EXPECT_FALSE(out.roi.has_value());
+    EXPECT_DOUBLE_EQ(out.trace.stageLatencyMs(Stage::RoiDetect), 0.0);
+}
+
+/**
+ * Accounting-only clients at the paper's real resolution: these
+ * tests pin the headline speedups of Fig. 10a.
+ */
+class AccountingTest : public ::testing::Test
+{
+  protected:
+    ClientConfig
+    makeConfig(const DeviceProfile &device)
+    {
+        ClientConfig config;
+        config.device = device;
+        config.lr_size = {1280, 720};
+        config.scale_factor = 2;
+        config.compute_pixels = false;
+        return config;
+    }
+
+    EncodedFrame
+    fakeFrame(FrameType type, i64 index)
+    {
+        EncodedFrame f;
+        f.type = type;
+        f.size = {1280, 720};
+        f.index = index;
+        f.payload.resize(20000);
+        return f;
+    }
+
+    Rect roi_{490, 210, 300, 300};
+};
+
+TEST_F(AccountingTest, GssrReferenceFrameHitsSixtyFps)
+{
+    GssrClient client(makeConfig(DeviceProfile::galaxyTabS8()));
+    auto r = client.processFrame(fakeFrame(FrameType::Reference, 0),
+                                 roi_);
+    f64 bottleneck = r.trace.clientBottleneckMs();
+    EXPECT_LT(bottleneck, 1000.0 / 60.0);
+    EXPECT_NEAR(1000.0 / bottleneck, 61.7, 2.0); // paper: 61.7 FPS
+}
+
+TEST_F(AccountingTest, ReferenceFrameSpeedupIsAboutThirteenX)
+{
+    // Fig. 10a: 13x on the S8 Tab, 14x on the Pixel 7 Pro.
+    for (auto [device, expected] :
+         {std::pair{DeviceProfile::galaxyTabS8(), 13.4},
+          std::pair{DeviceProfile::pixel7Pro(), 14.2}}) {
+        GssrClient ours(makeConfig(device));
+        NemoClient nemo(makeConfig(device));
+        f64 ours_ms =
+            ours.processFrame(fakeFrame(FrameType::Reference, 0),
+                              roi_)
+                .trace.clientBottleneckMs();
+        f64 nemo_ms =
+            nemo.processFrame(fakeFrame(FrameType::Reference, 0),
+                              std::nullopt)
+                .trace.clientBottleneckMs();
+        EXPECT_NEAR(nemo_ms / ours_ms, expected, 1.5)
+            << device.name;
+    }
+}
+
+TEST_F(AccountingTest, NonReferenceSpeedupIsAboutOnePointSixX)
+{
+    for (auto device : {DeviceProfile::galaxyTabS8(),
+                        DeviceProfile::pixel7Pro()}) {
+        GssrClient ours(makeConfig(device));
+        NemoClient nemo(makeConfig(device));
+        // Prime NEMO with a reference frame.
+        nemo.processFrame(fakeFrame(FrameType::Reference, 0),
+                          std::nullopt);
+        f64 ours_ms =
+            ours.processFrame(fakeFrame(FrameType::NonReference, 1),
+                              roi_)
+                .trace.clientBottleneckMs();
+        f64 nemo_ms =
+            nemo.processFrame(fakeFrame(FrameType::NonReference, 1),
+                              std::nullopt)
+                .trace.clientBottleneckMs();
+        EXPECT_GT(nemo_ms / ours_ms, 1.4) << device.name;
+        EXPECT_LT(nemo_ms / ours_ms, 1.9) << device.name;
+    }
+}
+
+TEST_F(AccountingTest, NemoNonReferenceMissesTheDeadline)
+{
+    // The Fig. 2 observation that motivates the whole design.
+    NemoClient nemo(makeConfig(DeviceProfile::galaxyTabS8()));
+    nemo.processFrame(fakeFrame(FrameType::Reference, 0),
+                      std::nullopt);
+    f64 ms = nemo.processFrame(fakeFrame(FrameType::NonReference, 1),
+                               std::nullopt)
+                 .trace.clientBottleneckMs();
+    EXPECT_GT(ms, 1000.0 / 60.0);
+}
+
+TEST_F(AccountingTest, GssrUsesHardwareDecoderNemoUsesCpu)
+{
+    GssrClient ours(makeConfig(DeviceProfile::pixel7Pro()));
+    NemoClient nemo(makeConfig(DeviceProfile::pixel7Pro()));
+    auto ours_trace =
+        ours.processFrame(fakeFrame(FrameType::Reference, 0), roi_)
+            .trace;
+    auto nemo_trace =
+        nemo.processFrame(fakeFrame(FrameType::Reference, 0),
+                          std::nullopt)
+            .trace;
+    auto decode_resource = [](const FrameTrace &t) {
+        for (const auto &r : t.records)
+            if (r.stage == Stage::Decode)
+                return r.resource;
+        return Resource::NetworkLink;
+    };
+    EXPECT_EQ(decode_resource(ours_trace),
+              Resource::ClientHwDecoder);
+    EXPECT_EQ(decode_resource(nemo_trace), Resource::ClientCpu);
+    // Fig. 12: the decode stage is where our energy savings come
+    // from.
+    EXPECT_LT(ours_trace.stageEnergyMj(Stage::Decode),
+              nemo_trace.stageEnergyMj(Stage::Decode) / 5.0);
+}
+
+TEST_F(AccountingTest, UpscaleDominatesGssrClientEnergy)
+{
+    // Fig. 12: upscaling is ~85 % of our client processing energy.
+    GssrClient ours(makeConfig(DeviceProfile::pixel7Pro()));
+    auto trace =
+        ours.processFrame(fakeFrame(FrameType::NonReference, 1), roi_)
+            .trace;
+    f64 upscale = trace.stageEnergyMj(Stage::Upscale);
+    f64 total = trace.clientEnergyMj();
+    EXPECT_GT(upscale / total, 0.75);
+    EXPECT_LT(upscale / total, 0.95);
+}
+
+TEST_F(AccountingTest, SrDecoderBypassesNpuOnNonReferenceFrames)
+{
+    SrDecoderClient client(makeConfig(DeviceProfile::pixel7Pro()));
+    auto ref =
+        client.processFrame(fakeFrame(FrameType::Reference, 0), roi_);
+    auto nonref = client.processFrame(
+        fakeFrame(FrameType::NonReference, 1), roi_);
+    EXPECT_GT(ref.trace.stageLatencyMs(Stage::Upscale), 0.0);
+    EXPECT_DOUBLE_EQ(nonref.trace.stageLatencyMs(Stage::Upscale),
+                     0.0);
+    // Sec. VI: bypassing the upscale engine saves most of the
+    // per-frame energy.
+    EXPECT_LT(nonref.trace.clientEnergyMj(),
+              ref.trace.clientEnergyMj() * 0.5);
+    // And it still meets the real-time deadline.
+    EXPECT_LT(nonref.trace.clientBottleneckMs(), 1000.0 / 60.0);
+}
+
+/** Shared trained net for pixel tests (small, fast). */
+std::shared_ptr<const CompactSrNet>
+testNet()
+{
+    static std::shared_ptr<const CompactSrNet> net = [] {
+        TrainerConfig config;
+        config.iterations = 150;
+        return std::make_shared<const CompactSrNet>(
+            trainedSrNet("", config));
+    }();
+    return net;
+}
+
+/** Pixel-mode client config at reduced resolution. */
+ClientConfig
+pixelConfig()
+{
+    ClientConfig config;
+    config.device = DeviceProfile::galaxyTabS8();
+    config.lr_size = {192, 96};
+    config.scale_factor = 2;
+    config.codec.gop_size = 4;
+    config.compute_pixels = true;
+    config.sr_net = testNet();
+    return config;
+}
+
+TEST(PixelPipelineTest, GssrClientProducesMergedHrFrame)
+{
+    GameWorld world(GameId::G3_Witcher3, 5);
+    ServerConfig server_config = smallServerConfig();
+    GameStreamServer server(world, server_config,
+                            ServerProfile::gamingWorkstation(),
+                            {48, 48});
+    GssrClient client(pixelConfig());
+
+    ServerFrameOutput produced = server.nextFrame();
+    ClientFrameResult r =
+        client.processFrame(produced.encoded, produced.roi);
+    EXPECT_EQ(r.upscaled.size(), (Size{384, 192}));
+
+    // The merged output must differ from plain bilinear inside the
+    // RoI (the DNN path actually ran there).
+    ColorImage hr_render =
+        renderScene(world.sceneAt(produced.time_s), {384, 192}).color;
+    EXPECT_GT(psnr(r.upscaled, hr_render), 24.0);
+}
+
+TEST(PixelPipelineTest, NemoQualityDriftsAcrossNonReferenceFrames)
+{
+    // Fig. 13: NEMO's PSNR decays within a GOP because interpolated
+    // reconstructions accumulate error; GameStreamSR stays stable.
+    GameWorld world(GameId::G3_Witcher3, 5);
+    ServerConfig server_config = smallServerConfig();
+    server_config.codec.gop_size = 8;
+    GameStreamServer server(world, server_config,
+                            ServerProfile::gamingWorkstation(),
+                            {48, 48});
+    ClientConfig client_config = pixelConfig();
+    client_config.codec.gop_size = 8;
+    NemoClient nemo(client_config);
+    GssrClient ours(client_config);
+
+    std::vector<f64> nemo_psnr;
+    std::vector<f64> ours_psnr;
+    for (int i = 0; i < 8; ++i) {
+        ServerFrameOutput produced = server.nextFrame();
+        ColorImage truth =
+            renderScene(world.sceneAt(produced.time_s), {384, 192})
+                .color;
+        nemo_psnr.push_back(psnr(
+            nemo.processFrame(produced.encoded, std::nullopt)
+                .upscaled,
+            truth));
+        ours_psnr.push_back(psnr(
+            ours.processFrame(produced.encoded, produced.roi)
+                .upscaled,
+            truth));
+    }
+    // NEMO: the GOP tail is worse than its start.
+    EXPECT_LT(nemo_psnr.back(), nemo_psnr.front() - 0.4);
+    // Ours: stable across the GOP (no accumulation path).
+    EXPECT_NEAR(ours_psnr.back(), ours_psnr.front(), 1.5);
+}
+
+TEST(PixelPipelineTest, SrDecoderReconstructionStaysReasonable)
+{
+    GameWorld world(GameId::G3_Witcher3, 5);
+    GameStreamServer server(world, smallServerConfig(),
+                            ServerProfile::gamingWorkstation(),
+                            {48, 48});
+    SrDecoderClient client(pixelConfig());
+    f64 last_psnr = 0.0;
+    for (int i = 0; i < 4; ++i) {
+        ServerFrameOutput produced = server.nextFrame();
+        ClientFrameResult r =
+            client.processFrame(produced.encoded, produced.roi);
+        ColorImage truth =
+            renderScene(world.sceneAt(produced.time_s), {384, 192})
+                .color;
+        last_psnr = psnr(r.upscaled, truth);
+    }
+    EXPECT_GT(last_psnr, 22.0);
+}
+
+TEST(SessionTest, SmokeRunCollectsTracesAndQuality)
+{
+    SessionConfig config;
+    config.game = GameId::G1_MetroExodus;
+    config.frames = 6;
+    config.lr_size = {192, 96};
+    config.codec.gop_size = 3;
+    config.design = DesignKind::GameStreamSR;
+    config.compute_pixels = true;
+    config.sr_net = testNet();
+    config.measure_quality = true;
+    config.quality_stride = 2;
+
+    SessionResult result = runSession(config);
+    ASSERT_EQ(result.traces.size(), 6u);
+    EXPECT_EQ(result.quality.size(), 3u);
+    EXPECT_GT(result.meanPsnrDb(), 20.0);
+    EXPECT_GT(result.meanMtpMs(FrameType::Reference), 0.0);
+    EXPECT_GT(result.meanClientEnergyMj(), 0.0);
+    EXPECT_GT(result.overallClientEnergyMj(2.0),
+              result.meanClientEnergyMj() * 6.0);
+}
+
+TEST(SessionTest, AccountingModeNeedsNoNet)
+{
+    SessionConfig config;
+    config.game = GameId::G9_FarmingSimulator;
+    config.frames = 4;
+    config.lr_size = {192, 96};
+    config.codec.gop_size = 2;
+    config.design = DesignKind::Nemo;
+    config.compute_pixels = false;
+    SessionResult result = runSession(config);
+    EXPECT_EQ(result.traces.size(), 4u);
+    EXPECT_TRUE(result.quality.empty());
+}
+
+TEST(SessionTest, DeterministicForSameConfig)
+{
+    SessionConfig config;
+    config.game = GameId::G2_FarCry5;
+    config.frames = 4;
+    config.lr_size = {192, 96};
+    config.codec.gop_size = 2;
+    config.compute_pixels = false;
+    SessionResult a = runSession(config);
+    SessionResult b = runSession(config);
+    ASSERT_EQ(a.traces.size(), b.traces.size());
+    for (size_t i = 0; i < a.traces.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a.traces[i].mtpLatencyMs(),
+                         b.traces[i].mtpLatencyMs());
+        EXPECT_EQ(a.traces[i].encoded_bytes,
+                  b.traces[i].encoded_bytes);
+    }
+}
+
+TEST(SessionTest, NegotiatedRoiWindowIsAbout300ForBothDevices)
+{
+    Size s8 = negotiatedRoiWindow(DeviceProfile::galaxyTabS8(), 2,
+                                  {1280, 720});
+    Size pixel = negotiatedRoiWindow(DeviceProfile::pixel7Pro(), 2,
+                                     {1280, 720});
+    EXPECT_NEAR(s8.width, 300, 12);
+    EXPECT_NEAR(pixel.width, 300, 12);
+}
+
+TEST(SessionTest, DesignNames)
+{
+    EXPECT_STREQ(designName(DesignKind::GameStreamSR),
+                 "gamestreamsr");
+    EXPECT_STREQ(designName(DesignKind::Nemo), "nemo");
+    EXPECT_STREQ(designName(DesignKind::SrDecoder), "sr-decoder");
+}
+
+} // namespace
+} // namespace gssr

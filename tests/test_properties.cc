@@ -1,0 +1,293 @@
+/**
+ * @file
+ * Property-based test sweeps (parameterized gtest): invariants that
+ * must hold across whole parameter grids rather than at single
+ * points — codec round-trip error bounds across qp x size, resize
+ * kernels across scales, RoI search optimality across strides and
+ * window shapes, NPU model monotonicity, and end-to-end RoI
+ * containment across games x window sizes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "codec/codec.hh"
+#include "common/rng.hh"
+#include "device/profiles.hh"
+#include "metrics/psnr.hh"
+#include "render/games.hh"
+#include "render/rasterizer.hh"
+#include "roi/roi_detector.hh"
+#include "roi/roi_search.hh"
+#include "sr/edsr.hh"
+#include "sr/interpolate.hh"
+
+namespace gssr
+{
+namespace
+{
+
+// ---------------------------------------------------------------
+// Codec round trip across qp x frame size.
+// ---------------------------------------------------------------
+
+class CodecSweepTest
+    : public ::testing::TestWithParam<std::tuple<int, Size>>
+{
+};
+
+ColorImage
+sweepFrame(Size size, int t)
+{
+    ColorImage img(size);
+    for (int y = 0; y < size.height; ++y) {
+        for (int x = 0; x < size.width; ++x) {
+            f64 v = 128 + 70 * std::sin((x + 3 * t) * 0.21) *
+                              std::cos(y * 0.18);
+            img.setPixel(x, y, toPixel(v), toPixel(200 - v * 0.5),
+                         toPixel(v * 0.7 + 40));
+        }
+    }
+    return img;
+}
+
+TEST_P(CodecSweepTest, StreamRoundTripQualityScalesWithQp)
+{
+    auto [qp, size] = GetParam();
+    CodecConfig config;
+    config.qp = qp;
+    config.gop_size = 3;
+    GopEncoder encoder(config, size);
+    FrameDecoder decoder(config, size);
+    f64 min_psnr = 1e9;
+    size_t total_bytes = 0;
+    for (int i = 0; i < 5; ++i) {
+        ColorImage frame = sweepFrame(size, i);
+        EncodedFrame encoded = encoder.encode(frame);
+        total_bytes += encoded.sizeBytes();
+        min_psnr = std::min(
+            min_psnr, psnr(yuv420ToRgb(decoder.decode(encoded)),
+                           frame));
+    }
+    // Coarser qp still decodes recognizably; finer qp very well.
+    f64 floor_db = qp <= 8 ? 33.0 : (qp <= 16 ? 29.0 : 25.0);
+    EXPECT_GT(min_psnr, floor_db) << "qp=" << qp;
+    // Compression actually happens (raw is 3 bytes/px).
+    EXPECT_LT(total_bytes, size_t(size.area()) * 3 * 5 / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    QpBySize, CodecSweepTest,
+    ::testing::Combine(::testing::Values(4, 8, 16, 28),
+                       ::testing::Values(Size{64, 32}, Size{96, 96},
+                                         Size{130, 70})),
+    [](const auto &info) {
+        return "qp" + std::to_string(std::get<0>(info.param)) + "_" +
+               std::to_string(std::get<1>(info.param).width) + "x" +
+               std::to_string(std::get<1>(info.param).height);
+    });
+
+// ---------------------------------------------------------------
+// Resize kernels across scale factors.
+// ---------------------------------------------------------------
+
+class ResizeSweepTest
+    : public ::testing::TestWithParam<std::tuple<InterpKernel, int>>
+{
+};
+
+TEST_P(ResizeSweepTest, UpscaleThenDownscaleRecoversSmoothContent)
+{
+    auto [kernel, factor] = GetParam();
+    PlaneU8 plane(40, 28);
+    for (int y = 0; y < 28; ++y)
+        for (int x = 0; x < 40; ++x)
+            plane.at(x, y) =
+                toPixel(128 + 90 * std::sin(x * 0.25) *
+                                  std::cos(y * 0.22));
+    Size up_size{40 * factor, 28 * factor};
+    PlaneU8 up = resizePlane(plane, up_size, kernel);
+    PlaneU8 back = resizePlane(up, plane.size(), kernel);
+    EXPECT_GT(psnr(back, plane), 34.0);
+}
+
+TEST_P(ResizeSweepTest, ValueRangePreserved)
+{
+    auto [kernel, factor] = GetParam();
+    Rng rng(5);
+    PlaneU8 plane(24, 24);
+    for (auto &v : plane.data())
+        v = u8(rng.uniformInt(40, 200));
+    PlaneU8 up = resizePlane(
+        plane, {24 * factor, 24 * factor}, kernel);
+    // Interpolation may overshoot (bicubic/lanczos ring) but only
+    // within a bounded margin; bilinear not at all. Lanczos-3 rings
+    // hardest on noise (up to ~45 levels on a 160-level step).
+    int margin = kernel == InterpKernel::Bilinear
+                     ? 0
+                     : (kernel == InterpKernel::Bicubic ? 35 : 45);
+    for (u8 v : up.data()) {
+        EXPECT_GE(int(v), 40 - margin);
+        EXPECT_LE(int(v), 200 + margin);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KernelByFactor, ResizeSweepTest,
+    ::testing::Combine(::testing::Values(InterpKernel::Bilinear,
+                                         InterpKernel::Bicubic,
+                                         InterpKernel::Lanczos3),
+                       ::testing::Values(2, 3, 4)),
+    [](const auto &info) {
+        return std::string(
+                   interpKernelName(std::get<0>(info.param))) +
+               "_x" + std::to_string(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------
+// RoI search: two-phase near-optimality across stride settings and
+// window shapes.
+// ---------------------------------------------------------------
+
+class RoiSearchSweepTest
+    : public ::testing::TestWithParam<std::tuple<int, Size>>
+{
+};
+
+TEST_P(RoiSearchSweepTest, TwoPhaseWithinTwoPercentOfExhaustive)
+{
+    auto [fine_stride, window] = GetParam();
+    // Smooth importance landscape with two bumps.
+    PlaneF32 map(180, 120);
+    for (int y = 0; y < 120; ++y) {
+        for (int x = 0; x < 180; ++x) {
+            map.at(x, y) = f32(
+                gaussian2d(x, y, 120, 40, 22) +
+                0.7 * gaussian2d(x, y, 40, 80, 16));
+        }
+    }
+    RoiSearchConfig config;
+    config.window_width = window.width;
+    config.window_height = window.height;
+    config.fine_stride = fine_stride;
+    RoiSearchResult two_phase = searchRoi(map, config);
+    config.mode = RoiSearchMode::Exhaustive;
+    RoiSearchResult exhaustive = searchRoi(map, config);
+    EXPECT_GT(two_phase.score, exhaustive.score * 0.98);
+    EXPECT_TRUE((Rect{0, 0, 180, 120}.contains(two_phase.roi)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    StrideByWindow, RoiSearchSweepTest,
+    ::testing::Combine(::testing::Values(1, 2, 4, 8),
+                       ::testing::Values(Size{30, 30}, Size{48, 32},
+                                         Size{20, 56})),
+    [](const auto &info) {
+        return "s" + std::to_string(std::get<0>(info.param)) + "_w" +
+               std::to_string(std::get<1>(info.param).width) + "x" +
+               std::to_string(std::get<1>(info.param).height);
+    });
+
+// ---------------------------------------------------------------
+// NPU model monotonicity across the size grid.
+// ---------------------------------------------------------------
+
+class NpuMonotonicityTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(NpuMonotonicityTest, LatencyStrictlyIncreasesWithEdge)
+{
+    int edge = GetParam();
+    static const EdsrNetwork net{EdsrConfig{}};
+    for (const DeviceProfile &device :
+         {DeviceProfile::galaxyTabS8(), DeviceProfile::pixel7Pro()}) {
+        f64 smaller = device.npu.latencyMs(net.macs(edge, edge),
+                                           i64(edge) * edge);
+        int bigger_edge = edge + 20;
+        f64 bigger = device.npu.latencyMs(
+            net.macs(bigger_edge, bigger_edge),
+            i64(bigger_edge) * bigger_edge);
+        EXPECT_LT(smaller, bigger) << device.name;
+        // And super-linear in area once the fixed invocation
+        // overhead is removed (the memory-bound term).
+        f64 area_ratio = f64(bigger_edge * bigger_edge) /
+                         f64(edge * edge);
+        f64 compute_ratio = (bigger - device.npu.overhead_ms) /
+                            (smaller - device.npu.overhead_ms);
+        EXPECT_GT(compute_ratio, area_ratio * 0.999) << device.name;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(EdgeGrid, NpuMonotonicityTest,
+                         ::testing::Values(60, 120, 240, 480, 900));
+
+// ---------------------------------------------------------------
+// End-to-end RoI containment and determinism across games x
+// window sizes (rendered depth maps).
+// ---------------------------------------------------------------
+
+class RoiContainmentTest
+    : public ::testing::TestWithParam<std::tuple<GameId, int>>
+{
+};
+
+TEST_P(RoiContainmentTest, DetectedRoiValidAndDeterministic)
+{
+    auto [game, edge] = GetParam();
+    GameWorld world(game, 31);
+    RenderOutput frame = renderScene(world.sceneAt(0.7), {256, 144});
+    RoiDetector detector(ServerProfile::gamingWorkstation());
+    RoiDetection a = detector.detect(frame.depth, {edge, edge});
+    RoiDetection b = detector.detect(frame.depth, {edge, edge});
+    EXPECT_EQ(a.roi, b.roi);
+    EXPECT_TRUE((Rect{0, 0, 256, 144}.contains(a.roi)));
+    EXPECT_EQ(a.roi.width, edge);
+    EXPECT_EQ(a.roi.height, edge);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GamesByWindow, RoiContainmentTest,
+    ::testing::Combine(::testing::Values(GameId::G1_MetroExodus,
+                                         GameId::G4_RedDeadRedemption2,
+                                         GameId::G8_PlagueTale,
+                                         GameId::G10_ForzaHorizon5),
+                       ::testing::Values(40, 64, 100, 144)),
+    [](const auto &info) {
+        return std::string(
+                   gameInfo(std::get<0>(info.param)).short_name) +
+               "_w" + std::to_string(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------
+// RNG statistical sweep across seeds.
+// ---------------------------------------------------------------
+
+class RngSeedSweepTest : public ::testing::TestWithParam<u64>
+{
+};
+
+TEST_P(RngSeedSweepTest, UniformMomentsHold)
+{
+    Rng rng(GetParam());
+    f64 sum = 0.0, sum_sq = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        f64 u = rng.uniform();
+        sum += u;
+        sum_sq += u * u;
+    }
+    f64 mean = sum / n;
+    f64 var = sum_sq / n - mean * mean;
+    EXPECT_NEAR(mean, 0.5, 0.01);
+    EXPECT_NEAR(var, 1.0 / 12.0, 0.005);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweepTest,
+                         ::testing::Values(1u, 42u, 31337u,
+                                           0xdeadbeefu,
+                                           0xffffffffffffffffull));
+
+} // namespace
+} // namespace gssr

@@ -1,0 +1,322 @@
+/**
+ * @file
+ * Unit tests for src/render: procedural meshes, the camera, the
+ * z-buffer rasterizer (depth correctness, occlusion, LOD detail) and
+ * the ten Table I game worlds plus the degenerate perspectives.
+ */
+
+#include <gtest/gtest.h>
+
+#include "render/camera.hh"
+#include "render/games.hh"
+#include "render/mesh.hh"
+#include "render/rasterizer.hh"
+
+namespace gssr
+{
+namespace
+{
+
+TEST(MeshTest, BoxHasTwelveTriangles)
+{
+    Mesh box = makeBox({1, 1, 1}, {100, 0, 0}, Material::Noise);
+    EXPECT_EQ(box.vertices.size(), 8u);
+    EXPECT_EQ(box.triangles.size(), 12u);
+}
+
+TEST(MeshTest, BoxVerticesWithinExtents)
+{
+    Mesh box = makeBox({2, 4, 6}, {0, 0, 0}, Material::Flat);
+    for (const auto &v : box.vertices) {
+        EXPECT_LE(std::abs(v.x), 1.0 + 1e-9);
+        EXPECT_LE(std::abs(v.y), 2.0 + 1e-9);
+        EXPECT_LE(std::abs(v.z), 3.0 + 1e-9);
+    }
+}
+
+TEST(MeshTest, GroundPlaneSubdivision)
+{
+    Mesh g = makeGroundPlane(10, 10, {0, 0, 0}, Material::Checker, 4);
+    EXPECT_EQ(g.vertices.size(), 25u);
+    EXPECT_EQ(g.triangles.size(), 32u); // 4x4 quads x 2
+    for (const auto &v : g.vertices)
+        EXPECT_DOUBLE_EQ(v.y, 0.0);
+}
+
+TEST(MeshTest, SphereVerticesOnRadius)
+{
+    Mesh s = makeSphere(2.0, 6, 8, {0, 0, 0}, Material::Noise);
+    for (const auto &v : s.vertices)
+        EXPECT_NEAR(v.length(), 2.0, 1e-9);
+}
+
+TEST(MeshTest, SphereTooCoarseThrows)
+{
+    EXPECT_THROW(makeSphere(1.0, 2, 8, {0, 0, 0}, Material::Flat),
+                 PanicError);
+}
+
+TEST(MeshTest, AppendRebasesIndices)
+{
+    Mesh a = makeBox({1, 1, 1}, {0, 0, 0}, Material::Flat);
+    Mesh b = makeBox({1, 1, 1}, {0, 0, 0}, Material::Flat);
+    size_t verts = a.vertices.size();
+    a.append(b);
+    EXPECT_EQ(a.vertices.size(), 2 * verts);
+    // Second box's triangles must reference the second vertex block.
+    const Triangle &t = a.triangles[12];
+    EXPECT_GE(t.v0, int(verts));
+}
+
+TEST(MeshTest, CompositeMeshesAreNonTrivial)
+{
+    Mesh tree = makeTree(5.0, {96, 70, 44}, {50, 120, 50});
+    Mesh human = makeHumanoid(1.8, {150, 60, 50}, {224, 188, 150});
+    EXPECT_GT(tree.triangles.size(), 20u);
+    EXPECT_GT(human.triangles.size(), 40u);
+}
+
+TEST(CameraTest, ForwardDirection)
+{
+    Camera cam;
+    cam.yaw = 0.0;
+    cam.pitch = 0.0;
+    Vec3 f = cam.forward();
+    EXPECT_NEAR(f.x, 0.0, 1e-12);
+    EXPECT_NEAR(f.z, -1.0, 1e-12);
+}
+
+TEST(CameraTest, ViewMatrixMovesWorldOppositeToCamera)
+{
+    Camera cam;
+    cam.position = {0, 0, 10};
+    f64 w = 0.0;
+    Vec3 p = cam.viewMatrix().transformPoint({0, 0, 0}, w);
+    EXPECT_NEAR(p.z, -10.0, 1e-12);
+}
+
+TEST(CameraTest, ProjectionMapsNearAndFarPlanes)
+{
+    Camera cam;
+    cam.near_plane = 1.0;
+    cam.far_plane = 100.0;
+    Mat4 proj = cam.projectionMatrix(1.0);
+    f64 w = 0.0;
+    Vec3 near_pt = proj.transformPoint({0, 0, -1.0}, w);
+    EXPECT_NEAR(near_pt.z / w, -1.0, 1e-9);
+    Vec3 far_pt = proj.transformPoint({0, 0, -100.0}, w);
+    EXPECT_NEAR(far_pt.z / w, 1.0, 1e-9);
+}
+
+/** One box in front of the camera on an empty background. */
+Scene
+singleBoxScene(f64 distance)
+{
+    Scene scene;
+    scene.fog_density = 0.0;
+    auto box = std::make_shared<Mesh>(
+        makeBox({2, 2, 2}, {200, 50, 50}, Material::Flat));
+    scene.add(box, Mat4::translate({0.0, 0.0, -distance}));
+    scene.camera.position = {0, 0, 0};
+    scene.camera.pitch = 0.0;
+    return scene;
+}
+
+TEST(RasterizerTest, BackgroundIsSkyAndFarDepth)
+{
+    Scene scene;
+    scene.fog_density = 0.0;
+    RenderOutput out = renderScene(scene, {32, 32});
+    // No geometry: all depth at the far plane.
+    for (int y = 0; y < 32; ++y)
+        for (int x = 0; x < 32; ++x)
+            EXPECT_FLOAT_EQ(out.depth.at(x, y), 1.0f);
+    // Sky gradient: top row bluer (darker) than bottom row.
+    EXPECT_LT(out.color.r().at(16, 0), out.color.r().at(16, 31));
+}
+
+TEST(RasterizerTest, BoxCoversCentreWithCorrectDepth)
+{
+    Scene scene = singleBoxScene(10.0);
+    RenderOutput out = renderScene(scene, {64, 64});
+    // Centre pixel hits the front face at distance 9.
+    f64 expected =
+        (9.0 - scene.camera.near_plane) /
+        (scene.camera.far_plane - scene.camera.near_plane);
+    EXPECT_NEAR(out.depth.at(32, 32), expected, 0.01);
+    // Corner pixel is sky.
+    EXPECT_FLOAT_EQ(out.depth.at(0, 0), 1.0f);
+}
+
+TEST(RasterizerTest, NearerBoxOccludesFartherBox)
+{
+    Scene scene = singleBoxScene(20.0);
+    auto near_box = std::make_shared<Mesh>(
+        makeBox({1, 1, 1}, {10, 200, 10}, Material::Flat));
+    scene.add(near_box, Mat4::translate({0.0, 0.0, -5.0}));
+    RenderOutput out = renderScene(scene, {64, 64});
+    // Centre shows the near (green) box.
+    EXPECT_GT(out.color.g().at(32, 32), out.color.r().at(32, 32));
+    f64 near_depth = (4.5 - scene.camera.near_plane) /
+                     (scene.camera.far_plane -
+                      scene.camera.near_plane);
+    EXPECT_NEAR(out.depth.at(32, 32), near_depth, 0.01);
+}
+
+TEST(RasterizerTest, GeometryBehindCameraIsClipped)
+{
+    Scene scene = singleBoxScene(-10.0); // behind the camera
+    RenderOutput out = renderScene(scene, {32, 32});
+    for (int y = 0; y < 32; ++y)
+        for (int x = 0; x < 32; ++x)
+            EXPECT_FLOAT_EQ(out.depth.at(x, y), 1.0f);
+}
+
+TEST(RasterizerTest, DeterministicAcrossRuns)
+{
+    Scene scene = singleBoxScene(8.0);
+    RenderOutput a = renderScene(scene, {48, 48});
+    RenderOutput b = renderScene(scene, {48, 48});
+    EXPECT_EQ(a.color, b.color);
+    EXPECT_EQ(a.depth.plane(), b.depth.plane());
+}
+
+/** Standard deviation of luma inside a rect — a texture-detail proxy. */
+f64
+lumaStddev(const ColorImage &img, Rect r)
+{
+    PlaneU8 luma = toGrayscale(img.crop(r));
+    f64 mean = 0.0;
+    for (u8 v : luma.data())
+        mean += v;
+    mean /= f64(luma.sampleCount());
+    f64 var = 0.0;
+    for (u8 v : luma.data())
+        var += (v - mean) * (v - mean);
+    return std::sqrt(var / f64(luma.sampleCount()));
+}
+
+TEST(RasterizerTest, DetailFadesWithDistanceLikeMipmapping)
+{
+    // The same screen-filling textured wall at 4 units vs. 60
+    // units (scaled to cover the same pixels): the near render must
+    // show more texture detail (Sec. III-B: depth controls the
+    // rendered level of detail, like mipmapping).
+    auto wall_at = [](f64 dist, f64 size) {
+        Scene scene;
+        scene.fog_density = 0.0;
+        auto box = std::make_shared<Mesh>(makeBox(
+            {size, size, 0.5}, {150, 150, 150}, Material::Noise));
+        scene.add(box, Mat4::translate({0.0, 0.0, -dist}));
+        return renderScene(scene, {96, 96});
+    };
+    // Both walls subtend the same visual angle (size / dist equal).
+    RenderOutput near_render = wall_at(4.0, 6.0);
+    RenderOutput far_render = wall_at(60.0, 90.0);
+    // Probe well inside the wall.
+    f64 near_detail = lumaStddev(near_render.color, {32, 32, 32, 32});
+    f64 far_detail = lumaStddev(far_render.color, {32, 32, 32, 32});
+    EXPECT_GT(near_detail, far_detail * 1.5);
+}
+
+TEST(GamesTest, TableOneListsTenGames)
+{
+    const auto &games = tableOneGames();
+    ASSERT_EQ(games.size(), 10u);
+    EXPECT_STREQ(games[0].short_name, "G1");
+    EXPECT_STREQ(games[9].short_name, "G10");
+    EXPECT_STREQ(games[2].title, "Witcher 3");
+    EXPECT_STREQ(games[9].genre, "Racing");
+}
+
+TEST(GamesTest, GameInfoLookupCoversDegenerates)
+{
+    EXPECT_EQ(gameInfo(GameId::TopDownStrategy).perspective,
+              ViewPerspective::TopDown);
+    EXPECT_EQ(gameInfo(GameId::SideScroller).perspective,
+              ViewPerspective::SideScroll);
+    EXPECT_EQ(gameInfo(GameId::G1_MetroExodus).perspective,
+              ViewPerspective::FirstPerson);
+}
+
+class GameWorldTest : public ::testing::TestWithParam<GameId>
+{
+};
+
+TEST_P(GameWorldTest, RendersWithForegroundContent)
+{
+    GameWorld world(GetParam(), 5);
+    Scene scene = world.sceneAt(0.5);
+    EXPECT_GT(scene.triangleCount(), 100);
+    RenderOutput out = renderScene(scene, {160, 96});
+    // Some geometry is visible (not all far plane)...
+    i64 covered = 0;
+    f32 min_depth = 1.0f;
+    for (f32 d : out.depth.plane().data()) {
+        covered += d < 0.999f;
+        min_depth = std::min(min_depth, d);
+    }
+    EXPECT_GT(covered, 160 * 96 / 10);
+    // ... and something is close to the camera.
+    EXPECT_LT(min_depth, 0.2f);
+}
+
+TEST_P(GameWorldTest, DeterministicForSameSeed)
+{
+    GameWorld a(GetParam(), 9);
+    GameWorld b(GetParam(), 9);
+    RenderOutput ra = renderScene(a.sceneAt(1.0), {80, 48});
+    RenderOutput rb = renderScene(b.sceneAt(1.0), {80, 48});
+    EXPECT_EQ(ra.color, rb.color);
+}
+
+TEST_P(GameWorldTest, CameraMovesOverTime)
+{
+    GameWorld world(GetParam(), 5);
+    Scene early = world.sceneAt(0.0);
+    Scene late = world.sceneAt(2.0);
+    f64 moved =
+        (late.camera.position - early.camera.position).length();
+    EXPECT_GT(moved, 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTableOneGames, GameWorldTest,
+    ::testing::Values(GameId::G1_MetroExodus, GameId::G2_FarCry5,
+                      GameId::G3_Witcher3,
+                      GameId::G4_RedDeadRedemption2,
+                      GameId::G5_GrandTheftAutoV, GameId::G6_GodOfWar,
+                      GameId::G7_TombRaider, GameId::G8_PlagueTale,
+                      GameId::G9_FarmingSimulator,
+                      GameId::G10_ForzaHorizon5),
+    [](const ::testing::TestParamInfo<GameId> &info) {
+        return gameInfo(info.param).short_name;
+    });
+
+TEST(GamesTest, TopDownHasNarrowDepthDistribution)
+{
+    // The degenerate perspective of Sec. VI: nearly uniform distance
+    // from the virtual camera across the frame.
+    GameWorld world(GameId::TopDownStrategy, 5);
+    RenderOutput out = renderScene(world.sceneAt(0.5), {120, 72});
+    f64 mean = 0.0;
+    i64 n = 0;
+    for (f32 d : out.depth.plane().data()) {
+        if (d < 0.999f) { // ignore sky/borders
+            mean += d;
+            n += 1;
+        }
+    }
+    ASSERT_GT(n, 0);
+    mean /= f64(n);
+    f64 var = 0.0;
+    for (f32 d : out.depth.plane().data()) {
+        if (d < 0.999f)
+            var += (d - mean) * (d - mean);
+    }
+    f64 stddev = std::sqrt(var / f64(n));
+    EXPECT_LT(stddev, 0.05);
+}
+
+} // namespace
+} // namespace gssr

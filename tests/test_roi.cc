@@ -1,0 +1,398 @@
+/**
+ * @file
+ * Unit tests for src/roi — the paper's core contribution: foveal RoI
+ * sizing (Sec. IV-B1), depth-map pre-processing (Fig. 8), the
+ * Algorithm 1 two-phase search, and the complete RoiDetector
+ * including the degenerate-perspective fallback.
+ */
+
+#include <gtest/gtest.h>
+
+#include "device/profiles.hh"
+#include "render/games.hh"
+#include "render/rasterizer.hh"
+#include "roi/depth_processing.hh"
+#include "roi/foveal.hh"
+#include "roi/roi_detector.hh"
+#include "roi/roi_search.hh"
+#include "sr/upscaler.hh"
+
+namespace gssr
+{
+namespace
+{
+
+TEST(FovealTest, DiameterMatchesPaperExample)
+{
+    // 2 * 30 cm * tan(3 deg) = 3.14 cm = ~1.24 inches (paper: 1.25).
+    EXPECT_NEAR(fovealDiameterInches(FovealParams{}), 1.25, 0.02);
+}
+
+TEST(FovealTest, MinRoiSizeMatchesS8Example)
+{
+    // Paper Sec. IV-B1: 1.25 in * 274 PPI = ~343 px on the 2K panel,
+    // ~172 px on the 720p LR frame at x2.
+    FovealParams params;
+    int display_px = minRoiSizePixels(params, 274.0, 1);
+    int lr_px = minRoiSizePixels(params, 274.0, 2);
+    EXPECT_NEAR(display_px, 343, 5);
+    EXPECT_NEAR(lr_px, 172, 3);
+}
+
+TEST(FovealTest, MinRoiScalesWithPpi)
+{
+    FovealParams params;
+    EXPECT_GT(minRoiSizePixels(params, 512.0, 2),
+              minRoiSizePixels(params, 274.0, 2));
+}
+
+TEST(FovealTest, MaxRoiMatches300PixelAnchor)
+{
+    // Paper Sec. IV-B1: the S8's NPU sustains at most ~300x300 in
+    // real time for EDSR x2.
+    DeviceProfile s8 = DeviceProfile::galaxyTabS8();
+    DnnUpscaler upscaler(std::make_shared<const CompactSrNet>(), 2);
+    int max_edge = maxRoiSizePixels(s8.npu, upscaler, 2);
+    EXPECT_NEAR(max_edge, 300, 12);
+}
+
+TEST(FovealTest, MaxRoiIsMonotoneInDeadline)
+{
+    DeviceProfile s8 = DeviceProfile::galaxyTabS8();
+    DnnUpscaler upscaler(std::make_shared<const CompactSrNet>(), 2);
+    int tight = maxRoiSizePixels(s8.npu, upscaler, 2, 8.0);
+    int loose = maxRoiSizePixels(s8.npu, upscaler, 2, 33.0);
+    EXPECT_LT(tight, loose);
+}
+
+TEST(FovealTest, HopelessDeviceReturnsZero)
+{
+    NpuModel weak;
+    weak.macs_per_ms = 1e3; // absurdly slow
+    DnnUpscaler upscaler(std::make_shared<const CompactSrNet>(), 2);
+    EXPECT_EQ(maxRoiSizePixels(weak, upscaler, 2), 0);
+}
+
+TEST(FovealTest, ChooseRoiWindowClampsToFrame)
+{
+    DeviceProfile s8 = DeviceProfile::galaxyTabS8();
+    DnnUpscaler upscaler(std::make_shared<const CompactSrNet>(), 2);
+    Size window = chooseRoiWindow(FovealParams{}, s8.display_ppi,
+                                  s8.npu, upscaler, 2, {1280, 720});
+    EXPECT_LE(window.height, 720);
+    EXPECT_GE(window.width, 172); // at least the foveal minimum
+}
+
+/** Depth map with a near blob on a far background. */
+DepthMap
+blobDepthMap(int w, int h, Rect blob, f32 near_depth, f32 far_depth)
+{
+    DepthMap d(w, h);
+    for (int y = 0; y < h; ++y)
+        for (int x = 0; x < w; ++x)
+            d.at(x, y) = blob.contains(x, y) ? near_depth : far_depth;
+    return d;
+}
+
+TEST(DepthPreprocessTest, BimodalMapSplitsAtTheValley)
+{
+    DepthMap d = blobDepthMap(64, 64, {10, 10, 16, 16}, 0.2f, 0.9f);
+    DepthPreprocessResult r =
+        preprocessDepthMap(d, DepthPreprocessConfig{});
+    EXPECT_TRUE(r.depth_informative);
+    EXPECT_GT(r.foreground_threshold, 0.25f);
+    EXPECT_LT(r.foreground_threshold, 0.85f);
+    EXPECT_NEAR(r.foreground_fraction, 256.0 / 4096.0, 0.01);
+    // The retained (selected-layer) weight lies inside the blob;
+    // everything outside it is zeroed.
+    f64 blob_weight = 0.0;
+    i64 outside_nonzero = 0;
+    Rect blob{10, 10, 16, 16};
+    for (int y = 0; y < 64; ++y) {
+        for (int x = 0; x < 64; ++x) {
+            if (blob.contains(x, y))
+                blob_weight += r.processed.at(x, y);
+            else
+                outside_nonzero += r.processed.at(x, y) > 0.0f;
+        }
+    }
+    EXPECT_GT(blob_weight, 0.0);
+    EXPECT_EQ(outside_nonzero, 0);
+}
+
+TEST(DepthPreprocessTest, UniformDepthIsNotInformative)
+{
+    // The Sec. VI top-down case: constant distance everywhere.
+    DepthMap d(48, 48);
+    for (auto &v : d.plane().data())
+        v = 0.5f;
+    DepthPreprocessResult r =
+        preprocessDepthMap(d, DepthPreprocessConfig{});
+    EXPECT_FALSE(r.depth_informative);
+}
+
+TEST(DepthPreprocessTest, SpatialWeightingFavoursCentre)
+{
+    // Two identical blobs, one centred, one at the corner: with
+    // spatial weighting the centred one accumulates more weight.
+    DepthMap d(80, 80);
+    for (auto &v : d.plane().data())
+        v = 0.9f;
+    Rect centre_blob{34, 34, 12, 12};
+    Rect corner_blob{2, 2, 12, 12};
+    for (int y = 0; y < 80; ++y) {
+        for (int x = 0; x < 80; ++x) {
+            if (centre_blob.contains(x, y) ||
+                corner_blob.contains(x, y)) {
+                d.at(x, y) = 0.2f;
+            }
+        }
+    }
+    DepthPreprocessConfig config;
+    config.enable_layering = false;
+    DepthPreprocessResult r = preprocessDepthMap(d, config);
+    auto blob_sum = [&](Rect blob) {
+        f64 s = 0.0;
+        for (int y = blob.y; y < blob.bottom(); ++y)
+            for (int x = blob.x; x < blob.right(); ++x)
+                s += r.processed.at(x, y);
+        return s;
+    };
+    EXPECT_GT(blob_sum(centre_blob), blob_sum(corner_blob) * 1.2);
+
+    config.enable_spatial_weighting = false;
+    DepthPreprocessResult r_off = preprocessDepthMap(d, config);
+    f64 ratio_off = 0.0;
+    {
+        f64 cs = 0.0, ks = 0.0;
+        for (int y = 0; y < 80; ++y) {
+            for (int x = 0; x < 80; ++x) {
+                if (centre_blob.contains(x, y))
+                    cs += r_off.processed.at(x, y);
+                if (corner_blob.contains(x, y))
+                    ks += r_off.processed.at(x, y);
+            }
+        }
+        ratio_off = cs / ks;
+    }
+    EXPECT_NEAR(ratio_off, 1.0, 0.05); // identical without weighting
+}
+
+TEST(DepthPreprocessTest, LayerSelectionKeepsHeaviestLayer)
+{
+    // A large mid-near region and a tiny very-near region: the big
+    // region's layer has the larger total weight and must win.
+    DepthMap d(64, 64);
+    for (auto &v : d.plane().data())
+        v = 0.95f;
+    for (int y = 20; y < 50; ++y) // large blob, depth 0.45
+        for (int x = 20; x < 50; ++x)
+            d.at(x, y) = 0.45f;
+    for (int y = 2; y < 6; ++y) // tiny blob, depth 0.05
+        for (int x = 2; x < 6; ++x)
+            d.at(x, y) = 0.05f;
+
+    DepthPreprocessConfig config;
+    config.enable_spatial_weighting = false;
+    DepthPreprocessResult r = preprocessDepthMap(d, config);
+    ASSERT_TRUE(r.depth_informative);
+    ASSERT_FALSE(r.layer_scores.empty());
+    // The big blob survives, the tiny nearest blob is discarded.
+    EXPECT_GT(r.processed.at(30, 30), 0.0f);
+    EXPECT_FLOAT_EQ(r.processed.at(3, 3), 0.0f);
+}
+
+TEST(DepthPreprocessTest, OpCountScalesWithArea)
+{
+    EXPECT_EQ(preprocessOpCount({100, 100}) * 4,
+              preprocessOpCount({200, 200}));
+}
+
+/** Importance map with a single hot square. */
+PlaneF32
+hotSpotMap(int w, int h, Rect hot, f32 value = 1.0f)
+{
+    PlaneF32 map(w, h, 0.0f);
+    for (int y = hot.y; y < hot.bottom(); ++y)
+        for (int x = hot.x; x < hot.right(); ++x)
+            map.at(x, y) = value;
+    return map;
+}
+
+TEST(RoiSearchTest, FindsPlantedHotSpot)
+{
+    PlaneF32 map = hotSpotMap(200, 150, {120, 60, 30, 30});
+    RoiSearchConfig config;
+    config.window_width = 40;
+    config.window_height = 40;
+    RoiSearchResult r = searchRoi(map, config);
+    // The window must cover the full hot spot.
+    EXPECT_LE(r.roi.x, 120);
+    EXPECT_LE(r.roi.y, 60);
+    EXPECT_GE(r.roi.right(), 150);
+    EXPECT_GE(r.roi.bottom(), 90);
+    EXPECT_NEAR(r.score, 900.0, 1e-6);
+}
+
+TEST(RoiSearchTest, TwoPhaseMatchesExhaustiveScore)
+{
+    // On a smooth map the fine phase must recover (essentially) the
+    // exhaustive optimum.
+    PlaneF32 map(160, 120, 0.0f);
+    for (int y = 0; y < 120; ++y)
+        for (int x = 0; x < 160; ++x)
+            map.at(x, y) = f32(
+                gaussian2d(x, y, 97.0, 41.0, 18.0));
+    RoiSearchConfig config;
+    config.window_width = 32;
+    config.window_height = 32;
+    RoiSearchResult two_phase = searchRoi(map, config);
+    config.mode = RoiSearchMode::Exhaustive;
+    RoiSearchResult exhaustive = searchRoi(map, config);
+    EXPECT_GT(two_phase.score, exhaustive.score * 0.99);
+    EXPECT_LT(two_phase.positions_evaluated,
+              exhaustive.positions_evaluated / 10);
+}
+
+TEST(RoiSearchTest, CoarseOnlyEvaluatesFewerPositions)
+{
+    PlaneF32 map = hotSpotMap(200, 150, {50, 50, 20, 20});
+    RoiSearchConfig config;
+    config.window_width = 40;
+    config.window_height = 40;
+    RoiSearchResult two_phase = searchRoi(map, config);
+    config.mode = RoiSearchMode::CoarseOnly;
+    RoiSearchResult coarse = searchRoi(map, config);
+    EXPECT_LT(coarse.positions_evaluated,
+              two_phase.positions_evaluated);
+}
+
+TEST(RoiSearchTest, TieBreaksTowardsCentre)
+{
+    // A uniform map: every window has the same score; the paper
+    // picks the candidate nearest the frame centre.
+    PlaneF32 map(100, 100, 1.0f);
+    RoiSearchConfig config;
+    config.window_width = 20;
+    config.window_height = 20;
+    config.fine_stride = 1;
+    RoiSearchResult r = searchRoi(map, config);
+    f64 cx = r.roi.x + r.roi.width * 0.5;
+    f64 cy = r.roi.y + r.roi.height * 0.5;
+    EXPECT_NEAR(cx, 50.0, 6.0);
+    EXPECT_NEAR(cy, 50.0, 6.0);
+}
+
+TEST(RoiSearchTest, WindowLargerThanMapThrows)
+{
+    PlaneF32 map(32, 32, 0.0f);
+    RoiSearchConfig config;
+    config.window_width = 64;
+    config.window_height = 64;
+    EXPECT_THROW(searchRoi(map, config), PanicError);
+}
+
+TEST(RoiSearchTest, WindowEqualToMapIsTheOnlyCandidate)
+{
+    PlaneF32 map(32, 32, 0.5f);
+    RoiSearchConfig config;
+    config.window_width = 32;
+    config.window_height = 32;
+    RoiSearchResult r = searchRoi(map, config);
+    EXPECT_EQ(r.roi, (Rect{0, 0, 32, 32}));
+}
+
+TEST(RoiSearchTest, OpCountReflectsSearchMode)
+{
+    RoiSearchConfig config;
+    config.window_width = 40;
+    config.window_height = 40;
+    i64 two_phase = roiSearchOpCount({320, 180}, config);
+    config.mode = RoiSearchMode::Exhaustive;
+    i64 exhaustive = roiSearchOpCount({320, 180}, config);
+    EXPECT_GT(exhaustive, two_phase);
+}
+
+class RoiDetectorTest : public ::testing::Test
+{
+  protected:
+    ServerProfile server_ = ServerProfile::gamingWorkstation();
+};
+
+TEST_F(RoiDetectorTest, DetectsNearObjectOnRenderedFrame)
+{
+    // Render a real game frame and confirm the detector lands on a
+    // region containing near geometry.
+    GameWorld world(GameId::G1_MetroExodus, 3);
+    RenderOutput frame =
+        renderScene(world.sceneAt(0.6), {320, 180});
+    RoiDetector detector(server_);
+    RoiDetection d = detector.detect(frame.depth, {75, 75});
+    ASSERT_TRUE(d.depth_guided);
+    // Mean depth inside the RoI must be lower (nearer) than the
+    // frame mean — the detector found foreground.
+    f64 roi_mean = 0.0;
+    for (int y = d.roi.y; y < d.roi.bottom(); ++y)
+        for (int x = d.roi.x; x < d.roi.right(); ++x)
+            roi_mean += frame.depth.at(x, y);
+    roi_mean /= f64(d.roi.area());
+    f64 frame_mean = 0.0;
+    for (f32 v : frame.depth.plane().data())
+        frame_mean += v;
+    frame_mean /= f64(frame.depth.plane().sampleCount());
+    EXPECT_LT(roi_mean, frame_mean);
+    EXPECT_GT(d.server_gpu_ms, 0.0);
+}
+
+TEST_F(RoiDetectorTest, RoiAlwaysInsideFrame)
+{
+    for (GameId id : {GameId::G2_FarCry5, GameId::G5_GrandTheftAutoV,
+                      GameId::G10_ForzaHorizon5}) {
+        GameWorld world(id, 4);
+        RenderOutput frame =
+            renderScene(world.sceneAt(1.0), {320, 180});
+        RoiDetector detector(server_);
+        RoiDetection d = detector.detect(frame.depth, {75, 75});
+        EXPECT_TRUE((Rect{0, 0, 320, 180}.contains(d.roi)))
+            << gameInfo(id).short_name;
+        EXPECT_EQ(d.roi.width, 75);
+        EXPECT_EQ(d.roi.height, 75);
+    }
+}
+
+TEST_F(RoiDetectorTest, TopDownFallsBackToCentre)
+{
+    // Sec. VI: top-down views have near-uniform depth; the detector
+    // must flag the fallback and return the centred window.
+    GameWorld world(GameId::TopDownStrategy, 3);
+    RenderOutput frame =
+        renderScene(world.sceneAt(0.5), {320, 180});
+    RoiDetector detector(server_);
+    RoiDetection d = detector.detect(frame.depth, {75, 75});
+    EXPECT_FALSE(d.depth_guided);
+    EXPECT_EQ(d.roi.x, (320 - 75) / 2);
+    EXPECT_EQ(d.roi.y, (180 - 75) / 2);
+}
+
+TEST_F(RoiDetectorTest, DetectionIsFastEnoughForRealTime)
+{
+    // The charged server-GPU time must be a small fraction of the
+    // 16.66 ms frame budget (the paper runs it inside the render
+    // pipeline).
+    GameWorld world(GameId::G3_Witcher3, 3);
+    RenderOutput frame =
+        renderScene(world.sceneAt(0.4), {1280, 720});
+    RoiDetector detector(server_);
+    RoiDetection d = detector.detect(frame.depth, {300, 300});
+    EXPECT_LT(d.server_gpu_ms, 2.0);
+}
+
+TEST_F(RoiDetectorTest, WindowLargerThanFrameThrows)
+{
+    RoiDetector detector(server_);
+    DepthMap d(64, 64);
+    EXPECT_THROW(detector.detect(d, {128, 128}), PanicError);
+}
+
+} // namespace
+} // namespace gssr

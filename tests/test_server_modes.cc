@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Tests for the server operating modes: supersampled (SSAA)
+ * rendering, the HR ground-truth reuse path, the accounting-only
+ * proxy fast path (RoI/byte scaling), and the rate-controlled
+ * encoder integration.
+ */
+
+#include <gtest/gtest.h>
+
+#include "frame/downsample.hh"
+#include "metrics/psnr.hh"
+#include "pipeline/server.hh"
+
+namespace gssr
+{
+namespace
+{
+
+ServerConfig
+baseConfig()
+{
+    ServerConfig config;
+    config.lr_size = {192, 96};
+    config.codec.gop_size = 4;
+    return config;
+}
+
+TEST(ServerModesTest, SupersampledRenderEqualsDownsampledHr)
+{
+    // With keep_hr_render, the LR frame must be exactly the box
+    // downsample of the returned HR render.
+    GameWorld world(GameId::G2_FarCry5, 3);
+    ServerConfig config = baseConfig();
+    config.supersample = 2;
+    config.keep_hr_render = true;
+    GameStreamServer server(world, config,
+                            ServerProfile::gamingWorkstation(),
+                            {48, 48});
+    ServerFrameOutput out = server.nextFrame();
+    ASSERT_FALSE(out.hr_render.empty());
+    EXPECT_EQ(out.hr_render.size(), (Size{384, 192}));
+    EXPECT_EQ(out.rendered.color, boxDownsample(out.hr_render, 2));
+}
+
+TEST(ServerModesTest, SupersamplingReducesAliasing)
+{
+    // The SSAA render must be closer to the downsampled HR truth
+    // than a point-sampled render of the same scene.
+    GameWorld world(GameId::G10_ForzaHorizon5, 3);
+    Scene scene = world.sceneAt(0.6);
+    ColorImage truth = boxDownsample(
+        renderScene(scene, {384, 192}).color, 2);
+    ColorImage point_sampled = renderScene(scene, {192, 96}).color;
+    // SSAA output == truth by construction; the point-sampled render
+    // differs measurably (aliasing).
+    EXPECT_LT(psnr(point_sampled, truth), 60.0);
+    EXPECT_GT(meanSquaredError(point_sampled, truth), 1.0);
+}
+
+TEST(ServerModesTest, KeepHrRenderRequiresMatchingSupersample)
+{
+    GameWorld world(GameId::G2_FarCry5, 3);
+    ServerConfig config = baseConfig();
+    config.supersample = 1;
+    config.keep_hr_render = true;
+    GameStreamServer server(world, config,
+                            ServerProfile::gamingWorkstation(),
+                            {48, 48});
+    EXPECT_THROW(server.nextFrame(), PanicError);
+}
+
+TEST(ServerModesTest, ProxyModeScalesRoiAndBytes)
+{
+    GameWorld world(GameId::G1_MetroExodus, 3);
+
+    ServerConfig config = baseConfig();
+    config.lr_size = {1280, 720};
+    config.proxy_size = {320, 180};
+    config.supersample = 1;
+    GameStreamServer server(world, config,
+                            ServerProfile::gamingWorkstation(),
+                            {300, 300});
+    ServerFrameOutput out = server.nextFrame();
+
+    // The RoI is reported in stream (720p) coordinates at the
+    // negotiated window size.
+    ASSERT_TRUE(out.roi.has_value());
+    EXPECT_EQ(out.roi->width, 300);
+    EXPECT_EQ(out.roi->height, 300);
+    EXPECT_TRUE((Rect{0, 0, 1280, 720}.contains(*out.roi)));
+
+    // Reported bytes are scaled by the area ratio (16x) relative to
+    // the actual proxy payload.
+    EXPECT_EQ(out.trace.encoded_bytes,
+              out.encoded.sizeBytes() * 16);
+}
+
+TEST(ServerModesTest, ProxyLargerThanStreamRejected)
+{
+    GameWorld world(GameId::G1_MetroExodus, 3);
+    ServerConfig config = baseConfig();
+    config.proxy_size = {1280, 720}; // larger than lr_size 192x96
+    EXPECT_THROW(GameStreamServer(world, config,
+                                  ServerProfile::gamingWorkstation(),
+                                  {48, 48}),
+                 PanicError);
+}
+
+TEST(ServerModesTest, RateControlShrinksHeavyStreams)
+{
+    GameWorld world(GameId::G5_GrandTheftAutoV, 3);
+    ServerConfig config = baseConfig();
+    config.codec.gop_size = 3;
+    config.codec.qp = 4;
+    config.target_bitrate_mbps = 1.0; // very tight for this content
+    GameStreamServer server(world, config,
+                            ServerProfile::gamingWorkstation(),
+                            {48, 48});
+    size_t first_gop = 0, third_gop = 0;
+    for (int i = 0; i < 9; ++i) {
+        ServerFrameOutput out = server.nextFrame();
+        if (i < 3)
+            first_gop += out.trace.encoded_bytes;
+        if (i >= 6)
+            third_gop += out.trace.encoded_bytes;
+    }
+    EXPECT_LT(third_gop, first_gop);
+}
+
+TEST(ServerModesTest, TimebaseAdvancesWithFps)
+{
+    GameWorld world(GameId::G3_Witcher3, 3);
+    ServerConfig config = baseConfig();
+    GameStreamServer server(world, config,
+                            ServerProfile::gamingWorkstation(),
+                            {48, 48});
+    ServerFrameOutput f0 = server.nextFrame();
+    ServerFrameOutput f1 = server.nextFrame();
+    EXPECT_DOUBLE_EQ(f0.time_s, 0.0);
+    EXPECT_NEAR(f1.time_s, 1.0 / 60.0, 1e-12);
+    EXPECT_EQ(server.frameCount(), 2);
+}
+
+} // namespace
+} // namespace gssr
