@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_preprocess.dir/bench_ablation_preprocess.cc.o"
+  "CMakeFiles/bench_ablation_preprocess.dir/bench_ablation_preprocess.cc.o.d"
+  "bench_ablation_preprocess"
+  "bench_ablation_preprocess.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_preprocess.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_cloud_vr.dir/bench_ext_cloud_vr.cc.o"
+  "CMakeFiles/bench_ext_cloud_vr.dir/bench_ext_cloud_vr.cc.o.d"
+  "bench_ext_cloud_vr"
+  "bench_ext_cloud_vr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_cloud_vr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_rate_control.dir/bench_ext_rate_control.cc.o"
+  "CMakeFiles/bench_ext_rate_control.dir/bench_ext_rate_control.cc.o.d"
+  "bench_ext_rate_control"
+  "bench_ext_rate_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_rate_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_sr_architectures.dir/bench_ext_sr_architectures.cc.o"
+  "CMakeFiles/bench_ext_sr_architectures.dir/bench_ext_sr_architectures.cc.o.d"
+  "bench_ext_sr_architectures"
+  "bench_ext_sr_architectures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_sr_architectures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

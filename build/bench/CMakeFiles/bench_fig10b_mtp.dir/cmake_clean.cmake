@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10b_mtp.dir/bench_fig10b_mtp.cc.o"
+  "CMakeFiles/bench_fig10b_mtp.dir/bench_fig10b_mtp.cc.o.d"
+  "bench_fig10b_mtp"
+  "bench_fig10b_mtp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10b_mtp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

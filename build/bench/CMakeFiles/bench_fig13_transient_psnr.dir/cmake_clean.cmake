@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_transient_psnr.dir/bench_fig13_transient_psnr.cc.o"
+  "CMakeFiles/bench_fig13_transient_psnr.dir/bench_fig13_transient_psnr.cc.o.d"
+  "bench_fig13_transient_psnr"
+  "bench_fig13_transient_psnr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_transient_psnr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_quality.dir/bench_fig14_quality.cc.o"
+  "CMakeFiles/bench_fig14_quality.dir/bench_fig14_quality.cc.o.d"
+  "bench_fig14_quality"
+  "bench_fig14_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

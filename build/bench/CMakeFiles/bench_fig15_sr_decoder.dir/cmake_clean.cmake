@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_sr_decoder.dir/bench_fig15_sr_decoder.cc.o"
+  "CMakeFiles/bench_fig15_sr_decoder.dir/bench_fig15_sr_decoder.cc.o.d"
+  "bench_fig15_sr_decoder"
+  "bench_fig15_sr_decoder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_sr_decoder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

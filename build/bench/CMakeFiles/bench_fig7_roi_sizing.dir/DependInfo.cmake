@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig7_roi_sizing.cc" "bench/CMakeFiles/bench_fig7_roi_sizing.dir/bench_fig7_roi_sizing.cc.o" "gcc" "bench/CMakeFiles/bench_fig7_roi_sizing.dir/bench_fig7_roi_sizing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pipeline/CMakeFiles/gssr_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/gssr_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gssr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/roi/CMakeFiles/gssr_roi.dir/DependInfo.cmake"
+  "/root/repo/build/src/sr/CMakeFiles/gssr_sr.dir/DependInfo.cmake"
+  "/root/repo/build/src/render/CMakeFiles/gssr_render.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/gssr_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/gssr_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/frame/CMakeFiles/gssr_frame.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/gssr_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gssr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_roi_sizing.dir/bench_fig7_roi_sizing.cc.o"
+  "CMakeFiles/bench_fig7_roi_sizing.dir/bench_fig7_roi_sizing.cc.o.d"
+  "bench_fig7_roi_sizing"
+  "bench_fig7_roi_sizing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_roi_sizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

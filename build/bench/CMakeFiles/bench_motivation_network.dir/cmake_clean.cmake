@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_motivation_network.dir/bench_motivation_network.cc.o"
+  "CMakeFiles/bench_motivation_network.dir/bench_motivation_network.cc.o.d"
+  "bench_motivation_network"
+  "bench_motivation_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_motivation_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

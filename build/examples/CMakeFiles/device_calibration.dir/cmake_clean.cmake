@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/device_calibration.dir/device_calibration.cpp.o"
+  "CMakeFiles/device_calibration.dir/device_calibration.cpp.o.d"
+  "device_calibration"
+  "device_calibration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/device_calibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roi_visualizer.dir/roi_visualizer.cpp.o"
+  "CMakeFiles/roi_visualizer.dir/roi_visualizer.cpp.o.d"
+  "roi_visualizer"
+  "roi_visualizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roi_visualizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

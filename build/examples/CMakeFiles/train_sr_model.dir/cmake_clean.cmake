@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_sr_model.dir/train_sr_model.cpp.o"
+  "CMakeFiles/train_sr_model.dir/train_sr_model.cpp.o.d"
+  "train_sr_model"
+  "train_sr_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_sr_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codec/codec.cc" "src/codec/CMakeFiles/gssr_codec.dir/codec.cc.o" "gcc" "src/codec/CMakeFiles/gssr_codec.dir/codec.cc.o.d"
+  "/root/repo/src/codec/dct.cc" "src/codec/CMakeFiles/gssr_codec.dir/dct.cc.o" "gcc" "src/codec/CMakeFiles/gssr_codec.dir/dct.cc.o.d"
+  "/root/repo/src/codec/motion.cc" "src/codec/CMakeFiles/gssr_codec.dir/motion.cc.o" "gcc" "src/codec/CMakeFiles/gssr_codec.dir/motion.cc.o.d"
+  "/root/repo/src/codec/plane_coder.cc" "src/codec/CMakeFiles/gssr_codec.dir/plane_coder.cc.o" "gcc" "src/codec/CMakeFiles/gssr_codec.dir/plane_coder.cc.o.d"
+  "/root/repo/src/codec/rate_control.cc" "src/codec/CMakeFiles/gssr_codec.dir/rate_control.cc.o" "gcc" "src/codec/CMakeFiles/gssr_codec.dir/rate_control.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/frame/CMakeFiles/gssr_frame.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gssr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gssr_codec.dir/codec.cc.o"
+  "CMakeFiles/gssr_codec.dir/codec.cc.o.d"
+  "CMakeFiles/gssr_codec.dir/dct.cc.o"
+  "CMakeFiles/gssr_codec.dir/dct.cc.o.d"
+  "CMakeFiles/gssr_codec.dir/motion.cc.o"
+  "CMakeFiles/gssr_codec.dir/motion.cc.o.d"
+  "CMakeFiles/gssr_codec.dir/plane_coder.cc.o"
+  "CMakeFiles/gssr_codec.dir/plane_coder.cc.o.d"
+  "CMakeFiles/gssr_codec.dir/rate_control.cc.o"
+  "CMakeFiles/gssr_codec.dir/rate_control.cc.o.d"
+  "libgssr_codec.a"
+  "libgssr_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gssr_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

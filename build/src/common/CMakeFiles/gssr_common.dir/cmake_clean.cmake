@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gssr_common.dir/logging.cc.o"
+  "CMakeFiles/gssr_common.dir/logging.cc.o.d"
+  "CMakeFiles/gssr_common.dir/table.cc.o"
+  "CMakeFiles/gssr_common.dir/table.cc.o.d"
+  "libgssr_common.a"
+  "libgssr_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gssr_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gssr_device.dir/profiles.cc.o"
+  "CMakeFiles/gssr_device.dir/profiles.cc.o.d"
+  "libgssr_device.a"
+  "libgssr_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gssr_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

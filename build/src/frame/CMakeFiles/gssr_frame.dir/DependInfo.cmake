@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/frame/downsample.cc" "src/frame/CMakeFiles/gssr_frame.dir/downsample.cc.o" "gcc" "src/frame/CMakeFiles/gssr_frame.dir/downsample.cc.o.d"
+  "/root/repo/src/frame/image_io.cc" "src/frame/CMakeFiles/gssr_frame.dir/image_io.cc.o" "gcc" "src/frame/CMakeFiles/gssr_frame.dir/image_io.cc.o.d"
+  "/root/repo/src/frame/yuv.cc" "src/frame/CMakeFiles/gssr_frame.dir/yuv.cc.o" "gcc" "src/frame/CMakeFiles/gssr_frame.dir/yuv.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gssr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gssr_frame.dir/downsample.cc.o"
+  "CMakeFiles/gssr_frame.dir/downsample.cc.o.d"
+  "CMakeFiles/gssr_frame.dir/image_io.cc.o"
+  "CMakeFiles/gssr_frame.dir/image_io.cc.o.d"
+  "CMakeFiles/gssr_frame.dir/yuv.cc.o"
+  "CMakeFiles/gssr_frame.dir/yuv.cc.o.d"
+  "libgssr_frame.a"
+  "libgssr_frame.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gssr_frame.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

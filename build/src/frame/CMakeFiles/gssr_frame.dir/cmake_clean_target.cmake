@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgssr_frame.a"
+)

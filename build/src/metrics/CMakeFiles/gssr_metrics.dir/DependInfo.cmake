@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/perceptual.cc" "src/metrics/CMakeFiles/gssr_metrics.dir/perceptual.cc.o" "gcc" "src/metrics/CMakeFiles/gssr_metrics.dir/perceptual.cc.o.d"
+  "/root/repo/src/metrics/psnr.cc" "src/metrics/CMakeFiles/gssr_metrics.dir/psnr.cc.o" "gcc" "src/metrics/CMakeFiles/gssr_metrics.dir/psnr.cc.o.d"
+  "/root/repo/src/metrics/ssim.cc" "src/metrics/CMakeFiles/gssr_metrics.dir/ssim.cc.o" "gcc" "src/metrics/CMakeFiles/gssr_metrics.dir/ssim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/frame/CMakeFiles/gssr_frame.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gssr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

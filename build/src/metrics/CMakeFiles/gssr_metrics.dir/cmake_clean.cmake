@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gssr_metrics.dir/perceptual.cc.o"
+  "CMakeFiles/gssr_metrics.dir/perceptual.cc.o.d"
+  "CMakeFiles/gssr_metrics.dir/psnr.cc.o"
+  "CMakeFiles/gssr_metrics.dir/psnr.cc.o.d"
+  "CMakeFiles/gssr_metrics.dir/ssim.cc.o"
+  "CMakeFiles/gssr_metrics.dir/ssim.cc.o.d"
+  "libgssr_metrics.a"
+  "libgssr_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gssr_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gssr_net.dir/channel.cc.o"
+  "CMakeFiles/gssr_net.dir/channel.cc.o.d"
+  "libgssr_net.a"
+  "libgssr_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gssr_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

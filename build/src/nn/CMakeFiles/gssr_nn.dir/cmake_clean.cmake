@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gssr_nn.dir/layers.cc.o"
+  "CMakeFiles/gssr_nn.dir/layers.cc.o.d"
+  "CMakeFiles/gssr_nn.dir/optimizer.cc.o"
+  "CMakeFiles/gssr_nn.dir/optimizer.cc.o.d"
+  "libgssr_nn.a"
+  "libgssr_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gssr_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gssr_pipeline.dir/client.cc.o"
+  "CMakeFiles/gssr_pipeline.dir/client.cc.o.d"
+  "CMakeFiles/gssr_pipeline.dir/server.cc.o"
+  "CMakeFiles/gssr_pipeline.dir/server.cc.o.d"
+  "CMakeFiles/gssr_pipeline.dir/session.cc.o"
+  "CMakeFiles/gssr_pipeline.dir/session.cc.o.d"
+  "CMakeFiles/gssr_pipeline.dir/trace.cc.o"
+  "CMakeFiles/gssr_pipeline.dir/trace.cc.o.d"
+  "libgssr_pipeline.a"
+  "libgssr_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gssr_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

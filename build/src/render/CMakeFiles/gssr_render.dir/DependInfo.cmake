@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/render/games.cc" "src/render/CMakeFiles/gssr_render.dir/games.cc.o" "gcc" "src/render/CMakeFiles/gssr_render.dir/games.cc.o.d"
+  "/root/repo/src/render/mesh.cc" "src/render/CMakeFiles/gssr_render.dir/mesh.cc.o" "gcc" "src/render/CMakeFiles/gssr_render.dir/mesh.cc.o.d"
+  "/root/repo/src/render/rasterizer.cc" "src/render/CMakeFiles/gssr_render.dir/rasterizer.cc.o" "gcc" "src/render/CMakeFiles/gssr_render.dir/rasterizer.cc.o.d"
+  "/root/repo/src/render/stereo.cc" "src/render/CMakeFiles/gssr_render.dir/stereo.cc.o" "gcc" "src/render/CMakeFiles/gssr_render.dir/stereo.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/frame/CMakeFiles/gssr_frame.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gssr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

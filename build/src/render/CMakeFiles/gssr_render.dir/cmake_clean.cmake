@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gssr_render.dir/games.cc.o"
+  "CMakeFiles/gssr_render.dir/games.cc.o.d"
+  "CMakeFiles/gssr_render.dir/mesh.cc.o"
+  "CMakeFiles/gssr_render.dir/mesh.cc.o.d"
+  "CMakeFiles/gssr_render.dir/rasterizer.cc.o"
+  "CMakeFiles/gssr_render.dir/rasterizer.cc.o.d"
+  "CMakeFiles/gssr_render.dir/stereo.cc.o"
+  "CMakeFiles/gssr_render.dir/stereo.cc.o.d"
+  "libgssr_render.a"
+  "libgssr_render.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gssr_render.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

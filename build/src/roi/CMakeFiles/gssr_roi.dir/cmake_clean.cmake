@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gssr_roi.dir/depth_processing.cc.o"
+  "CMakeFiles/gssr_roi.dir/depth_processing.cc.o.d"
+  "CMakeFiles/gssr_roi.dir/foveal.cc.o"
+  "CMakeFiles/gssr_roi.dir/foveal.cc.o.d"
+  "CMakeFiles/gssr_roi.dir/gaze.cc.o"
+  "CMakeFiles/gssr_roi.dir/gaze.cc.o.d"
+  "CMakeFiles/gssr_roi.dir/roi_detector.cc.o"
+  "CMakeFiles/gssr_roi.dir/roi_detector.cc.o.d"
+  "CMakeFiles/gssr_roi.dir/roi_search.cc.o"
+  "CMakeFiles/gssr_roi.dir/roi_search.cc.o.d"
+  "libgssr_roi.a"
+  "libgssr_roi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gssr_roi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

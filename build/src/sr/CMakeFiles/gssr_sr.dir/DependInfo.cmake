@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sr/edsr.cc" "src/sr/CMakeFiles/gssr_sr.dir/edsr.cc.o" "gcc" "src/sr/CMakeFiles/gssr_sr.dir/edsr.cc.o.d"
+  "/root/repo/src/sr/fsrcnn.cc" "src/sr/CMakeFiles/gssr_sr.dir/fsrcnn.cc.o" "gcc" "src/sr/CMakeFiles/gssr_sr.dir/fsrcnn.cc.o.d"
+  "/root/repo/src/sr/interpolate.cc" "src/sr/CMakeFiles/gssr_sr.dir/interpolate.cc.o" "gcc" "src/sr/CMakeFiles/gssr_sr.dir/interpolate.cc.o.d"
+  "/root/repo/src/sr/srcnn.cc" "src/sr/CMakeFiles/gssr_sr.dir/srcnn.cc.o" "gcc" "src/sr/CMakeFiles/gssr_sr.dir/srcnn.cc.o.d"
+  "/root/repo/src/sr/trainer.cc" "src/sr/CMakeFiles/gssr_sr.dir/trainer.cc.o" "gcc" "src/sr/CMakeFiles/gssr_sr.dir/trainer.cc.o.d"
+  "/root/repo/src/sr/upscaler.cc" "src/sr/CMakeFiles/gssr_sr.dir/upscaler.cc.o" "gcc" "src/sr/CMakeFiles/gssr_sr.dir/upscaler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/codec/CMakeFiles/gssr_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/gssr_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/render/CMakeFiles/gssr_render.dir/DependInfo.cmake"
+  "/root/repo/build/src/frame/CMakeFiles/gssr_frame.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gssr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gssr_sr.dir/edsr.cc.o"
+  "CMakeFiles/gssr_sr.dir/edsr.cc.o.d"
+  "CMakeFiles/gssr_sr.dir/fsrcnn.cc.o"
+  "CMakeFiles/gssr_sr.dir/fsrcnn.cc.o.d"
+  "CMakeFiles/gssr_sr.dir/interpolate.cc.o"
+  "CMakeFiles/gssr_sr.dir/interpolate.cc.o.d"
+  "CMakeFiles/gssr_sr.dir/srcnn.cc.o"
+  "CMakeFiles/gssr_sr.dir/srcnn.cc.o.d"
+  "CMakeFiles/gssr_sr.dir/trainer.cc.o"
+  "CMakeFiles/gssr_sr.dir/trainer.cc.o.d"
+  "CMakeFiles/gssr_sr.dir/upscaler.cc.o"
+  "CMakeFiles/gssr_sr.dir/upscaler.cc.o.d"
+  "libgssr_sr.a"
+  "libgssr_sr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gssr_sr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_roi.dir/test_roi.cc.o"
+  "CMakeFiles/test_roi.dir/test_roi.cc.o.d"
+  "test_roi"
+  "test_roi.pdb"
+  "test_roi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_roi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

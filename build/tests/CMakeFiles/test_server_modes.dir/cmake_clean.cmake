@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_server_modes.dir/test_server_modes.cc.o"
+  "CMakeFiles/test_server_modes.dir/test_server_modes.cc.o.d"
+  "test_server_modes"
+  "test_server_modes.pdb"
+  "test_server_modes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_server_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

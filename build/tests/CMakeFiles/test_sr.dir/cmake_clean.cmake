@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sr.dir/test_sr.cc.o"
+  "CMakeFiles/test_sr.dir/test_sr.cc.o.d"
+  "test_sr"
+  "test_sr.pdb"
+  "test_sr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
