@@ -1,22 +1,47 @@
 /**
  * @file
- * Host-side microbenchmarks (google-benchmark) of the library's
- * computational kernels: rasterization, transform coding, motion
- * estimation, RoI detection, interpolation and CNN inference. These
- * measure *this host's* throughput (the simulated device timings in
- * the figure benches come from the device models instead).
+ * Host-side microbenchmarks of the library's computational kernels.
+ *
+ * Two parts:
+ *  1. A thread-scaling sweep of the parallelized hot kernels (conv2d,
+ *     motion search, plane transform coding, SSIM/PSNR, RoI depth
+ *     preprocessing and search) over GSSR_THREADS ∈ {1, 2, 4, N}.
+ *     Prints a scaling table, asserts the outputs are byte-identical
+ *     across thread counts, and writes machine-readable
+ *     BENCH_parallel.json. Disable with --no-sweep.
+ *  2. The original google-benchmark microbenches (rasterization,
+ *     transform coding, motion estimation, RoI detection,
+ *     interpolation and CNN inference). These measure *this host's*
+ *     throughput (the simulated device timings in the figure benches
+ *     come from the device models instead).
  */
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
 #include "codec/codec.hh"
 #include "codec/dct.hh"
+#include "codec/motion.hh"
+#include "codec/plane_coder.hh"
+#include "common/parallel.hh"
+#include "frame/depth_map.hh"
 #include "frame/downsample.hh"
 #include "metrics/psnr.hh"
+#include "metrics/ssim.hh"
 #include "nn/layers.hh"
 #include "render/games.hh"
 #include "render/rasterizer.hh"
+#include "roi/depth_processing.hh"
 #include "roi/roi_detector.hh"
+#include "roi/roi_search.hh"
 #include "sr/interpolate.hh"
 #include "sr/srcnn.hh"
 
@@ -159,7 +184,301 @@ BM_PsnrFullFrame(benchmark::State &state)
 }
 BENCHMARK(BM_PsnrFullFrame)->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------------
+// Thread-scaling sweep of the parallelized kernels.
+// ---------------------------------------------------------------------
+
+/** FNV-1a over raw bytes: fingerprints kernel outputs so the sweep can
+ * assert bit-exactness across thread counts. */
+u64
+fnv1a(const void *data, size_t bytes, u64 hash = 1469598103934665603ull)
+{
+    const u8 *p = static_cast<const u8 *>(data);
+    for (size_t i = 0; i < bytes; ++i) {
+        hash ^= p[i];
+        hash *= 1099511628211ull;
+    }
+    return hash;
+}
+
+template <typename T>
+u64
+fnv1aVec(const std::vector<T> &v, u64 hash = 1469598103934665603ull)
+{
+    return fnv1a(v.data(), v.size() * sizeof(T), hash);
+}
+
+/** One sweep kernel: runs once, returns an output fingerprint. */
+struct SweepKernel
+{
+    const char *name;
+    std::function<u64()> run;
+};
+
+PlaneU8
+randomPlaneU8(int w, int h, u64 seed)
+{
+    Rng rng(seed);
+    PlaneU8 p(w, h);
+    for (auto &v : p.data())
+        v = u8(rng.uniformInt(0, 255));
+    return p;
+}
+
+PlaneF32
+randomPlaneF32(int w, int h, u64 seed, f64 lo, f64 hi)
+{
+    Rng rng(seed);
+    PlaneF32 p(w, h);
+    for (auto &v : p.data())
+        v = f32(rng.uniform(lo, hi));
+    return p;
+}
+
+std::vector<SweepKernel>
+makeSweepKernels()
+{
+    std::vector<SweepKernel> kernels;
+
+    kernels.push_back({"conv2d_forward", [] {
+        Rng rng(2);
+        Conv2d conv(14, 14, 3);
+        conv.initHe(rng);
+        Tensor input(14, 96, 96);
+        for (size_t i = 0; i < input.data().size(); ++i)
+            input.data()[i] = f32((i * 2654435761u % 1000) / 1000.0);
+        Tensor out = conv.forward(input);
+        return fnv1aVec(out.data());
+    }});
+
+    kernels.push_back({"conv2d_backward", [] {
+        Rng rng(3);
+        Conv2d conv(14, 14, 3);
+        conv.initHe(rng);
+        Tensor input(14, 96, 96);
+        Tensor go(14, 96, 96);
+        for (size_t i = 0; i < input.data().size(); ++i) {
+            input.data()[i] = f32((i * 2654435761u % 1000) / 1000.0);
+            go.data()[i] = f32((i % 17) - 8) / 8.0f;
+        }
+        Tensor gin = conv.backward(input, go);
+        u64 h = fnv1aVec(gin.data());
+        for (const ParamRef &p : conv.params())
+            h = fnv1aVec(*p.grads, h);
+        return h;
+    }});
+
+    kernels.push_back({"motion_search", [] {
+        PlaneU8 ref = randomPlaneU8(320, 180, 11);
+        // Correlated current frame: reference shifted by (3, 2) so
+        // the three-step search does real work.
+        PlaneU8 cur(320, 180);
+        for (int y = 0; y < 180; ++y)
+            for (int x = 0; x < 320; ++x)
+                cur.at(x, y) = ref.atClamped(x + 3, y + 2);
+        MvField mv = estimateMotion(ref, cur, 16, 7);
+        return fnv1a(mv.vectors.data(),
+                     mv.vectors.size() * sizeof(MotionVector));
+    }});
+
+    kernels.push_back({"plane_dct_encode", [] {
+        PlaneF32 plane = randomPlaneF32(320, 180, 13, -64.0, 64.0);
+        ByteWriter writer;
+        PlaneF32 recon = encodePlane(plane, 8, writer);
+        u64 h = fnv1aVec(writer.bytes());
+        return fnv1aVec(recon.data(), h);
+    }});
+
+    kernels.push_back({"ssim", [] {
+        PlaneU8 a = randomPlaneU8(320, 180, 17);
+        PlaneU8 b = randomPlaneU8(320, 180, 19);
+        f64 v = ssim(a, b);
+        return fnv1a(&v, sizeof(v));
+    }});
+
+    kernels.push_back({"psnr", [] {
+        PlaneU8 a = randomPlaneU8(640, 360, 23);
+        PlaneU8 b = randomPlaneU8(640, 360, 29);
+        f64 v = psnr(a, b);
+        return fnv1a(&v, sizeof(v));
+    }});
+
+    kernels.push_back({"depth_preprocess", [] {
+        // Foreground blob at 0.2 over a 0.9 background: exercises the
+        // histogram, valley threshold, weighting and layering passes.
+        PlaneF32 depth(640, 360, 0.9f);
+        for (int y = 120; y < 240; ++y)
+            for (int x = 220; x < 420; ++x)
+                depth.at(x, y) = 0.2f;
+        DepthPreprocessResult r =
+            preprocessDepthMap(DepthMap(depth), {});
+        u64 h = fnv1aVec(r.processed.data());
+        return fnv1aVec(r.layer_scores, h);
+    }});
+
+    kernels.push_back({"roi_search", [] {
+        PlaneF32 map = randomPlaneF32(640, 360, 31, 0.0, 1.0);
+        RoiSearchConfig config;
+        config.window_width = 150;
+        config.window_height = 150;
+        config.mode = RoiSearchMode::Exhaustive;
+        RoiSearchResult r = searchRoi(map, config);
+        u64 h = fnv1a(&r.roi, sizeof(r.roi));
+        return fnv1a(&r.score, sizeof(r.score), h);
+    }});
+
+    return kernels;
+}
+
+/** Median-of-reps wall time of @p fn in milliseconds. */
+template <typename Fn>
+f64
+timeMs(Fn &&fn, int reps)
+{
+    std::vector<f64> times;
+    times.reserve(size_t(reps));
+    for (int r = 0; r < reps; ++r) {
+        auto t0 = std::chrono::steady_clock::now();
+        fn();
+        auto t1 = std::chrono::steady_clock::now();
+        times.push_back(
+            std::chrono::duration<f64, std::milli>(t1 - t0).count());
+    }
+    std::sort(times.begin(), times.end());
+    return times[times.size() / 2];
+}
+
+/**
+ * Sweep every parallel kernel over thread counts {1, 2, 4, N},
+ * print the scaling table, assert byte-identical outputs across
+ * counts, and write BENCH_parallel.json.
+ */
+int
+runParallelSweep(const char *json_path)
+{
+    const int host_threads =
+        std::max(1u, std::thread::hardware_concurrency());
+    std::vector<int> counts = {1, 2, 4, host_threads};
+    std::sort(counts.begin(), counts.end());
+    counts.erase(std::unique(counts.begin(), counts.end()),
+                 counts.end());
+
+    std::vector<SweepKernel> kernels = makeSweepKernels();
+
+    std::printf("Parallel kernel scaling sweep (host threads: %d)\n",
+                host_threads);
+    std::printf("%-18s", "kernel");
+    for (int t : counts)
+        std::printf("  t=%-2d ms ", t);
+    std::printf("  speedup@4  bit-exact\n");
+
+    struct Row
+    {
+        std::string name;
+        std::vector<f64> times_ms;
+        f64 speedup_at_4 = 0.0;
+        bool identical = true;
+    };
+    std::vector<Row> rows;
+    int mismatches = 0;
+
+    for (const SweepKernel &k : kernels) {
+        Row row;
+        row.name = k.name;
+        u64 reference_hash = 0;
+        for (size_t ti = 0; ti < counts.size(); ++ti) {
+            setParallelThreadCount(counts[ti]);
+            u64 hash = k.run(); // warm-up + fingerprint
+            if (ti == 0)
+                reference_hash = hash;
+            else if (hash != reference_hash)
+                row.identical = false;
+            row.times_ms.push_back(timeMs(k.run, 3));
+        }
+        f64 t1 = row.times_ms[0];
+        for (size_t ti = 0; ti < counts.size(); ++ti) {
+            if (counts[ti] == 4 ||
+                (counts[ti] == host_threads && host_threads < 4)) {
+                row.speedup_at_4 = t1 / row.times_ms[ti];
+            }
+        }
+        std::printf("%-18s", row.name.c_str());
+        for (f64 ms : row.times_ms)
+            std::printf("  %7.2f ", ms);
+        std::printf("  %8.2fx  %s\n", row.speedup_at_4,
+                    row.identical ? "yes" : "NO");
+        if (!row.identical)
+            ++mismatches;
+        rows.push_back(std::move(row));
+    }
+    setParallelThreadCount(host_threads);
+
+    if (json_path != nullptr) {
+        std::FILE *f = std::fopen(json_path, "w");
+        if (f == nullptr) {
+            std::fprintf(stderr, "cannot write %s\n", json_path);
+        } else {
+            std::fprintf(f, "{\n  \"host_threads\": %d,\n",
+                         host_threads);
+            std::fprintf(f, "  \"thread_counts\": [");
+            for (size_t i = 0; i < counts.size(); ++i)
+                std::fprintf(f, "%s%d", i ? ", " : "", counts[i]);
+            std::fprintf(f, "],\n  \"kernels\": [\n");
+            for (size_t r = 0; r < rows.size(); ++r) {
+                std::fprintf(f,
+                             "    {\"name\": \"%s\", \"times_ms\": [",
+                             rows[r].name.c_str());
+                for (size_t i = 0; i < rows[r].times_ms.size(); ++i)
+                    std::fprintf(f, "%s%.4f", i ? ", " : "",
+                                 rows[r].times_ms[i]);
+                std::fprintf(
+                    f,
+                    "], \"speedup_at_4\": %.4f, "
+                    "\"bit_exact\": %s}%s\n",
+                    rows[r].speedup_at_4,
+                    rows[r].identical ? "true" : "false",
+                    r + 1 < rows.size() ? "," : "");
+            }
+            std::fprintf(f, "  ]\n}\n");
+            std::fclose(f);
+            std::printf("wrote %s\n", json_path);
+        }
+    }
+
+    if (mismatches > 0) {
+        std::fprintf(stderr,
+                     "ERROR: %d kernel(s) produced thread-count-"
+                     "dependent output\n",
+                     mismatches);
+    }
+    return mismatches;
+}
+
 } // namespace
 } // namespace gssr
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    bool sweep = true;
+    std::vector<char *> passthrough;
+    passthrough.push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--no-sweep") == 0)
+            sweep = false;
+        else
+            passthrough.push_back(argv[i]);
+    }
+    int sweep_errors = 0;
+    if (sweep)
+        sweep_errors = gssr::runParallelSweep("BENCH_parallel.json");
+
+    int pargc = int(passthrough.size());
+    benchmark::Initialize(&pargc, passthrough.data());
+    if (benchmark::ReportUnrecognizedArguments(pargc,
+                                               passthrough.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return sweep_errors > 0 ? 1 : 0;
+}

@@ -10,10 +10,16 @@ namespace gssr
 namespace
 {
 
-/** Precomputed orthonormal DCT-II basis: basis[k][n]. */
+/**
+ * Precomputed orthonormal DCT-II basis (basis[k][n]) and the
+ * per-coefficient quantization frequency weights (quant_weight[v*8+u],
+ * a flat 1..~2.9 ramp along the zigzag diagonal so low frequencies
+ * get finer steps).
+ */
 struct DctTables
 {
     f32 basis[8][8];
+    f32 quant_weight[64];
 
     DctTables()
     {
@@ -26,6 +32,9 @@ struct DctTables
                     std::cos(M_PI * (2.0 * n + 1.0) * k / 16.0));
             }
         }
+        for (int v = 0; v < 8; ++v)
+            for (int u = 0; u < 8; ++u)
+                quant_weight[v * 8 + u] = 1.0f + 0.14f * f32(u + v);
     }
 };
 
@@ -34,16 +43,6 @@ tables()
 {
     static const DctTables t;
     return t;
-}
-
-/**
- * Frequency weighting for quantization steps; low frequencies get
- * finer steps. Flat 1..~2.9 ramp along the zigzag diagonal.
- */
-f32
-quantWeight(int u, int v)
-{
-    return 1.0f + 0.14f * f32(u + v);
 }
 
 } // namespace
@@ -103,13 +102,11 @@ QuantBlock
 quantize(const Block8x8 &coefficients, int qp)
 {
     GSSR_ASSERT(qp >= 1, "qp must be positive");
+    const auto &t = tables();
     QuantBlock out{};
-    for (int v = 0; v < 8; ++v) {
-        for (int u = 0; u < 8; ++u) {
-            f32 step = f32(qp) * quantWeight(u, v);
-            f32 c = coefficients[size_t(v * 8 + u)];
-            out[size_t(v * 8 + u)] = i32(std::lround(c / step));
-        }
+    for (int i = 0; i < 64; ++i) {
+        f32 step = f32(qp) * t.quant_weight[i];
+        out[size_t(i)] = i32(std::lround(coefficients[size_t(i)] / step));
     }
     return out;
 }
@@ -118,13 +115,11 @@ Block8x8
 dequantize(const QuantBlock &levels, int qp)
 {
     GSSR_ASSERT(qp >= 1, "qp must be positive");
+    const auto &t = tables();
     Block8x8 out{};
-    for (int v = 0; v < 8; ++v) {
-        for (int u = 0; u < 8; ++u) {
-            f32 step = f32(qp) * quantWeight(u, v);
-            out[size_t(v * 8 + u)] =
-                f32(levels[size_t(v * 8 + u)]) * step;
-        }
+    for (int i = 0; i < 64; ++i) {
+        f32 step = f32(qp) * t.quant_weight[i];
+        out[size_t(i)] = f32(levels[size_t(i)]) * step;
     }
     return out;
 }

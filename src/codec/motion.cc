@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "common/mathutil.hh"
+#include "common/parallel.hh"
 
 namespace gssr
 {
@@ -49,7 +50,10 @@ estimateMotion(const PlaneU8 &reference, const PlaneU8 &current,
     field.blocks_y = (current.height() + block_size - 1) / block_size;
     field.vectors.resize(size_t(field.blocks_x) * size_t(field.blocks_y));
 
-    for (int by = 0; by < field.blocks_y; ++by) {
+    // Each block's search is independent and writes only its own
+    // vector, so block rows parallelize with bit-exact results.
+    parallelFor(0, field.blocks_y, 1, [&](i64 by_begin, i64 by_end) {
+    for (int by = int(by_begin); by < int(by_end); ++by) {
         for (int bx = 0; bx < field.blocks_x; ++bx) {
             int x = bx * block_size;
             int y = by * block_size;
@@ -98,6 +102,7 @@ estimateMotion(const PlaneU8 &reference, const PlaneU8 &current,
             field.at(bx, by) = {i16(best_dx), i16(best_dy)};
         }
     }
+    });
     return field;
 }
 
@@ -109,15 +114,17 @@ void
 compensatePlane(const PlaneU8 &ref, PlaneU8 &out, const MvField &mv,
                 int block_size, int shift)
 {
-    for (int y = 0; y < out.height(); ++y) {
-        int by = clamp(y / block_size, 0, mv.blocks_y - 1);
-        for (int x = 0; x < out.width(); ++x) {
-            int bx = clamp(x / block_size, 0, mv.blocks_x - 1);
-            const MotionVector &v = mv.at(bx, by);
-            out.at(x, y) =
-                ref.atClamped(x + (v.dx >> shift), y + (v.dy >> shift));
+    parallelFor(0, out.height(), 16, [&](i64 y_begin, i64 y_end) {
+        for (int y = int(y_begin); y < int(y_end); ++y) {
+            int by = clamp(y / block_size, 0, mv.blocks_y - 1);
+            for (int x = 0; x < out.width(); ++x) {
+                int bx = clamp(x / block_size, 0, mv.blocks_x - 1);
+                const MotionVector &v = mv.at(bx, by);
+                out.at(x, y) = ref.atClamped(x + (v.dx >> shift),
+                                             y + (v.dy >> shift));
+            }
         }
-    }
+    });
 }
 
 } // namespace

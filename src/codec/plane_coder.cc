@@ -1,7 +1,10 @@
 #include "codec/plane_coder.hh"
 
+#include <vector>
+
 #include "codec/dct.hh"
 #include "common/mathutil.hh"
+#include "common/parallel.hh"
 
 namespace gssr
 {
@@ -101,42 +104,67 @@ blockInRoi(int bx, int by, const Rect &roi)
     return roi.contains(bx * 8 + 4, by * 8 + 4);
 }
 
-/** Shared block-loop for uniform and RoI-weighted coding. */
+/** Blocks per parallel transform chunk. */
+constexpr i64 kBlockGrain = 8;
+
+/**
+ * Shared block-loop for uniform and RoI-weighted coding. The
+ * DCT/quantize/reconstruct transform work parallelizes over blocks
+ * (each block owns a disjoint recon region); the entropy coder then
+ * serializes the quantized blocks in raster order, so the bitstream is
+ * byte-identical at any thread count.
+ */
 template <typename QpOf>
 PlaneF32
 encodeBlocks(const PlaneF32 &plane, ByteWriter &writer, QpOf qp_of)
 {
-    int blocks_x = int(ceilDiv(plane.width(), 8));
-    int blocks_y = int(ceilDiv(plane.height(), 8));
+    const int blocks_x = int(ceilDiv(plane.width(), 8));
+    const int blocks_y = int(ceilDiv(plane.height(), 8));
+    const i64 n_blocks = i64(blocks_x) * blocks_y;
     PlaneF32 recon(plane.width(), plane.height());
-    for (int by = 0; by < blocks_y; ++by) {
-        for (int bx = 0; bx < blocks_x; ++bx) {
+    std::vector<QuantBlock> levels(static_cast<size_t>(n_blocks));
+    parallelFor(0, n_blocks, kBlockGrain, [&](i64 begin, i64 end) {
+        for (i64 i = begin; i < end; ++i) {
+            int bx = int(i % blocks_x);
+            int by = int(i / blocks_x);
             int qp = qp_of(bx, by);
             Block8x8 spatial = extractBlock(plane, bx, by);
-            QuantBlock levels = quantize(forwardDct8x8(spatial), qp);
-            writeBlock(levels, writer);
-            Block8x8 rec = inverseDct8x8(dequantize(levels, qp));
+            levels[size_t(i)] = quantize(forwardDct8x8(spatial), qp);
+            Block8x8 rec =
+                inverseDct8x8(dequantize(levels[size_t(i)], qp));
             depositBlock(recon, rec, bx, by);
         }
-    }
+    });
+    for (i64 i = 0; i < n_blocks; ++i)
+        writeBlock(levels[size_t(i)], writer);
     return recon;
 }
 
+/**
+ * Inverse of encodeBlocks: the varint bitstream parses serially (each
+ * block's start depends on the previous block's bytes), then the
+ * dequantize/inverse-DCT reconstruction parallelizes over blocks.
+ */
 template <typename QpOf>
 PlaneF32
 decodeBlocks(Size size, ByteReader &reader, QpOf qp_of)
 {
-    int blocks_x = int(ceilDiv(size.width, 8));
-    int blocks_y = int(ceilDiv(size.height, 8));
+    const int blocks_x = int(ceilDiv(size.width, 8));
+    const int blocks_y = int(ceilDiv(size.height, 8));
+    const i64 n_blocks = i64(blocks_x) * blocks_y;
+    std::vector<QuantBlock> levels(static_cast<size_t>(n_blocks));
+    for (i64 i = 0; i < n_blocks; ++i)
+        levels[size_t(i)] = readBlock(reader);
     PlaneF32 out(size.width, size.height);
-    for (int by = 0; by < blocks_y; ++by) {
-        for (int bx = 0; bx < blocks_x; ++bx) {
-            QuantBlock levels = readBlock(reader);
-            Block8x8 rec =
-                inverseDct8x8(dequantize(levels, qp_of(bx, by)));
+    parallelFor(0, n_blocks, kBlockGrain, [&](i64 begin, i64 end) {
+        for (i64 i = begin; i < end; ++i) {
+            int bx = int(i % blocks_x);
+            int by = int(i / blocks_x);
+            Block8x8 rec = inverseDct8x8(
+                dequantize(levels[size_t(i)], qp_of(bx, by)));
             depositBlock(out, rec, bx, by);
         }
-    }
+    });
     return out;
 }
 

@@ -1,0 +1,244 @@
+#include "common/parallel.hh"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+namespace gssr
+{
+
+namespace
+{
+
+/**
+ * Set while the current thread executes chunks of a parallel region
+ * (pool workers and the submitting thread alike). Nested parallelFor
+ * calls observe it and run inline.
+ */
+thread_local bool tls_in_parallel_region = false;
+
+/** One parallelFor invocation: a bag of chunks claimed dynamically. */
+struct Job
+{
+    i64 chunk_count = 0;
+    const std::function<void(i64)> *chunk_body = nullptr;
+    std::atomic<i64> next_chunk{0};
+    std::atomic<i64> completed{0};
+    bool done = false;           // guarded by ThreadPool::mutex_
+    i64 error_chunk = -1;        // guarded by ThreadPool::mutex_
+    std::exception_ptr error;    // guarded by ThreadPool::mutex_
+};
+
+/**
+ * Persistent worker pool executing one Job at a time. The submitting
+ * thread participates in chunk execution, so a pool of N threads runs
+ * N-1 helper workers.
+ */
+class ThreadPool
+{
+  public:
+    static ThreadPool &
+    instance()
+    {
+        static ThreadPool pool;
+        return pool;
+    }
+
+    int threadCount() const { return threads_.load(); }
+
+    void
+    resize(int threads)
+    {
+        GSSR_ASSERT(threads >= 1, "thread count must be >= 1");
+        GSSR_ASSERT(!tls_in_parallel_region,
+                    "cannot resize the pool from a parallel region");
+        std::lock_guard<std::mutex> submit_lock(submit_mutex_);
+        if (threads == threads_.load())
+            return;
+        stopWorkers();
+        threads_.store(threads);
+        startWorkers();
+    }
+
+    /** Execute @p chunk_body(c) for every c in [0, chunk_count). */
+    void
+    run(i64 chunk_count, const std::function<void(i64)> &chunk_body)
+    {
+        // One job at a time; concurrent submissions from distinct
+        // user threads serialize here.
+        std::lock_guard<std::mutex> submit_lock(submit_mutex_);
+        auto job = std::make_shared<Job>();
+        job->chunk_count = chunk_count;
+        job->chunk_body = &chunk_body;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            job_ = job;
+            ++generation_;
+        }
+        cv_work_.notify_all();
+
+        // The caller works too (flagged so nested calls run inline).
+        bool saved = tls_in_parallel_region;
+        tls_in_parallel_region = true;
+        executeChunks(*job);
+        tls_in_parallel_region = saved;
+
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_done_.wait(lock, [&] { return job->done; });
+            job_ = nullptr;
+        }
+        if (job->error)
+            std::rethrow_exception(job->error);
+    }
+
+  private:
+    ThreadPool()
+    {
+        int n = int(std::thread::hardware_concurrency());
+        if (n < 1)
+            n = 1;
+        if (const char *env = std::getenv("GSSR_THREADS")) {
+            char *end = nullptr;
+            long v = std::strtol(env, &end, 10);
+            if (env[0] != '\0' && end != nullptr && *end == '\0' &&
+                v >= 1 && v <= 4096) {
+                n = int(v);
+            } else {
+                warn("ignoring invalid GSSR_THREADS value \"", env,
+                     "\"; using ", n, " threads");
+            }
+        }
+        threads_.store(n);
+        startWorkers();
+    }
+
+    ~ThreadPool() { stopWorkers(); }
+
+    void
+    startWorkers()
+    {
+        stop_ = false;
+        int helpers = threads_.load() - 1;
+        workers_.reserve(size_t(helpers));
+        for (int i = 0; i < helpers; ++i)
+            workers_.emplace_back([this] { workerLoop(); });
+    }
+
+    void
+    stopWorkers()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            stop_ = true;
+        }
+        cv_work_.notify_all();
+        for (auto &w : workers_)
+            w.join();
+        workers_.clear();
+    }
+
+    void
+    workerLoop()
+    {
+        tls_in_parallel_region = true;
+        u64 seen_generation = 0;
+        while (true) {
+            std::shared_ptr<Job> job;
+            {
+                std::unique_lock<std::mutex> lock(mutex_);
+                cv_work_.wait(lock, [&] {
+                    return stop_ || generation_ != seen_generation;
+                });
+                if (stop_)
+                    return;
+                seen_generation = generation_;
+                job = job_;
+            }
+            if (job)
+                executeChunks(*job);
+        }
+    }
+
+    void
+    executeChunks(Job &job)
+    {
+        while (true) {
+            i64 c = job.next_chunk.fetch_add(1,
+                                             std::memory_order_relaxed);
+            if (c >= job.chunk_count)
+                return;
+            try {
+                (*job.chunk_body)(c);
+            } catch (...) {
+                // Keep the exception of the lowest chunk index so the
+                // error surfaced is independent of scheduling.
+                std::lock_guard<std::mutex> lock(mutex_);
+                if (job.error_chunk < 0 || c < job.error_chunk) {
+                    job.error_chunk = c;
+                    job.error = std::current_exception();
+                }
+            }
+            i64 finished =
+                job.completed.fetch_add(1, std::memory_order_acq_rel) +
+                1;
+            if (finished == job.chunk_count) {
+                std::lock_guard<std::mutex> lock(mutex_);
+                job.done = true;
+                cv_done_.notify_all();
+            }
+        }
+    }
+
+    std::mutex submit_mutex_;
+    std::mutex mutex_;
+    std::condition_variable cv_work_;
+    std::condition_variable cv_done_;
+    std::vector<std::thread> workers_;
+    std::shared_ptr<Job> job_;   // guarded by mutex_
+    u64 generation_ = 0;         // guarded by mutex_
+    bool stop_ = false;          // guarded by mutex_
+    std::atomic<int> threads_{1};
+};
+
+} // namespace
+
+int
+parallelThreadCount()
+{
+    return ThreadPool::instance().threadCount();
+}
+
+void
+setParallelThreadCount(int threads)
+{
+    ThreadPool::instance().resize(threads);
+}
+
+void
+parallelFor(i64 begin, i64 end, i64 grain,
+            const std::function<void(i64, i64)> &body)
+{
+    const i64 chunks = parallelChunkCount(begin, end, grain);
+    if (chunks == 0)
+        return;
+    auto chunk_body = [&](i64 c) {
+        i64 b = begin + c * grain;
+        i64 e = std::min(end, b + grain);
+        body(b, e);
+    };
+    ThreadPool &pool = ThreadPool::instance();
+    if (tls_in_parallel_region || chunks == 1 ||
+        pool.threadCount() == 1) {
+        for (i64 c = 0; c < chunks; ++c)
+            chunk_body(c);
+        return;
+    }
+    pool.run(chunks, chunk_body);
+}
+
+} // namespace gssr

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Deterministic data-parallel execution layer.
+ *
+ * A lazily-initialized global thread pool (sized by the GSSR_THREADS
+ * environment variable, default hardware_concurrency, 1 forces fully
+ * serial execution) exposes parallelFor / parallelReduce over index
+ * ranges. Chunk boundaries depend only on (begin, end, grain) — never
+ * on the thread count — and reductions merge per-chunk partials in
+ * chunk-index order, so every result is bit-exact regardless of how
+ * many threads execute it. Workers claim chunks dynamically; since
+ * each chunk writes a disjoint output range (parallelFor) or its own
+ * partial slot (parallelReduce), claim order cannot perturb results.
+ *
+ * Nested calls from inside a parallel region run inline (serially) on
+ * the calling worker, so library code may parallelize freely without
+ * worrying about composition or pool deadlock.
+ */
+
+#ifndef GSSR_COMMON_PARALLEL_HH
+#define GSSR_COMMON_PARALLEL_HH
+
+#include <algorithm>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace gssr
+{
+
+/**
+ * Number of threads the pool currently uses (>= 1; 1 means serial).
+ * The first call initializes the pool from GSSR_THREADS.
+ */
+int parallelThreadCount();
+
+/**
+ * Resize the global pool to exactly @p threads (>= 1; 1 forces serial
+ * execution). Must not be called from inside a parallel region.
+ * Intended for benchmarks/tests that sweep thread counts; production
+ * code configures the pool once via GSSR_THREADS.
+ */
+void setParallelThreadCount(int threads);
+
+/** Number of chunks parallelFor splits [begin, end) into at @p grain. */
+inline i64
+parallelChunkCount(i64 begin, i64 end, i64 grain)
+{
+    GSSR_ASSERT(grain >= 1, "parallel grain must be >= 1");
+    if (end <= begin)
+        return 0;
+    return (end - begin + grain - 1) / grain;
+}
+
+/**
+ * Run @p body(chunk_begin, chunk_end) over [begin, end) split into
+ * grain-sized chunks, distributed across the pool. The body must write
+ * only to the output range addressed by its chunk (no shared mutable
+ * state); under that contract results are bit-exact for any thread
+ * count. The first exception (by lowest chunk index) thrown by a body
+ * is rethrown on the calling thread after all chunks finish.
+ */
+void parallelFor(i64 begin, i64 end, i64 grain,
+                 const std::function<void(i64, i64)> &body);
+
+/**
+ * Deterministic parallel reduction: @p map(chunk_begin, chunk_end)
+ * produces one partial value per chunk, and partials are folded with
+ * @p combine(acc, partial) serially in chunk-index order. Because the
+ * chunk layout is fixed by (begin, end, grain) and the merge order is
+ * fixed by index, floating-point reductions give bit-identical results
+ * at every thread count (including 1).
+ */
+template <typename T, typename MapFn, typename CombineFn>
+T
+parallelReduce(i64 begin, i64 end, i64 grain, T identity, MapFn &&map,
+               CombineFn &&combine)
+{
+    const i64 chunks = parallelChunkCount(begin, end, grain);
+    if (chunks == 0)
+        return identity;
+    std::vector<T> partials(size_t(chunks), identity);
+    parallelFor(0, chunks, 1, [&](i64 cb, i64 ce) {
+        for (i64 c = cb; c < ce; ++c) {
+            i64 b = begin + c * grain;
+            i64 e = std::min(end, b + grain);
+            partials[size_t(c)] = map(b, e);
+        }
+    });
+    T acc = std::move(identity);
+    for (i64 c = 0; c < chunks; ++c)
+        acc = combine(std::move(acc), std::move(partials[size_t(c)]));
+    return acc;
+}
+
+} // namespace gssr
+
+#endif // GSSR_COMMON_PARALLEL_HH

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/logging.hh"
+#include "common/parallel.hh"
 
 namespace gssr
 {
@@ -13,13 +14,21 @@ meanSquaredError(const PlaneU8 &a, const PlaneU8 &b)
 {
     GSSR_ASSERT(a.size() == b.size(), "MSE of differently sized planes");
     GSSR_ASSERT(a.sampleCount() > 0, "MSE of empty planes");
-    f64 acc = 0.0;
     const auto &da = a.data();
     const auto &db = b.data();
-    for (size_t i = 0; i < da.size(); ++i) {
-        f64 diff = f64(da[i]) - f64(db[i]);
-        acc += diff * diff;
-    }
+    // Fixed-layout chunks merged in index order: bit-exact sum at any
+    // thread count.
+    f64 acc = parallelReduce(
+        0, a.sampleCount(), i64(1) << 15, 0.0,
+        [&](i64 begin, i64 end) {
+            f64 part = 0.0;
+            for (i64 i = begin; i < end; ++i) {
+                f64 diff = f64(da[size_t(i)]) - f64(db[size_t(i)]);
+                part += diff * diff;
+            }
+            return part;
+        },
+        [](f64 x, f64 y) { return x + y; });
     return acc / f64(a.sampleCount());
 }
 

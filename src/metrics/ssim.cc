@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "common/parallel.hh"
 
 namespace gssr
 {
@@ -15,47 +16,67 @@ constexpr int kWindowRadius = 5; // 11x11 window
 constexpr f64 kC1 = (0.01 * 255.0) * (0.01 * 255.0);
 constexpr f64 kC2 = (0.03 * 255.0) * (0.03 * 255.0);
 
-/** Normalized 11-tap Gaussian kernel, sigma = 1.5. */
-std::array<f64, 2 * kWindowRadius + 1>
+/** Samples per parallel chunk for elementwise/reduction passes. */
+constexpr i64 kSampleGrain = 1 << 14;
+
+using GaussKernel = std::array<f64, 2 * kWindowRadius + 1>;
+
+/**
+ * Shared normalized 11-tap Gaussian (sigma = 1.5), computed once for
+ * the whole process. Both blur passes and every window read this one
+ * table instead of rebuilding the weights, which also speeds up the
+ * serial path.
+ */
+const GaussKernel &
 gaussianKernel()
 {
-    std::array<f64, 2 * kWindowRadius + 1> k{};
-    f64 sum = 0.0;
-    for (int i = -kWindowRadius; i <= kWindowRadius; ++i) {
-        f64 w = std::exp(-f64(i * i) / (2.0 * 1.5 * 1.5));
-        k[size_t(i + kWindowRadius)] = w;
-        sum += w;
-    }
-    for (auto &w : k)
-        w /= sum;
-    return k;
+    static const GaussKernel table = [] {
+        GaussKernel k{};
+        f64 sum = 0.0;
+        for (int i = -kWindowRadius; i <= kWindowRadius; ++i) {
+            f64 w = std::exp(-f64(i * i) / (2.0 * 1.5 * 1.5));
+            k[size_t(i + kWindowRadius)] = w;
+            sum += w;
+        }
+        for (auto &w : k)
+            w /= sum;
+        return k;
+    }();
+    return table;
 }
 
-/** Separable Gaussian blur of an f64 plane with edge clamping. */
+/**
+ * Separable Gaussian blur of an f64 plane with edge clamping. Both
+ * passes parallelize over row bands (each row writes only itself).
+ */
 PlaneF64
 blur(const PlaneF64 &in)
 {
-    static const auto kernel = gaussianKernel();
+    const auto &kernel = gaussianKernel();
     PlaneF64 tmp(in.width(), in.height());
     PlaneF64 out(in.width(), in.height());
-    for (int y = 0; y < in.height(); ++y) {
-        for (int x = 0; x < in.width(); ++x) {
-            f64 acc = 0.0;
-            for (int i = -kWindowRadius; i <= kWindowRadius; ++i)
-                acc += kernel[size_t(i + kWindowRadius)] *
-                       in.atClamped(x + i, y);
-            tmp.at(x, y) = acc;
+    parallelFor(0, in.height(), 16, [&](i64 y_begin, i64 y_end) {
+        for (int y = int(y_begin); y < int(y_end); ++y) {
+            for (int x = 0; x < in.width(); ++x) {
+                f64 acc = 0.0;
+                for (int i = -kWindowRadius; i <= kWindowRadius; ++i)
+                    acc += kernel[size_t(i + kWindowRadius)] *
+                           in.atClamped(x + i, y);
+                tmp.at(x, y) = acc;
+            }
         }
-    }
-    for (int y = 0; y < in.height(); ++y) {
-        for (int x = 0; x < in.width(); ++x) {
-            f64 acc = 0.0;
-            for (int i = -kWindowRadius; i <= kWindowRadius; ++i)
-                acc += kernel[size_t(i + kWindowRadius)] *
-                       tmp.atClamped(x, y + i);
-            out.at(x, y) = acc;
+    });
+    parallelFor(0, in.height(), 16, [&](i64 y_begin, i64 y_end) {
+        for (int y = int(y_begin); y < int(y_end); ++y) {
+            for (int x = 0; x < in.width(); ++x) {
+                f64 acc = 0.0;
+                for (int i = -kWindowRadius; i <= kWindowRadius; ++i)
+                    acc += kernel[size_t(i + kWindowRadius)] *
+                           tmp.atClamped(x, y + i);
+                out.at(x, y) = acc;
+            }
         }
-    }
+    });
     return out;
 }
 
@@ -63,8 +84,11 @@ PlaneF64
 toF64(const PlaneU8 &in)
 {
     PlaneF64 out(in.width(), in.height());
-    for (i64 i = 0; i < in.sampleCount(); ++i)
-        out.data()[size_t(i)] = f64(in.data()[size_t(i)]);
+    parallelFor(0, in.sampleCount(), kSampleGrain,
+                [&](i64 begin, i64 end) {
+        for (i64 i = begin; i < end; ++i)
+            out.data()[size_t(i)] = f64(in.data()[size_t(i)]);
+    });
     return out;
 }
 
@@ -82,13 +106,16 @@ ssim(const PlaneU8 &a8, const PlaneU8 &b8)
     PlaneF64 a2(a.width(), a.height());
     PlaneF64 b2(a.width(), a.height());
     PlaneF64 ab(a.width(), a.height());
-    for (i64 i = 0; i < a.sampleCount(); ++i) {
-        f64 va = a.data()[size_t(i)];
-        f64 vb = b.data()[size_t(i)];
-        a2.data()[size_t(i)] = va * va;
-        b2.data()[size_t(i)] = vb * vb;
-        ab.data()[size_t(i)] = va * vb;
-    }
+    parallelFor(0, a.sampleCount(), kSampleGrain,
+                [&](i64 begin, i64 end) {
+        for (i64 i = begin; i < end; ++i) {
+            f64 va = a.data()[size_t(i)];
+            f64 vb = b.data()[size_t(i)];
+            a2.data()[size_t(i)] = va * va;
+            b2.data()[size_t(i)] = vb * vb;
+            ab.data()[size_t(i)] = va * vb;
+        }
+    });
 
     PlaneF64 mu_a = blur(a);
     PlaneF64 mu_b = blur(b);
@@ -96,17 +123,26 @@ ssim(const PlaneU8 &a8, const PlaneU8 &b8)
     PlaneF64 s_b2 = blur(b2);
     PlaneF64 s_ab = blur(ab);
 
-    f64 total = 0.0;
-    for (i64 i = 0; i < a.sampleCount(); ++i) {
-        f64 ma = mu_a.data()[size_t(i)];
-        f64 mb = mu_b.data()[size_t(i)];
-        f64 var_a = s_a2.data()[size_t(i)] - ma * ma;
-        f64 var_b = s_b2.data()[size_t(i)] - mb * mb;
-        f64 cov = s_ab.data()[size_t(i)] - ma * mb;
-        f64 num = (2.0 * ma * mb + kC1) * (2.0 * cov + kC2);
-        f64 den = (ma * ma + mb * mb + kC1) * (var_a + var_b + kC2);
-        total += num / den;
-    }
+    // Per-chunk partial sums merged in index order keep the window
+    // reduction bit-exact at any thread count.
+    f64 total = parallelReduce(
+        0, a.sampleCount(), kSampleGrain, 0.0,
+        [&](i64 begin, i64 end) {
+            f64 acc = 0.0;
+            for (i64 i = begin; i < end; ++i) {
+                f64 ma = mu_a.data()[size_t(i)];
+                f64 mb = mu_b.data()[size_t(i)];
+                f64 var_a = s_a2.data()[size_t(i)] - ma * ma;
+                f64 var_b = s_b2.data()[size_t(i)] - mb * mb;
+                f64 cov = s_ab.data()[size_t(i)] - ma * mb;
+                f64 num = (2.0 * ma * mb + kC1) * (2.0 * cov + kC2);
+                f64 den =
+                    (ma * ma + mb * mb + kC1) * (var_a + var_b + kC2);
+                acc += num / den;
+            }
+            return acc;
+        },
+        [](f64 acc, f64 partial) { return acc + partial; });
     return total / f64(a.sampleCount());
 }
 

@@ -2,8 +2,19 @@
 
 #include <cmath>
 
+#include "common/parallel.hh"
+
 namespace gssr
 {
+
+namespace
+{
+
+/** Row band per parallel conv chunk (fixed: keeps chunk layout — and
+ * therefore accumulation order — independent of the thread count). */
+constexpr i64 kConvRowGrain = 8;
+
+} // namespace
 
 Conv2d::Conv2d(int in_channels, int out_channels, int kernel_size)
     : in_channels_(in_channels), out_channels_(out_channels),
@@ -41,38 +52,58 @@ Conv2d::forward(const Tensor &input) const
     const int w = input.width();
     Tensor out(out_channels_, h, w);
 
-    for (int co = 0; co < out_channels_; ++co) {
-        f32 *out_c = out.channelData(co);
-        // Bias fill.
-        f32 b = bias_[size_t(co)];
-        for (i64 i = 0; i < i64(h) * w; ++i)
-            out_c[size_t(i)] = b;
+    // Each work item is one output row; a chunk is a row band of one
+    // output channel. Every chunk writes a disjoint output range, so
+    // results are bit-exact for any thread count.
+    parallelFor(0, i64(out_channels_) * h, kConvRowGrain,
+                [&](i64 band_begin, i64 band_end) {
+        while (band_begin < band_end) {
+            int co = int(band_begin / h);
+            int row0 = int(band_begin % h);
+            int row1 = int(std::min(i64(h), row0 + (band_end -
+                                                    band_begin)));
+            forwardRows(input, out, co, row0, row1);
+            band_begin += row1 - row0;
+        }
+    });
+    return out;
+}
 
-        for (int ci = 0; ci < in_channels_; ++ci) {
-            const f32 *in_c = input.channelData(ci);
-            for (int ky = 0; ky < kernel_; ++ky) {
-                for (int kx = 0; kx < kernel_; ++kx) {
-                    f32 wv = weight_[weightIndex(co, ci, ky, kx)];
-                    if (wv == 0.0f)
-                        continue;
-                    int dy = ky - pad_;
-                    int dx = kx - pad_;
-                    int y0 = std::max(0, -dy);
-                    int y1 = std::min(h, h - dy);
-                    int x0 = std::max(0, -dx);
-                    int x1 = std::min(w, w - dx);
-                    for (int y = y0; y < y1; ++y) {
-                        const f32 *src =
-                            in_c + size_t(y + dy) * w + size_t(x0 + dx);
-                        f32 *dst = out_c + size_t(y) * w + size_t(x0);
-                        for (int x = x0; x < x1; ++x)
-                            *dst++ += wv * *src++;
-                    }
+void
+Conv2d::forwardRows(const Tensor &input, Tensor &out, int co, int row0,
+                    int row1) const
+{
+    const int h = input.height();
+    const int w = input.width();
+    f32 *out_c = out.channelData(co);
+    // Bias fill.
+    f32 b = bias_[size_t(co)];
+    for (i64 i = i64(row0) * w; i < i64(row1) * w; ++i)
+        out_c[size_t(i)] = b;
+
+    for (int ci = 0; ci < in_channels_; ++ci) {
+        const f32 *in_c = input.channelData(ci);
+        for (int ky = 0; ky < kernel_; ++ky) {
+            for (int kx = 0; kx < kernel_; ++kx) {
+                f32 wv = weight_[weightIndex(co, ci, ky, kx)];
+                if (wv == 0.0f)
+                    continue;
+                int dy = ky - pad_;
+                int dx = kx - pad_;
+                int y0 = std::max(row0, -dy);
+                int y1 = std::min({row1, h, h - dy});
+                int x0 = std::max(0, -dx);
+                int x1 = std::min(w, w - dx);
+                for (int y = y0; y < y1; ++y) {
+                    const f32 *src =
+                        in_c + size_t(y + dy) * w + size_t(x0 + dx);
+                    f32 *dst = out_c + size_t(y) * w + size_t(x0);
+                    for (int x = x0; x < x1; ++x)
+                        *dst++ += wv * *src++;
                 }
             }
         }
     }
-    return out;
 }
 
 Tensor
@@ -88,45 +119,81 @@ Conv2d::backward(const Tensor &input, const Tensor &grad_output)
     const int w = input.width();
     Tensor grad_input(in_channels_, h, w);
 
-    for (int co = 0; co < out_channels_; ++co) {
-        const f32 *go = grad_output.channelData(co);
-        // Bias gradient.
-        f64 bg = 0.0;
-        for (i64 i = 0; i < i64(h) * w; ++i)
-            bg += go[size_t(i)];
-        bias_grad_[size_t(co)] += f32(bg);
+    // Two passes so each chunk owns a disjoint gradient range: pass A
+    // writes weight/bias gradients (disjoint per output channel),
+    // pass B writes grad_input (disjoint per input channel). Per
+    // element the accumulation order matches the fused serial loop —
+    // (co, ky, kx) in index order — so results are bit-exact at any
+    // thread count.
+    parallelFor(0, out_channels_, 1, [&](i64 co_begin, i64 co_end) {
+        for (int co = int(co_begin); co < int(co_end); ++co) {
+            const f32 *go = grad_output.channelData(co);
+            // Bias gradient.
+            f64 bg = 0.0;
+            for (i64 i = 0; i < i64(h) * w; ++i)
+                bg += go[size_t(i)];
+            bias_grad_[size_t(co)] += f32(bg);
 
-        for (int ci = 0; ci < in_channels_; ++ci) {
-            const f32 *in_c = input.channelData(ci);
-            for (int ky = 0; ky < kernel_; ++ky) {
-                for (int kx = 0; kx < kernel_; ++kx) {
-                    int dy = ky - pad_;
-                    int dx = kx - pad_;
-                    int y0 = std::max(0, -dy);
-                    int y1 = std::min(h, h - dy);
-                    int x0 = std::max(0, -dx);
-                    int x1 = std::min(w, w - dx);
-                    f32 wv = weight_[weightIndex(co, ci, ky, kx)];
-                    f64 wg = 0.0;
-                    for (int y = y0; y < y1; ++y) {
-                        const f32 *src =
-                            in_c + size_t(y + dy) * w + size_t(x0 + dx);
-                        f32 *gsrc = grad_input.channelData(ci) +
-                                    size_t(y + dy) * w + size_t(x0 + dx);
-                        const f32 *g = go + size_t(y) * w + size_t(x0);
-                        for (int x = x0; x < x1; ++x) {
-                            wg += f64(*g) * f64(*src);
-                            *gsrc += wv * *g;
-                            ++src;
-                            ++gsrc;
-                            ++g;
+            for (int ci = 0; ci < in_channels_; ++ci) {
+                const f32 *in_c = input.channelData(ci);
+                for (int ky = 0; ky < kernel_; ++ky) {
+                    for (int kx = 0; kx < kernel_; ++kx) {
+                        int dy = ky - pad_;
+                        int dx = kx - pad_;
+                        int y0 = std::max(0, -dy);
+                        int y1 = std::min(h, h - dy);
+                        int x0 = std::max(0, -dx);
+                        int x1 = std::min(w, w - dx);
+                        f64 wg = 0.0;
+                        for (int y = y0; y < y1; ++y) {
+                            const f32 *src = in_c + size_t(y + dy) * w +
+                                             size_t(x0 + dx);
+                            const f32 *g =
+                                go + size_t(y) * w + size_t(x0);
+                            for (int x = x0; x < x1; ++x) {
+                                wg += f64(*g) * f64(*src);
+                                ++src;
+                                ++g;
+                            }
                         }
+                        weight_grad_[weightIndex(co, ci, ky, kx)] +=
+                            f32(wg);
                     }
-                    weight_grad_[weightIndex(co, ci, ky, kx)] += f32(wg);
                 }
             }
         }
-    }
+    });
+
+    parallelFor(0, in_channels_, 1, [&](i64 ci_begin, i64 ci_end) {
+        for (int ci = int(ci_begin); ci < int(ci_end); ++ci) {
+            f32 *gin = grad_input.channelData(ci);
+            for (int co = 0; co < out_channels_; ++co) {
+                const f32 *go = grad_output.channelData(co);
+                for (int ky = 0; ky < kernel_; ++ky) {
+                    for (int kx = 0; kx < kernel_; ++kx) {
+                        int dy = ky - pad_;
+                        int dx = kx - pad_;
+                        int y0 = std::max(0, -dy);
+                        int y1 = std::min(h, h - dy);
+                        int x0 = std::max(0, -dx);
+                        int x1 = std::min(w, w - dx);
+                        f32 wv = weight_[weightIndex(co, ci, ky, kx)];
+                        for (int y = y0; y < y1; ++y) {
+                            f32 *gsrc = gin + size_t(y + dy) * w +
+                                        size_t(x0 + dx);
+                            const f32 *g =
+                                go + size_t(y) * w + size_t(x0);
+                            for (int x = x0; x < x1; ++x) {
+                                *gsrc += wv * *g;
+                                ++gsrc;
+                                ++g;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    });
     return grad_input;
 }
 

@@ -72,6 +72,13 @@ class Conv2d
     const std::vector<f32> &biases() const { return bias_; }
 
   private:
+    /**
+     * Compute output rows [row0, row1) of channel @p co — the unit of
+     * work one parallelFor chunk owns in forward().
+     */
+    void forwardRows(const Tensor &input, Tensor &out, int co, int row0,
+                     int row1) const;
+
     size_t
     weightIndex(int co, int ci, int ky, int kx) const
     {

@@ -5,6 +5,7 @@
 
 #include "common/logging.hh"
 #include "common/mathutil.hh"
+#include "common/parallel.hh"
 
 namespace gssr
 {
@@ -12,16 +13,35 @@ namespace gssr
 namespace
 {
 
-/** Depth histogram over [0, 1]. */
+/** Samples per parallel chunk of the per-pixel depth passes. */
+constexpr i64 kDepthGrain = 1 << 14;
+
+/**
+ * Depth histogram over [0, 1]. Chunks accumulate private histograms
+ * merged in index order (integer adds, so the merge order only
+ * matters for uniformity with the other reductions).
+ */
 std::vector<i64>
 buildHistogram(const DepthMap &depth, int bins)
 {
-    std::vector<i64> hist(size_t(bins), 0);
-    for (f32 d : depth.plane().data()) {
-        int bin = clamp(int(f64(d) * bins), 0, bins - 1);
-        hist[size_t(bin)] += 1;
-    }
-    return hist;
+    const auto &data = depth.plane().data();
+    return parallelReduce(
+        0, i64(data.size()), kDepthGrain,
+        std::vector<i64>(size_t(bins), 0),
+        [&](i64 begin, i64 end) {
+            std::vector<i64> part(size_t(bins), 0);
+            for (i64 i = begin; i < end; ++i) {
+                f32 d = data[size_t(i)];
+                int bin = clamp(int(f64(d) * bins), 0, bins - 1);
+                part[size_t(bin)] += 1;
+            }
+            return part;
+        },
+        [](std::vector<i64> acc, std::vector<i64> part) {
+            for (size_t i = 0; i < acc.size(); ++i)
+                acc[i] += part[i];
+            return acc;
+        });
 }
 
 /**
@@ -133,16 +153,36 @@ preprocessDepthMap(const DepthMap &depth,
         threshold = otsuThreshold(hist, total, otsu_variance);
     result.foreground_threshold = f32(threshold);
 
-    i64 fg_count = 0;
-    f64 fg_depth_sum = 0.0, bg_depth_sum = 0.0;
-    for (f32 d : depth.plane().data()) {
-        if (d < threshold) {
-            fg_count += 1;
-            fg_depth_sum += d;
-        } else {
-            bg_depth_sum += d;
-        }
-    }
+    struct FgStats
+    {
+        i64 fg_count = 0;
+        f64 fg_depth_sum = 0.0;
+        f64 bg_depth_sum = 0.0;
+    };
+    const auto &depth_data = depth.plane().data();
+    FgStats fg = parallelReduce(
+        0, i64(depth_data.size()), kDepthGrain, FgStats{},
+        [&](i64 begin, i64 end) {
+            FgStats part;
+            for (i64 i = begin; i < end; ++i) {
+                f32 d = depth_data[size_t(i)];
+                if (d < threshold) {
+                    part.fg_count += 1;
+                    part.fg_depth_sum += d;
+                } else {
+                    part.bg_depth_sum += d;
+                }
+            }
+            return part;
+        },
+        [](FgStats acc, const FgStats &part) {
+            acc.fg_count += part.fg_count;
+            acc.fg_depth_sum += part.fg_depth_sum;
+            acc.bg_depth_sum += part.bg_depth_sum;
+            return acc;
+        });
+    i64 fg_count = fg.fg_count;
+    f64 fg_depth_sum = fg.fg_depth_sum, bg_depth_sum = fg.bg_depth_sum;
     result.foreground_fraction = f64(fg_count) / f64(total);
 
     // Informativeness checks (Sec. VI degenerate perspectives).
@@ -157,15 +197,18 @@ preprocessDepthMap(const DepthMap &depth,
         (bg_mean - fg_mean) >= config.min_depth_separation;
     result.depth_informative = fraction_ok && separation_ok;
 
-    // Nearness map: foreground pixels weighted by closeness.
+    // Nearness map: foreground pixels weighted by closeness. Row
+    // bands write disjoint ranges.
     PlaneF32 weighted(width, height, 0.0f);
-    for (int y = 0; y < height; ++y) {
-        for (int x = 0; x < width; ++x) {
-            f32 d = depth.at(x, y);
-            if (d < threshold)
-                weighted.at(x, y) = 1.0f - d;
+    parallelFor(0, height, 32, [&](i64 y_begin, i64 y_end) {
+        for (int y = int(y_begin); y < int(y_end); ++y) {
+            for (int x = 0; x < width; ++x) {
+                f32 d = depth.at(x, y);
+                if (d < threshold)
+                    weighted.at(x, y) = 1.0f - d;
+            }
         }
-    }
+    });
 
     // Step 2: Spatial Weighting — centre-biased Gaussian matrix added
     // pixel-wise (on surviving foreground pixels).
@@ -174,15 +217,17 @@ preprocessDepthMap(const DepthMap &depth,
         f64 cy = (height - 1) * 0.5;
         f64 sigma =
             config.gaussian_sigma_frac * f64(std::min(width, height));
-        for (int y = 0; y < height; ++y) {
-            for (int x = 0; x < width; ++x) {
-                if (weighted.at(x, y) <= 0.0f)
-                    continue;
-                weighted.at(x, y) += f32(
-                    config.spatial_weight *
-                    gaussian2d(x, y, cx, cy, sigma));
+        parallelFor(0, height, 32, [&](i64 y_begin, i64 y_end) {
+            for (int y = int(y_begin); y < int(y_end); ++y) {
+                for (int x = 0; x < width; ++x) {
+                    if (weighted.at(x, y) <= 0.0f)
+                        continue;
+                    weighted.at(x, y) += f32(
+                        config.spatial_weight *
+                        gaussian2d(x, y, cx, cy, sigma));
+                }
             }
-        }
+        });
     }
 
     // Steps 3 + 4: Depth Map Layering and Depth Layer Selection.
@@ -192,9 +237,15 @@ preprocessDepthMap(const DepthMap &depth,
     // foreground objects on open scenes (see
     // bench_ablation_preprocess).
     if (config.enable_layering) {
-        f32 max_value = 0.0f;
-        for (f32 v : weighted.data())
-            max_value = std::max(max_value, v);
+        f32 max_value = parallelReduce(
+            0, i64(weighted.data().size()), kDepthGrain, 0.0f,
+            [&](i64 begin, i64 end) {
+                f32 m = 0.0f;
+                for (i64 i = begin; i < end; ++i)
+                    m = std::max(m, weighted.data()[size_t(i)]);
+                return m;
+            },
+            [](f32 x, f32 y) { return std::max(x, y); });
         int layers = config.depth_layers;
         result.layer_scores.assign(size_t(layers), 0.0);
         if (max_value > 0.0f) {
@@ -202,18 +253,33 @@ preprocessDepthMap(const DepthMap &depth,
             f64 cy = (height - 1) * 0.5;
             f64 sigma = config.gaussian_sigma_frac *
                         f64(std::min(width, height));
-            for (int y = 0; y < height; ++y) {
-                for (int x = 0; x < width; ++x) {
-                    f32 v = weighted.at(x, y);
-                    if (v <= 0.0f)
-                        continue;
-                    int layer = clamp(
-                        int(f64(v) / max_value * layers), 0,
-                        layers - 1);
-                    result.layer_scores[size_t(layer)] +=
-                        f64(v) * gaussian2d(x, y, cx, cy, sigma);
-                }
-            }
+            // Per-chunk partial score vectors merged in index order
+            // keep the f64 accumulation deterministic.
+            result.layer_scores = parallelReduce(
+                0, i64(height), 32,
+                std::vector<f64>(size_t(layers), 0.0),
+                [&](i64 y_begin, i64 y_end) {
+                    std::vector<f64> part(size_t(layers), 0.0);
+                    for (int y = int(y_begin); y < int(y_end); ++y) {
+                        for (int x = 0; x < width; ++x) {
+                            f32 v = weighted.at(x, y);
+                            if (v <= 0.0f)
+                                continue;
+                            int layer = clamp(
+                                int(f64(v) / max_value * layers), 0,
+                                layers - 1);
+                            part[size_t(layer)] +=
+                                f64(v) *
+                                gaussian2d(x, y, cx, cy, sigma);
+                        }
+                    }
+                    return part;
+                },
+                [](std::vector<f64> acc, std::vector<f64> part) {
+                    for (size_t i = 0; i < acc.size(); ++i)
+                        acc[i] += part[i];
+                    return acc;
+                });
             int best = 0;
             for (int l = 1; l < layers; ++l) {
                 if (result.layer_scores[size_t(l)] >
@@ -224,10 +290,14 @@ preprocessDepthMap(const DepthMap &depth,
             result.selected_layer = best;
             f32 lo = f32(f64(best) / layers * max_value);
             f32 hi = f32(f64(best + 1) / layers * max_value);
-            for (f32 &v : weighted.data()) {
-                if (v <= lo || v > hi * 1.0000001f)
-                    v = 0.0f;
-            }
+            parallelFor(0, i64(weighted.data().size()), kDepthGrain,
+                        [&](i64 begin, i64 end) {
+                for (i64 i = begin; i < end; ++i) {
+                    f32 &v = weighted.data()[size_t(i)];
+                    if (v <= lo || v > hi * 1.0000001f)
+                        v = 0.0f;
+                }
+            });
         }
     }
 

@@ -5,6 +5,7 @@
 
 #include "common/logging.hh"
 #include "common/mathutil.hh"
+#include "common/parallel.hh"
 
 namespace gssr
 {
@@ -12,7 +13,13 @@ namespace gssr
 namespace
 {
 
-/** Summed-area table: sat(x, y) = sum of processed[0..x) x [0..y). */
+/**
+ * Summed-area table: sat(x, y) = sum of processed[0..x) x [0..y).
+ * Built as a parallel prefix sum in two passes: horizontal prefix
+ * per row (rows independent), then vertical accumulation per column
+ * (columns independent). Each column/row sums in a fixed order, so
+ * the table is bit-exact at any thread count.
+ */
 std::vector<f64>
 buildIntegral(const PlaneF32 &map)
 {
@@ -22,13 +29,21 @@ buildIntegral(const PlaneF32 &map)
     auto at = [&](int x, int y) -> f64 & {
         return sat[size_t(y) * size_t(w + 1) + size_t(x)];
     };
-    for (int y = 0; y < h; ++y) {
-        f64 row = 0.0;
-        for (int x = 0; x < w; ++x) {
-            row += f64(map.at(x, y));
-            at(x + 1, y + 1) = at(x + 1, y) + row;
+    parallelFor(0, h, 16, [&](i64 y_begin, i64 y_end) {
+        for (int y = int(y_begin); y < int(y_end); ++y) {
+            f64 row = 0.0;
+            for (int x = 0; x < w; ++x) {
+                row += f64(map.at(x, y));
+                at(x + 1, y + 1) = row;
+            }
         }
-    }
+    });
+    parallelFor(1, w + 1, 64, [&](i64 x_begin, i64 x_end) {
+        for (int y = 1; y < h; ++y) {
+            for (int x = int(x_begin); x < int(x_end); ++x)
+                at(x, y + 1) += at(x, y);
+        }
+    });
     return sat;
 }
 
@@ -103,31 +118,59 @@ searchRoi(const PlaneF32 &processed, const RoiSearchConfig &config)
     RoiSearchResult result;
     Best best;
 
+    // Inclusive axis positions: start, start+stride, ... with the
+    // last position always evaluated so the scan covers the full
+    // range even when the stride does not divide it.
+    auto axisPositions = [](int p0, int p1, int stride) {
+        std::vector<int> positions;
+        for (int p = p0;; p += stride) {
+            if (p > p1)
+                p = p1;
+            positions.push_back(p);
+            if (p == p1)
+                break;
+        }
+        return positions;
+    };
+
+    // Window rows are scanned by parallel chunks (fixed row-grain
+    // layout) whose per-chunk winners merge in index order — the same
+    // tie-break sequence as the serial raster scan.
     auto scan = [&](int x0, int y0, int x1, int y1, int stride) {
-        // Inclusive bounds, window kept inside the map; the last
-        // position in each axis is always evaluated so the scan
-        // covers the full range even when stride does not divide it.
         x0 = clamp(x0, 0, map_w - w);
         y0 = clamp(y0, 0, map_h - h);
         x1 = clamp(x1, 0, map_w - w);
         y1 = clamp(y1, 0, map_h - h);
-        for (int y = y0;; y += stride) {
-            if (y > y1)
-                y = y1;
-            for (int x = x0;; x += stride) {
-                if (x > x1)
-                    x = x1;
-                f64 s = windowSum(sat, sat_w, x, y, w, h);
-                best.consider(
-                    s, centerDistanceSq(x, y, w, h, map_w, map_h), x,
-                    y);
-                result.positions_evaluated += 1;
-                if (x == x1)
-                    break;
-            }
-            if (y == y1)
-                break;
+        std::vector<int> ys = axisPositions(y0, y1, stride);
+        std::vector<int> xs = axisPositions(x0, x1, stride);
+        Best scan_best = parallelReduce(
+            0, i64(ys.size()), 4, Best{},
+            [&](i64 begin, i64 end) {
+                Best part;
+                for (i64 yi = begin; yi < end; ++yi) {
+                    int y = ys[size_t(yi)];
+                    for (int x : xs) {
+                        f64 s = windowSum(sat, sat_w, x, y, w, h);
+                        part.consider(s,
+                                      centerDistanceSq(x, y, w, h,
+                                                       map_w, map_h),
+                                      x, y);
+                    }
+                }
+                return part;
+            },
+            [](Best acc, const Best &part) {
+                if (part.score >= 0.0) {
+                    acc.consider(part.score, part.center_dist_sq,
+                                 part.x, part.y);
+                }
+                return acc;
+            });
+        if (scan_best.score >= 0.0) {
+            best.consider(scan_best.score, scan_best.center_dist_sq,
+                          scan_best.x, scan_best.y);
         }
+        result.positions_evaluated += i64(ys.size()) * i64(xs.size());
     };
 
     if (config.mode == RoiSearchMode::Exhaustive) {

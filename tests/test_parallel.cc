@@ -1,0 +1,304 @@
+/**
+ * @file
+ * Tests of the deterministic parallel execution layer
+ * (common/parallel.*): pool lifecycle, exception propagation,
+ * nested-call safety, ordered reductions, and bit-exact equality of
+ * the parallelized kernels (Conv2d, SSIM, encoded bitstreams, motion
+ * search) between 1 thread and an oversubscribed 8-thread pool.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "codec/motion.hh"
+#include "codec/plane_coder.hh"
+#include "common/parallel.hh"
+#include "common/rng.hh"
+#include "metrics/psnr.hh"
+#include "metrics/ssim.hh"
+#include "nn/layers.hh"
+#include "roi/depth_processing.hh"
+#include "roi/roi_search.hh"
+
+namespace gssr
+{
+namespace
+{
+
+/** Restores the ambient pool size when a test exits. */
+class ScopedThreads
+{
+  public:
+    explicit ScopedThreads(int n) : saved_(parallelThreadCount())
+    {
+        setParallelThreadCount(n);
+    }
+    ~ScopedThreads() { setParallelThreadCount(saved_); }
+
+  private:
+    int saved_;
+};
+
+PlaneU8
+randomPlaneU8(int w, int h, u64 seed)
+{
+    Rng rng(seed);
+    PlaneU8 p(w, h);
+    for (auto &v : p.data())
+        v = u8(rng.uniformInt(0, 255));
+    return p;
+}
+
+PlaneF32
+randomPlaneF32(int w, int h, u64 seed)
+{
+    Rng rng(seed);
+    PlaneF32 p(w, h);
+    for (auto &v : p.data())
+        v = f32(rng.uniform(0.0, 1.0));
+    return p;
+}
+
+TEST(ParallelTest, PoolStartStopResize)
+{
+    ScopedThreads scope(4);
+    EXPECT_EQ(parallelThreadCount(), 4);
+
+    std::vector<int> out(1000, 0);
+    parallelFor(0, 1000, 7, [&](i64 b, i64 e) {
+        for (i64 i = b; i < e; ++i)
+            out[size_t(i)] = int(i);
+    });
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(out[size_t(i)], i);
+
+    // Shrink to serial and back up; the pool must stay usable.
+    setParallelThreadCount(1);
+    EXPECT_EQ(parallelThreadCount(), 1);
+    std::atomic<i64> sum{0};
+    parallelFor(0, 100, 3, [&](i64 b, i64 e) { sum += e - b; });
+    EXPECT_EQ(sum.load(), 100);
+
+    setParallelThreadCount(8);
+    EXPECT_EQ(parallelThreadCount(), 8);
+    sum = 0;
+    parallelFor(0, 100, 3, [&](i64 b, i64 e) { sum += e - b; });
+    EXPECT_EQ(sum.load(), 100);
+}
+
+TEST(ParallelTest, RejectsBadThreadCountAndGrain)
+{
+    EXPECT_THROW(setParallelThreadCount(0), PanicError);
+    EXPECT_THROW(
+        parallelFor(0, 10, 0, [](i64, i64) {}), PanicError);
+}
+
+TEST(ParallelTest, EmptyRangeRunsNothing)
+{
+    ScopedThreads scope(4);
+    int calls = 0;
+    parallelFor(5, 5, 1, [&](i64, i64) { ++calls; });
+    parallelFor(5, 2, 1, [&](i64, i64) { ++calls; });
+    EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelTest, ExceptionPropagatesOut)
+{
+    ScopedThreads scope(4);
+    EXPECT_THROW(
+        parallelFor(0, 64, 1,
+                    [&](i64 b, i64) {
+                        if (b == 13)
+                            fatal("chunk 13 failed");
+                    }),
+        FatalError);
+
+    // The pool must remain fully usable after an exception.
+    std::atomic<i64> sum{0};
+    parallelFor(0, 64, 1, [&](i64 b, i64 e) { sum += e - b; });
+    EXPECT_EQ(sum.load(), 64);
+}
+
+TEST(ParallelTest, LowestChunkExceptionWins)
+{
+    ScopedThreads scope(8);
+    // Every chunk throws; the surfaced error must deterministically be
+    // chunk 0's regardless of scheduling.
+    for (int rep = 0; rep < 20; ++rep) {
+        try {
+            parallelFor(0, 32, 1, [&](i64 b, i64) {
+                fatal("chunk ", b, " failed");
+            });
+            FAIL() << "expected FatalError";
+        } catch (const FatalError &e) {
+            EXPECT_STREQ(e.what(), "chunk 0 failed");
+        }
+    }
+}
+
+TEST(ParallelTest, NestedCallsRunInline)
+{
+    ScopedThreads scope(4);
+    std::vector<int> out(16 * 16, 0);
+    parallelFor(0, 16, 1, [&](i64 ob, i64 oe) {
+        for (i64 o = ob; o < oe; ++o) {
+            // Nested region: must execute inline without deadlock.
+            parallelFor(0, 16, 1, [&](i64 ib, i64 ie) {
+                for (i64 i = ib; i < ie; ++i)
+                    out[size_t(o * 16 + i)] = int(o * 16 + i);
+            });
+        }
+    });
+    for (int i = 0; i < 16 * 16; ++i)
+        EXPECT_EQ(out[size_t(i)], i);
+}
+
+TEST(ParallelTest, ReduceMatchesSerialExactly)
+{
+    // Chunked f64 sums must be bit-identical at every thread count
+    // because the chunk layout and merge order are fixed.
+    std::vector<f64> values(100000);
+    Rng rng(7);
+    for (auto &v : values)
+        v = rng.uniform(-1.0, 1.0);
+
+    auto sum_at = [&](int threads) {
+        ScopedThreads scope(threads);
+        return parallelReduce(
+            0, i64(values.size()), 1024, 0.0,
+            [&](i64 b, i64 e) {
+                f64 acc = 0.0;
+                for (i64 i = b; i < e; ++i)
+                    acc += values[size_t(i)];
+                return acc;
+            },
+            [](f64 a, f64 b) { return a + b; });
+    };
+    f64 serial = sum_at(1);
+    EXPECT_EQ(serial, sum_at(2));
+    EXPECT_EQ(serial, sum_at(5));
+    EXPECT_EQ(serial, sum_at(8));
+}
+
+TEST(ParallelTest, Conv2dBitExactAcrossThreadCounts)
+{
+    Rng rng(21);
+    Conv2d conv(6, 6, 3);
+    conv.initHe(rng);
+    Tensor input(6, 40, 40);
+    for (size_t i = 0; i < input.data().size(); ++i)
+        input.data()[i] = f32((i % 101) / 101.0);
+    Tensor go(6, 40, 40);
+    for (size_t i = 0; i < go.data().size(); ++i)
+        go.data()[i] = f32((i % 13) - 6) / 6.0f;
+
+    auto run = [&](int threads) {
+        ScopedThreads scope(threads);
+        Conv2d c = conv; // fresh gradient buffers per run
+        Tensor out = c.forward(input);
+        Tensor gin = c.backward(input, go);
+        std::vector<ParamRef> params = c.params();
+        return std::make_tuple(out.data(), gin.data(),
+                               *params[0].grads, *params[1].grads);
+    };
+
+    auto serial = run(1);
+    auto threaded = run(8);
+    EXPECT_EQ(std::get<0>(serial), std::get<0>(threaded));
+    EXPECT_EQ(std::get<1>(serial), std::get<1>(threaded));
+    EXPECT_EQ(std::get<2>(serial), std::get<2>(threaded));
+    EXPECT_EQ(std::get<3>(serial), std::get<3>(threaded));
+}
+
+TEST(ParallelTest, SsimAndPsnrBitExactAcrossThreadCounts)
+{
+    PlaneU8 a = randomPlaneU8(160, 90, 33);
+    PlaneU8 b = randomPlaneU8(160, 90, 34);
+    f64 s1, s8, p1, p8;
+    {
+        ScopedThreads scope(1);
+        s1 = ssim(a, b);
+        p1 = psnr(a, b);
+    }
+    {
+        ScopedThreads scope(8);
+        s8 = ssim(a, b);
+        p8 = psnr(a, b);
+    }
+    EXPECT_EQ(s1, s8); // exact, not NEAR: determinism guarantee
+    EXPECT_EQ(p1, p8);
+}
+
+TEST(ParallelTest, EncodedBitstreamBitExactAcrossThreadCounts)
+{
+    PlaneF32 plane = randomPlaneF32(100, 60, 35);
+    auto encode_at = [&](int threads) {
+        ScopedThreads scope(threads);
+        ByteWriter writer;
+        PlaneF32 recon = encodePlane(plane, 6, writer);
+        return std::make_pair(writer.take(), recon.data());
+    };
+    auto serial = encode_at(1);
+    auto threaded = encode_at(8);
+    EXPECT_EQ(serial.first, threaded.first);
+    EXPECT_EQ(serial.second, threaded.second);
+
+    // Decode must also reconstruct identically.
+    auto decode_at = [&](const std::vector<u8> &bytes, int threads) {
+        ScopedThreads scope(threads);
+        ByteReader reader(bytes);
+        return decodePlane({100, 60}, 6, reader).data();
+    };
+    EXPECT_EQ(decode_at(serial.first, 1), decode_at(serial.first, 8));
+}
+
+TEST(ParallelTest, MotionFieldBitExactAcrossThreadCounts)
+{
+    PlaneU8 ref = randomPlaneU8(128, 96, 41);
+    PlaneU8 cur(128, 96);
+    for (int y = 0; y < 96; ++y)
+        for (int x = 0; x < 128; ++x)
+            cur.at(x, y) = ref.atClamped(x + 2, y - 1);
+
+    auto run = [&](int threads) {
+        ScopedThreads scope(threads);
+        return estimateMotion(ref, cur, 16, 7).vectors;
+    };
+    EXPECT_EQ(run(1), run(8));
+}
+
+TEST(ParallelTest, RoiPipelineBitExactAcrossThreadCounts)
+{
+    PlaneF32 depth_plane(200, 120, 0.9f);
+    for (int y = 40; y < 80; ++y)
+        for (int x = 70; x < 130; ++x)
+            depth_plane.at(x, y) = 0.2f;
+
+    auto run = [&](int threads) {
+        ScopedThreads scope(threads);
+        DepthPreprocessResult pre =
+            preprocessDepthMap(DepthMap(depth_plane), {});
+        RoiSearchConfig config;
+        config.window_width = 50;
+        config.window_height = 50;
+        config.mode = RoiSearchMode::TwoPhase;
+        RoiSearchResult r = searchRoi(pre.processed, config);
+        return std::make_tuple(pre.processed.data(), pre.layer_scores,
+                               r.roi, r.score,
+                               r.positions_evaluated);
+    };
+    auto serial = run(1);
+    auto threaded = run(8);
+    EXPECT_EQ(std::get<0>(serial), std::get<0>(threaded));
+    EXPECT_EQ(std::get<1>(serial), std::get<1>(threaded));
+    EXPECT_EQ(std::get<2>(serial), std::get<2>(threaded));
+    EXPECT_EQ(std::get<3>(serial), std::get<3>(threaded));
+    EXPECT_EQ(std::get<4>(serial), std::get<4>(threaded));
+}
+
+} // namespace
+} // namespace gssr
