@@ -1,0 +1,312 @@
+/**
+ * @file
+ * Resilience bench — streams the paper's operating point through
+ * scripted fault scenarios (loss bursts, bandwidth collapse, RTT
+ * spikes, Gilbert–Elliott burst channels) and sweeps the recovery
+ * designs (no recovery, NACK + hold concealment, NACK + motion
+ * extrapolation), plus an AIMD bitrate-backoff comparison on a
+ * congested channel and a transient-PSNR dip/recovery curve measured
+ * on the concealed output.
+ *
+ * Writes BENCH_resilience.json with the full sweep. `--smoke` runs a
+ * reduced configuration for CI.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+
+using namespace gssr;
+using namespace gssr::bench;
+
+namespace
+{
+
+struct ScenarioCase
+{
+    std::string name;
+    ChannelConfig channel;
+    FaultScenario scenario;
+};
+
+struct PolicyCase
+{
+    std::string name;
+    bool nack;
+    ConcealmentMode concealment;
+};
+
+struct SweepRow
+{
+    std::string scenario;
+    std::string policy;
+    int frames = 0;
+    ResilienceStats stats;
+};
+
+/** One sweep cell: an accounting session under (scenario, policy). */
+SweepRow
+runCell(const ScenarioCase &sc, const PolicyCase &po, int frames)
+{
+    SessionConfig config = accountingSessionConfig();
+    config.frames = frames;
+    config.channel = sc.channel;
+    config.fault_scenario = sc.scenario;
+    config.resilience.nack = po.nack;
+    config.resilience.concealment = po.concealment;
+
+    SweepRow row;
+    row.scenario = sc.name;
+    row.policy = po.name;
+    row.frames = frames;
+    row.stats = runSession(config).resilience;
+    return row;
+}
+
+/** AIMD on/off comparison on an overloaded channel. */
+struct AimdResult
+{
+    i64 dropped = 0;
+    i64 backoffs = 0;
+    i64 tail_dropped = 0; ///< drops in the steady-state tail
+    int frames = 0;
+    int tail_start = 0;
+};
+
+AimdResult
+runAimdCase(bool aimd_on, int frames)
+{
+    ChannelConfig congested = ChannelConfig::wifi();
+    congested.name = "wifi-congested";
+    congested.bandwidth_mbps = 3.0;
+    congested.bandwidth_jitter = 0.10;
+    congested.packet_loss = 0.0;
+
+    SessionConfig config;
+    config.frames = frames;
+    config.lr_size = {192, 96};
+    config.codec.gop_size = 6;
+    config.compute_pixels = false;
+    config.channel = congested;
+    config.target_bitrate_mbps = 6.0;
+    config.resilience.aimd = aimd_on;
+    config.resilience.aimd_config.min_mbps = 0.5;
+    config.resilience.aimd_config.increase_mbps_per_s = 0.5;
+
+    SessionResult result = runSession(config);
+    AimdResult out;
+    out.frames = frames;
+    out.tail_start = frames * 2 / 3;
+    out.dropped = result.resilience.frames_dropped;
+    out.backoffs = result.resilience.aimd_backoffs;
+    for (size_t i = size_t(out.tail_start); i < result.traces.size(); ++i)
+        out.tail_dropped += result.traces[i].dropped;
+    return out;
+}
+
+void
+writeJson(const char *path, bool smoke,
+          const std::vector<SweepRow> &rows, const AimdResult &with,
+          const AimdResult &without, const SessionResult &transient)
+{
+    std::FILE *f = std::fopen(path, "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", path);
+        return;
+    }
+    std::fprintf(f, "{\n  \"smoke\": %s,\n", smoke ? "true" : "false");
+
+    std::fprintf(f, "  \"sweep\": [\n");
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const SweepRow &r = rows[i];
+        const ResilienceStats &s = r.stats;
+        std::fprintf(
+            f,
+            "    {\"scenario\": \"%s\", \"policy\": \"%s\", "
+            "\"frames\": %d, \"dropped\": %lld, \"discarded\": %lld, "
+            "\"concealed\": %lld, \"nacks\": %lld, "
+            "\"intra_refreshes\": %lld, \"longest_stale_run\": %lld, "
+            "\"recovery_latency_ms_mean\": %.3f, "
+            "\"recovery_episodes\": %lld}%s\n",
+            r.scenario.c_str(), r.policy.c_str(), r.frames,
+            (long long)s.frames_dropped, (long long)s.frames_discarded,
+            (long long)s.frames_concealed, (long long)s.nacks_sent,
+            (long long)s.intra_refreshes, (long long)s.longest_stale_run,
+            s.recovery_latency_ms.mean(),
+            (long long)s.recovery_latency_ms.count(),
+            i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+
+    std::fprintf(f,
+                 "  \"aimd\": {\"channel_mbps\": 3.0, "
+                 "\"initial_target_mbps\": 6.0, \"frames\": %d, "
+                 "\"tail_start\": %d,\n",
+                 with.frames, with.tail_start);
+    std::fprintf(f,
+                 "    \"with_backoff\": {\"dropped\": %lld, "
+                 "\"backoffs\": %lld, \"tail_dropped\": %lld},\n",
+                 (long long)with.dropped, (long long)with.backoffs,
+                 (long long)with.tail_dropped);
+    std::fprintf(f,
+                 "    \"without_backoff\": {\"dropped\": %lld, "
+                 "\"backoffs\": %lld, \"tail_dropped\": %lld}},\n",
+                 (long long)without.dropped, (long long)without.backoffs,
+                 (long long)without.tail_dropped);
+
+    const ResilienceStats &ts = transient.resilience;
+    std::fprintf(f,
+                 "  \"transient\": {\"delivered_psnr_db\": %.3f, "
+                 "\"concealed_psnr_db\": %.3f,\n",
+                 ts.delivered_psnr_db.mean(),
+                 ts.concealed_psnr_db.mean());
+    std::fprintf(f, "    \"frames\": [");
+    for (size_t i = 0; i < transient.quality.size(); ++i) {
+        std::fprintf(f, "%s%lld", i ? ", " : "",
+                     (long long)transient.quality[i].frame_index);
+    }
+    std::fprintf(f, "],\n    \"psnr_db\": [");
+    for (size_t i = 0; i < transient.quality.size(); ++i) {
+        std::fprintf(f, "%s%.3f", i ? ", " : "",
+                     transient.quality[i].psnr_db);
+    }
+    std::fprintf(f, "],\n    \"concealed\": [");
+    for (size_t i = 0; i < transient.quality.size(); ++i) {
+        std::fprintf(f, "%s%s", i ? ", " : "",
+                     transient.quality[i].concealed ? "true" : "false");
+    }
+    std::fprintf(f, "]}\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0)
+            smoke = true;
+    }
+
+    printHeader("Resilience",
+                "fault scenarios x recovery designs, 720p60 "
+                "accounting" + std::string(smoke ? " (smoke)" : ""));
+
+    const int frames = smoke ? 120 : 300;
+
+    std::vector<ScenarioCase> scenarios;
+    scenarios.push_back({"clean", ChannelConfig::wifi(),
+                         FaultScenario::none()});
+    scenarios.push_back({"loss-burst", ChannelConfig::wifi(),
+                         FaultScenario::lossBurst(30, 3)});
+    scenarios.push_back({"bw-collapse", ChannelConfig::wifi(),
+                         FaultScenario::bandwidthCollapse(60, 30, 0.10)});
+    scenarios.push_back({"rtt-spike", ChannelConfig::wifi(),
+                         FaultScenario::rttSpike(60, 30)});
+    scenarios.push_back({"mixed", ChannelConfig::wifi(),
+                         FaultScenario::mixed(30, 25)});
+    scenarios.push_back({"ge-bursty", ChannelConfig::wifiBursty(),
+                         FaultScenario::none()});
+
+    const std::vector<PolicyCase> policies = {
+        {"no-recovery", false, ConcealmentMode::Hold},
+        {"nack-hold", true, ConcealmentMode::Hold},
+        {"nack-extrap", true, ConcealmentMode::MotionExtrapolate},
+    };
+
+    std::vector<SweepRow> rows;
+    TableWriter table({"scenario", "policy", "dropped", "discarded",
+                       "concealed", "nacks", "intras", "max stale",
+                       "recovery (ms)"});
+    for (const ScenarioCase &sc : scenarios) {
+        for (const PolicyCase &po : policies) {
+            rows.push_back(runCell(sc, po, frames));
+            const ResilienceStats &s = rows.back().stats;
+            table.addRow(
+                {sc.name, po.name,
+                 std::to_string(s.frames_dropped),
+                 std::to_string(s.frames_discarded),
+                 std::to_string(s.frames_concealed),
+                 std::to_string(s.nacks_sent),
+                 std::to_string(s.intra_refreshes),
+                 std::to_string(s.longest_stale_run),
+                 s.recovery_latency_ms.count()
+                     ? TableWriter::num(s.recovery_latency_ms.mean(), 1)
+                     : "-"});
+        }
+    }
+    printTable(table);
+
+    // AIMD backoff: a 6 Mbit/s target offered to a 3 Mbit/s channel.
+    std::cout << "\nAIMD bitrate backoff on an overloaded channel "
+                 "(6 Mbit/s target, 3 Mbit/s capacity):\n";
+    AimdResult with = runAimdCase(true, smoke ? 180 : 360);
+    AimdResult without = runAimdCase(false, smoke ? 180 : 360);
+    TableWriter aimd_table({"policy", "dropped", "backoffs",
+                            "steady-state drops"});
+    aimd_table.addRow({"aimd", std::to_string(with.dropped),
+                       std::to_string(with.backoffs),
+                       std::to_string(with.tail_dropped)});
+    aimd_table.addRow({"fixed-rate", std::to_string(without.dropped),
+                       std::to_string(without.backoffs),
+                       std::to_string(without.tail_dropped)});
+    printTable(aimd_table);
+
+    // Transient quality: the honest PSNR dip while concealing a loss
+    // burst, and the recovery after the NACK-forced intra. The smoke
+    // run trains a quick throwaway net; the full run uses the shared
+    // bench net at a larger frame size.
+    std::cout << "\nmeasuring transient PSNR through a loss burst ...\n";
+    SessionConfig tq;
+    tq.game = GameId::G3_Witcher3;
+    tq.design = DesignKind::GameStreamSR;
+    tq.measure_quality = true;
+    if (smoke) {
+        tq.lr_size = {192, 96};
+        tq.frames = 16;
+        tq.codec.gop_size = 16;
+        tq.fault_scenario = FaultScenario::lossBurst(6, 2);
+        TrainerConfig trainer;
+        trainer.iterations = 150;
+        tq.sr_net = std::make_shared<const CompactSrNet>(
+            trainedSrNet("", trainer));
+    } else {
+        tq.lr_size = {320, 180};
+        tq.frames = 60;
+        tq.codec.gop_size = 30;
+        tq.fault_scenario = FaultScenario::lossBurst(12, 3);
+        tq.sr_net = sharedSrNet();
+    }
+    SessionResult transient = runSession(tq);
+
+    TableWriter tq_table({"frame", "type", "PSNR (dB)", "output"});
+    for (const FrameQuality &q : transient.quality) {
+        tq_table.addRow({std::to_string(q.frame_index),
+                         frameTypeName(q.type),
+                         TableWriter::num(q.psnr_db, 2),
+                         q.concealed ? "concealed" : "delivered"});
+    }
+    printTable(tq_table);
+    std::cout << "mean PSNR: delivered "
+              << TableWriter::num(
+                     transient.resilience.delivered_psnr_db.mean(), 2)
+              << " dB, concealed "
+              << TableWriter::num(
+                     transient.resilience.concealed_psnr_db.mean(), 2)
+              << " dB (dip of "
+              << TableWriter::num(
+                     transient.resilience.delivered_psnr_db.mean() -
+                         transient.resilience.concealed_psnr_db.mean(),
+                     2)
+              << " dB while stale)\n";
+
+    writeJson("BENCH_resilience.json", smoke, rows, with, without,
+              transient);
+    return 0;
+}

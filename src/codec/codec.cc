@@ -108,8 +108,8 @@ GopEncoder::GopEncoder(const CodecConfig &config, Size frame_size)
 FrameType
 GopEncoder::nextFrameType() const
 {
-    return next_index_ % config_.gop_size == 0 ? FrameType::Reference
-                                               : FrameType::NonReference;
+    return gop_pos_ == 0 ? FrameType::Reference
+                         : FrameType::NonReference;
 }
 
 EncodedFrame
@@ -167,6 +167,7 @@ GopEncoder::encodeYuv(const Yuv420Image &frame)
 
     out.payload = writer.take();
     next_index_ += 1;
+    gop_pos_ = (gop_pos_ + 1) % config_.gop_size;
     return out;
 }
 

@@ -105,6 +105,15 @@ class GopEncoder
     i64 frameCount() const { return next_index_; }
 
     /**
+     * Force the next frame to be intra coded (a Reference frame),
+     * realigning the GOP so the following gop_size - 1 frames are
+     * deltas. This is the server's response to a client NACK: an
+     * intra frame re-seeds the client's reference state without
+     * waiting for the natural GOP boundary.
+     */
+    void forceIntraRefresh() { gop_pos_ = 0; }
+
+    /**
      * Change the quantization parameter for subsequent frames (used
      * by the rate controller). The qp travels in each frame header,
      * so no decoder coordination is needed.
@@ -122,6 +131,7 @@ class GopEncoder
     CodecConfig config_;
     Size size_;
     i64 next_index_ = 0;
+    i64 gop_pos_ = 0; ///< position within the current GOP
     Yuv420Image recon_prev_;
 };
 

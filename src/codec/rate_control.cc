@@ -64,4 +64,50 @@ RateController::qpForNextFrame(FrameType type)
     return qp_;
 }
 
+AimdController::AimdController(const AimdConfig &config,
+                               f64 initial_mbps)
+    : config_(config), target_mbps_(initial_mbps)
+{
+    GSSR_ASSERT(config_.min_mbps > 0.0 &&
+                    config_.min_mbps <= config_.max_mbps,
+                "invalid AIMD bitrate bounds");
+    GSSR_ASSERT(config_.decrease_factor > 0.0 &&
+                    config_.decrease_factor < 1.0,
+                "AIMD decrease factor must be in (0, 1)");
+    GSSR_ASSERT(config_.increase_mbps_per_s >= 0.0,
+                "AIMD increase slope must be >= 0");
+    target_mbps_ =
+        clamp(target_mbps_, config_.min_mbps, config_.max_mbps);
+}
+
+bool
+AimdController::onCongestion(f64 now_ms)
+{
+    if (now_ms - last_backoff_ms_ < config_.backoff_hold_ms)
+        return false;
+    target_mbps_ = clamp(target_mbps_ * config_.decrease_factor,
+                         config_.min_mbps, config_.max_mbps);
+    last_backoff_ms_ = now_ms;
+    backoffs_ += 1;
+    return true;
+}
+
+void
+AimdController::onDelivered(f64 now_ms)
+{
+    if (last_delivered_ms_ < 0.0) {
+        last_delivered_ms_ = now_ms;
+        return;
+    }
+    f64 dt_s = std::max(0.0, (now_ms - last_delivered_ms_) / 1e3);
+    last_delivered_ms_ = now_ms;
+    // Hold the target down while a backoff is fresh so one loss
+    // episode is not immediately re-probed.
+    if (now_ms - last_backoff_ms_ < config_.backoff_hold_ms)
+        return;
+    target_mbps_ =
+        clamp(target_mbps_ + config_.increase_mbps_per_s * dt_s,
+              config_.min_mbps, config_.max_mbps);
+}
+
 } // namespace gssr

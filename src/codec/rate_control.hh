@@ -69,6 +69,17 @@ class RateController
     /** Current qp. */
     int qp() const { return qp_; }
 
+    /**
+     * Retarget the controller (used by the AIMD congestion loop to
+     * move the whole encoder operating point).
+     */
+    void
+    setTargetMbps(f64 target_mbps)
+    {
+        GSSR_ASSERT(target_mbps > 0.0, "target bitrate must be > 0");
+        config_.target_mbps = target_mbps;
+    }
+
     const RateControlConfig &config() const { return config_; }
 
   private:
@@ -76,6 +87,66 @@ class RateController
     int qp_;
     f64 smoothed_bytes_ = 0.0;
     bool has_observation_ = false;
+};
+
+/** AIMD bitrate-backoff configuration. */
+struct AimdConfig
+{
+    /** Target bitrate bounds (Mbit/s). */
+    f64 min_mbps = 2.0;
+    f64 max_mbps = 120.0;
+
+    /** Additive recovery slope (Mbit/s per second of delivery). */
+    f64 increase_mbps_per_s = 4.0;
+
+    /** Multiplicative backoff factor applied on congestion. */
+    f64 decrease_factor = 0.7;
+
+    /**
+     * Refractory period between backoffs (ms): one loss episode —
+     * which typically drops several frames of the same overload —
+     * triggers a single multiplicative decrease.
+     */
+    f64 backoff_hold_ms = 250.0;
+};
+
+/**
+ * Additive-increase / multiplicative-decrease controller over the
+ * stream's target bitrate (the classic congestion-control rule,
+ * applied at frame granularity). Feed it congestion signals (drops,
+ * NACKs) and delivery acknowledgements; it yields the target the
+ * encoder's RateController should chase, bounding the steady-state
+ * drop rate on a congested channel.
+ */
+class AimdController
+{
+  public:
+    AimdController(const AimdConfig &config, f64 initial_mbps);
+
+    /**
+     * Congestion signal at session time @p now_ms.
+     * @return true when a multiplicative backoff was applied (false
+     *         inside the refractory window).
+     */
+    bool onCongestion(f64 now_ms);
+
+    /** A frame was delivered at @p now_ms: additive increase. */
+    void onDelivered(f64 now_ms);
+
+    /** Current target bitrate (Mbit/s). */
+    f64 targetMbps() const { return target_mbps_; }
+
+    /** Number of multiplicative backoffs applied. */
+    i64 backoffCount() const { return backoffs_; }
+
+    const AimdConfig &config() const { return config_; }
+
+  private:
+    AimdConfig config_;
+    f64 target_mbps_;
+    f64 last_backoff_ms_ = -1e18;
+    f64 last_delivered_ms_ = -1.0;
+    i64 backoffs_ = 0;
 };
 
 } // namespace gssr

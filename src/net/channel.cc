@@ -34,6 +34,20 @@ ChannelConfig::wifi()
 }
 
 ChannelConfig
+ChannelConfig::wifiBursty()
+{
+    // WiFi through a fading link: ~2-frame loss bursts every ~2 s at
+    // 60 FPS (long-run burst loss ~1.5 %), on top of the base model.
+    ChannelConfig c = wifi();
+    c.name = "wifi-bursty";
+    c.ge_p_enter_burst = 0.008;
+    c.ge_p_exit_burst = 0.5;
+    c.ge_loss_good = 0.0;
+    c.ge_loss_bad = 1.0;
+    return c;
+}
+
+ChannelConfig
 ChannelConfig::fiveGEmbb()
 {
     ChannelConfig c;
@@ -61,11 +75,74 @@ ChannelConfig::fiveGUrllc()
     return c;
 }
 
+const char *
+dropCauseName(DropCause cause)
+{
+    switch (cause) {
+      case DropCause::None:
+        return "none";
+      case DropCause::Congestion:
+        return "congestion";
+      case DropCause::Burst:
+        return "burst";
+      case DropCause::Random:
+        return "random";
+      case DropCause::Scenario:
+        return "scenario";
+    }
+    return "?";
+}
+
 NetworkChannel::NetworkChannel(const ChannelConfig &config, u64 seed)
-    : config_(config), rng_(seed)
+    : config_(config), seed_(seed), rng_(seed),
+      feedback_rng_(seed ^ 0x9e3779b97f4a7c15ULL)
 {
     GSSR_ASSERT(config_.bandwidth_mbps > 0.0, "bandwidth must be > 0");
     GSSR_ASSERT(config_.mtu_bytes > 0, "mtu must be > 0");
+    GSSR_ASSERT(config_.packet_loss >= 0.0 && config_.packet_loss <= 1.0,
+                "packet_loss must be a probability in [0, 1]");
+    GSSR_ASSERT(config_.bandwidth_jitter >= 0.0 &&
+                    config_.bandwidth_jitter <= 1.0,
+                "bandwidth_jitter must be in [0, 1]");
+    GSSR_ASSERT(config_.congestion_knee > 0.0 &&
+                    config_.congestion_knee <= 1.0,
+                "congestion_knee must be in (0, 1]");
+    GSSR_ASSERT(config_.jitter_ms >= 0.0, "jitter_ms must be >= 0");
+    GSSR_ASSERT(config_.rtt_ms >= 0.0, "rtt_ms must be >= 0");
+    GSSR_ASSERT(config_.ge_p_enter_burst >= 0.0 &&
+                    config_.ge_p_enter_burst <= 1.0 &&
+                    config_.ge_p_exit_burst >= 0.0 &&
+                    config_.ge_p_exit_burst <= 1.0 &&
+                    config_.ge_loss_good >= 0.0 &&
+                    config_.ge_loss_good <= 1.0 &&
+                    config_.ge_loss_bad >= 0.0 &&
+                    config_.ge_loss_bad <= 1.0,
+                "Gilbert–Elliott parameters must be probabilities");
+}
+
+NetworkChannel::NetworkChannel(const ChannelConfig &config, u64 seed,
+                               FaultScenario scenario)
+    : NetworkChannel(config, seed)
+{
+    scenario_ = std::move(scenario);
+}
+
+void
+NetworkChannel::setScenario(FaultScenario scenario)
+{
+    scenario_ = std::move(scenario);
+}
+
+void
+NetworkChannel::reset()
+{
+    rng_ = Rng(seed_);
+    feedback_rng_ = Rng(seed_ ^ 0x9e3779b97f4a7c15ULL);
+    latency_stats_ = SampleStats();
+    frames_total_ = 0;
+    frames_dropped_ = 0;
+    drops_by_cause_ = {};
+    ge_bad_ = false;
 }
 
 TransmitResult
@@ -74,10 +151,30 @@ NetworkChannel::transmitFrame(size_t frame_bytes, f64 offered_load_mbps)
     TransmitResult result;
     result.packets =
         int(ceilDiv(i64(frame_bytes), i64(config_.mtu_bytes)));
+    const FaultEvent effect = scenario_.effectAt(frames_total_);
     frames_total_ += 1;
 
+    auto drop = [&](DropCause cause) {
+        result.dropped = true;
+        result.cause = cause;
+        frames_dropped_ += 1;
+        drops_by_cause_[size_t(cause)] += 1;
+        return result;
+    };
+
+    // Advance the Gilbert–Elliott chain (one transition draw per
+    // frame whenever the model is enabled, so replay is stable).
+    const bool ge_enabled = config_.ge_p_enter_burst > 0.0;
+    if (ge_enabled) {
+        f64 p_flip = ge_bad_ ? config_.ge_p_exit_burst
+                             : config_.ge_p_enter_burst;
+        if (rng_.bernoulli(p_flip))
+            ge_bad_ = !ge_bad_;
+    }
+    const bool in_burst = ge_bad_ || effect.force_burst;
+
     // Sample this frame's effective capacity.
-    f64 capacity = config_.bandwidth_mbps *
+    f64 capacity = config_.bandwidth_mbps * effect.bandwidth_scale *
                    std::max(0.05, rng_.normal(1.0,
                                               config_.bandwidth_jitter));
 
@@ -85,30 +182,43 @@ NetworkChannel::transmitFrame(size_t frame_bytes, f64 offered_load_mbps)
     f64 knee = capacity * config_.congestion_knee;
     if (offered_load_mbps > knee) {
         f64 overload = (offered_load_mbps - knee) / (capacity * 2.0 - knee);
-        if (rng_.bernoulli(clamp(overload, 0.0, 1.0))) {
-            result.dropped = true;
-            frames_dropped_ += 1;
-            return result;
-        }
+        if (rng_.bernoulli(clamp(overload, 0.0, 1.0)))
+            return drop(DropCause::Congestion);
     }
 
+    // Burst loss: the Bad state of the Gilbert–Elliott chain (or a
+    // scenario-pinned burst window).
+    if (in_burst && rng_.bernoulli(config_.ge_loss_bad))
+        return drop(DropCause::Burst);
+
     // Random per-packet loss; any lost packet drops the frame.
+    f64 loss_good = ge_enabled ? config_.ge_loss_good : 0.0;
     f64 frame_loss =
         1.0 - std::pow(1.0 - config_.packet_loss, f64(result.packets));
-    if (rng_.bernoulli(frame_loss)) {
-        result.dropped = true;
-        frames_dropped_ += 1;
-        return result;
-    }
+    frame_loss = 1.0 - (1.0 - frame_loss) * (1.0 - loss_good);
+    if (rng_.bernoulli(frame_loss))
+        return drop(DropCause::Random);
+
+    // Scripted extra loss from the active fault window.
+    if (effect.extra_loss > 0.0 && rng_.bernoulli(effect.extra_loss))
+        return drop(DropCause::Scenario);
 
     f64 serialization_ms =
         f64(frame_bytes) * 8.0 / (capacity * 1e6) * 1e3;
     f64 propagation_ms =
-        config_.rtt_ms * 0.5 +
+        config_.rtt_ms * 0.5 + effect.extra_rtt_ms +
         std::abs(rng_.normal(0.0, config_.jitter_ms));
     result.latency_ms = serialization_ms + propagation_ms;
     latency_stats_.add(result.latency_ms);
     return result;
+}
+
+f64
+NetworkChannel::feedbackDelayMs()
+{
+    const FaultEvent effect = scenario_.effectAt(frames_total_);
+    return config_.rtt_ms * 0.5 + effect.extra_rtt_ms +
+           std::abs(feedback_rng_.normal(0.0, config_.jitter_ms));
 }
 
 } // namespace gssr

@@ -13,17 +13,24 @@
  *    the channel's effective capacity (this is what produces the
  *    44 % / 90 % frame-drop numbers for 2K streams in the paper's
  *    motivation, and the 5G bandwidth/latency trade-off of the eMBB
- *    vs URLLC channels).
+ *    vs URLLC channels),
+ *  - Gilbert–Elliott two-state burst loss (wireless fading produces
+ *    correlated loss runs, not i.i.d. drops — the regime the
+ *    loss-resilience subsystem recovers from),
+ *  - scripted fault scenarios (net/fault.hh) replayed deterministically
+ *    against the frame counter.
  */
 
 #ifndef GSSR_NET_CHANNEL_HH
 #define GSSR_NET_CHANNEL_HH
 
+#include <array>
 #include <string>
 
 #include "common/rng.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "net/fault.hh"
 
 namespace gssr
 {
@@ -58,8 +65,28 @@ struct ChannelConfig
     /** Path MTU (bytes per packet). */
     int mtu_bytes = 1400;
 
+    /**
+     * Gilbert–Elliott burst-loss model, evaluated at frame
+     * granularity: before each transmission the chain moves
+     * Good -> Bad with probability ge_p_enter_burst and Bad -> Good
+     * with ge_p_exit_burst; while Bad, a frame is lost with
+     * probability ge_loss_bad (plus ge_loss_good while Good). The
+     * long-run loss rate is
+     *   pi_bad * ge_loss_bad + (1 - pi_bad) * ge_loss_good,
+     * with pi_bad = p_enter / (p_enter + p_exit), and the mean burst
+     * sojourn is 1 / p_exit frames. Disabled by default
+     * (ge_p_enter_burst == 0).
+     */
+    f64 ge_p_enter_burst = 0.0;
+    f64 ge_p_exit_burst = 0.0;
+    f64 ge_loss_good = 0.0;
+    f64 ge_loss_bad = 1.0;
+
     /** Typical home/venue WiFi (high loss variance). */
     static ChannelConfig wifi();
+
+    /** WiFi with a fading-induced Gilbert–Elliott burst process. */
+    static ChannelConfig wifiBursty();
 
     /** 5G mmWave eMBB: high bandwidth, higher latency. */
     static ChannelConfig fiveGEmbb();
@@ -67,6 +94,19 @@ struct ChannelConfig
     /** 5G URLLC: very low latency, very low bandwidth. */
     static ChannelConfig fiveGUrllc();
 };
+
+/** Why a frame was dropped. */
+enum class DropCause
+{
+    None,       ///< delivered
+    Congestion, ///< offered load exceeded the sampled capacity knee
+    Burst,      ///< Gilbert–Elliott Bad-state loss
+    Random,     ///< i.i.d. per-packet loss
+    Scenario,   ///< scripted FaultEvent extra loss
+};
+
+/** Drop cause name for tables. */
+const char *dropCauseName(DropCause cause);
 
 /** Outcome of transmitting one frame. */
 struct TransmitResult
@@ -76,6 +116,9 @@ struct TransmitResult
 
     /** True when the frame was lost (loss or congestion). */
     bool dropped = false;
+
+    /** What dropped the frame (None when delivered). */
+    DropCause cause = DropCause::None;
 
     /** Number of packets the frame was split into. */
     int packets = 0;
@@ -89,6 +132,24 @@ class NetworkChannel
   public:
     NetworkChannel(const ChannelConfig &config, u64 seed);
 
+    NetworkChannel(const ChannelConfig &config, u64 seed,
+                   FaultScenario scenario);
+
+    /**
+     * Install a scripted fault schedule, applied against the
+     * channel's transmitted-frame counter.
+     */
+    void setScenario(FaultScenario scenario);
+
+    /**
+     * Rewind the channel to its freshly constructed state: reseeds
+     * the generator, clears the statistics and the Gilbert–Elliott
+     * state, and restarts the scenario frame counter. A reset channel
+     * replays the exact same drop/latency sequence, so benches can
+     * reuse one channel across runs without carrying stats over.
+     */
+    void reset();
+
     /**
      * Transmit one compressed frame.
      * @param frame_bytes compressed frame size.
@@ -97,6 +158,14 @@ class NetworkChannel
      */
     TransmitResult transmitFrame(size_t frame_bytes,
                                  f64 offered_load_mbps);
+
+    /**
+     * Sample a client -> server feedback-path delay (RTT/2 + jitter,
+     * plus any scripted RTT spike active at the current frame).
+     * Drawn from an independent generator so the data-path replay is
+     * unaffected by whether feedback is in use.
+     */
+    f64 feedbackDelayMs();
 
     /** Delivered (non-dropped) frame latency statistics. */
     const SampleStats &latencyStats() const { return latency_stats_; }
@@ -112,14 +181,33 @@ class NetworkChannel
     /** Frames offered to the channel so far. */
     i64 framesTotal() const { return frames_total_; }
 
+    /** Frames dropped so far. */
+    i64 framesDropped() const { return frames_dropped_; }
+
+    /** Frames dropped for one specific cause. */
+    i64
+    dropCount(DropCause cause) const
+    {
+        return drops_by_cause_[size_t(cause)];
+    }
+
+    /** True while the Gilbert–Elliott chain is in its Bad state. */
+    bool inBurst() const { return ge_bad_; }
+
     const ChannelConfig &config() const { return config_; }
+    const FaultScenario &scenario() const { return scenario_; }
 
   private:
     ChannelConfig config_;
+    u64 seed_;
     Rng rng_;
+    Rng feedback_rng_;
+    FaultScenario scenario_;
     SampleStats latency_stats_;
     i64 frames_total_ = 0;
     i64 frames_dropped_ = 0;
+    std::array<i64, 5> drops_by_cause_{};
+    bool ge_bad_ = false;
 };
 
 /**

@@ -1,0 +1,85 @@
+#include "net/fault.hh"
+
+namespace gssr
+{
+
+FaultEvent
+FaultScenario::effectAt(i64 frame) const
+{
+    FaultEvent combined;
+    combined.start_frame = frame;
+    combined.end_frame = frame + 1;
+    for (const FaultEvent &e : events) {
+        if (frame < e.start_frame || frame >= e.end_frame)
+            continue;
+        combined.bandwidth_scale *= e.bandwidth_scale;
+        combined.extra_rtt_ms += e.extra_rtt_ms;
+        // Independent loss processes compose as 1 - prod(1 - p).
+        combined.extra_loss =
+            1.0 - (1.0 - combined.extra_loss) * (1.0 - e.extra_loss);
+        combined.force_burst = combined.force_burst || e.force_burst;
+    }
+    return combined;
+}
+
+FaultScenario
+FaultScenario::none()
+{
+    return FaultScenario{};
+}
+
+FaultScenario
+FaultScenario::lossBurst(i64 start, i64 frames)
+{
+    FaultScenario s;
+    s.name = "loss-burst";
+    FaultEvent e;
+    e.start_frame = start;
+    e.end_frame = start + frames;
+    e.force_burst = true;
+    s.events.push_back(e);
+    return s;
+}
+
+FaultScenario
+FaultScenario::bandwidthCollapse(i64 start, i64 frames, f64 scale)
+{
+    FaultScenario s;
+    s.name = "bandwidth-collapse";
+    FaultEvent e;
+    e.start_frame = start;
+    e.end_frame = start + frames;
+    e.bandwidth_scale = scale;
+    s.events.push_back(e);
+    return s;
+}
+
+FaultScenario
+FaultScenario::rttSpike(i64 start, i64 frames, f64 extra_ms)
+{
+    FaultScenario s;
+    s.name = "rtt-spike";
+    FaultEvent e;
+    e.start_frame = start;
+    e.end_frame = start + frames;
+    e.extra_rtt_ms = extra_ms;
+    s.events.push_back(e);
+    return s;
+}
+
+FaultScenario
+FaultScenario::mixed(i64 start, i64 period)
+{
+    FaultScenario burst = lossBurst(start, period / 2);
+    FaultScenario bw =
+        bandwidthCollapse(start + period, period / 2, 0.25);
+    FaultScenario rtt = rttSpike(start + 2 * period, period / 2, 80.0);
+    FaultScenario s;
+    s.name = "mixed";
+    s.events.push_back(burst.events[0]);
+    s.events.push_back(bw.events[0]);
+    s.events.push_back(rtt.events[0]);
+    return s;
+}
+
+} // namespace gssr

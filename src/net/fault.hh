@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Scripted fault scenarios for the network channel. A FaultScenario
+ * is a deterministic schedule of FaultEvents — windows of frames in
+ * which the channel misbehaves in a prescribed way (capacity
+ * collapse, RTT spike, forced loss burst). Together with a fixed
+ * channel seed this makes an entire faulty session bit-for-bit
+ * reproducible, which is what the resilience benches and the
+ * recovery-protocol tests replay.
+ */
+
+#ifndef GSSR_NET_FAULT_HH
+#define GSSR_NET_FAULT_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace gssr
+{
+
+/**
+ * One scheduled fault window, active for transmitted frames
+ * [start_frame, end_frame).
+ */
+struct FaultEvent
+{
+    i64 start_frame = 0;
+    i64 end_frame = 0; ///< exclusive
+
+    /** Multiplier on the sampled channel capacity (1 = unchanged). */
+    f64 bandwidth_scale = 1.0;
+
+    /** Added one-way propagation delay (ms). */
+    f64 extra_rtt_ms = 0.0;
+
+    /** Additional independent frame-loss probability in [0, 1]. */
+    f64 extra_loss = 0.0;
+
+    /** Pin the Gilbert–Elliott chain in its Bad (burst) state. */
+    bool force_burst = false;
+};
+
+/**
+ * A named, ordered schedule of fault events. Events may overlap;
+ * overlapping windows compose (scales multiply, delays add, loss
+ * probabilities combine as independent events).
+ */
+struct FaultScenario
+{
+    std::string name = "none";
+    std::vector<FaultEvent> events;
+
+    bool empty() const { return events.empty(); }
+
+    /** Combined effect of all events covering @p frame. */
+    FaultEvent effectAt(i64 frame) const;
+
+    /** The clean channel (no scripted faults). */
+    static FaultScenario none();
+
+    /**
+     * Forced loss burst: every frame in [start, start + frames) is
+     * transmitted through a pinned-Bad Gilbert–Elliott channel.
+     */
+    static FaultScenario lossBurst(i64 start, i64 frames);
+
+    /** Capacity collapses to @p scale of nominal for the window. */
+    static FaultScenario bandwidthCollapse(i64 start, i64 frames,
+                                           f64 scale = 0.25);
+
+    /** One-way delay grows by @p extra_ms for the window. */
+    static FaultScenario rttSpike(i64 start, i64 frames,
+                                  f64 extra_ms = 80.0);
+
+    /**
+     * The kitchen sink: a loss burst, then a bandwidth collapse,
+     * then an RTT spike, spaced @p period frames apart.
+     */
+    static FaultScenario mixed(i64 start, i64 period);
+};
+
+} // namespace gssr
+
+#endif // GSSR_NET_FAULT_HH

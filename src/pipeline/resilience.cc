@@ -1,0 +1,168 @@
+#include "pipeline/resilience.hh"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/mathutil.hh"
+#include "frame/downsample.hh"
+
+namespace gssr
+{
+
+namespace
+{
+
+/** Downsampling factor of the global-motion search plane. */
+constexpr int kShiftScale = 8;
+
+/** Search radius on the downsampled plane (=> +-32 px full scale). */
+constexpr int kShiftRange = 4;
+
+/** Copy @p src shifted by (dx, dy), replicating edge pixels. */
+ColorImage
+shiftImage(const ColorImage &src, int dx, int dy)
+{
+    const int w = src.width();
+    const int h = src.height();
+    ColorImage out(w, h);
+    for (int c = 0; c < 3; ++c) {
+        const PlaneU8 &in = src.channel(c);
+        PlaneU8 &dst = out.channel(c);
+        for (int y = 0; y < h; ++y) {
+            int sy = clamp(y - dy, 0, h - 1);
+            for (int x = 0; x < w; ++x) {
+                int sx = clamp(x - dx, 0, w - 1);
+                dst.at(x, y) = in.at(sx, sy);
+            }
+        }
+    }
+    return out;
+}
+
+/** SAD between two planes with @p b offset by (dx, dy). */
+i64
+shiftedSad(const PlaneU8 &a, const PlaneU8 &b, int dx, int dy)
+{
+    i64 sad = 0;
+    const int w = a.width();
+    const int h = a.height();
+    for (int y = 0; y < h; ++y) {
+        int sy = clamp(y - dy, 0, h - 1);
+        for (int x = 0; x < w; ++x) {
+            int sx = clamp(x - dx, 0, w - 1);
+            sad += std::abs(int(a.at(x, y)) - int(b.at(sx, sy)));
+        }
+    }
+    return sad;
+}
+
+} // namespace
+
+const char *
+concealmentModeName(ConcealmentMode mode)
+{
+    return mode == ConcealmentMode::Hold ? "hold"
+                                         : "motion-extrapolate";
+}
+
+void
+FeedbackPath::sendNack(i64 lost_frame, f64 now_ms, f64 delay_ms)
+{
+    GSSR_ASSERT(delay_ms >= 0.0, "feedback delay must be >= 0");
+    NackPacket nack;
+    nack.lost_frame = lost_frame;
+    nack.sent_ms = now_ms;
+    nack.arrive_ms = now_ms + delay_ms;
+    in_flight_.push_back(nack);
+    sent_ += 1;
+}
+
+std::vector<NackPacket>
+FeedbackPath::drainArrived(f64 now_ms)
+{
+    std::vector<NackPacket> arrived;
+    auto it = std::partition(
+        in_flight_.begin(), in_flight_.end(),
+        [&](const NackPacket &n) { return n.arrive_ms > now_ms; });
+    arrived.assign(it, in_flight_.end());
+    in_flight_.erase(it, in_flight_.end());
+    std::sort(arrived.begin(), arrived.end(),
+              [](const NackPacket &a, const NackPacket &b) {
+                  return a.arrive_ms < b.arrive_ms;
+              });
+    return arrived;
+}
+
+void
+estimateGlobalShift(const ColorImage &from, const ColorImage &to,
+                    int &dx, int &dy)
+{
+    GSSR_ASSERT(from.size() == to.size(),
+                "global shift needs equally sized frames");
+    PlaneU8 a = boxDownsample(toGrayscale(to), kShiftScale);
+    PlaneU8 b = boxDownsample(toGrayscale(from), kShiftScale);
+    i64 best = -1;
+    int best_dx = 0, best_dy = 0;
+    for (int sy = -kShiftRange; sy <= kShiftRange; ++sy) {
+        for (int sx = -kShiftRange; sx <= kShiftRange; ++sx) {
+            i64 sad = shiftedSad(a, b, sx, sy);
+            if (best < 0 || sad < best) {
+                best = sad;
+                best_dx = sx;
+                best_dy = sy;
+            }
+        }
+    }
+    dx = best_dx * kShiftScale;
+    dy = best_dy * kShiftScale;
+}
+
+void
+Concealer::onGoodFrame(const ColorImage &hr)
+{
+    prev_ = std::move(last_);
+    last_ = hr;
+}
+
+ColorImage
+Concealer::conceal(Size hr_size)
+{
+    if (last_.empty()) {
+        // Loss before the first good frame: nothing to hold, the
+        // display shows black.
+        return ColorImage(hr_size);
+    }
+    if (mode_ == ConcealmentMode::Hold || prev_.empty() ||
+        prev_.size() != last_.size()) {
+        return last_;
+    }
+    int dx = 0, dy = 0;
+    estimateGlobalShift(prev_, last_, dx, dy);
+    ColorImage extrapolated = shiftImage(last_, dx, dy);
+    // The extrapolated frame becomes the new base, so consecutive
+    // concealed frames keep tracking the estimated camera motion.
+    prev_ = std::move(last_);
+    last_ = extrapolated;
+    return last_;
+}
+
+void
+addConcealStage(FrameTrace &trace, const DeviceProfile &device,
+                Size hr_size, ConcealmentMode mode)
+{
+    // Frame hold is a GPU re-blit of the HR framebuffer; motion
+    // extrapolation adds the coarse SAD search on the 1/8-scale luma
+    // plus the shifted copy.
+    i64 ops = i64(hr_size.area());
+    if (mode == ConcealmentMode::MotionExtrapolate) {
+        i64 search_plane =
+            i64(hr_size.area()) / (kShiftScale * kShiftScale);
+        i64 candidates = (2 * kShiftRange + 1) * (2 * kShiftRange + 1);
+        ops += search_plane * candidates + i64(hr_size.area());
+    }
+    f64 gpu_ms = device.gpu.latencyMs(ops);
+    trace.add(Stage::Conceal, Resource::ClientGpu, gpu_ms,
+              device.gpu.energyMj(gpu_ms));
+}
+
+} // namespace gssr

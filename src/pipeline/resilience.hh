@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Loss-resilience layer of the streaming pipeline: the client-side
+ * decoder-reference tracker, the NACK feedback path back to the
+ * server, and the concealment engine that substitutes lost or
+ * undecodable frames with the last good high-resolution output.
+ *
+ * The protocol (DESIGN.md "Loss recovery & fault injection"):
+ *
+ *   1. A frame lost in the network — or a delta frame that arrived
+ *      but references lost decoder state — invalidates the client's
+ *      reference chain; every delta frame is *discarded* (never
+ *      decoded against stale references) until an intra frame
+ *      re-seeds the chain.
+ *   2. The client emits a NACK on the feedback path. It arrives at
+ *      the server RTT/2 + jitter later; the server responds by
+ *      forcing an intra refresh on its next encoded frame.
+ *   3. While the chain is stale the client *conceals*: it holds (or
+ *      motion-extrapolates) the last good HR frame, and session
+ *      quality is measured against ground truth on that concealed
+ *      output — transient PSNR dips are real, not masked.
+ */
+
+#ifndef GSSR_PIPELINE_RESILIENCE_HH
+#define GSSR_PIPELINE_RESILIENCE_HH
+
+#include <vector>
+
+#include "codec/rate_control.hh"
+#include "device/profiles.hh"
+#include "frame/frame.hh"
+#include "net/channel.hh"
+#include "pipeline/trace.hh"
+
+namespace gssr
+{
+
+/** How the client fills in a lost/undecodable frame. */
+enum class ConcealmentMode
+{
+    /** Repeat the last good HR frame (frame hold). */
+    Hold,
+
+    /**
+     * Shift the last good HR frame by the global motion estimated
+     * between the last two good frames (coarse full-frame search),
+     * extrapolating camera motion across the stale window.
+     */
+    MotionExtrapolate,
+};
+
+/** Concealment mode name for tables. */
+const char *concealmentModeName(ConcealmentMode mode);
+
+/** Session-level resilience policy. */
+struct ResilienceConfig
+{
+    /** Concealment mode for lost/undecodable frames. */
+    ConcealmentMode concealment = ConcealmentMode::Hold;
+
+    /** NACK -> forced-intra-refresh recovery protocol. */
+    bool nack = true;
+
+    /**
+     * The client re-sends its NACK when the chain is still stale
+     * this long after the previous one (covers NACKs raced by
+     * in-flight deltas and lost feedback).
+     */
+    f64 nack_timeout_ms = 50.0;
+
+    /**
+     * AIMD bitrate backoff on congestion signals. Only effective
+     * when the session runs with a rate-controlled encoder
+     * (target_bitrate_mbps > 0).
+     */
+    bool aimd = false;
+    AimdConfig aimd_config;
+};
+
+/**
+ * Client-side decoder-reference state machine. Delta frames in this
+ * codec predict from the immediately preceding reconstructed frame,
+ * so *any* lost frame stalls the chain until the next intra.
+ */
+class ReferenceTracker
+{
+  public:
+    enum class Action
+    {
+        Decode,  ///< safe to feed to the decoder
+        Discard, ///< references lost state; do not decode
+    };
+
+    /** A frame arrived intact; decide whether it is decodable. */
+    Action
+    onFrameArrived(FrameType type)
+    {
+        if (type == FrameType::Reference) {
+            chain_valid_ = true;
+            return Action::Decode;
+        }
+        return chain_valid_ ? Action::Decode : Action::Discard;
+    }
+
+    /** The frame never arrived: the reference chain is now stale. */
+    void onFrameLost() { chain_valid_ = false; }
+
+    /** True while delta frames can be decoded. */
+    bool chainValid() const { return chain_valid_; }
+
+  private:
+    bool chain_valid_ = true;
+};
+
+/** One NACK in flight on the feedback path. */
+struct NackPacket
+{
+    /** Stream index of the frame whose loss triggered the NACK. */
+    i64 lost_frame = 0;
+
+    /** Client send time (session clock, ms). */
+    f64 sent_ms = 0.0;
+
+    /** Server arrival time: sent + RTT/2 + jitter (ms). */
+    f64 arrive_ms = 0.0;
+};
+
+/**
+ * Client -> server feedback path. Delay samples come from the
+ * channel's dedicated feedback generator (NetworkChannel::
+ * feedbackDelayMs), so using the feedback path does not perturb the
+ * data-path replay.
+ */
+class FeedbackPath
+{
+  public:
+    /** Queue a NACK sent at @p now_ms with @p delay_ms path delay. */
+    void sendNack(i64 lost_frame, f64 now_ms, f64 delay_ms);
+
+    /** Pop every NACK that has reached the server by @p now_ms. */
+    std::vector<NackPacket> drainArrived(f64 now_ms);
+
+    /** NACKs sent over the session. */
+    i64 sentCount() const { return sent_; }
+
+    /** NACKs still in flight. */
+    size_t inFlight() const { return in_flight_.size(); }
+
+  private:
+    std::vector<NackPacket> in_flight_;
+    i64 sent_ = 0;
+};
+
+/**
+ * Concealment engine: remembers the last two good HR outputs and
+ * synthesizes a stand-in for a lost frame. Purely client-side —
+ * works identically for every client design, since it only touches
+ * the displayed output.
+ */
+class Concealer
+{
+  public:
+    explicit Concealer(ConcealmentMode mode) : mode_(mode) {}
+
+    /** Record a successfully decoded + upscaled output frame. */
+    void onGoodFrame(const ColorImage &hr);
+
+    /**
+     * Produce the concealed output for one lost/undecodable frame
+     * of size @p hr_size. Repeated calls keep extrapolating (the
+     * concealed frame becomes the new extrapolation base). Returns
+     * a black frame when no good frame was ever received.
+     */
+    ColorImage conceal(Size hr_size);
+
+    /** True once at least one good frame was recorded. */
+    bool hasReference() const { return !last_.empty(); }
+
+    ConcealmentMode mode() const { return mode_; }
+
+  private:
+    ConcealmentMode mode_;
+    ColorImage last_; ///< most recent good (or extrapolated) frame
+    ColorImage prev_; ///< the good frame before it
+};
+
+/**
+ * Append the concealment stage accounting to @p trace: a GPU
+ * framebuffer re-blit (hold), plus the coarse global-motion search
+ * on the GPU for motion extrapolation.
+ */
+void addConcealStage(FrameTrace &trace, const DeviceProfile &device,
+                     Size hr_size, ConcealmentMode mode);
+
+/**
+ * Coarse global-motion estimate between two equally sized frames:
+ * full-frame SAD search on 1/8-scale luma, returned in full-scale
+ * pixels. Exposed for tests.
+ */
+void estimateGlobalShift(const ColorImage &from, const ColorImage &to,
+                         int &dx, int &dy);
+
+} // namespace gssr
+
+#endif // GSSR_PIPELINE_RESILIENCE_HH

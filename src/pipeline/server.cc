@@ -1,10 +1,19 @@
 #include "pipeline/server.hh"
 
+#include <cmath>
+
 #include "common/mathutil.hh"
 #include "frame/downsample.hh"
 
 namespace gssr
 {
+
+size_t
+proxyStreamBytes(size_t payload_bytes, f64 area_ratio)
+{
+    GSSR_ASSERT(area_ratio >= 1.0, "proxy must not exceed the stream");
+    return size_t(f64(payload_bytes) * std::pow(area_ratio, 0.78));
+}
 
 GameStreamServer::GameStreamServer(const GameWorld &world,
                                    const ServerConfig &config,
@@ -30,6 +39,24 @@ GameStreamServer::GameStreamServer(const GameWorld &world,
         rc.fps = config_.fps;
         rate_controller_.emplace(rc, config_.codec.qp);
     }
+}
+
+void
+GameStreamServer::requestIntraRefresh()
+{
+    if (encoder_.nextFrameType() == FrameType::Reference)
+        return; // the next frame is already an intra
+    encoder_.forceIntraRefresh();
+    intra_refresh_pending_ = true;
+    intra_refreshes_ += 1;
+}
+
+void
+GameStreamServer::setTargetBitrate(f64 mbps)
+{
+    GSSR_ASSERT(rate_controller_.has_value(),
+                "setTargetBitrate needs a rate-controlled server");
+    rate_controller_->setTargetMbps(mbps);
 }
 
 ServerFrameOutput
@@ -96,8 +123,8 @@ GameStreamServer::nextFrame()
     }
 
     // Encode (server hardware encoder). In proxy mode the byte count
-    // is scaled by the area ratio (bitrate scales ~linearly with
-    // pixel count for the same content and qp).
+    // is scaled up to what an lr_size encode of the same content
+    // produces (see proxyStreamBytes).
     if (rate_controller_) {
         encoder_.setQp(rate_controller_->qpForNextFrame(
             encoder_.nextFrameType()));
@@ -107,9 +134,9 @@ GameStreamServer::nextFrame()
     out.trace.type = out.encoded.type;
     size_t stream_bytes = out.encoded.sizeBytes();
     if (proxy) {
-        stream_bytes = size_t(
-            f64(stream_bytes) * f64(config_.lr_size.area()) /
-            f64(render_size.area()));
+        stream_bytes = proxyStreamBytes(
+            stream_bytes, f64(config_.lr_size.area()) /
+                              f64(render_size.area()));
     }
     out.trace.encoded_bytes = stream_bytes;
     if (rate_controller_)
@@ -117,6 +144,12 @@ GameStreamServer::nextFrame()
     out.trace.add(Stage::Encode, Resource::ServerGpu,
                   profile_.encodeLatencyMs(config_.lr_size.area()),
                   0.0);
+
+    if (intra_refresh_pending_ &&
+        out.encoded.type == FrameType::Reference) {
+        out.trace.addEvent(RecoveryEvent::IntraRefresh);
+        intra_refresh_pending_ = false;
+    }
 
     frame_index_ += 1;
     return out;

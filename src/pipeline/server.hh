@@ -77,6 +77,19 @@ struct ServerConfig
     Size proxy_size{0, 0};
 };
 
+/**
+ * Stream byte count a proxy-mode payload stands in for. Compressed
+ * size grows *sublinearly* with pixel count (larger frames have more
+ * inter-pixel redundancy per block), so a linear area scaling
+ * overestimates the stream bitrate badly — e.g. a 256x144 proxy
+ * scaled by its 25x area ratio reports ~120 Mbit/s for a stream this
+ * codec encodes at ~60 Mbit/s at native 720p. The exponent is
+ * calibrated against native encodes of this repo's game content: the
+ * implied exponent is 0.77-0.79 across proxy sizes from 256x144 to
+ * 512x288, so bytes scale as (area ratio)^0.78.
+ */
+size_t proxyStreamBytes(size_t payload_bytes, f64 area_ratio);
+
 /** One produced frame, ready for transmission. */
 struct ServerFrameOutput
 {
@@ -119,6 +132,29 @@ class GameStreamServer
     /** Produce the next frame of the stream. */
     ServerFrameOutput nextFrame();
 
+    /**
+     * Respond to a client NACK: the next encoded frame is forced to
+     * an intra (Reference) frame, re-seeding the client's decoder
+     * state. Idempotent until that frame is produced.
+     */
+    void requestIntraRefresh();
+
+    /** True when an intra refresh is queued for the next frame. */
+    bool intraRefreshPending() const { return intra_refresh_pending_; }
+
+    /** Intra refreshes served so far. */
+    i64 intraRefreshCount() const { return intra_refreshes_; }
+
+    /**
+     * Retarget the encoder's rate controller (the AIMD backoff
+     * loop). Requires a rate-controlled server
+     * (target_bitrate_mbps > 0).
+     */
+    void setTargetBitrate(f64 mbps);
+
+    /** True when the encoder chases a bitrate target. */
+    bool rateControlled() const { return rate_controller_.has_value(); }
+
     /** Frames produced so far. */
     i64 frameCount() const { return frame_index_; }
 
@@ -134,6 +170,8 @@ class GameStreamServer
     GopEncoder encoder_;
     std::optional<RateController> rate_controller_;
     i64 frame_index_ = 0;
+    bool intra_refresh_pending_ = false;
+    i64 intra_refreshes_ = 0;
 };
 
 } // namespace gssr

@@ -1,5 +1,6 @@
 #include "pipeline/session.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/mathutil.hh"
@@ -60,7 +61,7 @@ SessionResult::meanMtpMs(FrameType type) const
     f64 total = 0.0;
     i64 n = 0;
     for (const auto &t : traces) {
-        if (t.type == type && !t.dropped) {
+        if (t.type == type && !t.dropped && !t.concealed) {
             total += t.mtpLatencyMs();
             n += 1;
         }
@@ -74,7 +75,7 @@ SessionResult::meanStageMs(Stage stage, FrameType type) const
     f64 total = 0.0;
     i64 n = 0;
     for (const auto &t : traces) {
-        if (t.type == type && !t.dropped) {
+        if (t.type == type && !t.dropped && !t.concealed) {
             total += t.stageLatencyMs(stage);
             n += 1;
         }
@@ -88,7 +89,7 @@ SessionResult::meanBottleneckMs(FrameType type) const
     f64 total = 0.0;
     i64 n = 0;
     for (const auto &t : traces) {
-        if (t.type == type && !t.dropped) {
+        if (t.type == type && !t.dropped && !t.concealed) {
             total += t.clientBottleneckMs();
             n += 1;
         }
@@ -205,7 +206,20 @@ runSession(const SessionConfig &config)
     client_config.sr_net = config.sr_net;
     auto client = makeClient(config.design, client_config);
 
-    NetworkChannel channel(config.channel, config.channel_seed);
+    NetworkChannel channel(config.channel, config.channel_seed,
+                           config.fault_scenario);
+
+    // Loss-recovery machinery: the client's decoder-reference
+    // tracker, the NACK feedback path, the concealment engine, and
+    // the AIMD bitrate-backoff loop.
+    const ResilienceConfig &res = config.resilience;
+    ReferenceTracker tracker;
+    FeedbackPath feedback;
+    Concealer concealer(res.concealment);
+    std::optional<AimdController> aimd;
+    if (res.aimd && config.target_bitrate_mbps > 0.0) {
+        aimd.emplace(res.aimd_config, config.target_bitrate_mbps);
+    }
 
     PerceptualMetric perceptual;
 
@@ -213,44 +227,139 @@ runSession(const SessionConfig &config)
                  config.lr_size.height * config.scale_factor};
 
     SessionResult result;
+    ResilienceStats &stats = result.resilience;
     f64 mean_frame_bytes = 0.0;
     int measured = 0;
 
+    const f64 frame_period_ms = 1000.0 / 60.0;
+    f64 last_nack_ms = -1e18;
+    f64 stale_since_ms = -1.0;
+    i64 stale_run = 0;
+
     for (int i = 0; i < config.frames; ++i) {
+        const f64 now_ms = f64(i) * frame_period_ms;
+
+        // Feedback-path NACKs that reached the server by now force
+        // an intra refresh into the next encoded frame.
+        if (res.nack && !feedback.drainArrived(now_ms).empty())
+            server.requestIntraRefresh();
+
+        // The AIMD loop retargets the encoder's rate controller.
+        if (aimd && server.rateControlled())
+            server.setTargetBitrate(aimd->targetMbps());
+
         ServerFrameOutput produced = server.nextFrame();
         FrameTrace trace = produced.trace;
 
         // Network transmission: the offered load is the running
         // stream bitrate. The very first (intra) frame is amortized
         // over its GOP — a paced encoder emits at the average rate,
-        // not at the instantaneous key-frame rate.
+        // not at the instantaneous key-frame rate. The byte count is
+        // trace.encoded_bytes — the *stream* size, which the server
+        // scales up in proxy mode so network behavior matches the
+        // full-resolution session it stands in for.
+        const size_t stream_bytes = trace.encoded_bytes;
         if (mean_frame_bytes == 0.0) {
-            mean_frame_bytes = f64(produced.encoded.sizeBytes()) /
-                               f64(config.codec.gop_size);
+            mean_frame_bytes =
+                f64(stream_bytes) / f64(config.codec.gop_size);
         } else {
             mean_frame_bytes =
-                0.9 * mean_frame_bytes +
-                0.1 * f64(produced.encoded.sizeBytes());
+                0.9 * mean_frame_bytes + 0.1 * f64(stream_bytes);
         }
         f64 offered = streamBitrateMbps(mean_frame_bytes, 60.0);
         TransmitResult tx =
-            channel.transmitFrame(produced.encoded.sizeBytes(),
-                                  offered);
+            channel.transmitFrame(stream_bytes, offered);
         trace.dropped = tx.dropped;
         trace.add(Stage::Network, Resource::NetworkLink, tx.latency_ms,
-                  config.device.radio.energyMj(
-                      i64(produced.encoded.sizeBytes())));
+                  config.device.radio.energyMj(i64(stream_bytes)));
 
-        // Client processing. Dropped frames are still fed to the
-        // client so the codec reference chain stays intact (a real
-        // deployment retransmits or conceals; we keep the comparison
-        // between designs content-identical).
-        ClientFrameResult processed =
-            client->processFrame(produced.encoded, produced.roi);
-        for (const auto &record : processed.trace.records)
-            trace.records.push_back(record);
+        // Delivery outcome -> decoder-reference bookkeeping. A lost
+        // frame (or a delta that arrived after one) stalls the
+        // client's reference chain; stale deltas are discarded, not
+        // decoded against wrong references.
+        bool decodable = false;
+        if (tx.dropped) {
+            trace.addEvent(RecoveryEvent::FrameDropped);
+            tracker.onFrameLost();
+            stats.frames_dropped += 1;
+            if (aimd && (tx.cause == DropCause::Congestion ||
+                         tx.cause == DropCause::Burst)) {
+                if (aimd->onCongestion(now_ms)) {
+                    trace.addEvent(RecoveryEvent::BitrateBackoff);
+                    stats.aimd_backoffs += 1;
+                }
+            }
+        } else {
+            stats.frames_delivered += 1;
+            if (aimd)
+                aimd->onDelivered(now_ms);
+            ReferenceTracker::Action action =
+                tracker.onFrameArrived(produced.encoded.type);
+            if (action == ReferenceTracker::Action::Discard) {
+                trace.discarded = true;
+                trace.addEvent(RecoveryEvent::DeltaDiscarded);
+                stats.frames_discarded += 1;
+            } else {
+                decodable = true;
+            }
+        }
 
-        // Quality vs. the native HR render of the same scene.
+        // NACK emission. A delivered stale delta is detected on
+        // arrival; a dropped frame is noticed as a sequence gap one
+        // frame period later.
+        if (res.nack && !tracker.chainValid()) {
+            f64 detected_ms = tx.dropped ? now_ms + frame_period_ms
+                                         : now_ms + tx.latency_ms;
+            if (detected_ms - last_nack_ms >= res.nack_timeout_ms) {
+                feedback.sendNack(produced.encoded.index, detected_ms,
+                                  channel.feedbackDelayMs());
+                last_nack_ms = detected_ms;
+                trace.addEvent(RecoveryEvent::NackSent);
+                stats.nacks_sent += 1;
+            }
+        }
+
+        // Client processing: only decodable frames reach the
+        // decoder; lost/stale frames are concealed from the last
+        // good HR output.
+        ColorImage output;
+        if (decodable) {
+            ClientFrameResult processed =
+                client->processFrame(produced.encoded, produced.roi);
+            for (const auto &record : processed.trace.records)
+                trace.records.push_back(record);
+            if (config.compute_pixels) {
+                concealer.onGoodFrame(processed.upscaled);
+                output = std::move(processed.upscaled);
+            }
+            if (stale_since_ms >= 0.0) {
+                stats.recovery_latency_ms.add(now_ms - stale_since_ms);
+                stale_since_ms = -1.0;
+                last_nack_ms = -1e18;
+            }
+            stale_run = 0;
+        } else {
+            trace.concealed = true;
+            trace.addEvent(RecoveryEvent::Concealed);
+            stats.frames_concealed += 1;
+            addConcealStage(trace, config.device, hr_size,
+                            res.concealment);
+            const DisplayModel &display = config.device.display;
+            trace.add(Stage::Display, Resource::ClientDisplay,
+                      display.latencyMs(),
+                      display.energyMjPerFrame(frame_period_ms));
+            if (config.compute_pixels)
+                output = concealer.conceal(hr_size);
+            if (stale_since_ms < 0.0)
+                stale_since_ms = now_ms;
+            stale_run += 1;
+            stats.longest_stale_run =
+                std::max(stats.longest_stale_run, stale_run);
+        }
+
+        // Quality vs. the native HR render of the same scene,
+        // measured on what the client actually displays — concealed
+        // frames included, so transient dips are real.
         if (config.measure_quality && config.compute_pixels &&
             i % config.quality_stride == 0) {
             ColorImage ground_truth =
@@ -262,19 +371,22 @@ runSession(const SessionConfig &config)
             FrameQuality q;
             q.frame_index = produced.encoded.index;
             q.type = produced.encoded.type;
-            q.psnr_db = psnr(processed.upscaled, ground_truth);
+            q.concealed = !decodable;
+            q.psnr_db = psnr(output, ground_truth);
             if (config.measure_perceptual &&
                 measured % config.perceptual_stride == 0) {
-                q.lpips =
-                    perceptual.distance(processed.upscaled,
-                                        ground_truth);
+                q.lpips = perceptual.distance(output, ground_truth);
             }
+            (q.concealed ? stats.concealed_psnr_db
+                         : stats.delivered_psnr_db)
+                .add(q.psnr_db);
             result.quality.push_back(q);
             measured += 1;
         }
 
         result.traces.push_back(std::move(trace));
     }
+    stats.intra_refreshes = server.intraRefreshCount();
     return result;
 }
 

@@ -15,7 +15,9 @@
 
 #include "metrics/perceptual.hh"
 #include "net/channel.hh"
+#include "net/fault.hh"
 #include "pipeline/client.hh"
+#include "pipeline/resilience.hh"
 #include "pipeline/server.hh"
 
 namespace gssr
@@ -46,6 +48,12 @@ struct SessionConfig
     ServerProfile server_profile = ServerProfile::gamingWorkstation();
     ChannelConfig channel = ChannelConfig::wifi();
     u64 channel_seed = 99;
+
+    /** Scripted channel faults, replayed against the frame index. */
+    FaultScenario fault_scenario;
+
+    /** Loss-recovery policy (concealment, NACK, AIMD). */
+    ResilienceConfig resilience;
 
     /** Streamed resolution and scale. */
     Size lr_size{1280, 720};
@@ -85,6 +93,43 @@ struct FrameQuality
     FrameType type = FrameType::Reference;
     f64 psnr_db = 0.0;
     f64 lpips = -1.0; ///< negative when not measured
+
+    /** True when the measured output was a concealed frame. */
+    bool concealed = false;
+};
+
+/** Session-level loss-recovery statistics. */
+struct ResilienceStats
+{
+    /** Frames that arrived at the client. */
+    i64 frames_delivered = 0;
+
+    /** Frames lost in the network. */
+    i64 frames_dropped = 0;
+
+    /** Delivered delta frames discarded for stale references. */
+    i64 frames_discarded = 0;
+
+    /** Frames whose displayed output was concealed. */
+    i64 frames_concealed = 0;
+
+    i64 nacks_sent = 0;
+
+    /** Server intra refreshes forced by NACKs. */
+    i64 intra_refreshes = 0;
+
+    /** AIMD multiplicative backoffs applied. */
+    i64 aimd_backoffs = 0;
+
+    /** Longest run of consecutive concealed frames. */
+    i64 longest_stale_run = 0;
+
+    /** Loss -> next decoded frame, per stale episode (ms). */
+    SampleStats recovery_latency_ms;
+
+    /** PSNR of measured frames, split by delivery outcome. */
+    SampleStats delivered_psnr_db;
+    SampleStats concealed_psnr_db;
 };
 
 /** Collected session output. */
@@ -92,6 +137,7 @@ struct SessionResult
 {
     std::vector<FrameTrace> traces;
     std::vector<FrameQuality> quality;
+    ResilienceStats resilience;
 
     /** Mean MTP latency over frames of @p type. */
     f64 meanMtpMs(FrameType type) const;

@@ -25,8 +25,30 @@ stageName(Stage stage)
         return "upscale";
       case Stage::Merge:
         return "merge";
+      case Stage::Conceal:
+        return "conceal";
       case Stage::Display:
         return "display";
+    }
+    return "?";
+}
+
+const char *
+recoveryEventName(RecoveryEvent event)
+{
+    switch (event) {
+      case RecoveryEvent::FrameDropped:
+        return "frame-dropped";
+      case RecoveryEvent::DeltaDiscarded:
+        return "delta-discarded";
+      case RecoveryEvent::Concealed:
+        return "concealed";
+      case RecoveryEvent::NackSent:
+        return "nack-sent";
+      case RecoveryEvent::IntraRefresh:
+        return "intra-refresh";
+      case RecoveryEvent::BitrateBackoff:
+        return "bitrate-backoff";
     }
     return "?";
 }

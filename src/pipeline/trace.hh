@@ -29,6 +29,7 @@ enum class Stage
     Decode,
     Upscale,
     Merge,
+    Conceal, ///< loss concealment (hold / motion extrapolation)
     Display,
 };
 
@@ -51,6 +52,24 @@ const char *stageName(Stage stage);
 /** Resource name for tables. */
 const char *resourceName(Resource resource);
 
+/**
+ * Loss-recovery events attached to a frame's trace — the
+ * observability hooks of the resilience subsystem (fault injection,
+ * NACK/intra-refresh recovery, concealment, AIMD backoff).
+ */
+enum class RecoveryEvent
+{
+    FrameDropped,   ///< lost in the network
+    DeltaDiscarded, ///< arrived, but references lost decoder state
+    Concealed,      ///< output substituted by the concealer
+    NackSent,       ///< client requested an intra refresh
+    IntraRefresh,   ///< server answered a NACK with a forced intra
+    BitrateBackoff, ///< AIMD multiplicative decrease applied
+};
+
+/** Recovery event name for tables. */
+const char *recoveryEventName(RecoveryEvent event);
+
 /** One executed stage. */
 struct StageRecord
 {
@@ -66,14 +85,30 @@ struct FrameTrace
     i64 frame_index = 0;
     FrameType type = FrameType::Reference;
     bool dropped = false;         ///< lost in the network
+    bool discarded = false;       ///< delivered but undecodable
+    bool concealed = false;       ///< displayed a concealed frame
     size_t encoded_bytes = 0;
     std::vector<StageRecord> records;
+    std::vector<RecoveryEvent> events;
 
     /** Append a stage record. */
     void
     add(Stage stage, Resource resource, f64 latency_ms, f64 energy_mj)
     {
         records.push_back({stage, resource, latency_ms, energy_mj});
+    }
+
+    /** Append a recovery event. */
+    void addEvent(RecoveryEvent event) { events.push_back(event); }
+
+    /** True when @p event was recorded on this frame. */
+    bool
+    hasEvent(RecoveryEvent event) const
+    {
+        for (RecoveryEvent e : events)
+            if (e == event)
+                return true;
+        return false;
     }
 
     /** Motion-to-photon latency: sum of all stage latencies. */

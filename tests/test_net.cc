@@ -1,12 +1,16 @@
 /**
  * @file
  * Unit tests for src/net: channel presets, transmission latency
- * behaviour, loss/congestion drop model and determinism.
+ * behaviour, loss/congestion drop model, the Gilbert–Elliott burst
+ * model, scripted fault scenarios, and determinism.
  */
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "net/channel.hh"
+#include "net/fault.hh"
 
 namespace gssr
 {
@@ -108,6 +112,209 @@ TEST(ChannelTest, StreamBitrateHelper)
 {
     // 20833 bytes/frame at 60 FPS = ~10 Mbps.
     EXPECT_NEAR(streamBitrateMbps(20833.0, 60.0), 10.0, 0.01);
+}
+
+TEST(ChannelConfigTest, ConstructorValidatesProbabilities)
+{
+    ChannelConfig bad = ChannelConfig::wifi();
+    bad.packet_loss = 1.5;
+    EXPECT_THROW(NetworkChannel(bad, 1), PanicError);
+
+    bad = ChannelConfig::wifi();
+    bad.bandwidth_jitter = -0.1;
+    EXPECT_THROW(NetworkChannel(bad, 1), PanicError);
+
+    bad = ChannelConfig::wifi();
+    bad.congestion_knee = 0.0;
+    EXPECT_THROW(NetworkChannel(bad, 1), PanicError);
+
+    bad = ChannelConfig::wifi();
+    bad.congestion_knee = 1.2;
+    EXPECT_THROW(NetworkChannel(bad, 1), PanicError);
+
+    bad = ChannelConfig::wifi();
+    bad.jitter_ms = -1.0;
+    EXPECT_THROW(NetworkChannel(bad, 1), PanicError);
+
+    bad = ChannelConfig::wifi();
+    bad.ge_p_enter_burst = 2.0;
+    EXPECT_THROW(NetworkChannel(bad, 1), PanicError);
+
+    EXPECT_NO_THROW(NetworkChannel(ChannelConfig::wifiBursty(), 1));
+}
+
+TEST(ChannelTest, ResetReplaysTheExactSameSequence)
+{
+    NetworkChannel ch(ChannelConfig::wifiBursty(), 17,
+                      FaultScenario::lossBurst(20, 5));
+    std::vector<f64> latency;
+    std::vector<bool> dropped;
+    for (int i = 0; i < 100; ++i) {
+        TransmitResult tx = ch.transmitFrame(30000, 15.0);
+        latency.push_back(tx.latency_ms);
+        dropped.push_back(tx.dropped);
+    }
+    EXPECT_EQ(ch.framesTotal(), 100);
+
+    ch.reset();
+    EXPECT_EQ(ch.framesTotal(), 0);
+    EXPECT_EQ(ch.framesDropped(), 0);
+    EXPECT_EQ(ch.latencyStats().count(), 0);
+    for (int i = 0; i < 100; ++i) {
+        TransmitResult tx = ch.transmitFrame(30000, 15.0);
+        EXPECT_DOUBLE_EQ(tx.latency_ms, latency[size_t(i)]);
+        EXPECT_EQ(tx.dropped, dropped[size_t(i)]);
+    }
+}
+
+TEST(GilbertElliottTest, LongRunLossRateMatchesStationaryChain)
+{
+    // pi_bad = p_enter / (p_enter + p_exit) = 0.05 / 0.55 ~ 9.1 %;
+    // with ge_loss_bad = 1 the long-run drop rate equals pi_bad.
+    ChannelConfig config = ChannelConfig::wifi();
+    config.packet_loss = 0.0;
+    config.ge_p_enter_burst = 0.05;
+    config.ge_p_exit_burst = 0.5;
+    config.ge_loss_good = 0.0;
+    config.ge_loss_bad = 1.0;
+    NetworkChannel ch(config, 7);
+    const int frames = 20000;
+    for (int i = 0; i < frames; ++i)
+        ch.transmitFrame(2000, 1.0); // far from congestion
+    EXPECT_NEAR(ch.dropRate(), 0.05 / 0.55, 0.02);
+    EXPECT_EQ(ch.dropCount(DropCause::Burst), ch.framesDropped());
+}
+
+TEST(GilbertElliottTest, MeanBurstLengthMatchesExitProbability)
+{
+    // Mean Bad-state sojourn is 1 / p_exit = 2 frames; with
+    // ge_loss_bad = 1 the drop runs have the same mean length.
+    ChannelConfig config = ChannelConfig::wifi();
+    config.packet_loss = 0.0;
+    config.ge_p_enter_burst = 0.02;
+    config.ge_p_exit_burst = 0.5;
+    config.ge_loss_bad = 1.0;
+    NetworkChannel ch(config, 11);
+    i64 runs = 0, dropped = 0;
+    bool in_run = false;
+    for (int i = 0; i < 30000; ++i) {
+        bool drop = ch.transmitFrame(2000, 1.0).dropped;
+        dropped += drop;
+        runs += drop && !in_run;
+        in_run = drop;
+    }
+    ASSERT_GT(runs, 100);
+    f64 mean_run = f64(dropped) / f64(runs);
+    EXPECT_NEAR(mean_run, 2.0, 0.5);
+}
+
+TEST(FaultScenarioTest, EffectComposesOverlappingWindows)
+{
+    FaultScenario s;
+    FaultEvent a;
+    a.start_frame = 0;
+    a.end_frame = 10;
+    a.bandwidth_scale = 0.5;
+    a.extra_loss = 0.5;
+    FaultEvent b;
+    b.start_frame = 5;
+    b.end_frame = 15;
+    b.bandwidth_scale = 0.5;
+    b.extra_rtt_ms = 40.0;
+    b.extra_loss = 0.5;
+    s.events = {a, b};
+
+    FaultEvent at0 = s.effectAt(0);
+    EXPECT_DOUBLE_EQ(at0.bandwidth_scale, 0.5);
+    EXPECT_DOUBLE_EQ(at0.extra_rtt_ms, 0.0);
+    FaultEvent at7 = s.effectAt(7);
+    EXPECT_DOUBLE_EQ(at7.bandwidth_scale, 0.25);
+    EXPECT_DOUBLE_EQ(at7.extra_rtt_ms, 40.0);
+    EXPECT_DOUBLE_EQ(at7.extra_loss, 0.75); // 1 - 0.5 * 0.5
+    FaultEvent at20 = s.effectAt(20);
+    EXPECT_DOUBLE_EQ(at20.bandwidth_scale, 1.0);
+}
+
+TEST(FaultScenarioTest, LossBurstDropsEveryFrameInWindow)
+{
+    NetworkChannel ch(ChannelConfig::wifi(), 3,
+                      FaultScenario::lossBurst(10, 5));
+    for (int i = 0; i < 30; ++i) {
+        TransmitResult tx = ch.transmitFrame(2000, 1.0);
+        if (i >= 10 && i < 15) {
+            EXPECT_TRUE(tx.dropped) << "frame " << i;
+            EXPECT_EQ(tx.cause, DropCause::Burst);
+        }
+    }
+    EXPECT_GE(ch.dropCount(DropCause::Burst), 5);
+}
+
+TEST(FaultScenarioTest, RttSpikeRaisesLatencyOnlyInWindow)
+{
+    ChannelConfig config = ChannelConfig::wifi();
+    config.packet_loss = 0.0;
+    config.jitter_ms = 0.0;
+    NetworkChannel clean(config, 5);
+    NetworkChannel spiked(config, 5, FaultScenario::rttSpike(5, 5, 80.0));
+    for (int i = 0; i < 15; ++i) {
+        TransmitResult a = clean.transmitFrame(2000, 1.0);
+        TransmitResult b = spiked.transmitFrame(2000, 1.0);
+        if (i >= 5 && i < 10)
+            EXPECT_NEAR(b.latency_ms - a.latency_ms, 80.0, 1e-9);
+        else
+            EXPECT_DOUBLE_EQ(a.latency_ms, b.latency_ms);
+    }
+}
+
+TEST(FaultScenarioTest, BandwidthCollapseCongestsTheStream)
+{
+    // A stream that fits comfortably in the clean channel drops
+    // heavily once capacity collapses to a quarter.
+    NetworkChannel ch(ChannelConfig::wifi(), 9,
+                      FaultScenario::bandwidthCollapse(100, 200, 0.25));
+    i64 early_drops = 0, window_drops = 0;
+    for (int i = 0; i < 300; ++i) {
+        bool drop = ch.transmitFrame(104000, 50.0).dropped;
+        if (i < 100)
+            early_drops += drop;
+        else
+            window_drops += drop;
+    }
+    EXPECT_LT(early_drops, 10);
+    EXPECT_GT(window_drops, 60);
+    EXPECT_GT(ch.dropCount(DropCause::Congestion), 0);
+}
+
+TEST(FaultScenarioTest, ScenarioReplayIsByteIdentical)
+{
+    // Same (seed, scenario) pair => identical drop/latency sequence,
+    // the property the resilience benches rely on.
+    FaultScenario scenario = FaultScenario::mixed(10, 20);
+    NetworkChannel a(ChannelConfig::wifiBursty(), 21, scenario);
+    NetworkChannel b(ChannelConfig::wifiBursty(), 21, scenario);
+    for (int i = 0; i < 200; ++i) {
+        TransmitResult ra = a.transmitFrame(30000, 15.0);
+        TransmitResult rb = b.transmitFrame(30000, 15.0);
+        EXPECT_DOUBLE_EQ(ra.latency_ms, rb.latency_ms);
+        EXPECT_EQ(ra.dropped, rb.dropped);
+        EXPECT_EQ(ra.cause, rb.cause);
+    }
+}
+
+TEST(ChannelTest, FeedbackPathDoesNotPerturbDataPath)
+{
+    // Sampling feedback delays must not change the data-path replay
+    // (NACK-on vs NACK-off sessions see the same channel).
+    NetworkChannel with(ChannelConfig::wifiBursty(), 31);
+    NetworkChannel without(ChannelConfig::wifiBursty(), 31);
+    for (int i = 0; i < 100; ++i) {
+        f64 delay = with.feedbackDelayMs();
+        EXPECT_GE(delay, with.config().rtt_ms * 0.5);
+        TransmitResult ra = with.transmitFrame(30000, 15.0);
+        TransmitResult rb = without.transmitFrame(30000, 15.0);
+        EXPECT_DOUBLE_EQ(ra.latency_ms, rb.latency_ms);
+        EXPECT_EQ(ra.dropped, rb.dropped);
+    }
 }
 
 } // namespace

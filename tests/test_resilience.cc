@@ -1,0 +1,401 @@
+/**
+ * @file
+ * Tests for the loss-resilience subsystem: the client reference
+ * tracker, NACK feedback path, concealment engine, forced intra
+ * refresh, the AIMD bitrate backoff, and the end-to-end recovery
+ * behaviour of a session streamed through scripted fault scenarios.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "codec/codec.hh"
+#include "codec/rate_control.hh"
+#include "net/fault.hh"
+#include "pipeline/resilience.hh"
+#include "pipeline/session.hh"
+#include "sr/trainer.hh"
+
+namespace gssr
+{
+namespace
+{
+
+/** Small trained net shared by the pixel tests (as in test_pipeline). */
+std::shared_ptr<const CompactSrNet>
+testNet()
+{
+    static std::shared_ptr<const CompactSrNet> net = [] {
+        TrainerConfig config;
+        config.iterations = 150;
+        return std::make_shared<const CompactSrNet>(
+            trainedSrNet("", config));
+    }();
+    return net;
+}
+
+/**
+ * Accounting-only session at a tiny resolution. Random packet loss
+ * is zeroed so scripted fault scenarios are the only loss source and
+ * the tests can assert exact drop counts.
+ */
+SessionConfig
+accountingConfig(int frames, int gop)
+{
+    SessionConfig config;
+    config.game = GameId::G3_Witcher3;
+    config.frames = frames;
+    config.lr_size = {192, 96};
+    config.codec.gop_size = gop;
+    config.compute_pixels = false;
+    config.channel.packet_loss = 0.0;
+    return config;
+}
+
+TEST(ReferenceTrackerTest, LossStallsChainUntilIntra)
+{
+    ReferenceTracker t;
+    EXPECT_TRUE(t.chainValid());
+    EXPECT_EQ(t.onFrameArrived(FrameType::Reference),
+              ReferenceTracker::Action::Decode);
+    EXPECT_EQ(t.onFrameArrived(FrameType::NonReference),
+              ReferenceTracker::Action::Decode);
+    t.onFrameLost();
+    EXPECT_FALSE(t.chainValid());
+    // Every delta is stale until the next intra re-seeds the chain.
+    EXPECT_EQ(t.onFrameArrived(FrameType::NonReference),
+              ReferenceTracker::Action::Discard);
+    EXPECT_EQ(t.onFrameArrived(FrameType::NonReference),
+              ReferenceTracker::Action::Discard);
+    EXPECT_EQ(t.onFrameArrived(FrameType::Reference),
+              ReferenceTracker::Action::Decode);
+    EXPECT_TRUE(t.chainValid());
+    EXPECT_EQ(t.onFrameArrived(FrameType::NonReference),
+              ReferenceTracker::Action::Decode);
+}
+
+TEST(FeedbackPathTest, NacksArriveAfterTheirDelay)
+{
+    FeedbackPath path;
+    path.sendNack(7, 100.0, 10.0);  // arrives at 110
+    path.sendNack(9, 120.0, 5.0);   // arrives at 125
+    EXPECT_EQ(path.sentCount(), 2);
+    EXPECT_EQ(path.inFlight(), 2u);
+
+    EXPECT_TRUE(path.drainArrived(105.0).empty());
+    std::vector<NackPacket> first = path.drainArrived(115.0);
+    ASSERT_EQ(first.size(), 1u);
+    EXPECT_EQ(first[0].lost_frame, 7);
+    EXPECT_DOUBLE_EQ(first[0].arrive_ms, 110.0);
+
+    std::vector<NackPacket> second = path.drainArrived(1000.0);
+    ASSERT_EQ(second.size(), 1u);
+    EXPECT_EQ(second[0].lost_frame, 9);
+    EXPECT_EQ(path.inFlight(), 0u);
+}
+
+TEST(GopEncoderTest, ForcedIntraRefreshRealignsTheGop)
+{
+    CodecConfig codec;
+    codec.gop_size = 10;
+    GopEncoder encoder(codec, {64, 32});
+    ColorImage frame(64, 32);
+    frame.fill(90, 120, 60);
+
+    EXPECT_EQ(encoder.encode(frame).type, FrameType::Reference);
+    EXPECT_EQ(encoder.encode(frame).type, FrameType::NonReference);
+    EXPECT_EQ(encoder.encode(frame).type, FrameType::NonReference);
+
+    encoder.forceIntraRefresh();
+    EXPECT_EQ(encoder.nextFrameType(), FrameType::Reference);
+    EncodedFrame intra = encoder.encode(frame);
+    EXPECT_EQ(intra.type, FrameType::Reference);
+    // The GOP is realigned: gop_size - 1 deltas follow.
+    for (int i = 0; i < codec.gop_size - 1; ++i)
+        EXPECT_EQ(encoder.encode(frame).type, FrameType::NonReference);
+    EXPECT_EQ(encoder.encode(frame).type, FrameType::Reference);
+}
+
+TEST(ConcealerTest, HoldRepeatsTheLastGoodFrame)
+{
+    Concealer concealer(ConcealmentMode::Hold);
+    EXPECT_FALSE(concealer.hasReference());
+
+    // No reference yet: conceals to black.
+    ColorImage black = concealer.conceal({32, 16});
+    EXPECT_EQ(black.size(), (Size{32, 16}));
+    EXPECT_EQ(black.r().at(5, 5), 0);
+
+    ColorImage good(32, 16);
+    good.fill(10, 200, 30);
+    concealer.onGoodFrame(good);
+    EXPECT_TRUE(concealer.hasReference());
+    ColorImage held = concealer.conceal({32, 16});
+    EXPECT_TRUE(held == good);
+}
+
+TEST(ConcealerTest, GlobalShiftEstimateRecoversKnownMotion)
+{
+    // A bright block moving +16 px right between two frames.
+    auto frameWithBlockAt = [](int x0) {
+        ColorImage img(128, 96);
+        for (int y = 40; y < 56; ++y)
+            for (int x = x0; x < x0 + 16; ++x)
+                img.setPixel(x, y, 250, 250, 250);
+        return img;
+    };
+    ColorImage a = frameWithBlockAt(32);
+    ColorImage b = frameWithBlockAt(48);
+    int dx = 0, dy = 0;
+    estimateGlobalShift(a, b, dx, dy);
+    EXPECT_EQ(dx, 16);
+    EXPECT_EQ(dy, 0);
+}
+
+TEST(ConcealerTest, MotionExtrapolationKeepsTracking)
+{
+    auto frameWithBlockAt = [](int x0) {
+        ColorImage img(128, 96);
+        for (int y = 40; y < 56; ++y)
+            for (int x = x0; x < x0 + 16; ++x)
+                img.setPixel(x, y, 250, 250, 250);
+        return img;
+    };
+    Concealer concealer(ConcealmentMode::MotionExtrapolate);
+    concealer.onGoodFrame(frameWithBlockAt(32));
+    concealer.onGoodFrame(frameWithBlockAt(40));
+
+    // Extrapolating the +8 px/frame pan: the block should land at
+    // 48, then 56.
+    ColorImage c1 = concealer.conceal({128, 96});
+    EXPECT_EQ(c1.r().at(48 + 8, 48), 250);
+    EXPECT_EQ(c1.r().at(40, 48), 0);
+    ColorImage c2 = concealer.conceal({128, 96});
+    EXPECT_EQ(c2.r().at(56 + 8, 48), 250);
+}
+
+TEST(AimdTest, BackoffAndRecovery)
+{
+    AimdConfig config;
+    config.min_mbps = 1.0;
+    config.max_mbps = 50.0;
+    config.increase_mbps_per_s = 10.0;
+    config.decrease_factor = 0.5;
+    config.backoff_hold_ms = 100.0;
+    AimdController aimd(config, 40.0);
+
+    EXPECT_DOUBLE_EQ(aimd.targetMbps(), 40.0);
+    EXPECT_TRUE(aimd.onCongestion(0.0));
+    EXPECT_DOUBLE_EQ(aimd.targetMbps(), 20.0);
+    // Refractory: a second loss in the same episode is absorbed.
+    EXPECT_FALSE(aimd.onCongestion(50.0));
+    EXPECT_DOUBLE_EQ(aimd.targetMbps(), 20.0);
+    EXPECT_EQ(aimd.backoffCount(), 1);
+
+    // Additive recovery: +10 Mbps/s once the hold expires.
+    aimd.onDelivered(200.0);
+    aimd.onDelivered(1200.0);
+    EXPECT_NEAR(aimd.targetMbps(), 30.0, 1e-9);
+
+    // Bounds are respected.
+    for (int i = 0; i < 20; ++i)
+        aimd.onCongestion(2000.0 + i * 200.0);
+    EXPECT_DOUBLE_EQ(aimd.targetMbps(), 1.0);
+}
+
+TEST(ResilienceSessionTest, NackTriggersIntraRefreshRoundTrip)
+{
+    SessionConfig config = accountingConfig(20, 30);
+    config.fault_scenario = FaultScenario::lossBurst(5, 1);
+    SessionResult result = runSession(config);
+    const ResilienceStats &stats = result.resilience;
+
+    EXPECT_EQ(stats.frames_dropped, 1);
+    EXPECT_GE(stats.nacks_sent, 1);
+    EXPECT_EQ(stats.intra_refreshes, 1);
+    EXPECT_TRUE(result.traces[5].dropped);
+    EXPECT_TRUE(result.traces[5].hasEvent(RecoveryEvent::FrameDropped));
+
+    // The forced intra lands ~NACK RTT after the loss; with a 12 ms
+    // RTT at 60 FPS that is within a handful of frames.
+    ASSERT_EQ(stats.recovery_latency_ms.count(), 1);
+    EXPECT_LE(stats.recovery_latency_ms.max(), 5.0 * 1000.0 / 60.0);
+    EXPECT_LE(stats.longest_stale_run, 4);
+
+    // The refresh is observable in the traces.
+    bool saw_refresh = false;
+    for (const auto &t : result.traces)
+        saw_refresh |= t.hasEvent(RecoveryEvent::IntraRefresh);
+    EXPECT_TRUE(saw_refresh);
+}
+
+TEST(ResilienceSessionTest, NoDeltaIsEverDecodedAgainstLostState)
+{
+    SessionConfig config = accountingConfig(60, 20);
+    config.channel = ChannelConfig::wifiBursty();
+    config.channel_seed = 1234;
+    config.fault_scenario = FaultScenario::mixed(8, 12);
+    SessionResult result = runSession(config);
+
+    // Replay the reference chain over the recorded traces: after any
+    // drop, every frame must be concealed until a delivered intra.
+    bool chain_valid = true;
+    i64 decoded = 0, concealed = 0;
+    for (const auto &t : result.traces) {
+        if (t.dropped) {
+            chain_valid = false;
+            EXPECT_TRUE(t.concealed);
+        } else if (t.type == FrameType::Reference) {
+            chain_valid = true;
+            EXPECT_FALSE(t.concealed);
+        } else {
+            // Delivered delta: decoded iff the chain was intact.
+            EXPECT_EQ(t.concealed, !chain_valid);
+            EXPECT_EQ(t.discarded, !chain_valid);
+        }
+        decoded += !t.concealed;
+        concealed += t.concealed;
+    }
+    EXPECT_GT(concealed, 0);
+    EXPECT_GT(decoded, 0);
+
+    const ResilienceStats &stats = result.resilience;
+    EXPECT_EQ(stats.frames_concealed, concealed);
+    EXPECT_EQ(stats.frames_concealed,
+              stats.frames_dropped + stats.frames_discarded);
+    EXPECT_EQ(stats.frames_delivered + stats.frames_dropped,
+              i64(result.traces.size()));
+}
+
+TEST(ResilienceSessionTest, WithoutNackStaleRunsLastUntilGopBoundary)
+{
+    SessionConfig with = accountingConfig(40, 40);
+    with.fault_scenario = FaultScenario::lossBurst(4, 1);
+    SessionConfig without = with;
+    without.resilience.nack = false;
+
+    SessionResult nack_on = runSession(with);
+    SessionResult nack_off = runSession(without);
+
+    EXPECT_EQ(nack_off.resilience.intra_refreshes, 0);
+    EXPECT_EQ(nack_off.resilience.nacks_sent, 0);
+    // Without recovery the only intra is frame 0: the session never
+    // heals within its single GOP.
+    EXPECT_EQ(nack_off.resilience.longest_stale_run, 40 - 4);
+    EXPECT_LT(nack_on.resilience.longest_stale_run, 5);
+}
+
+TEST(ResilienceSessionTest, ConcealedFramesCarryConcealCost)
+{
+    SessionConfig config = accountingConfig(12, 30);
+    config.fault_scenario = FaultScenario::lossBurst(3, 1);
+    SessionResult result = runSession(config);
+
+    const FrameTrace &lost = result.traces[3];
+    ASSERT_TRUE(lost.concealed);
+    EXPECT_GT(lost.stageLatencyMs(Stage::Conceal), 0.0);
+    EXPECT_GT(lost.stageLatencyMs(Stage::Display), 0.0);
+    // No decode/upscale work is charged for a frame never decoded.
+    EXPECT_DOUBLE_EQ(lost.stageLatencyMs(Stage::Decode), 0.0);
+    EXPECT_DOUBLE_EQ(lost.stageLatencyMs(Stage::Upscale), 0.0);
+}
+
+TEST(ResilienceSessionTest, ConcealedQualityDipsAndRecovers)
+{
+    SessionConfig config;
+    config.game = GameId::G3_Witcher3;
+    config.frames = 16;
+    config.lr_size = {192, 96};
+    config.codec.gop_size = 16;
+    config.design = DesignKind::GameStreamSR;
+    config.compute_pixels = true;
+    config.sr_net = testNet();
+    config.measure_quality = true;
+    config.fault_scenario = FaultScenario::lossBurst(6, 2);
+
+    SessionResult result = runSession(config);
+    const ResilienceStats &stats = result.resilience;
+    ASSERT_GT(stats.frames_concealed, 0);
+    ASSERT_GT(stats.concealed_psnr_db.count(), 0);
+    ASSERT_GT(stats.delivered_psnr_db.count(), 0);
+
+    // Concealed frames (held stills of a moving scene) measure
+    // worse than delivered frames — the honest Fig. 13-style dip.
+    EXPECT_LT(stats.concealed_psnr_db.mean(),
+              stats.delivered_psnr_db.mean());
+
+    // And the dip recovers: the last measured frame is delivered
+    // and close to the delivered mean.
+    const FrameQuality &last = result.quality.back();
+    EXPECT_FALSE(last.concealed);
+    EXPECT_GT(last.psnr_db, stats.concealed_psnr_db.mean());
+
+    // Concealed samples are flagged for downstream tooling.
+    bool flagged = false;
+    for (const auto &q : result.quality)
+        flagged |= q.concealed;
+    EXPECT_TRUE(flagged);
+}
+
+TEST(ResilienceSessionTest, AimdConvergesBelowNoBackoffDropRate)
+{
+    // A stream whose initial target overloads a 3 Mbps channel:
+    // without backoff it keeps congesting; with AIMD the offered
+    // load converges under the knee.
+    ChannelConfig congested = ChannelConfig::wifi();
+    congested.bandwidth_mbps = 3.0;
+    congested.bandwidth_jitter = 0.10;
+    congested.packet_loss = 0.0;
+
+    SessionConfig config = accountingConfig(180, 6);
+    config.channel = congested;
+    config.target_bitrate_mbps = 6.0;
+    config.resilience.aimd = true;
+    config.resilience.aimd_config.min_mbps = 0.5;
+    config.resilience.aimd_config.increase_mbps_per_s = 0.5;
+
+    SessionConfig no_backoff = config;
+    no_backoff.resilience.aimd = false;
+
+    SessionResult with = runSession(config);
+    SessionResult without = runSession(no_backoff);
+
+    EXPECT_GT(with.resilience.aimd_backoffs, 0);
+    EXPECT_LT(with.resilience.frames_dropped,
+              without.resilience.frames_dropped);
+
+    // Steady state: the tail of the AIMD session is mostly clean.
+    i64 tail_drops = 0;
+    for (size_t i = 120; i < with.traces.size(); ++i)
+        tail_drops += with.traces[i].dropped;
+    i64 tail_drops_baseline = 0;
+    for (size_t i = 120; i < without.traces.size(); ++i)
+        tail_drops_baseline += without.traces[i].dropped;
+    EXPECT_LT(tail_drops, tail_drops_baseline);
+}
+
+TEST(ResilienceSessionTest, FaultSessionIsDeterministic)
+{
+    SessionConfig config = accountingConfig(40, 10);
+    config.channel = ChannelConfig::wifiBursty();
+    config.channel_seed = 77;
+    config.fault_scenario = FaultScenario::mixed(6, 10);
+    SessionResult a = runSession(config);
+    SessionResult b = runSession(config);
+    ASSERT_EQ(a.traces.size(), b.traces.size());
+    for (size_t i = 0; i < a.traces.size(); ++i) {
+        EXPECT_EQ(a.traces[i].dropped, b.traces[i].dropped);
+        EXPECT_EQ(a.traces[i].concealed, b.traces[i].concealed);
+        EXPECT_EQ(a.traces[i].events.size(), b.traces[i].events.size());
+        EXPECT_DOUBLE_EQ(a.traces[i].mtpLatencyMs(),
+                         b.traces[i].mtpLatencyMs());
+    }
+    EXPECT_EQ(a.resilience.nacks_sent, b.resilience.nacks_sent);
+    EXPECT_EQ(a.resilience.intra_refreshes,
+              b.resilience.intra_refreshes);
+}
+
+} // namespace
+} // namespace gssr

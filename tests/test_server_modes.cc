@@ -90,10 +90,14 @@ TEST(ServerModesTest, ProxyModeScalesRoiAndBytes)
     EXPECT_EQ(out.roi->height, 300);
     EXPECT_TRUE((Rect{0, 0, 1280, 720}.contains(*out.roi)));
 
-    // Reported bytes are scaled by the area ratio (16x) relative to
-    // the actual proxy payload.
+    // Reported bytes are scaled up to the stream size the 16x-area
+    // native encode would produce (sublinear in area, see
+    // proxyStreamBytes) — more than the raw payload, less than a
+    // linear 16x.
     EXPECT_EQ(out.trace.encoded_bytes,
-              out.encoded.sizeBytes() * 16);
+              proxyStreamBytes(out.encoded.sizeBytes(), 16.0));
+    EXPECT_GT(out.trace.encoded_bytes, out.encoded.sizeBytes() * 4);
+    EXPECT_LT(out.trace.encoded_bytes, out.encoded.sizeBytes() * 16);
 }
 
 TEST(ServerModesTest, ProxyLargerThanStreamRejected)
