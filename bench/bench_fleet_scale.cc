@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Multi-tenant scaling bench — sweeps the number of concurrent
+ * heterogeneous sessions (N = 1..64, the canonical fleet mix) on one
+ * shared edge-rack server under both scheduling policies
+ * (round-robin vs. EDF) and reports, per (N, policy): admission
+ * outcomes, committed vs. available capacity, frames shed, the MTP
+ * latency distribution (p50/p95/p99) across all delivered frames,
+ * and the aggregate transmitted bitrate.
+ *
+ * The whole sweep is deterministic — two runs write byte-identical
+ * BENCH_fleet.json. `--smoke` runs a reduced sweep for CI.
+ */
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "pipeline/fleet.hh"
+
+using namespace gssr;
+using namespace gssr::bench;
+
+namespace
+{
+
+struct SweepRow
+{
+    int n = 0;
+    FleetResult fleet;
+};
+
+SweepRow
+runFleet(int n, SchedulePolicy policy, int gpu_slots, int ticks)
+{
+    FleetServer fleet(ServerProfile::edgeRack(gpu_slots), policy);
+    for (int i = 0; i < n; ++i)
+        fleet.admit(fleetMixSessionConfig(i));
+
+    SweepRow row;
+    row.n = n;
+    row.fleet = fleet.run(ticks);
+    return row;
+}
+
+void
+writeJson(const char *path, bool smoke, int gpu_slots, int ticks,
+          const std::vector<SweepRow> &rows)
+{
+    std::FILE *f = std::fopen(path, "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", path);
+        return;
+    }
+    std::fprintf(f,
+                 "{\n  \"smoke\": %s,\n  \"gpu_slots\": %d,\n"
+                 "  \"ticks\": %d,\n  \"sweep\": [\n",
+                 smoke ? "true" : "false", gpu_slots, ticks);
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const SweepRow &r = rows[i];
+        const FleetResult &fl = r.fleet;
+        std::fprintf(
+            f,
+            "    {\"n\": %d, \"policy\": \"%s\", "
+            "\"admitted\": %lld, \"degraded\": %lld, "
+            "\"rejected\": %lld, \"committed_ms\": %.4f, "
+            "\"budget_ms\": %.4f, \"frames\": %lld, "
+            "\"shed\": %lld, \"dropped\": %lld, "
+            "\"mtp_p50_ms\": %.4f, \"mtp_p95_ms\": %.4f, "
+            "\"mtp_p99_ms\": %.4f, \"mtp_mean_ms\": %.4f, "
+            "\"aggregate_mbps\": %.4f, \"max_backlog_ms\": %.4f, "
+            "\"fingerprint\": \"%016" PRIx64 "\"}%s\n",
+            r.n, schedulePolicyName(fl.policy),
+            (long long)fl.admitted, (long long)fl.degraded,
+            (long long)fl.rejected, fl.committed_cost_ms,
+            fl.budget_ms, (long long)fl.frames_total,
+            (long long)fl.frames_shed, (long long)fl.frames_dropped,
+            fl.mtp_ms.percentile(50.0), fl.mtp_ms.percentile(95.0),
+            fl.mtp_ms.percentile(99.0), fl.mtp_ms.mean(),
+            fl.aggregate_bitrate_mbps, fl.max_backlog_ms,
+            fl.fingerprint, i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0)
+            smoke = true;
+    }
+
+    printHeader("Fleet scaling",
+                "N concurrent sessions on one edge rack, RR vs EDF" +
+                    std::string(smoke ? " (smoke)" : ""));
+
+    const int gpu_slots = 8;
+    const int ticks = smoke ? 90 : 240;
+    const std::vector<int> sweep_n =
+        smoke ? std::vector<int>{1, 4, 16, 32}
+              : std::vector<int>{1, 2, 4, 8, 12, 16, 24, 32, 48, 64};
+    const SchedulePolicy policies[] = {SchedulePolicy::RoundRobin,
+                                       SchedulePolicy::Edf};
+
+    std::vector<SweepRow> rows;
+    TableWriter table({"N", "policy", "adm", "deg", "rej",
+                       "commit/budget (ms)", "shed", "p50 (ms)",
+                       "p95 (ms)", "p99 (ms)", "agg (Mb/s)"});
+    for (int n : sweep_n) {
+        for (SchedulePolicy policy : policies) {
+            rows.push_back(runFleet(n, policy, gpu_slots, ticks));
+            const FleetResult &fl = rows.back().fleet;
+            table.addRow(
+                {std::to_string(n), schedulePolicyName(policy),
+                 std::to_string(fl.admitted),
+                 std::to_string(fl.degraded),
+                 std::to_string(fl.rejected),
+                 TableWriter::num(fl.committed_cost_ms, 1) + "/" +
+                     TableWriter::num(fl.budget_ms, 1),
+                 std::to_string(fl.frames_shed),
+                 TableWriter::num(fl.mtp_ms.percentile(50.0), 2),
+                 TableWriter::num(fl.mtp_ms.percentile(95.0), 2),
+                 TableWriter::num(fl.mtp_ms.percentile(99.0), 2),
+                 TableWriter::num(fl.aggregate_bitrate_mbps, 1)});
+        }
+    }
+    printTable(table);
+
+    writeJson("BENCH_fleet.json", smoke, gpu_slots, ticks, rows);
+    return 0;
+}

@@ -31,6 +31,7 @@
 #include "codec/dct.hh"
 #include "codec/motion.hh"
 #include "codec/plane_coder.hh"
+#include "common/fingerprint.hh"
 #include "common/parallel.hh"
 #include "frame/depth_map.hh"
 #include "frame/downsample.hh"
@@ -188,25 +189,8 @@ BENCHMARK(BM_PsnrFullFrame)->Unit(benchmark::kMillisecond);
 // Thread-scaling sweep of the parallelized kernels.
 // ---------------------------------------------------------------------
 
-/** FNV-1a over raw bytes: fingerprints kernel outputs so the sweep can
- * assert bit-exactness across thread counts. */
-u64
-fnv1a(const void *data, size_t bytes, u64 hash = 1469598103934665603ull)
-{
-    const u8 *p = static_cast<const u8 *>(data);
-    for (size_t i = 0; i < bytes; ++i) {
-        hash ^= p[i];
-        hash *= 1099511628211ull;
-    }
-    return hash;
-}
-
-template <typename T>
-u64
-fnv1aVec(const std::vector<T> &v, u64 hash = 1469598103934665603ull)
-{
-    return fnv1a(v.data(), v.size() * sizeof(T), hash);
-}
+// Kernel outputs are fingerprinted (common/fingerprint.hh) so the
+// sweep can assert bit-exactness across thread counts.
 
 /** One sweep kernel: runs once, returns an output fingerprint. */
 struct SweepKernel

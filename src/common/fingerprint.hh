@@ -1,0 +1,61 @@
+/**
+ * @file
+ * FNV-1a fingerprinting of raw bytes and trivially copyable values.
+ * Used wherever the repo pins bit-exactness: the kernel-sweep bench
+ * fingerprints, the golden-trace regression suite, and the
+ * cross-thread-count determinism tests. The hash is a pure function
+ * of the input bytes, so two runs (or two thread counts) that produce
+ * bit-identical data produce the same 64-bit fingerprint.
+ */
+
+#ifndef GSSR_COMMON_FINGERPRINT_HH
+#define GSSR_COMMON_FINGERPRINT_HH
+
+#include <cstring>
+#include <type_traits>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace gssr
+{
+
+/** FNV-1a offset basis (the canonical 64-bit seed). */
+inline constexpr u64 kFnvOffsetBasis = 1469598103934665603ull;
+
+/** FNV-1a over @p bytes raw bytes, chained from @p hash. */
+inline u64
+fnv1a(const void *data, size_t bytes, u64 hash = kFnvOffsetBasis)
+{
+    const unsigned char *p = static_cast<const unsigned char *>(data);
+    for (size_t i = 0; i < bytes; ++i) {
+        hash ^= p[i];
+        hash *= 1099511628211ull;
+    }
+    return hash;
+}
+
+/** FNV-1a over one trivially copyable value. */
+template <typename T>
+inline u64
+fnv1aValue(const T &value, u64 hash = kFnvOffsetBasis)
+{
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "fingerprint needs raw bytes");
+    return fnv1a(&value, sizeof(T), hash);
+}
+
+/** FNV-1a over the elements of a vector of trivially copyable T. */
+template <typename T>
+inline u64
+fnv1aVec(const std::vector<T> &v, u64 hash = kFnvOffsetBasis)
+{
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "fingerprint needs raw bytes");
+    return v.empty() ? hash
+                     : fnv1a(v.data(), v.size() * sizeof(T), hash);
+}
+
+} // namespace gssr
+
+#endif // GSSR_COMMON_FINGERPRINT_HH

@@ -103,4 +103,14 @@ ServerProfile::gamingWorkstation()
     return ServerProfile{};
 }
 
+ServerProfile
+ServerProfile::edgeRack(int gpu_slots)
+{
+    GSSR_ASSERT(gpu_slots >= 1, "edge rack needs at least one slot");
+    ServerProfile p;
+    p.name = "edge-rack-x" + std::to_string(gpu_slots);
+    p.gpu_slots = gpu_slots;
+    return p;
+}
+
 } // namespace gssr

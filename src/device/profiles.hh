@@ -92,13 +92,47 @@ struct ServerProfile
     f64 gpu_utilization_1440p = 0.79;
     f64 gpu_utilization_720p = 0.52;
 
+    /**
+     * Parallel render/encode executors the fleet scheduler can
+     * multiplex concurrent sessions onto — 1 for the single-GPU
+     * workstation; the edge-rack profile raises it. Each slot runs
+     * one session's render + RoI + encode job at the per-slot costs
+     * above.
+     */
+    int gpu_slots = 1;
+
     /** Encode latency for a frame of @p pixels. */
     f64 encodeLatencyMs(i64 pixels) const
     {
         return f64(pixels) / 1e6 * encode_ms_per_mpixel;
     }
 
+    /**
+     * Render latency for a frame of @p pixels, interpolated linearly
+     * through the 720p/1440p calibration points. The intercept is
+     * the resolution-independent per-frame cost (geometry, shadow
+     * and post passes); the slope is the fill/shading cost per
+     * pixel. Exact at the 720p anchor, so 720p sessions charge
+     * precisely render_720p_ms.
+     */
+    f64 renderLatencyMs(i64 pixels) const
+    {
+        const f64 px_720p = 1280.0 * 720.0;
+        const f64 px_1440p = 2560.0 * 1440.0;
+        const f64 slope =
+            (render_1440p_ms - render_720p_ms) / (px_1440p - px_720p);
+        return render_720p_ms + (f64(pixels) - px_720p) * slope;
+    }
+
     static ServerProfile gamingWorkstation();
+
+    /**
+     * Multi-GPU edge-rack streaming server: per-slot stage costs of
+     * the gaming workstation, with gpu_slots parallel executors —
+     * the shared resource the fleet scheduler carves up across
+     * concurrent sessions.
+     */
+    static ServerProfile edgeRack(int gpu_slots = 8);
 };
 
 } // namespace gssr

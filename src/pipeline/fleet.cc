@@ -1,0 +1,253 @@
+#include "pipeline/fleet.hh"
+
+#include <algorithm>
+
+#include "common/fingerprint.hh"
+#include "roi/depth_processing.hh"
+
+namespace gssr
+{
+
+namespace
+{
+
+/** Degradation floor for the resolution ladder (stream width, px). */
+constexpr int kMinDegradedWidth = 480;
+
+/** One x3/4 resolution-ladder step, snapped to multiples of 4. */
+Size
+degradeResolution(Size size)
+{
+    return Size{(size.width * 3 / 4) & ~3, (size.height * 3 / 4) & ~3};
+}
+
+} // namespace
+
+const char *
+admissionOutcomeName(AdmissionOutcome outcome)
+{
+    switch (outcome) {
+      case AdmissionOutcome::Admitted:
+        return "admitted";
+      case AdmissionOutcome::Degraded:
+        return "degraded";
+      case AdmissionOutcome::Rejected:
+        return "rejected";
+    }
+    return "?";
+}
+
+FleetServer::FleetServer(const ServerProfile &profile,
+                         SchedulePolicy policy)
+    : FleetServer(profile, policy, ServerCapacity::fromProfile(profile))
+{
+}
+
+FleetServer::FleetServer(const ServerProfile &profile,
+                         SchedulePolicy policy,
+                         const ServerCapacity &capacity)
+    : profile_(profile), capacity_(capacity),
+      scheduler_(policy, capacity)
+{
+}
+
+f64
+FleetServer::estimateSessionCostMs(const ServerProfile &profile,
+                                   const SessionConfig &config)
+{
+    const i64 area = config.lr_size.area();
+    f64 cost = profile.renderLatencyMs(area) +
+               profile.encodeLatencyMs(area);
+    if (config.design != DesignKind::Nemo) {
+        // Depth preprocessing + RoI search op counts (roi/), charged
+        // at the server GPU's compute-shader throughput.
+        const i64 roi_ops = preprocessOpCount(config.lr_size) +
+                            i64(area) * 2; // prefix sums dominate
+        cost += f64(roi_ops) / profile.gpu_ops_per_ms;
+    }
+    return cost;
+}
+
+AdmissionDecision
+FleetServer::admit(SessionConfig config)
+{
+    config.server_profile = profile_;
+
+    AdmissionDecision decision;
+    decision.outcome = AdmissionOutcome::Admitted;
+    int fps_divisor = 1;
+    const f64 budget = capacity_.budgetMsPerTick();
+
+    // Degradation ladder: shrink the stream x3/4 at a time down to
+    // the 480-wide floor, then halve the frame rate, then give up.
+    f64 cost = estimateSessionCostMs(profile_, config);
+    while (committed_ms_ + cost / f64(fps_divisor) > budget) {
+        const Size smaller = degradeResolution(config.lr_size);
+        if (smaller.width >= kMinDegradedWidth) {
+            config.lr_size = smaller;
+            decision.outcome = AdmissionOutcome::Degraded;
+        } else if (fps_divisor == 1) {
+            fps_divisor = 2;
+            decision.outcome = AdmissionOutcome::Degraded;
+        } else {
+            decision.outcome = AdmissionOutcome::Rejected;
+            decision.config = std::move(config);
+            rejected_ += 1;
+            return decision;
+        }
+        cost = estimateSessionCostMs(profile_, config);
+    }
+
+    decision.config = config;
+    decision.fps_divisor = fps_divisor;
+    decision.estimated_cost_ms = cost / f64(fps_divisor);
+    committed_ms_ += decision.estimated_cost_ms;
+
+    Tenant tenant;
+    tenant.id = next_id_;
+    tenant.outcome = decision.outcome;
+    tenant.fps_divisor = fps_divisor;
+    tenant.estimated_cost_ms = decision.estimated_cost_ms;
+    tenant.engine = std::make_unique<SessionEngine>(config);
+    tenants_.push_back(std::move(tenant));
+    next_id_ += 1;
+    return decision;
+}
+
+FleetResult
+FleetServer::run(int ticks)
+{
+    GSSR_ASSERT(ticks >= 1, "fleet run needs at least one tick");
+
+    std::vector<SchedulerJob> jobs;
+    std::vector<SessionEngine::PendingFrame> pending;
+    std::vector<size_t> submitters;
+
+    for (int t = 0; t < ticks; ++t) {
+        const f64 now_ms = f64(t) * capacity_.frame_period_ms;
+        jobs.clear();
+        pending.clear();
+        submitters.clear();
+
+        // Half-rate tenants submit on alternating phases (id parity)
+        // so degraded sessions do not all pile onto the same tick.
+        for (size_t i = 0; i < tenants_.size(); ++i) {
+            Tenant &tenant = tenants_[i];
+            if (t % tenant.fps_divisor !=
+                tenant.id % tenant.fps_divisor)
+                continue;
+            pending.push_back(tenant.engine->beginFrame(now_ms));
+            jobs.push_back(
+                {tenant.id, pending.back().server_gpu_ms});
+            submitters.push_back(i);
+        }
+
+        std::vector<ServerContention> contention =
+            scheduler_.scheduleTick(now_ms, jobs);
+        for (size_t j = 0; j < submitters.size(); ++j) {
+            tenants_[submitters[j]].engine->finishFrame(
+                std::move(pending[j]), contention[j]);
+        }
+    }
+
+    FleetResult result;
+    result.policy = scheduler_.policy();
+    result.gpu_slots = capacity_.gpu_slots;
+    result.ticks = ticks;
+    result.rejected = rejected_;
+    result.committed_cost_ms = committed_ms_;
+    result.budget_ms = capacity_.budgetMsPerTick();
+    result.frames_shed = scheduler_.framesShed();
+    result.max_backlog_ms = scheduler_.maxBacklogMs();
+
+    const f64 run_s =
+        f64(ticks) * capacity_.frame_period_ms / 1000.0;
+    u64 fleet_hash = kFnvOffsetBasis;
+    for (Tenant &tenant : tenants_) {
+        if (tenant.outcome == AdmissionOutcome::Degraded)
+            result.degraded += 1;
+        else
+            result.admitted += 1;
+
+        const SessionResult &session = tenant.engine->result();
+        FleetSessionStats s;
+        s.session = tenant.id;
+        s.outcome = tenant.outcome;
+        s.fps_divisor = tenant.fps_divisor;
+        s.lr_size = tenant.engine->config().lr_size;
+        s.estimated_cost_ms = tenant.estimated_cost_ms;
+        s.fingerprint = sessionFingerprint(session);
+        s.frames = i64(session.traces.size());
+        s.frames_shed = session.resilience.frames_shed;
+        s.frames_dropped = session.resilience.frames_dropped;
+        s.frames_concealed = session.resilience.frames_concealed;
+        s.aimd_backoffs = session.resilience.aimd_backoffs;
+
+        f64 queue_total = 0.0;
+        f64 mtp_total = 0.0;
+        i64 delivered = 0;
+        size_t transmitted_bytes = 0;
+        for (const FrameTrace &trace : session.traces) {
+            queue_total += trace.stageLatencyMs(Stage::ServerQueue);
+            if (!trace.hasEvent(RecoveryEvent::ServerShed))
+                transmitted_bytes += trace.encoded_bytes;
+            if (!trace.dropped && !trace.concealed) {
+                const f64 mtp = trace.mtpLatencyMs();
+                mtp_total += mtp;
+                result.mtp_ms.add(mtp);
+                delivered += 1;
+            }
+        }
+        s.mean_queue_ms =
+            s.frames ? queue_total / f64(s.frames) : 0.0;
+        s.mean_mtp_ms = delivered ? mtp_total / f64(delivered) : 0.0;
+        s.bitrate_mbps =
+            f64(transmitted_bytes) * 8.0 / 1e6 / run_s;
+
+        result.frames_total += s.frames;
+        result.frames_dropped += s.frames_dropped;
+        result.aggregate_bitrate_mbps += s.bitrate_mbps;
+        fleet_hash = fnv1aValue(tenant.id, fleet_hash);
+        fleet_hash = fnv1aValue(s.fingerprint, fleet_hash);
+        result.sessions.push_back(s);
+    }
+    result.fingerprint = fleet_hash;
+    return result;
+}
+
+SessionConfig
+fleetMixSessionConfig(int i)
+{
+    static const GameId kGames[] = {
+        GameId::G3_Witcher3,
+        GameId::G1_MetroExodus,
+        GameId::G6_GodOfWar,
+        GameId::G9_FarmingSimulator,
+    };
+    static const Size kSizes[] = {
+        {1280, 720},
+        {960, 540},
+        {640, 360},
+    };
+
+    SessionConfig config;
+    config.game = kGames[i % 4];
+    config.world_seed = 1 + u64(i);
+    config.design =
+        (i % 3 == 2) ? DesignKind::Nemo : DesignKind::GameStreamSR;
+    config.device = (i % 2) ? DeviceProfile::pixel7Pro()
+                            : DeviceProfile::galaxyTabS8();
+    config.channel = (i % 4 == 3) ? ChannelConfig::fiveGEmbb()
+                                  : ChannelConfig::wifi();
+    config.channel_seed = 1000 + u64(i);
+    config.lr_size = kSizes[i % 3];
+    config.scale_factor = 2;
+    config.target_bitrate_mbps = 10.0 - f64(i % 3) * 2.0;
+    config.compute_pixels = false;
+    config.server_proxy_size = {256, 144};
+    config.resilience.nack = true;
+    config.resilience.aimd = true;
+    return config;
+}
+
+} // namespace gssr

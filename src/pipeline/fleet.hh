@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Multi-tenant streaming server: admits N concurrent heterogeneous
+ * sessions (mixed games, devices, client designs and channels) onto
+ * one shared ServerProfile and runs them in 60 Hz lockstep, pushing
+ * every session's per-frame GPU job through the FrameScheduler so
+ * shared-capacity contention shows up as ServerQueue latency, shed
+ * frames, and AIMD bitrate backoff inside each session's own trace.
+ *
+ * Admission control keeps the committed per-tick service time under
+ * the capacity budget, degrading a session that does not fit —
+ * first stream resolution (x3/4 steps down to a 480-wide floor),
+ * then frame rate (30 FPS) — before rejecting it outright.
+ */
+
+#ifndef GSSR_PIPELINE_FLEET_HH
+#define GSSR_PIPELINE_FLEET_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/stats.hh"
+#include "pipeline/scheduler.hh"
+
+namespace gssr
+{
+
+/** What admission control did with a session. */
+enum class AdmissionOutcome
+{
+    Admitted, ///< fits as requested
+    Degraded, ///< fits after resolution / frame-rate reduction
+    Rejected, ///< does not fit even fully degraded
+};
+
+/** Outcome name for tables / JSON. */
+const char *admissionOutcomeName(AdmissionOutcome outcome);
+
+/** Result of FleetServer::admit. */
+struct AdmissionDecision
+{
+    AdmissionOutcome outcome = AdmissionOutcome::Rejected;
+
+    /** Final session config (degradations applied); the profile is
+     *  overwritten with the fleet's shared ServerProfile. */
+    SessionConfig config;
+
+    /** 1 = full 60 FPS; 2 = degraded to every other tick (30 FPS). */
+    int fps_divisor = 1;
+
+    /** Estimated per-tick service-time commitment (ms). */
+    f64 estimated_cost_ms = 0.0;
+};
+
+/** Per-session summary in a FleetResult. */
+struct FleetSessionStats
+{
+    int session = 0;
+    AdmissionOutcome outcome = AdmissionOutcome::Admitted;
+    int fps_divisor = 1;
+    Size lr_size{0, 0};
+    f64 estimated_cost_ms = 0.0;
+
+    /** Session-result fingerprint (sessionFingerprint). */
+    u64 fingerprint = 0;
+
+    i64 frames = 0;
+    i64 frames_shed = 0;
+    i64 frames_dropped = 0;
+    i64 frames_concealed = 0;
+    i64 aimd_backoffs = 0;
+
+    /** Mean MTP over delivered frames (includes ServerQueue). */
+    f64 mean_mtp_ms = 0.0;
+
+    /** Mean shared-server queueing delay over all frames (ms). */
+    f64 mean_queue_ms = 0.0;
+
+    /** Transmitted stream bitrate over the run (Mbit/s). */
+    f64 bitrate_mbps = 0.0;
+};
+
+/** Aggregate outcome of one fleet run. */
+struct FleetResult
+{
+    SchedulePolicy policy = SchedulePolicy::Edf;
+    int gpu_slots = 1;
+    i64 ticks = 0;
+
+    i64 admitted = 0;
+    i64 degraded = 0;
+    i64 rejected = 0;
+
+    /** Committed admission budget vs. available (ms per tick). */
+    f64 committed_cost_ms = 0.0;
+    f64 budget_ms = 0.0;
+
+    i64 frames_total = 0;
+    i64 frames_shed = 0;
+    i64 frames_dropped = 0;
+
+    /** MTP of every delivered frame across all sessions (ms). */
+    SampleStats mtp_ms;
+
+    /** Sum of per-session transmitted bitrates (Mbit/s). */
+    f64 aggregate_bitrate_mbps = 0.0;
+
+    /** Deepest end-of-tick slot backlog seen (ms). */
+    f64 max_backlog_ms = 0.0;
+
+    /** Order-sensitive FNV chain over all session fingerprints. */
+    u64 fingerprint = 0;
+
+    std::vector<FleetSessionStats> sessions;
+};
+
+/**
+ * The multi-tenant server. Usage: admit() each candidate session,
+ * then run(ticks) once to drive all admitted sessions in lockstep
+ * and collect the aggregate result. Everything is deterministic:
+ * same admissions + same tick count => bit-identical FleetResult.
+ */
+class FleetServer
+{
+  public:
+    FleetServer(const ServerProfile &profile, SchedulePolicy policy);
+    FleetServer(const ServerProfile &profile, SchedulePolicy policy,
+                const ServerCapacity &capacity);
+
+    /**
+     * Admission-control a session. @p config's server_profile is
+     * replaced with the fleet's shared profile. Admitted (or
+     * degraded) sessions are instantiated immediately; a rejected
+     * session leaves the fleet untouched.
+     */
+    AdmissionDecision admit(SessionConfig config);
+
+    /** Live (admitted + degraded) session count. */
+    i64 sessionCount() const { return i64(tenants_.size()); }
+
+    /** Service time committed by admission so far (ms per tick). */
+    f64 committedCostMs() const { return committed_ms_; }
+
+    const ServerCapacity &capacity() const { return capacity_; }
+
+    /** Drive all admitted sessions for @p ticks 60 Hz ticks. */
+    FleetResult run(int ticks);
+
+    /**
+     * Admission estimate of one frame's server service time: the
+     * capacity model's render + RoI + encode charge for the
+     * session's stream resolution (ms). The scheduler itself uses
+     * the actual traced cost, so this only needs to be close.
+     */
+    static f64 estimateSessionCostMs(const ServerProfile &profile,
+                                     const SessionConfig &config);
+
+  private:
+    struct Tenant
+    {
+        int id = 0;
+        AdmissionOutcome outcome = AdmissionOutcome::Admitted;
+        int fps_divisor = 1;
+        f64 estimated_cost_ms = 0.0;
+        std::unique_ptr<SessionEngine> engine;
+    };
+
+    ServerProfile profile_;
+    ServerCapacity capacity_;
+    FrameScheduler scheduler_;
+    std::vector<Tenant> tenants_;
+    f64 committed_ms_ = 0.0;
+    int next_id_ = 0;
+    i64 rejected_ = 0;
+};
+
+/**
+ * The canonical heterogeneous tenant mix used by the fleet bench and
+ * tests: session @p i rotates through games, client devices, designs
+ * (every third session is the NEMO baseline), channels, stream
+ * resolutions (720p/540p/360p) and bitrate targets, all accounting-
+ * only (proxy rasterization) with NACK + AIMD resilience enabled.
+ */
+SessionConfig fleetMixSessionConfig(int i);
+
+} // namespace gssr
+
+#endif // GSSR_PIPELINE_FLEET_HH

@@ -1,0 +1,103 @@
+#include "pipeline/scheduler.hh"
+
+#include <algorithm>
+#include <numeric>
+
+namespace gssr
+{
+
+const char *
+schedulePolicyName(SchedulePolicy policy)
+{
+    switch (policy) {
+      case SchedulePolicy::RoundRobin:
+        return "round-robin";
+      case SchedulePolicy::Edf:
+        return "edf";
+    }
+    return "?";
+}
+
+ServerCapacity
+ServerCapacity::fromProfile(const ServerProfile &profile)
+{
+    ServerCapacity capacity;
+    capacity.gpu_slots = profile.gpu_slots;
+    return capacity;
+}
+
+FrameScheduler::FrameScheduler(SchedulePolicy policy,
+                               const ServerCapacity &capacity)
+    : policy_(policy), capacity_(capacity)
+{
+    GSSR_ASSERT(capacity_.gpu_slots >= 1,
+                "scheduler needs at least one GPU slot");
+    slot_free_ms_.assign(size_t(capacity_.gpu_slots), 0.0);
+}
+
+std::vector<ServerContention>
+FrameScheduler::scheduleTick(f64 now_ms,
+                             const std::vector<SchedulerJob> &jobs)
+{
+    std::vector<ServerContention> out(jobs.size());
+
+    std::vector<size_t> order(jobs.size());
+    std::iota(order.begin(), order.end(), size_t(0));
+    if (!jobs.empty()) {
+        if (policy_ == SchedulePolicy::RoundRobin) {
+            // Rotating priority start: the session that goes first
+            // advances by one every tick.
+            std::rotate(order.begin(),
+                        order.begin() + size_t(tick_ % i64(jobs.size())),
+                        order.end());
+        } else {
+            // Earliest *start* deadline first: a job must start by
+            // (now + slack - cost) to complete within its delivery
+            // slack, so the costliest jobs have the earliest
+            // deadlines and go first (Jackson's rule — minimizes the
+            // maximum lateness, i.e. the MTP tail). Session id
+            // breaks ties deterministically.
+            std::stable_sort(
+                order.begin(), order.end(),
+                [&](size_t a, size_t b) {
+                    const f64 da = capacity_.deadline_slack_ms -
+                                   jobs[a].cost_ms;
+                    const f64 db = capacity_.deadline_slack_ms -
+                                   jobs[b].cost_ms;
+                    if (da != db)
+                        return da < db;
+                    return jobs[a].session < jobs[b].session;
+                });
+        }
+    }
+
+    // List-schedule in priority order: each job takes the slot that
+    // frees up first. A job whose wait would exceed the shed
+    // threshold is dropped without consuming slot time.
+    for (size_t idx : order) {
+        size_t best = 0;
+        for (size_t s = 1; s < slot_free_ms_.size(); ++s) {
+            if (slot_free_ms_[s] < slot_free_ms_[best])
+                best = s;
+        }
+        const f64 start = std::max(now_ms, slot_free_ms_[best]);
+        const f64 queue_ms = start - now_ms;
+        if (queue_ms > capacity_.shed_queue_ms) {
+            out[idx].shed = true;
+            shed_ += 1;
+            continue;
+        }
+        out[idx].queue_ms = queue_ms;
+        slot_free_ms_[best] = start + jobs[idx].cost_ms;
+    }
+
+    const f64 tick_end = now_ms + capacity_.frame_period_ms;
+    for (f64 free_ms : slot_free_ms_) {
+        max_backlog_ms_ =
+            std::max(max_backlog_ms_, free_ms - tick_end);
+    }
+    tick_ += 1;
+    return out;
+}
+
+} // namespace gssr

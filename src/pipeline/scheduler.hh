@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Shared-server frame scheduler for the multi-tenant fleet
+ * (Sec. VI deployment discussion): N concurrent sessions time-share
+ * the server's render/RoI/encode executors. Each 60 Hz tick every
+ * active session submits one GPU job (its actual traced server-GPU
+ * service time); the scheduler list-schedules the jobs onto the
+ * profile's gpu_slots, carrying slot backlog across ticks, and
+ * reports the per-frame queueing delay (the ServerQueue trace stage)
+ * or a shed decision when the backlog exceeds the shed threshold.
+ *
+ * Two deterministic policies:
+ *  - RoundRobin: rotating priority start (tick % n) — fair in the
+ *    long run, but a session draws the end-of-queue slot 1/n of the
+ *    time, so tail latency degrades with heterogeneous job costs.
+ *  - Edf: earliest deadline first on *start* deadlines. A frame
+ *    granted a uniform delivery slack must start service by
+ *    tick start + slack - service time, so costlier jobs carry
+ *    earlier deadlines and schedule first (Jackson's earliest-due-
+ *    date rule, which minimizes maximum lateness). That keeps the
+ *    slot wait off the sessions whose base MTP is already largest,
+ *    tightening the p99 MTP tail under load.
+ */
+
+#ifndef GSSR_PIPELINE_SCHEDULER_HH
+#define GSSR_PIPELINE_SCHEDULER_HH
+
+#include <vector>
+
+#include "device/profiles.hh"
+#include "pipeline/session.hh"
+
+namespace gssr
+{
+
+/** Scheduling policy for the shared server. */
+enum class SchedulePolicy
+{
+    RoundRobin, ///< rotating priority start per tick
+    Edf,        ///< earliest (deadline = tick + slack - cost) first
+};
+
+/** Policy name for tables / JSON. */
+const char *schedulePolicyName(SchedulePolicy policy);
+
+/**
+ * Shared-server capacity model: how much render/RoI/encode service
+ * time the fleet can commit per 60 Hz tick, and when a queued frame
+ * is stale enough to shed instead of transmitting late.
+ */
+struct ServerCapacity
+{
+    /** Parallel render/encode executors (ServerProfile::gpu_slots). */
+    int gpu_slots = 1;
+
+    /** Scheduling tick length — the 60 FPS frame period (ms). */
+    f64 frame_period_ms = 1000.0 / 60.0;
+
+    /**
+     * Uniform delivery slack granted to every frame (ms); a job's
+     * EDF start deadline is tick start + slack - service time, so
+     * under a uniform slack the costliest jobs schedule first.
+     */
+    f64 deadline_slack_ms = 8.0;
+
+    /**
+     * A frame whose slot wait exceeds this is shed server-side:
+     * transmitting it would only displace fresher frames, so the
+     * server drops it and lets the client conceal (ms).
+     */
+    f64 shed_queue_ms = 80.0;
+
+    /**
+     * Fraction of the raw slot-time budget admission control is
+     * willing to commit — headroom for service-time jitter around
+     * the admission estimate.
+     */
+    f64 admission_utilization = 0.9;
+
+    /** Service-time budget admission control hands out per tick. */
+    f64
+    budgetMsPerTick() const
+    {
+        return f64(gpu_slots) * frame_period_ms *
+               admission_utilization;
+    }
+
+    /** Capacity of @p profile at the default thresholds. */
+    static ServerCapacity fromProfile(const ServerProfile &profile);
+};
+
+/** One session's GPU job for the current tick. */
+struct SchedulerJob
+{
+    /** Submitting session (tie-break key; stable across ticks). */
+    int session = 0;
+
+    /** Actual server service time this frame (render+RoI+encode, ms). */
+    f64 cost_ms = 0.0;
+};
+
+/**
+ * Deterministic list scheduler over the shared GPU slots. Slot
+ * backlog persists across ticks, so sustained oversubscription
+ * builds queueing delay instead of resetting every frame — the
+ * mechanism behind the rising p99 MTP in bench_fleet_scale.
+ */
+class FrameScheduler
+{
+  public:
+    FrameScheduler(SchedulePolicy policy, const ServerCapacity &capacity);
+
+    /**
+     * Schedule one tick starting at @p now_ms. Returns one
+     * ServerContention per input job, in input order: the slot wait
+     * (queue_ms) for scheduled jobs, or shed = true for frames whose
+     * wait would exceed the shed threshold.
+     */
+    std::vector<ServerContention>
+    scheduleTick(f64 now_ms, const std::vector<SchedulerJob> &jobs);
+
+    const ServerCapacity &capacity() const { return capacity_; }
+    SchedulePolicy policy() const { return policy_; }
+
+    /** Ticks scheduled so far. */
+    i64 ticks() const { return tick_; }
+
+    /** Frames shed across all ticks. */
+    i64 framesShed() const { return shed_; }
+
+    /** Largest end-of-tick slot backlog seen (ms past tick end). */
+    f64 maxBacklogMs() const { return max_backlog_ms_; }
+
+  private:
+    SchedulePolicy policy_;
+    ServerCapacity capacity_;
+
+    /** Absolute time (ms) each slot finishes its queued work. */
+    std::vector<f64> slot_free_ms_;
+
+    i64 tick_ = 0;
+    i64 shed_ = 0;
+    f64 max_backlog_ms_ = 0.0;
+};
+
+} // namespace gssr
+
+#endif // GSSR_PIPELINE_SCHEDULER_HH

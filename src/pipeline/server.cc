@@ -94,7 +94,8 @@ GameStreamServer::nextFrame()
     out.rendered.index = frame_index_;
     out.rendered.input_time_ms = out.time_s * 1e3;
     out.trace.add(Stage::Render, Resource::ServerGpu,
-                  profile_.render_720p_ms, 0.0);
+                  profile_.renderLatencyMs(config_.lr_size.area()),
+                  0.0);
 
     // Depth-guided RoI detection on the server GPU (Fig. 6 step-3).
     if (config_.enable_roi) {

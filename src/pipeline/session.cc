@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/fingerprint.hh"
 #include "common/mathutil.hh"
 #include "metrics/psnr.hh"
 #include "roi/foveal.hh"
@@ -26,6 +27,9 @@ designName(DesignKind design)
 
 namespace
 {
+
+/** Session frame cadence (the paper's 60 FPS operating point). */
+constexpr f64 kFramePeriodMs = 1000.0 / 60.0;
 
 std::unique_ptr<StreamingClient>
 makeClient(DesignKind design, const ClientConfig &config)
@@ -152,13 +156,9 @@ SessionResult::meanLpips() const
     return n ? total / f64(n) : 0.0;
 }
 
-SessionResult
-runSession(const SessionConfig &config)
+ServerConfig
+SessionEngine::serverConfigFor(const SessionConfig &config)
 {
-    GSSR_ASSERT(config.frames >= 1, "session needs at least one frame");
-
-    GameWorld world(config.game, config.world_seed);
-
     ServerConfig server_config;
     server_config.lr_size = config.lr_size;
     server_config.scale_factor = config.scale_factor;
@@ -180,7 +180,12 @@ runSession(const SessionConfig &config)
         // The pre-downsample render doubles as the ground truth.
         server_config.keep_hr_render = true;
     }
+    return server_config;
+}
 
+Size
+SessionEngine::roiWindowFor(const SessionConfig &config)
+{
     // Negotiate the RoI window at the paper's reference resolution
     // (720p), then scale it with the configured stream width so a
     // reduced-resolution session keeps the same RoI area *fraction*
@@ -192,202 +197,275 @@ runSession(const SessionConfig &config)
     edge = clamp(edge, 16,
                  std::min(config.lr_size.width,
                           config.lr_size.height));
-    Size roi_window{edge, edge};
+    return Size{edge, edge};
+}
 
-    GameStreamServer server(world, server_config,
-                            config.server_profile, roi_window);
-
+SessionEngine::SessionEngine(const SessionConfig &config)
+    : config_(config), world_(config.game, config.world_seed),
+      server_(world_, serverConfigFor(config), config.server_profile,
+              roiWindowFor(config)),
+      channel_(config.channel, config.channel_seed,
+               config.fault_scenario),
+      concealer_(config.resilience.concealment),
+      hr_size_{config.lr_size.width * config.scale_factor,
+               config.lr_size.height * config.scale_factor}
+{
     ClientConfig client_config;
-    client_config.device = config.device;
-    client_config.lr_size = config.lr_size;
-    client_config.scale_factor = config.scale_factor;
-    client_config.codec = config.codec;
-    client_config.compute_pixels = config.compute_pixels;
-    client_config.sr_net = config.sr_net;
-    auto client = makeClient(config.design, client_config);
+    client_config.device = config_.device;
+    client_config.lr_size = config_.lr_size;
+    client_config.scale_factor = config_.scale_factor;
+    client_config.codec = config_.codec;
+    client_config.compute_pixels = config_.compute_pixels;
+    client_config.sr_net = config_.sr_net;
+    client_ = makeClient(config_.design, client_config);
 
-    NetworkChannel channel(config.channel, config.channel_seed,
-                           config.fault_scenario);
+    const ResilienceConfig &res = config_.resilience;
+    if (res.aimd && config_.target_bitrate_mbps > 0.0) {
+        aimd_.emplace(res.aimd_config, config_.target_bitrate_mbps);
+    }
+}
 
-    // Loss-recovery machinery: the client's decoder-reference
-    // tracker, the NACK feedback path, the concealment engine, and
-    // the AIMD bitrate-backoff loop.
-    const ResilienceConfig &res = config.resilience;
-    ReferenceTracker tracker;
-    FeedbackPath feedback;
-    Concealer concealer(res.concealment);
-    std::optional<AimdController> aimd;
-    if (res.aimd && config.target_bitrate_mbps > 0.0) {
-        aimd.emplace(res.aimd_config, config.target_bitrate_mbps);
+SessionEngine::PendingFrame
+SessionEngine::beginFrame(f64 now_ms)
+{
+    // Feedback-path NACKs that reached the server by now force an
+    // intra refresh into the next encoded frame.
+    if (config_.resilience.nack &&
+        !feedback_.drainArrived(now_ms).empty())
+        server_.requestIntraRefresh();
+
+    // The AIMD loop retargets the encoder's rate controller.
+    if (aimd_ && server_.rateControlled())
+        server_.setTargetBitrate(aimd_->targetMbps());
+
+    PendingFrame pending;
+    pending.now_ms = now_ms;
+    pending.produced = server_.nextFrame();
+    for (const auto &r : pending.produced.trace.records) {
+        if (r.resource == Resource::ServerGpu)
+            pending.server_gpu_ms += r.latency_ms;
+    }
+    return pending;
+}
+
+void
+SessionEngine::finishFrame(PendingFrame pending,
+                           const ServerContention &contention)
+{
+    const ResilienceConfig &res = config_.resilience;
+    ResilienceStats &stats = result_.resilience;
+    ServerFrameOutput &produced = pending.produced;
+    const f64 now_ms = pending.now_ms;
+    FrameTrace trace = produced.trace;
+
+    // Shared-server queueing (fleet mode): the wait for a GPU/encoder
+    // slot delays everything downstream of the server stages.
+    if (contention.queue_ms > 0.0) {
+        trace.add(Stage::ServerQueue, Resource::ServerGpu,
+                  contention.queue_ms, 0.0);
     }
 
-    PerceptualMetric perceptual;
-
-    Size hr_size{config.lr_size.width * config.scale_factor,
-                 config.lr_size.height * config.scale_factor};
-
-    SessionResult result;
-    ResilienceStats &stats = result.resilience;
-    f64 mean_frame_bytes = 0.0;
-    int measured = 0;
-
-    const f64 frame_period_ms = 1000.0 / 60.0;
-    f64 last_nack_ms = -1e18;
-    f64 stale_since_ms = -1.0;
-    i64 stale_run = 0;
-
-    for (int i = 0; i < config.frames; ++i) {
-        const f64 now_ms = f64(i) * frame_period_ms;
-
-        // Feedback-path NACKs that reached the server by now force
-        // an intra refresh into the next encoded frame.
-        if (res.nack && !feedback.drainArrived(now_ms).empty())
-            server.requestIntraRefresh();
-
-        // The AIMD loop retargets the encoder's rate controller.
-        if (aimd && server.rateControlled())
-            server.setTargetBitrate(aimd->targetMbps());
-
-        ServerFrameOutput produced = server.nextFrame();
-        FrameTrace trace = produced.trace;
-
-        // Network transmission: the offered load is the running
-        // stream bitrate. The very first (intra) frame is amortized
-        // over its GOP — a paced encoder emits at the average rate,
-        // not at the instantaneous key-frame rate. The byte count is
-        // trace.encoded_bytes — the *stream* size, which the server
-        // scales up in proxy mode so network behavior matches the
-        // full-resolution session it stands in for.
+    // Network transmission: the offered load is the running stream
+    // bitrate. The very first (intra) frame is amortized over its
+    // GOP — a paced encoder emits at the average rate, not at the
+    // instantaneous key-frame rate. The byte count is
+    // trace.encoded_bytes — the *stream* size, which the server
+    // scales up in proxy mode so network behavior matches the
+    // full-resolution session it stands in for. A frame shed by the
+    // oversubscribed fleet server never reaches the channel at all.
+    bool dropped;
+    if (contention.shed) {
+        trace.dropped = true;
+        trace.addEvent(RecoveryEvent::ServerShed);
+        stats.frames_shed += 1;
+        dropped = true;
+    } else {
         const size_t stream_bytes = trace.encoded_bytes;
-        if (mean_frame_bytes == 0.0) {
-            mean_frame_bytes =
-                f64(stream_bytes) / f64(config.codec.gop_size);
+        if (mean_frame_bytes_ == 0.0) {
+            mean_frame_bytes_ =
+                f64(stream_bytes) / f64(config_.codec.gop_size);
         } else {
-            mean_frame_bytes =
-                0.9 * mean_frame_bytes + 0.1 * f64(stream_bytes);
+            mean_frame_bytes_ =
+                0.9 * mean_frame_bytes_ + 0.1 * f64(stream_bytes);
         }
-        f64 offered = streamBitrateMbps(mean_frame_bytes, 60.0);
+        f64 offered = streamBitrateMbps(mean_frame_bytes_, 60.0);
         TransmitResult tx =
-            channel.transmitFrame(stream_bytes, offered);
+            channel_.transmitFrame(stream_bytes, offered);
         trace.dropped = tx.dropped;
         trace.add(Stage::Network, Resource::NetworkLink, tx.latency_ms,
-                  config.device.radio.energyMj(i64(stream_bytes)));
+                  config_.device.radio.energyMj(i64(stream_bytes)));
+        dropped = tx.dropped;
 
         // Delivery outcome -> decoder-reference bookkeeping. A lost
         // frame (or a delta that arrived after one) stalls the
         // client's reference chain; stale deltas are discarded, not
         // decoded against wrong references.
-        bool decodable = false;
         if (tx.dropped) {
             trace.addEvent(RecoveryEvent::FrameDropped);
-            tracker.onFrameLost();
             stats.frames_dropped += 1;
-            if (aimd && (tx.cause == DropCause::Congestion ||
-                         tx.cause == DropCause::Burst)) {
-                if (aimd->onCongestion(now_ms)) {
+            if (aimd_ && (tx.cause == DropCause::Congestion ||
+                          tx.cause == DropCause::Burst)) {
+                if (aimd_->onCongestion(now_ms)) {
                     trace.addEvent(RecoveryEvent::BitrateBackoff);
                     stats.aimd_backoffs += 1;
                 }
             }
-        } else {
-            stats.frames_delivered += 1;
-            if (aimd)
-                aimd->onDelivered(now_ms);
-            ReferenceTracker::Action action =
-                tracker.onFrameArrived(produced.encoded.type);
-            if (action == ReferenceTracker::Action::Discard) {
-                trace.discarded = true;
-                trace.addEvent(RecoveryEvent::DeltaDiscarded);
-                stats.frames_discarded += 1;
-            } else {
-                decodable = true;
-            }
         }
-
-        // NACK emission. A delivered stale delta is detected on
-        // arrival; a dropped frame is noticed as a sequence gap one
-        // frame period later.
-        if (res.nack && !tracker.chainValid()) {
-            f64 detected_ms = tx.dropped ? now_ms + frame_period_ms
-                                         : now_ms + tx.latency_ms;
-            if (detected_ms - last_nack_ms >= res.nack_timeout_ms) {
-                feedback.sendNack(produced.encoded.index, detected_ms,
-                                  channel.feedbackDelayMs());
-                last_nack_ms = detected_ms;
-                trace.addEvent(RecoveryEvent::NackSent);
-                stats.nacks_sent += 1;
-            }
-        }
-
-        // Client processing: only decodable frames reach the
-        // decoder; lost/stale frames are concealed from the last
-        // good HR output.
-        ColorImage output;
-        if (decodable) {
-            ClientFrameResult processed =
-                client->processFrame(produced.encoded, produced.roi);
-            for (const auto &record : processed.trace.records)
-                trace.records.push_back(record);
-            if (config.compute_pixels) {
-                concealer.onGoodFrame(processed.upscaled);
-                output = std::move(processed.upscaled);
-            }
-            if (stale_since_ms >= 0.0) {
-                stats.recovery_latency_ms.add(now_ms - stale_since_ms);
-                stale_since_ms = -1.0;
-                last_nack_ms = -1e18;
-            }
-            stale_run = 0;
-        } else {
-            trace.concealed = true;
-            trace.addEvent(RecoveryEvent::Concealed);
-            stats.frames_concealed += 1;
-            addConcealStage(trace, config.device, hr_size,
-                            res.concealment);
-            const DisplayModel &display = config.device.display;
-            trace.add(Stage::Display, Resource::ClientDisplay,
-                      display.latencyMs(),
-                      display.energyMjPerFrame(frame_period_ms));
-            if (config.compute_pixels)
-                output = concealer.conceal(hr_size);
-            if (stale_since_ms < 0.0)
-                stale_since_ms = now_ms;
-            stale_run += 1;
-            stats.longest_stale_run =
-                std::max(stats.longest_stale_run, stale_run);
-        }
-
-        // Quality vs. the native HR render of the same scene,
-        // measured on what the client actually displays — concealed
-        // frames included, so transient dips are real.
-        if (config.measure_quality && config.compute_pixels &&
-            i % config.quality_stride == 0) {
-            ColorImage ground_truth =
-                produced.hr_render.empty()
-                    ? renderScene(world.sceneAt(produced.time_s),
-                                  hr_size)
-                          .color
-                    : std::move(produced.hr_render);
-            FrameQuality q;
-            q.frame_index = produced.encoded.index;
-            q.type = produced.encoded.type;
-            q.concealed = !decodable;
-            q.psnr_db = psnr(output, ground_truth);
-            if (config.measure_perceptual &&
-                measured % config.perceptual_stride == 0) {
-                q.lpips = perceptual.distance(output, ground_truth);
-            }
-            (q.concealed ? stats.concealed_psnr_db
-                         : stats.delivered_psnr_db)
-                .add(q.psnr_db);
-            result.quality.push_back(q);
-            measured += 1;
-        }
-
-        result.traces.push_back(std::move(trace));
     }
-    stats.intra_refreshes = server.intraRefreshCount();
-    return result;
+
+    bool decodable = false;
+    if (dropped) {
+        tracker_.onFrameLost();
+        // Server overload is a congestion signal like a network drop:
+        // the AIMD loop backs the encoder target off so a saturated
+        // fleet sheds bitrate, not just frames.
+        if (contention.shed && aimd_ && aimd_->onCongestion(now_ms)) {
+            trace.addEvent(RecoveryEvent::BitrateBackoff);
+            stats.aimd_backoffs += 1;
+        }
+    } else {
+        stats.frames_delivered += 1;
+        if (aimd_)
+            aimd_->onDelivered(now_ms);
+        ReferenceTracker::Action action =
+            tracker_.onFrameArrived(produced.encoded.type);
+        if (action == ReferenceTracker::Action::Discard) {
+            trace.discarded = true;
+            trace.addEvent(RecoveryEvent::DeltaDiscarded);
+            stats.frames_discarded += 1;
+        } else {
+            decodable = true;
+        }
+    }
+
+    // NACK emission. A delivered stale delta is detected on arrival;
+    // a dropped (or shed) frame is noticed as a sequence gap one
+    // frame period later.
+    if (res.nack && !tracker_.chainValid()) {
+        f64 detected_ms =
+            dropped ? now_ms + kFramePeriodMs
+                    : now_ms + trace.stageLatencyMs(Stage::Network);
+        if (detected_ms - last_nack_ms_ >= res.nack_timeout_ms) {
+            feedback_.sendNack(produced.encoded.index, detected_ms,
+                               channel_.feedbackDelayMs());
+            last_nack_ms_ = detected_ms;
+            trace.addEvent(RecoveryEvent::NackSent);
+            stats.nacks_sent += 1;
+        }
+    }
+
+    // Client processing: only decodable frames reach the decoder;
+    // lost/stale frames are concealed from the last good HR output.
+    ColorImage output;
+    if (decodable) {
+        ClientFrameResult processed =
+            client_->processFrame(produced.encoded, produced.roi);
+        for (const auto &record : processed.trace.records)
+            trace.records.push_back(record);
+        if (config_.compute_pixels) {
+            concealer_.onGoodFrame(processed.upscaled);
+            output = std::move(processed.upscaled);
+        }
+        if (stale_since_ms_ >= 0.0) {
+            stats.recovery_latency_ms.add(now_ms - stale_since_ms_);
+            stale_since_ms_ = -1.0;
+            last_nack_ms_ = -1e18;
+        }
+        stale_run_ = 0;
+    } else {
+        trace.concealed = true;
+        trace.addEvent(RecoveryEvent::Concealed);
+        stats.frames_concealed += 1;
+        addConcealStage(trace, config_.device, hr_size_,
+                        res.concealment);
+        const DisplayModel &display = config_.device.display;
+        trace.add(Stage::Display, Resource::ClientDisplay,
+                  display.latencyMs(),
+                  display.energyMjPerFrame(kFramePeriodMs));
+        if (config_.compute_pixels)
+            output = concealer_.conceal(hr_size_);
+        if (stale_since_ms_ < 0.0)
+            stale_since_ms_ = now_ms;
+        stale_run_ += 1;
+        stats.longest_stale_run =
+            std::max(stats.longest_stale_run, stale_run_);
+    }
+
+    // Quality vs. the native HR render of the same scene, measured
+    // on what the client actually displays — concealed frames
+    // included, so transient dips are real.
+    if (config_.measure_quality && config_.compute_pixels &&
+        frames_run_ % config_.quality_stride == 0) {
+        ColorImage ground_truth =
+            produced.hr_render.empty()
+                ? renderScene(world_.sceneAt(produced.time_s),
+                              hr_size_)
+                      .color
+                : std::move(produced.hr_render);
+        FrameQuality q;
+        q.frame_index = produced.encoded.index;
+        q.type = produced.encoded.type;
+        q.concealed = !decodable;
+        q.psnr_db = psnr(output, ground_truth);
+        if (config_.measure_perceptual &&
+            measured_ % config_.perceptual_stride == 0) {
+            q.lpips = perceptual_.distance(output, ground_truth);
+        }
+        (q.concealed ? stats.concealed_psnr_db
+                     : stats.delivered_psnr_db)
+            .add(q.psnr_db);
+        result_.quality.push_back(q);
+        measured_ += 1;
+    }
+
+    result_.traces.push_back(std::move(trace));
+    stats.intra_refreshes = server_.intraRefreshCount();
+    frames_run_ += 1;
+}
+
+SessionResult
+runSession(const SessionConfig &config)
+{
+    GSSR_ASSERT(config.frames >= 1, "session needs at least one frame");
+    SessionEngine engine(config);
+    for (int i = 0; i < config.frames; ++i)
+        engine.stepFrame(f64(i) * kFramePeriodMs);
+    return engine.takeResult();
+}
+
+u64
+sessionFingerprint(const SessionResult &result)
+{
+    u64 h = kFnvOffsetBasis;
+    auto mix = [&h](const auto &value) { h = fnv1aValue(value, h); };
+
+    mix(i64(result.traces.size()));
+    for (const FrameTrace &t : result.traces) {
+        mix(t.frame_index);
+        mix(i32(t.type));
+        mix(u8(t.dropped));
+        mix(u8(t.discarded));
+        mix(u8(t.concealed));
+        mix(u64(t.encoded_bytes));
+        mix(i64(t.records.size()));
+        for (const StageRecord &r : t.records) {
+            mix(i32(r.stage));
+            mix(i32(r.resource));
+            mix(r.latency_ms);
+            mix(r.energy_mj);
+        }
+        for (RecoveryEvent e : t.events)
+            mix(i32(e));
+    }
+    mix(i64(result.quality.size()));
+    for (const FrameQuality &q : result.quality) {
+        mix(q.frame_index);
+        mix(i32(q.type));
+        mix(u8(q.concealed));
+        mix(q.psnr_db);
+        mix(q.lpips);
+    }
+    return h;
 }
 
 } // namespace gssr

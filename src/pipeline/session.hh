@@ -107,6 +107,9 @@ struct ResilienceStats
     /** Frames lost in the network. */
     i64 frames_dropped = 0;
 
+    /** Frames shed by the oversubscribed fleet server (never sent). */
+    i64 frames_shed = 0;
+
     /** Delivered delta frames discarded for stale references. */
     i64 frames_discarded = 0;
 
@@ -168,8 +171,118 @@ struct SessionResult
     f64 meanLpips() const;
 };
 
+/**
+ * Shared-server contention injected into one frame by the fleet
+ * scheduler (pipeline/scheduler.hh). Default-constructed contention
+ * is the uncontended single-tenant case.
+ */
+struct ServerContention
+{
+    /** Wait for a server GPU/encoder slot (ServerQueue stage, ms). */
+    f64 queue_ms = 0.0;
+
+    /** The oversubscribed server shed this frame (never transmitted). */
+    bool shed = false;
+};
+
+/**
+ * Incremental session driver: the per-frame state machine that
+ * runSession() used to inline, split into a begin/finish pair so a
+ * multi-tenant FleetServer can interleave many sessions frame by
+ * frame and inject shared-server queueing between the server stages
+ * and the network.
+ *
+ * Frame protocol, per tick:
+ *   1. beginFrame(now_ms)  — drains arrived NACKs, retargets the
+ *      AIMD-driven rate controller, and produces the server frame
+ *      (render/RoI/encode); returns the pending frame with its
+ *      server-GPU cost for the scheduler.
+ *   2. finishFrame(pending, contention) — applies the scheduler's
+ *      queueing delay / shed decision, transmits over the channel,
+ *      and runs the client, resilience and quality paths.
+ *
+ * Driving stepFrame(i * frame period) for i = 0..frames-1 reproduces
+ * runSession() exactly.
+ */
+class SessionEngine
+{
+  public:
+    explicit SessionEngine(const SessionConfig &config);
+
+    SessionEngine(const SessionEngine &) = delete;
+    SessionEngine &operator=(const SessionEngine &) = delete;
+
+    /** One produced-but-untransmitted frame. */
+    struct PendingFrame
+    {
+        ServerFrameOutput produced;
+        f64 now_ms = 0.0;
+
+        /** Server GPU service time (render + RoI + encode, ms). */
+        f64 server_gpu_ms = 0.0;
+    };
+
+    /** Phase 1: produce the server frame for session time @p now_ms. */
+    PendingFrame beginFrame(f64 now_ms);
+
+    /** Phase 2: transmit + client + resilience accounting. */
+    void finishFrame(PendingFrame pending,
+                     const ServerContention &contention = {});
+
+    /** Uncontended single-tenant step (phase 1 + phase 2). */
+    void
+    stepFrame(f64 now_ms)
+    {
+        finishFrame(beginFrame(now_ms));
+    }
+
+    /** Frames completed so far. */
+    i64 framesRun() const { return frames_run_; }
+
+    const SessionConfig &config() const { return config_; }
+
+    /** Result collected so far (valid after every finishFrame). */
+    const SessionResult &result() const { return result_; }
+
+    /** Move the collected result out (ends the session). */
+    SessionResult takeResult() { return std::move(result_); }
+
+  private:
+    SessionConfig config_;
+    GameWorld world_;
+    GameStreamServer server_;
+    std::unique_ptr<StreamingClient> client_;
+    NetworkChannel channel_;
+    ReferenceTracker tracker_;
+    FeedbackPath feedback_;
+    Concealer concealer_;
+    std::optional<AimdController> aimd_;
+    PerceptualMetric perceptual_;
+    Size hr_size_;
+    SessionResult result_;
+    f64 mean_frame_bytes_ = 0.0;
+    int measured_ = 0;
+    f64 last_nack_ms_ = -1e18;
+    f64 stale_since_ms_ = -1.0;
+    i64 stale_run_ = 0;
+    i64 frames_run_ = 0;
+
+    static ServerConfig serverConfigFor(const SessionConfig &config);
+    static Size roiWindowFor(const SessionConfig &config);
+};
+
 /** Run one full session. */
 SessionResult runSession(const SessionConfig &config);
+
+/**
+ * Stable 64-bit FNV-1a fingerprint of a session result: hashes every
+ * frame's stage records (stage, resource, raw latency/energy bits),
+ * delivery flags, recovery events, stream bytes, and the measured
+ * quality samples. Two runs are bit-identical iff their fingerprints
+ * match — the quantity the golden-trace regression suite and the
+ * cross-thread-count determinism tests pin.
+ */
+u64 sessionFingerprint(const SessionResult &result);
 
 /**
  * The RoI window a device negotiates at session start (Fig. 6

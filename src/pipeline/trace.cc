@@ -17,6 +17,8 @@ stageName(Stage stage)
         return "roi-detect";
       case Stage::Encode:
         return "encode";
+      case Stage::ServerQueue:
+        return "server-queue";
       case Stage::Network:
         return "network";
       case Stage::Decode:
@@ -49,6 +51,8 @@ recoveryEventName(RecoveryEvent event)
         return "intra-refresh";
       case RecoveryEvent::BitrateBackoff:
         return "bitrate-backoff";
+      case RecoveryEvent::ServerShed:
+        return "server-shed";
     }
     return "?";
 }

@@ -25,6 +25,7 @@ enum class Stage
     Render,
     RoiDetect,
     Encode,
+    ServerQueue, ///< shared-server contention wait (fleet scheduler)
     Network,
     Decode,
     Upscale,
@@ -65,6 +66,7 @@ enum class RecoveryEvent
     NackSent,       ///< client requested an intra refresh
     IntraRefresh,   ///< server answered a NACK with a forced intra
     BitrateBackoff, ///< AIMD multiplicative decrease applied
+    ServerShed,     ///< frame shed by the oversubscribed fleet server
 };
 
 /** Recovery event name for tables. */

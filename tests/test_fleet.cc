@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Multi-tenant fleet tests: scheduler determinism and policy
+ * behavior (RR rotation vs. EDF start-deadline order, persistent
+ * slot backlog, shedding), admission control's degradation ladder
+ * (resolution steps, frame-rate halving, rejection), and the fleet
+ * end-to-end properties — contention inflates MTP through the
+ * ServerQueue stage, shed frames feed the AIMD backoff loop, and a
+ * whole fleet run is bit-deterministic.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pipeline/fleet.hh"
+
+namespace gssr
+{
+namespace
+{
+
+ServerCapacity
+tinyCapacity(int slots, f64 shed_ms = 80.0)
+{
+    ServerCapacity capacity;
+    capacity.gpu_slots = slots;
+    capacity.shed_queue_ms = shed_ms;
+    return capacity;
+}
+
+TEST(SchedulerTest, UncontendedJobsNeverQueue)
+{
+    FrameScheduler sched(SchedulePolicy::Edf, tinyCapacity(4));
+    std::vector<SchedulerJob> jobs = {{0, 8.0}, {1, 6.0}, {2, 4.0}};
+    auto out = sched.scheduleTick(0.0, jobs);
+    ASSERT_EQ(out.size(), 3u);
+    for (const ServerContention &c : out) {
+        EXPECT_EQ(c.queue_ms, 0.0);
+        EXPECT_FALSE(c.shed);
+    }
+}
+
+TEST(SchedulerTest, EdfSchedulesCostliestFirst)
+{
+    // One slot, two jobs: the costlier job has the earlier start
+    // deadline (slack - cost), so it goes first and the cheap job
+    // absorbs the wait.
+    FrameScheduler sched(SchedulePolicy::Edf, tinyCapacity(1));
+    std::vector<SchedulerJob> jobs = {{0, 2.0}, {1, 9.0}};
+    auto out = sched.scheduleTick(0.0, jobs);
+    EXPECT_EQ(out[1].queue_ms, 0.0); // costly job starts immediately
+    EXPECT_EQ(out[0].queue_ms, 9.0); // cheap job waits behind it
+}
+
+TEST(SchedulerTest, RoundRobinRotatesPriorityAcrossTicks)
+{
+    FrameScheduler sched(SchedulePolicy::RoundRobin,
+                         tinyCapacity(1, 1e9));
+    std::vector<SchedulerJob> jobs = {{0, 5.0}, {1, 5.0}};
+    // Tick 0: session 0 first. Tick 1: rotation puts session 1 first.
+    auto t0 = sched.scheduleTick(0.0, jobs);
+    EXPECT_EQ(t0[0].queue_ms, 0.0);
+    EXPECT_EQ(t0[1].queue_ms, 5.0);
+    auto t1 = sched.scheduleTick(1000.0, jobs);
+    EXPECT_EQ(t1[1].queue_ms, 0.0);
+    EXPECT_EQ(t1[0].queue_ms, 5.0);
+}
+
+TEST(SchedulerTest, BacklogPersistsAcrossTicks)
+{
+    // 12 ms of work per 16.67 ms tick fits; 25 ms does not, and the
+    // excess carries into the next tick as queueing delay.
+    FrameScheduler sched(SchedulePolicy::Edf, tinyCapacity(1, 1e9));
+    std::vector<SchedulerJob> jobs = {{0, 25.0}};
+    auto t0 = sched.scheduleTick(0.0, jobs);
+    EXPECT_EQ(t0[0].queue_ms, 0.0);
+    auto t1 = sched.scheduleTick(1000.0 / 60.0, jobs);
+    EXPECT_NEAR(t1[0].queue_ms, 25.0 - 1000.0 / 60.0, 1e-9);
+    EXPECT_GT(sched.maxBacklogMs(), 0.0);
+}
+
+TEST(SchedulerTest, OverloadedQueueShedsInsteadOfStarving)
+{
+    FrameScheduler sched(SchedulePolicy::Edf, tinyCapacity(1, 10.0));
+    std::vector<SchedulerJob> jobs = {{0, 8.0}, {1, 8.0}, {2, 8.0}};
+    auto out = sched.scheduleTick(0.0, jobs);
+    // 8 + 8 = 16 ms wait for the third job > 10 ms threshold.
+    EXPECT_FALSE(out[0].shed);
+    EXPECT_FALSE(out[1].shed);
+    EXPECT_TRUE(out[2].shed);
+    EXPECT_EQ(sched.framesShed(), 1);
+}
+
+TEST(FleetAdmissionTest, LadderDegradesResolutionThenFrameRate)
+{
+    // A one-slot workstation fits one 720p session (~8.4 ms of a
+    // 15 ms budget) but not two; the second degrades down the
+    // ladder, later ones get rejected.
+    FleetServer fleet(ServerProfile::gamingWorkstation(),
+                      SchedulePolicy::Edf);
+    SessionConfig base = fleetMixSessionConfig(0); // 720p
+    ASSERT_EQ(base.lr_size.width, 1280);
+
+    AdmissionDecision first = fleet.admit(base);
+    EXPECT_EQ(first.outcome, AdmissionOutcome::Admitted);
+    EXPECT_EQ(first.config.lr_size.width, 1280);
+    EXPECT_EQ(first.fps_divisor, 1);
+
+    AdmissionDecision second = fleet.admit(base);
+    EXPECT_EQ(second.outcome, AdmissionOutcome::Degraded);
+    EXPECT_LT(second.config.lr_size.width, 1280);
+    EXPECT_GE(second.config.lr_size.width, 480);
+    EXPECT_EQ(second.config.lr_size.width % 4, 0);
+
+    // Keep admitting until the ladder bottoms out in a rejection.
+    AdmissionDecision last = second;
+    for (int i = 0; i < 16 && last.outcome != AdmissionOutcome::Rejected;
+         ++i)
+        last = fleet.admit(base);
+    EXPECT_EQ(last.outcome, AdmissionOutcome::Rejected);
+    EXPECT_LE(fleet.committedCostMs(),
+              fleet.capacity().budgetMsPerTick());
+}
+
+TEST(FleetAdmissionTest, DegradedSessionsHalveFrameRate)
+{
+    FleetServer fleet(ServerProfile::gamingWorkstation(),
+                      SchedulePolicy::Edf);
+    SessionConfig base = fleetMixSessionConfig(2); // 360p
+    ASSERT_EQ(base.lr_size.width, 640);
+    fleet.admit(base);
+    fleet.admit(base); // two fit the ~15 ms workstation budget
+    AdmissionDecision third = fleet.admit(base);
+    // 640 * 3/4 = 480 is the only legal resolution step (the next
+    // would go below the 480 floor), and it alone does not fit, so
+    // the ladder falls through to the frame-rate divisor.
+    ASSERT_EQ(third.outcome, AdmissionOutcome::Degraded);
+    EXPECT_EQ(third.config.lr_size.width, 480);
+    EXPECT_EQ(third.fps_divisor, 2);
+}
+
+TEST(FleetTest, ContentionInflatesMtpThroughServerQueueStage)
+{
+    // The same session alone on the rack vs. sharing it with 15
+    // others. Under EDF the costliest (720p) sessions start first,
+    // so the contention lands on a cheap 360p tenant: session 2 must
+    // show ServerQueue latency and a strictly larger mean MTP than
+    // when it runs alone.
+    const int ticks = 60;
+    FleetServer alone(ServerProfile::edgeRack(8), SchedulePolicy::Edf);
+    alone.admit(fleetMixSessionConfig(2));
+    FleetResult solo = alone.run(ticks);
+
+    FleetServer shared(ServerProfile::edgeRack(8),
+                       SchedulePolicy::Edf);
+    for (int i = 0; i < 16; ++i)
+        shared.admit(fleetMixSessionConfig(i));
+    FleetResult contended = shared.run(ticks);
+
+    ASSERT_EQ(contended.sessions.size(), 16u);
+    EXPECT_EQ(solo.sessions[0].mean_queue_ms, 0.0);
+    EXPECT_GT(contended.sessions[2].mean_queue_ms, 0.0);
+    EXPECT_GT(contended.sessions[2].mean_mtp_ms,
+              solo.sessions[0].mean_mtp_ms);
+}
+
+TEST(FleetTest, ShedFrameConcealsAndBacksOffBitrate)
+{
+    // The contention -> AIMD feedback loop, on one engine: a frame
+    // the scheduler sheds is never transmitted, gets concealed at
+    // the client, and fires a bitrate backoff.
+    SessionConfig config = fleetMixSessionConfig(0);
+    SessionEngine engine(config);
+    const f64 period = 1000.0 / 60.0;
+
+    engine.finishFrame(engine.beginFrame(0.0)); // clean frame
+    ServerContention shed;
+    shed.shed = true;
+    engine.finishFrame(engine.beginFrame(period), shed);
+
+    const SessionResult &result = engine.result();
+    ASSERT_EQ(result.traces.size(), 2u);
+    const FrameTrace &lost = result.traces[1];
+    EXPECT_TRUE(lost.dropped);
+    EXPECT_TRUE(lost.concealed);
+    EXPECT_TRUE(lost.hasEvent(RecoveryEvent::ServerShed));
+    EXPECT_TRUE(lost.hasEvent(RecoveryEvent::BitrateBackoff));
+    EXPECT_EQ(lost.stageLatencyMs(Stage::Network), 0.0);
+    EXPECT_EQ(result.resilience.frames_shed, 1);
+    EXPECT_EQ(result.resilience.frames_dropped, 0); // not a net drop
+    EXPECT_EQ(result.resilience.aimd_backoffs, 1);
+}
+
+TEST(FleetTest, OversubscribedFleetShedsAndBacksOff)
+{
+    // Disable admission headroom and pack a one-slot server far past
+    // capacity with a tight shed threshold: frames get shed, the
+    // clients conceal them, and the shed signal drives AIMD backoff.
+    ServerCapacity capacity = tinyCapacity(1, 12.0);
+    capacity.admission_utilization = 100.0; // admit everything
+    FleetServer fleet(ServerProfile::gamingWorkstation(),
+                      SchedulePolicy::Edf, capacity);
+    for (int i = 0; i < 6; ++i)
+        fleet.admit(fleetMixSessionConfig(i));
+    FleetResult result = fleet.run(60);
+
+    EXPECT_GT(result.frames_shed, 0);
+    i64 shed = 0, concealed = 0, backoffs = 0;
+    for (const FleetSessionStats &s : result.sessions) {
+        shed += s.frames_shed;
+        concealed += s.frames_concealed;
+        backoffs += s.aimd_backoffs;
+    }
+    EXPECT_EQ(shed, result.frames_shed);
+    EXPECT_GE(concealed, shed); // every shed frame was concealed
+    EXPECT_GT(backoffs, 0);     // overload reached the rate control
+}
+
+TEST(FleetTest, RunIsDeterministic)
+{
+    auto once = [] {
+        FleetServer fleet(ServerProfile::edgeRack(8),
+                          SchedulePolicy::RoundRobin);
+        for (int i = 0; i < 12; ++i)
+            fleet.admit(fleetMixSessionConfig(i));
+        return fleet.run(45);
+    };
+    FleetResult a = once();
+    FleetResult b = once();
+    EXPECT_EQ(a.fingerprint, b.fingerprint);
+    EXPECT_EQ(a.frames_shed, b.frames_shed);
+    EXPECT_EQ(a.mtp_ms.count(), b.mtp_ms.count());
+    EXPECT_EQ(a.mtp_ms.mean(), b.mtp_ms.mean());
+    EXPECT_EQ(a.aggregate_bitrate_mbps, b.aggregate_bitrate_mbps);
+}
+
+TEST(FleetTest, PoliciesShareAdmissionButDifferInQueueing)
+{
+    auto run = [](SchedulePolicy policy) {
+        FleetServer fleet(ServerProfile::edgeRack(8), policy);
+        for (int i = 0; i < 16; ++i)
+            fleet.admit(fleetMixSessionConfig(i));
+        return fleet.run(45);
+    };
+    FleetResult rr = run(SchedulePolicy::RoundRobin);
+    FleetResult edf = run(SchedulePolicy::Edf);
+
+    // Admission is policy-independent...
+    EXPECT_EQ(rr.admitted, edf.admitted);
+    EXPECT_EQ(rr.degraded, edf.degraded);
+    EXPECT_EQ(rr.committed_cost_ms, edf.committed_cost_ms);
+    // ...but the queue-wait placement differs.
+    EXPECT_NE(rr.fingerprint, edf.fingerprint);
+}
+
+} // namespace
+} // namespace gssr

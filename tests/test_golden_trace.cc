@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Golden-trace regression suite: two canonical 30-frame sessions
+ * (the GameStreamSR design and the NEMO baseline) are run end to end
+ * with pixel computation, resilience and quality measurement on, and
+ * their 64-bit session fingerprints (sessionFingerprint — every
+ * stage record, delivery flag, recovery event, byte count and
+ * quality sample) plus mean PSNR are pinned against checked-in
+ * goldens. Any behavioral change to the server, codec, channel,
+ * client, resilience or quality paths moves the fingerprint and
+ * fails here.
+ *
+ * To regenerate after an *intentional* behavior change, run
+ *   ./tests/test_golden_trace
+ * and copy the "golden:" lines it prints into kGoldens below.
+ *
+ * Also pins determinism itself: the same session re-run in-process,
+ * and run under 1 vs. 4 worker threads, must produce bit-identical
+ * fingerprints (the deterministic thread-pool contract).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "common/parallel.hh"
+#include "pipeline/session.hh"
+#include "sr/trainer.hh"
+
+namespace gssr
+{
+namespace
+{
+
+std::shared_ptr<const CompactSrNet>
+sharedNet()
+{
+    static std::shared_ptr<const CompactSrNet> net = [] {
+        TrainerConfig config;
+        config.iterations = 200;
+        return std::make_shared<const CompactSrNet>(
+            trainedSrNet("", config));
+    }();
+    return net;
+}
+
+/**
+ * The canonical golden session: 30 frames of Witcher 3 at a reduced
+ * pixel-computing resolution, lossy channel with a scripted burst,
+ * NACK + AIMD resilience, PSNR sampled every 5th frame.
+ */
+SessionConfig
+canonicalConfig(DesignKind design)
+{
+    SessionConfig config;
+    config.game = GameId::G3_Witcher3;
+    config.world_seed = 7;
+    config.frames = 30;
+    config.design = design;
+    config.lr_size = {192, 96};
+    config.codec.gop_size = 8;
+    config.channel = ChannelConfig::wifi();
+    config.channel_seed = 42;
+    config.fault_scenario = FaultScenario::lossBurst(10, 2);
+    config.target_bitrate_mbps = 6.0;
+    config.resilience.nack = true;
+    config.resilience.aimd = true;
+    config.compute_pixels = true;
+    config.sr_net = sharedNet();
+    config.measure_quality = true;
+    config.quality_stride = 5;
+    return config;
+}
+
+struct Golden
+{
+    const char *name;
+    DesignKind design;
+    u64 fingerprint;
+    f64 mean_psnr_db;
+};
+
+// Regenerate with the instruction in the file comment.
+constexpr Golden kGoldens[] = {
+    {"gamestreamsr", DesignKind::GameStreamSR, 0x1b3511947d4aa776ull,
+     30.053332504097},
+    {"nemo", DesignKind::Nemo, 0xec05ae16caf74dc0ull,
+     29.068673926025},
+};
+
+class GoldenTraceTest : public testing::TestWithParam<Golden>
+{
+};
+
+TEST_P(GoldenTraceTest, SessionMatchesCheckedInGolden)
+{
+    const Golden &golden = GetParam();
+    SessionResult result = runSession(canonicalConfig(golden.design));
+    const u64 fingerprint = sessionFingerprint(result);
+    const f64 mean_psnr = result.meanPsnrDb();
+
+    // Printed on every run so an intentional change can be copied
+    // straight back into kGoldens.
+    std::printf("golden: {\"%s\", DesignKind::%s, 0x%016llxull, "
+                "%.12f},\n",
+                golden.name,
+                golden.design == DesignKind::Nemo ? "Nemo"
+                                                  : "GameStreamSR",
+                (unsigned long long)fingerprint, mean_psnr);
+
+    EXPECT_EQ(fingerprint, golden.fingerprint)
+        << "the " << golden.name
+        << " session trace changed; if intentional, regenerate the "
+           "goldens (see file comment)";
+    EXPECT_NEAR(mean_psnr, golden.mean_psnr_db, 1e-9);
+
+    // Sanity on the golden content itself: the burst exercised the
+    // resilience machinery and quality was measured.
+    EXPECT_GT(result.resilience.frames_dropped, 0);
+    EXPECT_GT(result.resilience.frames_concealed, 0);
+    EXPECT_EQ(result.traces.size(), 30u);
+    EXPECT_EQ(result.quality.size(), 6u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Designs, GoldenTraceTest,
+                         testing::ValuesIn(kGoldens),
+                         [](const auto &info) {
+                             return std::string(info.param.name);
+                         });
+
+TEST(GoldenTraceTest, RerunIsBitIdentical)
+{
+    SessionConfig config = canonicalConfig(DesignKind::GameStreamSR);
+    const u64 first = sessionFingerprint(runSession(config));
+    const u64 second = sessionFingerprint(runSession(config));
+    EXPECT_EQ(first, second);
+}
+
+TEST(GoldenTraceTest, FingerprintSeesStageLatencyChanges)
+{
+    SessionConfig config = canonicalConfig(DesignKind::GameStreamSR);
+    const u64 base = sessionFingerprint(runSession(config));
+    config.server_profile.render_720p_ms += 0.25;
+    EXPECT_NE(base, sessionFingerprint(runSession(config)));
+}
+
+TEST(ThreadDeterminismTest, SessionFingerprintIndependentOfThreads)
+{
+    // The deterministic thread-pool contract, end to end: a short
+    // pixel-computing session (render, downsample, codec transforms,
+    // SR inference, PSNR) is bit-identical under 1 and 4 workers.
+    SessionConfig config = canonicalConfig(DesignKind::GameStreamSR);
+    config.frames = 6;
+    config.measure_quality = true;
+    config.quality_stride = 2;
+
+    const int ambient = parallelThreadCount();
+    setParallelThreadCount(1);
+    const u64 single = sessionFingerprint(runSession(config));
+    setParallelThreadCount(4);
+    const u64 quad = sessionFingerprint(runSession(config));
+    setParallelThreadCount(ambient);
+
+    EXPECT_EQ(single, quad)
+        << "session diverges across worker-thread counts";
+}
+
+} // namespace
+} // namespace gssr

@@ -167,6 +167,45 @@ TEST(ChannelTest, ResetReplaysTheExactSameSequence)
     }
 }
 
+TEST(ChannelTest, ResetRestoresBurstStateAndDropCounters)
+{
+    // reset() must restore the *whole* channel state, not just the
+    // RNG: the Gilbert–Elliott burst flag and the per-cause drop
+    // counters have to go back to their initial values too, or a
+    // reused channel replays a different loss pattern. A bursty
+    // config with a mid-run scenario makes a stale ge_bad_ or
+    // counter state visible immediately.
+    NetworkChannel ch(ChannelConfig::wifiBursty(), 17,
+                      FaultScenario::lossBurst(20, 5));
+    std::vector<DropCause> causes;
+    for (int i = 0; i < 200; ++i)
+        causes.push_back(ch.transmitFrame(30000, 15.0).cause);
+
+    // Capture per-cause totals of the first pass, then reset.
+    const DropCause kCauses[] = {
+        DropCause::Congestion, DropCause::Burst, DropCause::Random,
+        DropCause::Scenario};
+    std::vector<i64> totals;
+    for (DropCause c : kCauses)
+        totals.push_back(ch.dropCount(c));
+
+    ch.reset();
+    EXPECT_FALSE(ch.inBurst()) << "GE chain must restart in Good";
+    for (DropCause c : kCauses)
+        EXPECT_EQ(ch.dropCount(c), 0)
+            << "per-cause counter " << dropCauseName(c)
+            << " not cleared";
+
+    // The replay must agree drop-by-drop *including the cause*.
+    for (int i = 0; i < 200; ++i) {
+        EXPECT_EQ(ch.transmitFrame(30000, 15.0).cause,
+                  causes[size_t(i)])
+            << "cause diverged at frame " << i;
+    }
+    for (size_t c = 0; c < std::size(kCauses); ++c)
+        EXPECT_EQ(ch.dropCount(kCauses[c]), totals[c]);
+}
+
 TEST(GilbertElliottTest, LongRunLossRateMatchesStationaryChain)
 {
     // pi_bad = p_enter / (p_enter + p_exit) = 0.05 / 0.55 ~ 9.1 %;

@@ -13,6 +13,7 @@
 #include <tuple>
 
 #include "codec/codec.hh"
+#include "codec/rate_control.hh"
 #include "common/rng.hh"
 #include "device/profiles.hh"
 #include "metrics/psnr.hh"
@@ -288,6 +289,109 @@ INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweepTest,
                          ::testing::Values(1u, 42u, 31337u,
                                            0xdeadbeefu,
                                            0xffffffffffffffffull));
+
+// ---------------------------------------------------------------
+// AIMD rate-control invariants across adversarial signal patterns.
+// ---------------------------------------------------------------
+
+class AimdPropertyTest : public ::testing::TestWithParam<u64>
+{
+};
+
+TEST_P(AimdPropertyTest, TargetNeverLeavesConfiguredBounds)
+{
+    // Random interleavings of congestion and delivery signals at
+    // random times must keep the target inside [min, max] at every
+    // step — including pathological bursts of either signal.
+    AimdConfig config;
+    config.min_mbps = 2.0;
+    config.max_mbps = 12.0;
+    AimdController aimd(config, 6.0);
+
+    Rng rng(GetParam());
+    f64 now_ms = 0.0;
+    for (int i = 0; i < 3000; ++i) {
+        now_ms += rng.uniform() * 60.0;
+        if (rng.uniform() < 0.3)
+            aimd.onCongestion(now_ms);
+        else
+            aimd.onDelivered(now_ms);
+        EXPECT_GE(aimd.targetMbps(), config.min_mbps);
+        EXPECT_LE(aimd.targetMbps(), config.max_mbps);
+    }
+}
+
+TEST_P(AimdPropertyTest, DecreaseIsMonotoneInDropSeverity)
+{
+    // With backoffs spaced past the refractory window, k+1 loss
+    // episodes never leave the controller at a *higher* target than
+    // k episodes do.
+    AimdConfig config;
+    const int max_drops = 1 + int(GetParam() % 12);
+    auto finalTarget = [&](int drops) {
+        AimdController aimd(config, 40.0);
+        f64 now_ms = 0.0;
+        for (int i = 0; i < drops; ++i) {
+            EXPECT_TRUE(aimd.onCongestion(now_ms));
+            now_ms += config.backoff_hold_ms + 1.0;
+        }
+        return aimd.targetMbps();
+    };
+    for (int k = 0; k < max_drops; ++k)
+        EXPECT_LE(finalTarget(k + 1), finalTarget(k));
+}
+
+TEST_P(AimdPropertyTest, RefractoryHoldAppliesOneBackoffPerEpisode)
+{
+    // A burst of congestion signals inside one refractory window is
+    // one loss episode: exactly one multiplicative decrease.
+    AimdConfig config;
+    AimdController aimd(config, 40.0);
+
+    Rng rng(GetParam());
+    f64 t0 = rng.uniform() * 1000.0;
+    EXPECT_TRUE(aimd.onCongestion(t0));
+    const f64 after_first = aimd.targetMbps();
+    EXPECT_NEAR(after_first, 40.0 * config.decrease_factor, 1e-12);
+
+    for (int i = 0; i < 10; ++i) {
+        f64 jitter = rng.uniform() * (config.backoff_hold_ms - 1.0);
+        EXPECT_FALSE(aimd.onCongestion(t0 + jitter));
+    }
+    EXPECT_EQ(aimd.backoffCount(), 1);
+    EXPECT_EQ(aimd.targetMbps(), after_first);
+
+    // Once the hold expires the next signal backs off again.
+    EXPECT_TRUE(aimd.onCongestion(t0 + config.backoff_hold_ms));
+    EXPECT_EQ(aimd.backoffCount(), 2);
+    EXPECT_LT(aimd.targetMbps(), after_first);
+}
+
+TEST_P(AimdPropertyTest, DeliveryDuringBackoffHoldDoesNotReprobe)
+{
+    AimdConfig config;
+    AimdController aimd(config, 40.0);
+    aimd.onDelivered(0.0); // arm the delivery clock
+    EXPECT_TRUE(aimd.onCongestion(10.0));
+    const f64 held = aimd.targetMbps();
+
+    // Deliveries inside the hold leave the target pinned down...
+    Rng rng(GetParam());
+    f64 now_ms = 10.0;
+    while (now_ms < 10.0 + config.backoff_hold_ms - 2.0) {
+        now_ms += rng.uniform() * 1.5;
+        aimd.onDelivered(std::min(now_ms,
+                                  10.0 + config.backoff_hold_ms - 1.0));
+        EXPECT_EQ(aimd.targetMbps(), held);
+    }
+    // ...and additive increase resumes afterwards.
+    aimd.onDelivered(10.0 + config.backoff_hold_ms + 50.0);
+    EXPECT_GT(aimd.targetMbps(), held);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AimdPropertyTest,
+                         ::testing::Values(1u, 7u, 42u, 31337u,
+                                           0xdeadbeefu));
 
 } // namespace
 } // namespace gssr

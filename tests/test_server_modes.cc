@@ -100,6 +100,49 @@ TEST(ServerModesTest, ProxyModeScalesRoiAndBytes)
     EXPECT_LT(out.trace.encoded_bytes, out.encoded.sizeBytes() * 16);
 }
 
+TEST(ServerModesTest, ProxyBytesTrackNativeEncodeAcrossResolutions)
+{
+    // The proxy accounting model claims encoded size scales with
+    // (area ratio)^0.78. Validate that claim against the *actual*
+    // encoder: encode the same content natively at 640x360 and
+    // through 320x180 and 160x90 proxies, and require the charged
+    // proxy bytes to land within a tolerance band of the native
+    // GOP total. The exponent was fit on the codec's own output, so
+    // a drifting codec (or a broken proxyStreamBytes) shows up here.
+    const Size native{640, 360};
+    const Size proxies[] = {{320, 180}, {160, 90}};
+    const int frames = 8;
+
+    auto gopBytes = [&](Size proxy) {
+        GameWorld world(GameId::G1_MetroExodus, 3);
+        ServerConfig config = baseConfig();
+        config.lr_size = native;
+        config.supersample = 1;
+        if (proxy.area() > 0)
+            config.proxy_size = proxy;
+        GameStreamServer server(world, config,
+                                ServerProfile::gamingWorkstation(),
+                                {64, 64});
+        size_t total = 0;
+        for (int i = 0; i < frames; ++i)
+            total += server.nextFrame().trace.encoded_bytes;
+        return f64(total);
+    };
+
+    const f64 native_bytes = gopBytes({0, 0});
+    ASSERT_GT(native_bytes, 0.0);
+    for (Size proxy : proxies) {
+        const f64 charged = gopBytes(proxy);
+        const f64 ratio = charged / native_bytes;
+        EXPECT_GT(ratio, 0.80)
+            << "proxy " << proxy.width << "x" << proxy.height
+            << " undershoots the native encode";
+        EXPECT_LT(ratio, 1.25)
+            << "proxy " << proxy.width << "x" << proxy.height
+            << " overshoots the native encode";
+    }
+}
+
 TEST(ServerModesTest, ProxyLargerThanStreamRejected)
 {
     GameWorld world(GameId::G1_MetroExodus, 3);
