@@ -8,17 +8,26 @@
  * latency distribution (p50/p95/p99) across all delivered frames,
  * and the aggregate transmitted bitrate.
  *
+ * Every run drives a FleetServer with telemetry attached, so the
+ * report also carries the registry's live fleet-wide view after the
+ * last tick (p50/p99 MTP, shed/drop/conceal rate) — the same numbers
+ * an operator dashboard would poll — cross-checkable against the
+ * FleetResult aggregates. `--trace` additionally dumps the largest
+ * EDF run's span stream as TRACE_fleet.json (Chrome trace viewer)
+ * and TRACE_fleet.jsonl.
+ *
  * The whole sweep is deterministic — two runs write byte-identical
  * BENCH_fleet.json. `--smoke` runs a reduced sweep for CI.
  */
 
-#include <cinttypes>
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
 #include "bench_util.hh"
+#include "obs/report.hh"
+#include "obs/telemetry.hh"
 #include "pipeline/fleet.hh"
 
 using namespace gssr;
@@ -31,61 +40,93 @@ struct SweepRow
 {
     int n = 0;
     FleetResult fleet;
+
+    /** Registry gauges after the final tick (the live fleet view). */
+    f64 live_p50_mtp_ms = 0.0;
+    f64 live_p99_mtp_ms = 0.0;
+    f64 live_shed_rate = 0.0;
+    f64 live_drop_rate = 0.0;
+    f64 live_conceal_rate = 0.0;
 };
 
 SweepRow
-runFleet(int n, SchedulePolicy policy, int gpu_slots, int ticks)
+runFleet(int n, SchedulePolicy policy, int gpu_slots, int ticks,
+         bool dump_trace)
 {
+    obs::Telemetry telemetry(dump_trace);
     FleetServer fleet(ServerProfile::edgeRack(gpu_slots), policy);
+    fleet.setTelemetry(&telemetry);
     for (int i = 0; i < n; ++i)
         fleet.admit(fleetMixSessionConfig(i));
 
     SweepRow row;
     row.n = n;
     row.fleet = fleet.run(ticks);
+
+    obs::MetricsRegistry &reg = telemetry.registry();
+    auto gauge = [&](const char *name) {
+        auto id = reg.find(name);
+        return id ? reg.gaugeValue(*id) : 0.0;
+    };
+    row.live_p50_mtp_ms = gauge("fleet.p50_mtp_ms");
+    row.live_p99_mtp_ms = gauge("fleet.p99_mtp_ms");
+    row.live_shed_rate = gauge("fleet.shed_rate");
+    row.live_drop_rate = gauge("fleet.drop_rate");
+    row.live_conceal_rate = gauge("fleet.conceal_rate");
+
+    if (dump_trace) {
+        telemetry.spanBuffer().writeChromeTraceFile(
+            "TRACE_fleet.json");
+        telemetry.spanBuffer().writeJsonlFile("TRACE_fleet.jsonl");
+    }
     return row;
 }
 
 void
-writeJson(const char *path, bool smoke, int gpu_slots, int ticks,
-          const std::vector<SweepRow> &rows)
+writeReport(bool smoke, int gpu_slots, int ticks,
+            const std::vector<SweepRow> &rows)
 {
-    std::FILE *f = std::fopen(path, "w");
-    if (f == nullptr) {
-        std::fprintf(stderr, "cannot write %s\n", path);
-        return;
-    }
-    std::fprintf(f,
-                 "{\n  \"smoke\": %s,\n  \"gpu_slots\": %d,\n"
-                 "  \"ticks\": %d,\n  \"sweep\": [\n",
-                 smoke ? "true" : "false", gpu_slots, ticks);
-    for (size_t i = 0; i < rows.size(); ++i) {
-        const SweepRow &r = rows[i];
+    obs::Report report("BENCH_fleet.json", "fleet_scale", smoke);
+    obs::JsonWriter &w = report.json();
+    w.field("gpu_slots", gpu_slots);
+    w.field("ticks", ticks);
+    w.key("sweep");
+    w.beginArray();
+    for (const SweepRow &r : rows) {
         const FleetResult &fl = r.fleet;
-        std::fprintf(
-            f,
-            "    {\"n\": %d, \"policy\": \"%s\", "
-            "\"admitted\": %lld, \"degraded\": %lld, "
-            "\"rejected\": %lld, \"committed_ms\": %.4f, "
-            "\"budget_ms\": %.4f, \"frames\": %lld, "
-            "\"shed\": %lld, \"dropped\": %lld, "
-            "\"mtp_p50_ms\": %.4f, \"mtp_p95_ms\": %.4f, "
-            "\"mtp_p99_ms\": %.4f, \"mtp_mean_ms\": %.4f, "
-            "\"aggregate_mbps\": %.4f, \"max_backlog_ms\": %.4f, "
-            "\"fingerprint\": \"%016" PRIx64 "\"}%s\n",
-            r.n, schedulePolicyName(fl.policy),
-            (long long)fl.admitted, (long long)fl.degraded,
-            (long long)fl.rejected, fl.committed_cost_ms,
-            fl.budget_ms, (long long)fl.frames_total,
-            (long long)fl.frames_shed, (long long)fl.frames_dropped,
-            fl.mtp_ms.percentile(50.0), fl.mtp_ms.percentile(95.0),
-            fl.mtp_ms.percentile(99.0), fl.mtp_ms.mean(),
-            fl.aggregate_bitrate_mbps, fl.max_backlog_ms,
-            fl.fingerprint, i + 1 < rows.size() ? "," : "");
+        w.beginObject();
+        w.field("n", r.n);
+        w.field("policy", schedulePolicyName(fl.policy));
+        w.field("admitted", fl.admitted);
+        w.field("degraded", fl.degraded);
+        w.field("rejected", fl.rejected);
+        w.field("committed_ms", fl.committed_cost_ms, 4);
+        w.field("budget_ms", fl.budget_ms, 4);
+        w.field("frames", fl.frames_total);
+        w.field("shed", fl.frames_shed);
+        w.field("dropped", fl.frames_dropped);
+        w.field("mtp_p50_ms", fl.mtp_ms.percentile(50.0), 4);
+        w.field("mtp_p95_ms", fl.mtp_ms.percentile(95.0), 4);
+        w.field("mtp_p99_ms", fl.mtp_ms.percentile(99.0), 4);
+        w.field("mtp_mean_ms", fl.mtp_ms.mean(), 4);
+        w.field("aggregate_mbps", fl.aggregate_bitrate_mbps, 4);
+        w.field("max_backlog_ms", fl.max_backlog_ms, 4);
+        w.hexField("fingerprint", fl.fingerprint);
+        // The registry gauges the fleet refreshed on its last tick.
+        // Percentiles are histogram-resolved (0.5 ms buckets), so
+        // they approximate the exact rank-based mtp_p* above.
+        w.key("telemetry");
+        w.beginObject();
+        w.field("p50_mtp_ms", r.live_p50_mtp_ms, 4);
+        w.field("p99_mtp_ms", r.live_p99_mtp_ms, 4);
+        w.field("shed_rate", r.live_shed_rate, 6);
+        w.field("drop_rate", r.live_drop_rate, 6);
+        w.field("conceal_rate", r.live_conceal_rate, 6);
+        w.endObject();
+        w.endObject();
     }
-    std::fprintf(f, "  ]\n}\n");
-    std::fclose(f);
-    std::printf("wrote %s\n", path);
+    w.endArray();
+    report.close();
 }
 
 } // namespace
@@ -94,9 +135,12 @@ int
 main(int argc, char **argv)
 {
     bool smoke = false;
+    bool trace = false;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--smoke") == 0)
             smoke = true;
+        else if (std::strcmp(argv[i], "--trace") == 0)
+            trace = true;
     }
 
     printHeader("Fleet scaling",
@@ -117,7 +161,12 @@ main(int argc, char **argv)
                        "p95 (ms)", "p99 (ms)", "agg (Mb/s)"});
     for (int n : sweep_n) {
         for (SchedulePolicy policy : policies) {
-            rows.push_back(runFleet(n, policy, gpu_slots, ticks));
+            // Span capture only for the largest EDF run: one full
+            // trace is plenty, and span buffers grow with N x ticks.
+            const bool dump = trace && n == sweep_n.back() &&
+                              policy == SchedulePolicy::Edf;
+            rows.push_back(
+                runFleet(n, policy, gpu_slots, ticks, dump));
             const FleetResult &fl = rows.back().fleet;
             table.addRow(
                 {std::to_string(n), schedulePolicyName(policy),
@@ -135,6 +184,6 @@ main(int argc, char **argv)
     }
     printTable(table);
 
-    writeJson("BENCH_fleet.json", smoke, gpu_slots, ticks, rows);
+    writeReport(smoke, gpu_slots, ticks, rows);
     return 0;
 }

@@ -33,6 +33,9 @@
 #include "codec/plane_coder.hh"
 #include "common/fingerprint.hh"
 #include "common/parallel.hh"
+#include "common/stats.hh"
+#include "obs/report.hh"
+#include "obs/telemetry.hh"
 #include "frame/depth_map.hh"
 #include "frame/downsample.hh"
 #include "metrics/psnr.hh"
@@ -328,8 +331,7 @@ timeMs(Fn &&fn, int reps)
         times.push_back(
             std::chrono::duration<f64, std::milli>(t1 - t0).count());
     }
-    std::sort(times.begin(), times.end());
-    return times[times.size() / 2];
+    return stats::summarize(times).p50;
 }
 
 /**
@@ -342,6 +344,11 @@ runParallelSweep(const char *json_path)
 {
     const int host_threads =
         std::max(1u, std::thread::hardware_concurrency());
+    // Chunk-level wall-clock timing is observability-only (never fed
+    // back into the simulation); the sweep turns it on so the report
+    // can carry pool utilization next to the scaling numbers.
+    resetParallelPoolStats();
+    setParallelTaskTiming(true);
     std::vector<int> counts = {1, 2, 4, host_threads};
     std::sort(counts.begin(), counts.end());
     counts.erase(std::unique(counts.begin(), counts.end()),
@@ -397,36 +404,39 @@ runParallelSweep(const char *json_path)
     }
     setParallelThreadCount(host_threads);
 
+    setParallelTaskTiming(false);
+
     if (json_path != nullptr) {
-        std::FILE *f = std::fopen(json_path, "w");
-        if (f == nullptr) {
-            std::fprintf(stderr, "cannot write %s\n", json_path);
-        } else {
-            std::fprintf(f, "{\n  \"host_threads\": %d,\n",
-                         host_threads);
-            std::fprintf(f, "  \"thread_counts\": [");
-            for (size_t i = 0; i < counts.size(); ++i)
-                std::fprintf(f, "%s%d", i ? ", " : "", counts[i]);
-            std::fprintf(f, "],\n  \"kernels\": [\n");
-            for (size_t r = 0; r < rows.size(); ++r) {
-                std::fprintf(f,
-                             "    {\"name\": \"%s\", \"times_ms\": [",
-                             rows[r].name.c_str());
-                for (size_t i = 0; i < rows[r].times_ms.size(); ++i)
-                    std::fprintf(f, "%s%.4f", i ? ", " : "",
-                                 rows[r].times_ms[i]);
-                std::fprintf(
-                    f,
-                    "], \"speedup_at_4\": %.4f, "
-                    "\"bit_exact\": %s}%s\n",
-                    rows[r].speedup_at_4,
-                    rows[r].identical ? "true" : "false",
-                    r + 1 < rows.size() ? "," : "");
-            }
-            std::fprintf(f, "  ]\n}\n");
-            std::fclose(f);
-            std::printf("wrote %s\n", json_path);
+        obs::Report report(json_path, "parallel_kernels", false);
+        obs::JsonWriter &w = report.json();
+        w.field("host_threads", host_threads);
+        w.key("thread_counts");
+        w.beginArray();
+        for (int c : counts)
+            w.value(c);
+        w.endArray();
+        w.key("kernels");
+        w.beginArray();
+        for (const Row &row : rows) {
+            w.beginObject();
+            w.field("name", row.name);
+            w.key("times_ms");
+            w.beginArray();
+            for (f64 ms : row.times_ms)
+                w.value(ms, 4);
+            w.endArray();
+            w.field("speedup_at_4", row.speedup_at_4, 4);
+            w.field("bit_exact", row.identical);
+            w.endObject();
         }
+        w.endArray();
+        // Cumulative pool activity over the whole sweep, polled from
+        // the workers' atomics into the global registry.
+        obs::Telemetry &tel = obs::Telemetry::global();
+        tel.updateParallelPoolMetrics();
+        w.key("pool");
+        tel.registry().writeJson(w);
+        report.close();
     }
 
     if (mismatches > 0) {

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "bench_util.hh"
+#include "obs/report.hh"
 
 using namespace gssr;
 using namespace gssr::bench;
@@ -108,79 +109,75 @@ runAimdCase(bool aimd_on, int frames)
 }
 
 void
-writeJson(const char *path, bool smoke,
-          const std::vector<SweepRow> &rows, const AimdResult &with,
-          const AimdResult &without, const SessionResult &transient)
+writeReport(bool smoke, const std::vector<SweepRow> &rows,
+            const AimdResult &with, const AimdResult &without,
+            const SessionResult &transient)
 {
-    std::FILE *f = std::fopen(path, "w");
-    if (f == nullptr) {
-        std::fprintf(stderr, "cannot write %s\n", path);
-        return;
-    }
-    std::fprintf(f, "{\n  \"smoke\": %s,\n", smoke ? "true" : "false");
+    obs::Report report("BENCH_resilience.json", "resilience", smoke);
+    obs::JsonWriter &w = report.json();
 
-    std::fprintf(f, "  \"sweep\": [\n");
-    for (size_t i = 0; i < rows.size(); ++i) {
-        const SweepRow &r = rows[i];
+    w.key("sweep");
+    w.beginArray();
+    for (const SweepRow &r : rows) {
         const ResilienceStats &s = r.stats;
-        std::fprintf(
-            f,
-            "    {\"scenario\": \"%s\", \"policy\": \"%s\", "
-            "\"frames\": %d, \"dropped\": %lld, \"discarded\": %lld, "
-            "\"concealed\": %lld, \"nacks\": %lld, "
-            "\"intra_refreshes\": %lld, \"longest_stale_run\": %lld, "
-            "\"recovery_latency_ms_mean\": %.3f, "
-            "\"recovery_episodes\": %lld}%s\n",
-            r.scenario.c_str(), r.policy.c_str(), r.frames,
-            (long long)s.frames_dropped, (long long)s.frames_discarded,
-            (long long)s.frames_concealed, (long long)s.nacks_sent,
-            (long long)s.intra_refreshes, (long long)s.longest_stale_run,
-            s.recovery_latency_ms.mean(),
-            (long long)s.recovery_latency_ms.count(),
-            i + 1 < rows.size() ? "," : "");
+        w.beginObject();
+        w.field("scenario", r.scenario);
+        w.field("policy", r.policy);
+        w.field("frames", r.frames);
+        w.field("dropped", s.frames_dropped);
+        w.field("discarded", s.frames_discarded);
+        w.field("concealed", s.frames_concealed);
+        w.field("nacks", s.nacks_sent);
+        w.field("intra_refreshes", s.intra_refreshes);
+        w.field("longest_stale_run", s.longest_stale_run);
+        w.field("recovery_latency_ms_mean",
+                s.recovery_latency_ms.mean(), 3);
+        w.field("recovery_episodes", s.recovery_latency_ms.count());
+        w.endObject();
     }
-    std::fprintf(f, "  ],\n");
+    w.endArray();
 
-    std::fprintf(f,
-                 "  \"aimd\": {\"channel_mbps\": 3.0, "
-                 "\"initial_target_mbps\": 6.0, \"frames\": %d, "
-                 "\"tail_start\": %d,\n",
-                 with.frames, with.tail_start);
-    std::fprintf(f,
-                 "    \"with_backoff\": {\"dropped\": %lld, "
-                 "\"backoffs\": %lld, \"tail_dropped\": %lld},\n",
-                 (long long)with.dropped, (long long)with.backoffs,
-                 (long long)with.tail_dropped);
-    std::fprintf(f,
-                 "    \"without_backoff\": {\"dropped\": %lld, "
-                 "\"backoffs\": %lld, \"tail_dropped\": %lld}},\n",
-                 (long long)without.dropped, (long long)without.backoffs,
-                 (long long)without.tail_dropped);
+    w.key("aimd");
+    w.beginObject();
+    w.field("channel_mbps", 3.0, 1);
+    w.field("initial_target_mbps", 6.0, 1);
+    w.field("frames", with.frames);
+    w.field("tail_start", with.tail_start);
+    auto aimdCase = [&w](const char *key, const AimdResult &c) {
+        w.key(key);
+        w.beginObject();
+        w.field("dropped", c.dropped);
+        w.field("backoffs", c.backoffs);
+        w.field("tail_dropped", c.tail_dropped);
+        w.endObject();
+    };
+    aimdCase("with_backoff", with);
+    aimdCase("without_backoff", without);
+    w.endObject();
 
     const ResilienceStats &ts = transient.resilience;
-    std::fprintf(f,
-                 "  \"transient\": {\"delivered_psnr_db\": %.3f, "
-                 "\"concealed_psnr_db\": %.3f,\n",
-                 ts.delivered_psnr_db.mean(),
-                 ts.concealed_psnr_db.mean());
-    std::fprintf(f, "    \"frames\": [");
-    for (size_t i = 0; i < transient.quality.size(); ++i) {
-        std::fprintf(f, "%s%lld", i ? ", " : "",
-                     (long long)transient.quality[i].frame_index);
-    }
-    std::fprintf(f, "],\n    \"psnr_db\": [");
-    for (size_t i = 0; i < transient.quality.size(); ++i) {
-        std::fprintf(f, "%s%.3f", i ? ", " : "",
-                     transient.quality[i].psnr_db);
-    }
-    std::fprintf(f, "],\n    \"concealed\": [");
-    for (size_t i = 0; i < transient.quality.size(); ++i) {
-        std::fprintf(f, "%s%s", i ? ", " : "",
-                     transient.quality[i].concealed ? "true" : "false");
-    }
-    std::fprintf(f, "]}\n}\n");
-    std::fclose(f);
-    std::printf("wrote %s\n", path);
+    w.key("transient");
+    w.beginObject();
+    w.field("delivered_psnr_db", ts.delivered_psnr_db.mean(), 3);
+    w.field("concealed_psnr_db", ts.concealed_psnr_db.mean(), 3);
+    w.key("frames");
+    w.beginArray();
+    for (const FrameQuality &q : transient.quality)
+        w.value(q.frame_index);
+    w.endArray();
+    w.key("psnr_db");
+    w.beginArray();
+    for (const FrameQuality &q : transient.quality)
+        w.value(q.psnr_db, 3);
+    w.endArray();
+    w.key("concealed");
+    w.beginArray();
+    for (const FrameQuality &q : transient.quality)
+        w.value(q.concealed);
+    w.endArray();
+    w.endObject();
+
+    report.close();
 }
 
 } // namespace
@@ -306,7 +303,6 @@ main(int argc, char **argv)
                      2)
               << " dB while stale)\n";
 
-    writeJson("BENCH_resilience.json", smoke, rows, with, without,
-              transient);
+    writeReport(smoke, rows, with, without, transient);
     return 0;
 }

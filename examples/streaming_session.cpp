@@ -5,16 +5,23 @@
  * SR-integrated decoder) on a chosen device and print the per-design
  * latency / throughput / energy / quality summary.
  *
- * Usage: ./streaming_session [G1..G10] [s8|pixel] [frames]
+ * Usage: ./streaming_session [G1..G10] [s8|pixel] [frames] [--trace]
  * Defaults: G3 on the Galaxy Tab S8, 16 frames at reduced
  * resolution (384x192 -> 768x384) so the run takes ~1 minute.
+ *
+ * With --trace, every stage of all three sessions is exported as
+ * TRACE_session.json — open it in chrome://tracing or
+ * https://ui.perfetto.dev to see the per-frame stage timeline, one
+ * track per design.
  */
 
 #include <cstdio>
 #include <cstring>
 #include <iostream>
+#include <vector>
 
 #include "common/table.hh"
+#include "obs/telemetry.hh"
 #include "pipeline/session.hh"
 #include "sr/trainer.hh"
 
@@ -37,12 +44,23 @@ parseGame(const char *name)
 int
 main(int argc, char **argv)
 {
-    GameId game = argc > 1 ? parseGame(argv[1]) : GameId::G3_Witcher3;
+    bool trace = false;
+    std::vector<const char *> pos;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--trace") == 0)
+            trace = true;
+        else
+            pos.push_back(argv[i]);
+    }
+    GameId game =
+        pos.size() > 0 ? parseGame(pos[0]) : GameId::G3_Witcher3;
     DeviceProfile device =
-        (argc > 2 && std::strcmp(argv[2], "pixel") == 0)
+        (pos.size() > 1 && std::strcmp(pos[1], "pixel") == 0)
             ? DeviceProfile::pixel7Pro()
             : DeviceProfile::galaxyTabS8();
-    int frames = argc > 3 ? std::atoi(argv[3]) : 16;
+    int frames = pos.size() > 2 ? std::atoi(pos[2]) : 16;
+
+    obs::Telemetry telemetry(/*spans=*/trace);
 
     auto net = std::make_shared<const CompactSrNet>(
         trainedSrNet("streaming_session_sr_weights.bin"));
@@ -57,10 +75,15 @@ main(int argc, char **argv)
                        "fps(ref)", "fps(nonref)", "energy(mJ/frame)",
                        "psnr(dB)", "lpips"});
 
+    int track = 0;
     for (DesignKind design :
          {DesignKind::GameStreamSR, DesignKind::Nemo,
           DesignKind::SrDecoder}) {
         SessionConfig config;
+        if (trace) {
+            config.telemetry = &telemetry;
+            config.telemetry_track = track++; // one track per design
+        }
         config.game = game;
         config.frames = frames;
         config.lr_size = {384, 192};
@@ -94,5 +117,12 @@ main(int argc, char **argv)
                 "paper's numbers at the full 720p -> 1440p operating\n"
                 "point.\n\n");
     table.renderText(std::cout);
+
+    if (trace) {
+        telemetry.spanBuffer().writeChromeTraceFile(
+            "TRACE_session.json");
+        std::printf("\nwrote TRACE_session.json — open it in "
+                    "chrome://tracing or https://ui.perfetto.dev\n");
+    }
     return 0;
 }

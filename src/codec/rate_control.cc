@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/mathutil.hh"
+#include "obs/telemetry.hh"
 
 namespace gssr
 {
@@ -80,6 +81,19 @@ AimdController::AimdController(const AimdConfig &config,
         clamp(target_mbps_, config_.min_mbps, config_.max_mbps);
 }
 
+void
+AimdController::setTelemetry(obs::Telemetry *telemetry, i32 track)
+{
+    telemetry_ = telemetry;
+    telemetry_track_ = track;
+    if (!telemetry_)
+        return;
+    obs::MetricsRegistry &reg = telemetry_->registry();
+    tm_backoffs_ = reg.counter("aimd.backoffs");
+    tm_target_mbps_ = reg.gauge("aimd.target_mbps");
+    reg.set(tm_target_mbps_, target_mbps_);
+}
+
 bool
 AimdController::onCongestion(f64 now_ms)
 {
@@ -89,6 +103,17 @@ AimdController::onCongestion(f64 now_ms)
                          config_.min_mbps, config_.max_mbps);
     last_backoff_ms_ = now_ms;
     backoffs_ += 1;
+    if (telemetry_) {
+        obs::MetricsRegistry &reg = telemetry_->registry();
+        reg.add(tm_backoffs_);
+        reg.set(tm_target_mbps_, target_mbps_);
+        if (obs::SpanExporter *spans = telemetry_->spans()) {
+            spans->instant("aimd.backoff", "aimd", telemetry_track_,
+                           now_ms, target_mbps_);
+            spans->counter("aimd.target_mbps", telemetry_track_,
+                           now_ms, target_mbps_);
+        }
+    }
     return true;
 }
 
@@ -108,6 +133,8 @@ AimdController::onDelivered(f64 now_ms)
     target_mbps_ =
         clamp(target_mbps_ + config_.increase_mbps_per_s * dt_s,
               config_.min_mbps, config_.max_mbps);
+    if (telemetry_)
+        telemetry_->registry().set(tm_target_mbps_, target_mbps_);
 }
 
 } // namespace gssr

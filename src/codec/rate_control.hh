@@ -16,6 +16,11 @@
 namespace gssr
 {
 
+namespace obs
+{
+class Telemetry;
+}
+
 /** Rate controller configuration. */
 struct RateControlConfig
 {
@@ -139,6 +144,16 @@ class AimdController
     /** Number of multiplicative backoffs applied. */
     i64 backoffCount() const { return backoffs_; }
 
+    /**
+     * Attach a telemetry sink (not owned; null detaches). State
+     * transitions then report through it: aimd.backoffs counts
+     * multiplicative decreases, the aimd.target_mbps gauge tracks the
+     * current target, and — when spans are enabled — each backoff
+     * drops an instant plus an aimd.target_mbps counter sample on
+     * @p track. Write-only: never changes controller decisions.
+     */
+    void setTelemetry(obs::Telemetry *telemetry, i32 track);
+
     const AimdConfig &config() const { return config_; }
 
   private:
@@ -147,6 +162,11 @@ class AimdController
     f64 last_backoff_ms_ = -1e18;
     f64 last_delivered_ms_ = -1.0;
     i64 backoffs_ = 0;
+
+    obs::Telemetry *telemetry_ = nullptr;
+    i32 telemetry_track_ = 0;
+    u32 tm_backoffs_ = 0;
+    u32 tm_target_mbps_ = 0;
 };
 
 } // namespace gssr

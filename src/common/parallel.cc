@@ -1,6 +1,7 @@
 #include "common/parallel.hh"
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdlib>
 #include <exception>
@@ -13,6 +14,28 @@ namespace gssr
 
 namespace
 {
+
+/** Cumulative pool statistics (see ParallelPoolStats). */
+std::atomic<i64> stat_jobs{0};
+std::atomic<i64> stat_chunks{0};
+std::atomic<i64> stat_busy_ns{0};
+std::atomic<i64> stat_max_chunk_ns{0};
+std::atomic<bool> stat_timing{false};
+
+/** Record one executed chunk (relaxed; polled, never read raced). */
+inline void
+recordChunk(i64 elapsed_ns)
+{
+    stat_chunks.fetch_add(1, std::memory_order_relaxed);
+    if (elapsed_ns <= 0)
+        return;
+    stat_busy_ns.fetch_add(elapsed_ns, std::memory_order_relaxed);
+    i64 prev = stat_max_chunk_ns.load(std::memory_order_relaxed);
+    while (elapsed_ns > prev &&
+           !stat_max_chunk_ns.compare_exchange_weak(
+               prev, elapsed_ns, std::memory_order_relaxed)) {
+    }
+}
 
 /**
  * Set while the current thread executes chunks of a parallel region
@@ -219,6 +242,34 @@ setParallelThreadCount(int threads)
     ThreadPool::instance().resize(threads);
 }
 
+ParallelPoolStats
+parallelPoolStats()
+{
+    ParallelPoolStats s;
+    s.jobs = stat_jobs.load(std::memory_order_relaxed);
+    s.chunks = stat_chunks.load(std::memory_order_relaxed);
+    s.busy_ms =
+        f64(stat_busy_ns.load(std::memory_order_relaxed)) / 1e6;
+    s.max_chunk_ms =
+        f64(stat_max_chunk_ns.load(std::memory_order_relaxed)) / 1e6;
+    return s;
+}
+
+void
+resetParallelPoolStats()
+{
+    stat_jobs.store(0, std::memory_order_relaxed);
+    stat_chunks.store(0, std::memory_order_relaxed);
+    stat_busy_ns.store(0, std::memory_order_relaxed);
+    stat_max_chunk_ns.store(0, std::memory_order_relaxed);
+}
+
+void
+setParallelTaskTiming(bool enabled)
+{
+    stat_timing.store(enabled, std::memory_order_relaxed);
+}
+
 void
 parallelFor(i64 begin, i64 end, i64 grain,
             const std::function<void(i64, i64)> &body)
@@ -226,10 +277,22 @@ parallelFor(i64 begin, i64 end, i64 grain,
     const i64 chunks = parallelChunkCount(begin, end, grain);
     if (chunks == 0)
         return;
+    stat_jobs.fetch_add(1, std::memory_order_relaxed);
     auto chunk_body = [&](i64 c) {
         i64 b = begin + c * grain;
         i64 e = std::min(end, b + grain);
-        body(b, e);
+        if (stat_timing.load(std::memory_order_relaxed)) {
+            auto start = std::chrono::steady_clock::now();
+            body(b, e);
+            auto elapsed = std::chrono::steady_clock::now() - start;
+            recordChunk(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    elapsed)
+                    .count());
+        } else {
+            body(b, e);
+            recordChunk(0);
+        }
     };
     ThreadPool &pool = ThreadPool::instance();
     if (tls_in_parallel_region || chunks == 1 ||

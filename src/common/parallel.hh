@@ -45,6 +45,39 @@ int parallelThreadCount();
  */
 void setParallelThreadCount(int threads);
 
+/**
+ * Cumulative execution statistics of the parallel layer. Counters
+ * are always maintained (two relaxed atomic increments per chunk);
+ * per-chunk wall-clock timing is off by default and enabled with
+ * setParallelTaskTiming — timing is observability-only and never
+ * feeds back into scheduling, so enabling it cannot perturb results.
+ * Consumers (obs::Telemetry) poll this snapshot from one thread
+ * rather than having workers write into shared registries.
+ */
+struct ParallelPoolStats
+{
+    /** parallelFor invocations (including inline/serial ones). */
+    i64 jobs = 0;
+
+    /** Chunks executed across all jobs. */
+    i64 chunks = 0;
+
+    /** Summed chunk wall time (ms); 0 unless timing is enabled. */
+    f64 busy_ms = 0.0;
+
+    /** Longest single chunk (ms); 0 unless timing is enabled. */
+    f64 max_chunk_ms = 0.0;
+};
+
+/** Snapshot of the cumulative pool statistics. */
+ParallelPoolStats parallelPoolStats();
+
+/** Zero the cumulative pool statistics. */
+void resetParallelPoolStats();
+
+/** Enable/disable per-chunk wall-clock timing (default off). */
+void setParallelTaskTiming(bool enabled);
+
 /** Number of chunks parallelFor splits [begin, end) into at @p grain. */
 inline i64
 parallelChunkCount(i64 begin, i64 end, i64 grain)

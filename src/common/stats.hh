@@ -19,6 +19,30 @@
 namespace gssr
 {
 
+namespace stats
+{
+
+/**
+ * The one summary-statistics value type shared by every consumer:
+ * SampleStats (exact, sample-retaining), the obs::MetricsRegistry
+ * histograms (fixed-bucket), and the bench report emitters. Having a
+ * single type keeps every exported JSON summary block identical in
+ * shape regardless of which accumulator produced it.
+ */
+struct Summary
+{
+    i64 count = 0;
+    f64 mean = 0.0;
+    f64 stddev = 0.0;
+    f64 min = 0.0;
+    f64 max = 0.0;
+    f64 p50 = 0.0;
+    f64 p95 = 0.0;
+    f64 p99 = 0.0;
+};
+
+} // namespace stats
+
 /**
  * Accumulates scalar samples and exposes summary statistics.
  * Samples are retained so percentiles can be computed exactly.
@@ -85,6 +109,24 @@ class SampleStats
     /** Access the raw samples in insertion order. */
     const std::vector<f64> &samples() const { return samples_; }
 
+    /** Exact summary (percentiles via percentile()). */
+    stats::Summary
+    summary() const
+    {
+        stats::Summary s;
+        s.count = count_;
+        if (count_ == 0)
+            return s;
+        s.mean = mean();
+        s.stddev = stddev();
+        s.min = min_;
+        s.max = max_;
+        s.p50 = percentile(50.0);
+        s.p95 = percentile(95.0);
+        s.p99 = percentile(99.0);
+        return s;
+    }
+
   private:
     static f64
     lerpSample(f64 a, f64 b, f64 t)
@@ -99,6 +141,21 @@ class SampleStats
     f64 min_ = std::numeric_limits<f64>::infinity();
     f64 max_ = -std::numeric_limits<f64>::infinity();
 };
+
+namespace stats
+{
+
+/** Exact summary of a raw sample vector (one-shot convenience). */
+inline Summary
+summarize(const std::vector<f64> &samples)
+{
+    SampleStats acc;
+    for (f64 v : samples)
+        acc.add(v);
+    return acc.summary();
+}
+
+} // namespace stats
 
 } // namespace gssr
 

@@ -1,8 +1,10 @@
 #include "net/channel.hh"
 
 #include <cmath>
+#include <string>
 
 #include "common/mathutil.hh"
+#include "obs/telemetry.hh"
 
 namespace gssr
 {
@@ -134,6 +136,21 @@ NetworkChannel::setScenario(FaultScenario scenario)
 }
 
 void
+NetworkChannel::setTelemetry(obs::Telemetry *telemetry, i32 track)
+{
+    telemetry_ = telemetry;
+    telemetry_track_ = track;
+    if (!telemetry_)
+        return;
+    obs::MetricsRegistry &reg = telemetry_->registry();
+    tm_frames_total_ = reg.counter("net.frames_total");
+    for (size_t c = 1; c < tm_drops_by_cause_.size(); ++c) {
+        tm_drops_by_cause_[c] = reg.counter(
+            std::string("net.drops.") + dropCauseName(DropCause(c)));
+    }
+}
+
+void
 NetworkChannel::reset()
 {
     rng_ = Rng(seed_);
@@ -153,12 +170,16 @@ NetworkChannel::transmitFrame(size_t frame_bytes, f64 offered_load_mbps)
         int(ceilDiv(i64(frame_bytes), i64(config_.mtu_bytes)));
     const FaultEvent effect = scenario_.effectAt(frames_total_);
     frames_total_ += 1;
+    if (telemetry_)
+        telemetry_->registry().add(tm_frames_total_);
 
     auto drop = [&](DropCause cause) {
         result.dropped = true;
         result.cause = cause;
         frames_dropped_ += 1;
         drops_by_cause_[size_t(cause)] += 1;
+        if (telemetry_)
+            telemetry_->registry().add(tm_drops_by_cause_[size_t(cause)]);
         return result;
     };
 

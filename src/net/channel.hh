@@ -35,6 +35,11 @@
 namespace gssr
 {
 
+namespace obs
+{
+class Telemetry;
+}
+
 /** Static description of one wireless channel. */
 struct ChannelConfig
 {
@@ -151,6 +156,15 @@ class NetworkChannel
     void reset();
 
     /**
+     * Attach a telemetry sink (not owned; null detaches). Every
+     * transmitted frame then bumps net.frames_total and a per-cause
+     * net.drops.<cause> counter on loss — the registry-side mirror of
+     * dropCount(), shared fleet-wide when sessions share a handle.
+     * Write-only: attaching never changes the replayed drop sequence.
+     */
+    void setTelemetry(obs::Telemetry *telemetry, i32 track);
+
+    /**
      * Transmit one compressed frame.
      * @param frame_bytes compressed frame size.
      * @param offered_load_mbps total stream bitrate currently offered
@@ -208,6 +222,11 @@ class NetworkChannel
     i64 frames_dropped_ = 0;
     std::array<i64, 5> drops_by_cause_{};
     bool ge_bad_ = false;
+
+    obs::Telemetry *telemetry_ = nullptr;
+    i32 telemetry_track_ = 0;
+    u32 tm_frames_total_ = 0;
+    std::array<u32, 5> tm_drops_by_cause_{}; ///< [DropCause] ids
 };
 
 /**

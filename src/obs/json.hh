@@ -1,0 +1,274 @@
+/**
+ * @file
+ * Minimal streaming JSON writer used by every telemetry export path
+ * (bench reports, Chrome-trace dumps, JSONL streams, metric dumps).
+ * Handles comma placement, indentation and string escaping so no
+ * emitter hand-rolls fprintf JSON; number formatting is explicit
+ * (fixed decimals) so exported files are byte-stable across runs of
+ * a deterministic simulation.
+ */
+
+#ifndef GSSR_OBS_JSON_HH
+#define GSSR_OBS_JSON_HH
+
+#include <cstdio>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace gssr::obs
+{
+
+/** Escape @p s for inclusion in a JSON string literal. */
+inline std::string
+jsonEscape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              unsigned(c) & 0xff);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/**
+ * Structured JSON emitter over an std::ostream. Usage:
+ *
+ *   JsonWriter w(out);
+ *   w.beginObject();
+ *   w.key("frames"); w.value(i64(60));
+ *   w.key("sweep");  w.beginArray(); ... w.endArray();
+ *   w.endObject();
+ *
+ * The writer asserts basic well-formedness (keys only inside
+ * objects, matched begin/end), which is enough to make hand-written
+ * emission mistakes fail loudly in tests instead of producing
+ * unparsable artifacts.
+ */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &out, int indent_width = 2)
+        : out_(out), indent_width_(indent_width)
+    {
+    }
+
+    JsonWriter(const JsonWriter &) = delete;
+    JsonWriter &operator=(const JsonWriter &) = delete;
+
+    void
+    beginObject()
+    {
+        beginValue();
+        out_ << '{';
+        stack_.push_back(Frame{Scope::Object});
+    }
+
+    void
+    endObject()
+    {
+        GSSR_ASSERT(!stack_.empty() &&
+                        stack_.back().scope == Scope::Object,
+                    "endObject outside an object");
+        GSSR_ASSERT(!stack_.back().key_pending,
+                    "dangling key before endObject");
+        const bool had_items = stack_.back().count > 0;
+        stack_.pop_back();
+        if (had_items)
+            newlineIndent();
+        out_ << '}';
+    }
+
+    void
+    beginArray()
+    {
+        beginValue();
+        out_ << '[';
+        stack_.push_back(Frame{Scope::Array});
+    }
+
+    void
+    endArray()
+    {
+        GSSR_ASSERT(!stack_.empty() &&
+                        stack_.back().scope == Scope::Array,
+                    "endArray outside an array");
+        const bool had_items = stack_.back().count > 0;
+        stack_.pop_back();
+        if (had_items)
+            newlineIndent();
+        out_ << ']';
+    }
+
+    /** Emit an object key; the next emitted value belongs to it. */
+    void
+    key(std::string_view name)
+    {
+        GSSR_ASSERT(!stack_.empty() &&
+                        stack_.back().scope == Scope::Object,
+                    "key outside an object");
+        GSSR_ASSERT(!stack_.back().key_pending, "two keys in a row");
+        if (stack_.back().count > 0)
+            out_ << ',';
+        stack_.back().count += 1;
+        newlineIndent();
+        out_ << '"' << jsonEscape(name) << "\": ";
+        stack_.back().key_pending = true;
+    }
+
+    void
+    value(std::string_view s)
+    {
+        beginValue();
+        out_ << '"' << jsonEscape(s) << '"';
+    }
+
+    void value(const char *s) { value(std::string_view(s)); }
+    void value(const std::string &s) { value(std::string_view(s)); }
+
+    void
+    value(bool b)
+    {
+        beginValue();
+        out_ << (b ? "true" : "false");
+    }
+
+    void
+    value(i64 v)
+    {
+        beginValue();
+        out_ << v;
+    }
+
+    void value(int v) { value(i64(v)); }
+    void value(size_t v) { value(i64(v)); }
+
+    /** Fixed-decimal f64 (byte-stable formatting). */
+    void
+    value(f64 v, int decimals = 4)
+    {
+        beginValue();
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+        out_ << buf;
+    }
+
+    /** 64-bit fingerprint as a zero-padded hex string. */
+    void
+    hexValue(u64 v)
+    {
+        beginValue();
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%016llx",
+                      (unsigned long long)v);
+        out_ << '"' << buf << '"';
+    }
+
+    /** key() + value() in one call. */
+    template <typename T>
+    void
+    field(std::string_view name, const T &v)
+    {
+        key(name);
+        value(v);
+    }
+
+    void
+    field(std::string_view name, f64 v, int decimals)
+    {
+        key(name);
+        value(v, decimals);
+    }
+
+    void
+    hexField(std::string_view name, u64 v)
+    {
+        key(name);
+        hexValue(v);
+    }
+
+    /** True once every begin has been matched by its end. */
+    bool complete() const { return stack_.empty() && root_emitted_; }
+
+  private:
+    enum class Scope
+    {
+        Object,
+        Array,
+    };
+
+    struct Frame
+    {
+        Scope scope;
+        int count = 0;
+        bool key_pending = false;
+    };
+
+    void
+    beginValue()
+    {
+        if (stack_.empty()) {
+            GSSR_ASSERT(!root_emitted_,
+                        "multiple root JSON values");
+            root_emitted_ = true;
+            return;
+        }
+        Frame &top = stack_.back();
+        if (top.scope == Scope::Object) {
+            GSSR_ASSERT(top.key_pending, "object value without a key");
+            top.key_pending = false;
+        } else {
+            if (top.count > 0)
+                out_ << ',';
+            top.count += 1;
+            newlineIndent();
+        }
+    }
+
+    void
+    newlineIndent()
+    {
+        out_ << '\n';
+        for (size_t i = 0; i < stack_.size() * size_t(indent_width_);
+             ++i)
+            out_ << ' ';
+    }
+
+    std::ostream &out_;
+    int indent_width_;
+    std::vector<Frame> stack_;
+    bool root_emitted_ = false;
+};
+
+} // namespace gssr::obs
+
+#endif // GSSR_OBS_JSON_HH

@@ -1,0 +1,212 @@
+#include "obs/metrics.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "obs/json.hh"
+
+namespace gssr::obs
+{
+
+const char *
+metricKindName(MetricKind kind)
+{
+    switch (kind) {
+      case MetricKind::Counter:
+        return "counter";
+      case MetricKind::Gauge:
+        return "gauge";
+      case MetricKind::Histogram:
+        return "histogram";
+    }
+    return "?";
+}
+
+HistogramLayout
+HistogramLayout::linear(f64 lo, f64 hi, int buckets)
+{
+    GSSR_ASSERT(buckets >= 1, "histogram needs >= 1 bucket");
+    GSSR_ASSERT(hi > lo, "histogram range must be non-empty");
+    HistogramLayout layout;
+    layout.lo = lo;
+    layout.hi = hi;
+    layout.buckets = buckets;
+    return layout;
+}
+
+int
+HistogramLayout::bucketIndex(f64 value) const
+{
+    if (!(value > lo)) // also catches NaN -> underflow bucket
+        return 0;
+    if (value >= hi)
+        return buckets - 1;
+    int index = int((value - lo) / bucketWidth());
+    return std::clamp(index, 0, buckets - 1);
+}
+
+MetricId
+MetricsRegistry::getOrCreate(std::string_view name, MetricKind kind)
+{
+    GSSR_ASSERT(!name.empty(), "metric name must be non-empty");
+    for (MetricId id = 0; id < metrics_.size(); ++id) {
+        if (metrics_[id].name == name) {
+            GSSR_ASSERT(metrics_[id].kind == kind,
+                        "metric re-registered with a different kind");
+            return id;
+        }
+    }
+    Metric m;
+    m.name = std::string(name);
+    m.kind = kind;
+    metrics_.push_back(std::move(m));
+    return MetricId(metrics_.size() - 1);
+}
+
+MetricId
+MetricsRegistry::counter(std::string_view name)
+{
+    return getOrCreate(name, MetricKind::Counter);
+}
+
+MetricId
+MetricsRegistry::gauge(std::string_view name)
+{
+    return getOrCreate(name, MetricKind::Gauge);
+}
+
+MetricId
+MetricsRegistry::histogram(std::string_view name,
+                           const HistogramLayout &layout)
+{
+    MetricId id = getOrCreate(name, MetricKind::Histogram);
+    Metric &m = metrics_[id];
+    if (m.bucket_counts.empty()) {
+        m.layout = layout;
+        m.bucket_counts.assign(size_t(layout.buckets), 0);
+    }
+    return id;
+}
+
+std::optional<MetricId>
+MetricsRegistry::find(std::string_view name) const
+{
+    for (MetricId id = 0; id < metrics_.size(); ++id)
+        if (metrics_[id].name == name)
+            return id;
+    return std::nullopt;
+}
+
+f64
+MetricsRegistry::histogramPercentile(MetricId id, f64 p) const
+{
+    GSSR_ASSERT(p >= 0.0 && p <= 100.0, "percentile out of range");
+    const Metric &m = metrics_[id];
+    GSSR_ASSERT(m.kind == MetricKind::Histogram,
+                "percentile of a non-histogram metric");
+    if (m.count == 0)
+        return 0.0;
+
+    // Rank of the requested percentile among the count samples;
+    // resolved to the bucket whose cumulative count covers it.
+    const f64 target = p / 100.0 * f64(m.count);
+    u64 cumulative = 0;
+    for (int b = 0; b < m.layout.buckets; ++b) {
+        const u64 c = m.bucket_counts[size_t(b)];
+        if (c == 0)
+            continue;
+        if (f64(cumulative) + f64(c) >= target) {
+            // Interpolate inside the bucket, bounded by the exact
+            // observed extremes so edge percentiles are exact. The
+            // edge buckets also hold samples clamped in from outside
+            // [lo, hi), so their effective range extends to the
+            // observed min/max.
+            const f64 frac =
+                std::clamp((target - f64(cumulative)) / f64(c), 0.0,
+                           1.0);
+            const f64 bucket_lo =
+                b == 0 ? std::min(m.layout.bucketLo(b), m.min)
+                       : m.layout.bucketLo(b);
+            const f64 bucket_hi =
+                b == m.layout.buckets - 1
+                    ? std::max(m.layout.bucketHi(b), m.max)
+                    : m.layout.bucketHi(b);
+            const f64 lo = std::max(bucket_lo, m.min);
+            const f64 hi = std::min(bucket_hi, m.max);
+            return lo + frac * (hi - lo);
+        }
+        cumulative += c;
+    }
+    return m.max;
+}
+
+stats::Summary
+MetricsRegistry::histogramSummary(MetricId id) const
+{
+    const Metric &m = metrics_[id];
+    GSSR_ASSERT(m.kind == MetricKind::Histogram,
+                "summary of a non-histogram metric");
+    stats::Summary s;
+    s.count = m.count;
+    if (m.count == 0)
+        return s;
+    s.mean = m.value / f64(m.count);
+    const f64 variance =
+        std::max(0.0, m.sum_sq / f64(m.count) - s.mean * s.mean);
+    s.stddev = std::sqrt(variance);
+    s.min = m.min;
+    s.max = m.max;
+    s.p50 = histogramPercentile(id, 50.0);
+    s.p95 = histogramPercentile(id, 95.0);
+    s.p99 = histogramPercentile(id, 99.0);
+    return s;
+}
+
+void
+MetricsRegistry::reset()
+{
+    for (Metric &m : metrics_) {
+        m.count = 0;
+        m.value = 0.0;
+        m.sum_sq = 0.0;
+        m.min = 0.0;
+        m.max = 0.0;
+        std::fill(m.bucket_counts.begin(), m.bucket_counts.end(), 0);
+    }
+}
+
+void
+MetricsRegistry::writeJson(JsonWriter &w) const
+{
+    w.beginObject();
+    for (MetricId id = 0; id < metrics_.size(); ++id) {
+        const Metric &m = metrics_[id];
+        w.key(m.name);
+        switch (m.kind) {
+          case MetricKind::Counter:
+            w.value(m.count);
+            break;
+          case MetricKind::Gauge:
+            w.value(m.value, 6);
+            break;
+          case MetricKind::Histogram: {
+            const stats::Summary s = histogramSummary(id);
+            w.beginObject();
+            w.field("count", s.count);
+            w.field("mean", s.mean, 6);
+            w.field("stddev", s.stddev, 6);
+            w.field("min", s.min, 6);
+            w.field("max", s.max, 6);
+            w.field("p50", s.p50, 6);
+            w.field("p95", s.p95, 6);
+            w.field("p99", s.p99, 6);
+            w.endObject();
+            break;
+          }
+        }
+    }
+    w.endObject();
+}
+
+} // namespace gssr::obs

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Process-wide metrics registry: named counters, gauges and
+ * fixed-bucket histograms. Registration (get-or-create by name) is
+ * the only allocating operation; the hot-path mutators — add(),
+ * set(), observe() — index preallocated storage and never touch the
+ * heap, so instrumented simulation loops pay a few arithmetic ops
+ * per event.
+ *
+ * Histograms use a fixed bucket layout chosen at registration.
+ * Percentiles are computed from the cumulative bucket counts with
+ * linear interpolation inside the resolving bucket and clamped to
+ * the exact observed [min, max], so the reported p50/p95/p99 are
+ * exact to within one bucket width (and exactly min/max at the
+ * distribution edges).
+ *
+ * The registry is deliberately not thread-safe: every instrumented
+ * path in this repo (session engines, the fleet tick loop, benches)
+ * runs on one thread, and cross-thread sources (the parallel pool)
+ * keep their own atomics that are *polled* into the registry
+ * (Telemetry::updateParallelPoolMetrics) rather than written from
+ * workers.
+ */
+
+#ifndef GSSR_OBS_METRICS_HH
+#define GSSR_OBS_METRICS_HH
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace gssr::obs
+{
+
+class JsonWriter;
+
+/** What a registered metric measures. */
+enum class MetricKind
+{
+    Counter,   ///< monotonically increasing i64
+    Gauge,     ///< last-written f64
+    Histogram, ///< fixed-bucket f64 distribution
+};
+
+/** Metric kind name for exports. */
+const char *metricKindName(MetricKind kind);
+
+/** Stable handle to one registered metric (index into the registry). */
+using MetricId = u32;
+
+/** Fixed bucket layout of a registry histogram. */
+struct HistogramLayout
+{
+    f64 lo = 0.0;
+    f64 hi = 1.0;
+    int buckets = 1;
+
+    /** @p buckets equal-width buckets spanning [lo, hi). */
+    static HistogramLayout linear(f64 lo, f64 hi, int buckets);
+
+    /** Width of one bucket (the percentile resolution bound). */
+    f64 bucketWidth() const { return (hi - lo) / f64(buckets); }
+
+    /** Bucket index for @p value, clamped to [0, buckets-1]. */
+    int bucketIndex(f64 value) const;
+
+    /** Lower edge of bucket @p index. */
+    f64 bucketLo(int index) const { return lo + bucketWidth() * index; }
+
+    /** Upper edge of bucket @p index. */
+    f64
+    bucketHi(int index) const
+    {
+        return lo + bucketWidth() * (index + 1);
+    }
+};
+
+/**
+ * The registry. Metrics are identified by name; registering the same
+ * name twice returns the same id (the kind must match). Ids are
+ * dense and stable for the registry's lifetime.
+ */
+class MetricsRegistry
+{
+  public:
+    MetricsRegistry() = default;
+    MetricsRegistry(const MetricsRegistry &) = delete;
+    MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+    /** Get-or-create a counter. */
+    MetricId counter(std::string_view name);
+
+    /** Get-or-create a gauge. */
+    MetricId gauge(std::string_view name);
+
+    /** Get-or-create a histogram (layout fixed by the first call). */
+    MetricId histogram(std::string_view name,
+                       const HistogramLayout &layout);
+
+    /** Increment a counter. Hot path: no allocation. */
+    void
+    add(MetricId id, i64 delta = 1)
+    {
+        metrics_[id].count += delta;
+    }
+
+    /** Set a gauge. Hot path: no allocation. */
+    void
+    set(MetricId id, f64 value)
+    {
+        metrics_[id].value = value;
+    }
+
+    /** Record one histogram sample. Hot path: no allocation. */
+    void
+    observe(MetricId id, f64 value)
+    {
+        Metric &m = metrics_[id];
+        m.bucket_counts[size_t(m.layout.bucketIndex(value))] += 1;
+        m.count += 1;
+        m.value += value; // running sum
+        m.sum_sq += value * value;
+        m.min = m.count == 1 ? value : std::min(m.min, value);
+        m.max = m.count == 1 ? value : std::max(m.max, value);
+    }
+
+    /** Current counter value (also the sample count of a histogram). */
+    i64 counterValue(MetricId id) const { return metrics_[id].count; }
+
+    /** Current gauge value. */
+    f64 gaugeValue(MetricId id) const { return metrics_[id].value; }
+
+    /**
+     * Histogram percentile in [0, 100]: linear interpolation inside
+     * the resolving bucket, clamped to the observed [min, max].
+     * Returns 0 for an empty histogram.
+     */
+    f64 histogramPercentile(MetricId id, f64 p) const;
+
+    /** Full summary of a histogram (percentiles bucket-resolved). */
+    stats::Summary histogramSummary(MetricId id) const;
+
+    /** Look up a metric by name (no creation). */
+    std::optional<MetricId> find(std::string_view name) const;
+
+    /** Number of registered metrics (ids are [0, size())). */
+    size_t size() const { return metrics_.size(); }
+
+    /** Name of metric @p id. */
+    const std::string &name(MetricId id) const
+    {
+        return metrics_[id].name;
+    }
+
+    /** Kind of metric @p id. */
+    MetricKind kind(MetricId id) const { return metrics_[id].kind; }
+
+    /**
+     * Zero every value (counters, gauges, histogram buckets) while
+     * keeping all registrations and handles valid.
+     */
+    void reset();
+
+    /**
+     * Dump every metric as one JSON object value keyed by name:
+     * counters as integers, gauges as numbers, histograms as summary
+     * objects. The writer must be positioned for a value.
+     */
+    void writeJson(JsonWriter &w) const;
+
+  private:
+    struct Metric
+    {
+        std::string name;
+        MetricKind kind = MetricKind::Counter;
+        i64 count = 0;  ///< counter value / histogram sample count
+        f64 value = 0.0; ///< gauge value / histogram running sum
+        f64 sum_sq = 0.0;
+        f64 min = 0.0;
+        f64 max = 0.0;
+        HistogramLayout layout;
+        std::vector<u64> bucket_counts;
+    };
+
+    MetricId getOrCreate(std::string_view name, MetricKind kind);
+
+    std::vector<Metric> metrics_;
+};
+
+} // namespace gssr::obs
+
+#endif // GSSR_OBS_METRICS_HH

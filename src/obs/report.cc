@@ -1,0 +1,91 @@
+#include "obs/report.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/parallel.hh"
+
+#ifndef GSSR_GIT_DESCRIBE
+#define GSSR_GIT_DESCRIBE "unknown"
+#endif
+#ifndef GSSR_BUILD_TYPE
+#define GSSR_BUILD_TYPE "unknown"
+#endif
+
+namespace gssr::obs
+{
+
+const char *
+buildGitDescribe()
+{
+    return GSSR_GIT_DESCRIBE;
+}
+
+const char *
+buildType()
+{
+    return GSSR_BUILD_TYPE;
+}
+
+Report::Report(const std::string &path, std::string_view bench,
+               bool smoke)
+    : path_(path), file_(path)
+{
+    ok_ = bool(file_);
+    if (!ok_) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        // Keep a writer over the (failed) stream so callers can emit
+        // unconditionally; nothing reaches disk.
+    }
+    writer_ = std::make_unique<JsonWriter>(file_);
+    JsonWriter &w = *writer_;
+    w.beginObject();
+    w.field("schema", "gssr.bench.v1");
+    w.field("schema_version", kReportSchemaVersion);
+    w.field("bench", bench);
+    w.field("git_describe", buildGitDescribe());
+    w.field("build_type", buildType());
+    w.field("threads", parallelThreadCount());
+    const char *env = std::getenv("GSSR_THREADS");
+    w.field("gssr_threads_env", env ? env : "");
+    w.field("smoke", smoke);
+}
+
+Report::~Report()
+{
+    if (!closed_)
+        close();
+}
+
+void
+Report::summaryField(std::string_view key, const stats::Summary &s,
+                     int decimals)
+{
+    JsonWriter &w = *writer_;
+    w.key(key);
+    w.beginObject();
+    w.field("count", s.count);
+    w.field("mean", s.mean, decimals);
+    w.field("stddev", s.stddev, decimals);
+    w.field("min", s.min, decimals);
+    w.field("max", s.max, decimals);
+    w.field("p50", s.p50, decimals);
+    w.field("p95", s.p95, decimals);
+    w.field("p99", s.p99, decimals);
+    w.endObject();
+}
+
+void
+Report::close()
+{
+    if (closed_)
+        return;
+    closed_ = true;
+    writer_->endObject();
+    file_ << '\n';
+    file_.close();
+    if (ok_)
+        std::printf("wrote %s\n", path_.c_str());
+}
+
+} // namespace gssr::obs

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Schema-versioned bench report builder. Every BENCH_*.json this
+ * repo writes opens with the same header block — schema version,
+ * bench name, git describe, build type, thread configuration, smoke
+ * flag — so downstream tooling can validate and aggregate reports
+ * from any bench without per-bench parsing (the copy-pasted fprintf
+ * emitters this replaces each invented their own shape).
+ *
+ * Usage:
+ *
+ *   obs::Report report("BENCH_fleet.json", "fleet_scale", smoke);
+ *   JsonWriter &w = report.json();   // inside the root object
+ *   w.key("sweep"); w.beginArray(); ... w.endArray();
+ *   report.close();                  // closes root, flushes file
+ */
+
+#ifndef GSSR_OBS_REPORT_HH
+#define GSSR_OBS_REPORT_HH
+
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "common/stats.hh"
+#include "obs/json.hh"
+
+namespace gssr::obs
+{
+
+/** Version of the shared report header schema. */
+inline constexpr int kReportSchemaVersion = 1;
+
+/** `git describe` of the build, or "unknown" outside a checkout. */
+const char *buildGitDescribe();
+
+/** CMake build type the binary was compiled as. */
+const char *buildType();
+
+class Report
+{
+  public:
+    /**
+     * Open @p path and write the standard header fields into the
+     * root object. On I/O failure the report is inert (ok() false,
+     * json() writes into a null stream) so benches degrade to their
+     * stdout tables instead of crashing.
+     */
+    Report(const std::string &path, std::string_view bench,
+           bool smoke);
+
+    Report(const Report &) = delete;
+    Report &operator=(const Report &) = delete;
+
+    /** Closes the report if close() was not called. */
+    ~Report();
+
+    /** True when the output file opened successfully. */
+    bool ok() const { return ok_; }
+
+    /** The writer, positioned inside the root object. */
+    JsonWriter &json() { return *writer_; }
+
+    /** Emit a stats::Summary as an object field named @p key. */
+    void summaryField(std::string_view key, const stats::Summary &s,
+                      int decimals = 4);
+
+    /** Close the root object and the file; prints "wrote <path>". */
+    void close();
+
+  private:
+    std::string path_;
+    std::ofstream file_;
+    std::unique_ptr<JsonWriter> writer_;
+    bool ok_ = false;
+    bool closed_ = false;
+};
+
+} // namespace gssr::obs
+
+#endif // GSSR_OBS_REPORT_HH

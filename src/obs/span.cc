@@ -1,0 +1,166 @@
+#include "obs/span.hh"
+
+#include <fstream>
+
+#include "obs/json.hh"
+
+namespace gssr::obs
+{
+
+const char *
+spanPhaseName(SpanPhase phase)
+{
+    switch (phase) {
+      case SpanPhase::Begin:
+        return "begin";
+      case SpanPhase::End:
+        return "end";
+      case SpanPhase::Instant:
+        return "instant";
+      case SpanPhase::Counter:
+        return "counter";
+    }
+    return "?";
+}
+
+namespace
+{
+
+/** Chrome trace "ph" letter for one phase. */
+const char *
+chromePhase(SpanPhase phase)
+{
+    switch (phase) {
+      case SpanPhase::Begin:
+        return "B";
+      case SpanPhase::End:
+        return "E";
+      case SpanPhase::Instant:
+        return "i";
+      case SpanPhase::Counter:
+        return "C";
+    }
+    return "?";
+}
+
+} // namespace
+
+u32
+SpanExporter::intern(std::string_view s)
+{
+    for (u32 i = 0; i < strings_.size(); ++i)
+        if (strings_[i] == s)
+            return i;
+    strings_.emplace_back(s);
+    return u32(strings_.size() - 1);
+}
+
+void
+SpanExporter::begin(std::string_view name, std::string_view category,
+                    i32 track, f64 ts_ms, f64 value)
+{
+    events_.push_back({SpanPhase::Begin, intern(name),
+                       intern(category), track, ts_ms, value});
+}
+
+void
+SpanExporter::end(std::string_view name, std::string_view category,
+                  i32 track, f64 ts_ms)
+{
+    events_.push_back({SpanPhase::End, intern(name), intern(category),
+                       track, ts_ms, 0.0});
+}
+
+void
+SpanExporter::instant(std::string_view name,
+                      std::string_view category, i32 track, f64 ts_ms,
+                      f64 value)
+{
+    events_.push_back({SpanPhase::Instant, intern(name),
+                       intern(category), track, ts_ms, value});
+}
+
+void
+SpanExporter::counter(std::string_view name, i32 track, f64 ts_ms,
+                      f64 value)
+{
+    events_.push_back({SpanPhase::Counter, intern(name),
+                       intern("counter"), track, ts_ms, value});
+}
+
+void
+SpanExporter::writeChromeTrace(std::ostream &out) const
+{
+    JsonWriter w(out);
+    w.beginObject();
+    w.field("displayTimeUnit", "ms");
+    w.key("traceEvents");
+    w.beginArray();
+    for (const SpanEvent &e : events_) {
+        w.beginObject();
+        w.field("name", strings_[e.name]);
+        w.field("cat", strings_[e.category]);
+        w.field("ph", chromePhase(e.phase));
+        // Chrome trace timestamps are microseconds.
+        w.field("ts", e.ts_ms * 1000.0, 3);
+        w.field("pid", 0);
+        w.field("tid", i64(e.track));
+        if (e.phase == SpanPhase::Instant)
+            w.field("s", "t"); // thread-scoped instant
+        if (e.phase == SpanPhase::Counter) {
+            w.key("args");
+            w.beginObject();
+            w.field("value", e.value, 6);
+            w.endObject();
+        } else if (e.value != 0.0) {
+            w.key("args");
+            w.beginObject();
+            w.field("value", e.value, 6);
+            w.endObject();
+        }
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    out << '\n';
+}
+
+void
+SpanExporter::writeJsonl(std::ostream &out) const
+{
+    // JSONL needs one line per event; the structured writer inserts
+    // newlines, so lines are emitted directly via the escaper.
+    for (const SpanEvent &e : events_) {
+        out << "{\"phase\": \"" << spanPhaseName(e.phase)
+            << "\", \"name\": \"" << jsonEscape(strings_[e.name])
+            << "\", \"cat\": \"" << jsonEscape(strings_[e.category])
+            << "\", \"track\": " << e.track << ", \"ts_ms\": ";
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.4f", e.ts_ms);
+        out << buf << ", \"value\": ";
+        std::snprintf(buf, sizeof(buf), "%.6f", e.value);
+        out << buf << "}\n";
+    }
+}
+
+bool
+SpanExporter::writeChromeTraceFile(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    writeChromeTrace(out);
+    return bool(out);
+}
+
+bool
+SpanExporter::writeJsonlFile(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    writeJsonl(out);
+    return bool(out);
+}
+
+} // namespace gssr::obs

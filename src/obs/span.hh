@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Span exporter: records begin/end/instant/counter events on the
+ * deterministic simulation clock and serializes them to the two
+ * formats the tooling around this repo consumes —
+ *
+ *  - Chrome trace-viewer JSON ({"traceEvents": [...]}), loadable in
+ *    chrome://tracing or Perfetto, with one track (tid) per session
+ *    so a fleet run renders as N parallel swimlanes of pipeline
+ *    stages, queue waits, sheds and recovery events;
+ *  - a JSONL stream (one event object per line), the
+ *    machine-readable feed for downstream aggregation.
+ *
+ * Event names and categories are interned; recording an event with
+ * already-interned strings appends one POD to a vector and performs
+ * no other allocation. Timestamps are session/fleet simulation time
+ * (ms), so exports are bit-deterministic.
+ */
+
+#ifndef GSSR_OBS_SPAN_HH
+#define GSSR_OBS_SPAN_HH
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace gssr::obs
+{
+
+/** Event phase (mirrors the Chrome trace "ph" field). */
+enum class SpanPhase : u8
+{
+    Begin,   ///< "B" — span start
+    End,     ///< "E" — span end (must pair with a Begin on the track)
+    Instant, ///< "i" — point event
+    Counter, ///< "C" — sampled numeric series
+};
+
+/** Phase name used by the JSONL stream. */
+const char *spanPhaseName(SpanPhase phase);
+
+/** One recorded event (strings are interned ids). */
+struct SpanEvent
+{
+    SpanPhase phase = SpanPhase::Instant;
+    u32 name = 0;
+    u32 category = 0;
+    i32 track = 0;  ///< Chrome tid; one track per session
+    f64 ts_ms = 0.0;
+    f64 value = 0.0; ///< counter sample / optional event payload
+};
+
+/** Collects span events and serializes them. */
+class SpanExporter
+{
+  public:
+    SpanExporter() = default;
+    SpanExporter(const SpanExporter &) = delete;
+    SpanExporter &operator=(const SpanExporter &) = delete;
+
+    /** Open a span on @p track at simulation time @p ts_ms. */
+    void begin(std::string_view name, std::string_view category,
+               i32 track, f64 ts_ms, f64 value = 0.0);
+
+    /** Close the innermost span named @p name on @p track. */
+    void end(std::string_view name, std::string_view category,
+             i32 track, f64 ts_ms);
+
+    /** Record a point event. */
+    void instant(std::string_view name, std::string_view category,
+                 i32 track, f64 ts_ms, f64 value = 0.0);
+
+    /** Record one sample of a numeric series. */
+    void counter(std::string_view name, i32 track, f64 ts_ms,
+                 f64 value);
+
+    /** All recorded events, in record order. */
+    const std::vector<SpanEvent> &events() const { return events_; }
+
+    /** Resolve an interned string id. */
+    const std::string &string(u32 id) const { return strings_[id]; }
+
+    /** Drop all recorded events (interned strings are kept). */
+    void clear() { events_.clear(); }
+
+    /** Serialize as Chrome trace-viewer JSON. */
+    void writeChromeTrace(std::ostream &out) const;
+
+    /** Serialize as JSONL (one event object per line). */
+    void writeJsonl(std::ostream &out) const;
+
+    /** writeChromeTrace to @p path; false on I/O failure. */
+    bool writeChromeTraceFile(const std::string &path) const;
+
+    /** writeJsonl to @p path; false on I/O failure. */
+    bool writeJsonlFile(const std::string &path) const;
+
+  private:
+    u32 intern(std::string_view s);
+
+    std::vector<std::string> strings_;
+    std::vector<SpanEvent> events_;
+};
+
+} // namespace gssr::obs
+
+#endif // GSSR_OBS_SPAN_HH

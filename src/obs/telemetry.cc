@@ -1,0 +1,29 @@
+#include "obs/telemetry.hh"
+
+#include "common/parallel.hh"
+
+namespace gssr::obs
+{
+
+void
+Telemetry::updateParallelPoolMetrics()
+{
+    const ParallelPoolStats stats = parallelPoolStats();
+    registry_.set(registry_.gauge("parallel.jobs"), f64(stats.jobs));
+    registry_.set(registry_.gauge("parallel.chunks"),
+                  f64(stats.chunks));
+    registry_.set(registry_.gauge("parallel.busy_ms"), stats.busy_ms);
+    registry_.set(registry_.gauge("parallel.max_chunk_ms"),
+                  stats.max_chunk_ms);
+    registry_.set(registry_.gauge("parallel.threads"),
+                  f64(parallelThreadCount()));
+}
+
+Telemetry &
+Telemetry::global()
+{
+    static Telemetry instance;
+    return instance;
+}
+
+} // namespace gssr::obs

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The unified telemetry handle instrumented layers share: one
+ * MetricsRegistry (always on — counters/gauges/histograms are cheap)
+ * plus an optional SpanExporter (off by default — span buffers grow
+ * with the run). A Telemetry pointer threads through SessionConfig
+ * into every subsystem a frame touches (server, channel, AIMD rate
+ * control, client, concealment), and FleetServer shares one handle
+ * across all tenants so per-session observations roll up into
+ * fleet-wide instruments for free.
+ *
+ * Observability is strictly read-only with respect to the
+ * simulation: instrumented code writes *into* telemetry and never
+ * reads decisions back out, so an instrumented run is bit-identical
+ * to an uninstrumented one (pinned by test_golden_trace).
+ */
+
+#ifndef GSSR_OBS_TELEMETRY_HH
+#define GSSR_OBS_TELEMETRY_HH
+
+#include "obs/metrics.hh"
+#include "obs/span.hh"
+
+namespace gssr::obs
+{
+
+class Telemetry
+{
+  public:
+    Telemetry() = default;
+
+    /** @p spans enables the span exporter from construction. */
+    explicit Telemetry(bool spans) : spans_enabled_(spans) {}
+
+    Telemetry(const Telemetry &) = delete;
+    Telemetry &operator=(const Telemetry &) = delete;
+
+    /** The metrics registry (always available). */
+    MetricsRegistry &registry() { return registry_; }
+    const MetricsRegistry &registry() const { return registry_; }
+
+    /**
+     * The span exporter, or nullptr while span recording is
+     * disabled. Instrumented code guards on this, so disabling spans
+     * costs one branch per would-be event.
+     */
+    SpanExporter *spans()
+    {
+        return spans_enabled_ ? &exporter_ : nullptr;
+    }
+
+    /** Enable/disable span recording (buffered events are kept). */
+    void enableSpans(bool on) { spans_enabled_ = on; }
+
+    /** The exporter itself, e.g. to serialize after a disabled run. */
+    SpanExporter &spanBuffer() { return exporter_; }
+    const SpanExporter &spanBuffer() const { return exporter_; }
+
+    /**
+     * Poll the parallel layer's cumulative counters into registry
+     * gauges (parallel.jobs / parallel.chunks / parallel.busy_ms /
+     * parallel.max_chunk_ms). Call from the owning thread whenever a
+     * fresh view is wanted (e.g. per fleet tick or at bench end).
+     */
+    void updateParallelPoolMetrics();
+
+    /**
+     * The process-wide default instance, for code without an
+     * explicit telemetry plumbed through. Tests and benches that
+     * need isolation construct their own.
+     */
+    static Telemetry &global();
+
+  private:
+    MetricsRegistry registry_;
+    SpanExporter exporter_;
+    bool spans_enabled_ = false;
+};
+
+} // namespace gssr::obs
+
+#endif // GSSR_OBS_TELEMETRY_HH

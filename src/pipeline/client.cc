@@ -111,9 +111,9 @@ void
 StreamingClient::addDisplayStage(FrameTrace &trace) const
 {
     const DisplayModel &display = config_.device.display;
-    trace.add(Stage::Display, Resource::ClientDisplay,
-              display.latencyMs(),
-              display.energyMjPerFrame(1000.0 / 60.0));
+    StageScope(trace, Stage::Display, Resource::ClientDisplay)
+        .latencyMs(display.latencyMs())
+        .energyMj(display.energyMjPerFrame(1000.0 / 60.0));
 }
 
 GssrClient::GssrClient(const ClientConfig &config)
@@ -134,8 +134,9 @@ GssrClient::processFrame(const EncodedFrame &frame,
 
     // Hardware decode (codec-agnostic, pixels only).
     f64 decode_ms = dev.hw_decoder.latencyMs(config_.lr_size.area());
-    trace.add(Stage::Decode, Resource::ClientHwDecoder, decode_ms,
-              dev.hw_decoder.energyMj(decode_ms));
+    StageScope(trace, Stage::Decode, Resource::ClientHwDecoder)
+        .latencyMs(decode_ms)
+        .energyMj(dev.hw_decoder.energyMj(decode_ms));
 
     Rect r = roi ? *roi : centreWindow(config_.lr_size, 300);
 
@@ -146,15 +147,17 @@ GssrClient::processFrame(const EncodedFrame &frame,
     f64 npu_ms = dev.npu.latencyMs(roi_macs, r.area());
     i64 gpu_ops = resizeOpCount(hrSize(), InterpKernel::Bilinear);
     f64 gpu_ms = dev.gpu.latencyMs(gpu_ops);
-    trace.add(Stage::Upscale, Resource::ClientNpu,
-              std::max(npu_ms, gpu_ms),
-              dev.npu.energyMj(npu_ms) + dev.gpu.energyMj(gpu_ms));
+    StageScope(trace, Stage::Upscale, Resource::ClientNpu)
+        .latencyMs(std::max(npu_ms, gpu_ms))
+        .energyMj(dev.npu.energyMj(npu_ms))
+        .energyMj(dev.gpu.energyMj(gpu_ms));
 
     // Merge the upscaled RoI into the HR framebuffer (GPU blit).
     Rect hr_roi = scaleRect(r, config_.scale_factor);
     f64 merge_ms = dev.gpu.latencyMs(hr_roi.area());
-    trace.add(Stage::Merge, Resource::ClientGpu, merge_ms,
-              dev.gpu.energyMj(merge_ms));
+    StageScope(trace, Stage::Merge, Resource::ClientGpu)
+        .latencyMs(merge_ms)
+        .energyMj(dev.gpu.energyMj(merge_ms));
 
     if (config_.compute_pixels) {
         ColorImage lr = decoder_.decode(frame);
@@ -190,8 +193,9 @@ NemoClient::processFrame(const EncodedFrame &frame,
     // motion vectors and residuals, which rules out the hardware
     // decoder (Sec. V-A).
     f64 decode_ms = dev.sw_decoder.latencyMs(config_.lr_size.area());
-    trace.add(Stage::Decode, Resource::ClientCpu, decode_ms,
-              dev.sw_decoder.energyMj(decode_ms));
+    StageScope(trace, Stage::Decode, Resource::ClientCpu)
+        .latencyMs(decode_ms)
+        .energyMj(dev.sw_decoder.energyMj(decode_ms));
 
     DecoderInternals internals;
     Yuv420Image lr_yuv;
@@ -203,8 +207,9 @@ NemoClient::processFrame(const EncodedFrame &frame,
         i64 macs = dnn_.macs(config_.lr_size, config_.scale_factor);
         f64 npu_ms =
             dev.npu.latencyMs(macs, config_.lr_size.area());
-        trace.add(Stage::Upscale, Resource::ClientNpu, npu_ms,
-                  dev.npu.energyMj(npu_ms));
+        StageScope(trace, Stage::Upscale, Resource::ClientNpu)
+            .latencyMs(npu_ms)
+            .energyMj(dev.npu.energyMj(npu_ms));
 
         if (config_.compute_pixels) {
             ColorImage hr = dnn_.upscale(yuv420ToRgb(lr_yuv),
@@ -216,8 +221,9 @@ NemoClient::processFrame(const EncodedFrame &frame,
         // CPU bilinear upscaling of MVs + residuals, then HR
         // reconstruction from the cached upscaled frame.
         f64 cpu_ms = dev.cpu.latencyMs(nemoReconOps(hrSize()));
-        trace.add(Stage::Upscale, Resource::ClientCpu, cpu_ms,
-                  dev.cpu.energyMj(cpu_ms));
+        StageScope(trace, Stage::Upscale, Resource::ClientCpu)
+            .latencyMs(cpu_ms)
+            .energyMj(dev.cpu.energyMj(cpu_ms));
 
         if (config_.compute_pixels) {
             GSSR_ASSERT(!hr_previous_.empty(),
@@ -266,20 +272,23 @@ SrDecoderClient::processFrame(const EncodedFrame &frame,
         // (step-2).
         f64 decode_ms =
             dev.hw_decoder.latencyMs(config_.lr_size.area());
-        trace.add(Stage::Decode, Resource::ClientHwDecoder, decode_ms,
-                  dev.hw_decoder.energyMj(decode_ms));
+        StageScope(trace, Stage::Decode, Resource::ClientHwDecoder)
+            .latencyMs(decode_ms)
+            .energyMj(dev.hw_decoder.energyMj(decode_ms));
 
         i64 roi_macs =
             dnn_.macs({r.width, r.height}, config_.scale_factor);
         f64 npu_ms = dev.npu.latencyMs(roi_macs, r.area());
         i64 gpu_ops = resizeOpCount(hrSize(), InterpKernel::Bilinear);
         f64 gpu_ms = dev.gpu.latencyMs(gpu_ops);
-        trace.add(Stage::Upscale, Resource::ClientNpu,
-                  std::max(npu_ms, gpu_ms),
-                  dev.npu.energyMj(npu_ms) + dev.gpu.energyMj(gpu_ms));
+        StageScope(trace, Stage::Upscale, Resource::ClientNpu)
+            .latencyMs(std::max(npu_ms, gpu_ms))
+            .energyMj(dev.npu.energyMj(npu_ms))
+            .energyMj(dev.gpu.energyMj(gpu_ms));
         f64 merge_ms = dev.gpu.latencyMs(hr_roi.area());
-        trace.add(Stage::Merge, Resource::ClientGpu, merge_ms,
-                  dev.gpu.energyMj(merge_ms));
+        StageScope(trace, Stage::Merge, Resource::ClientGpu)
+            .latencyMs(merge_ms)
+            .energyMj(dev.gpu.energyMj(merge_ms));
 
         if (config_.compute_pixels) {
             DecoderInternals internals;
@@ -303,8 +312,9 @@ SrDecoderClient::processFrame(const EncodedFrame &frame,
         // hardware.
         f64 decode_ms = dev.hw_decoder.latencyMs(
             config_.lr_size.area() + hrSize().area());
-        trace.add(Stage::Decode, Resource::ClientHwDecoder, decode_ms,
-                  dev.hw_decoder.energyMj(decode_ms));
+        StageScope(trace, Stage::Decode, Resource::ClientHwDecoder)
+            .latencyMs(decode_ms)
+            .energyMj(dev.hw_decoder.energyMj(decode_ms));
 
         if (config_.compute_pixels) {
             GSSR_ASSERT(!hr_cached_.empty(),

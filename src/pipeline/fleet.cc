@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/fingerprint.hh"
+#include "obs/telemetry.hh"
 #include "roi/depth_processing.hh"
 
 namespace gssr
@@ -68,10 +69,40 @@ FleetServer::estimateSessionCostMs(const ServerProfile &profile,
     return cost;
 }
 
+void
+FleetServer::setTelemetry(obs::Telemetry *telemetry)
+{
+    telemetry_ = telemetry;
+    if (!telemetry_)
+        return;
+    obs::MetricsRegistry &reg = telemetry_->registry();
+    tm_.admitted = reg.counter("fleet.admit.admitted");
+    tm_.degraded = reg.counter("fleet.admit.degraded");
+    tm_.rejected = reg.counter("fleet.admit.rejected");
+    tm_.tick = reg.gauge("fleet.tick");
+    tm_.sessions = reg.gauge("fleet.sessions");
+    tm_.p50_mtp_ms = reg.gauge("fleet.p50_mtp_ms");
+    tm_.p99_mtp_ms = reg.gauge("fleet.p99_mtp_ms");
+    tm_.shed_rate = reg.gauge("fleet.shed_rate");
+    tm_.drop_rate = reg.gauge("fleet.drop_rate");
+    tm_.conceal_rate = reg.gauge("fleet.conceal_rate");
+    // Shared with every tenant's SessionEngine: get-or-create here
+    // and in the engines resolves to the same instruments, which is
+    // exactly how per-session observations become fleet-wide ones.
+    tm_.frames_total = reg.counter("fleet.frames_total");
+    tm_.frames_shed = reg.counter("fleet.frames_shed");
+    tm_.frames_dropped = reg.counter("fleet.frames_dropped");
+    tm_.frames_concealed = reg.counter("fleet.frames_concealed");
+    tm_.mtp_ms = reg.histogram(
+        "fleet.mtp_ms", obs::HistogramLayout::linear(0, 250, 500));
+}
+
 AdmissionDecision
 FleetServer::admit(SessionConfig config)
 {
     config.server_profile = profile_;
+    config.telemetry = telemetry_;
+    config.telemetry_track = next_id_;
 
     AdmissionDecision decision;
     decision.outcome = AdmissionOutcome::Admitted;
@@ -80,22 +111,45 @@ FleetServer::admit(SessionConfig config)
 
     // Degradation ladder: shrink the stream x3/4 at a time down to
     // the 480-wide floor, then halve the frame rate, then give up.
+    // Each ladder step drops a span instant on the candidate's track
+    // so a fleet trace shows *why* a tenant streams below request.
+    obs::SpanExporter *spans =
+        telemetry_ ? telemetry_->spans() : nullptr;
     f64 cost = estimateSessionCostMs(profile_, config);
     while (committed_ms_ + cost / f64(fps_divisor) > budget) {
         const Size smaller = degradeResolution(config.lr_size);
         if (smaller.width >= kMinDegradedWidth) {
             config.lr_size = smaller;
             decision.outcome = AdmissionOutcome::Degraded;
+            if (spans)
+                spans->instant("admission.degrade_resolution",
+                               "admission", next_id_, 0.0,
+                               f64(smaller.width));
         } else if (fps_divisor == 1) {
             fps_divisor = 2;
             decision.outcome = AdmissionOutcome::Degraded;
+            if (spans)
+                spans->instant("admission.degrade_fps", "admission",
+                               next_id_, 0.0, 30.0);
         } else {
             decision.outcome = AdmissionOutcome::Rejected;
             decision.config = std::move(config);
             rejected_ += 1;
+            if (telemetry_)
+                telemetry_->registry().add(tm_.rejected);
+            if (spans)
+                spans->instant("admission.rejected", "admission",
+                               next_id_, 0.0);
             return decision;
         }
         cost = estimateSessionCostMs(profile_, config);
+    }
+
+    if (telemetry_) {
+        telemetry_->registry().add(
+            decision.outcome == AdmissionOutcome::Degraded
+                ? tm_.degraded
+                : tm_.admitted);
     }
 
     decision.config = config;
@@ -148,6 +202,9 @@ FleetServer::run(int ticks)
             tenants_[submitters[j]].engine->finishFrame(
                 std::move(pending[j]), contention[j]);
         }
+
+        if (telemetry_)
+            updateTickTelemetry(t, now_ms);
     }
 
     FleetResult result;
@@ -213,6 +270,39 @@ FleetServer::run(int ticks)
     }
     result.fingerprint = fleet_hash;
     return result;
+}
+
+void
+FleetServer::updateTickTelemetry(i64 tick, f64 now_ms)
+{
+    obs::MetricsRegistry &reg = telemetry_->registry();
+    const i64 total = reg.counterValue(tm_.frames_total);
+    const f64 denom = total > 0 ? f64(total) : 1.0;
+    const f64 p50 = reg.histogramPercentile(tm_.mtp_ms, 50.0);
+    const f64 p99 = reg.histogramPercentile(tm_.mtp_ms, 99.0);
+    const f64 shed = f64(reg.counterValue(tm_.frames_shed)) / denom;
+    const f64 drop =
+        f64(reg.counterValue(tm_.frames_dropped)) / denom;
+    const f64 conceal =
+        f64(reg.counterValue(tm_.frames_concealed)) / denom;
+
+    reg.set(tm_.tick, f64(tick));
+    reg.set(tm_.sessions, f64(tenants_.size()));
+    reg.set(tm_.p50_mtp_ms, p50);
+    reg.set(tm_.p99_mtp_ms, p99);
+    reg.set(tm_.shed_rate, shed);
+    reg.set(tm_.drop_rate, drop);
+    reg.set(tm_.conceal_rate, conceal);
+    telemetry_->updateParallelPoolMetrics();
+
+    // Fleet-wide counter series on the reserved track -1: the
+    // operator view (live p99 MTP and loss rates over the run) next
+    // to the per-session swimlanes.
+    if (obs::SpanExporter *spans = telemetry_->spans()) {
+        spans->counter("fleet.p99_mtp_ms", -1, now_ms, p99);
+        spans->counter("fleet.shed_rate", -1, now_ms, shed);
+        spans->counter("fleet.conceal_rate", -1, now_ms, conceal);
+    }
 }
 
 SessionConfig

@@ -25,6 +25,11 @@
 namespace gssr
 {
 
+namespace obs
+{
+class Telemetry;
+}
+
 /** What admission control did with a session. */
 enum class AdmissionOutcome
 {
@@ -128,6 +133,18 @@ class FleetServer
                 const ServerCapacity &capacity);
 
     /**
+     * Attach a telemetry sink (not owned; null detaches). Call
+     * before admit(): every subsequently admitted tenant inherits
+     * the handle (span track = tenant id), so per-session metrics
+     * roll up into shared fleet.* instruments, admission-ladder
+     * steps are recorded as instants/counters, and run() refreshes
+     * live fleet-wide gauges — p50/p99 MTP, shed / drop / conceal
+     * rate — every tick. Write-only for the simulation: fleet
+     * results are bit-identical with or without it.
+     */
+    void setTelemetry(obs::Telemetry *telemetry);
+
+    /**
      * Admission-control a session. @p config's server_profile is
      * replaced with the fleet's shared profile. Admitted (or
      * degraded) sessions are instantiated immediately; a rejected
@@ -165,6 +182,29 @@ class FleetServer
         std::unique_ptr<SessionEngine> engine;
     };
 
+    /** Fleet-level registry handles (valid when telemetry_ is set). */
+    struct TelemetryIds
+    {
+        u32 admitted = 0;
+        u32 degraded = 0;
+        u32 rejected = 0;
+        u32 tick = 0;
+        u32 sessions = 0;
+        u32 p50_mtp_ms = 0;
+        u32 p99_mtp_ms = 0;
+        u32 shed_rate = 0;
+        u32 drop_rate = 0;
+        u32 conceal_rate = 0;
+        u32 frames_total = 0;
+        u32 frames_shed = 0;
+        u32 frames_dropped = 0;
+        u32 frames_concealed = 0;
+        u32 mtp_ms = 0;
+    };
+
+    /** Refresh the live fleet-wide gauges at the end of one tick. */
+    void updateTickTelemetry(i64 tick, f64 now_ms);
+
     ServerProfile profile_;
     ServerCapacity capacity_;
     FrameScheduler scheduler_;
@@ -172,6 +212,8 @@ class FleetServer
     f64 committed_ms_ = 0.0;
     int next_id_ = 0;
     i64 rejected_ = 0;
+    obs::Telemetry *telemetry_ = nullptr;
+    TelemetryIds tm_;
 };
 
 /**

@@ -161,8 +161,9 @@ addConcealStage(FrameTrace &trace, const DeviceProfile &device,
         ops += search_plane * candidates + i64(hr_size.area());
     }
     f64 gpu_ms = device.gpu.latencyMs(ops);
-    trace.add(Stage::Conceal, Resource::ClientGpu, gpu_ms,
-              device.gpu.energyMj(gpu_ms));
+    StageScope(trace, Stage::Conceal, Resource::ClientGpu)
+        .latencyMs(gpu_ms)
+        .energyMj(device.gpu.energyMj(gpu_ms));
 }
 
 } // namespace gssr

@@ -67,10 +67,10 @@ GameStreamServer::nextFrame()
     out.trace.frame_index = frame_index_;
 
     // Step 1-2 (Fig. 1a): input capture + game logic tick.
-    out.trace.add(Stage::InputCapture, Resource::ServerCpu,
-                  profile_.input_capture_ms, 0.0);
-    out.trace.add(Stage::GameLogic, Resource::ServerCpu,
-                  profile_.game_logic_ms, 0.0);
+    StageScope(out.trace, Stage::InputCapture, Resource::ServerCpu)
+        .latencyMs(profile_.input_capture_ms);
+    StageScope(out.trace, Stage::GameLogic, Resource::ServerCpu)
+        .latencyMs(profile_.game_logic_ms);
 
     // Render the LR frame with supersampling anti-aliasing; the
     // depth buffer falls out of the rasterizer's z-buffer for free
@@ -93,9 +93,8 @@ GameStreamServer::nextFrame()
     }
     out.rendered.index = frame_index_;
     out.rendered.input_time_ms = out.time_s * 1e3;
-    out.trace.add(Stage::Render, Resource::ServerGpu,
-                  profile_.renderLatencyMs(config_.lr_size.area()),
-                  0.0);
+    StageScope(out.trace, Stage::Render, Resource::ServerGpu)
+        .latencyMs(profile_.renderLatencyMs(config_.lr_size.area()));
 
     // Depth-guided RoI detection on the server GPU (Fig. 6 step-3).
     if (config_.enable_roi) {
@@ -119,8 +118,8 @@ GameStreamServer::nextFrame()
         }
         out.roi = roi;
         out.depth_guided = detection.depth_guided;
-        out.trace.add(Stage::RoiDetect, Resource::ServerGpu,
-                      detection.server_gpu_ms, 0.0);
+        StageScope(out.trace, Stage::RoiDetect, Resource::ServerGpu)
+            .latencyMs(detection.server_gpu_ms);
     }
 
     // Encode (server hardware encoder). In proxy mode the byte count
@@ -142,9 +141,8 @@ GameStreamServer::nextFrame()
     out.trace.encoded_bytes = stream_bytes;
     if (rate_controller_)
         rate_controller_->observeBytes(stream_bytes);
-    out.trace.add(Stage::Encode, Resource::ServerGpu,
-                  profile_.encodeLatencyMs(config_.lr_size.area()),
-                  0.0);
+    StageScope(out.trace, Stage::Encode, Resource::ServerGpu)
+        .latencyMs(profile_.encodeLatencyMs(config_.lr_size.area()));
 
     if (intra_refresh_pending_ &&
         out.encoded.type == FrameType::Reference) {

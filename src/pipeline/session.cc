@@ -223,6 +223,33 @@ SessionEngine::SessionEngine(const SessionConfig &config)
     if (res.aimd && config_.target_bitrate_mbps > 0.0) {
         aimd_.emplace(res.aimd_config, config_.target_bitrate_mbps);
     }
+
+    if (config_.telemetry) {
+        // Register once, cache the dense ids: the per-frame export
+        // path below only does indexed adds/observes. Sessions run
+        // under one FleetServer share the handle, so these "fleet.*"
+        // instruments aggregate across all tenants automatically.
+        obs::MetricsRegistry &reg = config_.telemetry->registry();
+        tm_.frames_total = reg.counter("fleet.frames_total");
+        tm_.frames_delivered = reg.counter("fleet.frames_delivered");
+        tm_.frames_dropped = reg.counter("fleet.frames_dropped");
+        tm_.frames_shed = reg.counter("fleet.frames_shed");
+        tm_.frames_discarded = reg.counter("fleet.frames_discarded");
+        tm_.frames_concealed = reg.counter("fleet.frames_concealed");
+        tm_.nacks_sent = reg.counter("fleet.nacks_sent");
+        tm_.intra_refreshes = reg.counter("fleet.intra_refreshes");
+        tm_.aimd_backoffs = reg.counter("fleet.aimd_backoffs");
+        tm_.stream_bytes = reg.counter("fleet.stream_bytes");
+        tm_.mtp_ms = reg.histogram(
+            "fleet.mtp_ms", obs::HistogramLayout::linear(0, 250, 500));
+        tm_.queue_ms = reg.histogram(
+            "fleet.queue_ms", obs::HistogramLayout::linear(0, 100, 200));
+        channel_.setTelemetry(config_.telemetry,
+                              config_.telemetry_track);
+        if (aimd_)
+            aimd_->setTelemetry(config_.telemetry,
+                                config_.telemetry_track);
+    }
 }
 
 SessionEngine::PendingFrame
@@ -261,8 +288,8 @@ SessionEngine::finishFrame(PendingFrame pending,
     // Shared-server queueing (fleet mode): the wait for a GPU/encoder
     // slot delays everything downstream of the server stages.
     if (contention.queue_ms > 0.0) {
-        trace.add(Stage::ServerQueue, Resource::ServerGpu,
-                  contention.queue_ms, 0.0);
+        StageScope(trace, Stage::ServerQueue, Resource::ServerGpu)
+            .latencyMs(contention.queue_ms);
     }
 
     // Network transmission: the offered load is the running stream
@@ -292,8 +319,10 @@ SessionEngine::finishFrame(PendingFrame pending,
         TransmitResult tx =
             channel_.transmitFrame(stream_bytes, offered);
         trace.dropped = tx.dropped;
-        trace.add(Stage::Network, Resource::NetworkLink, tx.latency_ms,
-                  config_.device.radio.energyMj(i64(stream_bytes)));
+        StageScope(trace, Stage::Network, Resource::NetworkLink)
+            .latencyMs(tx.latency_ms)
+            .energyMj(
+                config_.device.radio.energyMj(i64(stream_bytes)));
         dropped = tx.dropped;
 
         // Delivery outcome -> decoder-reference bookkeeping. A lost
@@ -361,7 +390,7 @@ SessionEngine::finishFrame(PendingFrame pending,
         ClientFrameResult processed =
             client_->processFrame(produced.encoded, produced.roi);
         for (const auto &record : processed.trace.records)
-            trace.records.push_back(record);
+            trace.pushRecord(record);
         if (config_.compute_pixels) {
             concealer_.onGoodFrame(processed.upscaled);
             output = std::move(processed.upscaled);
@@ -379,9 +408,9 @@ SessionEngine::finishFrame(PendingFrame pending,
         addConcealStage(trace, config_.device, hr_size_,
                         res.concealment);
         const DisplayModel &display = config_.device.display;
-        trace.add(Stage::Display, Resource::ClientDisplay,
-                  display.latencyMs(),
-                  display.energyMjPerFrame(kFramePeriodMs));
+        StageScope(trace, Stage::Display, Resource::ClientDisplay)
+            .latencyMs(display.latencyMs())
+            .energyMj(display.energyMjPerFrame(kFramePeriodMs));
         if (config_.compute_pixels)
             output = concealer_.conceal(hr_size_);
         if (stale_since_ms_ < 0.0)
@@ -418,9 +447,67 @@ SessionEngine::finishFrame(PendingFrame pending,
         measured_ += 1;
     }
 
+    if (config_.telemetry)
+        exportFrameTelemetry(trace, now_ms);
+
     result_.traces.push_back(std::move(trace));
     stats.intra_refreshes = server_.intraRefreshCount();
     frames_run_ += 1;
+}
+
+void
+SessionEngine::exportFrameTelemetry(const FrameTrace &trace,
+                                    f64 now_ms)
+{
+    obs::Telemetry &tel = *config_.telemetry;
+    obs::MetricsRegistry &reg = tel.registry();
+
+    reg.add(tm_.frames_total);
+    reg.add(tm_.stream_bytes, i64(trace.encoded_bytes));
+    if (trace.dropped) {
+        reg.add(trace.hasEvent(RecoveryEvent::ServerShed)
+                    ? tm_.frames_shed
+                    : tm_.frames_dropped);
+    } else {
+        reg.add(tm_.frames_delivered);
+    }
+    if (trace.discarded)
+        reg.add(tm_.frames_discarded);
+    if (trace.concealed)
+        reg.add(tm_.frames_concealed);
+    for (RecoveryEvent e : trace.events) {
+        if (e == RecoveryEvent::NackSent)
+            reg.add(tm_.nacks_sent);
+        else if (e == RecoveryEvent::IntraRefresh)
+            reg.add(tm_.intra_refreshes);
+        else if (e == RecoveryEvent::BitrateBackoff)
+            reg.add(tm_.aimd_backoffs);
+    }
+    f64 queue_ms = trace.stageLatencyMs(Stage::ServerQueue);
+    if (queue_ms > 0.0)
+        reg.observe(tm_.queue_ms, queue_ms);
+    // MTP only makes sense for frames the user actually saw fresh.
+    if (!trace.dropped && !trace.concealed)
+        reg.observe(tm_.mtp_ms, trace.mtpLatencyMs());
+
+    obs::SpanExporter *spans = tel.spans();
+    if (!spans)
+        return;
+    // One B/E pair per stage record, laid end to end from the frame's
+    // input time: the MTP serialization order, which is also how
+    // mtpLatencyMs() reads the trace. Energy rides on the begin
+    // event's value so the JSONL stream carries the full record.
+    const i32 track = config_.telemetry_track;
+    f64 ts = now_ms;
+    for (const StageRecord &r : trace.records) {
+        spans->begin(stageName(r.stage), resourceName(r.resource),
+                     track, ts, r.energy_mj);
+        ts += r.latency_ms;
+        spans->end(stageName(r.stage), resourceName(r.resource),
+                   track, ts);
+    }
+    for (RecoveryEvent e : trace.events)
+        spans->instant(recoveryEventName(e), "recovery", track, ts);
 }
 
 SessionResult

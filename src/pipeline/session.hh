@@ -16,6 +16,7 @@
 #include "metrics/perceptual.hh"
 #include "net/channel.hh"
 #include "net/fault.hh"
+#include "obs/telemetry.hh"
 #include "pipeline/client.hh"
 #include "pipeline/resilience.hh"
 #include "pipeline/server.hh"
@@ -84,6 +85,21 @@ struct SessionConfig
      *  every perceptual_stride-th measured frame. */
     bool measure_perceptual = false;
     int perceptual_stride = 10;
+
+    /**
+     * Optional telemetry sink (not owned; null = no instrumentation).
+     * The engine registers its instruments at construction and every
+     * subsystem the frame touches (channel drop causes, AIMD rate
+     * control, stage spans) reports through the same handle.
+     * Strictly write-only for the simulation: attaching telemetry
+     * never changes a session's trace (pinned by test_golden_trace).
+     */
+    obs::Telemetry *telemetry = nullptr;
+
+    /** Span track (Chrome tid) for this session; the FleetServer
+     *  assigns the tenant id so fleet traces render one swimlane per
+     *  session. */
+    int telemetry_track = 0;
 };
 
 /** Quality of one sampled frame vs. the native HR render. */
@@ -248,6 +264,27 @@ class SessionEngine
     SessionResult takeResult() { return std::move(result_); }
 
   private:
+    /** Registry handles cached at construction (hot path: no name
+     *  lookups while frames run). Valid only when telemetry is set. */
+    struct TelemetryIds
+    {
+        obs::MetricId frames_total = 0;
+        obs::MetricId frames_delivered = 0;
+        obs::MetricId frames_dropped = 0;
+        obs::MetricId frames_shed = 0;
+        obs::MetricId frames_discarded = 0;
+        obs::MetricId frames_concealed = 0;
+        obs::MetricId nacks_sent = 0;
+        obs::MetricId intra_refreshes = 0;
+        obs::MetricId aimd_backoffs = 0;
+        obs::MetricId stream_bytes = 0;
+        obs::MetricId mtp_ms = 0;
+        obs::MetricId queue_ms = 0;
+    };
+
+    /** Counters/histograms + stage spans for one finished frame. */
+    void exportFrameTelemetry(const FrameTrace &trace, f64 now_ms);
+
     SessionConfig config_;
     GameWorld world_;
     GameStreamServer server_;
@@ -266,6 +303,7 @@ class SessionEngine
     f64 stale_since_ms_ = -1.0;
     i64 stale_run_ = 0;
     i64 frames_run_ = 0;
+    TelemetryIds tm_;
 
     static ServerConfig serverConfigFor(const SessionConfig &config);
     static Size roiWindowFor(const SessionConfig &config);

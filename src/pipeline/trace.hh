@@ -93,11 +93,23 @@ struct FrameTrace
     std::vector<StageRecord> records;
     std::vector<RecoveryEvent> events;
 
-    /** Append a stage record. */
+    /** Append a fully built stage record (the primitive StageScope
+     *  and the client-trace splice use). */
+    void pushRecord(const StageRecord &record)
+    {
+        records.push_back(record);
+    }
+
+    /**
+     * Append a stage record field by field.
+     * @deprecated Transitional shim for one release — construct a
+     * StageScope instead, which records the stage on scope exit and
+     * keeps the (stage, resource) pair and its costs in one place.
+     */
     void
     add(Stage stage, Resource resource, f64 latency_ms, f64 energy_mj)
     {
-        records.push_back({stage, resource, latency_ms, energy_mj});
+        pushRecord({stage, resource, latency_ms, energy_mj});
     }
 
     /** Append a recovery event. */
@@ -188,6 +200,60 @@ struct FrameTrace
             bottleneck = std::max(bottleneck, v);
         return bottleneck;
     }
+};
+
+/**
+ * Scoped stage accounting: declares *which* (stage, resource) a code
+ * region charges up front and appends the StageRecord when the scope
+ * closes, so a stage cannot be half-recorded or recorded twice and
+ * call sites stop hand-assembling records. Latency/energy accumulate
+ * across multiple calls within the scope (e.g. the parallel
+ * NPU-plus-GPU upscale charges both devices into one record).
+ *
+ *   {
+ *       StageScope scope(trace, Stage::Render, Resource::ServerGpu);
+ *       scope.latencyMs(profile.renderLatencyMs(area));
+ *   } // record appended here, in execution order
+ *
+ * A temporary works for single-expression sites:
+ *
+ *   StageScope(trace, Stage::Encode, Resource::ServerGpu)
+ *       .latencyMs(encode_ms);
+ */
+class StageScope
+{
+  public:
+    StageScope(FrameTrace &trace, Stage stage, Resource resource)
+        : trace_(trace)
+    {
+        record_.stage = stage;
+        record_.resource = resource;
+    }
+
+    StageScope(const StageScope &) = delete;
+    StageScope &operator=(const StageScope &) = delete;
+
+    ~StageScope() { trace_.pushRecord(record_); }
+
+    /** Accumulate stage latency (ms). */
+    StageScope &
+    latencyMs(f64 ms)
+    {
+        record_.latency_ms += ms;
+        return *this;
+    }
+
+    /** Accumulate stage energy (mJ). */
+    StageScope &
+    energyMj(f64 mj)
+    {
+        record_.energy_mj += mj;
+        return *this;
+    }
+
+  private:
+    FrameTrace &trace_;
+    StageRecord record_;
 };
 
 } // namespace gssr

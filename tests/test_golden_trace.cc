@@ -24,6 +24,7 @@
 #include <cstdio>
 
 #include "common/parallel.hh"
+#include "obs/telemetry.hh"
 #include "pipeline/session.hh"
 #include "sr/trainer.hh"
 
@@ -127,6 +128,29 @@ INSTANTIATE_TEST_SUITE_P(Designs, GoldenTraceTest,
                          [](const auto &info) {
                              return std::string(info.param.name);
                          });
+
+TEST_P(GoldenTraceTest, TelemetryExportersDoNotPerturbGolden)
+{
+    // Observability must be provably non-perturbing: the exact
+    // checked-in fingerprints, with the metrics registry AND the span
+    // exporter attached and recording the whole session.
+    const Golden &golden = GetParam();
+    obs::Telemetry telemetry(/*spans=*/true);
+    SessionConfig config = canonicalConfig(golden.design);
+    config.telemetry = &telemetry;
+    SessionResult result = runSession(config);
+
+    EXPECT_EQ(sessionFingerprint(result), golden.fingerprint)
+        << "attaching telemetry changed the " << golden.name
+        << " session trace — instrumentation must be write-only";
+
+    // And the instrumentation actually observed the run.
+    const obs::MetricsRegistry &reg = telemetry.registry();
+    auto frames_total = reg.find("fleet.frames_total");
+    ASSERT_TRUE(frames_total.has_value());
+    EXPECT_EQ(reg.counterValue(*frames_total), 30);
+    EXPECT_FALSE(telemetry.spanBuffer().events().empty());
+}
 
 TEST(GoldenTraceTest, RerunIsBitIdentical)
 {

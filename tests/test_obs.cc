@@ -1,0 +1,486 @@
+/**
+ * @file
+ * Observability subsystem tests: metrics-registry semantics
+ * (get-or-create, hot-path mutators, reset), histogram percentile
+ * edge cases against the bucket-resolution bound, the shared
+ * stats::Summary helpers, JsonWriter well-formedness, Chrome-trace /
+ * JSONL span serialization, the schema-versioned bench Report, and
+ * the central contract: attaching telemetry to sessions and fleets
+ * is bit-exactly non-perturbing (the golden suite pins the same for
+ * the checked-in canonical sessions).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "obs/json.hh"
+#include "obs/metrics.hh"
+#include "obs/report.hh"
+#include "obs/span.hh"
+#include "obs/telemetry.hh"
+#include "pipeline/fleet.hh"
+#include "pipeline/session.hh"
+
+namespace gssr
+{
+namespace
+{
+
+using obs::HistogramLayout;
+using obs::JsonWriter;
+using obs::MetricId;
+using obs::MetricsRegistry;
+using obs::SpanEvent;
+using obs::SpanExporter;
+using obs::SpanPhase;
+
+// ---------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------
+
+TEST(MetricsRegistryTest, GetOrCreateReturnsStableIds)
+{
+    MetricsRegistry reg;
+    MetricId a = reg.counter("frames");
+    MetricId b = reg.gauge("rate");
+    EXPECT_NE(a, b);
+    EXPECT_EQ(reg.counter("frames"), a);
+    EXPECT_EQ(reg.gauge("rate"), b);
+    EXPECT_EQ(reg.size(), 2u);
+    EXPECT_EQ(reg.name(a), "frames");
+    EXPECT_EQ(reg.kind(a), obs::MetricKind::Counter);
+    EXPECT_EQ(reg.kind(b), obs::MetricKind::Gauge);
+}
+
+TEST(MetricsRegistryTest, CounterAndGaugeMutators)
+{
+    MetricsRegistry reg;
+    MetricId c = reg.counter("c");
+    MetricId g = reg.gauge("g");
+    reg.add(c);
+    reg.add(c, 41);
+    reg.set(g, 2.5);
+    reg.set(g, 7.25); // last write wins
+    EXPECT_EQ(reg.counterValue(c), 42);
+    EXPECT_DOUBLE_EQ(reg.gaugeValue(g), 7.25);
+}
+
+TEST(MetricsRegistryTest, FindOnlyLooksUp)
+{
+    MetricsRegistry reg;
+    EXPECT_FALSE(reg.find("missing").has_value());
+    MetricId c = reg.counter("present");
+    auto found = reg.find("present");
+    ASSERT_TRUE(found.has_value());
+    EXPECT_EQ(*found, c);
+    EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(MetricsRegistryTest, ResetZeroesValuesKeepsRegistrations)
+{
+    MetricsRegistry reg;
+    MetricId c = reg.counter("c");
+    MetricId h =
+        reg.histogram("h", HistogramLayout::linear(0, 10, 10));
+    reg.add(c, 5);
+    reg.observe(h, 3.0);
+    reg.reset();
+    EXPECT_EQ(reg.size(), 2u);
+    EXPECT_EQ(reg.counterValue(c), 0);
+    EXPECT_EQ(reg.counterValue(h), 0);
+    reg.observe(h, 4.0);
+    EXPECT_EQ(reg.counterValue(h), 1);
+    EXPECT_DOUBLE_EQ(reg.histogramPercentile(h, 50.0), 4.0);
+}
+
+// ---------------------------------------------------------------------
+// Histogram percentiles
+// ---------------------------------------------------------------------
+
+TEST(HistogramTest, EmptyHistogramReportsZero)
+{
+    MetricsRegistry reg;
+    MetricId h =
+        reg.histogram("h", HistogramLayout::linear(0, 100, 50));
+    EXPECT_DOUBLE_EQ(reg.histogramPercentile(h, 50.0), 0.0);
+    stats::Summary s = reg.histogramSummary(h);
+    EXPECT_EQ(s.count, 0);
+    EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(HistogramTest, SingleSampleIsEveryPercentile)
+{
+    MetricsRegistry reg;
+    MetricId h =
+        reg.histogram("h", HistogramLayout::linear(0, 100, 50));
+    reg.observe(h, 37.5);
+    for (f64 p : {0.0, 1.0, 50.0, 99.0, 100.0})
+        EXPECT_DOUBLE_EQ(reg.histogramPercentile(h, p), 37.5);
+}
+
+TEST(HistogramTest, PercentilesClampToObservedMinMax)
+{
+    MetricsRegistry reg;
+    MetricId h =
+        reg.histogram("h", HistogramLayout::linear(0, 100, 50));
+    reg.observe(h, 12.25);
+    reg.observe(h, 30.0);
+    reg.observe(h, 61.5);
+    EXPECT_DOUBLE_EQ(reg.histogramPercentile(h, 0.0), 12.25);
+    EXPECT_DOUBLE_EQ(reg.histogramPercentile(h, 100.0), 61.5);
+    stats::Summary s = reg.histogramSummary(h);
+    EXPECT_DOUBLE_EQ(s.min, 12.25);
+    EXPECT_DOUBLE_EQ(s.max, 61.5);
+    EXPECT_EQ(s.count, 3);
+    EXPECT_NEAR(s.mean, (12.25 + 30.0 + 61.5) / 3.0, 1e-12);
+}
+
+TEST(HistogramTest, PercentileWithinOneBucketOfExact)
+{
+    // 1000 uniform samples over [0, 100) into 2 ms buckets: every
+    // reported percentile must sit within one bucket width of the
+    // exact rank-based answer.
+    MetricsRegistry reg;
+    const HistogramLayout layout = HistogramLayout::linear(0, 100, 50);
+    MetricId h = reg.histogram("h", layout);
+    std::vector<f64> samples;
+    for (int i = 0; i < 1000; ++i) {
+        f64 v = f64(i) * 0.1;
+        samples.push_back(v);
+        reg.observe(h, v);
+    }
+    std::sort(samples.begin(), samples.end());
+    for (f64 p : {1.0, 10.0, 50.0, 90.0, 95.0, 99.0}) {
+        f64 exact =
+            samples[size_t(p / 100.0 * f64(samples.size() - 1))];
+        EXPECT_NEAR(reg.histogramPercentile(h, p), exact,
+                    layout.bucketWidth())
+            << "p" << p;
+    }
+}
+
+TEST(HistogramTest, OutOfRangeSamplesLandInEdgeBuckets)
+{
+    MetricsRegistry reg;
+    MetricId h =
+        reg.histogram("h", HistogramLayout::linear(0, 10, 10));
+    reg.observe(h, -5.0); // below lo -> bucket 0
+    reg.observe(h, 50.0); // above hi -> last bucket
+    EXPECT_EQ(reg.counterValue(h), 2);
+    EXPECT_DOUBLE_EQ(reg.histogramPercentile(h, 0.0), -5.0);
+    EXPECT_DOUBLE_EQ(reg.histogramPercentile(h, 100.0), 50.0);
+}
+
+// ---------------------------------------------------------------------
+// stats::Summary sharing
+// ---------------------------------------------------------------------
+
+TEST(StatsSummaryTest, SampleStatsAndSummarizeAgree)
+{
+    std::vector<f64> values = {4.0, 1.0, 3.0, 2.0, 5.0};
+    SampleStats stats;
+    for (f64 v : values)
+        stats.add(v);
+    stats::Summary a = stats.summary();
+    stats::Summary b = stats::summarize(values);
+    EXPECT_EQ(a.count, b.count);
+    EXPECT_DOUBLE_EQ(a.mean, b.mean);
+    EXPECT_DOUBLE_EQ(a.min, b.min);
+    EXPECT_DOUBLE_EQ(a.max, b.max);
+    EXPECT_DOUBLE_EQ(a.p50, b.p50);
+    EXPECT_DOUBLE_EQ(a.p99, b.p99);
+    EXPECT_DOUBLE_EQ(a.p50, 3.0);
+}
+
+// ---------------------------------------------------------------------
+// JsonWriter
+// ---------------------------------------------------------------------
+
+TEST(JsonWriterTest, EmitsWellFormedNestedJson)
+{
+    std::ostringstream out;
+    JsonWriter w(out);
+    w.beginObject();
+    w.field("name", "bench");
+    w.field("n", 42);
+    w.field("ratio", 0.5, 3);
+    w.field("ok", true);
+    w.hexField("fp", u64(0xdeadbeefull));
+    w.key("rows");
+    w.beginArray();
+    w.value(i64(1));
+    w.value("two");
+    w.endArray();
+    w.endObject();
+    EXPECT_TRUE(w.complete());
+    const std::string s = out.str();
+    EXPECT_NE(s.find("\"name\": \"bench\""), std::string::npos);
+    EXPECT_NE(s.find("\"ratio\": 0.500"), std::string::npos);
+    EXPECT_NE(s.find("\"fp\": \"00000000deadbeef\""),
+              std::string::npos);
+}
+
+TEST(JsonWriterTest, EscapesStrings)
+{
+    std::ostringstream out;
+    JsonWriter w(out);
+    w.beginObject();
+    w.field("s", "a\"b\\c\nd");
+    w.endObject();
+    EXPECT_NE(out.str().find("a\\\"b\\\\c\\nd"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// SpanExporter
+// ---------------------------------------------------------------------
+
+SpanExporter &
+recordSampleSpans(SpanExporter &spans)
+{
+    spans.begin("Render", "ServerGpu", 0, 0.0, 1.5);
+    spans.end("Render", "ServerGpu", 0, 4.0);
+    spans.begin("Decode", "ClientHwDecoder", 1, 4.0);
+    spans.end("Decode", "ClientHwDecoder", 1, 9.5);
+    spans.instant("FrameDropped", "recovery", 1, 9.5);
+    spans.counter("fleet.p99_mtp_ms", -1, 16.0, 72.25);
+    return spans;
+}
+
+TEST(SpanExporterTest, RecordsEventsInOrderWithInternedStrings)
+{
+    SpanExporter spans;
+    recordSampleSpans(spans);
+    const auto &events = spans.events();
+    ASSERT_EQ(events.size(), 6u);
+    EXPECT_EQ(events[0].phase, SpanPhase::Begin);
+    EXPECT_EQ(events[1].phase, SpanPhase::End);
+    EXPECT_EQ(spans.string(events[0].name), "Render");
+    // begin/end of the same span intern to the same id.
+    EXPECT_EQ(events[0].name, events[1].name);
+    EXPECT_EQ(events[4].phase, SpanPhase::Instant);
+    EXPECT_EQ(events[5].phase, SpanPhase::Counter);
+    EXPECT_EQ(events[5].track, -1);
+    EXPECT_DOUBLE_EQ(events[5].value, 72.25);
+}
+
+TEST(SpanExporterTest, ChromeTraceHasMatchingBeginEndPairs)
+{
+    SpanExporter spans;
+    recordSampleSpans(spans);
+    std::ostringstream out;
+    spans.writeChromeTrace(out);
+    const std::string s = out.str();
+    EXPECT_NE(s.find("\"traceEvents\""), std::string::npos);
+
+    auto countOf = [&s](const std::string &needle) {
+        size_t n = 0;
+        for (size_t pos = s.find(needle); pos != std::string::npos;
+             pos = s.find(needle, pos + needle.size()))
+            ++n;
+        return n;
+    };
+    EXPECT_EQ(countOf("\"ph\": \"B\""), countOf("\"ph\": \"E\""));
+    EXPECT_EQ(countOf("\"ph\": \"B\""), 2u);
+    EXPECT_EQ(countOf("\"ph\": \"i\""), 1u);
+    EXPECT_EQ(countOf("\"ph\": \"C\""), 1u);
+    // ts is microseconds: the 4.0 ms end event serializes as 4000.
+    EXPECT_NE(s.find("4000"), std::string::npos);
+}
+
+TEST(SpanExporterTest, JsonlRoundTripsEveryEvent)
+{
+    SpanExporter spans;
+    recordSampleSpans(spans);
+    std::ostringstream out;
+    spans.writeJsonl(out);
+    std::istringstream in(out.str());
+    std::string line;
+    size_t lines = 0;
+    while (std::getline(in, line)) {
+        ASSERT_FALSE(line.empty());
+        EXPECT_EQ(line.front(), '{');
+        EXPECT_EQ(line.back(), '}');
+        ++lines;
+    }
+    EXPECT_EQ(lines, spans.events().size());
+    EXPECT_NE(out.str().find("\"name\": \"fleet.p99_mtp_ms\""),
+              std::string::npos);
+}
+
+TEST(SpanExporterTest, ClearKeepsInternedStrings)
+{
+    SpanExporter spans;
+    spans.instant("a", "cat", 0, 1.0);
+    const u32 name_id = spans.events()[0].name;
+    spans.clear();
+    EXPECT_TRUE(spans.events().empty());
+    spans.instant("a", "cat", 0, 2.0);
+    EXPECT_EQ(spans.events()[0].name, name_id);
+}
+
+// ---------------------------------------------------------------------
+// Report
+// ---------------------------------------------------------------------
+
+TEST(ReportTest, WritesSchemaVersionedHeader)
+{
+    const char *path = "test_obs_report.json";
+    {
+        obs::Report report(path, "unit_test", /*smoke=*/true);
+        ASSERT_TRUE(report.ok());
+        report.json().field("payload", 7);
+        report.close();
+    }
+    std::ifstream in(path);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const std::string s = buf.str();
+    std::remove(path);
+    EXPECT_NE(s.find("\"schema\": \"gssr.bench.v1\""),
+              std::string::npos);
+    EXPECT_NE(s.find("\"schema_version\": 1"), std::string::npos);
+    EXPECT_NE(s.find("\"bench\": \"unit_test\""), std::string::npos);
+    EXPECT_NE(s.find("\"smoke\": true"), std::string::npos);
+    EXPECT_NE(s.find("\"payload\": 7"), std::string::npos);
+    EXPECT_EQ(s.back(), '\n');
+}
+
+TEST(ReportTest, UnwritablePathIsInert)
+{
+    obs::Report report("/nonexistent-dir/x.json", "unit_test", false);
+    EXPECT_FALSE(report.ok());
+    report.json().field("ignored", 1); // must not crash
+    report.close();
+}
+
+// ---------------------------------------------------------------------
+// Non-perturbation: the API contract the golden suite pins for the
+// canonical sessions, checked here on fast accounting runs.
+// ---------------------------------------------------------------------
+
+SessionConfig
+fastAccountingConfig()
+{
+    SessionConfig config;
+    config.frames = 48;
+    config.lr_size = {320, 180};
+    config.compute_pixels = false;
+    config.server_proxy_size = {128, 72};
+    config.target_bitrate_mbps = 8.0;
+    config.channel = ChannelConfig::wifiBursty();
+    config.resilience.nack = true;
+    config.resilience.aimd = true;
+    return config;
+}
+
+TEST(TelemetryTest, SessionIsBitIdenticalWithTelemetryAttached)
+{
+    const u64 bare =
+        sessionFingerprint(runSession(fastAccountingConfig()));
+
+    obs::Telemetry telemetry(/*spans=*/true);
+    SessionConfig instrumented = fastAccountingConfig();
+    instrumented.telemetry = &telemetry;
+    const u64 observed =
+        sessionFingerprint(runSession(instrumented));
+
+    EXPECT_EQ(bare, observed);
+    EXPECT_FALSE(telemetry.spanBuffer().events().empty());
+}
+
+TEST(TelemetryTest, SessionCountersMatchResilienceStats)
+{
+    obs::Telemetry telemetry;
+    SessionConfig config = fastAccountingConfig();
+    config.telemetry = &telemetry;
+    SessionResult result = runSession(config);
+
+    const MetricsRegistry &reg = telemetry.registry();
+    auto counter = [&](const char *name) {
+        auto id = reg.find(name);
+        return id ? reg.counterValue(*id) : i64(-1);
+    };
+    const ResilienceStats &s = result.resilience;
+    EXPECT_EQ(counter("fleet.frames_total"),
+              i64(result.traces.size()));
+    EXPECT_EQ(counter("fleet.frames_delivered"), s.frames_delivered);
+    EXPECT_EQ(counter("fleet.frames_dropped"), s.frames_dropped);
+    EXPECT_EQ(counter("fleet.frames_concealed"), s.frames_concealed);
+    EXPECT_EQ(counter("fleet.nacks_sent"), s.nacks_sent);
+    EXPECT_EQ(counter("fleet.aimd_backoffs"), s.aimd_backoffs);
+    // Channel-level drop causes sum to the channel's drop count.
+    i64 cause_sum = 0;
+    for (const char *name :
+         {"net.drops.congestion", "net.drops.burst",
+          "net.drops.random", "net.drops.scenario"}) {
+        auto id = reg.find(name);
+        if (id)
+            cause_sum += reg.counterValue(*id);
+    }
+    EXPECT_EQ(cause_sum, s.frames_dropped);
+}
+
+TEST(TelemetryTest, FleetRunIsBitIdenticalWithTelemetryAttached)
+{
+    auto runFleet = [](obs::Telemetry *telemetry) {
+        FleetServer fleet(ServerProfile::edgeRack(4),
+                          SchedulePolicy::Edf);
+        if (telemetry)
+            fleet.setTelemetry(telemetry);
+        for (int i = 0; i < 6; ++i)
+            fleet.admit(fleetMixSessionConfig(i));
+        return fleet.run(30);
+    };
+
+    const FleetResult bare = runFleet(nullptr);
+    obs::Telemetry telemetry(/*spans=*/true);
+    const FleetResult observed = runFleet(&telemetry);
+    EXPECT_EQ(bare.fingerprint, observed.fingerprint);
+
+    // The live fleet gauges were refreshed on the final tick.
+    const MetricsRegistry &reg = telemetry.registry();
+    auto gauge = [&](const char *name) {
+        auto id = reg.find(name);
+        return id ? reg.gaugeValue(*id) : -1.0;
+    };
+    EXPECT_DOUBLE_EQ(gauge("fleet.tick"), 29.0);
+    EXPECT_DOUBLE_EQ(gauge("fleet.sessions"), 6.0);
+    EXPECT_GT(gauge("fleet.p99_mtp_ms"), 0.0);
+    EXPECT_GE(gauge("fleet.shed_rate"), 0.0);
+    EXPECT_GE(gauge("fleet.conceal_rate"), 0.0);
+    // Every tenant's spans landed on its own track; tracks are the
+    // tenant ids, so a fleet trace renders one swimlane per session.
+    std::vector<i32> tracks;
+    for (const SpanEvent &e : telemetry.spanBuffer().events())
+        if (e.track >= 0 &&
+            std::find(tracks.begin(), tracks.end(), e.track) ==
+                tracks.end())
+            tracks.push_back(e.track);
+    EXPECT_EQ(tracks.size(), 6u);
+}
+
+TEST(TelemetryTest, RegistryJsonDumpCoversAllKinds)
+{
+    obs::Telemetry telemetry;
+    MetricsRegistry &reg = telemetry.registry();
+    reg.add(reg.counter("c"), 3);
+    reg.set(reg.gauge("g"), 1.5);
+    reg.observe(
+        reg.histogram("h", HistogramLayout::linear(0, 10, 10)), 2.0);
+
+    std::ostringstream out;
+    JsonWriter w(out);
+    reg.writeJson(w);
+    EXPECT_TRUE(w.complete());
+    const std::string s = out.str();
+    EXPECT_NE(s.find("\"c\": 3"), std::string::npos);
+    EXPECT_NE(s.find("\"g\": 1.5"), std::string::npos);
+    EXPECT_NE(s.find("\"p99\""), std::string::npos);
+}
+
+} // namespace
+} // namespace gssr

@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""Validate telemetry artifacts emitted by the bench/obs layer.
+
+Stdlib-only checker run by CI after the bench smokes. Three artifact
+kinds, inferred from the file name:
+
+  BENCH_*.json   obs::Report documents — must carry the versioned
+                 header (schema "gssr.bench.v1") written by
+                 src/obs/report.cc.
+  TRACE_*.json   Chrome trace documents from SpanExporter — every
+                 "B" must be closed by a matching "E" on the same
+                 track, phases restricted to B/E/i/C.
+  TRACE_*.jsonl  One JSON object per line, the SpanExporter JSONL
+                 stream.
+
+Usage: check_telemetry_schema.py FILE [FILE...]
+Exits non-zero on the first malformed artifact.
+"""
+
+import json
+import os
+import sys
+
+SCHEMA = "gssr.bench.v1"
+SCHEMA_VERSION = 1
+
+# Header fields written by obs::Report and their expected types.
+REPORT_HEADER = {
+    "schema": str,
+    "schema_version": int,
+    "bench": str,
+    "git_describe": str,
+    "build_type": str,
+    "threads": int,
+    "gssr_threads_env": str,
+    "smoke": bool,
+}
+
+CHROME_PHASES = {"B", "E", "i", "C"}
+
+
+class SchemaError(Exception):
+    pass
+
+
+def fail(path, message):
+    raise SchemaError(f"{path}: {message}")
+
+
+def check_report(path, doc):
+    if not isinstance(doc, dict):
+        fail(path, "report root must be a JSON object")
+    for key, want in REPORT_HEADER.items():
+        if key not in doc:
+            fail(path, f"missing report header field '{key}'")
+        got = doc[key]
+        # bool is an int subclass in Python; keep them distinct.
+        if want is int and isinstance(got, bool):
+            fail(path, f"header field '{key}' must be an integer")
+        if not isinstance(got, want):
+            fail(path, f"header field '{key}' must be {want.__name__}")
+    if doc["schema"] != SCHEMA:
+        fail(path, f"schema is '{doc['schema']}', expected '{SCHEMA}'")
+    if doc["schema_version"] != SCHEMA_VERSION:
+        fail(path, f"schema_version is {doc['schema_version']}, "
+                   f"expected {SCHEMA_VERSION}")
+    body = [k for k in doc if k not in REPORT_HEADER]
+    if not body:
+        fail(path, "report has a header but no bench payload")
+    return f"bench '{doc['bench']}', payload keys {body}"
+
+
+def check_chrome_trace(path, doc):
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail(path, "chrome trace must be an object with 'traceEvents'")
+    events = doc["traceEvents"]
+    if not isinstance(events, list) or not events:
+        fail(path, "'traceEvents' must be a non-empty array")
+    # Per-track stack of open "B" names: every "E" must close the
+    # most recent unmatched "B" with the same name on its track.
+    open_spans = {}
+    for i, e in enumerate(events):
+        for key in ("name", "cat", "ph", "ts", "pid", "tid"):
+            if key not in e:
+                fail(path, f"event {i} missing '{key}'")
+        ph = e["ph"]
+        if ph not in CHROME_PHASES:
+            fail(path, f"event {i} has phase '{ph}', "
+                       f"expected one of {sorted(CHROME_PHASES)}")
+        if not isinstance(e["ts"], (int, float)) or e["ts"] < 0:
+            fail(path, f"event {i} has a negative or non-numeric ts")
+        track = e["tid"]
+        if ph == "B":
+            open_spans.setdefault(track, []).append(e["name"])
+        elif ph == "E":
+            stack = open_spans.get(track, [])
+            if not stack:
+                fail(path, f"event {i}: 'E' for '{e['name']}' on "
+                           f"track {track} with no open 'B'")
+            top = stack.pop()
+            if top != e["name"]:
+                fail(path, f"event {i}: 'E' closes '{e['name']}' but "
+                           f"the open span on track {track} is "
+                           f"'{top}'")
+        elif ph == "i" and e.get("s") not in ("t", "p", "g"):
+            fail(path, f"event {i}: instant missing scope 's'")
+    for track, stack in open_spans.items():
+        if stack:
+            fail(path, f"track {track} ends with unclosed spans "
+                       f"{stack}")
+    tracks = sorted({e["tid"] for e in events})
+    return f"{len(events)} events across tracks {tracks}"
+
+
+def check_jsonl(path, text):
+    lines = [ln for ln in text.splitlines() if ln.strip()]
+    if not lines:
+        fail(path, "empty JSONL stream")
+    for i, line in enumerate(lines):
+        try:
+            e = json.loads(line)
+        except json.JSONDecodeError as err:
+            fail(path, f"line {i + 1} is not valid JSON: {err}")
+        for key in ("phase", "name", "cat", "track", "ts_ms", "value"):
+            if key not in e:
+                fail(path, f"line {i + 1} missing '{key}'")
+        if e["phase"] not in ("begin", "end", "instant", "counter"):
+            fail(path, f"line {i + 1} has phase '{e['phase']}'")
+    return f"{len(lines)} events"
+
+
+def check_file(path):
+    with open(path, encoding="utf-8") as f:
+        text = f.read()
+    name = os.path.basename(path)
+    if name.endswith(".jsonl"):
+        return check_jsonl(path, text)
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as err:
+        fail(path, f"not valid JSON: {err}")
+    if name.startswith("TRACE_"):
+        return check_chrome_trace(path, doc)
+    return check_report(path, doc)
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    for path in argv[1:]:
+        try:
+            detail = check_file(path)
+        except SchemaError as err:
+            print(f"FAIL {err}", file=sys.stderr)
+            return 1
+        print(f"ok   {path}: {detail}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
