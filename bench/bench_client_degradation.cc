@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Client degradation bench — streams the paper's 720p60 accounting
+ * operating point through scripted *device* stress (thermal soak,
+ * NPU dropout, memory-pressure decode stalls, hot ambient, a mixed
+ * schedule) on thermally-enabled device models, and compares the
+ * deadline-watchdog degradation ladder against a ladder-disabled
+ * client.
+ *
+ * The headline result is the thermal death spiral: without the
+ * ladder, throttled NPU latency inflates per-frame energy, which
+ * heats the SoC further, which throttles harder — deadline misses
+ * run away. The ladder sheds NPU work (shrunken RoI, then GPU-only,
+ * then frame holds), letting the device cool and recover, and asks
+ * the server for bitrate_step^tier of the bitrate while degraded.
+ *
+ * Writes BENCH_client_degradation.json. `--smoke` runs a reduced
+ * configuration for CI.
+ */
+
+#include <algorithm>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "obs/report.hh"
+
+using namespace gssr;
+using namespace gssr::bench;
+
+namespace
+{
+
+struct DeviceCase
+{
+    std::string name;
+    DeviceProfile profile;
+};
+
+struct StressCase
+{
+    std::string name;
+    DeviceFaultScenario scenario;
+};
+
+struct CellResult
+{
+    std::string device;
+    std::string scenario;
+    bool ladder = false;
+    int frames = 0;
+
+    f64 p50_mtp_ms = 0.0;
+    f64 p99_mtp_ms = 0.0;
+    f64 miss_rate = 0.0;
+    f64 bitrate_mbps = 0.0;
+    DegradationStats deg;
+};
+
+f64
+percentile(std::vector<f64> sorted, f64 p)
+{
+    if (sorted.empty())
+        return 0.0;
+    std::sort(sorted.begin(), sorted.end());
+    size_t idx = size_t(p * f64(sorted.size() - 1) + 0.5);
+    return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+CellResult
+runCell(const DeviceCase &dc, const StressCase &sc, bool ladder_on,
+        int frames)
+{
+    SessionConfig config = accountingSessionConfig();
+    config.frames = frames;
+    config.device = dc.profile;
+    config.device_faults = sc.scenario;
+    // The target sits inside the encoder's controllable range at
+    // this operating point (the QP floor is ~40 Mbit/s), so the
+    // ladder's bitrate_step^tier retarget is visible in the achieved
+    // rate.
+    config.device_stress.enabled = true;
+    config.ladder.enabled = ladder_on;
+    config.target_bitrate_mbps = 60.0;
+    config.resilience.aimd = false;
+
+    SessionResult result = runSession(config);
+
+    CellResult cell;
+    cell.device = dc.name;
+    cell.scenario = sc.name;
+    cell.ladder = ladder_on;
+    cell.frames = frames;
+    cell.deg = result.degradation;
+
+    std::vector<f64> mtp;
+    size_t bytes = 0;
+    i64 processed = 0;
+    for (const FrameTrace &t : result.traces) {
+        if (!t.dropped)
+            bytes += t.encoded_bytes;
+        if (!t.dropped && !t.concealed) {
+            mtp.push_back(t.mtpLatencyMs());
+            processed += 1;
+        }
+    }
+    cell.p50_mtp_ms = percentile(mtp, 0.50);
+    cell.p99_mtp_ms = percentile(mtp, 0.99);
+    cell.miss_rate = frames > 0
+                         ? f64(cell.deg.deadline_misses) / f64(frames)
+                         : 0.0;
+    f64 session_s = f64(frames) / 60.0;
+    cell.bitrate_mbps =
+        session_s > 0.0 ? f64(bytes) * 8.0 / 1e6 / session_s : 0.0;
+    return cell;
+}
+
+void
+writeReport(bool smoke, const std::vector<CellResult> &cells)
+{
+    obs::Report report("BENCH_client_degradation.json",
+                       "client_degradation", smoke);
+    obs::JsonWriter &w = report.json();
+
+    w.key("sweep");
+    w.beginArray();
+    for (const CellResult &c : cells) {
+        w.beginObject();
+        w.field("device", c.device);
+        w.field("scenario", c.scenario);
+        w.field("ladder", c.ladder);
+        w.field("frames", c.frames);
+        w.field("p50_mtp_ms", c.p50_mtp_ms, 3);
+        w.field("p99_mtp_ms", c.p99_mtp_ms, 3);
+        w.field("deadline_misses", c.deg.deadline_misses);
+        w.field("miss_rate", c.miss_rate, 4);
+        w.field("step_downs", c.deg.ladder_step_downs);
+        w.field("step_ups", c.deg.ladder_step_ups);
+        w.field("npu_faults", c.deg.npu_faults);
+        w.field("decode_stalls", c.deg.decode_stalls);
+        w.field("frames_held", c.deg.frames_held);
+        w.key("tier_frames");
+        w.beginArray();
+        for (i64 n : c.deg.tier_frames)
+            w.value(n);
+        w.endArray();
+        w.field("final_tier", c.deg.final_tier);
+        w.field("peak_temperature_c", c.deg.peak_temperature_c, 2);
+        w.field("bitrate_mbps", c.bitrate_mbps, 3);
+        w.endObject();
+    }
+    w.endArray();
+
+    report.close();
+}
+
+std::string
+tierString(const DegradationStats &deg)
+{
+    std::string s;
+    for (int t = 0; t < DegradationLadder::kTierCount; ++t) {
+        if (t)
+            s += "/";
+        s += std::to_string(deg.tier_frames[t]);
+    }
+    return s;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0)
+            smoke = true;
+    }
+
+    printHeader("Client degradation",
+                "device stress x degradation ladder, 720p60 "
+                "accounting" +
+                    std::string(smoke ? " (smoke)" : ""));
+
+    const int frames = smoke ? 180 : 600;
+
+    std::vector<DeviceCase> devices;
+    devices.push_back({"tab-s8", DeviceProfile::galaxyTabS8()});
+    if (!smoke)
+        devices.push_back({"pixel-7", DeviceProfile::pixel7Pro()});
+
+    std::vector<StressCase> scenarios;
+    scenarios.push_back({"clean", DeviceFaultScenario::none()});
+    scenarios.push_back(
+        {"thermal-soak",
+         DeviceFaultScenario::thermalSoak(0, frames, 2.5)});
+    scenarios.push_back(
+        {"npu-dropout",
+         DeviceFaultScenario::npuDropout(frames / 6, frames / 3,
+                                         0.25)});
+    scenarios.push_back(
+        {"memory-pressure",
+         DeviceFaultScenario::memoryPressure(frames / 6, frames / 3,
+                                             0.3, 6.0)});
+    scenarios.push_back(
+        {"hot-ambient",
+         DeviceFaultScenario::hotAmbient(0, frames, 12.0)});
+    scenarios.push_back(
+        {"mixed", DeviceFaultScenario::mixed(frames / 8, frames / 4)});
+
+    std::vector<CellResult> cells;
+    TableWriter table({"device", "scenario", "ladder", "p50 MTP",
+                       "p99 MTP", "misses", "held", "tiers 0-3",
+                       "peak degC", "Mbit/s"});
+    for (const DeviceCase &dc : devices) {
+        for (const StressCase &sc : scenarios) {
+            for (bool ladder_on : {true, false}) {
+                cells.push_back(runCell(dc, sc, ladder_on, frames));
+                const CellResult &c = cells.back();
+                table.addRow(
+                    {c.device, c.scenario, c.ladder ? "on" : "off",
+                     TableWriter::num(c.p50_mtp_ms, 1),
+                     TableWriter::num(c.p99_mtp_ms, 1),
+                     std::to_string(c.deg.deadline_misses),
+                     std::to_string(c.deg.frames_held),
+                     tierString(c.deg),
+                     TableWriter::num(c.deg.peak_temperature_c, 1),
+                     TableWriter::num(c.bitrate_mbps, 2)});
+            }
+        }
+    }
+    printTable(table);
+
+    // The death-spiral headline: thermal soak, ladder on vs. off.
+    const CellResult *soak_on = nullptr;
+    const CellResult *soak_off = nullptr;
+    for (const CellResult &c : cells) {
+        if (c.device == devices.front().name &&
+            c.scenario == "thermal-soak")
+            (c.ladder ? soak_on : soak_off) = &c;
+    }
+    if (soak_on && soak_off) {
+        std::cout << "\nthermal soak (" << devices.front().name
+                  << "): ladder misses "
+                  << soak_on->deg.deadline_misses << "/" << frames
+                  << " (peak "
+                  << TableWriter::num(soak_on->deg.peak_temperature_c,
+                                      1)
+                  << " degC), no-ladder misses "
+                  << soak_off->deg.deadline_misses << "/" << frames
+                  << " (peak "
+                  << TableWriter::num(
+                         soak_off->deg.peak_temperature_c, 1)
+                  << " degC)\n";
+        GSSR_ASSERT(soak_on->deg.deadline_misses <
+                        soak_off->deg.deadline_misses,
+                    "ladder must strictly reduce deadline misses "
+                    "under thermal soak");
+    }
+
+    writeReport(smoke, cells);
+    return 0;
+}

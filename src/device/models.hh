@@ -106,6 +106,7 @@ struct HwDecoderModel
     f64
     latencyMs(i64 pixels) const
     {
+        GSSR_ASSERT(pixels >= 0, "negative decode work");
         return base_ms + f64(pixels) / 1e6 * ms_per_mpixel;
     }
 
@@ -128,6 +129,7 @@ struct SwDecoderModel
     f64
     latencyMs(i64 pixels) const
     {
+        GSSR_ASSERT(pixels >= 0, "negative decode work");
         return base_ms + f64(pixels) / 1e6 * ms_per_mpixel;
     }
 
@@ -149,12 +151,17 @@ struct DisplayModel
     f64
     latencyMs() const
     {
+        GSSR_ASSERT(queue_ms >= 0.0 && vsync_wait_ms >= 0.0 &&
+                        scanout_ms >= 0.0,
+                    "negative display pipeline latency");
         return queue_ms + vsync_wait_ms + scanout_ms;
     }
 
     /** Display-processing energy for one frame period. */
-    f64 energyMjPerFrame(f64 frame_period_ms) const
+    f64
+    energyMjPerFrame(f64 frame_period_ms) const
     {
+        GSSR_ASSERT(frame_period_ms >= 0.0, "negative frame period");
         return processing_power_w * frame_period_ms;
     }
 };
@@ -166,8 +173,10 @@ struct RadioModel
     f64 energy_mj_per_mb = 90.0;
 
     /** Energy to receive @p bytes. */
-    f64 energyMj(i64 bytes) const
+    f64
+    energyMj(i64 bytes) const
     {
+        GSSR_ASSERT(bytes >= 0, "negative receive size");
         return f64(bytes) / 1e6 * energy_mj_per_mb;
     }
 };

@@ -1,0 +1,222 @@
+#include "device/stress.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/mathutil.hh"
+
+namespace gssr
+{
+
+DeviceFaultEvent
+DeviceFaultScenario::effectAt(i64 frame) const
+{
+    DeviceFaultEvent combined;
+    combined.start_frame = frame;
+    combined.end_frame = frame + 1;
+    for (const DeviceFaultEvent &e : events) {
+        if (frame < e.start_frame || frame >= e.end_frame)
+            continue;
+        combined.extra_power_w += e.extra_power_w;
+        combined.ambient_delta_c += e.ambient_delta_c;
+        // Independent failure processes compose as 1 - prod(1 - p).
+        combined.npu_fail_prob =
+            1.0 - (1.0 - combined.npu_fail_prob) *
+                      (1.0 - e.npu_fail_prob);
+        combined.decode_stall_prob =
+            1.0 - (1.0 - combined.decode_stall_prob) *
+                      (1.0 - e.decode_stall_prob);
+        combined.decode_stall_ms += e.decode_stall_ms;
+    }
+    return combined;
+}
+
+DeviceFaultScenario
+DeviceFaultScenario::none()
+{
+    return DeviceFaultScenario{};
+}
+
+DeviceFaultScenario
+DeviceFaultScenario::thermalSoak(i64 start, i64 frames, f64 watts)
+{
+    GSSR_ASSERT(watts >= 0.0, "negative soak power");
+    DeviceFaultScenario s;
+    s.name = "thermal-soak";
+    DeviceFaultEvent e;
+    e.start_frame = start;
+    e.end_frame = start + frames;
+    e.extra_power_w = watts;
+    s.events.push_back(e);
+    return s;
+}
+
+DeviceFaultScenario
+DeviceFaultScenario::npuDropout(i64 start, i64 frames, f64 prob)
+{
+    GSSR_ASSERT(prob >= 0.0 && prob <= 1.0,
+                "NPU failure probability outside [0, 1]");
+    DeviceFaultScenario s;
+    s.name = "npu-dropout";
+    DeviceFaultEvent e;
+    e.start_frame = start;
+    e.end_frame = start + frames;
+    e.npu_fail_prob = prob;
+    s.events.push_back(e);
+    return s;
+}
+
+DeviceFaultScenario
+DeviceFaultScenario::memoryPressure(i64 start, i64 frames, f64 prob,
+                                    f64 stall_ms)
+{
+    GSSR_ASSERT(prob >= 0.0 && prob <= 1.0,
+                "stall probability outside [0, 1]");
+    GSSR_ASSERT(stall_ms >= 0.0, "negative stall duration");
+    DeviceFaultScenario s;
+    s.name = "memory-pressure";
+    DeviceFaultEvent e;
+    e.start_frame = start;
+    e.end_frame = start + frames;
+    e.decode_stall_prob = prob;
+    e.decode_stall_ms = stall_ms;
+    s.events.push_back(e);
+    return s;
+}
+
+DeviceFaultScenario
+DeviceFaultScenario::hotAmbient(i64 start, i64 frames, f64 delta_c)
+{
+    DeviceFaultScenario s;
+    s.name = "hot-ambient";
+    DeviceFaultEvent e;
+    e.start_frame = start;
+    e.end_frame = start + frames;
+    e.ambient_delta_c = delta_c;
+    s.events.push_back(e);
+    return s;
+}
+
+DeviceFaultScenario
+DeviceFaultScenario::mixed(i64 start, i64 period)
+{
+    DeviceFaultScenario soak = thermalSoak(start, period, 2.5);
+    DeviceFaultScenario npu =
+        npuDropout(start + period, period / 2, 0.25);
+    DeviceFaultScenario mem =
+        memoryPressure(start + 2 * period, period / 2, 0.3, 6.0);
+    DeviceFaultScenario s;
+    s.name = "mixed";
+    s.events.push_back(soak.events[0]);
+    s.events.push_back(npu.events[0]);
+    s.events.push_back(mem.events[0]);
+    return s;
+}
+
+f64
+ThrottleCurve::factorAt(f64 temp_c) const
+{
+    if (temp_c <= knee_c)
+        return 1.0;
+    return std::min(max_factor, 1.0 + per_deg * (temp_c - knee_c));
+}
+
+ThermalModel::ThermalModel(const ThermalParams &params)
+    : params_(params), temp_c_(params.ambient_c)
+{
+    GSSR_ASSERT(params_.resistance_c_per_w > 0.0,
+                "thermal resistance must be positive");
+    GSSR_ASSERT(params_.time_constant_s > 0.0,
+                "thermal time constant must be positive");
+}
+
+void
+ThermalModel::advance(f64 dt_ms, f64 dissipated_mj, f64 extra_w,
+                      f64 ambient_delta_c)
+{
+    GSSR_ASSERT(dt_ms > 0.0, "thermal step needs positive dt");
+    GSSR_ASSERT(dissipated_mj >= 0.0 && extra_w >= 0.0,
+                "negative heat input");
+    // Mean dissipated power over the step (mJ / ms == W).
+    const f64 power_w = dissipated_mj / dt_ms + extra_w;
+    const f64 ambient = params_.ambient_c + ambient_delta_c;
+    const f64 t_inf = ambient + power_w * params_.resistance_c_per_w;
+    const f64 decay =
+        std::exp(-dt_ms / (params_.time_constant_s * 1000.0));
+    temp_c_ = t_inf + (temp_c_ - t_inf) * decay;
+}
+
+void
+DvfsModel::update(f64 temp_c)
+{
+    // Step down immediately at each entry threshold; step back up
+    // only once the temperature has fallen hysteresis_c below it, so
+    // the governor does not chatter around a threshold.
+    if (temp_c >= params_.level2_c)
+        level_ = 2;
+    else if (temp_c >= params_.level1_c)
+        level_ = std::max(level_, 1);
+    if (level_ == 2 && temp_c < params_.level2_c - params_.hysteresis_c)
+        level_ = 1;
+    if (level_ == 1 && temp_c < params_.level1_c - params_.hysteresis_c)
+        level_ = 0;
+}
+
+f64
+DvfsModel::scale() const
+{
+    switch (level_) {
+      case 1:
+        return params_.level1_scale;
+      case 2:
+        return params_.level2_scale;
+      default:
+        return 1.0;
+    }
+}
+
+DeviceStressModel::DeviceStressModel(const DeviceStressConfig &config,
+                                     const DeviceFaultScenario &scenario,
+                                     u64 seed)
+    : config_(config), scenario_(scenario),
+      thermal_(config.thermal), dvfs_(config.dvfs), rng_(seed)
+{
+    GSSR_ASSERT(config_.npu_timeout_ms >= 0.0,
+                "negative NPU watchdog timeout");
+}
+
+FrameConditions
+DeviceStressModel::beginFrame(i64 frame)
+{
+    current_ = scenario_.effectAt(frame);
+    dvfs_.update(thermal_.temperatureC());
+
+    // Always two draws per frame, in a fixed order, so the fault
+    // stream is a pure function of (seed, frame) and does not shift
+    // when scenario windows open or close.
+    const f64 u_npu = rng_.uniform();
+    const f64 u_decode = rng_.uniform();
+
+    FrameConditions cond;
+    const f64 dvfs = dvfs_.scale();
+    cond.npu_scale = thermal_.npuFactor() * dvfs;
+    cond.gpu_scale = thermal_.gpuFactor() * dvfs;
+    cond.cpu_scale = thermal_.cpuFactor() * dvfs;
+    cond.decoder_scale = thermal_.decoderFactor();
+    if (u_npu < current_.npu_fail_prob) {
+        cond.npu_faulted = true;
+        cond.npu_timeout_ms = config_.npu_timeout_ms;
+    }
+    if (u_decode < current_.decode_stall_prob)
+        cond.decode_stall_ms = current_.decode_stall_ms;
+    return cond;
+}
+
+void
+DeviceStressModel::endFrame(f64 dissipated_mj, f64 dt_ms)
+{
+    thermal_.advance(dt_ms, dissipated_mj, current_.extra_power_w,
+                     current_.ambient_delta_c);
+}
+
+} // namespace gssr

@@ -1,0 +1,314 @@
+/**
+ * @file
+ * Client-side device stress model: the thermal/DVFS state machine
+ * and scripted transient-fault schedule that turn the fixed
+ * operating-point component models of device/models.hh into a
+ * *dynamic* device. Mirrors the network-side FaultScenario design
+ * (net/fault.hh): a DeviceFaultScenario is a deterministic schedule
+ * of DeviceFaultEvents, and together with a fixed seed an entire
+ * stressed session replays bit-for-bit.
+ *
+ * The physics (DESIGN.md §11):
+ *
+ *  - Thermal: a one-node RC model. Dissipated client energy (stage
+ *    energies + base device power + any scripted background load)
+ *    heats the SoC; it cools exponentially toward ambient with time
+ *    constant tau = R*C. The exact constant-power step
+ *        T' = T_inf + (T - T_inf) * exp(-dt/tau),
+ *        T_inf = ambient + P * R
+ *    is used per frame, so the integration is unconditionally stable
+ *    and independent of how the frame period is subdivided.
+ *  - Throttling: past a per-component thermal knee, latencies
+ *    inflate linearly with excess temperature (clock capping), up to
+ *    a cap. Below the knee the factor is *exactly* 1.0, so an
+ *    unstressed device is bit-identical to the fixed models.
+ *  - DVFS: the governor steps the whole compute complex down at
+ *    discrete temperature levels (with hysteresis on the way back
+ *    up), multiplying on top of the per-component curves.
+ *  - Transient faults: seeded per-frame draws for NPU invocation
+ *    failures (charged the watchdog timeout, output falls back to
+ *    GPU bilinear) and memory-pressure decode stalls.
+ */
+
+#ifndef GSSR_DEVICE_STRESS_HH
+#define GSSR_DEVICE_STRESS_HH
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+
+namespace gssr
+{
+
+/**
+ * Per-frame dynamic operating conditions a stressed device imposes
+ * on the client pipeline. Default-constructed conditions are the
+ * nominal fixed operating point: every scale is exactly 1.0 and no
+ * fault is active, so applying them is bit-identical to not having a
+ * stress model at all.
+ */
+struct FrameConditions
+{
+    /** Latency multipliers (>= 1) on the component models. */
+    f64 npu_scale = 1.0;
+    f64 gpu_scale = 1.0;
+    f64 cpu_scale = 1.0;
+    f64 decoder_scale = 1.0;
+
+    /** Memory-pressure stall added to the decode stage (ms). */
+    f64 decode_stall_ms = 0.0;
+
+    /** The NPU invocation fails this frame: the watchdog timeout is
+     *  charged and the RoI falls back to the GPU bilinear output. */
+    bool npu_faulted = false;
+
+    /** Latency charged for the failed invocation (ms). */
+    f64 npu_timeout_ms = 0.0;
+
+    /**
+     * Degradation-ladder tier the client should run this frame at
+     * (pipeline/degrade.hh): 0 full hybrid NPU-RoI + GPU, 1 shrunken
+     * RoI, 2 GPU-bilinear only, 3 frame hold (decode only; the
+     * session engine substitutes the held output).
+     */
+    int tier = 0;
+
+    /** Tier-1 RoI edge scale in (0, 1]; 1.0 = full RoI. */
+    f64 roi_shrink = 1.0;
+};
+
+/**
+ * One scheduled client-side fault window, active for frames
+ * [start_frame, end_frame). All effects default to "none".
+ */
+struct DeviceFaultEvent
+{
+    i64 start_frame = 0;
+    i64 end_frame = 0; ///< exclusive
+
+    /** Background thermal load (W): a competing app, a download, a
+     *  game update unpacking — heat with no pipeline work. */
+    f64 extra_power_w = 0.0;
+
+    /** Ambient shift (°C): device in a pocket / in the sun. */
+    f64 ambient_delta_c = 0.0;
+
+    /** Per-frame NPU invocation failure probability in [0, 1]. */
+    f64 npu_fail_prob = 0.0;
+
+    /** Per-frame memory-pressure decode-stall probability. */
+    f64 decode_stall_prob = 0.0;
+
+    /** Stall added to the decode stage when it fires (ms). */
+    f64 decode_stall_ms = 0.0;
+};
+
+/**
+ * A named, ordered schedule of device fault events — the client-side
+ * sibling of net/fault.hh's FaultScenario. Overlapping windows
+ * compose: powers and ambient shifts add, failure probabilities
+ * combine as independent events, stall durations add.
+ */
+struct DeviceFaultScenario
+{
+    std::string name = "none";
+    std::vector<DeviceFaultEvent> events;
+
+    bool empty() const { return events.empty(); }
+
+    /** Combined effect of all events covering @p frame. */
+    DeviceFaultEvent effectAt(i64 frame) const;
+
+    /** The unstressed device (no scripted faults). */
+    static DeviceFaultScenario none();
+
+    /** Sustained background load of @p watts for the window. */
+    static DeviceFaultScenario thermalSoak(i64 start, i64 frames,
+                                           f64 watts = 2.5);
+
+    /** NPU invocations fail with probability @p prob. */
+    static DeviceFaultScenario npuDropout(i64 start, i64 frames,
+                                          f64 prob = 0.2);
+
+    /** Decode stalls of @p stall_ms with probability @p prob. */
+    static DeviceFaultScenario memoryPressure(i64 start, i64 frames,
+                                              f64 prob = 0.3,
+                                              f64 stall_ms = 6.0);
+
+    /** Ambient rises by @p delta_c (pocket / sunlight). */
+    static DeviceFaultScenario hotAmbient(i64 start, i64 frames,
+                                          f64 delta_c = 12.0);
+
+    /**
+     * The kitchen sink: a thermal soak, then NPU dropout, then
+     * memory pressure, spaced @p period frames apart.
+     */
+    static DeviceFaultScenario mixed(i64 start, i64 period);
+};
+
+/** One component's thermal throttle curve: factor = 1 below the
+ *  knee, then 1 + per_deg * (T - knee), capped at max_factor. */
+struct ThrottleCurve
+{
+    f64 knee_c = 45.0;
+    f64 per_deg = 0.05;   ///< latency inflation per °C past the knee
+    f64 max_factor = 2.5; ///< clock-floor cap
+
+    f64 factorAt(f64 temp_c) const;
+};
+
+/** One-node RC thermal model parameters. */
+struct ThermalParams
+{
+    f64 ambient_c = 30.0;
+
+    /** Steady-state rise per dissipated watt (°C/W). */
+    f64 resistance_c_per_w = 12.0;
+
+    /** Heating/cooling time constant tau = R*C (seconds). */
+    f64 time_constant_s = 8.0;
+
+    /** Per-component throttle curves. The NPU throttles first and
+     *  hardest (NAWQ-SR's observation); the fixed-function decoder
+     *  is the most robust block. */
+    ThrottleCurve npu{45.0, 0.06, 2.5};
+    ThrottleCurve gpu{48.0, 0.04, 2.0};
+    ThrottleCurve cpu{50.0, 0.05, 2.0};
+    ThrottleCurve decoder{55.0, 0.02, 1.5};
+};
+
+/** Discrete DVFS governor step-down levels (with hysteresis). */
+struct DvfsParams
+{
+    f64 level1_c = 55.0;      ///< enter level 1 at this temperature
+    f64 level2_c = 65.0;      ///< enter level 2
+    f64 hysteresis_c = 3.0;   ///< exit a level this far below entry
+    f64 level1_scale = 1.15;  ///< compute latency multiplier, level 1
+    f64 level2_scale = 1.35;  ///< level 2
+};
+
+/** Full stress-model configuration. */
+struct DeviceStressConfig
+{
+    /**
+     * Enables thermal/DVFS integration. A session also instantiates
+     * the stress model whenever its DeviceFaultScenario is
+     * non-empty; with enabled == false and no faults the session
+     * runs the fixed operating-point models untouched.
+     */
+    bool enabled = false;
+
+    ThermalParams thermal;
+    DvfsParams dvfs;
+
+    /** Watchdog latency charged for a failed NPU invocation (ms). */
+    f64 npu_timeout_ms = 25.0;
+};
+
+/**
+ * RC thermal node + throttle curves. Exposed separately from the
+ * full stress model so the property tests can drive it directly.
+ */
+class ThermalModel
+{
+  public:
+    explicit ThermalModel(const ThermalParams &params);
+
+    /**
+     * Advance one frame: @p dissipated_mj of pipeline energy spread
+     * over @p dt_ms, plus @p extra_w of scripted background power,
+     * against an ambient shifted by @p ambient_delta_c.
+     */
+    void advance(f64 dt_ms, f64 dissipated_mj, f64 extra_w = 0.0,
+                 f64 ambient_delta_c = 0.0);
+
+    f64 temperatureC() const { return temp_c_; }
+
+    /** Distance below the earliest (NPU) throttle knee (°C); negative
+     *  once throttling has begun. */
+    f64 headroomC() const { return params_.npu.knee_c - temp_c_; }
+
+    f64 npuFactor() const { return params_.npu.factorAt(temp_c_); }
+    f64 gpuFactor() const { return params_.gpu.factorAt(temp_c_); }
+    f64 cpuFactor() const { return params_.cpu.factorAt(temp_c_); }
+    f64 decoderFactor() const
+    {
+        return params_.decoder.factorAt(temp_c_);
+    }
+
+    const ThermalParams &params() const { return params_; }
+
+  private:
+    ThermalParams params_;
+    f64 temp_c_;
+};
+
+/** DVFS governor level state (hysteretic step-down/step-up). */
+class DvfsModel
+{
+  public:
+    explicit DvfsModel(const DvfsParams &params) : params_(params) {}
+
+    /** Update the level from the current temperature. */
+    void update(f64 temp_c);
+
+    /** Current governor level (0, 1 or 2). */
+    int level() const { return level_; }
+
+    /** Latency multiplier of the current level (1.0 at level 0). */
+    f64 scale() const;
+
+  private:
+    DvfsParams params_;
+    int level_ = 0;
+};
+
+/**
+ * The full per-session device stress model: thermal node + DVFS
+ * governor + seeded scripted faults. Protocol, per frame:
+ *
+ *   1. beginFrame(frame)  — samples this frame's FrameConditions
+ *      (throttle factors from the current temperature, fault draws
+ *      from the seeded RNG). Exactly two uniforms are drawn per
+ *      frame regardless of the scenario, so the fault schedule is
+ *      independent of which windows are active.
+ *   2. endFrame(dissipated_mj, dt_ms) — feeds the frame's dissipated
+ *      client energy (plus any scripted background power) into the
+ *      thermal node.
+ *
+ * Deterministic: same config + scenario + seed => the same condition
+ * stream, bit for bit.
+ */
+class DeviceStressModel
+{
+  public:
+    DeviceStressModel(const DeviceStressConfig &config,
+                      const DeviceFaultScenario &scenario, u64 seed);
+
+    /** Sample this frame's operating conditions (tier left at 0;
+     *  the degradation ladder fills it in). */
+    FrameConditions beginFrame(i64 frame);
+
+    /** Integrate the frame's heat into the thermal node. */
+    void endFrame(f64 dissipated_mj, f64 dt_ms);
+
+    f64 temperatureC() const { return thermal_.temperatureC(); }
+    f64 headroomC() const { return thermal_.headroomC(); }
+    int dvfsLevel() const { return dvfs_.level(); }
+
+    const DeviceStressConfig &config() const { return config_; }
+
+  private:
+    DeviceStressConfig config_;
+    DeviceFaultScenario scenario_;
+    ThermalModel thermal_;
+    DvfsModel dvfs_;
+    Rng rng_;
+    DeviceFaultEvent current_; ///< composed event of the last beginFrame
+};
+
+} // namespace gssr
+
+#endif // GSSR_DEVICE_STRESS_HH

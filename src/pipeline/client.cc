@@ -1,5 +1,8 @@
 #include "pipeline/client.hh"
 
+#include <algorithm>
+#include <cmath>
+
 #include "common/mathutil.hh"
 #include "sr/interpolate.hh"
 
@@ -25,6 +28,38 @@ scaleRect(const Rect &r, int factor)
 {
     return {r.x * factor, r.y * factor, r.width * factor,
             r.height * factor};
+}
+
+/** Shrink a rect around its centre to @p scale of each edge (the
+ *  tier-1 degraded RoI), floored at 16 px. Stays inside the input. */
+Rect
+shrinkRect(const Rect &r, f64 scale)
+{
+    int w = std::max(16, int(std::lround(f64(r.width) * scale)));
+    int h = std::max(16, int(std::lround(f64(r.height) * scale)));
+    w = std::min(w, r.width);
+    h = std::min(h, r.height);
+    return {r.x + (r.width - w) / 2, r.y + (r.height - h) / 2, w, h};
+}
+
+/**
+ * The client-construction half of the ClientConfig contract: a
+ * pixel-computing client needs a trained quality net (sr_net docs),
+ * checked *before* the DnnUpscaler member is built so a
+ * misconfigured session fails with this message instead of the
+ * upscaler's internal "needs a net" panic. Accounting-only clients
+ * reuse a provided net or fabricate an untrained one — the quality
+ * path never runs, only the EDSR cost model is consulted.
+ */
+std::shared_ptr<const CompactSrNet>
+qualityNetFor(const ClientConfig &config)
+{
+    GSSR_ASSERT(!config.compute_pixels || config.sr_net != nullptr,
+                "ClientConfig: compute_pixels requires a trained "
+                "sr_net (set sr_net or disable compute_pixels)");
+    if (config.sr_net)
+        return config.sr_net;
+    return std::make_shared<const CompactSrNet>();
 }
 
 /** Scale a decoded MV field to HR resolution (NEMO-style reuse). */
@@ -96,15 +131,8 @@ nemoReconOps(Size hr)
 
 StreamingClient::StreamingClient(const ClientConfig &config)
     : config_(config),
-      dnn_(config.compute_pixels
-               ? config.sr_net
-               : std::make_shared<const CompactSrNet>(),
-           config.scale_factor)
+      dnn_(qualityNetFor(config), config.scale_factor)
 {
-    if (config_.compute_pixels) {
-        GSSR_ASSERT(config_.sr_net != nullptr,
-                    "compute_pixels requires a trained SR net");
-    }
 }
 
 void
@@ -123,7 +151,8 @@ GssrClient::GssrClient(const ClientConfig &config)
 
 ClientFrameResult
 GssrClient::processFrame(const EncodedFrame &frame,
-                         const std::optional<Rect> &roi)
+                         const std::optional<Rect> &roi,
+                         const FrameConditions &cond)
 {
     const DeviceProfile &dev = config_.device;
     ClientFrameResult result;
@@ -132,40 +161,82 @@ GssrClient::processFrame(const EncodedFrame &frame,
     trace.type = frame.type;
     trace.encoded_bytes = frame.sizeBytes();
 
-    // Hardware decode (codec-agnostic, pixels only).
-    f64 decode_ms = dev.hw_decoder.latencyMs(config_.lr_size.area());
+    const int tier = clamp(cond.tier, 0, 3);
+
+    // Hardware decode (codec-agnostic, pixels only). Runs at every
+    // tier — the decoder must stay reference-consistent even while
+    // the ladder holds frames — inflated by the thermal/DVFS scale
+    // and any scripted memory-pressure stall.
+    f64 decode_ms = dev.hw_decoder.latencyMs(config_.lr_size.area()) *
+                        cond.decoder_scale +
+                    cond.decode_stall_ms;
     StageScope(trace, Stage::Decode, Resource::ClientHwDecoder)
         .latencyMs(decode_ms)
         .energyMj(dev.hw_decoder.energyMj(decode_ms));
 
+    ColorImage lr;
+    if (config_.compute_pixels)
+        lr = decoder_.decode(frame);
+
+    if (tier >= 3) {
+        // Tier-3 frame hold: decode only. The session engine
+        // substitutes the held output and charges the hold blit and
+        // display stages itself.
+        return result;
+    }
+
     Rect r = roi ? *roi : centreWindow(config_.lr_size, 300);
-
-    // Parallel upscaling (Fig. 9): the RoI goes to the NPU for DNN
-    // SR while the GPU bilinear-upscales the rest; the stage latency
-    // is the max of the two, the energy is the sum.
-    i64 roi_macs = dnn_.macs({r.width, r.height}, config_.scale_factor);
-    f64 npu_ms = dev.npu.latencyMs(roi_macs, r.area());
-    i64 gpu_ops = resizeOpCount(hrSize(), InterpKernel::Bilinear);
-    f64 gpu_ms = dev.gpu.latencyMs(gpu_ops);
-    StageScope(trace, Stage::Upscale, Resource::ClientNpu)
-        .latencyMs(std::max(npu_ms, gpu_ms))
-        .energyMj(dev.npu.energyMj(npu_ms))
-        .energyMj(dev.gpu.energyMj(gpu_ms));
-
-    // Merge the upscaled RoI into the HR framebuffer (GPU blit).
+    if (cond.roi_shrink < 1.0)
+        r = shrinkRect(r, cond.roi_shrink);
     Rect hr_roi = scaleRect(r, config_.scale_factor);
-    f64 merge_ms = dev.gpu.latencyMs(hr_roi.area());
-    StageScope(trace, Stage::Merge, Resource::ClientGpu)
-        .latencyMs(merge_ms)
-        .energyMj(dev.gpu.energyMj(merge_ms));
+
+    i64 gpu_ops = resizeOpCount(hrSize(), InterpKernel::Bilinear);
+    f64 gpu_ms = dev.gpu.latencyMs(gpu_ops) * cond.gpu_scale;
+
+    // An NPU invocation failure falls back to the GPU bilinear
+    // output for this frame: the watchdog timeout is charged, the
+    // RoI is not super-resolved and there is nothing to merge.
+    const bool use_npu = tier < 2 && !cond.npu_faulted;
+
+    if (tier >= 2) {
+        // Tier-2 GPU bilinear only: the NPU stays idle and cools.
+        StageScope(trace, Stage::Upscale, Resource::ClientGpu)
+            .latencyMs(gpu_ms)
+            .energyMj(dev.gpu.energyMj(gpu_ms));
+    } else {
+        // Parallel upscaling (Fig. 9): the RoI goes to the NPU for
+        // DNN SR while the GPU bilinear-upscales the rest; the stage
+        // latency is the max of the two, the energy is the sum.
+        i64 roi_macs =
+            dnn_.macs({r.width, r.height}, config_.scale_factor);
+        f64 npu_ms =
+            cond.npu_faulted
+                ? cond.npu_timeout_ms
+                : dev.npu.latencyMs(roi_macs, r.area()) *
+                      cond.npu_scale;
+        StageScope(trace, Stage::Upscale, Resource::ClientNpu)
+            .latencyMs(std::max(npu_ms, gpu_ms))
+            .energyMj(dev.npu.energyMj(npu_ms))
+            .energyMj(dev.gpu.energyMj(gpu_ms));
+    }
+
+    if (use_npu) {
+        // Merge the upscaled RoI into the HR framebuffer (GPU blit).
+        f64 merge_ms =
+            dev.gpu.latencyMs(hr_roi.area()) * cond.gpu_scale;
+        StageScope(trace, Stage::Merge, Resource::ClientGpu)
+            .latencyMs(merge_ms)
+            .energyMj(dev.gpu.energyMj(merge_ms));
+    }
 
     if (config_.compute_pixels) {
-        ColorImage lr = decoder_.decode(frame);
         ColorImage hr =
             resizeImage(lr, hrSize(), InterpKernel::Bilinear);
-        ColorImage roi_hr =
-            dnn_.upscale(lr.crop(r), config_.scale_factor);
-        hr.blit(roi_hr, hr_roi.x, hr_roi.y);
+        if (use_npu) {
+            ColorImage roi_hr =
+                dnn_.upscale(lr.crop(r), config_.scale_factor);
+            hr.blit(roi_hr, hr_roi.x, hr_roi.y);
+        }
         result.upscaled = std::move(hr);
     }
 
@@ -180,7 +251,8 @@ NemoClient::NemoClient(const ClientConfig &config)
 
 ClientFrameResult
 NemoClient::processFrame(const EncodedFrame &frame,
-                         const std::optional<Rect> & /* roi unused */)
+                         const std::optional<Rect> & /* roi unused */,
+                         const FrameConditions &cond)
 {
     const DeviceProfile &dev = config_.device;
     ClientFrameResult result;
@@ -191,8 +263,11 @@ NemoClient::processFrame(const EncodedFrame &frame,
 
     // Software decode on the CPU: NEMO needs the decoder-internal
     // motion vectors and residuals, which rules out the hardware
-    // decoder (Sec. V-A).
-    f64 decode_ms = dev.sw_decoder.latencyMs(config_.lr_size.area());
+    // decoder (Sec. V-A). The CPU throttle scale applies, as do
+    // memory-pressure stalls.
+    f64 decode_ms = dev.sw_decoder.latencyMs(config_.lr_size.area()) *
+                        cond.cpu_scale +
+                    cond.decode_stall_ms;
     StageScope(trace, Stage::Decode, Resource::ClientCpu)
         .latencyMs(decode_ms)
         .energyMj(dev.sw_decoder.energyMj(decode_ms));
@@ -203,10 +278,15 @@ NemoClient::processFrame(const EncodedFrame &frame,
         lr_yuv = decoder_.decode(frame, internals);
 
     if (frame.type == FrameType::Reference) {
-        // Full-frame DNN SR on the NPU.
+        // Full-frame DNN SR on the NPU. NEMO has no fallback path
+        // for a failed invocation (its non-reference frames *need*
+        // the upscaled anchor), so a fault costs the watchdog
+        // timeout plus the retried invocation.
         i64 macs = dnn_.macs(config_.lr_size, config_.scale_factor);
         f64 npu_ms =
-            dev.npu.latencyMs(macs, config_.lr_size.area());
+            dev.npu.latencyMs(macs, config_.lr_size.area()) *
+                cond.npu_scale +
+            (cond.npu_faulted ? cond.npu_timeout_ms : 0.0);
         StageScope(trace, Stage::Upscale, Resource::ClientNpu)
             .latencyMs(npu_ms)
             .energyMj(dev.npu.energyMj(npu_ms));
@@ -220,7 +300,8 @@ NemoClient::processFrame(const EncodedFrame &frame,
     } else {
         // CPU bilinear upscaling of MVs + residuals, then HR
         // reconstruction from the cached upscaled frame.
-        f64 cpu_ms = dev.cpu.latencyMs(nemoReconOps(hrSize()));
+        f64 cpu_ms = dev.cpu.latencyMs(nemoReconOps(hrSize())) *
+                     cond.cpu_scale;
         StageScope(trace, Stage::Upscale, Resource::ClientCpu)
             .latencyMs(cpu_ms)
             .energyMj(dev.cpu.energyMj(cpu_ms));
@@ -253,7 +334,8 @@ SrDecoderClient::SrDecoderClient(const ClientConfig &config)
 
 ClientFrameResult
 SrDecoderClient::processFrame(const EncodedFrame &frame,
-                              const std::optional<Rect> &roi)
+                              const std::optional<Rect> &roi,
+                              const FrameConditions &cond)
 {
     const DeviceProfile &dev = config_.device;
     ClientFrameResult result;
@@ -271,21 +353,28 @@ SrDecoderClient::processFrame(const EncodedFrame &frame,
         // and the upscaled frame is cached in the decoder buffer
         // (step-2).
         f64 decode_ms =
-            dev.hw_decoder.latencyMs(config_.lr_size.area());
+            dev.hw_decoder.latencyMs(config_.lr_size.area()) *
+                cond.decoder_scale +
+            cond.decode_stall_ms;
         StageScope(trace, Stage::Decode, Resource::ClientHwDecoder)
             .latencyMs(decode_ms)
             .energyMj(dev.hw_decoder.energyMj(decode_ms));
 
+        // A failed NPU invocation is retried (the cached-reference
+        // scheme needs the upscaled anchor): timeout + invocation.
         i64 roi_macs =
             dnn_.macs({r.width, r.height}, config_.scale_factor);
-        f64 npu_ms = dev.npu.latencyMs(roi_macs, r.area());
+        f64 npu_ms = dev.npu.latencyMs(roi_macs, r.area()) *
+                         cond.npu_scale +
+                     (cond.npu_faulted ? cond.npu_timeout_ms : 0.0);
         i64 gpu_ops = resizeOpCount(hrSize(), InterpKernel::Bilinear);
-        f64 gpu_ms = dev.gpu.latencyMs(gpu_ops);
+        f64 gpu_ms = dev.gpu.latencyMs(gpu_ops) * cond.gpu_scale;
         StageScope(trace, Stage::Upscale, Resource::ClientNpu)
             .latencyMs(std::max(npu_ms, gpu_ms))
             .energyMj(dev.npu.energyMj(npu_ms))
             .energyMj(dev.gpu.energyMj(gpu_ms));
-        f64 merge_ms = dev.gpu.latencyMs(hr_roi.area());
+        f64 merge_ms =
+            dev.gpu.latencyMs(hr_roi.area()) * cond.gpu_scale;
         StageScope(trace, Stage::Merge, Resource::ClientGpu)
             .latencyMs(merge_ms)
             .energyMj(dev.gpu.energyMj(merge_ms));
@@ -311,7 +400,10 @@ SrDecoderClient::processFrame(const EncodedFrame &frame,
         // RoI, bilinear outside), entirely in extended decoder
         // hardware.
         f64 decode_ms = dev.hw_decoder.latencyMs(
-            config_.lr_size.area() + hrSize().area());
+                            config_.lr_size.area() +
+                            hrSize().area()) *
+                            cond.decoder_scale +
+                        cond.decode_stall_ms;
         StageScope(trace, Stage::Decode, Resource::ClientHwDecoder)
             .latencyMs(decode_ms)
             .energyMj(dev.hw_decoder.energyMj(decode_ms));

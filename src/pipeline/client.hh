@@ -31,6 +31,7 @@
 
 #include "codec/codec.hh"
 #include "device/profiles.hh"
+#include "device/stress.hh"
 #include "pipeline/trace.hh"
 #include "sr/upscaler.hh"
 
@@ -81,12 +82,28 @@ class StreamingClient
     virtual std::string name() const = 0;
 
     /**
-     * Process one received frame.
+     * Process one received frame at the nominal operating point.
      * @param roi RoI metadata from the server (when present).
+     */
+    ClientFrameResult
+    processFrame(const EncodedFrame &frame,
+                 const std::optional<Rect> &roi)
+    {
+        return processFrame(frame, roi, FrameConditions{});
+    }
+
+    /**
+     * Process one received frame under dynamic device conditions
+     * (thermal throttle scales, transient faults, degradation-ladder
+     * tier — see device/stress.hh). Default conditions reproduce the
+     * nominal path bit for bit. Tier semantics are defined for the
+     * GssrClient hybrid pipeline; the baseline designs honor the
+     * throttle scales and faults and ignore the tier.
      */
     virtual ClientFrameResult
     processFrame(const EncodedFrame &frame,
-                 const std::optional<Rect> &roi) = 0;
+                 const std::optional<Rect> &roi,
+                 const FrameConditions &cond) = 0;
 
     /** High-resolution output size. */
     Size
@@ -114,8 +131,10 @@ class GssrClient : public StreamingClient
 
     std::string name() const override { return "gamestreamsr"; }
 
+    using StreamingClient::processFrame;
     ClientFrameResult processFrame(const EncodedFrame &frame,
-                                   const std::optional<Rect> &roi)
+                                   const std::optional<Rect> &roi,
+                                   const FrameConditions &cond)
         override;
 
   private:
@@ -130,8 +149,10 @@ class NemoClient : public StreamingClient
 
     std::string name() const override { return "nemo"; }
 
+    using StreamingClient::processFrame;
     ClientFrameResult processFrame(const EncodedFrame &frame,
-                                   const std::optional<Rect> &roi)
+                                   const std::optional<Rect> &roi,
+                                   const FrameConditions &cond)
         override;
 
   private:
@@ -147,8 +168,10 @@ class SrDecoderClient : public StreamingClient
 
     std::string name() const override { return "sr-decoder"; }
 
+    using StreamingClient::processFrame;
     ClientFrameResult processFrame(const EncodedFrame &frame,
-                                   const std::optional<Rect> &roi)
+                                   const std::optional<Rect> &roi,
+                                   const FrameConditions &cond)
         override;
 
   private:

@@ -1,0 +1,74 @@
+#include "pipeline/degrade.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace gssr
+{
+
+DegradationLadder::DegradationLadder(const LadderConfig &config)
+    : config_(config)
+{
+    GSSR_ASSERT(config_.budget_ms > 0.0,
+                "frame budget must be positive");
+    GSSR_ASSERT(config_.down_after_misses >= 1 &&
+                    config_.up_after_clean >= 1,
+                "hysteresis counts must be at least 1");
+    GSSR_ASSERT(config_.roi_shrink > 0.0 && config_.roi_shrink <= 1.0,
+                "RoI shrink must be in (0, 1]");
+    GSSR_ASSERT(config_.bitrate_step > 0.0 &&
+                    config_.bitrate_step <= 1.0,
+                "bitrate step must be in (0, 1]");
+    GSSR_ASSERT(config_.up_margin > 0.0 && config_.up_margin <= 1.0,
+                "up margin must be in (0, 1]");
+}
+
+f64
+DegradationLadder::bitrateScale() const
+{
+    // Exact 1.0 at tier 0 so a tier-0 session retargets the encoder
+    // with bit-identical values.
+    f64 scale = 1.0;
+    for (int i = 0; i < tier_; ++i)
+        scale *= config_.bitrate_step;
+    return scale;
+}
+
+f64
+DegradationLadder::roiShrink() const
+{
+    return tier_ == 1 ? config_.roi_shrink : 1.0;
+}
+
+LadderTransition
+DegradationLadder::onFrame(f64 busy_ms, f64 headroom_c)
+{
+    if (!config_.enabled)
+        return LadderTransition::None;
+
+    if (isMiss(busy_ms)) {
+        clean_run_ = 0;
+        miss_run_ += 1;
+        if (miss_run_ >= config_.down_after_misses &&
+            tier_ < kTierCount - 1) {
+            tier_ += 1;
+            miss_run_ = 0;
+            return LadderTransition::StepDown;
+        }
+        return LadderTransition::None;
+    }
+
+    miss_run_ = 0;
+    clean_run_ += 1;
+    if (tier_ > 0 && clean_run_ >= config_.up_after_clean &&
+        busy_ms < config_.budget_ms * config_.up_margin &&
+        headroom_c >= config_.min_headroom_c) {
+        tier_ -= 1;
+        clean_run_ = 0;
+        return LadderTransition::StepUp;
+    }
+    return LadderTransition::None;
+}
+
+} // namespace gssr

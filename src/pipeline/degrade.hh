@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Frame-deadline watchdog + adaptive degradation ladder for the
+ * GameStreamSR client. The watchdog compares each frame's client
+ * processing cost (the pipelined decode/upscale/merge bottleneck)
+ * against the frame budget; sustained misses step the client down a
+ * quality ladder, and sustained headroom — both in time *and* in
+ * temperature — steps it back up, one tier at a time:
+ *
+ *   tier 0  hybrid NPU-RoI SR + GPU bilinear     (the paper design)
+ *   tier 1  shrunken RoI SR (roi_shrink x edge)  (less NPU work/heat)
+ *   tier 2  GPU bilinear only                    (NPU idle, cools)
+ *   tier 3  frame hold                           (decode only)
+ *
+ * Hysteresis is asymmetric by design: stepping down takes
+ * down_after_misses consecutive misses (fast — a hot device must
+ * shed load now), stepping up takes up_after_clean consecutive
+ * clean frames *and* the last frame under up_margin of the budget
+ * *and* min_headroom_c of thermal headroom (slow — re-engaging the
+ * NPU on a device at its throttle knee would oscillate).
+ *
+ * A throttled client also requests less bitrate from the server:
+ * bitrateScale() shrinks the encoder target by bitrate_step per
+ * tier, closing the server<->client control loop (a device that
+ * cannot upscale full quality should not be streamed full quality).
+ *
+ * The ladder is a strict no-op at tier 0: it only observes the trace
+ * and emits identical conditions, so a fault-free session with the
+ * ladder enabled is bit-identical to one without it (pinned by
+ * test_golden_trace).
+ */
+
+#ifndef GSSR_PIPELINE_DEGRADE_HH
+#define GSSR_PIPELINE_DEGRADE_HH
+
+#include "common/types.hh"
+
+namespace gssr
+{
+
+/** Degradation-ladder policy. */
+struct LadderConfig
+{
+    /** Master switch; disabled = the client never leaves tier 0. */
+    bool enabled = true;
+
+    /** Per-frame client processing budget (ms). */
+    f64 budget_ms = 1000.0 / 60.0;
+
+    /** Consecutive deadline misses before stepping down a tier. */
+    int down_after_misses = 2;
+
+    /** Consecutive clean frames before stepping up a tier. */
+    int up_after_clean = 48;
+
+    /** Step up only when the last frame cost < budget * up_margin. */
+    f64 up_margin = 0.75;
+
+    /** Step up only with at least this much thermal headroom (°C).
+     *  Ignored when the session has no stress model. */
+    f64 min_headroom_c = 2.0;
+
+    /** Tier-1 RoI edge scale in (0, 1]. */
+    f64 roi_shrink = 0.6;
+
+    /** Encoder-bitrate scale per tier (bitrate_step ^ tier). */
+    f64 bitrate_step = 0.75;
+};
+
+/** What the ladder did with one observed frame. */
+enum class LadderTransition
+{
+    None,
+    StepDown,
+    StepUp,
+};
+
+/** Deadline watchdog + tier state machine. */
+class DegradationLadder
+{
+  public:
+    static constexpr int kTierCount = 4;
+    static constexpr int kTierHold = 3;
+
+    explicit DegradationLadder(const LadderConfig &config);
+
+    /** Tier the *next* frame should run at. */
+    int tier() const { return tier_; }
+
+    /** Encoder-bitrate scale for the current tier (1.0 at tier 0). */
+    f64 bitrateScale() const;
+
+    /** Tier-1 RoI shrink factor (1.0 at every other tier). */
+    f64 roiShrink() const;
+
+    /** True when @p busy_ms blows the configured frame budget. */
+    bool isMiss(f64 busy_ms) const
+    {
+        return busy_ms > config_.budget_ms;
+    }
+
+    /**
+     * Observe one completed frame's client processing cost and the
+     * device's thermal headroom (+inf when unstressed); returns the
+     * transition applied to the tier for subsequent frames.
+     */
+    LadderTransition onFrame(f64 busy_ms, f64 headroom_c);
+
+    const LadderConfig &config() const { return config_; }
+
+  private:
+    LadderConfig config_;
+    int tier_ = 0;
+    int miss_run_ = 0;
+    int clean_run_ = 0;
+};
+
+} // namespace gssr
+
+#endif // GSSR_PIPELINE_DEGRADE_HH

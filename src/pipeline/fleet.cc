@@ -239,6 +239,10 @@ FleetServer::run(int ticks)
         s.frames_dropped = session.resilience.frames_dropped;
         s.frames_concealed = session.resilience.frames_concealed;
         s.aimd_backoffs = session.resilience.aimd_backoffs;
+        s.deadline_misses = session.degradation.deadline_misses;
+        s.frames_held = session.degradation.frames_held;
+        s.final_tier = session.degradation.final_tier;
+        s.peak_temperature_c = session.degradation.peak_temperature_c;
 
         f64 queue_total = 0.0;
         f64 mtp_total = 0.0;

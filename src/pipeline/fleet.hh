@@ -75,6 +75,14 @@ struct FleetSessionStats
     i64 frames_concealed = 0;
     i64 aimd_backoffs = 0;
 
+    /** Client degradation-ladder view (session.hh DegradationStats):
+     *  a throttled tenant's deadline pressure is fleet-visible so the
+     *  operator can tell client-side from server-side overload. */
+    i64 deadline_misses = 0;
+    i64 frames_held = 0;
+    int final_tier = 0;
+    f64 peak_temperature_c = 0.0;
+
     /** Mean MTP over delivered frames (includes ServerQueue). */
     f64 mean_mtp_ms = 0.0;
 

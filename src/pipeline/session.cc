@@ -207,9 +207,24 @@ SessionEngine::SessionEngine(const SessionConfig &config)
       channel_(config.channel, config.channel_seed,
                config.fault_scenario),
       concealer_(config.resilience.concealment),
+      ladder_(config.ladder),
       hr_size_{config.lr_size.width * config.scale_factor,
                config.lr_size.height * config.scale_factor}
 {
+    // Device stress: only instantiated when asked for (or when a
+    // fault scenario implies it) — an unstressed session must not
+    // even construct the model, so the fixed-operating-point paths
+    // stay byte-for-byte untouched.
+    if (config_.device_stress.enabled || !config_.device_faults.empty())
+        stress_.emplace(config_.device_stress, config_.device_faults,
+                        config_.device_seed);
+
+    // The ladder's tier semantics (RoI shrink, NPU bypass, frame
+    // hold) are defined for the hybrid GameStreamSR client; the
+    // baseline designs run it disabled.
+    ladder_active_ = config_.ladder.enabled &&
+                     config_.design == DesignKind::GameStreamSR;
+
     ClientConfig client_config;
     client_config.device = config_.device;
     client_config.lr_size = config_.lr_size;
@@ -244,6 +259,15 @@ SessionEngine::SessionEngine(const SessionConfig &config)
             "fleet.mtp_ms", obs::HistogramLayout::linear(0, 250, 500));
         tm_.queue_ms = reg.histogram(
             "fleet.queue_ms", obs::HistogramLayout::linear(0, 100, 200));
+        tm_.deadline_misses = reg.counter("client.deadline_misses");
+        tm_.ladder_step_downs =
+            reg.counter("client.ladder_step_downs");
+        tm_.ladder_step_ups = reg.counter("client.ladder_step_ups");
+        tm_.npu_faults = reg.counter("client.npu_faults");
+        tm_.frames_held = reg.counter("client.frames_held");
+        tm_.tier_gauge = reg.gauge("client.tier");
+        tm_.temperature_gauge = reg.gauge("client.temperature_c");
+        tm_.headroom_gauge = reg.gauge("client.thermal_headroom_c");
         channel_.setTelemetry(config_.telemetry,
                               config_.telemetry_track);
         if (aimd_)
@@ -261,9 +285,20 @@ SessionEngine::beginFrame(f64 now_ms)
         !feedback_.drainArrived(now_ms).empty())
         server_.requestIntraRefresh();
 
-    // The AIMD loop retargets the encoder's rate controller.
-    if (aimd_ && server_.rateControlled())
-        server_.setTargetBitrate(aimd_->targetMbps());
+    // The AIMD loop retargets the encoder's rate controller; a
+    // degraded client additionally requests bitrate_step^tier of the
+    // target — the server should not stream full quality at a device
+    // that cannot upscale it. At tier 0 the scale is exactly 1.0, so
+    // the fixed-target no-op path below is bit-identical to a
+    // ladder-free session.
+    if (server_.rateControlled()) {
+        f64 target = aimd_ ? aimd_->targetMbps()
+                           : config_.target_bitrate_mbps;
+        f64 scaled =
+            target * (ladder_active_ ? ladder_.bitrateScale() : 1.0);
+        if (aimd_ || scaled != target)
+            server_.setTargetBitrate(scaled);
+    }
 
     PendingFrame pending;
     pending.now_ms = now_ms;
@@ -383,15 +418,60 @@ SessionEngine::finishFrame(PendingFrame pending,
         }
     }
 
+    // Dynamic device conditions for this frame: thermal/DVFS throttle
+    // scales and scripted fault draws from the stress model, plus the
+    // degradation-ladder tier. The stress RNG advances once per frame
+    // — delivered or not — so the fault stream is a pure function of
+    // (seed, frame index), mirroring the network FaultScenario.
+    FrameConditions cond;
+    if (stress_)
+        cond = stress_->beginFrame(frames_run_);
+    if (ladder_active_) {
+        cond.tier = ladder_.tier();
+        cond.roi_shrink = ladder_.roiShrink();
+    }
+    const bool monitored = stress_.has_value() || ladder_active_;
+    DegradationStats &deg = result_.degradation;
+
     // Client processing: only decodable frames reach the decoder;
     // lost/stale frames are concealed from the last good HR output.
     ColorImage output;
+    const bool held =
+        decodable && cond.tier >= DegradationLadder::kTierHold;
     if (decodable) {
-        ClientFrameResult processed =
-            client_->processFrame(produced.encoded, produced.roi);
+        ClientFrameResult processed = client_->processFrame(
+            produced.encoded, produced.roi, cond);
         for (const auto &record : processed.trace.records)
             trace.pushRecord(record);
-        if (config_.compute_pixels) {
+        if (monitored) {
+            deg.tier_frames[clamp(
+                cond.tier, 0, DegradationLadder::kTierCount - 1)] += 1;
+            if (cond.npu_faulted) {
+                trace.addEvent(RecoveryEvent::NpuFault);
+                deg.npu_faults += 1;
+            }
+            if (cond.decode_stall_ms > 0.0)
+                deg.decode_stalls += 1;
+        }
+        if (held) {
+            // Tier-3 frame hold: the decoder ran (the reference
+            // chain stays valid) but the display repeats the last
+            // good HR output. Charged like a concealment blit;
+            // counted as frames_held, not frames_concealed — this is
+            // the ladder's choice, not a network loss, so the stale
+            // episode/NACK bookkeeping below must not see it.
+            trace.concealed = true;
+            trace.addEvent(RecoveryEvent::FrameHeld);
+            deg.frames_held += 1;
+            addConcealStage(trace, config_.device, hr_size_,
+                            res.concealment);
+            const DisplayModel &display = config_.device.display;
+            StageScope(trace, Stage::Display, Resource::ClientDisplay)
+                .latencyMs(display.latencyMs())
+                .energyMj(display.energyMjPerFrame(kFramePeriodMs));
+            if (config_.compute_pixels)
+                output = concealer_.conceal(hr_size_);
+        } else if (config_.compute_pixels) {
             concealer_.onGoodFrame(processed.upscaled);
             output = std::move(processed.upscaled);
         }
@@ -420,6 +500,49 @@ SessionEngine::finishFrame(PendingFrame pending,
             std::max(stats.longest_stale_run, stale_run_);
     }
 
+    // Frame-deadline watchdog + ladder update. Only frames the
+    // client actually processed are observed — a network loss says
+    // nothing about client load. The trace events below are recorded
+    // only in monitored sessions, so unmonitored traces (and the
+    // fault-free goldens, which never miss the budget) are
+    // bit-identical to the pre-ladder pipeline.
+    if (decodable && monitored) {
+        f64 busy = trace.clientBottleneckMs();
+        if (ladder_.isMiss(busy)) {
+            trace.addEvent(RecoveryEvent::DeadlineMiss);
+            deg.deadline_misses += 1;
+        }
+        if (ladder_active_) {
+            f64 headroom = stress_ ? stress_->headroomC() : 1e18;
+            switch (ladder_.onFrame(busy, headroom)) {
+              case LadderTransition::StepDown:
+                trace.addEvent(RecoveryEvent::LadderStepDown);
+                deg.ladder_step_downs += 1;
+                break;
+              case LadderTransition::StepUp:
+                trace.addEvent(RecoveryEvent::LadderStepUp);
+                deg.ladder_step_ups += 1;
+                break;
+              case LadderTransition::None:
+                break;
+            }
+        }
+    }
+
+    // Integrate this frame's dissipated heat into the thermal node:
+    // stage energies plus the constant device base power (scripted
+    // background loads are added inside the model from the active
+    // fault windows).
+    if (stress_) {
+        stress_->endFrame(
+            trace.clientEnergyMj() +
+                config_.device.base_power_w * kFramePeriodMs,
+            kFramePeriodMs);
+        deg.peak_temperature_c = std::max(deg.peak_temperature_c,
+                                          stress_->temperatureC());
+    }
+    deg.final_tier = ladder_.tier();
+
     // Quality vs. the native HR render of the same scene, measured
     // on what the client actually displays — concealed frames
     // included, so transient dips are real.
@@ -434,7 +557,7 @@ SessionEngine::finishFrame(PendingFrame pending,
         FrameQuality q;
         q.frame_index = produced.encoded.index;
         q.type = produced.encoded.type;
-        q.concealed = !decodable;
+        q.concealed = trace.concealed;
         q.psnr_db = psnr(output, ground_truth);
         if (config_.measure_perceptual &&
             measured_ % config_.perceptual_stride == 0) {
@@ -482,6 +605,22 @@ SessionEngine::exportFrameTelemetry(const FrameTrace &trace,
             reg.add(tm_.intra_refreshes);
         else if (e == RecoveryEvent::BitrateBackoff)
             reg.add(tm_.aimd_backoffs);
+        else if (e == RecoveryEvent::DeadlineMiss)
+            reg.add(tm_.deadline_misses);
+        else if (e == RecoveryEvent::LadderStepDown)
+            reg.add(tm_.ladder_step_downs);
+        else if (e == RecoveryEvent::LadderStepUp)
+            reg.add(tm_.ladder_step_ups);
+        else if (e == RecoveryEvent::NpuFault)
+            reg.add(tm_.npu_faults);
+        else if (e == RecoveryEvent::FrameHeld)
+            reg.add(tm_.frames_held);
+    }
+    if (ladder_active_)
+        reg.set(tm_.tier_gauge, f64(ladder_.tier()));
+    if (stress_) {
+        reg.set(tm_.temperature_gauge, stress_->temperatureC());
+        reg.set(tm_.headroom_gauge, stress_->headroomC());
     }
     f64 queue_ms = trace.stageLatencyMs(Stage::ServerQueue);
     if (queue_ms > 0.0)

@@ -18,6 +18,7 @@
 #include "net/fault.hh"
 #include "obs/telemetry.hh"
 #include "pipeline/client.hh"
+#include "pipeline/degrade.hh"
 #include "pipeline/resilience.hh"
 #include "pipeline/server.hh"
 
@@ -55,6 +56,30 @@ struct SessionConfig
 
     /** Loss-recovery policy (concealment, NACK, AIMD). */
     ResilienceConfig resilience;
+
+    /**
+     * Scripted client-side faults (thermal soaks, NPU dropouts,
+     * memory pressure — device/stress.hh). A non-empty scenario
+     * instantiates the device stress model even when device_stress
+     * is disabled.
+     */
+    DeviceFaultScenario device_faults;
+
+    /** Thermal/DVFS stress model; disabled (fixed operating point)
+     *  by default. */
+    DeviceStressConfig device_stress;
+
+    /** Seed of the device fault-draw stream. */
+    u64 device_seed = 7;
+
+    /**
+     * Frame-deadline watchdog + degradation ladder
+     * (pipeline/degrade.hh). Enabled by default but a strict no-op
+     * at tier 0, so fault-free sessions stay bit-identical (pinned
+     * by test_golden_trace). Tier semantics are defined for the
+     * GameStreamSR hybrid client; other designs ignore the ladder.
+     */
+    LadderConfig ladder;
 
     /** Streamed resolution and scale. */
     Size lr_size{1280, 720};
@@ -151,12 +176,44 @@ struct ResilienceStats
     SampleStats concealed_psnr_db;
 };
 
+/** Session-level degradation/stress statistics (not fingerprinted —
+ *  derived views over the trace, like ResilienceStats). */
+struct DegradationStats
+{
+    /** Frames whose client processing blew the frame budget. */
+    i64 deadline_misses = 0;
+
+    /** Ladder transitions applied over the session. */
+    i64 ladder_step_downs = 0;
+    i64 ladder_step_ups = 0;
+
+    /** Scripted NPU invocation failures that hit processed frames. */
+    i64 npu_faults = 0;
+
+    /** Memory-pressure decode stalls that hit processed frames. */
+    i64 decode_stalls = 0;
+
+    /** Frames the ladder held at tier 3 (decode-only). */
+    i64 frames_held = 0;
+
+    /** Processed-frame residency per ladder tier. */
+    i64 tier_frames[DegradationLadder::kTierCount] = {0, 0, 0, 0};
+
+    /** Peak SoC temperature over the session (°C; ambient when the
+     *  session ran without a stress model). */
+    f64 peak_temperature_c = 0.0;
+
+    /** Ladder tier at session end. */
+    int final_tier = 0;
+};
+
 /** Collected session output. */
 struct SessionResult
 {
     std::vector<FrameTrace> traces;
     std::vector<FrameQuality> quality;
     ResilienceStats resilience;
+    DegradationStats degradation;
 
     /** Mean MTP latency over frames of @p type. */
     f64 meanMtpMs(FrameType type) const;
@@ -280,6 +337,14 @@ class SessionEngine
         obs::MetricId stream_bytes = 0;
         obs::MetricId mtp_ms = 0;
         obs::MetricId queue_ms = 0;
+        obs::MetricId deadline_misses = 0;
+        obs::MetricId ladder_step_downs = 0;
+        obs::MetricId ladder_step_ups = 0;
+        obs::MetricId npu_faults = 0;
+        obs::MetricId frames_held = 0;
+        obs::MetricId tier_gauge = 0;
+        obs::MetricId temperature_gauge = 0;
+        obs::MetricId headroom_gauge = 0;
     };
 
     /** Counters/histograms + stage spans for one finished frame. */
@@ -294,6 +359,9 @@ class SessionEngine
     FeedbackPath feedback_;
     Concealer concealer_;
     std::optional<AimdController> aimd_;
+    std::optional<DeviceStressModel> stress_;
+    DegradationLadder ladder_;
+    bool ladder_active_ = false;
     PerceptualMetric perceptual_;
     Size hr_size_;
     SessionResult result_;

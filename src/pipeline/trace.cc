@@ -53,6 +53,16 @@ recoveryEventName(RecoveryEvent event)
         return "bitrate-backoff";
       case RecoveryEvent::ServerShed:
         return "server-shed";
+      case RecoveryEvent::DeadlineMiss:
+        return "deadline-miss";
+      case RecoveryEvent::LadderStepDown:
+        return "ladder-step-down";
+      case RecoveryEvent::LadderStepUp:
+        return "ladder-step-up";
+      case RecoveryEvent::NpuFault:
+        return "npu-fault";
+      case RecoveryEvent::FrameHeld:
+        return "frame-held";
     }
     return "?";
 }

@@ -67,6 +67,11 @@ enum class RecoveryEvent
     IntraRefresh,   ///< server answered a NACK with a forced intra
     BitrateBackoff, ///< AIMD multiplicative decrease applied
     ServerShed,     ///< frame shed by the oversubscribed fleet server
+    DeadlineMiss,   ///< client processing blew the frame budget
+    LadderStepDown, ///< degradation ladder dropped one tier
+    LadderStepUp,   ///< degradation ladder recovered one tier
+    NpuFault,       ///< NPU invocation failed (watchdog timeout)
+    FrameHeld,      ///< tier-3 hold: output substituted, not lost
 };
 
 /** Recovery event name for tables. */

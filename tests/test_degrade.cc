@@ -1,0 +1,487 @@
+/**
+ * @file
+ * Unit tests for the client-side device stress model
+ * (device/stress.hh) and the frame-deadline degradation ladder
+ * (pipeline/degrade.hh), plus their session integration: the
+ * robustness acceptance criterion (a stressed ladder-enabled client
+ * strictly reduces deadline misses vs. a ladder-disabled one), the
+ * tier-3 frame-hold path, the bitrate control-loop feedback, and the
+ * DnnUpscaler construction invariant.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "device/stress.hh"
+#include "pipeline/client.hh"
+#include "pipeline/degrade.hh"
+#include "pipeline/session.hh"
+
+namespace gssr
+{
+namespace
+{
+
+/** Short-hysteresis ladder so the tests don't need 48-frame runs. */
+LadderConfig
+quickLadder()
+{
+    LadderConfig config;
+    config.down_after_misses = 2;
+    config.up_after_clean = 4;
+    return config;
+}
+
+// ---------------------------------------------------------------
+// Ladder state machine.
+// ---------------------------------------------------------------
+
+TEST(LadderTest, StartsAtTierZeroWithExactIdentityScales)
+{
+    DegradationLadder ladder(LadderConfig{});
+    EXPECT_EQ(ladder.tier(), 0);
+    // Exact 1.0, not approximately: tier 0 must be a bit-identical
+    // no-op on the encoder target and the RoI.
+    EXPECT_EQ(ladder.bitrateScale(), 1.0);
+    EXPECT_EQ(ladder.roiShrink(), 1.0);
+}
+
+TEST(LadderTest, StepsDownAfterConsecutiveMissesAndSaturates)
+{
+    DegradationLadder ladder(quickLadder());
+    const f64 over = ladder.config().budget_ms * 2.0;
+
+    EXPECT_EQ(ladder.onFrame(over, 100.0), LadderTransition::None);
+    EXPECT_EQ(ladder.onFrame(over, 100.0), LadderTransition::StepDown);
+    EXPECT_EQ(ladder.tier(), 1);
+
+    // Keep missing: one tier per down_after_misses run, down to the
+    // hold tier, where it saturates.
+    for (int i = 0; i < 16; ++i)
+        ladder.onFrame(over, 100.0);
+    EXPECT_EQ(ladder.tier(), DegradationLadder::kTierHold);
+    EXPECT_EQ(ladder.onFrame(over, 100.0), LadderTransition::None);
+}
+
+TEST(LadderTest, CleanFrameResetsTheMissRun)
+{
+    DegradationLadder ladder(quickLadder());
+    const f64 over = ladder.config().budget_ms * 2.0;
+    const f64 under = ladder.config().budget_ms * 0.5;
+
+    EXPECT_EQ(ladder.onFrame(over, 100.0), LadderTransition::None);
+    EXPECT_EQ(ladder.onFrame(under, 100.0), LadderTransition::None);
+    EXPECT_EQ(ladder.onFrame(over, 100.0), LadderTransition::None);
+    EXPECT_EQ(ladder.tier(), 0);
+}
+
+TEST(LadderTest, StepUpNeedsCleanRunMarginAndHeadroom)
+{
+    LadderConfig config = quickLadder();
+    DegradationLadder ladder(config);
+    const f64 over = config.budget_ms * 2.0;
+    const f64 near_budget = config.budget_ms * 0.9; // above up_margin
+    const f64 easy = config.budget_ms * 0.5;        // below up_margin
+
+    ladder.onFrame(over, 100.0);
+    ladder.onFrame(over, 100.0);
+    ASSERT_EQ(ladder.tier(), 1);
+
+    // Clean but close to the budget: never steps up.
+    for (int i = 0; i < 3 * config.up_after_clean; ++i)
+        EXPECT_EQ(ladder.onFrame(near_budget, 100.0),
+                  LadderTransition::None);
+    EXPECT_EQ(ladder.tier(), 1);
+
+    // Comfortable margin but no thermal headroom: still pinned.
+    for (int i = 0; i < 3 * config.up_after_clean; ++i)
+        EXPECT_EQ(ladder.onFrame(easy, 0.0), LadderTransition::None);
+    EXPECT_EQ(ladder.tier(), 1);
+
+    // Margin + headroom: steps up after up_after_clean clean frames.
+    LadderTransition last = LadderTransition::None;
+    int clean = 0;
+    while (last != LadderTransition::StepUp) {
+        last = ladder.onFrame(easy, 100.0);
+        clean += 1;
+        ASSERT_LE(clean, config.up_after_clean);
+    }
+    EXPECT_EQ(ladder.tier(), 0);
+}
+
+TEST(LadderTest, DisabledLadderNeverLeavesTierZero)
+{
+    LadderConfig config = quickLadder();
+    config.enabled = false;
+    DegradationLadder ladder(config);
+    for (int i = 0; i < 32; ++i)
+        EXPECT_EQ(ladder.onFrame(config.budget_ms * 3.0, 100.0),
+                  LadderTransition::None);
+    EXPECT_EQ(ladder.tier(), 0);
+}
+
+TEST(LadderTest, BitrateScaleIsExactPowerOfStep)
+{
+    LadderConfig config = quickLadder();
+    DegradationLadder ladder(config);
+    const f64 over = config.budget_ms * 2.0;
+    ladder.onFrame(over, 100.0);
+    ladder.onFrame(over, 100.0);
+    ladder.onFrame(over, 100.0);
+    ladder.onFrame(over, 100.0);
+    ASSERT_EQ(ladder.tier(), 2);
+    EXPECT_DOUBLE_EQ(ladder.bitrateScale(),
+                     config.bitrate_step * config.bitrate_step);
+    // The RoI shrink only applies at tier 1.
+    EXPECT_EQ(ladder.roiShrink(), 1.0);
+}
+
+// ---------------------------------------------------------------
+// Throttle curves + DVFS governor.
+// ---------------------------------------------------------------
+
+TEST(ThrottleCurveTest, ExactlyOneBelowKneeLinearAboveCapped)
+{
+    ThrottleCurve curve{45.0, 0.06, 2.5};
+    EXPECT_EQ(curve.factorAt(20.0), 1.0);
+    EXPECT_EQ(curve.factorAt(45.0), 1.0);
+    EXPECT_DOUBLE_EQ(curve.factorAt(55.0), 1.0 + 0.06 * 10.0);
+    EXPECT_DOUBLE_EQ(curve.factorAt(500.0), 2.5);
+}
+
+TEST(DvfsTest, GovernorStepsWithHysteresis)
+{
+    DvfsParams params; // enter 55/65, exit 3 below
+    DvfsModel dvfs(params);
+    EXPECT_EQ(dvfs.level(), 0);
+    EXPECT_EQ(dvfs.scale(), 1.0);
+
+    dvfs.update(56.0);
+    EXPECT_EQ(dvfs.level(), 1);
+    EXPECT_DOUBLE_EQ(dvfs.scale(), params.level1_scale);
+
+    // Inside the hysteresis band: holds the level.
+    dvfs.update(53.0);
+    EXPECT_EQ(dvfs.level(), 1);
+    dvfs.update(51.9);
+    EXPECT_EQ(dvfs.level(), 0);
+
+    dvfs.update(66.0);
+    EXPECT_EQ(dvfs.level(), 2);
+    dvfs.update(63.0);
+    EXPECT_EQ(dvfs.level(), 2);
+    dvfs.update(61.9);
+    EXPECT_EQ(dvfs.level(), 1);
+}
+
+// ---------------------------------------------------------------
+// Fault scenarios.
+// ---------------------------------------------------------------
+
+TEST(DeviceFaultScenarioTest, OverlappingWindowsCompose)
+{
+    DeviceFaultScenario scenario;
+    scenario.events.push_back({0, 100, 1.5, 5.0, 0.2, 0.1, 4.0});
+    scenario.events.push_back({50, 150, 1.0, 3.0, 0.5, 0.0, 2.0});
+
+    DeviceFaultEvent at75 = scenario.effectAt(75);
+    EXPECT_DOUBLE_EQ(at75.extra_power_w, 2.5);
+    EXPECT_DOUBLE_EQ(at75.ambient_delta_c, 8.0);
+    // Independent failure sources: 1 - (1-a)(1-b).
+    EXPECT_DOUBLE_EQ(at75.npu_fail_prob, 1.0 - 0.8 * 0.5);
+    EXPECT_DOUBLE_EQ(at75.decode_stall_ms, 6.0);
+
+    DeviceFaultEvent at120 = scenario.effectAt(120);
+    EXPECT_DOUBLE_EQ(at120.extra_power_w, 1.0);
+    EXPECT_DOUBLE_EQ(at120.npu_fail_prob, 0.5);
+
+    DeviceFaultEvent outside = scenario.effectAt(200);
+    EXPECT_DOUBLE_EQ(outside.extra_power_w, 0.0);
+    EXPECT_DOUBLE_EQ(outside.npu_fail_prob, 0.0);
+}
+
+TEST(DeviceFaultScenarioTest, NamedConstructorsCoverTheirWindows)
+{
+    DeviceFaultScenario soak =
+        DeviceFaultScenario::thermalSoak(30, 60, 2.0);
+    EXPECT_DOUBLE_EQ(soak.effectAt(30).extra_power_w, 2.0);
+    EXPECT_DOUBLE_EQ(soak.effectAt(89).extra_power_w, 2.0);
+    EXPECT_DOUBLE_EQ(soak.effectAt(90).extra_power_w, 0.0);
+    EXPECT_DOUBLE_EQ(soak.effectAt(29).extra_power_w, 0.0);
+
+    DeviceFaultScenario dropout =
+        DeviceFaultScenario::npuDropout(10, 20, 0.4);
+    EXPECT_DOUBLE_EQ(dropout.effectAt(15).npu_fail_prob, 0.4);
+    EXPECT_DOUBLE_EQ(dropout.effectAt(30).npu_fail_prob, 0.0);
+
+    EXPECT_TRUE(DeviceFaultScenario::none().empty());
+    EXPECT_FALSE(DeviceFaultScenario::mixed(0, 50).empty());
+}
+
+// ---------------------------------------------------------------
+// Stress model.
+// ---------------------------------------------------------------
+
+TEST(StressModelTest, FreshModelEmitsExactIdentityConditions)
+{
+    DeviceStressConfig config;
+    config.enabled = true;
+    DeviceStressModel model(config, DeviceFaultScenario::none(), 7);
+    FrameConditions cond = model.beginFrame(0);
+    EXPECT_EQ(cond.npu_scale, 1.0);
+    EXPECT_EQ(cond.gpu_scale, 1.0);
+    EXPECT_EQ(cond.cpu_scale, 1.0);
+    EXPECT_EQ(cond.decoder_scale, 1.0);
+    EXPECT_EQ(cond.decode_stall_ms, 0.0);
+    EXPECT_FALSE(cond.npu_faulted);
+    EXPECT_EQ(cond.tier, 0);
+}
+
+TEST(StressModelTest, ConditionStreamIsDeterministic)
+{
+    DeviceStressConfig config;
+    config.enabled = true;
+    DeviceFaultScenario scenario =
+        DeviceFaultScenario::npuDropout(20, 100, 0.3);
+    scenario.events.push_back({40, 120, 1.5, 0.0, 0.0, 0.4, 5.0});
+
+    DeviceStressModel a(config, scenario, 42);
+    DeviceStressModel b(config, scenario, 42);
+    for (i64 frame = 0; frame < 200; ++frame) {
+        FrameConditions ca = a.beginFrame(frame);
+        FrameConditions cb = b.beginFrame(frame);
+        EXPECT_EQ(ca.npu_faulted, cb.npu_faulted);
+        EXPECT_EQ(ca.decode_stall_ms, cb.decode_stall_ms);
+        EXPECT_EQ(ca.npu_scale, cb.npu_scale);
+        EXPECT_EQ(ca.decoder_scale, cb.decoder_scale);
+        a.endFrame(80.0, 1000.0 / 60.0);
+        b.endFrame(80.0, 1000.0 / 60.0);
+    }
+    EXPECT_EQ(a.temperatureC(), b.temperatureC());
+}
+
+TEST(StressModelTest, FaultDrawsIndependentOfOtherWindows)
+{
+    // The fault stream inside a window must not shift when an
+    // unrelated window is added elsewhere in the schedule — the
+    // model draws the same number of uniforms every frame.
+    DeviceStressConfig config;
+    config.enabled = true;
+    DeviceFaultScenario lone =
+        DeviceFaultScenario::npuDropout(50, 50, 0.5);
+    DeviceFaultScenario with_extra = lone;
+    with_extra.events.push_back(
+        {150, 200, 0.0, 0.0, 0.0, 0.8, 10.0});
+
+    DeviceStressModel a(config, lone, 9);
+    DeviceStressModel b(config, with_extra, 9);
+    for (i64 frame = 0; frame < 100; ++frame) {
+        FrameConditions ca = a.beginFrame(frame);
+        FrameConditions cb = b.beginFrame(frame);
+        EXPECT_EQ(ca.npu_faulted, cb.npu_faulted) << frame;
+        a.endFrame(50.0, 1000.0 / 60.0);
+        b.endFrame(50.0, 1000.0 / 60.0);
+    }
+}
+
+TEST(StressModelTest, SustainedLoadThrottlesPastTheKnee)
+{
+    DeviceStressConfig config;
+    config.enabled = true;
+    DeviceStressModel model(config, DeviceFaultScenario::none(), 7);
+    // ~8 W sustained: equilibrium far past every knee.
+    for (i64 frame = 0; frame < 1200; ++frame) {
+        model.beginFrame(frame);
+        model.endFrame(8.0 * 1000.0 / 60.0, 1000.0 / 60.0);
+    }
+    EXPECT_GT(model.temperatureC(),
+              config.thermal.npu.knee_c);
+    FrameConditions cond = model.beginFrame(1200);
+    EXPECT_GT(cond.npu_scale, 1.0);
+    EXPECT_LT(model.headroomC(), 0.0);
+    // The NPU throttles first and hardest.
+    EXPECT_GE(cond.npu_scale, cond.decoder_scale);
+}
+
+TEST(StressModelTest, NpuFaultChargesTheConfiguredTimeout)
+{
+    DeviceStressConfig config;
+    config.enabled = true;
+    config.npu_timeout_ms = 31.0;
+    DeviceStressModel model(
+        config, DeviceFaultScenario::npuDropout(0, 400, 1.0), 7);
+    FrameConditions cond = model.beginFrame(0);
+    ASSERT_TRUE(cond.npu_faulted);
+    EXPECT_DOUBLE_EQ(cond.npu_timeout_ms, 31.0);
+}
+
+// ---------------------------------------------------------------
+// Client construction invariant (satellite: DnnUpscaler null net).
+// ---------------------------------------------------------------
+
+TEST(ClientInvariantTest, PixelClientWithoutSrNetFailsAtConstruction)
+{
+    ClientConfig config;
+    config.lr_size = {64, 32};
+    config.compute_pixels = true;
+    config.sr_net = nullptr;
+    EXPECT_THROW(GssrClient{config}, PanicError);
+    EXPECT_THROW(NemoClient{config}, PanicError);
+    EXPECT_THROW(SrDecoderClient{config}, PanicError);
+}
+
+TEST(ClientInvariantTest, AccountingClientNeedsNoSrNet)
+{
+    ClientConfig config;
+    config.lr_size = {64, 32};
+    config.compute_pixels = false;
+    config.sr_net = nullptr;
+    EXPECT_NO_THROW(GssrClient{config});
+}
+
+// ---------------------------------------------------------------
+// Session integration.
+// ---------------------------------------------------------------
+
+SessionConfig
+stressedSessionConfig(bool ladder_on)
+{
+    SessionConfig config;
+    config.lr_size = {1280, 720};
+    config.scale_factor = 2;
+    config.frames = 150;
+    config.codec.gop_size = 60;
+    config.compute_pixels = false;
+    config.server_proxy_size = {256, 144};
+    config.device_stress.enabled = true;
+    config.device_faults =
+        DeviceFaultScenario::thermalSoak(0, 150, 2.5);
+    config.ladder.enabled = ladder_on;
+    return config;
+}
+
+TEST(DegradationSessionTest, LadderStrictlyReducesDeadlineMisses)
+{
+    SessionResult with = runSession(stressedSessionConfig(true));
+    SessionResult without = runSession(stressedSessionConfig(false));
+
+    // The acceptance criterion: under identical injected stress the
+    // ladder-enabled client's deadline-miss count is strictly below
+    // the ladder-disabled client's.
+    EXPECT_LT(with.degradation.deadline_misses,
+              without.degradation.deadline_misses);
+    EXPECT_GT(without.degradation.deadline_misses, 0);
+
+    // It got there by actually degrading...
+    EXPECT_GT(with.degradation.ladder_step_downs, 0);
+    EXPECT_GT(with.degradation.tier_frames[1], 0);
+    // ...which also sheds heat.
+    EXPECT_LT(with.degradation.peak_temperature_c,
+              without.degradation.peak_temperature_c);
+    // The disabled ladder never moves.
+    EXPECT_EQ(without.degradation.ladder_step_downs, 0);
+    EXPECT_EQ(without.degradation.final_tier, 0);
+}
+
+TEST(DegradationSessionTest, StressedSessionReplaysBitIdentically)
+{
+    u64 a = sessionFingerprint(runSession(stressedSessionConfig(true)));
+    u64 b = sessionFingerprint(runSession(stressedSessionConfig(true)));
+    EXPECT_EQ(a, b);
+}
+
+TEST(DegradationSessionTest, DegradedClientRequestsLowerBitrate)
+{
+    // Inside the encoder's controllable range a throttled client's
+    // bitrate_step^tier retarget must show up in the stream bytes.
+    SessionConfig on = stressedSessionConfig(true);
+    SessionConfig off = stressedSessionConfig(false);
+    on.target_bitrate_mbps = 60.0;
+    off.target_bitrate_mbps = 60.0;
+    SessionResult with = runSession(on);
+    SessionResult without = runSession(off);
+
+    auto totalBytes = [](const SessionResult &r) {
+        size_t bytes = 0;
+        for (const FrameTrace &t : r.traces)
+            bytes += t.encoded_bytes;
+        return bytes;
+    };
+    ASSERT_GT(with.degradation.tier_frames[1], 0);
+    EXPECT_LT(totalBytes(with), totalBytes(without));
+}
+
+TEST(DegradationSessionTest, HoldTierSubstitutesAndKeepsDecoding)
+{
+    // Permanent severe memory pressure: the decode stage alone blows
+    // the budget, so no tier can recover and the ladder must ride
+    // down to tier-3 frame holds.
+    SessionConfig config = stressedSessionConfig(true);
+    config.device_faults =
+        DeviceFaultScenario::memoryPressure(0, 150, 1.0, 25.0);
+    SessionResult result = runSession(config);
+
+    const DegradationStats &deg = result.degradation;
+    EXPECT_GT(deg.frames_held, 0);
+    EXPECT_GT(deg.tier_frames[DegradationLadder::kTierHold], 0);
+    EXPECT_EQ(deg.final_tier, DegradationLadder::kTierHold);
+
+    // Held frames are marked concealed (the display repeated the
+    // last good output), carry the FrameHeld event, and still paid
+    // for the decode — the reference chain must stay warm.
+    i64 held_seen = 0;
+    for (const FrameTrace &t : result.traces) {
+        if (!t.hasEvent(RecoveryEvent::FrameHeld))
+            continue;
+        held_seen += 1;
+        EXPECT_TRUE(t.concealed);
+        EXPECT_FALSE(t.dropped);
+        EXPECT_GT(t.stageLatencyMs(Stage::Decode), 0.0);
+    }
+    EXPECT_EQ(held_seen, deg.frames_held);
+    // A ladder hold is not a loss: the resilience path must not
+    // count it as concealment.
+    EXPECT_EQ(result.resilience.frames_concealed +
+                  result.degradation.frames_held,
+              i64(std::count_if(result.traces.begin(),
+                                result.traces.end(),
+                                [](const FrameTrace &t) {
+                                    return t.concealed;
+                                })));
+}
+
+TEST(DegradationSessionTest, LadderIsNoOpWithoutStress)
+{
+    // Ladder enabled (the default) vs. disabled on a fault-free
+    // session: bit-identical — the tier-0 ladder only observes.
+    SessionConfig config;
+    config.lr_size = {192, 96};
+    config.frames = 30;
+    config.codec.gop_size = 8;
+    config.compute_pixels = false;
+    config.ladder.enabled = true;
+    u64 with = sessionFingerprint(runSession(config));
+    config.ladder.enabled = false;
+    u64 without = sessionFingerprint(runSession(config));
+    EXPECT_EQ(with, without);
+}
+
+TEST(DegradationSessionTest, BaselineDesignsHonorFaultsIgnoreLadder)
+{
+    // NEMO under NPU dropout: the retry semantics charge timeout +
+    // invocation on reference frames, and the ladder stays parked at
+    // tier 0 (its tiers are defined for the hybrid client).
+    SessionConfig config = stressedSessionConfig(true);
+    config.design = DesignKind::Nemo;
+    config.device_faults =
+        DeviceFaultScenario::npuDropout(0, 150, 1.0);
+    SessionResult result = runSession(config);
+    EXPECT_GT(result.degradation.npu_faults, 0);
+    EXPECT_EQ(result.degradation.ladder_step_downs, 0);
+    EXPECT_EQ(result.degradation.frames_held, 0);
+    EXPECT_EQ(result.degradation.final_tier, 0);
+}
+
+} // namespace
+} // namespace gssr

@@ -145,6 +145,31 @@ TEST(ProfilesTest, EyeTrackingPowerMatchesPaperProfiling)
         DeviceProfile::pixel7Pro().camera_eye_tracking_w, 2.8);
 }
 
+TEST(ModelGuardTest, NegativeInputsPanicInsteadOfPropagating)
+{
+    // Every model rejects negative work/time at the call site — a
+    // corrupted byte count must fail loudly here, not surface as a
+    // negative latency in a bench table.
+    DeviceProfile s8 = DeviceProfile::galaxyTabS8();
+    EXPECT_THROW(s8.hw_decoder.latencyMs(-1), PanicError);
+    EXPECT_THROW(s8.sw_decoder.latencyMs(-1), PanicError);
+    EXPECT_THROW(s8.radio.energyMj(-1), PanicError);
+    EXPECT_THROW(s8.display.energyMjPerFrame(-0.1), PanicError);
+
+    DisplayModel display;
+    display.vsync_wait_ms = -8.3;
+    EXPECT_THROW(display.latencyMs(), PanicError);
+}
+
+TEST(ModelGuardTest, ZeroWorkIsValid)
+{
+    DeviceProfile s8 = DeviceProfile::galaxyTabS8();
+    EXPECT_DOUBLE_EQ(s8.hw_decoder.latencyMs(0),
+                     s8.hw_decoder.base_ms);
+    EXPECT_DOUBLE_EQ(s8.radio.energyMj(0), 0.0);
+    EXPECT_DOUBLE_EQ(s8.display.energyMjPerFrame(0.0), 0.0);
+}
+
 TEST(ServerProfileTest, UtilizationAndEncodeAnchors)
 {
     ServerProfile server = ServerProfile::gamingWorkstation();

@@ -152,6 +152,33 @@ TEST_P(GoldenTraceTest, TelemetryExportersDoNotPerturbGolden)
     EXPECT_FALSE(telemetry.spanBuffer().events().empty());
 }
 
+TEST_P(GoldenTraceTest, FaultFreeStressAndLadderDoNotPerturbGolden)
+{
+    // The degradation ladder is enabled by default and the thermal/
+    // DVFS stress model is forced on here — yet with no scripted
+    // device faults the session must reproduce the exact checked-in
+    // fingerprints: below the thermal knee every throttle factor is
+    // exactly 1.0, the tier-0 ladder only observes, and the fault
+    // draws consume a separate RNG stream. This is the "strict no-op
+    // at tier 0" contract.
+    const Golden &golden = GetParam();
+    SessionConfig config = canonicalConfig(golden.design);
+    config.device_stress.enabled = true;
+    config.device_faults = DeviceFaultScenario::none();
+    config.ladder.enabled = true;
+    SessionResult result = runSession(config);
+
+    EXPECT_EQ(sessionFingerprint(result), golden.fingerprint)
+        << "fault-free stress model / ladder perturbed the "
+        << golden.name << " session trace";
+    // The short, cool session never throttles or degrades.
+    EXPECT_EQ(result.degradation.ladder_step_downs, 0);
+    EXPECT_EQ(result.degradation.frames_held, 0);
+    EXPECT_EQ(result.degradation.final_tier, 0);
+    EXPECT_LT(result.degradation.peak_temperature_c,
+              config.device_stress.thermal.npu.knee_c);
+}
+
 TEST(GoldenTraceTest, RerunIsBitIdentical)
 {
     SessionConfig config = canonicalConfig(DesignKind::GameStreamSR);

@@ -16,6 +16,7 @@
 #include "codec/rate_control.hh"
 #include "common/rng.hh"
 #include "device/profiles.hh"
+#include "device/stress.hh"
 #include "metrics/psnr.hh"
 #include "render/games.hh"
 #include "render/rasterizer.hh"
@@ -392,6 +393,84 @@ TEST_P(AimdPropertyTest, DeliveryDuringBackoffHoldDoesNotReprobe)
 INSTANTIATE_TEST_SUITE_P(Seeds, AimdPropertyTest,
                          ::testing::Values(1u, 7u, 42u, 31337u,
                                            0xdeadbeefu));
+
+// ---------------------------------------------------------------
+// Thermal model invariants across sustained power levels.
+// ---------------------------------------------------------------
+
+class ThermalSweepTest : public ::testing::TestWithParam<f64>
+{
+  protected:
+    static constexpr f64 kDtMs = 1000.0 / 60.0;
+};
+
+TEST_P(ThermalSweepTest, TemperatureMonotoneAndBoundedUnderLoad)
+{
+    const f64 watts = GetParam();
+    ThermalParams params;
+    ThermalModel model(params);
+    f64 prev = model.temperatureC();
+    for (int i = 0; i < 2000; ++i) {
+        model.advance(kDtMs, watts * kDtMs);
+        EXPECT_GE(model.temperatureC(), prev);
+        prev = model.temperatureC();
+    }
+    // Never overshoots the RC steady state T_inf = ambient + P * R.
+    EXPECT_LE(model.temperatureC(),
+              params.ambient_c + watts * params.resistance_c_per_w +
+                  1e-9);
+}
+
+TEST_P(ThermalSweepTest, CoolsMonotonicallyBackToAmbient)
+{
+    const f64 watts = GetParam();
+    ThermalParams params;
+    ThermalModel model(params);
+    for (int i = 0; i < 2000; ++i)
+        model.advance(kDtMs, watts * kDtMs);
+
+    // Load removed: monotone decay, asymptoting at ambient (a 4000
+    // frame tail is > 8 time constants, so even the 96 °C rise of
+    // the 8 W case decays below the tolerance).
+    f64 prev = model.temperatureC();
+    for (int i = 0; i < 4000; ++i) {
+        model.advance(kDtMs, 0.0);
+        EXPECT_LE(model.temperatureC(), prev);
+        EXPECT_GE(model.temperatureC(), params.ambient_c - 1e-9);
+        prev = model.temperatureC();
+    }
+    EXPECT_NEAR(model.temperatureC(), params.ambient_c, 0.2);
+}
+
+TEST_P(ThermalSweepTest, ThrottleFactorsTrackTemperature)
+{
+    const f64 watts = GetParam();
+    ThermalParams params;
+    ThermalModel model(params);
+    f64 prev_factor = 0.0;
+    for (int i = 0; i < 2000; ++i) {
+        model.advance(kDtMs, watts * kDtMs);
+        // Factor >= 1, capped, and monotone in temperature — which
+        // is monotone in time under sustained load.
+        for (f64 factor :
+             {model.npuFactor(), model.gpuFactor(), model.cpuFactor(),
+              model.decoderFactor()}) {
+            EXPECT_GE(factor, 1.0);
+            EXPECT_LE(factor, 2.5);
+        }
+        EXPECT_GE(model.npuFactor(), prev_factor);
+        prev_factor = model.npuFactor();
+    }
+    // Below the knee the factor is *exactly* 1 (bit-identity hinges
+    // on this); past it, strictly above.
+    if (model.temperatureC() <= params.npu.knee_c)
+        EXPECT_EQ(model.npuFactor(), 1.0);
+    else
+        EXPECT_GT(model.npuFactor(), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(SustainedWatts, ThermalSweepTest,
+                         ::testing::Values(0.5, 2.0, 4.0, 8.0));
 
 } // namespace
 } // namespace gssr
