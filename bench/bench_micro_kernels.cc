@@ -19,10 +19,13 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <array>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <functional>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -33,7 +36,9 @@
 #include "codec/plane_coder.hh"
 #include "common/fingerprint.hh"
 #include "common/parallel.hh"
+#include "common/simd.hh"
 #include "common/stats.hh"
+#include "kernels/kernels.hh"
 #include "obs/report.hh"
 #include "obs/telemetry.hh"
 #include "frame/depth_map.hh"
@@ -448,6 +453,441 @@ runParallelSweep(const char *json_path)
     return mismatches;
 }
 
+// ---------------------------------------------------------------------
+// SIMD micro-kernel sweep: scalar vs AVX2, single-threaded.
+// ---------------------------------------------------------------------
+
+/**
+ * One SIMD-dispatched kernel workload. run(fingerprint) executes the
+ * workload once through the active dispatch table; with fingerprint
+ * true it also hashes the output so the sweep can assert the ISA
+ * paths are bit-exact (timed runs pass false — hashing a multi-MB
+ * buffer would otherwise dominate the fast kernels). flops/bytes
+ * are per run() call and feed the GFLOP/s / GB/s columns.
+ */
+struct SimdKernelBench
+{
+    std::string name;
+    f64 flops;
+    f64 bytes;
+    std::function<u64(bool)> run;
+};
+
+std::vector<SimdKernelBench>
+makeSimdKernelBenches()
+{
+    std::vector<SimdKernelBench> out;
+    constexpr int kBlocks = 8192;   // 8x8 block batch size
+    constexpr i64 kVecN = 1 << 16;  // flat-vector kernel length
+
+    {
+        // conv2d_forward through Conv2d (dominated by kern::axpy).
+        auto conv = std::make_shared<Conv2d>(14, 14, 3);
+        Rng rng(2);
+        conv->initHe(rng);
+        auto input = std::make_shared<Tensor>(14, 96, 96);
+        for (size_t i = 0; i < input->data().size(); ++i)
+            input->data()[i] = f32((i * 2654435761u % 1000) / 1000.0);
+        f64 macs = f64(conv->macs(96, 96));
+        out.push_back({"conv2d_forward", 2.0 * macs,
+                       f64(2 * input->data().size() * sizeof(f32)),
+                       [conv, input] (bool fp) {
+                           Tensor o = conv->forward(*input);
+                           return fp ? fnv1aVec(o.data()) : 0;
+                       }});
+    }
+    {
+        // conv2d_backward: grad-input pass uses kern::axpy; the
+        // weight-gradient pass stays scalar by design (DESIGN.md §12),
+        // so the expected speedup is structurally modest.
+        auto conv = std::make_shared<Conv2d>(14, 14, 3);
+        Rng rng(3);
+        conv->initHe(rng);
+        auto input = std::make_shared<Tensor>(14, 96, 96);
+        auto go = std::make_shared<Tensor>(14, 96, 96);
+        for (size_t i = 0; i < input->data().size(); ++i) {
+            input->data()[i] = f32((i * 2654435761u % 1000) / 1000.0);
+            go->data()[i] = f32((i % 17) - 8) / 8.0f;
+        }
+        f64 macs = f64(conv->macs(96, 96));
+        out.push_back({"conv2d_backward", 4.0 * macs,
+                       f64(3 * input->data().size() * sizeof(f32)),
+                       [conv, input, go] (bool fp) {
+                           // Fingerprint only grad_input: parameter
+                           // gradients accumulate across calls.
+                           Tensor gin = conv->backward(*input, *go);
+                           return fp ? fnv1aVec(gin.data()) : 0;
+                       }});
+    }
+    {
+        // Batched 8x8 forward DCT straight through the kernel table.
+        auto in = std::make_shared<AlignedVec<f32>>(
+            size_t(kBlocks) * 64);
+        auto dst = std::make_shared<AlignedVec<f32>>(
+            size_t(kBlocks) * 64);
+        Rng rng(5);
+        for (auto &v : *in)
+            v = f32(rng.uniform(-128.0, 128.0));
+        out.push_back({"dct_forward_8x8", f64(kBlocks) * 2048.0,
+                       f64(2 * kBlocks * 64 * sizeof(f32)),
+                       [in, dst] (bool fp) {
+                           for (int b = 0; b < kBlocks; ++b)
+                               kern::dctForward8x8(
+                                   in->data() + size_t(b) * 64,
+                                   dst->data() + size_t(b) * 64);
+                           return fp ? fnv1aVec(*dst) : 0;
+                       }});
+        auto dst2 = std::make_shared<AlignedVec<f32>>(
+            size_t(kBlocks) * 64);
+        out.push_back({"dct_inverse_8x8", f64(kBlocks) * 2048.0,
+                       f64(2 * kBlocks * 64 * sizeof(f32)),
+                       [in, dst2] (bool fp) {
+                           for (int b = 0; b < kBlocks; ++b)
+                               kern::dctInverse8x8(
+                                   in->data() + size_t(b) * 64,
+                                   dst2->data() + size_t(b) * 64);
+                           return fp ? fnv1aVec(*dst2) : 0;
+                       }});
+    }
+    {
+        // Quantize / dequantize with a cached qp=8 step table.
+        auto coef = std::make_shared<AlignedVec<f32>>(
+            size_t(kBlocks) * 64);
+        auto levels = std::make_shared<AlignedVec<i32>>(
+            size_t(kBlocks) * 64);
+        auto rec = std::make_shared<AlignedVec<f32>>(
+            size_t(kBlocks) * 64);
+        Rng rng(7);
+        for (auto &v : *coef)
+            v = f32(rng.uniform(-512.0, 512.0));
+        out.push_back({"quantize_8x8", f64(kBlocks) * 64.0 * 2.0,
+                       f64(kBlocks) * 64.0 * 12.0,
+                       [coef, levels] (bool fp) {
+                           const QuantTable &t = quantTableForQp(8);
+                           for (int b = 0; b < kBlocks; ++b)
+                               kern::quantize8x8(
+                                   coef->data() + size_t(b) * 64,
+                                   t.step.data(),
+                                   levels->data() + size_t(b) * 64);
+                           return fp ? fnv1aVec(*levels) : 0;
+                       }});
+        out.push_back({"dequantize_8x8", f64(kBlocks) * 64.0,
+                       f64(kBlocks) * 64.0 * 12.0,
+                       [levels, rec, coef] (bool fp) {
+                           const QuantTable &t = quantTableForQp(8);
+                           for (int b = 0; b < kBlocks; ++b)
+                               kern::dequantize8x8(
+                                   levels->data() + size_t(b) * 64,
+                                   t.step.data(),
+                                   rec->data() + size_t(b) * 64);
+                           return fp ? fnv1aVec(*rec) : 0;
+                       }});
+    }
+    {
+        // 16x16 SAD over a grid of positions and displacements — the
+        // motion-search inner loop shape.
+        auto ref = std::make_shared<PlaneU8>(randomPlaneU8(320, 180, 11));
+        auto cur = std::make_shared<PlaneU8>(randomPlaneU8(320, 180, 37));
+        i64 calls = 0;
+        for (int y = 0; y + 16 <= 176; y += 16)
+            for (int x = 0; x + 16 <= 304; x += 16)
+                calls += 25;
+        out.push_back({"sad_16x16", f64(calls) * 256.0 * 3.0,
+                       f64(calls) * 256.0 * 2.0,
+                       [ref, cur] (bool fp) {
+                           const int w = ref->width();
+                           i64 sum = 0;
+                           for (int y = 0; y + 16 <= 176; y += 16) {
+                               for (int x = 0; x + 16 <= 304; x += 16) {
+                                   for (int dy = -2; dy <= 2; ++dy) {
+                                       for (int dx = -2; dx <= 2;
+                                            ++dx) {
+                                           const u8 *c =
+                                               cur->data().data() +
+                                               size_t(y) * w + x;
+                                           const u8 *r =
+                                               ref->data().data() +
+                                               size_t(y + 2 + dy) * w +
+                                               x + 2 + dx;
+                                           sum += kern::sadRect(
+                                               c, w, r, w, 16, 16,
+                                               INT64_MAX);
+                                       }
+                                   }
+                               }
+                           }
+                           return fp ? fnv1aValue(sum) : u64(sum != 0);
+                       }});
+    }
+    {
+        // axpy: the conv inner loop in isolation.
+        auto dst = std::make_shared<AlignedVec<f32>>(size_t(kVecN));
+        auto src = std::make_shared<AlignedVec<f32>>(size_t(kVecN));
+        Rng rng(13);
+        for (auto &v : *src)
+            v = f32(rng.uniform(-1.0, 1.0));
+        constexpr int kPasses = 64;
+        out.push_back({"axpy_f32", 2.0 * f64(kVecN) * kPasses,
+                       12.0 * f64(kVecN) * kPasses,
+                       [dst, src] (bool fp) {
+                           std::fill(dst->begin(), dst->end(), 0.0f);
+                           for (int p = 0; p < kPasses; ++p)
+                               kern::axpy(dst->data(), src->data(),
+                                          0.25f + 0.25f * f32(p % 7),
+                                          kVecN);
+                           return fp ? fnv1aVec(*dst) : 0;
+                       }});
+    }
+    {
+        // SSIM window passes on 1920-wide f64 rows.
+        constexpr int kW = 1920, kH = 128, kRadius = 5;
+        auto taps = std::make_shared<std::array<f64, 11>>();
+        f64 sum = 0.0;
+        for (int i = -kRadius; i <= kRadius; ++i) {
+            f64 wgt = std::exp(-f64(i * i) / (2.0 * 1.5 * 1.5));
+            (*taps)[size_t(i + kRadius)] = wgt;
+            sum += wgt;
+        }
+        for (auto &t : *taps)
+            t /= sum;
+        auto in = std::make_shared<PlaneF64>(kW, kH);
+        Rng rng(17);
+        for (auto &v : in->data())
+            v = rng.uniform(0.0, 255.0);
+        auto mid = std::make_shared<PlaneF64>(kW, kH);
+        out.push_back({"ssim_gauss_row",
+                       f64(kW) * kH * 22.0,
+                       f64(kW) * kH * 16.0,
+                       [in, mid, taps] (bool fp) {
+                           for (int y = 0; y < kH; ++y)
+                               kern::gaussRow(in->row(y), mid->row(y),
+                                              kW, taps->data(),
+                                              kRadius);
+                           return fp ? fnv1aVec(mid->data()) : 0;
+                       }});
+        auto outp = std::make_shared<PlaneF64>(kW, kH);
+        out.push_back({"ssim_sum_rows",
+                       f64(kW) * kH * 22.0,
+                       f64(kW) * kH * 96.0,
+                       [in, outp, taps] (bool fp) {
+                           const f64 *rows[11];
+                           for (int y = 0; y < kH; ++y) {
+                               for (int i = -kRadius; i <= kRadius;
+                                    ++i) {
+                                   int sy = y + i;
+                                   sy = sy < 0
+                                            ? 0
+                                            : (sy >= kH ? kH - 1 : sy);
+                                   rows[i + kRadius] = in->row(sy);
+                               }
+                               kern::weightedSumRows(
+                                   rows, taps->data(), 11,
+                                   outp->row(y), kW);
+                           }
+                           return fp ? fnv1aVec(outp->data()) : 0;
+                       }});
+    }
+    {
+        // Elementwise SSIM preprocessing kernels.
+        auto a = std::make_shared<AlignedVec<f64>>(size_t(kVecN));
+        auto b = std::make_shared<AlignedVec<f64>>(size_t(kVecN));
+        Rng rng(19);
+        for (i64 i = 0; i < kVecN; ++i) {
+            (*a)[size_t(i)] = rng.uniform(0.0, 255.0);
+            (*b)[size_t(i)] = rng.uniform(0.0, 255.0);
+        }
+        auto a2 = std::make_shared<AlignedVec<f64>>(size_t(kVecN));
+        auto b2 = std::make_shared<AlignedVec<f64>>(size_t(kVecN));
+        auto ab = std::make_shared<AlignedVec<f64>>(size_t(kVecN));
+        out.push_back({"ssim_products", 3.0 * f64(kVecN),
+                       40.0 * f64(kVecN), [a, b, a2, b2, ab] (bool fp) {
+                           kern::ssimProducts(a->data(), b->data(),
+                                              a2->data(), b2->data(),
+                                              ab->data(), kVecN);
+                           if (!fp)
+                               return u64(0);
+                           u64 h = fnv1aVec(*a2);
+                           h = fnv1aVec(*b2, h);
+                           return fnv1aVec(*ab, h);
+                       }});
+        auto u8in = std::make_shared<AlignedVec<u8>>(size_t(kVecN));
+        for (i64 i = 0; i < kVecN; ++i)
+            (*u8in)[size_t(i)] = u8(i * 131 % 256);
+        auto f64out = std::make_shared<AlignedVec<f64>>(size_t(kVecN));
+        out.push_back({"u8_to_f64", f64(kVecN), 9.0 * f64(kVecN),
+                       [u8in, f64out] (bool fp) {
+                           kern::u8ToF64(u8in->data(), f64out->data(),
+                                         kVecN);
+                           return fp ? fnv1aVec(*f64out) : 0;
+                       }});
+    }
+    {
+        // 2x box downsample of a 1920x512 plane.
+        auto in =
+            std::make_shared<PlaneU8>(randomPlaneU8(1920, 512, 23));
+        auto dst = std::make_shared<PlaneU8>(960, 256);
+        out.push_back({"box_down2_u8", f64(960) * 256.0 * 5.0,
+                       f64(1920) * 512.0 + 960.0 * 256.0,
+                       [in, dst](bool fp) {
+                           for (int y = 0; y < 256; ++y)
+                               kern::boxDown2U8(in->row(2 * y),
+                                                in->row(2 * y + 1),
+                                                dst->row(y), 960);
+                           return fp ? fnv1aVec(dst->data()) : 0;
+                       }});
+    }
+    {
+        // End-to-end SSIM: exercises u8_to_f64, ssim_products and
+        // both window passes behind the public metric.
+        auto a = std::make_shared<PlaneU8>(randomPlaneU8(640, 360, 17));
+        auto b = std::make_shared<PlaneU8>(randomPlaneU8(640, 360, 19));
+        out.push_back({"ssim_full", 640.0 * 360.0 * 250.0,
+                       640.0 * 360.0 * 2.0, [a, b] (bool fp) {
+                           f64 v = ssim(*a, *b);
+                           return fp ? fnv1aValue(v) : 0;
+                       }});
+    }
+    return out;
+}
+
+/**
+ * Time every SIMD-dispatched kernel on each available ISA path
+ * (single-threaded, forced via forceSimdLevel), print a table with
+ * GFLOP/s and GB/s columns, assert the paths are bit-exact, and write
+ * BENCH_kernels.json. @p filter keeps only kernels whose name
+ * contains the substring. Returns the number of bit-exact mismatches.
+ */
+int
+runSimdSweep(const char *json_path, const std::string &filter)
+{
+    const int host_threads =
+        std::max(1u, std::thread::hardware_concurrency());
+    std::vector<SimdLevel> levels = {SimdLevel::Scalar};
+    if (detectedSimdLevel() >= SimdLevel::Avx2 &&
+        kern::avx2Kernels() != nullptr) {
+        levels.push_back(SimdLevel::Avx2);
+    }
+
+    std::vector<SimdKernelBench> kernels = makeSimdKernelBenches();
+    if (!filter.empty()) {
+        kernels.erase(
+            std::remove_if(kernels.begin(), kernels.end(),
+                           [&](const SimdKernelBench &k) {
+                               return k.name.find(filter) ==
+                                      std::string::npos;
+                           }),
+            kernels.end());
+    }
+
+    // Single-threaded so the speedup column isolates the ISA effect.
+    setParallelThreadCount(1);
+
+    std::printf("SIMD kernel sweep (detected: %s, 1 thread)\n",
+                simdLevelName(detectedSimdLevel()));
+    std::printf("%-18s", "kernel");
+    for (SimdLevel level : levels)
+        std::printf("  %6.6s ms  GFLOP/s     GB/s", simdLevelName(level));
+    std::printf("   speedup  bit-exact\n");
+
+    struct Cell
+    {
+        f64 ms = 0.0;
+        f64 gflops = 0.0;
+        f64 gbs = 0.0;
+    };
+    struct Row
+    {
+        std::string name;
+        f64 flops;
+        f64 bytes;
+        std::vector<Cell> cells;
+        f64 speedup = 1.0;
+        bool identical = true;
+    };
+    std::vector<Row> rows;
+    int mismatches = 0;
+
+    for (const SimdKernelBench &k : kernels) {
+        Row row;
+        row.name = k.name;
+        row.flops = k.flops;
+        row.bytes = k.bytes;
+        u64 reference_hash = 0;
+        for (size_t li = 0; li < levels.size(); ++li) {
+            forceSimdLevel(levels[li]);
+            u64 hash = k.run(true); // warm-up + fingerprint
+            if (li == 0)
+                reference_hash = hash;
+            else if (hash != reference_hash)
+                row.identical = false;
+            Cell cell;
+            cell.ms = timeMs([&k] { k.run(false); }, 5);
+            if (cell.ms > 0.0) {
+                cell.gflops = k.flops / (cell.ms * 1e6);
+                cell.gbs = k.bytes / (cell.ms * 1e6);
+            }
+            row.cells.push_back(cell);
+        }
+        clearForcedSimdLevel();
+        if (row.cells.size() > 1 && row.cells.back().ms > 0.0)
+            row.speedup = row.cells[0].ms / row.cells.back().ms;
+        std::printf("%-18s", row.name.c_str());
+        for (const Cell &c : row.cells)
+            std::printf("  %9.3f  %7.2f  %7.2f", c.ms, c.gflops,
+                        c.gbs);
+        std::printf("  %7.2fx  %s\n", row.speedup,
+                    row.identical ? "yes" : "NO");
+        if (!row.identical)
+            ++mismatches;
+        rows.push_back(std::move(row));
+    }
+    setParallelThreadCount(host_threads);
+
+    if (json_path != nullptr) {
+        obs::Report report(json_path, "simd_kernels", false);
+        obs::JsonWriter &w = report.json();
+        w.field("detected_simd", simdLevelName(detectedSimdLevel()));
+        w.field("single_threaded", true);
+        w.key("levels");
+        w.beginArray();
+        for (SimdLevel level : levels)
+            w.value(simdLevelName(level));
+        w.endArray();
+        w.key("kernels");
+        w.beginArray();
+        for (const Row &row : rows) {
+            w.beginObject();
+            w.field("name", row.name);
+            w.field("flops_per_run", row.flops, 0);
+            w.field("bytes_per_run", row.bytes, 0);
+            w.key("paths");
+            w.beginArray();
+            for (size_t li = 0; li < row.cells.size(); ++li) {
+                w.beginObject();
+                w.field("level", simdLevelName(levels[li]));
+                w.field("time_ms", row.cells[li].ms, 4);
+                w.field("gflops", row.cells[li].gflops, 4);
+                w.field("gbytes_per_s", row.cells[li].gbs, 4);
+                w.endObject();
+            }
+            w.endArray();
+            w.field("speedup_vs_scalar", row.speedup, 4);
+            w.field("bit_exact", row.identical);
+            w.endObject();
+        }
+        w.endArray();
+        report.close();
+    }
+
+    if (mismatches > 0) {
+        std::fprintf(stderr,
+                     "ERROR: %d kernel(s) differ between SIMD "
+                     "paths\n",
+                     mismatches);
+    }
+    return mismatches;
+}
+
 } // namespace
 } // namespace gssr
 
@@ -455,14 +895,26 @@ int
 main(int argc, char **argv)
 {
     bool sweep = true;
+    bool simd_only = false;
+    std::string filter;
     std::vector<char *> passthrough;
     passthrough.push_back(argv[0]);
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--no-sweep") == 0)
             sweep = false;
+        else if (std::strcmp(argv[i], "--simd-only") == 0)
+            simd_only = true;
+        else if (std::strcmp(argv[i], "--filter") == 0 && i + 1 < argc)
+            filter = argv[++i];
         else
             passthrough.push_back(argv[i]);
     }
+
+    int simd_errors =
+        gssr::runSimdSweep("BENCH_kernels.json", filter);
+    if (simd_only)
+        return simd_errors > 0 ? 1 : 0;
+
     int sweep_errors = 0;
     if (sweep)
         sweep_errors = gssr::runParallelSweep("BENCH_parallel.json");
@@ -474,5 +926,5 @@ main(int argc, char **argv)
         return 1;
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
-    return sweep_errors > 0 ? 1 : 0;
+    return simd_errors + sweep_errors > 0 ? 1 : 0;
 }

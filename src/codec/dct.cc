@@ -1,8 +1,12 @@
 #include "codec/dct.hh"
 
 #include <cmath>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
 
 #include "common/logging.hh"
+#include "kernels/kernels.hh"
 
 namespace gssr
 {
@@ -11,116 +15,122 @@ namespace
 {
 
 /**
- * Precomputed orthonormal DCT-II basis (basis[k][n]) and the
- * per-coefficient quantization frequency weights (quant_weight[v*8+u],
- * a flat 1..~2.9 ramp along the zigzag diagonal so low frequencies
- * get finer steps).
+ * Per-coefficient quantization frequency weights (weight[v*8+u], a
+ * flat 1..~2.9 ramp along the zigzag diagonal so low frequencies get
+ * finer steps). The DCT basis itself lives with the SIMD kernels
+ * (kern::dct8Tables) so both ISA paths share one table.
  */
-struct DctTables
+const f32 *
+quantWeights()
 {
-    f32 basis[8][8];
-    f32 quant_weight[64];
-
-    DctTables()
-    {
-        for (int k = 0; k < 8; ++k) {
-            f64 scale = k == 0 ? std::sqrt(1.0 / 8.0)
-                               : std::sqrt(2.0 / 8.0);
-            for (int n = 0; n < 8; ++n) {
-                basis[k][n] = f32(
-                    scale *
-                    std::cos(M_PI * (2.0 * n + 1.0) * k / 16.0));
-            }
-        }
+    static const std::array<f32, 64> weights = [] {
+        std::array<f32, 64> w{};
         for (int v = 0; v < 8; ++v)
             for (int u = 0; u < 8; ++u)
-                quant_weight[v * 8 + u] = 1.0f + 0.14f * f32(u + v);
-    }
-};
-
-const DctTables &
-tables()
-{
-    static const DctTables t;
-    return t;
+                w[size_t(v * 8 + u)] = 1.0f + 0.14f * f32(u + v);
+        return w;
+    }();
+    return weights.data();
 }
 
+void
+fillQuantTable(QuantTable &table, int qp)
+{
+    const f32 *weights = quantWeights();
+    for (int i = 0; i < 64; ++i)
+        table.step[size_t(i)] = f32(qp) * weights[i];
+    table.qp = qp;
+}
+
+/** Largest qp served from the lock-free fixed cache. */
+constexpr int kQuantCacheMax = 256;
+
 } // namespace
+
+const QuantTable &
+quantTableForQp(int qp)
+{
+    GSSR_ASSERT(qp >= 1, "qp must be positive");
+    if (qp <= kQuantCacheMax) {
+        // Fixed-size cache: each slot is built exactly once, then
+        // every subsequent lookup is a single pass through the fast
+        // path of call_once. The parallel block coder hits this from
+        // worker threads.
+        static QuantTable cache[kQuantCacheMax + 1];
+        static std::once_flag built[kQuantCacheMax + 1];
+        std::call_once(built[qp],
+                       [qp] { fillQuantTable(cache[qp], qp); });
+        return cache[qp];
+    }
+    // Out-of-range qps (never produced by the rate controller, whose
+    // ceiling is 48) fall back to a mutex-guarded map.
+    static std::mutex mutex;
+    static std::unordered_map<int, std::unique_ptr<QuantTable>> extra;
+    std::lock_guard<std::mutex> lock(mutex);
+    std::unique_ptr<QuantTable> &slot = extra[qp];
+    if (!slot) {
+        slot = std::make_unique<QuantTable>();
+        fillQuantTable(*slot, qp);
+    }
+    return *slot;
+}
+
+void
+forwardDct8x8(const Block8x8 &spatial, Block8x8 &out)
+{
+    kern::dctForward8x8(spatial.data(), out.data());
+}
+
+void
+inverseDct8x8(const Block8x8 &coefficients, Block8x8 &out)
+{
+    kern::dctInverse8x8(coefficients.data(), out.data());
+}
+
+void
+quantize(const Block8x8 &coefficients, const QuantTable &table,
+         QuantBlock &out)
+{
+    kern::quantize8x8(coefficients.data(), table.step.data(),
+                      out.data());
+}
+
+void
+dequantize(const QuantBlock &levels, const QuantTable &table,
+           Block8x8 &out)
+{
+    kern::dequantize8x8(levels.data(), table.step.data(), out.data());
+}
 
 Block8x8
 forwardDct8x8(const Block8x8 &spatial)
 {
-    const auto &t = tables();
-    // Rows then columns (separable).
-    Block8x8 tmp{};
-    for (int y = 0; y < 8; ++y) {
-        for (int k = 0; k < 8; ++k) {
-            f32 acc = 0.0f;
-            for (int n = 0; n < 8; ++n)
-                acc += spatial[size_t(y * 8 + n)] * t.basis[k][n];
-            tmp[size_t(y * 8 + k)] = acc;
-        }
-    }
-    Block8x8 out{};
-    for (int x = 0; x < 8; ++x) {
-        for (int k = 0; k < 8; ++k) {
-            f32 acc = 0.0f;
-            for (int n = 0; n < 8; ++n)
-                acc += tmp[size_t(n * 8 + x)] * t.basis[k][n];
-            out[size_t(k * 8 + x)] = acc;
-        }
-    }
+    Block8x8 out;
+    forwardDct8x8(spatial, out);
     return out;
 }
 
 Block8x8
 inverseDct8x8(const Block8x8 &coefficients)
 {
-    const auto &t = tables();
-    Block8x8 tmp{};
-    for (int x = 0; x < 8; ++x) {
-        for (int n = 0; n < 8; ++n) {
-            f32 acc = 0.0f;
-            for (int k = 0; k < 8; ++k)
-                acc += coefficients[size_t(k * 8 + x)] * t.basis[k][n];
-            tmp[size_t(n * 8 + x)] = acc;
-        }
-    }
-    Block8x8 out{};
-    for (int y = 0; y < 8; ++y) {
-        for (int n = 0; n < 8; ++n) {
-            f32 acc = 0.0f;
-            for (int k = 0; k < 8; ++k)
-                acc += tmp[size_t(y * 8 + k)] * t.basis[k][n];
-            out[size_t(y * 8 + n)] = acc;
-        }
-    }
+    Block8x8 out;
+    inverseDct8x8(coefficients, out);
     return out;
 }
 
 QuantBlock
 quantize(const Block8x8 &coefficients, int qp)
 {
-    GSSR_ASSERT(qp >= 1, "qp must be positive");
-    const auto &t = tables();
-    QuantBlock out{};
-    for (int i = 0; i < 64; ++i) {
-        f32 step = f32(qp) * t.quant_weight[i];
-        out[size_t(i)] = i32(std::lround(coefficients[size_t(i)] / step));
-    }
+    QuantBlock out;
+    quantize(coefficients, quantTableForQp(qp), out);
     return out;
 }
 
 Block8x8
 dequantize(const QuantBlock &levels, int qp)
 {
-    GSSR_ASSERT(qp >= 1, "qp must be positive");
-    const auto &t = tables();
-    Block8x8 out{};
-    for (int i = 0; i < 64; ++i) {
-        f32 step = f32(qp) * t.quant_weight[i];
-        out[size_t(i)] = f32(levels[size_t(i)]) * step;
-    }
+    Block8x8 out;
+    dequantize(levels, quantTableForQp(qp), out);
     return out;
 }
 

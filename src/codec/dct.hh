@@ -2,6 +2,12 @@
  * @file
  * 8x8 block DCT transform and quantization used by the intra and
  * residual coding paths of the GOP codec.
+ *
+ * The hot-path API writes into caller-provided out-params so the
+ * per-block coder can reuse its buffers (the by-value returning
+ * wrappers below remain for tests and one-off callers). The actual
+ * arithmetic lives in the runtime-dispatched SIMD kernel layer
+ * (src/kernels); scalar and AVX2 paths are bit-exact.
  */
 
 #ifndef GSSR_CODEC_DCT_HH
@@ -18,19 +24,41 @@ namespace gssr
 using Block8x8 = std::array<f32, 64>;
 using QuantBlock = std::array<i32, 64>;
 
-/** Forward 8x8 type-II DCT (orthonormal). */
-Block8x8 forwardDct8x8(const Block8x8 &spatial);
-
-/** Inverse 8x8 DCT (type-III, orthonormal). */
-Block8x8 inverseDct8x8(const Block8x8 &coefficients);
-
 /**
- * Quantize DCT coefficients. The step for coefficient i is
- * qp * weight(i), where weight grows with frequency (JPEG-flavored).
+ * Per-coefficient quantizer step sizes for one qp:
+ * step[i] = qp * weight(i), where weight grows with frequency
+ * (JPEG-flavored). Obtain via quantTableForQp — tables are computed
+ * once per qp and cached for the life of the process instead of being
+ * rebuilt per 8x8 block.
  */
-QuantBlock quantize(const Block8x8 &coefficients, int qp);
+struct QuantTable
+{
+    alignas(32) std::array<f32, 64> step;
+    int qp = 0;
+};
+
+/** Cached per-qp quantizer table (thread-safe; qp >= 1). */
+const QuantTable &quantTableForQp(int qp);
+
+/** Forward 8x8 type-II DCT (orthonormal), @p in -> @p out. */
+void forwardDct8x8(const Block8x8 &spatial, Block8x8 &out);
+
+/** Inverse 8x8 DCT (type-III, orthonormal), @p in -> @p out. */
+void inverseDct8x8(const Block8x8 &coefficients, Block8x8 &out);
+
+/** Quantize DCT coefficients with a cached step table. */
+void quantize(const Block8x8 &coefficients, const QuantTable &table,
+              QuantBlock &out);
 
 /** Reconstruct coefficients from quantized levels. */
+void dequantize(const QuantBlock &levels, const QuantTable &table,
+                Block8x8 &out);
+
+// By-value convenience wrappers (cold paths and tests).
+
+Block8x8 forwardDct8x8(const Block8x8 &spatial);
+Block8x8 inverseDct8x8(const Block8x8 &coefficients);
+QuantBlock quantize(const Block8x8 &coefficients, int qp);
 Block8x8 dequantize(const QuantBlock &levels, int qp);
 
 /** Zigzag scan order for an 8x8 block (index -> raster position). */

@@ -5,6 +5,7 @@
 #include "common/logging.hh"
 #include "common/mathutil.hh"
 #include "common/parallel.hh"
+#include "kernels/kernels.hh"
 
 namespace gssr
 {
@@ -12,11 +13,28 @@ namespace gssr
 namespace
 {
 
-/** SAD between a block in @p cur at (x, y) and @p ref at (x+dx, y+dy). */
+/**
+ * SAD between a block in @p cur at (x, y) and @p ref at (x+dx, y+dy).
+ * When the displaced reference block lies fully inside the plane the
+ * sum goes through the SIMD SAD kernel; only candidates that spill
+ * over an edge (and so need clamped addressing) take the scalar loop.
+ * Both paths check the early-exit bound after each block row, so they
+ * return identical values.
+ */
 i64
 blockSad(const PlaneU8 &ref, const PlaneU8 &cur, int x, int y,
          int block, int dx, int dy, i64 early_exit)
 {
+    const int w = ref.width();
+    const int h = ref.height();
+    const int rx = x + dx;
+    const int ry = y + dy;
+    if (rx >= 0 && ry >= 0 && rx + block <= w && ry + block <= h) {
+        const u8 *cur_ptr = cur.data().data() + size_t(y) * w + x;
+        const u8 *ref_ptr = ref.data().data() + size_t(ry) * w + rx;
+        return kern::sadRect(cur_ptr, w, ref_ptr, w, block, block,
+                             early_exit);
+    }
     i64 sad = 0;
     for (int by = 0; by < block; ++by) {
         for (int bx = 0; bx < block; ++bx) {

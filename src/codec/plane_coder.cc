@@ -1,5 +1,6 @@
 #include "codec/plane_coder.hh"
 
+#include <algorithm>
 #include <vector>
 
 #include "codec/dct.hh"
@@ -16,33 +17,46 @@ namespace
 constexpr u64 kEobMarker = 64;
 
 /** Extract the 8x8 block at (bx*8, by*8), edge-replicating. */
-Block8x8
-extractBlock(const PlaneF32 &plane, int bx, int by)
+void
+extractBlock(const PlaneF32 &plane, int bx, int by, Block8x8 &block)
 {
-    Block8x8 block{};
+    const int w = plane.width();
+    const int h = plane.height();
+    const int px0 = bx * 8;
+    const int py0 = by * 8;
+    if (px0 + 8 <= w && py0 + 8 <= h) {
+        // Interior fast path: straight row copies off the raw plane.
+        const f32 *base = plane.data().data() + size_t(py0) * w + px0;
+        for (int y = 0; y < 8; ++y) {
+            const f32 *row = base + size_t(y) * w;
+            for (int x = 0; x < 8; ++x)
+                block[size_t(y * 8 + x)] = row[x];
+        }
+        return;
+    }
     for (int y = 0; y < 8; ++y) {
         for (int x = 0; x < 8; ++x) {
             block[size_t(y * 8 + x)] =
-                plane.atClamped(bx * 8 + x, by * 8 + y);
+                plane.atClamped(px0 + x, py0 + y);
         }
     }
-    return block;
 }
 
 /** Write the in-bounds part of an 8x8 block back into the plane. */
 void
 depositBlock(PlaneF32 &plane, const Block8x8 &block, int bx, int by)
 {
-    for (int y = 0; y < 8; ++y) {
-        int py = by * 8 + y;
-        if (py >= plane.height())
-            break;
-        for (int x = 0; x < 8; ++x) {
-            int px = bx * 8 + x;
-            if (px >= plane.width())
-                break;
-            plane.at(px, py) = block[size_t(y * 8 + x)];
-        }
+    const int w = plane.width();
+    const int h = plane.height();
+    const int px0 = bx * 8;
+    const int py0 = by * 8;
+    const int ny = std::min(8, h - py0);
+    const int nx = std::min(8, w - px0);
+    f32 *base = plane.data().data() + size_t(py0) * w + px0;
+    for (int y = 0; y < ny; ++y) {
+        f32 *row = base + size_t(y) * w;
+        for (int x = 0; x < nx; ++x)
+            row[x] = block[size_t(y * 8 + x)];
     }
 }
 
@@ -112,7 +126,9 @@ constexpr i64 kBlockGrain = 8;
  * DCT/quantize/reconstruct transform work parallelizes over blocks
  * (each block owns a disjoint recon region); the entropy coder then
  * serializes the quantized blocks in raster order, so the bitstream is
- * byte-identical at any thread count.
+ * byte-identical at any thread count. Each chunk reuses one set of
+ * scratch blocks and looks quantizer tables up from the per-qp cache,
+ * so the per-block cost is transform arithmetic only.
  */
 template <typename QpOf>
 PlaneF32
@@ -124,14 +140,18 @@ encodeBlocks(const PlaneF32 &plane, ByteWriter &writer, QpOf qp_of)
     PlaneF32 recon(plane.width(), plane.height());
     std::vector<QuantBlock> levels(static_cast<size_t>(n_blocks));
     parallelFor(0, n_blocks, kBlockGrain, [&](i64 begin, i64 end) {
+        Block8x8 spatial;
+        Block8x8 coef;
+        Block8x8 rec;
         for (i64 i = begin; i < end; ++i) {
             int bx = int(i % blocks_x);
             int by = int(i / blocks_x);
-            int qp = qp_of(bx, by);
-            Block8x8 spatial = extractBlock(plane, bx, by);
-            levels[size_t(i)] = quantize(forwardDct8x8(spatial), qp);
-            Block8x8 rec =
-                inverseDct8x8(dequantize(levels[size_t(i)], qp));
+            const QuantTable &table = quantTableForQp(qp_of(bx, by));
+            extractBlock(plane, bx, by, spatial);
+            forwardDct8x8(spatial, coef);
+            quantize(coef, table, levels[size_t(i)]);
+            dequantize(levels[size_t(i)], table, coef);
+            inverseDct8x8(coef, rec);
             depositBlock(recon, rec, bx, by);
         }
     });
@@ -157,11 +177,14 @@ decodeBlocks(Size size, ByteReader &reader, QpOf qp_of)
         levels[size_t(i)] = readBlock(reader);
     PlaneF32 out(size.width, size.height);
     parallelFor(0, n_blocks, kBlockGrain, [&](i64 begin, i64 end) {
+        Block8x8 coef;
+        Block8x8 rec;
         for (i64 i = begin; i < end; ++i) {
             int bx = int(i % blocks_x);
             int by = int(i / blocks_x);
-            Block8x8 rec = inverseDct8x8(
-                dequantize(levels[size_t(i)], qp_of(bx, by)));
+            const QuantTable &table = quantTableForQp(qp_of(bx, by));
+            dequantize(levels[size_t(i)], table, coef);
+            inverseDct8x8(coef, rec);
             depositBlock(out, rec, bx, by);
         }
     });

@@ -45,10 +45,11 @@ fnv1aValue(const T &value, u64 hash = kFnvOffsetBasis)
     return fnv1a(&value, sizeof(T), hash);
 }
 
-/** FNV-1a over the elements of a vector of trivially copyable T. */
-template <typename T>
+/** FNV-1a over the elements of a vector of trivially copyable T
+ * (any allocator — AlignedVec storage hashes identically). */
+template <typename T, typename Alloc>
 inline u64
-fnv1aVec(const std::vector<T> &v, u64 hash = kFnvOffsetBasis)
+fnv1aVec(const std::vector<T, Alloc> &v, u64 hash = kFnvOffsetBasis)
 {
     static_assert(std::is_trivially_copyable_v<T>,
                   "fingerprint needs raw bytes");

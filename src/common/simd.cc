@@ -1,0 +1,97 @@
+#include "common/simd.hh"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace gssr
+{
+
+namespace
+{
+
+/** Forced level, or -1 when no forceSimdLevel() override is active. */
+std::atomic<int> g_forced_level{-1};
+
+/** Bumped on every force/clear so dispatch caches can refresh. */
+std::atomic<u64> g_generation{1};
+
+SimdLevel
+detectHostLevel()
+{
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+    // __builtin_cpu_supports also verifies OS support for the ymm
+    // state (OSXSAVE), so this is safe on AVX2 hardware running a
+    // non-AVX kernel.
+    if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma"))
+        return SimdLevel::Avx2;
+#endif
+    return SimdLevel::Scalar;
+}
+
+bool
+envForcesScalar()
+{
+    const char *v = std::getenv("GSSR_FORCE_SCALAR");
+    return v != nullptr && v[0] != '\0' &&
+           !(v[0] == '0' && v[1] == '\0');
+}
+
+} // namespace
+
+const char *
+simdLevelName(SimdLevel level)
+{
+    switch (level) {
+    case SimdLevel::Avx2:
+        return "avx2";
+    case SimdLevel::Scalar:
+        break;
+    }
+    return "scalar";
+}
+
+SimdLevel
+detectedSimdLevel()
+{
+    static const SimdLevel level = detectHostLevel();
+    return level;
+}
+
+SimdLevel
+activeSimdLevel()
+{
+    int forced = g_forced_level.load(std::memory_order_relaxed);
+    if (forced >= 0)
+        return SimdLevel(forced);
+    static const bool scalar_env = envForcesScalar();
+    if (scalar_env)
+        return SimdLevel::Scalar;
+    return detectedSimdLevel();
+}
+
+void
+forceSimdLevel(SimdLevel level)
+{
+    GSSR_ASSERT(level <= detectedSimdLevel(),
+                "cannot force a SIMD level the host does not support");
+    g_forced_level.store(int(level), std::memory_order_relaxed);
+    g_generation.fetch_add(1, std::memory_order_release);
+}
+
+void
+clearForcedSimdLevel()
+{
+    g_forced_level.store(-1, std::memory_order_relaxed);
+    g_generation.fetch_add(1, std::memory_order_release);
+}
+
+u64
+simdConfigGeneration()
+{
+    return g_generation.load(std::memory_order_acquire);
+}
+
+} // namespace gssr

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * SIMD capability detection and aligned storage.
+ *
+ * Two pieces the vector kernel layer (src/kernels) builds on:
+ *
+ *  1. Runtime CPU-feature detection with a forced-override hook.
+ *     activeSimdLevel() is what the kernel dispatcher consults; it is
+ *     detectedSimdLevel() capped by the GSSR_FORCE_SCALAR environment
+ *     variable (any value other than "0") or a forceSimdLevel() call
+ *     (tests and bench_micro_kernels use the latter to compare paths
+ *     in one process).
+ *
+ *  2. AlignedAllocator / AlignedVec: every SIMD-visible buffer
+ *     (Tensor storage, Plane storage, conv weights) starts on a
+ *     kSimdAlignment boundary and is over-allocated to a whole number
+ *     of kSimdAlignment bytes, so a full-width vector load at the
+ *     tail of a buffer can never straddle the allocation edge. The
+ *     kernels additionally never *read* past size() (fixed scalar
+ *     tails), so the padding is belt-and-suspenders, not a
+ *     correctness requirement — see DESIGN.md §12.
+ */
+
+#ifndef GSSR_COMMON_SIMD_HH
+#define GSSR_COMMON_SIMD_HH
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace gssr
+{
+
+/** Byte alignment (and size granularity) of SIMD-visible buffers. */
+inline constexpr size_t kSimdAlignment = 32;
+
+/** Instruction-set tiers the kernel layer dispatches between. */
+enum class SimdLevel
+{
+    Scalar = 0,
+    Avx2 = 1, // AVX2 + FMA
+};
+
+/** Short lowercase name ("scalar", "avx2") for logs and reports. */
+const char *simdLevelName(SimdLevel level);
+
+/** Best level this host's CPU supports (detected once, cached). */
+SimdLevel detectedSimdLevel();
+
+/**
+ * Level the kernel dispatcher uses right now: the detected level,
+ * unless capped by GSSR_FORCE_SCALAR or a forceSimdLevel() override.
+ */
+SimdLevel activeSimdLevel();
+
+/**
+ * Override the active level (must not exceed detectedSimdLevel()).
+ * Takes precedence over GSSR_FORCE_SCALAR. Only switch between
+ * parallel regions: the dispatcher re-reads the level lazily and
+ * concurrent kernel calls may briefly use the previous table.
+ */
+void forceSimdLevel(SimdLevel level);
+
+/** Drop a forceSimdLevel() override. */
+void clearForcedSimdLevel();
+
+/**
+ * Monotonic counter bumped by forceSimdLevel()/clearForcedSimdLevel().
+ * The kernel dispatcher uses it to refresh its cached table without
+ * re-deriving the level on every call.
+ */
+u64 simdConfigGeneration();
+
+/**
+ * Minimal allocator returning kSimdAlignment-aligned storage whose
+ * size is rounded up to a whole number of kSimdAlignment bytes.
+ */
+template <typename T>
+struct AlignedAllocator
+{
+    using value_type = T;
+
+    AlignedAllocator() = default;
+    template <typename U>
+    AlignedAllocator(const AlignedAllocator<U> &) noexcept
+    {
+    }
+
+    T *
+    allocate(size_t n)
+    {
+        size_t bytes = n * sizeof(T);
+        bytes = (bytes + kSimdAlignment - 1) & ~(kSimdAlignment - 1);
+        if (bytes == 0)
+            bytes = kSimdAlignment;
+        return static_cast<T *>(::operator new(
+            bytes, std::align_val_t(kSimdAlignment)));
+    }
+
+    void
+    deallocate(T *p, size_t) noexcept
+    {
+        ::operator delete(p, std::align_val_t(kSimdAlignment));
+    }
+
+    template <typename U>
+    bool
+    operator==(const AlignedAllocator<U> &) const noexcept
+    {
+        return true;
+    }
+    template <typename U>
+    bool
+    operator!=(const AlignedAllocator<U> &) const noexcept
+    {
+        return false;
+    }
+};
+
+/** std::vector with 32-byte-aligned, 32-byte-granular storage. */
+template <typename T>
+using AlignedVec = std::vector<T, AlignedAllocator<T>>;
+
+/** True when @p p sits on a kSimdAlignment boundary. */
+inline bool
+isSimdAligned(const void *p)
+{
+    return (reinterpret_cast<uintptr_t>(p) % kSimdAlignment) == 0;
+}
+
+} // namespace gssr
+
+#endif // GSSR_COMMON_SIMD_HH

@@ -1,6 +1,7 @@
 #include "frame/downsample.hh"
 
 #include "common/logging.hh"
+#include "kernels/kernels.hh"
 
 namespace gssr
 {
@@ -40,6 +41,17 @@ downsamplePlane(const Plane<T> &in, int k)
 PlaneU8
 boxDownsample(const PlaneU8 &in, int k)
 {
+    // 2x is the codec's downlink scale factor and by far the hottest
+    // case; it goes through the SIMD kernel (exact integer match of
+    // the generic (acc + 2) / 4 rounding below).
+    if (k == 2 && in.width() % 2 == 0 && in.height() % 2 == 0 &&
+        in.width() > 0 && in.height() > 0) {
+        PlaneU8 out(in.width() / 2, in.height() / 2);
+        for (int y = 0; y < out.height(); ++y)
+            kern::boxDown2U8(in.row(2 * y), in.row(2 * y + 1),
+                             out.row(y), out.width());
+        return out;
+    }
     return downsamplePlane<u8, u32>(in, k);
 }
 

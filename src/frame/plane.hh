@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "common/simd.hh"
 #include "common/types.hh"
 
 namespace gssr
@@ -18,6 +19,8 @@ namespace gssr
 
 /**
  * Dense row-major 2-D sample array with bounds-checked access.
+ * Storage is 32-byte-aligned (AlignedVec) so the SIMD kernel layer
+ * can use aligned-friendly loads; the row pitch equals the width.
  *
  * @tparam T sample type (u8 for pixels, f32 for depth/NN data).
  */
@@ -80,9 +83,9 @@ class Plane
     T *row(int y) { return &at(0, y); }
     const T *row(int y) const { return &at(0, y); }
 
-    /** Flat sample storage in row-major order. */
-    std::vector<T> &data() { return data_; }
-    const std::vector<T> &data() const { return data_; }
+    /** Flat sample storage in row-major order (32-byte-aligned). */
+    AlignedVec<T> &data() { return data_; }
+    const AlignedVec<T> &data() const { return data_; }
 
     /** Set every sample to @p value. */
     void
@@ -146,7 +149,7 @@ class Plane
 
     int width_ = 0;
     int height_ = 0;
-    std::vector<T> data_;
+    AlignedVec<T> data_;
 };
 
 using PlaneU8 = Plane<u8>;

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Kernel dispatch: resolves the active table from activeSimdLevel()
+ * and caches it until the SIMD config generation changes (i.e. a
+ * test/bench forces or clears a level). Two relaxed atomic loads per
+ * kernel call — noise next to the row-granularity work the kernels
+ * do.
+ */
+
+#include "kernels/kernels.hh"
+
+#include <atomic>
+
+namespace gssr::kern
+{
+
+namespace
+{
+
+const KernelTable *
+tableForLevel(SimdLevel level)
+{
+    if (level >= SimdLevel::Avx2) {
+        if (const KernelTable *t = avx2Kernels())
+            return t;
+    }
+    return &scalarKernels();
+}
+
+std::atomic<const KernelTable *> g_table{nullptr};
+std::atomic<u64> g_seen_generation{0};
+
+} // namespace
+
+const KernelTable &
+kernelTable()
+{
+    u64 gen = simdConfigGeneration();
+    if (g_seen_generation.load(std::memory_order_relaxed) != gen ||
+        g_table.load(std::memory_order_relaxed) == nullptr) {
+        g_table.store(tableForLevel(activeSimdLevel()),
+                      std::memory_order_relaxed);
+        g_seen_generation.store(gen, std::memory_order_relaxed);
+    }
+    return *g_table.load(std::memory_order_relaxed);
+}
+
+} // namespace gssr::kern

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Runtime-dispatched SIMD micro-kernels for the CPU hot paths: conv2d
+ * row accumulation (axpy), the 8x8 DCT/IDCT and quantizer, motion-
+ * search SAD, the SSIM Gaussian window passes, and 2x box
+ * downsampling.
+ *
+ * Every kernel has a portable scalar implementation and (on x86-64)
+ * an AVX2 implementation selected at runtime via activeSimdLevel().
+ * The two paths are BIT-EXACT with each other by construction: each
+ * output element accumulates its terms in the same order on both
+ * paths, vector lanes always map to independent output elements, and
+ * the AVX2 code uses separate multiply+add (never FMA contraction)
+ * inside value-affecting float reductions. See DESIGN.md §12 for the
+ * full determinism policy.
+ *
+ * Pointers need not be aligned (kernels use unaligned loads), but
+ * buffers that come from AlignedVec storage get aligned fast paths
+ * for free. Kernels never read or write outside [ptr, ptr + n).
+ */
+
+#ifndef GSSR_KERNELS_KERNELS_HH
+#define GSSR_KERNELS_KERNELS_HH
+
+#include "common/simd.hh"
+#include "common/types.hh"
+
+namespace gssr::kern
+{
+
+/**
+ * Dispatch table: one function pointer per kernel. Scalar table is
+ * always available; the AVX2 table exists only when the binary was
+ * built with the AVX2 translation unit (x86-64).
+ */
+struct KernelTable
+{
+    /** dst[i] += w * src[i] for i in [0, n). */
+    void (*axpy_f32)(f32 *dst, const f32 *src, f32 w, i64 n);
+
+    /** Forward orthonormal 8x8 DCT-II, rows then columns. */
+    void (*dct_forward_8x8)(const f32 *in, f32 *out);
+
+    /** Inverse orthonormal 8x8 DCT (type III). */
+    void (*dct_inverse_8x8)(const f32 *in, f32 *out);
+
+    /**
+     * out[i] = i32(lround(coef[i] / steps[i])) for i in [0, 64).
+     * Exact lround (round-half-away-from-zero) semantics for
+     * |coef/step| < 2^23, far above any coefficient this codec
+     * produces.
+     */
+    void (*quantize_8x8)(const f32 *coef, const f32 *steps, i32 *out);
+
+    /** out[i] = f32(levels[i]) * steps[i] for i in [0, 64). */
+    void (*dequantize_8x8)(const i32 *levels, const f32 *steps,
+                           f32 *out);
+
+    /**
+     * Sum of |a - b| over a w x h rect with row pitches. Checks
+     * @p early_exit after every row and returns the partial sum once
+     * it is reached (callers only compare the result against
+     * early_exit, so partial sums are safe).
+     */
+    i64 (*sad_rect_u8)(const u8 *a, i64 a_pitch, const u8 *b,
+                       i64 b_pitch, int w, int h, i64 early_exit);
+
+    /**
+     * Horizontal Gaussian tap pass with edge clamping:
+     * out[x] = sum_i taps[i] * in[clamp(x + i - radius)].
+     * taps has 2*radius+1 entries.
+     */
+    void (*gauss_row_f64)(const f64 *in, f64 *out, int width,
+                          const f64 *taps, int radius);
+
+    /**
+     * Vertical tap pass over pre-clamped row pointers:
+     * out[x] = sum_i taps[i] * rows[i][x].
+     */
+    void (*weighted_sum_rows_f64)(const f64 *const *rows,
+                                  const f64 *taps, int ntaps, f64 *out,
+                                  int width);
+
+    /** out[i] = f64(in[i]). */
+    void (*u8_to_f64)(const u8 *in, f64 *out, i64 n);
+
+    /** a2 = a*a, b2 = b*b, ab = a*b, elementwise over n samples. */
+    void (*ssim_products_f64)(const f64 *a, const f64 *b, f64 *a2,
+                              f64 *b2, f64 *ab, i64 n);
+
+    /**
+     * One output row of 2x box downsampling:
+     * out[x] = (r0[2x] + r0[2x+1] + r1[2x] + r1[2x+1] + 2) / 4.
+     */
+    void (*box_down2_u8)(const u8 *r0, const u8 *r1, u8 *out,
+                         int out_width);
+
+    /** Level this table implements (for reports/tests). */
+    SimdLevel level;
+    const char *name;
+};
+
+/** The portable reference table (always available). */
+const KernelTable &scalarKernels();
+
+/** The AVX2 table, or nullptr when not compiled in / unsupported. */
+const KernelTable *avx2Kernels();
+
+/**
+ * The active table per activeSimdLevel(). Cached; refreshes itself
+ * when forceSimdLevel()/clearForcedSimdLevel() bump the generation.
+ */
+const KernelTable &kernelTable();
+
+/**
+ * Precomputed orthonormal 8-point DCT-II basis shared by the scalar
+ * and AVX2 DCT kernels (and by the codec's table construction):
+ * basis[k][n] = s(k) * cos(pi * (2n+1) * k / 16), and the transpose
+ * basis_t[n][k] = basis[k][n] for broadcast-friendly row passes.
+ */
+struct Dct8Tables
+{
+    alignas(kSimdAlignment) f32 basis[8][8];
+    alignas(kSimdAlignment) f32 basis_t[8][8];
+};
+
+const Dct8Tables &dct8Tables();
+
+// Convenience wrappers through the active table.
+
+inline void
+axpy(f32 *dst, const f32 *src, f32 w, i64 n)
+{
+    kernelTable().axpy_f32(dst, src, w, n);
+}
+
+inline void
+dctForward8x8(const f32 *in, f32 *out)
+{
+    kernelTable().dct_forward_8x8(in, out);
+}
+
+inline void
+dctInverse8x8(const f32 *in, f32 *out)
+{
+    kernelTable().dct_inverse_8x8(in, out);
+}
+
+inline void
+quantize8x8(const f32 *coef, const f32 *steps, i32 *out)
+{
+    kernelTable().quantize_8x8(coef, steps, out);
+}
+
+inline void
+dequantize8x8(const i32 *levels, const f32 *steps, f32 *out)
+{
+    kernelTable().dequantize_8x8(levels, steps, out);
+}
+
+inline i64
+sadRect(const u8 *a, i64 a_pitch, const u8 *b, i64 b_pitch, int w,
+        int h, i64 early_exit)
+{
+    return kernelTable().sad_rect_u8(a, a_pitch, b, b_pitch, w, h,
+                                     early_exit);
+}
+
+inline void
+gaussRow(const f64 *in, f64 *out, int width, const f64 *taps,
+         int radius)
+{
+    kernelTable().gauss_row_f64(in, out, width, taps, radius);
+}
+
+inline void
+weightedSumRows(const f64 *const *rows, const f64 *taps, int ntaps,
+                f64 *out, int width)
+{
+    kernelTable().weighted_sum_rows_f64(rows, taps, ntaps, out, width);
+}
+
+inline void
+u8ToF64(const u8 *in, f64 *out, i64 n)
+{
+    kernelTable().u8_to_f64(in, out, n);
+}
+
+inline void
+ssimProducts(const f64 *a, const f64 *b, f64 *a2, f64 *b2, f64 *ab,
+             i64 n)
+{
+    kernelTable().ssim_products_f64(a, b, a2, b2, ab, n);
+}
+
+inline void
+boxDown2U8(const u8 *r0, const u8 *r1, u8 *out, int out_width)
+{
+    kernelTable().box_down2_u8(r0, r1, out, out_width);
+}
+
+} // namespace gssr::kern
+
+#endif // GSSR_KERNELS_KERNELS_HH

@@ -1,0 +1,378 @@
+/**
+ * @file
+ * AVX2 kernel implementations. This translation unit is compiled with
+ * -mavx2 -mfma -ffp-contract=off (see src/kernels/CMakeLists.txt);
+ * everywhere else stays at the baseline ISA and the dispatcher picks
+ * this table only when the host CPU reports AVX2+FMA.
+ *
+ * Bit-exactness contract (DESIGN.md §12): vector lanes map to
+ * independent output elements, every per-element reduction walks its
+ * terms in the same order as the scalar reference, and float
+ * multiply+add pairs stay separate instructions (-ffp-contract=off
+ * keeps the compiler from fusing them into FMAs, which would change
+ * rounding). FMA hardware is still required at dispatch time so a
+ * future kernel that *wants* single-rounding accumulation (e.g. the
+ * int8 path) can rely on it.
+ */
+
+#include "kernels/kernels.hh"
+
+#if defined(__AVX2__) && defined(__x86_64__)
+
+#include <immintrin.h>
+
+namespace gssr::kern
+{
+
+namespace
+{
+
+void
+axpyAvx2(f32 *dst, const f32 *src, f32 w, i64 n)
+{
+    const __m256 vw = _mm256_set1_ps(w);
+    i64 i = 0;
+    for (; i + 16 <= n; i += 16) {
+        __m256 d0 = _mm256_loadu_ps(dst + i);
+        __m256 d1 = _mm256_loadu_ps(dst + i + 8);
+        __m256 s0 = _mm256_loadu_ps(src + i);
+        __m256 s1 = _mm256_loadu_ps(src + i + 8);
+        d0 = _mm256_add_ps(d0, _mm256_mul_ps(vw, s0));
+        d1 = _mm256_add_ps(d1, _mm256_mul_ps(vw, s1));
+        _mm256_storeu_ps(dst + i, d0);
+        _mm256_storeu_ps(dst + i + 8, d1);
+    }
+    for (; i + 8 <= n; i += 8) {
+        __m256 d = _mm256_loadu_ps(dst + i);
+        __m256 s = _mm256_loadu_ps(src + i);
+        _mm256_storeu_ps(dst + i,
+                         _mm256_add_ps(d, _mm256_mul_ps(vw, s)));
+    }
+    for (; i < n; ++i)
+        dst[i] += w * src[i];
+}
+
+void
+dctForwardAvx2(const f32 *in, f32 *out)
+{
+    const auto &t = dct8Tables();
+    // Row pass: lane = output frequency k; terms accumulate in
+    // ascending n, matching the scalar reference element-for-element.
+    alignas(kSimdAlignment) f32 tmp[64];
+    for (int y = 0; y < 8; ++y) {
+        __m256 acc = _mm256_setzero_ps();
+        for (int n = 0; n < 8; ++n) {
+            __m256 s = _mm256_set1_ps(in[y * 8 + n]);
+            __m256 bt = _mm256_load_ps(t.basis_t[n]);
+            acc = _mm256_add_ps(acc, _mm256_mul_ps(s, bt));
+        }
+        _mm256_store_ps(tmp + y * 8, acc);
+    }
+    // Column pass: lane = column x; terms accumulate in ascending n.
+    for (int k = 0; k < 8; ++k) {
+        __m256 acc = _mm256_setzero_ps();
+        for (int n = 0; n < 8; ++n) {
+            __m256 row = _mm256_load_ps(tmp + n * 8);
+            __m256 b = _mm256_set1_ps(t.basis[k][n]);
+            acc = _mm256_add_ps(acc, _mm256_mul_ps(row, b));
+        }
+        _mm256_storeu_ps(out + k * 8, acc);
+    }
+}
+
+void
+dctInverseAvx2(const f32 *in, f32 *out)
+{
+    const auto &t = dct8Tables();
+    // Column pass: lane = column x; terms accumulate in ascending k.
+    alignas(kSimdAlignment) f32 tmp[64];
+    for (int n = 0; n < 8; ++n) {
+        __m256 acc = _mm256_setzero_ps();
+        for (int k = 0; k < 8; ++k) {
+            __m256 row = _mm256_loadu_ps(in + k * 8);
+            __m256 b = _mm256_set1_ps(t.basis[k][n]);
+            acc = _mm256_add_ps(acc, _mm256_mul_ps(row, b));
+        }
+        _mm256_store_ps(tmp + n * 8, acc);
+    }
+    // Row pass: lane = sample n; terms accumulate in ascending k.
+    for (int y = 0; y < 8; ++y) {
+        __m256 acc = _mm256_setzero_ps();
+        for (int k = 0; k < 8; ++k) {
+            __m256 s = _mm256_set1_ps(tmp[y * 8 + k]);
+            __m256 b = _mm256_load_ps(t.basis[k]);
+            acc = _mm256_add_ps(acc, _mm256_mul_ps(s, b));
+        }
+        _mm256_storeu_ps(out + y * 8, acc);
+    }
+}
+
+void
+quantizeAvx2(const f32 *coef, const f32 *steps, i32 *out)
+{
+    // Exact std::lround (round half away from zero) semantics:
+    // round-to-nearest-even, then fix the exact-tie lanes where the
+    // even choice went toward zero. q - r is exact for |q| < 2^23, so
+    // tie detection is precise.
+    const __m256 half = _mm256_set1_ps(0.5f);
+    const __m256 neg_half = _mm256_set1_ps(-0.5f);
+    const __m256 one = _mm256_set1_ps(1.0f);
+    const __m256 zero = _mm256_setzero_ps();
+    for (int i = 0; i < 64; i += 8) {
+        __m256 q = _mm256_div_ps(_mm256_loadu_ps(coef + i),
+                                 _mm256_loadu_ps(steps + i));
+        __m256 r = _mm256_round_ps(
+            q, _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+        __m256 diff = _mm256_sub_ps(q, r);
+        __m256 up = _mm256_and_ps(
+            _mm256_cmp_ps(diff, half, _CMP_EQ_OQ),
+            _mm256_cmp_ps(q, zero, _CMP_GT_OQ));
+        __m256 down = _mm256_and_ps(
+            _mm256_cmp_ps(diff, neg_half, _CMP_EQ_OQ),
+            _mm256_cmp_ps(q, zero, _CMP_LT_OQ));
+        r = _mm256_add_ps(r, _mm256_and_ps(up, one));
+        r = _mm256_sub_ps(r, _mm256_and_ps(down, one));
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(out + i),
+                            _mm256_cvtps_epi32(r));
+    }
+}
+
+void
+dequantizeAvx2(const i32 *levels, const f32 *steps, f32 *out)
+{
+    for (int i = 0; i < 64; i += 8) {
+        __m256 l = _mm256_cvtepi32_ps(_mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(levels + i)));
+        _mm256_storeu_ps(
+            out + i, _mm256_mul_ps(l, _mm256_loadu_ps(steps + i)));
+    }
+}
+
+/** Sum the four u64 lanes of an accumulator of _mm256_sad_epu8s. */
+inline i64
+hsum64(__m256i v)
+{
+    __m128i lo = _mm256_castsi256_si128(v);
+    __m128i hi = _mm256_extracti128_si256(v, 1);
+    __m128i s = _mm_add_epi64(lo, hi);
+    return _mm_cvtsi128_si64(s) + _mm_extract_epi64(s, 1);
+}
+
+i64
+sadRectAvx2(const u8 *a, i64 a_pitch, const u8 *b, i64 b_pitch, int w,
+            int h, i64 early_exit)
+{
+    i64 sad = 0;
+    for (int y = 0; y < h; ++y) {
+        const u8 *ra = a + y * a_pitch;
+        const u8 *rb = b + y * b_pitch;
+        i64 row = 0;
+        int x = 0;
+        if (w >= 32) {
+            __m256i acc = _mm256_setzero_si256();
+            for (; x + 32 <= w; x += 32) {
+                __m256i va = _mm256_loadu_si256(
+                    reinterpret_cast<const __m256i *>(ra + x));
+                __m256i vb = _mm256_loadu_si256(
+                    reinterpret_cast<const __m256i *>(rb + x));
+                acc = _mm256_add_epi64(acc, _mm256_sad_epu8(va, vb));
+            }
+            row += hsum64(acc);
+        }
+        for (; x + 16 <= w; x += 16) {
+            __m128i va = _mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(ra + x));
+            __m128i vb = _mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(rb + x));
+            __m128i d = _mm_sad_epu8(va, vb);
+            row += _mm_cvtsi128_si64(d) + _mm_extract_epi64(d, 1);
+        }
+        for (; x + 8 <= w; x += 8) {
+            __m128i va = _mm_loadl_epi64(
+                reinterpret_cast<const __m128i *>(ra + x));
+            __m128i vb = _mm_loadl_epi64(
+                reinterpret_cast<const __m128i *>(rb + x));
+            row += _mm_cvtsi128_si64(_mm_sad_epu8(va, vb));
+        }
+        for (; x < w; ++x) {
+            i32 d = i32(ra[x]) - i32(rb[x]);
+            row += d < 0 ? -d : d;
+        }
+        // Integer sums are order-independent, so the row total (and
+        // therefore the early-exit point) matches scalar exactly.
+        sad += row;
+        if (sad >= early_exit)
+            return sad;
+    }
+    return sad;
+}
+
+void
+gaussRowAvx2(const f64 *in, f64 *out, int width, const f64 *taps,
+             int radius)
+{
+    const int ntaps = 2 * radius + 1;
+    // Clamped edges use the scalar reference loop verbatim.
+    auto edge = [&](int x0, int x1) {
+        for (int x = x0; x < x1; ++x) {
+            f64 acc = 0.0;
+            for (int i = -radius; i <= radius; ++i) {
+                int sx = x + i;
+                sx = sx < 0 ? 0 : (sx >= width ? width - 1 : sx);
+                acc += taps[i + radius] * in[sx];
+            }
+            out[x] = acc;
+        }
+    };
+    int safe_begin = radius < width ? radius : width;
+    int safe_end = width - radius;
+    if (safe_end < safe_begin)
+        safe_end = safe_begin;
+    edge(0, safe_begin);
+    int x = safe_begin;
+    for (; x + 4 <= safe_end; x += 4) {
+        // Lane = output sample; taps accumulate in ascending i.
+        __m256d acc = _mm256_setzero_pd();
+        const f64 *base = in + x - radius;
+        for (int i = 0; i < ntaps; ++i) {
+            __m256d s = _mm256_loadu_pd(base + i);
+            __m256d t = _mm256_set1_pd(taps[i]);
+            acc = _mm256_add_pd(acc, _mm256_mul_pd(t, s));
+        }
+        _mm256_storeu_pd(out + x, acc);
+    }
+    for (; x < safe_end; ++x) {
+        f64 acc = 0.0;
+        const f64 *base = in + x - radius;
+        for (int i = 0; i < ntaps; ++i)
+            acc += taps[i] * base[i];
+        out[x] = acc;
+    }
+    edge(safe_end, width);
+}
+
+void
+weightedSumRowsAvx2(const f64 *const *rows, const f64 *taps, int ntaps,
+                    f64 *out, int width)
+{
+    int x = 0;
+    for (; x + 4 <= width; x += 4) {
+        __m256d acc = _mm256_setzero_pd();
+        for (int i = 0; i < ntaps; ++i) {
+            __m256d s = _mm256_loadu_pd(rows[i] + x);
+            __m256d t = _mm256_set1_pd(taps[i]);
+            acc = _mm256_add_pd(acc, _mm256_mul_pd(t, s));
+        }
+        _mm256_storeu_pd(out + x, acc);
+    }
+    for (; x < width; ++x) {
+        f64 acc = 0.0;
+        for (int i = 0; i < ntaps; ++i)
+            acc += taps[i] * rows[i][x];
+        out[x] = acc;
+    }
+}
+
+void
+u8ToF64Avx2(const u8 *in, f64 *out, i64 n)
+{
+    i64 i = 0;
+    for (; i + 8 <= n; i += 8) {
+        __m128i bytes = _mm_loadl_epi64(
+            reinterpret_cast<const __m128i *>(in + i));
+        __m256i ints = _mm256_cvtepu8_epi32(bytes);
+        __m128i lo = _mm256_castsi256_si128(ints);
+        __m128i hi = _mm256_extracti128_si256(ints, 1);
+        _mm256_storeu_pd(out + i, _mm256_cvtepi32_pd(lo));
+        _mm256_storeu_pd(out + i + 4, _mm256_cvtepi32_pd(hi));
+    }
+    for (; i < n; ++i)
+        out[i] = f64(in[i]);
+}
+
+void
+ssimProductsAvx2(const f64 *a, const f64 *b, f64 *a2, f64 *b2, f64 *ab,
+                 i64 n)
+{
+    i64 i = 0;
+    for (; i + 4 <= n; i += 4) {
+        __m256d va = _mm256_loadu_pd(a + i);
+        __m256d vb = _mm256_loadu_pd(b + i);
+        _mm256_storeu_pd(a2 + i, _mm256_mul_pd(va, va));
+        _mm256_storeu_pd(b2 + i, _mm256_mul_pd(vb, vb));
+        _mm256_storeu_pd(ab + i, _mm256_mul_pd(va, vb));
+    }
+    for (; i < n; ++i) {
+        f64 va = a[i];
+        f64 vb = b[i];
+        a2[i] = va * va;
+        b2[i] = vb * vb;
+        ab[i] = va * vb;
+    }
+}
+
+void
+boxDown2U8Avx2(const u8 *r0, const u8 *r1, u8 *out, int out_width)
+{
+    const __m128i ones = _mm_set1_epi8(1);
+    const __m128i two = _mm_set1_epi16(2);
+    int x = 0;
+    for (; x + 8 <= out_width; x += 8) {
+        __m128i v0 = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(r0 + 2 * x));
+        __m128i v1 = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(r1 + 2 * x));
+        // Horizontal u8 pair sums (max 510, fits i16), then +2 >> 2.
+        __m128i p0 = _mm_maddubs_epi16(v0, ones);
+        __m128i p1 = _mm_maddubs_epi16(v1, ones);
+        __m128i s = _mm_add_epi16(_mm_add_epi16(p0, p1), two);
+        s = _mm_srli_epi16(s, 2);
+        _mm_storel_epi64(reinterpret_cast<__m128i *>(out + x),
+                         _mm_packus_epi16(s, s));
+    }
+    for (; x < out_width; ++x) {
+        u32 acc = u32(r0[2 * x]) + u32(r0[2 * x + 1]) +
+                  u32(r1[2 * x]) + u32(r1[2 * x + 1]);
+        out[x] = u8((acc + 2) / 4);
+    }
+}
+
+} // namespace
+
+const KernelTable *
+avx2Kernels()
+{
+    static const KernelTable table = {
+        axpyAvx2,
+        dctForwardAvx2,
+        dctInverseAvx2,
+        quantizeAvx2,
+        dequantizeAvx2,
+        sadRectAvx2,
+        gaussRowAvx2,
+        weightedSumRowsAvx2,
+        u8ToF64Avx2,
+        ssimProductsAvx2,
+        boxDown2U8Avx2,
+        SimdLevel::Avx2,
+        "avx2",
+    };
+    return &table;
+}
+
+} // namespace gssr::kern
+
+#else // !(__AVX2__ && __x86_64__)
+
+namespace gssr::kern
+{
+
+const KernelTable *
+avx2Kernels()
+{
+    return nullptr;
+}
+
+} // namespace gssr::kern
+
+#endif

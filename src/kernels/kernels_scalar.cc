@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Portable scalar kernel implementations — the reference semantics
+ * every other ISA path must reproduce bit-for-bit. Each loop states
+ * its accumulation order explicitly; the AVX2 file mirrors that order
+ * lane-by-lane.
+ */
+
+#include "kernels/kernels.hh"
+
+#include <cmath>
+
+namespace gssr::kern
+{
+
+const Dct8Tables &
+dct8Tables()
+{
+    static const Dct8Tables tables = [] {
+        Dct8Tables t;
+        for (int k = 0; k < 8; ++k) {
+            f64 scale = k == 0 ? std::sqrt(1.0 / 8.0)
+                               : std::sqrt(2.0 / 8.0);
+            for (int n = 0; n < 8; ++n) {
+                t.basis[k][n] = f32(
+                    scale *
+                    std::cos(M_PI * (2.0 * n + 1.0) * k / 16.0));
+            }
+        }
+        for (int k = 0; k < 8; ++k)
+            for (int n = 0; n < 8; ++n)
+                t.basis_t[n][k] = t.basis[k][n];
+        return t;
+    }();
+    return tables;
+}
+
+namespace
+{
+
+void
+axpyScalar(f32 *dst, const f32 *src, f32 w, i64 n)
+{
+    for (i64 i = 0; i < n; ++i)
+        dst[i] += w * src[i];
+}
+
+void
+dctForwardScalar(const f32 *in, f32 *out)
+{
+    const auto &t = dct8Tables();
+    // Rows then columns (separable); per output element the terms
+    // accumulate in ascending n.
+    f32 tmp[64];
+    for (int y = 0; y < 8; ++y) {
+        for (int k = 0; k < 8; ++k) {
+            f32 acc = 0.0f;
+            for (int n = 0; n < 8; ++n)
+                acc += in[y * 8 + n] * t.basis[k][n];
+            tmp[y * 8 + k] = acc;
+        }
+    }
+    for (int x = 0; x < 8; ++x) {
+        for (int k = 0; k < 8; ++k) {
+            f32 acc = 0.0f;
+            for (int n = 0; n < 8; ++n)
+                acc += tmp[n * 8 + x] * t.basis[k][n];
+            out[k * 8 + x] = acc;
+        }
+    }
+}
+
+void
+dctInverseScalar(const f32 *in, f32 *out)
+{
+    const auto &t = dct8Tables();
+    f32 tmp[64];
+    for (int x = 0; x < 8; ++x) {
+        for (int n = 0; n < 8; ++n) {
+            f32 acc = 0.0f;
+            for (int k = 0; k < 8; ++k)
+                acc += in[k * 8 + x] * t.basis[k][n];
+            tmp[n * 8 + x] = acc;
+        }
+    }
+    for (int y = 0; y < 8; ++y) {
+        for (int n = 0; n < 8; ++n) {
+            f32 acc = 0.0f;
+            for (int k = 0; k < 8; ++k)
+                acc += tmp[y * 8 + k] * t.basis[k][n];
+            out[y * 8 + n] = acc;
+        }
+    }
+}
+
+void
+quantizeScalar(const f32 *coef, const f32 *steps, i32 *out)
+{
+    for (int i = 0; i < 64; ++i)
+        out[i] = i32(std::lround(coef[i] / steps[i]));
+}
+
+void
+dequantizeScalar(const i32 *levels, const f32 *steps, f32 *out)
+{
+    for (int i = 0; i < 64; ++i)
+        out[i] = f32(levels[i]) * steps[i];
+}
+
+i64
+sadRectScalar(const u8 *a, i64 a_pitch, const u8 *b, i64 b_pitch,
+              int w, int h, i64 early_exit)
+{
+    i64 sad = 0;
+    for (int y = 0; y < h; ++y) {
+        const u8 *ra = a + y * a_pitch;
+        const u8 *rb = b + y * b_pitch;
+        for (int x = 0; x < w; ++x) {
+            i32 d = i32(ra[x]) - i32(rb[x]);
+            sad += d < 0 ? -d : d;
+        }
+        if (sad >= early_exit)
+            return sad;
+    }
+    return sad;
+}
+
+void
+gaussRowScalar(const f64 *in, f64 *out, int width, const f64 *taps,
+               int radius)
+{
+    for (int x = 0; x < width; ++x) {
+        f64 acc = 0.0;
+        for (int i = -radius; i <= radius; ++i) {
+            int sx = x + i;
+            sx = sx < 0 ? 0 : (sx >= width ? width - 1 : sx);
+            acc += taps[i + radius] * in[sx];
+        }
+        out[x] = acc;
+    }
+}
+
+void
+weightedSumRowsScalar(const f64 *const *rows, const f64 *taps,
+                      int ntaps, f64 *out, int width)
+{
+    for (int x = 0; x < width; ++x) {
+        f64 acc = 0.0;
+        for (int i = 0; i < ntaps; ++i)
+            acc += taps[i] * rows[i][x];
+        out[x] = acc;
+    }
+}
+
+void
+u8ToF64Scalar(const u8 *in, f64 *out, i64 n)
+{
+    for (i64 i = 0; i < n; ++i)
+        out[i] = f64(in[i]);
+}
+
+void
+ssimProductsScalar(const f64 *a, const f64 *b, f64 *a2, f64 *b2,
+                   f64 *ab, i64 n)
+{
+    for (i64 i = 0; i < n; ++i) {
+        f64 va = a[i];
+        f64 vb = b[i];
+        a2[i] = va * va;
+        b2[i] = vb * vb;
+        ab[i] = va * vb;
+    }
+}
+
+void
+boxDown2U8Scalar(const u8 *r0, const u8 *r1, u8 *out, int out_width)
+{
+    for (int x = 0; x < out_width; ++x) {
+        u32 acc = u32(r0[2 * x]) + u32(r0[2 * x + 1]) +
+                  u32(r1[2 * x]) + u32(r1[2 * x + 1]);
+        out[x] = u8((acc + 2) / 4);
+    }
+}
+
+} // namespace
+
+const KernelTable &
+scalarKernels()
+{
+    static const KernelTable table = {
+        axpyScalar,
+        dctForwardScalar,
+        dctInverseScalar,
+        quantizeScalar,
+        dequantizeScalar,
+        sadRectScalar,
+        gaussRowScalar,
+        weightedSumRowsScalar,
+        u8ToF64Scalar,
+        ssimProductsScalar,
+        boxDown2U8Scalar,
+        SimdLevel::Scalar,
+        "scalar",
+    };
+    return table;
+}
+
+} // namespace gssr::kern

@@ -5,6 +5,7 @@
 
 #include "common/logging.hh"
 #include "common/parallel.hh"
+#include "kernels/kernels.hh"
 
 namespace gssr
 {
@@ -46,35 +47,36 @@ gaussianKernel()
 }
 
 /**
- * Separable Gaussian blur of an f64 plane with edge clamping. Both
- * passes parallelize over row bands (each row writes only itself).
+ * Separable Gaussian blur of an f64 plane with edge clamping, through
+ * the SIMD window kernels. Both passes parallelize over row bands
+ * (each row writes only itself); the vertical pass hands each output
+ * row the 11 pre-clamped source-row pointers so the kernel itself
+ * stays branch-free. Per output sample the taps accumulate in
+ * ascending order on both passes — identical to the reference loop.
  */
 PlaneF64
 blur(const PlaneF64 &in)
 {
     const auto &kernel = gaussianKernel();
-    PlaneF64 tmp(in.width(), in.height());
-    PlaneF64 out(in.width(), in.height());
-    parallelFor(0, in.height(), 16, [&](i64 y_begin, i64 y_end) {
-        for (int y = int(y_begin); y < int(y_end); ++y) {
-            for (int x = 0; x < in.width(); ++x) {
-                f64 acc = 0.0;
-                for (int i = -kWindowRadius; i <= kWindowRadius; ++i)
-                    acc += kernel[size_t(i + kWindowRadius)] *
-                           in.atClamped(x + i, y);
-                tmp.at(x, y) = acc;
-            }
-        }
+    const int h = in.height();
+    const int w = in.width();
+    PlaneF64 tmp(w, h);
+    PlaneF64 out(w, h);
+    parallelFor(0, h, 16, [&](i64 y_begin, i64 y_end) {
+        for (int y = int(y_begin); y < int(y_end); ++y)
+            kern::gaussRow(in.row(y), tmp.row(y), w, kernel.data(),
+                           kWindowRadius);
     });
-    parallelFor(0, in.height(), 16, [&](i64 y_begin, i64 y_end) {
+    parallelFor(0, h, 16, [&](i64 y_begin, i64 y_end) {
+        const f64 *rows[2 * kWindowRadius + 1];
         for (int y = int(y_begin); y < int(y_end); ++y) {
-            for (int x = 0; x < in.width(); ++x) {
-                f64 acc = 0.0;
-                for (int i = -kWindowRadius; i <= kWindowRadius; ++i)
-                    acc += kernel[size_t(i + kWindowRadius)] *
-                           tmp.atClamped(x, y + i);
-                out.at(x, y) = acc;
+            for (int i = -kWindowRadius; i <= kWindowRadius; ++i) {
+                int sy = y + i;
+                sy = sy < 0 ? 0 : (sy >= h ? h - 1 : sy);
+                rows[i + kWindowRadius] = tmp.row(sy);
             }
+            kern::weightedSumRows(rows, kernel.data(),
+                                  2 * kWindowRadius + 1, out.row(y), w);
         }
     });
     return out;
@@ -86,8 +88,8 @@ toF64(const PlaneU8 &in)
     PlaneF64 out(in.width(), in.height());
     parallelFor(0, in.sampleCount(), kSampleGrain,
                 [&](i64 begin, i64 end) {
-        for (i64 i = begin; i < end; ++i)
-            out.data()[size_t(i)] = f64(in.data()[size_t(i)]);
+        kern::u8ToF64(in.data().data() + begin,
+                      out.data().data() + begin, end - begin);
     });
     return out;
 }
@@ -108,13 +110,11 @@ ssim(const PlaneU8 &a8, const PlaneU8 &b8)
     PlaneF64 ab(a.width(), a.height());
     parallelFor(0, a.sampleCount(), kSampleGrain,
                 [&](i64 begin, i64 end) {
-        for (i64 i = begin; i < end; ++i) {
-            f64 va = a.data()[size_t(i)];
-            f64 vb = b.data()[size_t(i)];
-            a2.data()[size_t(i)] = va * va;
-            b2.data()[size_t(i)] = vb * vb;
-            ab.data()[size_t(i)] = va * vb;
-        }
+        kern::ssimProducts(a.data().data() + begin,
+                           b.data().data() + begin,
+                           a2.data().data() + begin,
+                           b2.data().data() + begin,
+                           ab.data().data() + begin, end - begin);
     });
 
     PlaneF64 mu_a = blur(a);

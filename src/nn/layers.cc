@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/parallel.hh"
+#include "kernels/kernels.hh"
 
 namespace gssr
 {
@@ -13,6 +14,12 @@ namespace
 /** Row band per parallel conv chunk (fixed: keeps chunk layout — and
  * therefore accumulation order — independent of the thread count). */
 constexpr i64 kConvRowGrain = 8;
+
+/** Input channels per conv tile: bounds the set of input rows live in
+ * cache while a row band of output accumulates. Pure loop blocking —
+ * per output element the taps still apply in ascending (ci, ky, kx)
+ * order, so the tile size never changes results. */
+constexpr int kConvCiTile = 8;
 
 } // namespace
 
@@ -81,25 +88,36 @@ Conv2d::forwardRows(const Tensor &input, Tensor &out, int co, int row0,
     for (i64 i = i64(row0) * w; i < i64(row1) * w; ++i)
         out_c[size_t(i)] = b;
 
-    for (int ci = 0; ci < in_channels_; ++ci) {
-        const f32 *in_c = input.channelData(ci);
-        for (int ky = 0; ky < kernel_; ++ky) {
-            for (int kx = 0; kx < kernel_; ++kx) {
-                f32 wv = weight_[weightIndex(co, ci, ky, kx)];
-                if (wv == 0.0f)
-                    continue;
-                int dy = ky - pad_;
-                int dx = kx - pad_;
-                int y0 = std::max(row0, -dy);
-                int y1 = std::min({row1, h, h - dy});
-                int x0 = std::max(0, -dx);
-                int x1 = std::min(w, w - dx);
-                for (int y = y0; y < y1; ++y) {
-                    const f32 *src =
-                        in_c + size_t(y + dy) * w + size_t(x0 + dx);
-                    f32 *dst = out_c + size_t(y) * w + size_t(x0);
-                    for (int x = x0; x < x1; ++x)
-                        *dst++ += wv * *src++;
+    // Channel-tiled, output-row-major accumulation: for each tile of
+    // input channels, sweep the band's output rows once so the tile's
+    // input rows stay cache-hot across all kernel taps, and hand each
+    // contiguous row segment to the SIMD axpy kernel. Per output
+    // element the taps still accumulate in ascending (ci, ky, kx)
+    // order — identical to the fused serial loop — so results are
+    // bit-exact for any tile size, thread count or ISA path.
+    for (int ci0 = 0; ci0 < in_channels_; ci0 += kConvCiTile) {
+        int ci1 = std::min(in_channels_, ci0 + kConvCiTile);
+        for (int y = row0; y < row1; ++y) {
+            f32 *dst_row = out_c + size_t(y) * w;
+            for (int ci = ci0; ci < ci1; ++ci) {
+                const f32 *in_c = input.channelData(ci);
+                for (int ky = 0; ky < kernel_; ++ky) {
+                    int sy = y + ky - pad_;
+                    if (sy < 0 || sy >= h)
+                        continue;
+                    const f32 *src_row = in_c + size_t(sy) * w;
+                    for (int kx = 0; kx < kernel_; ++kx) {
+                        f32 wv = weight_[weightIndex(co, ci, ky, kx)];
+                        if (wv == 0.0f)
+                            continue;
+                        int dx = kx - pad_;
+                        int x0 = std::max(0, -dx);
+                        int x1 = std::min(w, w - dx);
+                        if (x1 <= x0)
+                            continue;
+                        kern::axpy(dst_row + x0, src_row + x0 + dx,
+                                   wv, x1 - x0);
+                    }
                 }
             }
         }
@@ -125,6 +143,11 @@ Conv2d::backward(const Tensor &input, const Tensor &grad_output)
     // element the accumulation order matches the fused serial loop —
     // (co, ky, kx) in index order — so results are bit-exact at any
     // thread count.
+    //
+    // Pass A stays scalar by design: its f64 plane-wide reductions
+    // have a single sequential accumulation order, and vector lanes
+    // would have to split that sum — changing the rounding and the
+    // checked-in golden fingerprints. See DESIGN.md §12.
     parallelFor(0, out_channels_, 1, [&](i64 co_begin, i64 co_end) {
         for (int co = int(co_begin); co < int(co_end); ++co) {
             const f32 *go = grad_output.channelData(co);
@@ -164,30 +187,34 @@ Conv2d::backward(const Tensor &input, const Tensor &grad_output)
         }
     });
 
+    // Target-row-major accumulation through the SIMD axpy kernel: for
+    // each grad_input row, apply every (co, ky, kx) tap while the row
+    // is hot. Per target element the order stays ascending
+    // (co, ky, kx) — the same as the fused serial loop — so results
+    // are bit-exact on every ISA path.
     parallelFor(0, in_channels_, 1, [&](i64 ci_begin, i64 ci_end) {
         for (int ci = int(ci_begin); ci < int(ci_end); ++ci) {
             f32 *gin = grad_input.channelData(ci);
-            for (int co = 0; co < out_channels_; ++co) {
-                const f32 *go = grad_output.channelData(co);
-                for (int ky = 0; ky < kernel_; ++ky) {
-                    for (int kx = 0; kx < kernel_; ++kx) {
+            for (int ty = 0; ty < h; ++ty) {
+                f32 *gin_row = gin + size_t(ty) * w;
+                for (int co = 0; co < out_channels_; ++co) {
+                    const f32 *go = grad_output.channelData(co);
+                    for (int ky = 0; ky < kernel_; ++ky) {
                         int dy = ky - pad_;
-                        int dx = kx - pad_;
-                        int y0 = std::max(0, -dy);
-                        int y1 = std::min(h, h - dy);
-                        int x0 = std::max(0, -dx);
-                        int x1 = std::min(w, w - dx);
-                        f32 wv = weight_[weightIndex(co, ci, ky, kx)];
-                        for (int y = y0; y < y1; ++y) {
-                            f32 *gsrc = gin + size_t(y + dy) * w +
-                                        size_t(x0 + dx);
-                            const f32 *g =
-                                go + size_t(y) * w + size_t(x0);
-                            for (int x = x0; x < x1; ++x) {
-                                *gsrc += wv * *g;
-                                ++gsrc;
-                                ++g;
-                            }
+                        int sy = ty - dy;
+                        if (sy < 0 || sy >= h)
+                            continue;
+                        const f32 *go_row = go + size_t(sy) * w;
+                        for (int kx = 0; kx < kernel_; ++kx) {
+                            int dx = kx - pad_;
+                            int x0 = std::max(0, -dx);
+                            int x1 = std::min(w, w - dx);
+                            if (x1 <= x0)
+                                continue;
+                            f32 wv =
+                                weight_[weightIndex(co, ci, ky, kx)];
+                            kern::axpy(gin_row + x0 + dx, go_row + x0,
+                                       wv, x1 - x0);
                         }
                     }
                 }

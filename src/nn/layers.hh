@@ -21,8 +21,8 @@ namespace gssr
 /** View of one trainable parameter array and its gradient. */
 struct ParamRef
 {
-    std::vector<f32> *values = nullptr;
-    std::vector<f32> *grads = nullptr;
+    AlignedVec<f32> *values = nullptr;
+    AlignedVec<f32> *grads = nullptr;
 };
 
 /**
@@ -66,10 +66,10 @@ class Conv2d
     int outChannels() const { return out_channels_; }
     int kernelSize() const { return kernel_; }
 
-    std::vector<f32> &weights() { return weight_; }
-    std::vector<f32> &biases() { return bias_; }
-    const std::vector<f32> &weights() const { return weight_; }
-    const std::vector<f32> &biases() const { return bias_; }
+    AlignedVec<f32> &weights() { return weight_; }
+    AlignedVec<f32> &biases() { return bias_; }
+    const AlignedVec<f32> &weights() const { return weight_; }
+    const AlignedVec<f32> &biases() const { return bias_; }
 
   private:
     /**
@@ -91,10 +91,10 @@ class Conv2d
     int out_channels_;
     int kernel_;
     int pad_;
-    std::vector<f32> weight_;
-    std::vector<f32> bias_;
-    std::vector<f32> weight_grad_;
-    std::vector<f32> bias_grad_;
+    AlignedVec<f32> weight_;
+    AlignedVec<f32> bias_;
+    AlignedVec<f32> weight_grad_;
+    AlignedVec<f32> bias_grad_;
 };
 
 /** Elementwise max(0, x). */

@@ -11,13 +11,17 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "common/simd.hh"
 #include "common/types.hh"
 #include "frame/plane.hh"
 
 namespace gssr
 {
 
-/** Dense CHW (channels, height, width) float tensor. */
+/**
+ * Dense CHW (channels, height, width) float tensor. Storage is
+ * 32-byte-aligned (AlignedVec) for the SIMD kernel layer.
+ */
 class Tensor
 {
   public:
@@ -57,8 +61,8 @@ class Tensor
     f32 *channelData(int c) { return &data_[offset(c, 0, 0)]; }
     const f32 *channelData(int c) const { return &data_[offset(c, 0, 0)]; }
 
-    std::vector<f32> &data() { return data_; }
-    const std::vector<f32> &data() const { return data_; }
+    AlignedVec<f32> &data() { return data_; }
+    const AlignedVec<f32> &data() const { return data_; }
 
     /** Set every element to @p v. */
     void fill(f32 v) { std::fill(data_.begin(), data_.end(), v); }
@@ -121,7 +125,7 @@ class Tensor
     int c_ = 0;
     int h_ = 0;
     int w_ = 0;
-    std::vector<f32> data_;
+    AlignedVec<f32> data_;
 };
 
 } // namespace gssr

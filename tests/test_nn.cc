@@ -135,8 +135,8 @@ TEST(Conv2dTest, GradientsMatchNumerical)
     mseLoss(out, target, grad);
     Tensor grad_in = conv.backward(in, grad);
     auto params = conv.params();
-    std::vector<f32> analytic_w = *params[0].grads;
-    std::vector<f32> analytic_b = *params[1].grads;
+    AlignedVec<f32> analytic_w = *params[0].grads;
+    AlignedVec<f32> analytic_b = *params[1].grads;
 
     const f64 eps = 1e-3;
     // Check a sample of weight gradients.
@@ -245,8 +245,8 @@ TEST(MseLossTest, ValueAndGradient)
 TEST(AdamTest, ConvergesOnQuadratic)
 {
     // Minimize (w - 3)^2 over a single scalar parameter.
-    std::vector<f32> w = {0.0f};
-    std::vector<f32> g = {0.0f};
+    AlignedVec<f32> w = {0.0f};
+    AlignedVec<f32> g = {0.0f};
     Adam::Config config;
     config.learning_rate = 0.1;
     Adam adam({{&w, &g}}, config);
@@ -260,8 +260,8 @@ TEST(AdamTest, ConvergesOnQuadratic)
 
 TEST(AdamTest, StepClearsGradients)
 {
-    std::vector<f32> w = {1.0f};
-    std::vector<f32> g = {5.0f};
+    AlignedVec<f32> w = {1.0f};
+    AlignedVec<f32> g = {5.0f};
     std::vector<ParamRef> params = {{&w, &g}};
     Adam adam(params);
     adam.step();
@@ -273,13 +273,13 @@ TEST(ParamsIoTest, SaveLoadRoundTrip)
     std::string path =
         (std::filesystem::temp_directory_path() / "gssr_weights.bin")
             .string();
-    std::vector<f32> a = {1.0f, 2.0f, 3.0f};
-    std::vector<f32> ag(3, 0.0f);
-    std::vector<f32> b = {-1.5f};
-    std::vector<f32> bg(1, 0.0f);
+    AlignedVec<f32> a = {1.0f, 2.0f, 3.0f};
+    AlignedVec<f32> ag(3, 0.0f);
+    AlignedVec<f32> b = {-1.5f};
+    AlignedVec<f32> bg(1, 0.0f);
     saveParams(path, {{&a, &ag}, {&b, &bg}});
 
-    std::vector<f32> a2(3, 0.0f), b2(1, 0.0f);
+    AlignedVec<f32> a2(3, 0.0f), b2(1, 0.0f);
     EXPECT_TRUE(loadParams(path, {{&a2, &ag}, {&b2, &bg}}));
     EXPECT_EQ(a2, a);
     EXPECT_EQ(b2, b);
@@ -288,8 +288,8 @@ TEST(ParamsIoTest, SaveLoadRoundTrip)
 
 TEST(ParamsIoTest, MissingFileReturnsFalse)
 {
-    std::vector<f32> a = {1.0f};
-    std::vector<f32> g = {0.0f};
+    AlignedVec<f32> a = {1.0f};
+    AlignedVec<f32> g = {0.0f};
     EXPECT_FALSE(loadParams("/nonexistent/gssr.bin", {{&a, &g}}));
 }
 
@@ -298,11 +298,11 @@ TEST(ParamsIoTest, LengthMismatchThrows)
     std::string path =
         (std::filesystem::temp_directory_path() / "gssr_w2.bin")
             .string();
-    std::vector<f32> a = {1.0f, 2.0f};
-    std::vector<f32> g(2, 0.0f);
+    AlignedVec<f32> a = {1.0f, 2.0f};
+    AlignedVec<f32> g(2, 0.0f);
     saveParams(path, {{&a, &g}});
-    std::vector<f32> wrong(3, 0.0f);
-    std::vector<f32> wg(3, 0.0f);
+    AlignedVec<f32> wrong(3, 0.0f);
+    AlignedVec<f32> wg(3, 0.0f);
     EXPECT_THROW(loadParams(path, {{&wrong, &wg}}), FatalError);
     std::remove(path.c_str());
 }

@@ -1,0 +1,450 @@
+/**
+ * @file
+ * Tests of the SIMD kernel layer: aligned-allocator guarantees,
+ * dispatch override plumbing, bitwise scalar-vs-AVX2 equivalence of
+ * every kernel over adversarial shapes (non-multiple-of-8 widths,
+ * 1-element tails, odd pitches, unaligned pointers, quantizer ties),
+ * and end-to-end equivalence of the subsystems built on the kernels.
+ * On hosts without AVX2 the comparison tests skip.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "codec/dct.hh"
+#include "codec/motion.hh"
+#include "codec/plane_coder.hh"
+#include "common/fingerprint.hh"
+#include "common/rng.hh"
+#include "common/simd.hh"
+#include "frame/downsample.hh"
+#include "kernels/kernels.hh"
+#include "metrics/ssim.hh"
+#include "nn/layers.hh"
+
+namespace gssr
+{
+namespace
+{
+
+/** The AVX2 table, or nullptr when this host cannot run it. */
+const kern::KernelTable *
+avx2OrSkipTable()
+{
+    if (detectedSimdLevel() < SimdLevel::Avx2)
+        return nullptr;
+    return kern::avx2Kernels();
+}
+
+#define SKIP_WITHOUT_AVX2()                                            \
+    const kern::KernelTable *avx = avx2OrSkipTable();                  \
+    if (avx == nullptr)                                                \
+        GTEST_SKIP() << "host has no AVX2 path";                       \
+    const kern::KernelTable &ref = kern::scalarKernels()
+
+/** Shapes that exercise full vectors, partial tails and n == 1. */
+const std::vector<i64> kLengths = {1,  2,  3,  4,  7,  8,  9,   15,
+                                   16, 17, 31, 32, 33, 63, 64,  65,
+                                   67, 96, 100, 255, 256, 257, 1000};
+
+PlaneU8
+randomPlaneU8(int w, int h, u64 seed)
+{
+    Rng rng(seed);
+    PlaneU8 p(w, h);
+    for (auto &v : p.data())
+        v = u8(rng.uniformInt(0, 255));
+    return p;
+}
+
+TEST(AlignedAllocatorTest, AllSizesAndTypesAligned)
+{
+    for (size_t n : {size_t(1), size_t(3), size_t(7), size_t(31),
+                     size_t(32), size_t(33), size_t(1000)}) {
+        AlignedVec<u8> a(n);
+        AlignedVec<f32> b(n);
+        AlignedVec<f64> c(n);
+        AlignedVec<i32> d(n);
+        EXPECT_TRUE(isSimdAligned(a.data())) << n;
+        EXPECT_TRUE(isSimdAligned(b.data())) << n;
+        EXPECT_TRUE(isSimdAligned(c.data())) << n;
+        EXPECT_TRUE(isSimdAligned(d.data())) << n;
+    }
+}
+
+TEST(AlignedAllocatorTest, GrowthKeepsAlignment)
+{
+    AlignedVec<f32> v;
+    for (int i = 0; i < 100; ++i) {
+        v.push_back(f32(i));
+        ASSERT_TRUE(isSimdAligned(v.data()));
+    }
+}
+
+TEST(AlignedAllocatorTest, PlaneAndTensorStorageAligned)
+{
+    PlaneU8 p(37, 13);
+    EXPECT_TRUE(isSimdAligned(p.data().data()));
+    Tensor t(3, 17, 23);
+    EXPECT_TRUE(isSimdAligned(t.data().data()));
+}
+
+TEST(SimdDispatchTest, ForceOverridesActiveLevel)
+{
+    SimdLevel detected = detectedSimdLevel();
+    forceSimdLevel(SimdLevel::Scalar);
+    EXPECT_EQ(activeSimdLevel(), SimdLevel::Scalar);
+    EXPECT_EQ(kern::kernelTable().level, SimdLevel::Scalar);
+    clearForcedSimdLevel();
+    if (detected >= SimdLevel::Avx2 &&
+        kern::avx2Kernels() != nullptr) {
+        forceSimdLevel(SimdLevel::Avx2);
+        EXPECT_EQ(kern::kernelTable().level, SimdLevel::Avx2);
+        clearForcedSimdLevel();
+    }
+}
+
+TEST(SimdDispatchTest, GenerationBumpsOnForce)
+{
+    u64 g0 = simdConfigGeneration();
+    forceSimdLevel(SimdLevel::Scalar);
+    u64 g1 = simdConfigGeneration();
+    clearForcedSimdLevel();
+    u64 g2 = simdConfigGeneration();
+    EXPECT_GT(g1, g0);
+    EXPECT_GT(g2, g1);
+}
+
+TEST(SimdKernelTest, AxpyBitExact)
+{
+    SKIP_WITHOUT_AVX2();
+    Rng rng(1);
+    for (i64 n : kLengths) {
+        // +3 offset: unaligned source and destination pointers.
+        for (i64 off : {i64(0), i64(3)}) {
+            AlignedVec<f32> src(static_cast<size_t>(n + off));
+            for (auto &v : src)
+                v = f32(rng.uniform(-4.0, 4.0));
+            AlignedVec<f32> d0(size_t(n + off), 0.5f);
+            AlignedVec<f32> d1 = d0;
+            f32 w = f32(rng.uniform(-2.0, 2.0));
+            ref.axpy_f32(d0.data() + off, src.data() + off, w, n);
+            avx->axpy_f32(d1.data() + off, src.data() + off, w, n);
+            ASSERT_EQ(fnv1aVec(d0), fnv1aVec(d1))
+                << "n=" << n << " off=" << off;
+        }
+    }
+}
+
+TEST(SimdKernelTest, DctRoundTripBitExact)
+{
+    SKIP_WITHOUT_AVX2();
+    Rng rng(2);
+    for (int iter = 0; iter < 200; ++iter) {
+        alignas(32) f32 in[64];
+        for (auto &v : in)
+            v = f32(rng.uniform(-255.0, 255.0));
+        alignas(32) f32 f0[64], f1[64], i0[64], i1[64];
+        ref.dct_forward_8x8(in, f0);
+        avx->dct_forward_8x8(in, f1);
+        ASSERT_EQ(fnv1a(f0, sizeof(f0)), fnv1a(f1, sizeof(f1)))
+            << "forward iter " << iter;
+        ref.dct_inverse_8x8(f0, i0);
+        avx->dct_inverse_8x8(f0, i1);
+        ASSERT_EQ(fnv1a(i0, sizeof(i0)), fnv1a(i1, sizeof(i1)))
+            << "inverse iter " << iter;
+    }
+}
+
+TEST(SimdKernelTest, QuantizeBitExactIncludingTies)
+{
+    SKIP_WITHOUT_AVX2();
+    Rng rng(3);
+    for (int qp : {1, 4, 8, 31, 48}) {
+        const QuantTable &table = quantTableForQp(qp);
+        for (int iter = 0; iter < 100; ++iter) {
+            alignas(32) f32 coef[64];
+            for (int i = 0; i < 64; ++i) {
+                if (iter % 3 == 0) {
+                    // Exact half-integer multiples of the step: the
+                    // lround tie cases where round-half-even and
+                    // round-half-away-from-zero differ.
+                    int k = rng.uniformInt(-8, 8);
+                    coef[i] =
+                        table.step[size_t(i)] * (f32(k) + 0.5f);
+                } else {
+                    coef[i] = f32(rng.uniform(-512.0, 512.0));
+                }
+            }
+            alignas(32) i32 q0[64], q1[64];
+            ref.quantize_8x8(coef, table.step.data(), q0);
+            avx->quantize_8x8(coef, table.step.data(), q1);
+            for (int i = 0; i < 64; ++i) {
+                ASSERT_EQ(q0[i], q1[i])
+                    << "qp=" << qp << " i=" << i
+                    << " coef=" << coef[i]
+                    << " step=" << table.step[size_t(i)];
+                ASSERT_EQ(q0[i], i32(std::lround(
+                                     coef[i] / table.step[size_t(i)])))
+                    << "lround mismatch at i=" << i;
+            }
+            alignas(32) f32 r0[64], r1[64];
+            ref.dequantize_8x8(q0, table.step.data(), r0);
+            avx->dequantize_8x8(q0, table.step.data(), r1);
+            ASSERT_EQ(fnv1a(r0, sizeof(r0)), fnv1a(r1, sizeof(r1)));
+        }
+    }
+}
+
+TEST(SimdKernelTest, SadRectBitExact)
+{
+    SKIP_WITHOUT_AVX2();
+    Rng rng(4);
+    const std::vector<int> sizes = {1, 2, 3, 5, 7, 8, 9, 15, 16, 17,
+                                    31, 33, 48, 64};
+    for (int w : sizes) {
+        for (int h : {1, 3, 8, 16, 17}) {
+            // Odd pitches force the kernel off any aligned assumption.
+            i64 pa = w + 3;
+            i64 pb = w + 7;
+            AlignedVec<u8> a(static_cast<size_t>(pa * h));
+            AlignedVec<u8> b(static_cast<size_t>(pb * h));
+            for (auto &v : a)
+                v = u8(rng.uniformInt(0, 255));
+            for (auto &v : b)
+                v = u8(rng.uniformInt(0, 255));
+            for (i64 early : {INT64_MAX, i64(w * h), i64(1)}) {
+                i64 s0 = ref.sad_rect_u8(a.data(), pa, b.data(), pb, w,
+                                         h, early);
+                i64 s1 = avx->sad_rect_u8(a.data(), pa, b.data(), pb,
+                                          w, h, early);
+                ASSERT_EQ(s0, s1) << "w=" << w << " h=" << h
+                                  << " early=" << early;
+            }
+        }
+    }
+}
+
+TEST(SimdKernelTest, GaussRowBitExact)
+{
+    SKIP_WITHOUT_AVX2();
+    Rng rng(5);
+    constexpr int kRadius = 5;
+    f64 taps[2 * kRadius + 1];
+    f64 sum = 0.0;
+    for (int i = -kRadius; i <= kRadius; ++i) {
+        taps[i + kRadius] = std::exp(-f64(i * i) / 4.5);
+        sum += taps[i + kRadius];
+    }
+    for (auto &t : taps)
+        t /= sum;
+    for (i64 n : kLengths) {
+        int w = int(n);
+        AlignedVec<f64> in(static_cast<size_t>(w));
+        for (auto &v : in)
+            v = rng.uniform(0.0, 255.0);
+        AlignedVec<f64> o0(static_cast<size_t>(w)), o1(static_cast<size_t>(w));
+        ref.gauss_row_f64(in.data(), o0.data(), w, taps, kRadius);
+        avx->gauss_row_f64(in.data(), o1.data(), w, taps, kRadius);
+        ASSERT_EQ(fnv1aVec(o0), fnv1aVec(o1)) << "w=" << w;
+    }
+}
+
+TEST(SimdKernelTest, WeightedSumRowsBitExact)
+{
+    SKIP_WITHOUT_AVX2();
+    Rng rng(6);
+    constexpr int kTaps = 11;
+    f64 taps[kTaps];
+    for (auto &t : taps)
+        t = rng.uniform(0.0, 0.3);
+    for (i64 n : kLengths) {
+        int w = int(n);
+        std::vector<AlignedVec<f64>> rows(kTaps);
+        const f64 *ptrs[kTaps];
+        for (int i = 0; i < kTaps; ++i) {
+            rows[size_t(i)].resize(static_cast<size_t>(w));
+            for (auto &v : rows[size_t(i)])
+                v = rng.uniform(0.0, 255.0);
+            ptrs[i] = rows[size_t(i)].data();
+        }
+        AlignedVec<f64> o0(static_cast<size_t>(w)), o1(static_cast<size_t>(w));
+        ref.weighted_sum_rows_f64(ptrs, taps, kTaps, o0.data(), w);
+        avx->weighted_sum_rows_f64(ptrs, taps, kTaps, o1.data(), w);
+        ASSERT_EQ(fnv1aVec(o0), fnv1aVec(o1)) << "w=" << w;
+    }
+}
+
+TEST(SimdKernelTest, U8ToF64AndProductsBitExact)
+{
+    SKIP_WITHOUT_AVX2();
+    Rng rng(7);
+    for (i64 n : kLengths) {
+        AlignedVec<u8> in(static_cast<size_t>(n));
+        for (auto &v : in)
+            v = u8(rng.uniformInt(0, 255));
+        AlignedVec<f64> c0(static_cast<size_t>(n)), c1(static_cast<size_t>(n));
+        ref.u8_to_f64(in.data(), c0.data(), n);
+        avx->u8_to_f64(in.data(), c1.data(), n);
+        ASSERT_EQ(fnv1aVec(c0), fnv1aVec(c1)) << "n=" << n;
+
+        AlignedVec<f64> b(static_cast<size_t>(n));
+        for (auto &v : b)
+            v = rng.uniform(0.0, 255.0);
+        AlignedVec<f64> a20(static_cast<size_t>(n)), b20(static_cast<size_t>(n)), ab0(static_cast<size_t>(n));
+        AlignedVec<f64> a21(static_cast<size_t>(n)), b21(static_cast<size_t>(n)), ab1(static_cast<size_t>(n));
+        ref.ssim_products_f64(c0.data(), b.data(), a20.data(),
+                              b20.data(), ab0.data(), n);
+        avx->ssim_products_f64(c0.data(), b.data(), a21.data(),
+                               b21.data(), ab1.data(), n);
+        ASSERT_EQ(fnv1aVec(a20), fnv1aVec(a21)) << "n=" << n;
+        ASSERT_EQ(fnv1aVec(b20), fnv1aVec(b21)) << "n=" << n;
+        ASSERT_EQ(fnv1aVec(ab0), fnv1aVec(ab1)) << "n=" << n;
+    }
+}
+
+TEST(SimdKernelTest, BoxDown2BitExact)
+{
+    SKIP_WITHOUT_AVX2();
+    Rng rng(8);
+    for (int w : {1, 2, 3, 7, 8, 9, 16, 17, 31, 100}) {
+        AlignedVec<u8> r0(static_cast<size_t>(2 * w)), r1(static_cast<size_t>(2 * w));
+        for (auto &v : r0)
+            v = u8(rng.uniformInt(0, 255));
+        for (auto &v : r1)
+            v = u8(rng.uniformInt(0, 255));
+        AlignedVec<u8> o0(static_cast<size_t>(w)), o1(static_cast<size_t>(w));
+        ref.box_down2_u8(r0.data(), r1.data(), o0.data(), w);
+        avx->box_down2_u8(r0.data(), r1.data(), o1.data(), w);
+        for (int x = 0; x < w; ++x) {
+            int acc = r0[size_t(2 * x)] + r0[size_t(2 * x + 1)] +
+                      r1[size_t(2 * x)] + r1[size_t(2 * x + 1)];
+            ASSERT_EQ(o0[size_t(x)], u8((acc + 2) / 4)) << "x=" << x;
+            ASSERT_EQ(o0[size_t(x)], o1[size_t(x)]) << "x=" << x;
+        }
+    }
+}
+
+/** Runs @p fn once per ISA path and returns both fingerprints. */
+template <typename Fn>
+std::pair<u64, u64>
+runBothPaths(Fn &&fn)
+{
+    forceSimdLevel(SimdLevel::Scalar);
+    u64 scalar = fn();
+    forceSimdLevel(SimdLevel::Avx2);
+    u64 avx2 = fn();
+    clearForcedSimdLevel();
+    return {scalar, avx2};
+}
+
+TEST(SimdEndToEndTest, ConvForwardBackwardMatch)
+{
+    SKIP_WITHOUT_AVX2();
+    (void)ref;
+    auto [s, a] = runBothPaths([] {
+        Rng rng(11);
+        Conv2d conv(5, 7, 3); // odd channel counts: partial ci tiles
+        conv.initHe(rng);
+        Tensor in(5, 29, 37); // non-multiple-of-8 spatial dims
+        for (size_t i = 0; i < in.data().size(); ++i)
+            in.data()[i] = f32((i * 2654435761u % 997) / 997.0);
+        Tensor out = conv.forward(in);
+        Tensor go(7, 29, 37);
+        for (size_t i = 0; i < go.data().size(); ++i)
+            go.data()[i] = f32((i % 13) - 6) / 6.0f;
+        Tensor gin = conv.backward(in, go);
+        u64 h = fnv1aVec(out.data());
+        h = fnv1aVec(gin.data(), h);
+        for (const ParamRef &p : conv.params())
+            h = fnv1aVec(*p.grads, h);
+        return h;
+    });
+    EXPECT_EQ(s, a);
+}
+
+TEST(SimdEndToEndTest, SsimMatch)
+{
+    SKIP_WITHOUT_AVX2();
+    (void)ref;
+    auto [s, a] = runBothPaths([] {
+        PlaneU8 x = randomPlaneU8(157, 91, 21); // odd dimensions
+        PlaneU8 y = randomPlaneU8(157, 91, 22);
+        f64 v = ssim(x, y);
+        return fnv1aValue(v);
+    });
+    EXPECT_EQ(s, a);
+}
+
+TEST(SimdEndToEndTest, MotionFieldMatch)
+{
+    SKIP_WITHOUT_AVX2();
+    (void)ref;
+    auto [s, a] = runBothPaths([] {
+        PlaneU8 refp = randomPlaneU8(163, 117, 31); // odd dimensions
+        PlaneU8 cur(163, 117);
+        for (int y = 0; y < 117; ++y)
+            for (int x = 0; x < 163; ++x)
+                cur.at(x, y) = refp.atClamped(x + 3, y - 2);
+        MvField mv = estimateMotion(refp, cur, 16, 7);
+        return fnv1a(mv.vectors.data(),
+                     mv.vectors.size() * sizeof(MotionVector));
+    });
+    EXPECT_EQ(s, a);
+}
+
+TEST(SimdEndToEndTest, PlaneCodecMatch)
+{
+    SKIP_WITHOUT_AVX2();
+    (void)ref;
+    auto [s, a] = runBothPaths([] {
+        Rng rng(41);
+        PlaneF32 plane(149, 83); // forces edge-replicated blocks
+        for (auto &v : plane.data())
+            v = f32(rng.uniform(-64.0, 64.0));
+        ByteWriter writer;
+        PlaneF32 recon = encodePlane(plane, 8, writer);
+        u64 h = fnv1aVec(writer.bytes());
+        h = fnv1aVec(recon.data(), h);
+        ByteReader reader(writer.bytes());
+        PlaneF32 dec = decodePlane(plane.size(), 8, reader);
+        return fnv1aVec(dec.data(), h);
+    });
+    EXPECT_EQ(s, a);
+}
+
+TEST(SimdEndToEndTest, DownsampleMatch)
+{
+    SKIP_WITHOUT_AVX2();
+    (void)ref;
+    auto [s, a] = runBothPaths([] {
+        PlaneU8 in = randomPlaneU8(322, 178, 51);
+        PlaneU8 down = boxDownsample(in, 2);
+        return fnv1aVec(down.data());
+    });
+    EXPECT_EQ(s, a);
+}
+
+TEST(QuantTableTest, CachedTableMatchesDirectComputation)
+{
+    for (int qp : {1, 4, 8, 48, 300}) {
+        const QuantTable &t = quantTableForQp(qp);
+        EXPECT_EQ(t.qp, qp);
+        EXPECT_TRUE(isSimdAligned(t.step.data()));
+        for (int v = 0; v < 8; ++v) {
+            for (int u = 0; u < 8; ++u) {
+                f32 expected = f32(qp) * (1.0f + 0.14f * f32(u + v));
+                EXPECT_EQ(t.step[size_t(v * 8 + u)], expected)
+                    << "qp=" << qp << " u=" << u << " v=" << v;
+            }
+        }
+        // Same object on repeat lookups (cached, not rebuilt).
+        EXPECT_EQ(&t, &quantTableForQp(qp));
+    }
+}
+
+} // namespace
+} // namespace gssr
