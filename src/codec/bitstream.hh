@@ -58,11 +58,32 @@ class ByteWriter
         putByte(u8(v >> 8));
     }
 
+    /** Append a little-endian u32. */
+    void
+    putU32(u32 v)
+    {
+        putByte(u8(v & 0xff));
+        putByte(u8((v >> 8) & 0xff));
+        putByte(u8((v >> 16) & 0xff));
+        putByte(u8(v >> 24));
+    }
+
     /** Number of bytes written so far. */
     size_t size() const { return bytes_.size(); }
 
-    /** Take the accumulated bytes (writer is left empty). */
-    std::vector<u8> take() { return std::move(bytes_); }
+    /**
+     * Take the accumulated bytes. The writer is reset to an empty
+     * buffer and stays fully usable: a caller may keep appending to
+     * build the next chunk (the slice encoder emits one buffer per
+     * slice through a single writer this way).
+     */
+    std::vector<u8>
+    take()
+    {
+        std::vector<u8> out = std::move(bytes_);
+        bytes_.clear(); // moved-from state is valid but unspecified
+        return out;
+    }
 
     /** Read-only view of the accumulated bytes. */
     const std::vector<u8> &bytes() const { return bytes_; }
@@ -77,14 +98,27 @@ class ByteReader
   public:
     /** Read from @p bytes; the buffer must outlive the reader. */
     explicit ByteReader(const std::vector<u8> &bytes)
-        : bytes_(bytes)
+        : bytes_(bytes), pos_(0), end_(bytes.size())
     {}
+
+    /**
+     * Read the sub-range [offset, offset + length) of @p bytes — an
+     * independently decodable slice of a larger payload. position()
+     * stays absolute (an offset into the underlying buffer).
+     */
+    ByteReader(const std::vector<u8> &bytes, size_t offset,
+               size_t length)
+        : bytes_(bytes), pos_(offset), end_(offset + length)
+    {
+        if (offset > bytes.size() || length > bytes.size() - offset)
+            fatal("bitstream sub-range out of bounds");
+    }
 
     /** Read one raw byte. */
     u8
     getByte()
     {
-        if (pos_ >= bytes_.size())
+        if (pos_ >= end_)
             fatal("bitstream truncated");
         return bytes_[pos_++];
     }
@@ -118,15 +152,27 @@ class ByteReader
         return u16(lo | (hi << 8));
     }
 
-    /** True when every byte has been consumed. */
-    bool atEnd() const { return pos_ >= bytes_.size(); }
+    /** Read a little-endian u32. */
+    u32
+    getU32()
+    {
+        u32 b0 = getByte();
+        u32 b1 = getByte();
+        u32 b2 = getByte();
+        u32 b3 = getByte();
+        return b0 | (b1 << 8) | (b2 << 16) | (b3 << 24);
+    }
 
-    /** Current read offset. */
+    /** True when every byte (of the readable range) is consumed. */
+    bool atEnd() const { return pos_ >= end_; }
+
+    /** Current read offset (absolute in the underlying buffer). */
     size_t position() const { return pos_; }
 
   private:
     const std::vector<u8> &bytes_;
     size_t pos_ = 0;
+    size_t end_ = 0;
 };
 
 } // namespace gssr

@@ -1,5 +1,7 @@
 #include "codec/codec.hh"
 
+#include <numeric>
+
 #include "codec/bitstream.hh"
 #include "codec/plane_coder.hh"
 #include "common/mathutil.hh"
@@ -91,16 +93,134 @@ readMvField(ByteReader &reader, Size luma_size)
     return field;
 }
 
-constexpr u8 kTagReference = 0x49;    // 'I'
-constexpr u8 kTagNonReference = 0x50; // 'P'
+/**
+ * Write the MV rows [br0, br1) of @p field with the delta predictor
+ * reset at the band start, so each slice's vectors decode without any
+ * other slice's bytes.
+ */
+void
+writeMvFieldRows(const MvField &field, int br0, int br1,
+                 ByteWriter &writer)
+{
+    writer.putVarint(u64(field.block_size));
+    i64 prev_dx = 0, prev_dy = 0;
+    for (int by = br0; by < br1; ++by) {
+        for (int bx = 0; bx < field.blocks_x; ++bx) {
+            const MotionVector &v = field.at(bx, by);
+            writer.putSignedVarint(v.dx - prev_dx);
+            writer.putSignedVarint(v.dy - prev_dy);
+            prev_dx = v.dx;
+            prev_dy = v.dy;
+        }
+    }
+}
+
+/** Inverse of writeMvFieldRows, into a pre-sized full-frame field. */
+void
+readMvFieldRows(ByteReader &reader, MvField &field, int br0, int br1)
+{
+    int block_size = int(reader.getVarint());
+    if (block_size != field.block_size)
+        fatal("corrupt stream: slice MV block size mismatch");
+    i64 prev_dx = 0, prev_dy = 0;
+    for (int by = br0; by < br1; ++by) {
+        for (int bx = 0; bx < field.blocks_x; ++bx) {
+            prev_dx += reader.getSignedVarint();
+            prev_dy += reader.getSignedVarint();
+            field.at(bx, by).dx = i16(prev_dx);
+            field.at(bx, by).dy = i16(prev_dy);
+        }
+    }
+}
+
+constexpr u8 kTagReference = 0x49;          // 'I'
+constexpr u8 kTagNonReference = 0x50;       // 'P'
+constexpr u8 kTagReferenceSliced = 0x69;    // 'i'
+constexpr u8 kTagNonReferenceSliced = 0x70; // 'p'
+
+/** Monolithic frame header: tag, w, h, qp. */
+constexpr size_t kFrameHeaderBytes = 6;
+
+/** Sliced header adds a slice count; each table entry is
+ *  start_row u16 + rows u16 + byte length u32. */
+constexpr size_t kSlicedFrameHeaderBytes = 7;
+constexpr size_t kSliceTableEntryBytes = 8;
+
+/** Slice band alignment: DCT blocks (8 luma / 8 chroma = 16 luma
+ *  rows) and MV blocks must never straddle a band, so the sliced
+ *  reconstruction stays bit-identical to the monolithic one. */
+int
+sliceAlign(int mv_block_size)
+{
+    return std::lcm(16, std::max(1, mv_block_size));
+}
 
 } // namespace
+
+std::vector<std::pair<int, int>>
+sliceBands(int height, int slices, int mv_block_size)
+{
+    GSSR_ASSERT(height >= 1, "sliceBands needs a positive height");
+    GSSR_ASSERT(slices >= 1, "slice count must be >= 1");
+    const int align = sliceAlign(mv_block_size);
+    const i64 target = ceilDiv(i64(height), i64(slices));
+    const int rows = int(ceilDiv(target, i64(align)) * align);
+    std::vector<std::pair<int, int>> bands;
+    for (int r0 = 0; r0 < height; r0 += rows)
+        bands.emplace_back(r0, std::min(height, r0 + rows));
+    return bands;
+}
+
+SliceLayout
+frameSliceLayout(const std::vector<u8> &payload)
+{
+    SliceLayout layout;
+    if (payload.size() <= kFrameHeaderBytes)
+        return layout;
+    const u8 tag = payload[0];
+    if (tag == kTagReference || tag == kTagNonReference) {
+        layout.ok = true;
+        layout.header_bytes = kFrameHeaderBytes;
+        layout.ranges.emplace_back(kFrameHeaderBytes, payload.size());
+        return layout;
+    }
+    if (tag != kTagReferenceSliced && tag != kTagNonReferenceSliced)
+        return layout;
+    if (payload.size() < kSlicedFrameHeaderBytes)
+        return layout;
+    const size_t slices = payload[6];
+    const size_t header =
+        kSlicedFrameHeaderBytes + slices * kSliceTableEntryBytes;
+    if (slices == 0 || payload.size() < header)
+        return layout;
+    size_t off = header;
+    for (size_t s = 0; s < slices; ++s) {
+        const u8 *e = payload.data() + kSlicedFrameHeaderBytes +
+                      s * kSliceTableEntryBytes;
+        const size_t len = size_t(e[4]) | (size_t(e[5]) << 8) |
+                           (size_t(e[6]) << 16) | (size_t(e[7]) << 24);
+        if (len == 0 || len > payload.size() - off)
+            return layout;
+        layout.ranges.emplace_back(off, off + len);
+        off += len;
+    }
+    if (off != payload.size()) {
+        layout.ranges.clear();
+        return layout;
+    }
+    layout.ok = true;
+    layout.sliced = true;
+    layout.header_bytes = header;
+    return layout;
+}
 
 GopEncoder::GopEncoder(const CodecConfig &config, Size frame_size)
     : config_(config), size_(frame_size)
 {
     GSSR_ASSERT(config_.gop_size >= 1, "gop_size must be >= 1");
     GSSR_ASSERT(config_.qp >= 1, "qp must be >= 1");
+    GSSR_ASSERT(config_.slices >= 1 && config_.slices <= 255,
+                "slices must be in [1, 255]");
     GSSR_ASSERT(frame_size.width % 2 == 0 && frame_size.height % 2 == 0,
                 "codec frames need even dimensions");
 }
@@ -122,6 +242,8 @@ EncodedFrame
 GopEncoder::encodeYuv(const Yuv420Image &frame)
 {
     GSSR_ASSERT(frame.size() == size_, "frame size changed mid-stream");
+    if (config_.slices > 1)
+        return encodeYuvSliced(frame);
 
     EncodedFrame out;
     out.type = nextFrameType();
@@ -171,6 +293,96 @@ GopEncoder::encodeYuv(const Yuv420Image &frame)
     return out;
 }
 
+EncodedFrame
+GopEncoder::encodeYuvSliced(const Yuv420Image &frame)
+{
+    EncodedFrame out;
+    out.type = nextFrameType();
+    out.size = size_;
+    out.index = next_index_;
+    out.qp = config_.qp;
+
+    const auto bands =
+        sliceBands(size_.height, config_.slices, config_.mv_block_size);
+    const int bs = config_.mv_block_size;
+
+    ByteWriter writer;
+    writer.putByte(out.type == FrameType::Reference
+                       ? kTagReferenceSliced
+                       : kTagNonReferenceSliced);
+    writer.putU16(u16(size_.width));
+    writer.putU16(u16(size_.height));
+    writer.putByte(u8(config_.qp));
+    writer.putByte(u8(bands.size()));
+
+    Yuv420Image recon(size_.width, size_.height);
+    std::vector<std::vector<u8>> slice_data;
+    slice_data.reserve(bands.size());
+    ByteWriter sw;
+
+    if (out.type == FrameType::Reference) {
+        for (auto [r0, r1] : bands) {
+            const int rows = r1 - r0;
+            const Rect ly{0, r0, size_.width, rows};
+            const Rect cy{0, r0 / 2, size_.width / 2, rows / 2};
+            recon.y.blit(rebias(encodePlane(unbias(frame.y.crop(ly)),
+                                            config_.qp, sw)),
+                         0, r0);
+            recon.u.blit(rebias(encodePlane(unbias(frame.u.crop(cy)),
+                                            config_.qp, sw)),
+                         0, r0 / 2);
+            recon.v.blit(rebias(encodePlane(unbias(frame.v.crop(cy)),
+                                            config_.qp, sw)),
+                         0, r0 / 2);
+            slice_data.push_back(sw.take());
+        }
+    } else {
+        // Motion is estimated and compensated over the full frame
+        // (identical to the monolithic path — bands only partition
+        // the *entropy* stream), then each band's MV rows and
+        // residual blocks are written into their own slice buffer.
+        MvField mv = estimateMotion(recon_prev_.y, frame.y, bs,
+                                    config_.search_range);
+        Yuv420Image prediction = motionCompensate(recon_prev_, mv);
+        for (auto [r0, r1] : bands) {
+            const int rows = r1 - r0;
+            const Rect ly{0, r0, size_.width, rows};
+            const Rect cy{0, r0 / 2, size_.width / 2, rows / 2};
+            writeMvFieldRows(mv, r0 / bs, int(ceilDiv(r1, bs)), sw);
+            PlaneU8 py = prediction.y.crop(ly);
+            PlaneU8 pu = prediction.u.crop(cy);
+            PlaneU8 pv = prediction.v.crop(cy);
+            recon.y.blit(add(py, encodePlane(subtract(frame.y.crop(ly),
+                                                      py),
+                                             config_.qp, sw)),
+                         0, r0);
+            recon.u.blit(add(pu, encodePlane(subtract(frame.u.crop(cy),
+                                                      pu),
+                                             config_.qp, sw)),
+                         0, r0 / 2);
+            recon.v.blit(add(pv, encodePlane(subtract(frame.v.crop(cy),
+                                                      pv),
+                                             config_.qp, sw)),
+                         0, r0 / 2);
+            slice_data.push_back(sw.take());
+        }
+    }
+
+    for (size_t s = 0; s < bands.size(); ++s) {
+        writer.putU16(u16(bands[s].first));
+        writer.putU16(u16(bands[s].second - bands[s].first));
+        writer.putU32(u32(slice_data[s].size()));
+    }
+    out.payload = writer.take();
+    for (const auto &data : slice_data)
+        out.payload.insert(out.payload.end(), data.begin(), data.end());
+
+    recon_prev_ = std::move(recon);
+    next_index_ += 1;
+    gop_pos_ = (gop_pos_ + 1) % config_.gop_size;
+    return out;
+}
+
 FrameDecoder::FrameDecoder(const CodecConfig &config, Size frame_size)
     : config_(config), size_(frame_size)
 {
@@ -182,8 +394,20 @@ FrameDecoder::decode(const EncodedFrame &frame,
 {
     ByteReader reader(frame.payload);
     u8 tag = reader.getByte();
+    if (tag == kTagReferenceSliced || tag == kTagNonReferenceSliced) {
+        FrameType type = tag == kTagReferenceSliced
+                             ? FrameType::Reference
+                             : FrameType::NonReference;
+        if (type != frame.type)
+            fatal("frame metadata/payload type mismatch");
+        return decodeSliced(frame, type, reader, internals);
+    }
     if (tag != kTagReference && tag != kTagNonReference)
         fatal("corrupt stream: bad frame tag");
+    for (bool flag : frame.slice_present) {
+        if (!flag)
+            fatal("missing slices on a monolithic payload");
+    }
     FrameType type = tag == kTagReference ? FrameType::Reference
                                           : FrameType::NonReference;
     if (type != frame.type)
@@ -221,6 +445,174 @@ FrameDecoder::decode(const EncodedFrame &frame,
         recon.y = add(prediction.y, res_y);
         recon.u = add(prediction.u, res_u);
         recon.v = add(prediction.v, res_v);
+        if (internals) {
+            internals->mv = std::move(mv);
+            internals->residual.y = std::move(res_y);
+            internals->residual.u = std::move(res_u);
+            internals->residual.v = std::move(res_v);
+        }
+    }
+    recon_prev_ = recon;
+    return recon;
+}
+
+Yuv420Image
+FrameDecoder::decodeSliced(const EncodedFrame &frame, FrameType type,
+                           ByteReader &reader,
+                           DecoderInternals *internals)
+{
+    Size size{int(reader.getU16()), int(reader.getU16())};
+    if (size != size_)
+        fatal("frame size does not match decoder configuration");
+    int qp = reader.getByte();
+    if (qp < 1)
+        fatal("corrupt stream: bad qp");
+    const int slices = reader.getByte();
+    if (slices < 1)
+        fatal("corrupt stream: zero slices");
+
+    // Slice table: bands must tile the frame top to bottom and the
+    // slice data must exactly fill the rest of the payload. The
+    // session only feeds trusted (reassembled-and-validated) payloads
+    // here, so violations are stream corruption, not recoverable loss.
+    struct Slice
+    {
+        int r0 = 0;
+        int rows = 0;
+        size_t offset = 0;
+        size_t len = 0;
+    };
+    std::vector<Slice> table(static_cast<size_t>(slices));
+    size_t off = kSlicedFrameHeaderBytes +
+                 size_t(slices) * kSliceTableEntryBytes;
+    int expect_row = 0;
+    for (Slice &s : table) {
+        s.r0 = int(reader.getU16());
+        s.rows = int(reader.getU16());
+        s.len = reader.getU32();
+        s.offset = off;
+        if (s.r0 != expect_row || s.rows < 1 || s.len == 0)
+            fatal("corrupt stream: bad slice table entry");
+        expect_row += s.rows;
+        off += s.len;
+    }
+    if (expect_row != size.height || off != frame.payload.size())
+        fatal("corrupt stream: slice table does not cover the frame");
+
+    std::vector<bool> present(size_t(slices), true);
+    if (!frame.slice_present.empty()) {
+        if (int(frame.slice_present.size()) != slices)
+            fatal("slice_present does not match the slice count");
+        present.assign(frame.slice_present.begin(),
+                       frame.slice_present.end());
+    }
+
+    Size chroma{size.width / 2, size.height / 2};
+    Yuv420Image recon(size.width, size.height);
+
+    if (type == FrameType::Reference) {
+        for (const Slice &s : table) {
+            const size_t idx = size_t(&s - table.data());
+            const Rect ly{0, s.r0, size.width, s.rows};
+            const Rect cy{0, s.r0 / 2, chroma.width, s.rows / 2};
+            if (present[idx]) {
+                ByteReader sr(frame.payload, s.offset, s.len);
+                recon.y.blit(rebias(decodePlane({size.width, s.rows},
+                                                qp, sr)),
+                             0, s.r0);
+                recon.u.blit(rebias(decodePlane({chroma.width,
+                                                 s.rows / 2},
+                                                qp, sr)),
+                             0, s.r0 / 2);
+                recon.v.blit(rebias(decodePlane({chroma.width,
+                                                 s.rows / 2},
+                                                qp, sr)),
+                             0, s.r0 / 2);
+            } else if (!recon_prev_.empty()) {
+                // Temporal-hold concealment of the lost band.
+                recon.y.blit(recon_prev_.y.crop(ly), 0, s.r0);
+                recon.u.blit(recon_prev_.u.crop(cy), 0, s.r0 / 2);
+                recon.v.blit(recon_prev_.v.crop(cy), 0, s.r0 / 2);
+            } else {
+                // Nothing to hold: mid-gray band.
+                recon.y.blit(PlaneU8(size.width, s.rows, 128), 0, s.r0);
+                recon.u.blit(PlaneU8(chroma.width, s.rows / 2, 128), 0,
+                             s.r0 / 2);
+                recon.v.blit(PlaneU8(chroma.width, s.rows / 2, 128), 0,
+                             s.r0 / 2);
+            }
+        }
+        if (internals) {
+            internals->mv = MvField{};
+            internals->residual.y = PlaneF32(size.width, size.height);
+            internals->residual.u = PlaneF32(chroma.width,
+                                             chroma.height);
+            internals->residual.v = PlaneF32(chroma.width,
+                                             chroma.height);
+        }
+    } else {
+        if (recon_prev_.empty())
+            fatal("non-reference frame before any reference frame");
+        const int bs = config_.mv_block_size;
+        MvField mv;
+        mv.block_size = bs;
+        mv.blocks_x = int(ceilDiv(size.width, bs));
+        mv.blocks_y = int(ceilDiv(size.height, bs));
+        mv.vectors.assign(size_t(mv.blocks_x) * size_t(mv.blocks_y),
+                          MotionVector{});
+
+        // Pass 1: MV rows of the present slices; lost bands keep zero
+        // vectors, so the single full-frame motion compensation below
+        // predicts them as the previous frame's band — temporal-hold
+        // concealment falls out of the ordinary inter path.
+        std::vector<size_t> res_off(size_t(slices), 0);
+        std::vector<size_t> res_len(size_t(slices), 0);
+        for (int s = 0; s < slices; ++s) {
+            if (!present[size_t(s)])
+                continue;
+            const Slice &e = table[size_t(s)];
+            ByteReader sr(frame.payload, e.offset, e.len);
+            readMvFieldRows(sr, mv, e.r0 / bs,
+                            int(ceilDiv(e.r0 + e.rows, bs)));
+            res_off[size_t(s)] = sr.position();
+            res_len[size_t(s)] = e.offset + e.len - sr.position();
+        }
+        Yuv420Image prediction = motionCompensate(recon_prev_, mv);
+
+        PlaneF32 res_y, res_u, res_v;
+        if (internals) {
+            res_y = PlaneF32(size.width, size.height);
+            res_u = PlaneF32(chroma.width, chroma.height);
+            res_v = PlaneF32(chroma.width, chroma.height);
+        }
+        for (int s = 0; s < slices; ++s) {
+            const Slice &e = table[size_t(s)];
+            const Rect ly{0, e.r0, size.width, e.rows};
+            const Rect cy{0, e.r0 / 2, chroma.width, e.rows / 2};
+            if (present[size_t(s)]) {
+                ByteReader sr(frame.payload, res_off[size_t(s)],
+                              res_len[size_t(s)]);
+                PlaneF32 ry = decodePlane({size.width, e.rows}, qp, sr);
+                PlaneF32 ru = decodePlane({chroma.width, e.rows / 2},
+                                          qp, sr);
+                PlaneF32 rv = decodePlane({chroma.width, e.rows / 2},
+                                          qp, sr);
+                recon.y.blit(add(prediction.y.crop(ly), ry), 0, e.r0);
+                recon.u.blit(add(prediction.u.crop(cy), ru), 0,
+                             e.r0 / 2);
+                recon.v.blit(add(prediction.v.crop(cy), rv), 0,
+                             e.r0 / 2);
+                if (internals) {
+                    res_y.blit(ry, 0, e.r0);
+                    res_u.blit(ru, 0, e.r0 / 2);
+                    res_v.blit(rv, 0, e.r0 / 2);
+                }
+            } else {
+                recon.y.blit(prediction.y.crop(ly), 0, e.r0);
+                recon.u.blit(prediction.u.crop(cy), 0, e.r0 / 2);
+                recon.v.blit(prediction.v.crop(cy), 0, e.r0 / 2);
+            }
+        }
         if (internals) {
             internals->mv = std::move(mv);
             internals->residual.y = std::move(res_y);

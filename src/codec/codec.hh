@@ -22,6 +22,7 @@
 #define GSSR_CODEC_CODEC_HH
 
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "codec/motion.hh"
@@ -30,6 +31,8 @@
 
 namespace gssr
 {
+
+class ByteReader;
 
 /** Codec tuning parameters. */
 struct CodecConfig
@@ -49,6 +52,20 @@ struct CodecConfig
 
     /** Motion search range (pixels per axis). */
     int search_range = 7;
+
+    /**
+     * Row-band slices per frame. 1 = monolithic frame (the legacy
+     * bitstream, byte-identical to the pre-slice codec). Larger
+     * values partition each frame into independently decodable row
+     * bands — per-slice entropy and MV-prediction reset, plus a
+     * slice table in the frame header — so a partially received
+     * frame decodes its intact bands and conceals only the lost
+     * ones. Band boundaries align to lcm(16, mv_block_size) luma
+     * rows, so the sliced reconstruction is bit-identical to the
+     * monolithic one when every slice arrives; frames too short for
+     * the requested count simply carry fewer slices.
+     */
+    int slices = 1;
 };
 
 /** One compressed frame as transmitted over the network. */
@@ -60,9 +77,59 @@ struct EncodedFrame
     int qp = 0;
     std::vector<u8> payload;
 
+    /**
+     * Per-slice delivery flags set by the receiving end of a
+     * packetized transport. Empty (the default, and the only state
+     * the encoder produces) means every slice is present; otherwise
+     * one flag per slice of a sliced payload, and the decoder
+     * conceals the bands whose flag is false from its previous
+     * reconstruction.
+     */
+    std::vector<bool> slice_present;
+
     /** Compressed size in bytes (what the network transports). */
     size_t sizeBytes() const { return payload.size(); }
 };
+
+/**
+ * Byte layout of one encoded frame's slices, parsed back out of the
+ * payload header — the receiver-side map from payload byte ranges to
+ * slices (packetizer integration).
+ */
+struct SliceLayout
+{
+    /** False when the payload was too malformed to parse. */
+    bool ok = false;
+
+    /** True for the sliced bitstream tags. */
+    bool sliced = false;
+
+    /**
+     * Bytes of frame header + slice table. These must all arrive for
+     * the frame to be decodable at all; a monolithic payload reports
+     * its fixed header here.
+     */
+    size_t header_bytes = 0;
+
+    /** Absolute [begin, end) payload range of each slice. A
+     *  monolithic payload is one slice spanning everything after the
+     *  header. */
+    std::vector<std::pair<size_t, size_t>> ranges;
+};
+
+/** Parse the slice layout of an encoded payload (never throws on
+ *  malformed input — ok is false instead). */
+SliceLayout frameSliceLayout(const std::vector<u8> &payload);
+
+/**
+ * Row bands [begin_row, end_row) of a frame of @p height luma rows
+ * split into at most @p slices independently decodable bands.
+ * Boundaries align to lcm(16, mv_block_size) rows so DCT blocks,
+ * chroma blocks (4:2:0) and MV blocks never straddle a band; short
+ * frames yield fewer bands than requested.
+ */
+std::vector<std::pair<int, int>> sliceBands(int height, int slices,
+                                            int mv_block_size);
 
 /** Signed residual planes exposed by the software decoder. */
 struct ResidualImage
@@ -128,6 +195,9 @@ class GopEncoder
     const CodecConfig &config() const { return config_; }
 
   private:
+    /** Sliced-bitstream path (config_.slices > 1). */
+    EncodedFrame encodeYuvSliced(const Yuv420Image &frame);
+
     CodecConfig config_;
     Size size_;
     i64 next_index_ = 0;
@@ -153,6 +223,12 @@ class FrameDecoder
                        DecoderInternals *internals = nullptr);
 
   private:
+    /** Sliced-bitstream path: decodes present bands, conceals the
+     *  rest from the previous reconstruction. */
+    Yuv420Image decodeSliced(const EncodedFrame &frame, FrameType type,
+                             ByteReader &reader,
+                             DecoderInternals *internals);
+
     CodecConfig config_;
     Size size_;
     Yuv420Image recon_prev_;

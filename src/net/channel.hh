@@ -26,6 +26,7 @@
 
 #include <array>
 #include <string>
+#include <vector>
 
 #include "common/rng.hh"
 #include "common/stats.hh"
@@ -39,6 +40,20 @@ namespace obs
 {
 class Telemetry;
 }
+
+/**
+ * Loss evaluation granularity. Frame replays the legacy whole-frame
+ * model (one loss decision per frame — the mode every checked-in
+ * golden trace was recorded under, kept bit-identical). Packet
+ * evaluates the Gilbert–Elliott chain, congestion and random loss
+ * per *packet* via transmitPackets(), producing a delivery bitmap the
+ * FEC/slice recovery machinery consumes.
+ */
+enum class LossGranularity
+{
+    Frame,
+    Packet,
+};
 
 /** Static description of one wireless channel. */
 struct ChannelConfig
@@ -67,8 +82,11 @@ struct ChannelConfig
      */
     f64 congestion_knee = 0.85;
 
-    /** Path MTU (bytes per packet). */
+    /** Path MTU (bytes per packet, including the wire header). */
     int mtu_bytes = 1400;
+
+    /** Whether losses hit whole frames or individual packets. */
+    LossGranularity granularity = LossGranularity::Frame;
 
     /**
      * Gilbert–Elliott burst-loss model, evaluated at frame
@@ -125,8 +143,42 @@ struct TransmitResult
     /** What dropped the frame (None when delivered). */
     DropCause cause = DropCause::None;
 
-    /** Number of packets the frame was split into. */
+    /**
+     * Number of wire packets the frame splits into — the real
+     * packetizer count (header-aware: ceil(bytes / (mtu - header)),
+     * see net/packetizer.hh), not the raw ceil(bytes / mtu) estimate
+     * this field used to carry.
+     */
     int packets = 0;
+};
+
+/** Outcome of transmitting one frame's packets (Packet granularity). */
+struct PacketTransmitResult
+{
+    /** One-way transfer latency of the delivered packets (ms). */
+    f64 latency_ms = 0.0;
+
+    /** Packets offered to the channel. */
+    int packets = 0;
+
+    /** Packets lost (any cause). */
+    int packets_lost = 0;
+
+    /** Per-packet delivery flags, in wire order. */
+    std::vector<bool> delivered;
+
+    /** Lost-packet count per DropCause. */
+    std::array<i32, 5> lost_by_cause{};
+
+    /** True when any packet was lost to congestion or burst fading —
+     *  the AIMD backoff signal, raised even when FEC recovers the
+     *  frame (parity must not mask congestion from the controller). */
+    bool
+    congestionSignal() const
+    {
+        return lost_by_cause[size_t(DropCause::Congestion)] > 0 ||
+               lost_by_cause[size_t(DropCause::Burst)] > 0;
+    }
 };
 
 /**
@@ -174,6 +226,25 @@ class NetworkChannel
                                  f64 offered_load_mbps);
 
     /**
+     * Transmit one frame's packet train, evaluating the loss chain
+     * per packet (Packet granularity; the packetizer supplies the
+     * count and interprets the returned bitmap). The effective
+     * capacity is sampled once per frame — packets of one frame share
+     * the fading state — while the congestion, Gilbert–Elliott, random
+     * and scenario draws run per packet, so a burst clips a span of
+     * packets instead of whole frames: exactly the loss shape
+     * per-frame FEC parity is sized against.
+     *
+     * @param wire_bytes total bytes on the wire (payload + headers +
+     *        parity) — drives serialization latency.
+     * @param packet_count packets in the train.
+     * @param offered_load_mbps stream bitrate offered to the channel.
+     */
+    PacketTransmitResult transmitPackets(size_t wire_bytes,
+                                         int packet_count,
+                                         f64 offered_load_mbps);
+
+    /**
      * Sample a client -> server feedback-path delay (RTT/2 + jitter,
      * plus any scripted RTT spike active at the current frame).
      * Drawn from an independent generator so the data-path replay is
@@ -205,6 +276,21 @@ class NetworkChannel
         return drops_by_cause_[size_t(cause)];
     }
 
+    /** Packets offered so far (Packet granularity only). */
+    i64 packetsTotal() const { return packets_total_; }
+
+    /** Packets lost so far (Packet granularity only). */
+    i64 packetsLost() const { return packets_lost_; }
+
+    /** Fraction of transmitted packets lost so far. */
+    f64
+    packetLossRate() const
+    {
+        return packets_total_
+                   ? f64(packets_lost_) / f64(packets_total_)
+                   : 0.0;
+    }
+
     /** True while the Gilbert–Elliott chain is in its Bad state. */
     bool inBurst() const { return ge_bad_; }
 
@@ -220,12 +306,16 @@ class NetworkChannel
     SampleStats latency_stats_;
     i64 frames_total_ = 0;
     i64 frames_dropped_ = 0;
+    i64 packets_total_ = 0;
+    i64 packets_lost_ = 0;
     std::array<i64, 5> drops_by_cause_{};
     bool ge_bad_ = false;
 
     obs::Telemetry *telemetry_ = nullptr;
     i32 telemetry_track_ = 0;
     u32 tm_frames_total_ = 0;
+    u32 tm_pkt_total_ = 0;
+    u32 tm_pkt_lost_ = 0;
     std::array<u32, 5> tm_drops_by_cause_{}; ///< [DropCause] ids
 };
 

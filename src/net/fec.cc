@@ -1,0 +1,268 @@
+#include "net/fec.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace gssr
+{
+
+namespace
+{
+
+/** GF(256) reduction polynomial x^8+x^4+x^3+x^2+1. */
+constexpr u32 kGfPoly = 0x11d;
+
+/** exp/log tables over the generator element 2. */
+struct GfTables
+{
+    u8 exp[512]; ///< doubled so exp[log a + log b] needs no mod 255
+    u8 log[256];
+
+    GfTables()
+    {
+        u32 x = 1;
+        for (int i = 0; i < 255; ++i) {
+            exp[i] = u8(x);
+            log[x] = u8(i);
+            x <<= 1;
+            if (x & 0x100)
+                x ^= kGfPoly;
+        }
+        for (int i = 255; i < 512; ++i)
+            exp[i] = exp[i - 255];
+        log[0] = 0; // never consulted: callers guard zero operands
+    }
+};
+
+const GfTables &
+gf()
+{
+    static const GfTables tables;
+    return tables;
+}
+
+/** dst[i] ^= c * src[i] — the row operation all of RS reduces to. */
+void
+gfMulAdd(u8 *dst, const u8 *src, u8 c, size_t len)
+{
+    if (c == 0)
+        return;
+    const GfTables &t = gf();
+    const int log_c = t.log[c];
+    for (size_t i = 0; i < len; ++i) {
+        if (src[i])
+            dst[i] ^= t.exp[log_c + t.log[src[i]]];
+    }
+}
+
+/**
+ * Invert a dense n x n matrix over GF(256) in place (Gauss–Jordan
+ * with partial pivoting by non-zero search). Returns false when the
+ * matrix is singular.
+ */
+bool
+gfInvertMatrix(std::vector<u8> &a, int n)
+{
+    std::vector<u8> inv(size_t(n) * size_t(n), 0);
+    for (int i = 0; i < n; ++i)
+        inv[size_t(i) * size_t(n) + size_t(i)] = 1;
+    auto row = [n](std::vector<u8> &mtx, int r) {
+        return mtx.data() + size_t(r) * size_t(n);
+    };
+    for (int col = 0; col < n; ++col) {
+        int pivot = -1;
+        for (int r = col; r < n; ++r) {
+            if (row(a, r)[col]) {
+                pivot = r;
+                break;
+            }
+        }
+        if (pivot < 0)
+            return false;
+        if (pivot != col) {
+            std::swap_ranges(row(a, pivot), row(a, pivot) + n,
+                             row(a, col));
+            std::swap_ranges(row(inv, pivot), row(inv, pivot) + n,
+                             row(inv, col));
+        }
+        const u8 scale = gfInv(row(a, col)[col]);
+        for (int c = 0; c < n; ++c) {
+            row(a, col)[c] = gfMul(row(a, col)[c], scale);
+            row(inv, col)[c] = gfMul(row(inv, col)[c], scale);
+        }
+        for (int r = 0; r < n; ++r) {
+            if (r == col)
+                continue;
+            const u8 f = row(a, r)[col];
+            if (!f)
+                continue;
+            for (int c = 0; c < n; ++c) {
+                row(a, r)[c] ^= gfMul(f, row(a, col)[c]);
+                row(inv, r)[c] ^= gfMul(f, row(inv, col)[c]);
+            }
+        }
+    }
+    a = std::move(inv);
+    return true;
+}
+
+} // namespace
+
+u8
+gfMul(u8 a, u8 b)
+{
+    if (a == 0 || b == 0)
+        return 0;
+    const GfTables &t = gf();
+    return t.exp[t.log[a] + t.log[b]];
+}
+
+u8
+gfInv(u8 a)
+{
+    GSSR_ASSERT(a != 0, "GF(256) inverse of zero");
+    const GfTables &t = gf();
+    return t.exp[255 - t.log[a]];
+}
+
+u8
+gfDiv(u8 a, u8 b)
+{
+    GSSR_ASSERT(b != 0, "GF(256) division by zero");
+    if (a == 0)
+        return 0;
+    const GfTables &t = gf();
+    return t.exp[t.log[a] + 255 - t.log[b]];
+}
+
+FecCodec::FecCodec(int data_shards, int parity_shards)
+    : k_(data_shards), m_(parity_shards)
+{
+    GSSR_ASSERT(k_ >= 1, "FEC needs at least one data shard");
+    GSSR_ASSERT(m_ >= 0, "negative parity shard count");
+    GSSR_ASSERT(k_ + m_ <= 255,
+                "k + m must be <= 255 (distinct GF(256) nodes)");
+
+    // Vandermonde matrix V[r][c] = r^c over k+m distinct nodes: every
+    // k x k submatrix is invertible. Multiplying by the inverse of
+    // the top k x k block makes the code systematic (top k rows
+    // become the identity) while preserving that property.
+    const int n = k_ + m_;
+    std::vector<u8> vand(size_t(n) * size_t(k_));
+    for (int r = 0; r < n; ++r) {
+        u8 v = 1;
+        for (int c = 0; c < k_; ++c) {
+            vand[size_t(r) * size_t(k_) + size_t(c)] = v;
+            v = gfMul(v, u8(r));
+        }
+    }
+    std::vector<u8> top(vand.begin(), vand.begin() + size_t(k_) * k_);
+    bool ok = gfInvertMatrix(top, k_);
+    GSSR_ASSERT(ok, "Vandermonde top block must be invertible");
+    matrix_.assign(size_t(n) * size_t(k_), 0);
+    for (int r = 0; r < n; ++r) {
+        for (int c = 0; c < k_; ++c) {
+            u8 acc = 0;
+            for (int i = 0; i < k_; ++i) {
+                acc ^= gfMul(vand[size_t(r) * size_t(k_) + size_t(i)],
+                             top[size_t(i) * size_t(k_) + size_t(c)]);
+            }
+            matrix_[size_t(r) * size_t(k_) + size_t(c)] = acc;
+        }
+    }
+}
+
+void
+FecCodec::encode(const std::vector<std::vector<u8>> &data,
+                 std::vector<std::vector<u8>> &parity) const
+{
+    GSSR_ASSERT(int(data.size()) == k_, "wrong data shard count");
+    const size_t len = data.empty() ? 0 : data[0].size();
+    for (const auto &shard : data)
+        GSSR_ASSERT(shard.size() == len, "data shards must be equal-sized");
+    parity.assign(size_t(m_), std::vector<u8>(len, 0));
+    for (int p = 0; p < m_; ++p) {
+        const u8 *coef = matrix_.data() + size_t(k_ + p) * size_t(k_);
+        for (int d = 0; d < k_; ++d)
+            gfMulAdd(parity[size_t(p)].data(), data[size_t(d)].data(),
+                     coef[d], len);
+    }
+}
+
+bool
+FecCodec::reconstruct(std::vector<std::vector<u8>> &shards,
+                      const std::vector<bool> &present) const
+{
+    const int n = k_ + m_;
+    GSSR_ASSERT(int(shards.size()) == n && int(present.size()) == n,
+                "shard/presence vector size mismatch");
+
+    bool all_data_present = true;
+    for (int i = 0; i < k_; ++i)
+        all_data_present = all_data_present && present[size_t(i)];
+    if (all_data_present)
+        return true;
+
+    // Pick the first k present rows of the encoding matrix; with any
+    // k rows independent, which k we pick only affects arithmetic,
+    // not feasibility.
+    std::vector<int> rows;
+    rows.reserve(size_t(k_));
+    size_t len = 0;
+    for (int i = 0; i < n && int(rows.size()) < k_; ++i) {
+        if (!present[size_t(i)])
+            continue;
+        rows.push_back(i);
+        len = shards[size_t(i)].size();
+    }
+    if (int(rows.size()) < k_)
+        return false; // more than m erasures: beyond the budget
+    for (int r : rows)
+        GSSR_ASSERT(shards[size_t(r)].size() == len,
+                    "present shards must be equal-sized");
+
+    std::vector<u8> sub(size_t(k_) * size_t(k_));
+    for (int i = 0; i < k_; ++i) {
+        const u8 *src = matrix_.data() + size_t(rows[size_t(i)]) * k_;
+        std::copy(src, src + k_, sub.data() + size_t(i) * size_t(k_));
+    }
+    if (!gfInvertMatrix(sub, k_))
+        return false; // unreachable for Vandermonde, kept defensive
+
+    // data[d] = sum_i inv[d][i] * received[rows[i]].
+    for (int d = 0; d < k_; ++d) {
+        if (present[size_t(d)])
+            continue;
+        std::vector<u8> out(len, 0);
+        const u8 *coef = sub.data() + size_t(d) * size_t(k_);
+        for (int i = 0; i < k_; ++i)
+            gfMulAdd(out.data(), shards[size_t(rows[size_t(i)])].data(),
+                     coef[i], len);
+        shards[size_t(d)] = std::move(out);
+    }
+    return true;
+}
+
+std::vector<bool>
+erasurePattern(int shards, int losses, u64 seed)
+{
+    GSSR_ASSERT(shards >= 0 && losses >= 0 && losses <= shards,
+                "erasure pattern losses out of range");
+    std::vector<bool> present(size_t(shards), true);
+    Rng rng(seed);
+    // Partial Fisher–Yates over the shard indices: the first `losses`
+    // draws select distinct victims.
+    std::vector<int> idx(static_cast<size_t>(shards));
+    for (int i = 0; i < shards; ++i)
+        idx[size_t(i)] = i;
+    for (int i = 0; i < losses; ++i) {
+        int j = rng.uniformInt(i, shards - 1);
+        std::swap(idx[size_t(i)], idx[size_t(j)]);
+        present[size_t(idx[size_t(i)])] = false;
+    }
+    return present;
+}
+
+} // namespace gssr

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * GF(256) Reed–Solomon erasure coding for the packetized wire format.
+ *
+ * A frame's data shards are protected by M parity shards computed
+ * from a systematic Vandermonde encoding matrix: the top K rows are
+ * the identity (data shards pass through untouched) and any K of the
+ * K+M total rows are linearly independent, so the receiver can
+ * reconstruct *all* K data shards from any K received shards — i.e.
+ * the code tolerates any erasure pattern of at most M shards. This is
+ * the classic erasure-only RS construction real game-streaming stacks
+ * (e.g. Sunshine/Moonlight) apply per frame: recovery costs zero
+ * extra RTT, unlike the reactive NACK -> intra-refresh path.
+ *
+ * Arithmetic is over GF(2^8) with the AES-adjacent reduction
+ * polynomial x^8 + x^4 + x^3 + x^2 + 1 (0x11d), the field every RS
+ * storage/network codec uses.
+ */
+
+#ifndef GSSR_NET_FEC_HH
+#define GSSR_NET_FEC_HH
+
+#include <vector>
+
+#include "common/types.hh"
+
+namespace gssr
+{
+
+/** Multiply two GF(256) elements. */
+u8 gfMul(u8 a, u8 b);
+
+/** Divide @p a by @p b in GF(256); b must be non-zero. */
+u8 gfDiv(u8 a, u8 b);
+
+/** Multiplicative inverse in GF(256); a must be non-zero. */
+u8 gfInv(u8 a);
+
+/**
+ * Systematic Reed–Solomon erasure codec over GF(256) for one block of
+ * @p data_shards equally sized data shards plus @p parity_shards
+ * parity shards. data_shards >= 1, parity_shards >= 0, and
+ * data_shards + parity_shards <= 255 (distinct Vandermonde nodes).
+ */
+class FecCodec
+{
+  public:
+    FecCodec(int data_shards, int parity_shards);
+
+    int dataShards() const { return k_; }
+    int parityShards() const { return m_; }
+    int totalShards() const { return k_ + m_; }
+
+    /**
+     * Compute the parity shards for one block. @p data holds k
+     * equally sized shards; @p parity receives m shards of the same
+     * length (resized by this call).
+     */
+    void encode(const std::vector<std::vector<u8>> &data,
+                std::vector<std::vector<u8>> &parity) const;
+
+    /**
+     * Reconstruct the missing *data* shards of one block in place.
+     * @p shards holds k+m entries (data first, then parity);
+     * entry i is consulted only when present[i] is true, and every
+     * present shard must have the same length. Missing data shards
+     * are rebuilt bit-exactly when at least k shards of the block are
+     * present; otherwise the call returns false and @p shards is
+     * unchanged (the loud failure mode — more than M erasures is
+     * beyond the code's correction budget).
+     */
+    bool reconstruct(std::vector<std::vector<u8>> &shards,
+                     const std::vector<bool> &present) const;
+
+  private:
+    int k_;
+    int m_;
+    /** (k+m) x k encoding matrix, row-major; rows 0..k-1 = identity. */
+    std::vector<u8> matrix_;
+};
+
+/**
+ * Deterministic, seedable erasure pattern: marks exactly @p losses of
+ * @p shards entries false (lost), the rest true. The same seed always
+ * yields the same pattern — the reconstruction property tests and the
+ * FEC bench replay shard loss through this single path.
+ */
+std::vector<bool> erasurePattern(int shards, int losses, u64 seed);
+
+} // namespace gssr
+
+#endif // GSSR_NET_FEC_HH

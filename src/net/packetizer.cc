@@ -1,0 +1,475 @@
+#include "net/packetizer.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/mathutil.hh"
+#include "net/fec.hh"
+
+namespace gssr
+{
+
+namespace
+{
+
+/** Append a merged [begin, end) range (ranges arrive sorted). */
+void
+appendRange(std::vector<std::pair<size_t, size_t>> &ranges,
+            size_t begin, size_t end)
+{
+    if (begin >= end)
+        return;
+    if (!ranges.empty() && ranges.back().second == begin)
+        ranges.back().second = end;
+    else
+        ranges.emplace_back(begin, end);
+}
+
+/** Largest frame the wire format can address with u8 block ids. */
+size_t
+maxWireFrameBytes(int shard_len)
+{
+    return size_t(255) * size_t(kMaxDataShardsPerBlock) *
+           size_t(shard_len);
+}
+
+u16
+readU16(const u8 *p)
+{
+    return u16(u16(p[0]) | (u16(p[1]) << 8));
+}
+
+u32
+readU32(const u8 *p)
+{
+    return u32(p[0]) | (u32(p[1]) << 8) | (u32(p[2]) << 16) |
+           (u32(p[3]) << 24);
+}
+
+void
+writeU16(std::vector<u8> &out, u16 v)
+{
+    out.push_back(u8(v & 0xff));
+    out.push_back(u8(v >> 8));
+}
+
+void
+writeU32(std::vector<u8> &out, u32 v)
+{
+    out.push_back(u8(v & 0xff));
+    out.push_back(u8((v >> 8) & 0xff));
+    out.push_back(u8((v >> 16) & 0xff));
+    out.push_back(u8(v >> 24));
+}
+
+} // namespace
+
+std::pair<size_t, size_t>
+WireGeometry::dataShardRange(int i) const
+{
+    size_t begin = size_t(i) * size_t(shard_len);
+    size_t end = std::min(frame_bytes, begin + size_t(shard_len));
+    return {begin, end};
+}
+
+WireGeometry
+wireGeometryFor(size_t frame_bytes, const WireConfig &config)
+{
+    GSSR_ASSERT(config.mtu_bytes > kPacketHeaderBytes,
+                "mtu must exceed the packet header");
+    GSSR_ASSERT(config.fec_overhead >= 0.0,
+                "fec_overhead must be >= 0");
+    GSSR_ASSERT(frame_bytes > 0, "cannot packetize an empty frame");
+
+    WireGeometry g;
+    g.frame_bytes = frame_bytes;
+    g.shard_len = config.mtu_bytes - kPacketHeaderBytes;
+    GSSR_ASSERT(frame_bytes <= maxWireFrameBytes(g.shard_len),
+                "frame too large for the wire format");
+
+    const int data_total =
+        int(ceilDiv(i64(frame_bytes), i64(g.shard_len)));
+    const int n_blocks =
+        int(ceilDiv(i64(data_total), i64(kMaxDataShardsPerBlock)));
+    const int base = data_total / n_blocks;
+    const int extra = data_total % n_blocks;
+
+    int first = 0;
+    for (int b = 0; b < n_blocks; ++b) {
+        WireGeometry::Block block;
+        block.first_data_shard = first;
+        block.data_shards = base + (b < extra ? 1 : 0);
+        if (config.fec_overhead > 0.0) {
+            block.parity_shards = std::max(
+                1, int(std::lround(f64(block.data_shards) *
+                                   config.fec_overhead)));
+            block.parity_shards =
+                std::min(block.parity_shards, 255 - block.data_shards);
+        }
+        block.byte_offset = size_t(first) * size_t(g.shard_len);
+        first += block.data_shards;
+        g.total_packets += block.data_shards + block.parity_shards;
+        g.wire_bytes += size_t(block.parity_shards) *
+                        size_t(g.shard_len);
+        g.blocks.push_back(block);
+    }
+    g.wire_bytes += frame_bytes +
+                    size_t(g.total_packets) *
+                        size_t(kPacketHeaderBytes);
+    return g;
+}
+
+int
+wirePacketCount(size_t frame_bytes, int mtu_bytes)
+{
+    GSSR_ASSERT(mtu_bytes > kPacketHeaderBytes,
+                "mtu must exceed the packet header");
+    if (frame_bytes == 0)
+        return 0;
+    return int(ceilDiv(i64(frame_bytes),
+                       i64(mtu_bytes - kPacketHeaderBytes)));
+}
+
+const char *
+wireOutcomeName(WireOutcome outcome)
+{
+    switch (outcome) {
+      case WireOutcome::Delivered:
+        return "delivered";
+      case WireOutcome::FecRecovered:
+        return "fec-recovered";
+      case WireOutcome::Partial:
+        return "partial";
+      case WireOutcome::Lost:
+        return "lost";
+    }
+    return "?";
+}
+
+WireDeliveryEval
+evaluateWireDelivery(const WireGeometry &geometry,
+                     const std::vector<bool> &delivered)
+{
+    GSSR_ASSERT(int(delivered.size()) == geometry.total_packets,
+                "delivery bitmap size mismatch");
+    WireDeliveryEval eval;
+    bool any_unrecovered = false;
+    int packet = 0;
+    for (const WireGeometry::Block &block : geometry.blocks) {
+        int data_lost = 0;
+        int parity_lost = 0;
+        for (int j = 0; j < block.data_shards; ++j) {
+            if (!delivered[size_t(packet + j)])
+                data_lost += 1;
+        }
+        for (int p = 0; p < block.parity_shards; ++p) {
+            if (!delivered[size_t(packet + block.data_shards + p)])
+                parity_lost += 1;
+        }
+        eval.data_shards_lost += data_lost;
+        eval.parity_shards_lost += parity_lost;
+
+        const size_t block_end =
+            std::min(geometry.frame_bytes,
+                     block.byte_offset + size_t(block.data_shards) *
+                                             size_t(geometry.shard_len));
+        if (data_lost == 0 ||
+            data_lost + parity_lost <= block.parity_shards) {
+            // Intact, or every erased shard sits inside the parity
+            // budget: the whole block's byte range is usable.
+            if (data_lost > 0)
+                eval.shards_recovered += data_lost;
+            appendRange(eval.valid_ranges, block.byte_offset,
+                        block_end);
+        } else {
+            // Beyond the budget: only the data shards that actually
+            // arrived are usable (an MDS code recovers all-or-none).
+            any_unrecovered = true;
+            for (int j = 0; j < block.data_shards; ++j) {
+                if (!delivered[size_t(packet + j)])
+                    continue;
+                auto [begin, end] = geometry.dataShardRange(
+                    block.first_data_shard + j);
+                appendRange(eval.valid_ranges, begin, end);
+            }
+        }
+        packet += block.data_shards + block.parity_shards;
+    }
+
+    if (any_unrecovered) {
+        eval.outcome = eval.valid_ranges.empty() ? WireOutcome::Lost
+                                                 : WireOutcome::Partial;
+    } else {
+        eval.outcome = eval.data_shards_lost > 0
+                           ? WireOutcome::FecRecovered
+                           : WireOutcome::Delivered;
+    }
+    return eval;
+}
+
+std::vector<std::vector<u8>>
+packetizeFrame(u32 frame_id, const std::vector<u8> &payload,
+               const WireConfig &config,
+               const std::vector<std::pair<size_t, size_t>> *slice_ranges)
+{
+    const WireGeometry g = wireGeometryFor(payload.size(), config);
+
+    auto slice_of = [&](size_t byte) -> u16 {
+        if (!slice_ranges)
+            return kSliceIdNone;
+        for (size_t s = 0; s < slice_ranges->size(); ++s) {
+            const auto &[begin, end] = (*slice_ranges)[s];
+            if (byte >= begin && byte < end)
+                return u16(s);
+        }
+        return kSliceIdNone;
+    };
+
+    auto push_header = [&](std::vector<u8> &out, const WireGeometry::Block &block,
+                           u8 block_id, int shard_index, u16 slice_id,
+                           u16 payload_len, bool parity) {
+        out.reserve(size_t(kPacketHeaderBytes) + payload_len);
+        writeU16(out, kPacketMagic);
+        out.push_back(kPacketVersion);
+        out.push_back(parity ? kPacketFlagParity : 0);
+        writeU32(out, frame_id);
+        writeU16(out, slice_id);
+        out.push_back(block_id);
+        writeU16(out, u16(shard_index));
+        out.push_back(u8(block.data_shards));
+        out.push_back(u8(block.parity_shards));
+        writeU16(out, payload_len);
+        writeU32(out, u32(g.frame_bytes));
+    };
+
+    std::vector<std::vector<u8>> packets;
+    packets.reserve(size_t(g.total_packets));
+    for (size_t b = 0; b < g.blocks.size(); ++b) {
+        const WireGeometry::Block &block = g.blocks[b];
+
+        // Data shards, zero-padded to shard_len for the FEC math but
+        // transmitted at their true length.
+        std::vector<std::vector<u8>> data(size_t(block.data_shards));
+        for (int j = 0; j < block.data_shards; ++j) {
+            auto [begin, end] =
+                g.dataShardRange(block.first_data_shard + j);
+            auto &shard = data[size_t(j)];
+            shard.assign(size_t(g.shard_len), 0);
+            std::copy(payload.begin() + i64(begin),
+                      payload.begin() + i64(end), shard.begin());
+
+            std::vector<u8> pkt;
+            push_header(pkt, block, u8(b), j, slice_of(begin),
+                        u16(end - begin), false);
+            pkt.insert(pkt.end(), payload.begin() + i64(begin),
+                       payload.begin() + i64(end));
+            packets.push_back(std::move(pkt));
+        }
+
+        if (block.parity_shards > 0) {
+            FecCodec codec(block.data_shards, block.parity_shards);
+            std::vector<std::vector<u8>> parity;
+            codec.encode(data, parity);
+            for (int p = 0; p < block.parity_shards; ++p) {
+                std::vector<u8> pkt;
+                push_header(pkt, block, u8(b), block.data_shards + p,
+                            kSliceIdNone, u16(g.shard_len), true);
+                pkt.insert(pkt.end(), parity[size_t(p)].begin(),
+                           parity[size_t(p)].end());
+                packets.push_back(std::move(pkt));
+            }
+        }
+    }
+    return packets;
+}
+
+bool
+parsePacketHeader(const std::vector<u8> &packet, PacketHeader &header)
+{
+    if (packet.size() < size_t(kPacketHeaderBytes))
+        return false;
+    const u8 *p = packet.data();
+    if (readU16(p + 0) != kPacketMagic || p[2] != kPacketVersion)
+        return false;
+    const u8 flags = p[3];
+    if (flags & ~kPacketFlagParity)
+        return false;
+    header.parity = (flags & kPacketFlagParity) != 0;
+    header.frame_id = readU32(p + 4);
+    header.slice_id = readU16(p + 8);
+    header.block = p[10];
+    header.shard_index = readU16(p + 11);
+    header.data_shards = p[13];
+    header.parity_shards = p[14];
+    header.payload_len = readU16(p + 15);
+    header.frame_bytes = readU32(p + 17);
+    // The payload must be exactly what the header claims — a
+    // truncated or padded packet is rejected, not partially trusted.
+    if (packet.size() !=
+        size_t(kPacketHeaderBytes) + size_t(header.payload_len))
+        return false;
+    if (header.data_shards == 0 || header.frame_bytes == 0)
+        return false;
+    return true;
+}
+
+namespace
+{
+
+/** Validate a parsed header against the frame's derived geometry. */
+bool
+headerMatchesGeometry(const PacketHeader &h, const WireGeometry &g)
+{
+    if (size_t(h.block) >= g.blocks.size())
+        return false;
+    const WireGeometry::Block &block = g.blocks[h.block];
+    if (int(h.data_shards) != block.data_shards ||
+        int(h.parity_shards) != block.parity_shards)
+        return false;
+    const int total = block.data_shards + block.parity_shards;
+    if (int(h.shard_index) >= total)
+        return false;
+    const bool is_parity = int(h.shard_index) >= block.data_shards;
+    if (is_parity != h.parity)
+        return false;
+    size_t expected_len;
+    if (is_parity) {
+        expected_len = size_t(g.shard_len);
+    } else {
+        auto [begin, end] = g.dataShardRange(block.first_data_shard +
+                                             int(h.shard_index));
+        expected_len = end - begin;
+    }
+    return size_t(h.payload_len) == expected_len;
+}
+
+} // namespace
+
+ReassembledFrame
+reassembleFrame(const std::vector<std::vector<u8>> &packets,
+                const WireConfig &config)
+{
+    ReassembledFrame out;
+
+    // Adopt the geometry from the first packet whose header parses
+    // *and* self-validates against the geometry it implies; every
+    // later packet must agree. A corrupt frame_bytes in one header
+    // therefore cannot poison the whole frame.
+    WireGeometry geometry;
+    bool have_geometry = false;
+    u32 frame_id = 0;
+    const size_t max_bytes =
+        maxWireFrameBytes(config.mtu_bytes - kPacketHeaderBytes);
+
+    struct Received
+    {
+        PacketHeader header;
+        const std::vector<u8> *packet = nullptr;
+    };
+    std::vector<Received> accepted;
+    accepted.reserve(packets.size());
+
+    for (const std::vector<u8> &pkt : packets) {
+        PacketHeader h;
+        if (!parsePacketHeader(pkt, h) ||
+            size_t(h.frame_bytes) > max_bytes) {
+            out.packets_rejected += 1;
+            continue;
+        }
+        if (!have_geometry) {
+            WireGeometry g =
+                wireGeometryFor(size_t(h.frame_bytes), config);
+            if (!headerMatchesGeometry(h, g)) {
+                out.packets_rejected += 1;
+                continue;
+            }
+            geometry = std::move(g);
+            have_geometry = true;
+            frame_id = h.frame_id;
+        } else if (h.frame_id != frame_id ||
+                   size_t(h.frame_bytes) != geometry.frame_bytes ||
+                   !headerMatchesGeometry(h, geometry)) {
+            out.packets_rejected += 1;
+            continue;
+        }
+        accepted.push_back({h, &pkt});
+    }
+    if (!have_geometry)
+        return out; // nothing usable arrived: Lost
+
+    out.payload.assign(geometry.frame_bytes, 0);
+
+    bool any_data_lost = false;
+    bool any_unrecovered = false;
+    for (size_t b = 0; b < geometry.blocks.size(); ++b) {
+        const WireGeometry::Block &block = geometry.blocks[b];
+        const int total = block.data_shards + block.parity_shards;
+        std::vector<std::vector<u8>> shards(static_cast<size_t>(total));
+        std::vector<bool> present(size_t(total), false);
+        for (const Received &r : accepted) {
+            if (size_t(r.header.block) != b ||
+                present[r.header.shard_index])
+                continue; // other block, or duplicate
+            std::vector<u8> shard(size_t(geometry.shard_len), 0);
+            std::copy(r.packet->begin() + kPacketHeaderBytes,
+                      r.packet->end(), shard.begin());
+            shards[r.header.shard_index] = std::move(shard);
+            present[r.header.shard_index] = true;
+        }
+
+        int data_lost = 0;
+        for (int j = 0; j < block.data_shards; ++j)
+            data_lost += present[size_t(j)] ? 0 : 1;
+        out.data_shards_lost += data_lost;
+        any_data_lost = any_data_lost || data_lost > 0;
+
+        bool usable_whole = data_lost == 0;
+        if (!usable_whole && block.parity_shards > 0) {
+            FecCodec codec(block.data_shards, block.parity_shards);
+            if (codec.reconstruct(shards, present)) {
+                usable_whole = true;
+                out.shards_recovered += data_lost;
+            }
+        }
+
+        if (usable_whole) {
+            const size_t block_end = std::min(
+                geometry.frame_bytes,
+                block.byte_offset + size_t(block.data_shards) *
+                                        size_t(geometry.shard_len));
+            for (int j = 0; j < block.data_shards; ++j) {
+                auto [begin, end] = geometry.dataShardRange(
+                    block.first_data_shard + j);
+                std::copy(shards[size_t(j)].begin(),
+                          shards[size_t(j)].begin() + i64(end - begin),
+                          out.payload.begin() + i64(begin));
+            }
+            appendRange(out.valid_ranges, block.byte_offset,
+                        block_end);
+        } else {
+            any_unrecovered = true;
+            for (int j = 0; j < block.data_shards; ++j) {
+                if (!present[size_t(j)])
+                    continue;
+                auto [begin, end] = geometry.dataShardRange(
+                    block.first_data_shard + j);
+                std::copy(shards[size_t(j)].begin(),
+                          shards[size_t(j)].begin() + i64(end - begin),
+                          out.payload.begin() + i64(begin));
+                appendRange(out.valid_ranges, begin, end);
+            }
+        }
+    }
+
+    if (any_unrecovered) {
+        out.outcome = out.valid_ranges.empty() ? WireOutcome::Lost
+                                               : WireOutcome::Partial;
+    } else {
+        out.outcome = any_data_lost ? WireOutcome::FecRecovered
+                                    : WireOutcome::Delivered;
+    }
+    return out;
+}
+
+} // namespace gssr

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Packetized wire format for the streaming bitstream.
+ *
+ * The entropy-coded frame payload is split into MTU-sized packets:
+ * each packet carries a fixed 21-byte header followed by one shard of
+ * payload. Data shards are grouped into FEC blocks of at most
+ * kMaxDataShardsPerBlock shards; each block gets M parity shards from
+ * the GF(256) Reed–Solomon codec (net/fec.hh) sized by the
+ * configured overhead ratio, so a block survives any loss of up to M
+ * of its packets with zero extra RTT.
+ *
+ * Wire packet header (little-endian, kPacketHeaderBytes total):
+ *
+ *   off sz field         meaning
+ *   --- -- ------------- -------------------------------------------
+ *    0   2 magic         0x4753 ("GS")
+ *    2   1 version       kPacketVersion
+ *    3   1 flags         bit 0: parity shard
+ *    4   4 frame_id      stream index of the carried frame
+ *    8   2 slice_id      slice containing the first payload byte
+ *                        (0xffff for parity / unsliced streams)
+ *   10   1 block         FEC block index within the frame
+ *   11   2 shard_index   shard position within the block (data
+ *                        shards first, then parity)
+ *   13   1 data_shards   the block's K
+ *   14   1 parity_shards the block's M
+ *   15   2 payload_len   payload bytes carried by this packet
+ *   17   4 frame_bytes   total frame payload size
+ *
+ * Both endpoints share the WireConfig, so the receiver re-derives
+ * the exact shard geometry from frame_bytes alone and can validate
+ * every header field against it — malformed packets are dropped, not
+ * trusted.
+ */
+
+#ifndef GSSR_NET_PACKETIZER_HH
+#define GSSR_NET_PACKETIZER_HH
+
+#include <utility>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace gssr
+{
+
+/** Wire packet header size (see file comment for the layout). */
+constexpr int kPacketHeaderBytes = 21;
+
+/** Wire packet magic ("GS", little-endian). */
+constexpr u16 kPacketMagic = 0x4753;
+
+/** Wire format version. */
+constexpr u8 kPacketVersion = 1;
+
+/** flags bit: this packet carries a parity shard. */
+constexpr u8 kPacketFlagParity = 0x01;
+
+/** slice_id value when the payload is not slice-addressable. */
+constexpr u16 kSliceIdNone = 0xffff;
+
+/**
+ * Data shards per FEC block cap. Bounding K bounds both the O(K^2)
+ * reconstruction work and the parity granularity: a large frame
+ * splits into several independently recoverable blocks.
+ */
+constexpr int kMaxDataShardsPerBlock = 64;
+
+/** Wire-format parameters shared by sender and receiver. */
+struct WireConfig
+{
+    /** Path MTU: header + shard payload per packet. */
+    int mtu_bytes = 1400;
+
+    /**
+     * FEC overhead as a parity/data shard ratio. 0 disables parity;
+     * any positive value yields at least one parity shard per block
+     * (M_b = max(1, round(K_b * fec_overhead))).
+     */
+    f64 fec_overhead = 0.0;
+};
+
+/** Parsed wire packet header. */
+struct PacketHeader
+{
+    u32 frame_id = 0;
+    u16 slice_id = kSliceIdNone;
+    u8 block = 0;
+    u16 shard_index = 0;
+    u8 data_shards = 0;
+    u8 parity_shards = 0;
+    u16 payload_len = 0;
+    u32 frame_bytes = 0;
+    bool parity = false;
+};
+
+/**
+ * Shard geometry of one frame on the wire — a pure function of
+ * (frame_bytes, WireConfig), computed identically on both ends.
+ * Packets are ordered block by block, data shards before parity.
+ */
+struct WireGeometry
+{
+    size_t frame_bytes = 0;
+
+    /** Payload bytes per full shard (mtu - header). */
+    int shard_len = 0;
+
+    /** Total packets (data + parity across all blocks). */
+    int total_packets = 0;
+
+    /** Total bytes on the wire (headers + data + parity). */
+    size_t wire_bytes = 0;
+
+    struct Block
+    {
+        int first_data_shard = 0; ///< global data-shard index
+        int data_shards = 0;      ///< K of this block
+        int parity_shards = 0;    ///< M of this block
+        size_t byte_offset = 0;   ///< payload offset of the block
+    };
+    std::vector<Block> blocks;
+
+    /** Total data shards across blocks. */
+    int
+    dataShardTotal() const
+    {
+        int n = 0;
+        for (const Block &b : blocks)
+            n += b.data_shards;
+        return n;
+    }
+
+    /** Payload byte range [begin, end) of global data shard @p i. */
+    std::pair<size_t, size_t> dataShardRange(int i) const;
+};
+
+/** Compute the wire geometry of one frame. frame_bytes must be > 0. */
+WireGeometry wireGeometryFor(size_t frame_bytes,
+                             const WireConfig &config);
+
+/**
+ * Packet count for a frame of @p frame_bytes without FEC — the
+ * number a transport would actually emit (header-aware), reported by
+ * TransmitResult::packets.
+ */
+int wirePacketCount(size_t frame_bytes, int mtu_bytes);
+
+/** Delivery outcome of one frame's packet set. */
+enum class WireOutcome
+{
+    Delivered,    ///< every data shard arrived
+    FecRecovered, ///< data shards lost, all rebuilt from parity
+    Partial,      ///< some data byte ranges are missing
+    Lost,         ///< nothing usable arrived
+};
+
+/** Outcome name for tables. */
+const char *wireOutcomeName(WireOutcome outcome);
+
+/**
+ * Pure-arithmetic evaluation of a delivery bitmap against a frame's
+ * geometry: which outcome results, and which payload byte ranges are
+ * usable. This is the accounting-mode path — sessions that never
+ * materialize payload bytes share the exact decision procedure the
+ * byte-level reassembler applies.
+ *
+ * @param delivered one flag per packet, in wire order.
+ */
+struct WireDeliveryEval
+{
+    WireOutcome outcome = WireOutcome::Delivered;
+    int data_shards_lost = 0;
+    int parity_shards_lost = 0;
+    int shards_recovered = 0; ///< data shards rebuilt from parity
+
+    /** Usable payload ranges, merged and sorted (Partial outcome). */
+    std::vector<std::pair<size_t, size_t>> valid_ranges;
+};
+
+WireDeliveryEval evaluateWireDelivery(
+    const WireGeometry &geometry, const std::vector<bool> &delivered);
+
+/**
+ * Split one frame payload into wire packets (header + shard each).
+ * The final data shard of a block is zero-padded to shard_len inside
+ * the FEC arithmetic but transmitted at its true length.
+ *
+ * @param slice_ranges optional slice table ([begin, end) payload
+ *        ranges); when given, each data packet's header carries the
+ *        slice containing its first payload byte.
+ */
+std::vector<std::vector<u8>> packetizeFrame(
+    u32 frame_id, const std::vector<u8> &payload,
+    const WireConfig &config,
+    const std::vector<std::pair<size_t, size_t>> *slice_ranges =
+        nullptr);
+
+/** Parse one wire packet header. Returns false when malformed. */
+bool parsePacketHeader(const std::vector<u8> &packet,
+                       PacketHeader &header);
+
+/** Result of reassembling one frame from received packets. */
+struct ReassembledFrame
+{
+    WireOutcome outcome = WireOutcome::Lost;
+
+    /** frame_bytes of payload; bytes outside valid_ranges are zero. */
+    std::vector<u8> payload;
+
+    /** Usable payload ranges, merged and sorted. */
+    std::vector<std::pair<size_t, size_t>> valid_ranges;
+
+    int data_shards_lost = 0;
+    int shards_recovered = 0;
+
+    /** Malformed/inconsistent packets rejected during parsing. */
+    int packets_rejected = 0;
+};
+
+/**
+ * Rebuild a frame payload from whatever packets arrived, running FEC
+ * reconstruction per block. Tolerates malformed, truncated,
+ * duplicated and reordered packets: anything whose header fails
+ * validation against the geometry derived from frame_bytes is
+ * counted in packets_rejected and otherwise ignored — never trusted
+ * for memory layout.
+ */
+ReassembledFrame reassembleFrame(
+    const std::vector<std::vector<u8>> &packets,
+    const WireConfig &config);
+
+} // namespace gssr
+
+#endif // GSSR_NET_PACKETIZER_HH

@@ -75,6 +75,15 @@ struct ResilienceConfig
      */
     bool aimd = false;
     AimdConfig aimd_config;
+
+    /**
+     * Proactive per-frame FEC: parity shards as a fraction of data
+     * shards on the packetized wire (net/packetizer.hh). Only
+     * effective on packet-granularity channels; 0 disables parity
+     * and leaves recovery to the reactive NACK -> intra-refresh path
+     * (>= 1 RTT) plus slice concealment.
+     */
+    f64 fec_overhead = 0.0;
 };
 
 /**

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 
+#include "codec/codec.hh"
 #include "common/fingerprint.hh"
 #include "common/mathutil.hh"
 #include "metrics/psnr.hh"
+#include "net/packetizer.hh"
 #include "roi/foveal.hh"
 
 namespace gssr
@@ -43,6 +45,74 @@ makeClient(DesignKind design, const ClientConfig &config)
         return std::make_unique<SrDecoderClient>(config);
     }
     panic("unknown design");
+}
+
+/**
+ * Check each slice byte range (and the frame header) against the
+ * merged valid payload ranges a partial wire delivery produced:
+ * fills @p present and returns the intact slice count, or 0 when the
+ * header or slice table bytes themselves were lost (an undecodable
+ * frame regardless of surviving slice data).
+ */
+int
+coveredSlices(const SliceLayout &layout,
+              const std::vector<std::pair<size_t, size_t>> &valid,
+              std::vector<bool> &present)
+{
+    auto covered = [&valid](size_t begin, size_t end) {
+        for (const auto &[a, b] : valid)
+            if (a <= begin && end <= b)
+                return true;
+        return false;
+    };
+    if (!covered(0, layout.header_bytes))
+        return 0;
+    present.assign(layout.ranges.size(), false);
+    int intact = 0;
+    for (size_t s = 0; s < layout.ranges.size(); ++s) {
+        if (covered(layout.ranges[s].first, layout.ranges[s].second)) {
+            present[s] = true;
+            intact += 1;
+        }
+    }
+    return intact;
+}
+
+/**
+ * Stand-in slice layout for accounting-only sessions, whose traces
+ * carry a modeled stream size rather than real payload bytes: bands
+ * from the configured slice count with byte lengths proportional to
+ * their rows, behind the sliced header/table bytes the real encoder
+ * would emit (codec/codec.cc: 7-byte header + 8 bytes per table
+ * entry).
+ */
+SliceLayout
+syntheticSliceLayout(size_t stream_bytes, int height,
+                     const CodecConfig &codec)
+{
+    SliceLayout layout;
+    if (codec.slices <= 1)
+        return layout;
+    auto bands = sliceBands(height, codec.slices, codec.mv_block_size);
+    const size_t header = 7 + 8 * bands.size();
+    if (stream_bytes < header + bands.size())
+        return layout; // too small to carve: treat as monolithic
+    layout.ok = true;
+    layout.sliced = true;
+    layout.header_bytes = header;
+    const u64 data = stream_bytes - header;
+    u64 rows_total = 0;
+    for (auto [r0, r1] : bands)
+        rows_total += u64(r1 - r0);
+    u64 rows_done = 0;
+    size_t off = header;
+    for (auto [r0, r1] : bands) {
+        rows_done += u64(r1 - r0);
+        size_t end = header + size_t(data * rows_done / rows_total);
+        layout.ranges.emplace_back(off, end);
+        off = end;
+    }
+    return layout;
 }
 
 } // namespace
@@ -254,6 +324,10 @@ SessionEngine::SessionEngine(const SessionConfig &config)
         tm_.nacks_sent = reg.counter("fleet.nacks_sent");
         tm_.intra_refreshes = reg.counter("fleet.intra_refreshes");
         tm_.aimd_backoffs = reg.counter("fleet.aimd_backoffs");
+        tm_.fec_recovered = reg.counter("net.fec.recovered");
+        tm_.slice_concealed = reg.counter("codec.slice.concealed");
+        tm_.pkt_sent = reg.counter("net.pkt.sent");
+        tm_.pkt_lost = reg.counter("net.pkt.lost");
         tm_.stream_bytes = reg.counter("fleet.stream_bytes");
         tm_.mtp_ms = reg.histogram(
             "fleet.mtp_ms", obs::HistogramLayout::linear(0, 250, 500));
@@ -351,27 +425,106 @@ SessionEngine::finishFrame(PendingFrame pending,
                 0.9 * mean_frame_bytes_ + 0.1 * f64(stream_bytes);
         }
         f64 offered = streamBitrateMbps(mean_frame_bytes_, 60.0);
-        TransmitResult tx =
-            channel_.transmitFrame(stream_bytes, offered);
-        trace.dropped = tx.dropped;
-        StageScope(trace, Stage::Network, Resource::NetworkLink)
-            .latencyMs(tx.latency_ms)
-            .energyMj(
-                config_.device.radio.energyMj(i64(stream_bytes)));
-        dropped = tx.dropped;
+        if (config_.channel.granularity == LossGranularity::Packet) {
+            // Packetized wire: the frame rides an MTU-sized packet
+            // train with proactive FEC parity, the channel evaluates
+            // its loss chain per packet, and the wire geometry turns
+            // the delivery bitmap into one of four outcomes — full
+            // delivery, zero-RTT FEC recovery, slice-level partial
+            // decode, or whole-frame loss.
+            WireConfig wire;
+            wire.mtu_bytes = config_.channel.mtu_bytes;
+            wire.fec_overhead = res.fec_overhead;
+            const WireGeometry geom =
+                wireGeometryFor(stream_bytes, wire);
+            PacketTransmitResult ptx = channel_.transmitPackets(
+                geom.wire_bytes, geom.total_packets, offered);
+            stats.packets_sent += ptx.packets;
+            stats.packets_lost += ptx.packets_lost;
+            if (config_.telemetry) {
+                obs::MetricsRegistry &reg =
+                    config_.telemetry->registry();
+                reg.add(tm_.pkt_sent, i64(ptx.packets));
+                reg.add(tm_.pkt_lost, i64(ptx.packets_lost));
+            }
+            StageScope(trace, Stage::Network, Resource::NetworkLink)
+                .latencyMs(ptx.latency_ms)
+                .energyMj(config_.device.radio.energyMj(
+                    i64(geom.wire_bytes)));
 
-        // Delivery outcome -> decoder-reference bookkeeping. A lost
-        // frame (or a delta that arrived after one) stalls the
-        // client's reference chain; stale deltas are discarded, not
-        // decoded against wrong references.
-        if (tx.dropped) {
-            trace.addEvent(RecoveryEvent::FrameDropped);
-            stats.frames_dropped += 1;
-            if (aimd_ && (tx.cause == DropCause::Congestion ||
-                          tx.cause == DropCause::Burst)) {
-                if (aimd_->onCongestion(now_ms)) {
-                    trace.addEvent(RecoveryEvent::BitrateBackoff);
-                    stats.aimd_backoffs += 1;
+            WireDeliveryEval eval =
+                evaluateWireDelivery(geom, ptx.delivered);
+            if (eval.outcome == WireOutcome::Partial) {
+                // A partially usable payload only helps when the
+                // bitstream is sliced and the frame header plus at
+                // least one slice survived; anything less degrades
+                // to a whole-frame loss.
+                SliceLayout layout =
+                    config_.compute_pixels &&
+                            produced.encoded.payload.size() ==
+                                stream_bytes
+                        ? frameSliceLayout(produced.encoded.payload)
+                        : syntheticSliceLayout(stream_bytes,
+                                               config_.lr_size.height,
+                                               config_.codec);
+                std::vector<bool> slice_ok;
+                int intact =
+                    layout.ok && layout.sliced
+                        ? coveredSlices(layout, eval.valid_ranges,
+                                        slice_ok)
+                        : 0;
+                if (intact > 0) {
+                    produced.encoded.slice_present = slice_ok;
+                    const int lost = int(slice_ok.size()) - intact;
+                    for (int s = 0; s < lost; ++s)
+                        trace.addEvent(RecoveryEvent::SliceConcealed);
+                    stats.slices_concealed += lost;
+                    stats.frames_partial += 1;
+                } else {
+                    eval.outcome = WireOutcome::Lost;
+                }
+            }
+            if (eval.outcome == WireOutcome::FecRecovered) {
+                trace.addEvent(RecoveryEvent::FecRecovered);
+                stats.frames_fec_recovered += 1;
+            }
+            trace.dropped = eval.outcome == WireOutcome::Lost;
+            dropped = trace.dropped;
+            if (dropped) {
+                trace.addEvent(RecoveryEvent::FrameDropped);
+                stats.frames_dropped += 1;
+            }
+            // Parity must not mask congestion from the rate
+            // controller: back off whenever the channel signalled
+            // congestion or burst fading, recovered frame or not.
+            if (aimd_ && ptx.congestionSignal() &&
+                aimd_->onCongestion(now_ms)) {
+                trace.addEvent(RecoveryEvent::BitrateBackoff);
+                stats.aimd_backoffs += 1;
+            }
+        } else {
+            TransmitResult tx =
+                channel_.transmitFrame(stream_bytes, offered);
+            trace.dropped = tx.dropped;
+            StageScope(trace, Stage::Network, Resource::NetworkLink)
+                .latencyMs(tx.latency_ms)
+                .energyMj(
+                    config_.device.radio.energyMj(i64(stream_bytes)));
+            dropped = tx.dropped;
+
+            // Delivery outcome -> decoder-reference bookkeeping. A
+            // lost frame (or a delta that arrived after one) stalls
+            // the client's reference chain; stale deltas are
+            // discarded, not decoded against wrong references.
+            if (tx.dropped) {
+                trace.addEvent(RecoveryEvent::FrameDropped);
+                stats.frames_dropped += 1;
+                if (aimd_ && (tx.cause == DropCause::Congestion ||
+                              tx.cause == DropCause::Burst)) {
+                    if (aimd_->onCongestion(now_ms)) {
+                        trace.addEvent(RecoveryEvent::BitrateBackoff);
+                        stats.aimd_backoffs += 1;
+                    }
                 }
             }
         }
@@ -563,9 +716,12 @@ SessionEngine::finishFrame(PendingFrame pending,
             measured_ % config_.perceptual_stride == 0) {
             q.lpips = perceptual_.distance(output, ground_truth);
         }
-        (q.concealed ? stats.concealed_psnr_db
-                     : stats.delivered_psnr_db)
-            .add(q.psnr_db);
+        if (q.concealed)
+            stats.concealed_psnr_db.add(q.psnr_db);
+        else if (trace.hasEvent(RecoveryEvent::SliceConcealed))
+            stats.partial_psnr_db.add(q.psnr_db);
+        else
+            stats.delivered_psnr_db.add(q.psnr_db);
         result_.quality.push_back(q);
         measured_ += 1;
     }
@@ -615,6 +771,10 @@ SessionEngine::exportFrameTelemetry(const FrameTrace &trace,
             reg.add(tm_.npu_faults);
         else if (e == RecoveryEvent::FrameHeld)
             reg.add(tm_.frames_held);
+        else if (e == RecoveryEvent::FecRecovered)
+            reg.add(tm_.fec_recovered);
+        else if (e == RecoveryEvent::SliceConcealed)
+            reg.add(tm_.slice_concealed);
     }
     if (ladder_active_)
         reg.set(tm_.tier_gauge, f64(ladder_.tier()));

@@ -162,6 +162,19 @@ struct ResilienceStats
     /** Server intra refreshes forced by NACKs. */
     i64 intra_refreshes = 0;
 
+    /** Wire packets offered / lost (packet-granularity channels). */
+    i64 packets_sent = 0;
+    i64 packets_lost = 0;
+
+    /** Frames whose packet losses FEC parity repaired (zero RTT). */
+    i64 frames_fec_recovered = 0;
+
+    /** Frames decoded with at least one slice band concealed. */
+    i64 frames_partial = 0;
+
+    /** Individual slice bands concealed across the session. */
+    i64 slices_concealed = 0;
+
     /** AIMD multiplicative backoffs applied. */
     i64 aimd_backoffs = 0;
 
@@ -174,6 +187,9 @@ struct ResilienceStats
     /** PSNR of measured frames, split by delivery outcome. */
     SampleStats delivered_psnr_db;
     SampleStats concealed_psnr_db;
+
+    /** PSNR of frames displayed with concealed slice bands. */
+    SampleStats partial_psnr_db;
 };
 
 /** Session-level degradation/stress statistics (not fingerprinted —
@@ -334,6 +350,10 @@ class SessionEngine
         obs::MetricId nacks_sent = 0;
         obs::MetricId intra_refreshes = 0;
         obs::MetricId aimd_backoffs = 0;
+        obs::MetricId fec_recovered = 0;
+        obs::MetricId slice_concealed = 0;
+        obs::MetricId pkt_sent = 0;
+        obs::MetricId pkt_lost = 0;
         obs::MetricId stream_bytes = 0;
         obs::MetricId mtp_ms = 0;
         obs::MetricId queue_ms = 0;

@@ -63,6 +63,10 @@ recoveryEventName(RecoveryEvent event)
         return "npu-fault";
       case RecoveryEvent::FrameHeld:
         return "frame-held";
+      case RecoveryEvent::FecRecovered:
+        return "fec-recovered";
+      case RecoveryEvent::SliceConcealed:
+        return "slice-concealed";
     }
     return "?";
 }

@@ -72,6 +72,8 @@ enum class RecoveryEvent
     LadderStepUp,   ///< degradation ladder recovered one tier
     NpuFault,       ///< NPU invocation failed (watchdog timeout)
     FrameHeld,      ///< tier-3 hold: output substituted, not lost
+    FecRecovered,   ///< packet loss repaired by FEC parity (zero RTT)
+    SliceConcealed, ///< one lost slice band concealed (per band)
 };
 
 /** Recovery event name for tables. */

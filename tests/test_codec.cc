@@ -540,5 +540,188 @@ TEST(CodecTest, FrameSizeChangeMidStreamThrows)
     EXPECT_THROW(encoder.encode(movingFrame(64, 48, 0)), PanicError);
 }
 
+bool
+yuvEqual(const Yuv420Image &a, const Yuv420Image &b)
+{
+    auto planeEqual = [](const PlaneU8 &pa, const PlaneU8 &pb) {
+        if (pa.width() != pb.width() || pa.height() != pb.height())
+            return false;
+        for (i64 i = 0; i < pa.sampleCount(); ++i)
+            if (pa.data()[size_t(i)] != pb.data()[size_t(i)])
+                return false;
+        return true;
+    };
+    return planeEqual(a.y, b.y) && planeEqual(a.u, b.u) &&
+           planeEqual(a.v, b.v);
+}
+
+TEST(SliceTest, BandsAlignAndCoverTheFrame)
+{
+    auto bands = sliceBands(96, 4, 16);
+    ASSERT_EQ(bands.size(), 3u); // short frame: fewer than requested
+    EXPECT_EQ(bands[0], (std::pair<int, int>(0, 32)));
+    EXPECT_EQ(bands[1], (std::pair<int, int>(32, 64)));
+    EXPECT_EQ(bands[2], (std::pair<int, int>(64, 96)));
+
+    auto hd = sliceBands(720, 4, 16);
+    ASSERT_EQ(hd.size(), 4u);
+    int row = 0;
+    for (auto [r0, r1] : hd) {
+        EXPECT_EQ(r0, row);
+        EXPECT_EQ(r0 % 16, 0); // aligned starts
+        EXPECT_GT(r1, r0);
+        row = r1;
+    }
+    EXPECT_EQ(row, 720);
+}
+
+TEST(SliceTest, SlicedReconstructionMatchesMonolithic)
+{
+    Size size{64, 96};
+    CodecConfig mono;
+    CodecConfig sliced = mono;
+    sliced.slices = 3;
+
+    GopEncoder enc_mono(mono, size);
+    GopEncoder enc_sliced(sliced, size);
+    FrameDecoder dec_mono(mono, size);
+    FrameDecoder dec_sliced(sliced, size);
+    for (int t = 0; t < 6; ++t) {
+        ColorImage frame = movingFrame(size.width, size.height, t);
+        EncodedFrame f_mono = enc_mono.encode(frame);
+        EncodedFrame f_sliced = enc_sliced.encode(frame);
+        EXPECT_EQ(f_mono.type, f_sliced.type);
+        // Different bitstreams (per-slice entropy reset + table)...
+        EXPECT_NE(f_mono.payload, f_sliced.payload);
+        // ...but bit-identical pixels when every slice arrives.
+        EXPECT_TRUE(yuvEqual(dec_mono.decode(f_mono),
+                             dec_sliced.decode(f_sliced)))
+            << "frame " << t;
+    }
+}
+
+TEST(SliceTest, FrameSliceLayoutParsesBothBitstreams)
+{
+    Size size{64, 96};
+    CodecConfig config;
+    config.slices = 3;
+    GopEncoder encoder(config, size);
+    EncodedFrame f = encoder.encode(movingFrame(64, 96, 0));
+
+    SliceLayout layout = frameSliceLayout(f.payload);
+    ASSERT_TRUE(layout.ok);
+    EXPECT_TRUE(layout.sliced);
+    ASSERT_EQ(layout.ranges.size(), 3u);
+    size_t off = layout.header_bytes;
+    for (const auto &[a, b] : layout.ranges) {
+        EXPECT_EQ(a, off);
+        EXPECT_GT(b, a);
+        off = b;
+    }
+    EXPECT_EQ(off, f.payload.size());
+
+    CodecConfig mono;
+    GopEncoder enc_mono(mono, size);
+    EncodedFrame m = enc_mono.encode(movingFrame(64, 96, 0));
+    SliceLayout mono_layout = frameSliceLayout(m.payload);
+    ASSERT_TRUE(mono_layout.ok);
+    EXPECT_FALSE(mono_layout.sliced);
+    ASSERT_EQ(mono_layout.ranges.size(), 1u);
+    EXPECT_EQ(mono_layout.ranges[0].second, m.payload.size());
+
+    EXPECT_FALSE(frameSliceLayout({}).ok);
+    EXPECT_FALSE(frameSliceLayout({0xff, 1, 2, 3, 4, 5, 6}).ok);
+}
+
+TEST(SliceTest, MissingDeltaSliceConcealsFromPreviousFrame)
+{
+    Size size{64, 96};
+    CodecConfig config;
+    config.slices = 3;
+    GopEncoder encoder(config, size);
+    EncodedFrame ref = encoder.encode(movingFrame(64, 96, 0));
+    EncodedFrame delta = encoder.encode(movingFrame(64, 96, 1));
+    ASSERT_EQ(delta.type, FrameType::NonReference);
+
+    FrameDecoder full(config, size);
+    Yuv420Image prev_full = full.decode(ref);
+    Yuv420Image delta_full = full.decode(delta);
+
+    FrameDecoder partial(config, size);
+    Yuv420Image prev = partial.decode(ref);
+    EncodedFrame degraded = delta;
+    degraded.slice_present = {true, false, true};
+    Yuv420Image concealed = partial.decode(degraded);
+
+    // Present bands decode bit-identically to the full decode; the
+    // missing band is held from the previous reconstruction (zero-MV
+    // prediction with no residual).
+    const Rect band0{0, 0, 64, 32};
+    const Rect band1{0, 32, 64, 32};
+    const Rect band2{0, 64, 64, 32};
+    auto crops_equal = [](const PlaneU8 &a, const PlaneU8 &b,
+                          const Rect &r) {
+        Plane<u8> ca = a.crop(r), cb = b.crop(r);
+        for (i64 i = 0; i < ca.sampleCount(); ++i)
+            if (ca.data()[size_t(i)] != cb.data()[size_t(i)])
+                return false;
+        return true;
+    };
+    EXPECT_TRUE(crops_equal(concealed.y, delta_full.y, band0));
+    EXPECT_TRUE(crops_equal(concealed.y, delta_full.y, band2));
+    EXPECT_TRUE(crops_equal(concealed.y, prev_full.y, band1));
+    EXPECT_FALSE(crops_equal(concealed.y, delta_full.y, band1));
+
+    // A fully delivered sliced frame with explicit flags decodes
+    // exactly like one with the default empty flag vector.
+    FrameDecoder explicit_flags(config, size);
+    explicit_flags.decode(ref);
+    EncodedFrame all_present = delta;
+    all_present.slice_present = {true, true, true};
+    EXPECT_TRUE(
+        yuvEqual(explicit_flags.decode(all_present), delta_full));
+}
+
+TEST(SliceTest, MissingIntraSliceConcealsOrFillsGray)
+{
+    Size size{64, 96};
+    CodecConfig config;
+    config.slices = 3;
+    GopEncoder encoder(config, size);
+    EncodedFrame ref = encoder.encode(movingFrame(64, 96, 0));
+
+    // No previous frame at all: the missing band is mid-gray.
+    FrameDecoder cold(config, size);
+    EncodedFrame degraded = ref;
+    degraded.slice_present = {true, false, true};
+    Yuv420Image out = cold.decode(degraded);
+    for (int y = 32; y < 64; ++y)
+        for (int x = 0; x < 64; ++x)
+            ASSERT_EQ(out.y.at(x, y), 128);
+}
+
+TEST(SliceTest, MonolithicPayloadRejectsMissingSlices)
+{
+    CodecConfig config;
+    Size size{32, 32};
+    GopEncoder encoder(config, size);
+    EncodedFrame f = encoder.encode(movingFrame(32, 32, 0));
+    f.slice_present = {false};
+    FrameDecoder decoder(config, size);
+    EXPECT_THROW(decoder.decode(f), FatalError);
+}
+
+TEST(SliceTest, SlicePresentSizeMismatchThrows)
+{
+    Size size{64, 96};
+    CodecConfig config;
+    config.slices = 3;
+    GopEncoder encoder(config, size);
+    EncodedFrame f = encoder.encode(movingFrame(64, 96, 0));
+    f.slice_present = {true, false}; // stream carries 3 slices
+    FrameDecoder decoder(config, size);
+    EXPECT_THROW(decoder.decode(f), FatalError);
+}
+
 } // namespace
 } // namespace gssr

@@ -1,0 +1,443 @@
+/**
+ * @file
+ * Unit tests for the wire format and FEC layer (src/net/fec.hh,
+ * src/net/packetizer.hh): GF(256) algebra, Reed–Solomon erasure
+ * recovery properties, shard geometry, delivery evaluation, byte-level
+ * packetize/reassemble round trips, and malformed-packet robustness.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "net/fec.hh"
+#include "net/packetizer.hh"
+
+namespace gssr
+{
+namespace
+{
+
+std::vector<u8>
+randomBytes(size_t n, u64 seed)
+{
+    Rng rng(seed);
+    std::vector<u8> out(n);
+    for (auto &b : out)
+        b = u8(rng.uniformInt(0, 255));
+    return out;
+}
+
+std::vector<std::vector<u8>>
+randomShards(int k, size_t len, u64 seed)
+{
+    std::vector<std::vector<u8>> shards;
+    for (int i = 0; i < k; ++i)
+        shards.push_back(randomBytes(len, seed + u64(i) * 1000003));
+    return shards;
+}
+
+TEST(GfTest, MulDivInvRoundTrip)
+{
+    for (int a = 1; a < 256; ++a) {
+        EXPECT_EQ(gfMul(u8(a), gfInv(u8(a))), 1) << a;
+        EXPECT_EQ(gfDiv(u8(a), u8(a)), 1) << a;
+        EXPECT_EQ(gfMul(u8(a), 1), a) << a;
+        EXPECT_EQ(gfMul(u8(a), 0), 0) << a;
+    }
+    // Spot-check distributivity on a seeded sample.
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        u8 a = u8(rng.uniformInt(0, 255));
+        u8 b = u8(rng.uniformInt(0, 255));
+        u8 c = u8(rng.uniformInt(0, 255));
+        EXPECT_EQ(gfMul(a, u8(b ^ c)), gfMul(a, b) ^ gfMul(a, c));
+        EXPECT_EQ(gfMul(gfMul(a, b), c), gfMul(a, gfMul(b, c)));
+        EXPECT_EQ(gfMul(a, b), gfMul(b, a));
+    }
+}
+
+TEST(FecCodecTest, ReconstructsEveryErasurePatternUpToM)
+{
+    const int k = 4, m = 2, n = k + m;
+    const size_t len = 37;
+    FecCodec codec(k, m);
+    std::vector<std::vector<u8>> data = randomShards(k, len, 11);
+    std::vector<std::vector<u8>> parity;
+    codec.encode(data, parity);
+    ASSERT_EQ(int(parity.size()), m);
+
+    // Every subset of <= m erased shards, exhaustively.
+    for (int mask = 0; mask < (1 << n); ++mask) {
+        if (__builtin_popcount(unsigned(mask)) > m)
+            continue;
+        std::vector<std::vector<u8>> shards = data;
+        shards.insert(shards.end(), parity.begin(), parity.end());
+        std::vector<bool> present(size_t(n), true);
+        for (int i = 0; i < n; ++i) {
+            if (mask & (1 << i)) {
+                present[size_t(i)] = false;
+                shards[size_t(i)].clear();
+            }
+        }
+        ASSERT_TRUE(codec.reconstruct(shards, present)) << mask;
+        for (int i = 0; i < k; ++i)
+            EXPECT_EQ(shards[size_t(i)], data[size_t(i)]) << mask;
+    }
+}
+
+TEST(FecCodecTest, RandomExactlyMErasuresRecoverBitExact)
+{
+    const int k = 16, m = 4;
+    const size_t len = 211;
+    FecCodec codec(k, m);
+    std::vector<std::vector<u8>> data = randomShards(k, len, 23);
+    std::vector<std::vector<u8>> parity;
+    codec.encode(data, parity);
+    for (u64 seed = 0; seed < 200; ++seed) {
+        std::vector<std::vector<u8>> shards = data;
+        shards.insert(shards.end(), parity.begin(), parity.end());
+        std::vector<bool> present = erasurePattern(k + m, m, seed);
+        for (int i = 0; i < k + m; ++i) {
+            if (!present[size_t(i)])
+                shards[size_t(i)].clear();
+        }
+        ASSERT_TRUE(codec.reconstruct(shards, present)) << seed;
+        for (int i = 0; i < k; ++i)
+            EXPECT_EQ(shards[size_t(i)], data[size_t(i)]) << seed;
+    }
+}
+
+TEST(FecCodecTest, MorePlusOneErasuresFailLoudlyAndHarmlessly)
+{
+    const int k = 8, m = 3;
+    FecCodec codec(k, m);
+    std::vector<std::vector<u8>> data = randomShards(k, 64, 31);
+    std::vector<std::vector<u8>> parity;
+    codec.encode(data, parity);
+    for (u64 seed = 0; seed < 50; ++seed) {
+        std::vector<std::vector<u8>> shards = data;
+        shards.insert(shards.end(), parity.begin(), parity.end());
+        std::vector<bool> present = erasurePattern(k + m, m + 1, seed);
+        for (int i = 0; i < k + m; ++i) {
+            if (!present[size_t(i)])
+                shards[size_t(i)].clear();
+        }
+        EXPECT_FALSE(codec.reconstruct(shards, present)) << seed;
+        // Present data shards must be untouched by the failed attempt.
+        for (int i = 0; i < k; ++i) {
+            if (present[size_t(i)]) {
+                EXPECT_EQ(shards[size_t(i)], data[size_t(i)]) << seed;
+            }
+        }
+    }
+}
+
+TEST(FecCodecTest, ZeroParityIsAPassThrough)
+{
+    FecCodec codec(5, 0);
+    std::vector<std::vector<u8>> data = randomShards(5, 16, 41);
+    std::vector<std::vector<u8>> parity;
+    codec.encode(data, parity);
+    EXPECT_TRUE(parity.empty());
+    std::vector<bool> present(5, true);
+    EXPECT_TRUE(codec.reconstruct(data, present));
+}
+
+TEST(FecCodecTest, RejectsInvalidShapes)
+{
+    EXPECT_THROW(FecCodec(0, 1), PanicError);
+    EXPECT_THROW(FecCodec(200, 100), PanicError);
+}
+
+TEST(ErasurePatternTest, DeterministicAndCounted)
+{
+    for (u64 seed = 0; seed < 20; ++seed) {
+        std::vector<bool> a = erasurePattern(48, 7, seed);
+        std::vector<bool> b = erasurePattern(48, 7, seed);
+        EXPECT_EQ(a, b);
+        EXPECT_EQ(std::count(a.begin(), a.end(), false), 7);
+    }
+}
+
+TEST(WireGeometryTest, CountsAndRanges)
+{
+    WireConfig config;
+    config.mtu_bytes = 121; // shard_len 100
+    config.fec_overhead = 0.0;
+
+    WireGeometry g = wireGeometryFor(1000, config);
+    EXPECT_EQ(g.shard_len, 100);
+    EXPECT_EQ(g.dataShardTotal(), 10);
+    EXPECT_EQ(g.total_packets, 10);
+    EXPECT_EQ(g.wire_bytes, size_t(10 * 121));
+    EXPECT_EQ(g.blocks.size(), 1u);
+    EXPECT_EQ(g.dataShardRange(0), (std::pair<size_t, size_t>(0, 100)));
+    EXPECT_EQ(g.dataShardRange(9),
+              (std::pair<size_t, size_t>(900, 1000)));
+
+    // A short tail shard keeps its true byte range.
+    WireGeometry tail = wireGeometryFor(950, config);
+    EXPECT_EQ(tail.dataShardTotal(), 10);
+    EXPECT_EQ(tail.dataShardRange(9),
+              (std::pair<size_t, size_t>(900, 950)));
+    EXPECT_EQ(tail.wire_bytes, size_t(9 * 121 + 21 + 50));
+
+    // Parity: 10 data shards at 20 % overhead -> 2 parity shards.
+    config.fec_overhead = 0.2;
+    WireGeometry fec = wireGeometryFor(1000, config);
+    EXPECT_EQ(fec.total_packets, 12);
+    EXPECT_EQ(fec.blocks[0].parity_shards, 2);
+
+    // Any positive overhead yields at least one parity shard.
+    config.fec_overhead = 0.001;
+    EXPECT_EQ(wireGeometryFor(1000, config).total_packets, 11);
+
+    // Large frames split into blocks of at most 64 data shards.
+    config.fec_overhead = 0.0;
+    WireGeometry big = wireGeometryFor(100 * 100 + 1, config);
+    EXPECT_EQ(big.dataShardTotal(), 101);
+    EXPECT_EQ(big.blocks.size(), 2u);
+    EXPECT_LE(big.blocks[0].data_shards, kMaxDataShardsPerBlock);
+}
+
+TEST(WireGeometryTest, MtuMustExceedHeader)
+{
+    WireConfig config;
+    config.mtu_bytes = kPacketHeaderBytes;
+    EXPECT_THROW(wireGeometryFor(100, config), PanicError);
+}
+
+TEST(WireGeometryTest, WirePacketCountIsHeaderAware)
+{
+    EXPECT_EQ(wirePacketCount(1379, 1400), 1);
+    EXPECT_EQ(wirePacketCount(1380, 1400), 2);
+    EXPECT_EQ(wirePacketCount(13790, 1400), 10);
+}
+
+TEST(WireDeliveryTest, OutcomesFromBitmaps)
+{
+    WireConfig config;
+    config.mtu_bytes = 121;
+    config.fec_overhead = 0.2; // 10 data + 2 parity
+    WireGeometry g = wireGeometryFor(1000, config);
+    ASSERT_EQ(g.total_packets, 12);
+
+    std::vector<bool> all(12, true);
+    EXPECT_EQ(evaluateWireDelivery(g, all).outcome,
+              WireOutcome::Delivered);
+
+    // Two data losses: exactly the parity budget.
+    std::vector<bool> two = all;
+    two[1] = two[5] = false;
+    WireDeliveryEval recovered = evaluateWireDelivery(g, two);
+    EXPECT_EQ(recovered.outcome, WireOutcome::FecRecovered);
+    EXPECT_EQ(recovered.shards_recovered, 2);
+    ASSERT_EQ(recovered.valid_ranges.size(), 1u);
+    EXPECT_EQ(recovered.valid_ranges[0],
+              (std::pair<size_t, size_t>(0, 1000)));
+
+    // Losing a parity shard costs nothing while the data survives.
+    std::vector<bool> parity_only = all;
+    parity_only[10] = parity_only[11] = false;
+    EXPECT_EQ(evaluateWireDelivery(g, parity_only).outcome,
+              WireOutcome::Delivered);
+
+    // Three losses exceed m=2: partial, with the received data
+    // shards' byte ranges usable.
+    std::vector<bool> three = all;
+    three[0] = three[1] = three[2] = false;
+    WireDeliveryEval partial = evaluateWireDelivery(g, three);
+    EXPECT_EQ(partial.outcome, WireOutcome::Partial);
+    EXPECT_EQ(partial.data_shards_lost, 3);
+    ASSERT_EQ(partial.valid_ranges.size(), 1u);
+    EXPECT_EQ(partial.valid_ranges[0],
+              (std::pair<size_t, size_t>(300, 1000)));
+
+    std::vector<bool> none(12, false);
+    EXPECT_EQ(evaluateWireDelivery(g, none).outcome, WireOutcome::Lost);
+}
+
+TEST(PacketizerTest, RoundTripNoLoss)
+{
+    WireConfig config;
+    config.mtu_bytes = 121;
+    config.fec_overhead = 0.25;
+    std::vector<u8> payload = randomBytes(3456, 99);
+    auto packets = packetizeFrame(7, payload, config);
+    WireGeometry g = wireGeometryFor(payload.size(), config);
+    ASSERT_EQ(int(packets.size()), g.total_packets);
+
+    PacketHeader h;
+    ASSERT_TRUE(parsePacketHeader(packets[0], h));
+    EXPECT_EQ(h.frame_id, 7u);
+    EXPECT_EQ(h.frame_bytes, payload.size());
+    EXPECT_FALSE(h.parity);
+
+    ReassembledFrame out = reassembleFrame(packets, config);
+    EXPECT_EQ(out.outcome, WireOutcome::Delivered);
+    EXPECT_EQ(out.payload, payload);
+    EXPECT_EQ(out.packets_rejected, 0);
+}
+
+TEST(PacketizerTest, RoundTripFecRecovery)
+{
+    WireConfig config;
+    config.mtu_bytes = 121;
+    config.fec_overhead = 0.25; // 13 data shards -> 3 parity
+    std::vector<u8> payload = randomBytes(1234, 5);
+    auto packets = packetizeFrame(3, payload, config);
+    WireGeometry g = wireGeometryFor(payload.size(), config);
+    ASSERT_EQ(g.blocks[0].parity_shards, 3);
+
+    // Drop three data packets (within the parity budget), reordered
+    // arrival for good measure.
+    std::vector<std::vector<u8>> arrived;
+    for (size_t i = 0; i < packets.size(); ++i) {
+        if (i == 0 || i == 4 || i == 12)
+            continue;
+        arrived.push_back(packets[i]);
+    }
+    std::reverse(arrived.begin(), arrived.end());
+
+    ReassembledFrame out = reassembleFrame(arrived, config);
+    EXPECT_EQ(out.outcome, WireOutcome::FecRecovered);
+    EXPECT_EQ(out.shards_recovered, 3);
+    EXPECT_EQ(out.payload, payload);
+}
+
+TEST(PacketizerTest, RoundTripPartialKeepsReceivedBytes)
+{
+    WireConfig config;
+    config.mtu_bytes = 121;
+    config.fec_overhead = 0.0; // no parity: any loss is partial
+    std::vector<u8> payload = randomBytes(1000, 17);
+    auto packets = packetizeFrame(1, payload, config);
+    ASSERT_EQ(packets.size(), 10u);
+
+    std::vector<std::vector<u8>> arrived;
+    for (size_t i = 0; i < packets.size(); ++i) {
+        if (i == 2 || i == 3)
+            continue;
+        arrived.push_back(packets[i]);
+    }
+    ReassembledFrame out = reassembleFrame(arrived, config);
+    EXPECT_EQ(out.outcome, WireOutcome::Partial);
+    EXPECT_EQ(out.data_shards_lost, 2);
+    ASSERT_EQ(out.payload.size(), payload.size());
+    for (const auto &[a, b] : out.valid_ranges) {
+        for (size_t i = a; i < b; ++i)
+            ASSERT_EQ(out.payload[i], payload[i]) << i;
+    }
+    // The lost shards' ranges must not be claimed valid.
+    for (const auto &[a, b] : out.valid_ranges)
+        EXPECT_TRUE(b <= 200 || a >= 400);
+
+    ReassembledFrame lost = reassembleFrame({}, config);
+    EXPECT_EQ(lost.outcome, WireOutcome::Lost);
+}
+
+TEST(PacketizerTest, SliceIdsFollowTheSliceTable)
+{
+    WireConfig config;
+    config.mtu_bytes = 121;
+    std::vector<u8> payload = randomBytes(1000, 3);
+    std::vector<std::pair<size_t, size_t>> slices = {{0, 450},
+                                                     {450, 1000}};
+    auto packets = packetizeFrame(2, payload, config, &slices);
+    PacketHeader h;
+    ASSERT_TRUE(parsePacketHeader(packets[0], h));
+    EXPECT_EQ(h.slice_id, 0);
+    ASSERT_TRUE(parsePacketHeader(packets[5], h)); // bytes 500..599
+    EXPECT_EQ(h.slice_id, 1);
+}
+
+TEST(PacketizerTest, RejectsMalformedHeaders)
+{
+    WireConfig config;
+    config.mtu_bytes = 121;
+    std::vector<u8> payload = randomBytes(500, 29);
+    auto packets = packetizeFrame(9, payload, config);
+
+    PacketHeader h;
+    EXPECT_FALSE(parsePacketHeader({}, h));
+    EXPECT_FALSE(parsePacketHeader(std::vector<u8>(20, 0), h));
+
+    std::vector<u8> bad_magic = packets[0];
+    bad_magic[0] ^= 0xff;
+    EXPECT_FALSE(parsePacketHeader(bad_magic, h));
+
+    std::vector<u8> bad_version = packets[0];
+    bad_version[2] += 1;
+    EXPECT_FALSE(parsePacketHeader(bad_version, h));
+
+    std::vector<u8> bad_flags = packets[0];
+    bad_flags[3] = 0x80;
+    EXPECT_FALSE(parsePacketHeader(bad_flags, h));
+
+    std::vector<u8> truncated = packets[0];
+    truncated.pop_back();
+    EXPECT_FALSE(parsePacketHeader(truncated, h));
+}
+
+TEST(PacketizerTest, FuzzedPacketsNeverCrashTheReassembler)
+{
+    WireConfig config;
+    config.mtu_bytes = 93;
+    config.fec_overhead = 0.3;
+    std::vector<u8> payload = randomBytes(2000, 101);
+    const auto pristine = packetizeFrame(5, payload, config);
+
+    for (u64 seed = 0; seed < 300; ++seed) {
+        Rng rng(seed);
+        std::vector<std::vector<u8>> mangled = pristine;
+        const int mutations = rng.uniformInt(1, 8);
+        for (int i = 0; i < mutations; ++i) {
+            if (mangled.empty())
+                break;
+            size_t victim = size_t(
+                rng.uniformInt(0, int(mangled.size()) - 1));
+            switch (rng.uniformInt(0, 4)) {
+              case 0: // flip a byte (header or payload)
+                if (!mangled[victim].empty()) {
+                    size_t pos = size_t(rng.uniformInt(
+                        0, int(mangled[victim].size()) - 1));
+                    mangled[victim][pos] ^= u8(rng.uniformInt(1, 255));
+                }
+                break;
+              case 1: // truncate
+                mangled[victim].resize(size_t(rng.uniformInt(
+                    0, int(mangled[victim].size()))));
+                break;
+              case 2: // duplicate
+                mangled.push_back(mangled[victim]);
+                break;
+              case 3: // drop
+                mangled.erase(mangled.begin() + long(victim));
+                break;
+              case 4: // swap order
+                std::swap(mangled[victim], mangled[0]);
+                break;
+            }
+        }
+        // Must not crash, and every claimed-valid range must stay
+        // inside the payload buffer the reassembler sized. (Payload
+        // *content* under header corruption is out of scope: the
+        // format carries no checksum by design — the channel model
+        // delivers or erases.)
+        ReassembledFrame out = reassembleFrame(mangled, config);
+        if (out.outcome != WireOutcome::Lost) {
+            EXPECT_FALSE(out.payload.empty());
+        }
+        for (const auto &[a, b] : out.valid_ranges) {
+            EXPECT_LT(a, b);
+            EXPECT_LE(b, out.payload.size());
+        }
+    }
+}
+
+} // namespace
+} // namespace gssr

@@ -397,5 +397,109 @@ TEST(ResilienceSessionTest, FaultSessionIsDeterministic)
               b.resilience.intra_refreshes);
 }
 
+/** Packet-granularity bursty channel shared by the wire-mode tests. */
+SessionConfig
+packetModeConfig(int frames)
+{
+    SessionConfig config = accountingConfig(frames, 30);
+    config.channel = ChannelConfig::wifiBursty();
+    config.channel.granularity = LossGranularity::Packet;
+    config.channel.packet_loss = 5e-3; // singles for FEC to mop up
+    config.channel_seed = 1234;
+    return config;
+}
+
+TEST(PacketModeTest, FecRecoversLossesNackOnlyPays)
+{
+    SessionConfig nack_only = packetModeConfig(400);
+    SessionConfig with_fec = nack_only;
+    with_fec.resilience.fec_overhead = 0.25;
+
+    SessionResult reactive = runSession(nack_only);
+    SessionResult proactive = runSession(with_fec);
+
+    // The channel replay is seed-identical; parity is the only
+    // difference. Without it every lossy frame drops; with it most
+    // packet losses repair in zero RTT.
+    EXPECT_GT(reactive.resilience.frames_dropped, 0);
+    EXPECT_EQ(reactive.resilience.frames_fec_recovered, 0);
+    EXPECT_GT(proactive.resilience.frames_fec_recovered, 0);
+    EXPECT_LT(proactive.resilience.frames_dropped,
+              reactive.resilience.frames_dropped);
+    EXPECT_GT(proactive.resilience.frames_delivered,
+              reactive.resilience.frames_delivered);
+    // Zero-RTT: recovered frames never enter the NACK -> intra
+    // round trip, so the reactive path is exercised less.
+    EXPECT_LE(proactive.resilience.nacks_sent,
+              reactive.resilience.nacks_sent);
+    EXPECT_GT(proactive.resilience.packets_sent,
+              reactive.resilience.packets_sent); // parity packets
+    EXPECT_GT(reactive.resilience.packets_lost, 0);
+}
+
+TEST(PacketModeTest, SlicedStreamConcealsPartialFrames)
+{
+    SessionConfig config = packetModeConfig(400);
+    config.codec.slices = 3;
+    // Longer bursts than parity-free frames can absorb whole.
+    config.channel.ge_p_enter_burst = 0.004;
+    config.channel.ge_p_exit_burst = 0.3;
+
+    SessionResult result = runSession(config);
+    EXPECT_GT(result.resilience.frames_partial, 0);
+    EXPECT_GT(result.resilience.slices_concealed, 0);
+    // Partial frames stay in the delivered population: the reference
+    // chain survives, bands are concealed instead of whole frames.
+    i64 partial_traces = 0;
+    for (const auto &t : result.traces) {
+        if (t.hasEvent(RecoveryEvent::SliceConcealed)) {
+            partial_traces += 1;
+            EXPECT_FALSE(t.dropped);
+        }
+    }
+    EXPECT_EQ(partial_traces, result.resilience.frames_partial);
+}
+
+TEST(PacketModeTest, PixelSessionDecodesPartialFramesEndToEnd)
+{
+    SessionConfig config;
+    config.frames = 40;
+    config.lr_size = {64, 96};
+    config.codec.gop_size = 20;
+    config.codec.slices = 3;
+    config.compute_pixels = true;
+    config.sr_net = testNet();
+    config.channel = ChannelConfig::wifiBursty();
+    config.channel.granularity = LossGranularity::Packet;
+    config.channel.packet_loss = 0.05; // harsh: force partials
+    config.channel.mtu_bytes = 200;    // many packets per frame
+    config.channel_seed = 9;
+
+    SessionResult result = runSession(config);
+    ASSERT_EQ(result.traces.size(), 40u);
+    // Under this loss rate the session must exercise the partial
+    // path at least once, and every frame still produced output.
+    EXPECT_GT(result.resilience.frames_partial +
+                  result.resilience.frames_dropped,
+              0);
+    SessionResult replay = runSession(config);
+    EXPECT_EQ(sessionFingerprint(result), sessionFingerprint(replay));
+}
+
+TEST(PacketModeTest, PacketSessionIsDeterministic)
+{
+    SessionConfig config = packetModeConfig(120);
+    config.resilience.fec_overhead = 0.1;
+    config.codec.slices = 4;
+    SessionResult a = runSession(config);
+    SessionResult b = runSession(config);
+    EXPECT_EQ(sessionFingerprint(a), sessionFingerprint(b));
+    EXPECT_EQ(a.resilience.packets_lost, b.resilience.packets_lost);
+    EXPECT_EQ(a.resilience.frames_fec_recovered,
+              b.resilience.frames_fec_recovered);
+    EXPECT_EQ(a.resilience.slices_concealed,
+              b.resilience.slices_concealed);
+}
+
 } // namespace
 } // namespace gssr
