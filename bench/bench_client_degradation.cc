@@ -212,7 +212,7 @@ main(int argc, char **argv)
 
     std::vector<CellResult> cells;
     TableWriter table({"device", "scenario", "ladder", "p50 MTP",
-                       "p99 MTP", "misses", "held", "tiers 0-3",
+                       "p99 MTP", "misses", "held", "tiers 0-4",
                        "peak degC", "Mbit/s"});
     for (const DeviceCase &dc : devices) {
         for (const StressCase &sc : scenarios) {

@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Quantized-precision sweep (NAWQ-SR direction, DESIGN.md §14) —
+ * the two halves of the precision trade on one page:
+ *
+ *  - Quality: the trained CompactSrNet upscales held-out renderer
+ *    frames at fp32 / int16 / hybrid-int8 / int8 activation
+ *    schedules (int8 weights everywhere when quantized) and reports
+ *    per-precision PSNR. The hybrid schedule must land within
+ *    0.5 dB of fp32 while int8-everywhere is strictly worse.
+ *  - NPU accounting: the EDSR-16/64 cost model priced at each
+ *    precision on an RoI-sized (300x300) and a full-frame (720p)
+ *    invocation. int8 must at least halve both latency and energy
+ *    vs fp32; hybrid (int16 edge + int8 body) sits between the
+ *    uniform schedules.
+ *
+ * Writes BENCH_quant.json. `--smoke` runs a reduced configuration
+ * for CI. The acceptance bars are asserted, not just printed — a
+ * regression fails the bench binary itself.
+ */
+
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "frame/downsample.hh"
+#include "metrics/psnr.hh"
+#include "obs/report.hh"
+#include "render/games.hh"
+#include "render/rasterizer.hh"
+#include "sr/edsr.hh"
+#include "sr/upscaler.hh"
+
+using namespace gssr;
+using namespace gssr::bench;
+
+namespace
+{
+
+constexpr Precision kPrecisions[] = {
+    Precision::Fp32,
+    Precision::Int16,
+    Precision::HybridInt8,
+    Precision::Int8,
+};
+
+struct QualityRow
+{
+    Precision precision = Precision::Fp32;
+    f64 mean_psnr_db = 0.0;
+    f64 delta_vs_fp32_db = 0.0;
+    int frames = 0;
+};
+
+struct NpuRow
+{
+    std::string roi;
+    Precision precision = Precision::Fp32;
+    f64 latency_ms = 0.0;
+    f64 power_w = 0.0;
+    f64 energy_mj = 0.0;
+    f64 latency_speedup = 1.0;
+    f64 energy_reduction = 1.0;
+};
+
+/** Held-out frames: different game/seed than the trainer corpus. */
+std::vector<ColorImage>
+heldOutFrames(bool smoke)
+{
+    std::vector<ColorImage> frames;
+    const Size hr{320, 192};
+    GameWorld tomb(GameId::G7_TombRaider, 77);
+    frames.push_back(renderScene(tomb.sceneAt(1.3), hr).color);
+    frames.push_back(renderScene(tomb.sceneAt(2.6), hr).color);
+    if (!smoke) {
+        GameWorld forza(GameId::G10_ForzaHorizon5, 15);
+        frames.push_back(renderScene(forza.sceneAt(0.9), hr).color);
+        frames.push_back(renderScene(forza.sceneAt(2.2), hr).color);
+    }
+    return frames;
+}
+
+std::vector<QualityRow>
+runQualitySweep(bool smoke)
+{
+    // One upscaler for the whole sweep: the quantized nets calibrate
+    // on the first frame's luma, as the streaming client does.
+    DnnUpscaler dnn(sharedSrNet(), 2);
+    std::vector<ColorImage> frames = heldOutFrames(smoke);
+
+    std::vector<QualityRow> rows;
+    for (Precision p : kPrecisions) {
+        QualityRow row;
+        row.precision = p;
+        row.frames = int(frames.size());
+        for (const ColorImage &hr : frames) {
+            ColorImage lr = boxDownsample(hr, 2);
+            row.mean_psnr_db +=
+                psnr(dnn.upscaleWithPrecision(lr, 2, p), hr);
+        }
+        row.mean_psnr_db /= f64(frames.size());
+        rows.push_back(row);
+    }
+    for (QualityRow &row : rows)
+        row.delta_vs_fp32_db = row.mean_psnr_db - rows[0].mean_psnr_db;
+    return rows;
+}
+
+std::vector<NpuRow>
+runNpuSweep()
+{
+    DnnUpscaler dnn(sharedSrNet(), 2);
+    const NpuModel npu = DeviceProfile::galaxyTabS8().npu;
+
+    std::vector<NpuRow> rows;
+    for (Size roi : {Size{300, 300}, Size{1280, 720}}) {
+        f64 fp32_ms = 0.0;
+        f64 fp32_mj = 0.0;
+        for (Precision p : kPrecisions) {
+            NpuModel::InvocationCost cost =
+                dnn.npuCost(npu, roi, 2, p);
+            NpuRow row;
+            row.roi = std::to_string(roi.width) + "x" +
+                      std::to_string(roi.height);
+            row.precision = p;
+            row.latency_ms = cost.latency_ms;
+            row.power_w = cost.power_w;
+            row.energy_mj = cost.latency_ms * cost.power_w;
+            if (p == Precision::Fp32) {
+                fp32_ms = row.latency_ms;
+                fp32_mj = row.energy_mj;
+            }
+            row.latency_speedup = fp32_ms / row.latency_ms;
+            row.energy_reduction = fp32_mj / row.energy_mj;
+            rows.push_back(row);
+        }
+    }
+    return rows;
+}
+
+void
+checkAcceptance(const std::vector<QualityRow> &quality,
+                const std::vector<NpuRow> &npu)
+{
+    // Quality bars (ISSUE acceptance criteria).
+    f64 fp32_db = 0.0, hybrid_db = 0.0, int8_db = 0.0;
+    for (const QualityRow &r : quality) {
+        if (r.precision == Precision::Fp32)
+            fp32_db = r.mean_psnr_db;
+        if (r.precision == Precision::HybridInt8)
+            hybrid_db = r.mean_psnr_db;
+        if (r.precision == Precision::Int8)
+            int8_db = r.mean_psnr_db;
+    }
+    GSSR_ASSERT(hybrid_db >= fp32_db - 0.5,
+                "hybrid-int8 PSNR fell more than 0.5 dB below fp32");
+    GSSR_ASSERT(int8_db < hybrid_db,
+                "int8-everywhere should be strictly worse than the "
+                "hybrid schedule");
+
+    // NPU bars: >= 2x latency and energy reduction at int8, on both
+    // the RoI and the full-frame invocation.
+    for (const NpuRow &r : npu) {
+        if (r.precision != Precision::Int8)
+            continue;
+        GSSR_ASSERT(r.latency_speedup >= 2.0,
+                    "int8 NPU latency reduction under 2x");
+        GSSR_ASSERT(r.energy_reduction >= 2.0,
+                    "int8 NPU energy reduction under 2x");
+    }
+}
+
+void
+writeReport(bool smoke, const std::vector<QualityRow> &quality,
+            const std::vector<NpuRow> &npu)
+{
+    obs::Report report("BENCH_quant.json", "quant_precision", smoke);
+    obs::JsonWriter &w = report.json();
+
+    w.key("quality");
+    w.beginArray();
+    for (const QualityRow &r : quality) {
+        w.beginObject();
+        w.field("precision", precisionName(r.precision));
+        w.field("frames", r.frames);
+        w.field("mean_psnr_db", r.mean_psnr_db, 4);
+        w.field("delta_vs_fp32_db", r.delta_vs_fp32_db, 4);
+        w.endObject();
+    }
+    w.endArray();
+
+    w.key("npu");
+    w.beginArray();
+    for (const NpuRow &r : npu) {
+        w.beginObject();
+        w.field("model", "edsr-16-64");
+        w.field("roi", r.roi);
+        w.field("precision", precisionName(r.precision));
+        w.field("latency_ms", r.latency_ms, 4);
+        w.field("power_w", r.power_w, 4);
+        w.field("energy_mj", r.energy_mj, 4);
+        w.field("latency_speedup_vs_fp32", r.latency_speedup, 4);
+        w.field("energy_reduction_vs_fp32", r.energy_reduction, 4);
+        w.endObject();
+    }
+    w.endArray();
+
+    report.close();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0)
+            smoke = true;
+    }
+
+    printHeader("Quantized precision",
+                "hybrid int8/int16 SR quality + EDSR-16/64 NPU "
+                "accounting" +
+                    std::string(smoke ? " (smoke)" : ""));
+
+    std::vector<QualityRow> quality = runQualitySweep(smoke);
+    TableWriter qtable(
+        {"precision", "frames", "PSNR dB", "vs fp32 dB"});
+    for (const QualityRow &r : quality)
+        qtable.addRow({precisionName(r.precision),
+                       std::to_string(r.frames),
+                       TableWriter::num(r.mean_psnr_db, 2),
+                       TableWriter::num(r.delta_vs_fp32_db, 3)});
+    printTable(qtable);
+
+    std::vector<NpuRow> npu = runNpuSweep();
+    TableWriter ntable({"roi", "precision", "latency ms", "power W",
+                        "energy mJ", "speedup", "energy x"});
+    for (const NpuRow &r : npu)
+        ntable.addRow({r.roi, precisionName(r.precision),
+                       TableWriter::num(r.latency_ms, 1),
+                       TableWriter::num(r.power_w, 2),
+                       TableWriter::num(r.energy_mj, 1),
+                       TableWriter::num(r.latency_speedup, 2),
+                       TableWriter::num(r.energy_reduction, 2)});
+    printTable(ntable);
+
+    checkAcceptance(quality, npu);
+    writeReport(smoke, quality, npu);
+    return 0;
+}

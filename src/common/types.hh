@@ -25,6 +25,40 @@ using f32 = float;
 using f64 = double;
 
 /**
+ * Arithmetic precision of a DNN inference invocation. Shared by the
+ * quantized SR path (src/nn/quant.hh), the NPU latency/energy model
+ * (src/device/models.hh) and the client pipeline knobs, so it lives
+ * with the fundamental types rather than in any one layer.
+ *
+ * Fp32        full-precision float inference (the default — strictly
+ *             opt-out, pinned bit-identical by test_golden_trace)
+ * Int16       int8 weights, int16 activations, int32 accumulators
+ * Int8        int8 weights and activations, int32 accumulators
+ * HybridInt8  NAWQ-SR style schedule: sensitivity-ranked layers run
+ *             Int16, the rest Int8 (src/sr/srcnn_quant.hh)
+ */
+enum class Precision : u8
+{
+    Fp32 = 0,
+    Int16 = 1,
+    Int8 = 2,
+    HybridInt8 = 3,
+};
+
+/** Table/report name of a precision ("fp32", "int16", ...). */
+inline const char *
+precisionName(Precision p)
+{
+    switch (p) {
+      case Precision::Fp32: return "fp32";
+      case Precision::Int16: return "int16";
+      case Precision::Int8: return "int8";
+      case Precision::HybridInt8: return "hybrid-int8";
+    }
+    return "?";
+}
+
+/**
  * Integer width/height pair. Used for frame, window and display sizes.
  */
 struct Size

@@ -31,6 +31,14 @@ namespace gssr
  * to DRAM, so effective throughput drops with input area. This is
  * what makes full-frame 720p EDSR disproportionally slower than
  * RoI-sized inputs (paper Fig. 3b).
+ *
+ * Quantized precision (NAWQ-SR direction, DESIGN.md §14) changes two
+ * terms: the MAC array runs int8 ≈ 3.2x / int16 ≈ 1.8x faster than
+ * fp32, and narrower activations shrink DRAM traffic, which pushes
+ * the memory-bound knee out by 32/bits (a feature map that spilled
+ * at fp32 fits at int8 until 4x the area). Fp32 paths are untouched
+ * by construction: every precision-aware method reduces to the
+ * original expressions at Precision::Fp32.
  */
 struct NpuModel
 {
@@ -38,6 +46,15 @@ struct NpuModel
     f64 macs_per_ms = 8.5e9;    ///< peak effective MAC throughput
     f64 area_knee_px = 2.0e6;   ///< memory-bound degradation knee
     f64 active_power_w = 2.3;   ///< power while running
+
+    /** Throughput multiplier of the quantized MAC array. */
+    f64 int8_speedup = 3.2;
+    f64 int16_speedup = 1.8;
+
+    /** Active-power scale while running quantized (narrow datapath
+     *  toggles fewer bits; DRAM burns proportionally less). */
+    f64 int8_power_scale = 0.85;
+    f64 int16_power_scale = 0.92;
 
     /** Latency of a DNN invocation of @p macs on an @p area_px input. */
     f64
@@ -52,6 +69,117 @@ struct NpuModel
     f64 energyMj(f64 latency_ms) const
     {
         return latency_ms * active_power_w;
+    }
+
+    /** MAC-array throughput scale of a uniform precision. */
+    f64
+    throughputScale(Precision p) const
+    {
+        switch (p) {
+          case Precision::Fp32: return 1.0;
+          case Precision::Int16: return int16_speedup;
+          case Precision::Int8: return int8_speedup;
+          case Precision::HybridInt8: break;
+        }
+        GSSR_ASSERT(false, "hybrid precision has no single throughput "
+                           "scale; use hybridCost()");
+        return 1.0;
+    }
+
+    /** Activation bytes per element of a uniform precision. */
+    static f64
+    activationBytes(Precision p)
+    {
+        switch (p) {
+          case Precision::Fp32: return 4.0;
+          case Precision::Int16: return 2.0;
+          case Precision::Int8: return 1.0;
+          case Precision::HybridInt8: break;
+        }
+        GSSR_ASSERT(false, "hybrid precision has no single activation "
+                           "width; use hybridCost()");
+        return 4.0;
+    }
+
+    /** Memory-bound knee of a precision: narrower activations spill
+     *  to DRAM at proportionally larger input areas. */
+    f64
+    kneePx(Precision p) const
+    {
+        return area_knee_px * (4.0 / activationBytes(p));
+    }
+
+    /** Active power while running at a uniform precision. */
+    f64
+    powerW(Precision p) const
+    {
+        switch (p) {
+          case Precision::Fp32: return active_power_w;
+          case Precision::Int16:
+            return active_power_w * int16_power_scale;
+          case Precision::Int8:
+            return active_power_w * int8_power_scale;
+          case Precision::HybridInt8: break;
+        }
+        GSSR_ASSERT(false,
+                    "hybrid precision has no single power; use "
+                    "hybridCost()");
+        return active_power_w;
+    }
+
+    /**
+     * Latency at a uniform precision. Exactly latencyMs(macs, area)
+     * at Fp32 (scale factors of 1.0 preserve every bit).
+     */
+    f64
+    latencyMs(i64 macs, i64 area_px, Precision p) const
+    {
+        GSSR_ASSERT(macs >= 0 && area_px >= 0, "negative NPU work");
+        if (p == Precision::Fp32)
+            return latencyMs(macs, area_px);
+        f64 degrade = 1.0 + f64(area_px) / kneePx(p);
+        return overhead_ms +
+               f64(macs) * degrade / (macs_per_ms * throughputScale(p));
+    }
+
+    /** Latency and effective power of one NPU invocation. */
+    struct InvocationCost
+    {
+        f64 latency_ms = 0.0;
+        f64 power_w = 0.0;
+    };
+
+    /** Cost of a uniform-precision invocation. */
+    InvocationCost
+    invocationCost(i64 macs, i64 area_px, Precision p) const
+    {
+        return {latencyMs(macs, area_px, p), powerW(p)};
+    }
+
+    /**
+     * Cost of one hybrid invocation: @p wide_macs run at int16 and
+     * @p narrow_macs at int8, sharing a single dispatch overhead.
+     * The effective power is the time-weighted blend of the segment
+     * powers (the overhead slice billed at full fp32 power).
+     */
+    InvocationCost
+    hybridCost(i64 wide_macs, i64 narrow_macs, i64 area_px) const
+    {
+        GSSR_ASSERT(wide_macs >= 0 && narrow_macs >= 0 && area_px >= 0,
+                    "negative NPU work");
+        auto segment_ms = [&](i64 macs, Precision p) {
+            f64 degrade = 1.0 + f64(area_px) / kneePx(p);
+            return f64(macs) * degrade /
+                   (macs_per_ms * throughputScale(p));
+        };
+        f64 wide_ms = segment_ms(wide_macs, Precision::Int16);
+        f64 narrow_ms = segment_ms(narrow_macs, Precision::Int8);
+        f64 latency = overhead_ms + wide_ms + narrow_ms;
+        f64 energy_mw_ms = overhead_ms * active_power_w +
+                           wide_ms * powerW(Precision::Int16) +
+                           narrow_ms * powerW(Precision::Int8);
+        return {latency, latency > 0.0 ? energy_mw_ms / latency
+                                       : active_power_w};
     }
 };
 

@@ -69,14 +69,23 @@ struct FrameConditions
 
     /**
      * Degradation-ladder tier the client should run this frame at
-     * (pipeline/degrade.hh): 0 full hybrid NPU-RoI + GPU, 1 shrunken
-     * RoI, 2 GPU-bilinear only, 3 frame hold (decode only; the
-     * session engine substitutes the held output).
+     * (pipeline/degrade.hh): 0 full hybrid NPU-RoI + GPU, 1 reduced
+     * SR precision, 2 shrunken RoI, 3 GPU-bilinear only, 4 frame
+     * hold (decode only; the session engine substitutes the held
+     * output).
      */
     int tier = 0;
 
-    /** Tier-1 RoI edge scale in (0, 1]; 1.0 = full RoI. */
+    /** Tier-2 RoI edge scale in (0, 1]; 1.0 = full RoI. */
     f64 roi_shrink = 1.0;
+
+    /**
+     * SR inference precision for this frame (the configured session
+     * knob, possibly degraded by the ladder at tiers >= 1 — see
+     * degradedPrecision()). Fp32 reproduces the unquantized pipeline
+     * bit for bit.
+     */
+    Precision sr_precision = Precision::Fp32;
 };
 
 /**

@@ -95,6 +95,17 @@ struct KernelTable
     void (*box_down2_u8)(const u8 *r0, const u8 *r1, u8 *out,
                          int out_width);
 
+    /**
+     * acc[i] += w * src[i] for i in [0, n) — the int32-accumulator
+     * multiply-add of the quantized conv path (nn/quant.hh). @p w is
+     * a sign-extended int8 weight and @p src holds int8 or int16
+     * activations widened to i16; products fit i32 exactly (|w| <=
+     * 127, |src| <= 32767), so scalar and SIMD paths are trivially
+     * bit-exact. Callers bound the accumulation depth so the i32
+     * accumulators cannot overflow (see QuantizedConv2d).
+     */
+    void (*madd_i16_i32)(i32 *acc, const i16 *src, i32 w, i64 n);
+
     /** Level this table implements (for reports/tests). */
     SimdLevel level;
     const char *name;
@@ -197,6 +208,12 @@ inline void
 boxDown2U8(const u8 *r0, const u8 *r1, u8 *out, int out_width)
 {
     kernelTable().box_down2_u8(r0, r1, out, out_width);
+}
+
+inline void
+maddI16I32(i32 *acc, const i16 *src, i32 w, i64 n)
+{
+    kernelTable().madd_i16_i32(acc, src, w, n);
 }
 
 } // namespace gssr::kern

@@ -337,6 +337,26 @@ boxDown2U8Avx2(const u8 *r0, const u8 *r1, u8 *out, int out_width)
     }
 }
 
+void
+maddI16I32Avx2(i32 *acc, const i16 *src, i32 w, i64 n)
+{
+    // Integer lanes: sign-extend 8 i16 activations to i32, multiply
+    // by the broadcast weight and add — exact i32 arithmetic, so the
+    // result matches the scalar reference bit for bit by definition.
+    const __m256i vw = _mm256_set1_epi32(w);
+    i64 i = 0;
+    for (; i + 8 <= n; i += 8) {
+        __m256i s = _mm256_cvtepi16_epi32(_mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(src + i)));
+        __m256i a = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(acc + i));
+        a = _mm256_add_epi32(a, _mm256_mullo_epi32(s, vw));
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(acc + i), a);
+    }
+    for (; i < n; ++i)
+        acc[i] += w * i32(src[i]);
+}
+
 } // namespace
 
 const KernelTable *
@@ -354,6 +374,7 @@ avx2Kernels()
         u8ToF64Avx2,
         ssimProductsAvx2,
         boxDown2U8Avx2,
+        maddI16I32Avx2,
         SimdLevel::Avx2,
         "avx2",
     };

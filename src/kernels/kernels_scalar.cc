@@ -173,6 +173,13 @@ ssimProductsScalar(const f64 *a, const f64 *b, f64 *a2, f64 *b2,
 }
 
 void
+maddI16I32Scalar(i32 *acc, const i16 *src, i32 w, i64 n)
+{
+    for (i64 i = 0; i < n; ++i)
+        acc[i] += w * i32(src[i]);
+}
+
+void
 boxDown2U8Scalar(const u8 *r0, const u8 *r1, u8 *out, int out_width)
 {
     for (int x = 0; x < out_width; ++x) {
@@ -199,6 +206,7 @@ scalarKernels()
         u8ToF64Scalar,
         ssimProductsScalar,
         boxDown2U8Scalar,
+        maddI16I32Scalar,
         SimdLevel::Scalar,
         "scalar",
     };

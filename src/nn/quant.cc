@@ -1,0 +1,304 @@
+#include "nn/quant.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/parallel.hh"
+#include "kernels/kernels.hh"
+
+namespace gssr
+{
+
+namespace
+{
+
+/** Row band per parallel quantized-conv chunk (matches the float
+ * conv's fixed grain; integer accumulation is exact, so this only
+ * pins the chunk layout, not the results). */
+constexpr i64 kQConvRowGrain = 8;
+
+/** Input channels per tile (cache blocking, order-preserving). */
+constexpr int kQConvCiTile = 8;
+
+/** clamp(lround(x / scale), ±qmax) with float-domain saturation so
+ * extreme ratios can never overflow the integer conversion. */
+i16
+quantizeValue(f32 x, f32 inv_scale, i32 qmax)
+{
+    f32 r = x * inv_scale;
+    if (r >= f32(qmax))
+        return i16(qmax);
+    if (r <= f32(-qmax))
+        return i16(-qmax);
+    return i16(std::lround(r));
+}
+
+} // namespace
+
+const char *
+quantBitsName(QuantBits bits)
+{
+    return bits == QuantBits::Int8 ? "int8" : "int16";
+}
+
+f32
+quantScaleFor(f32 absmax, QuantBits bits)
+{
+    GSSR_ASSERT(std::isfinite(absmax) && absmax >= 0.0f,
+                "quant range must be finite and non-negative");
+    f32 scale = absmax / f32(quantMax(bits));
+    // Degenerate ranges: an all-zero channel (absmax == 0) or one so
+    // small the division underflows. scale = 1.0 quantizes the whole
+    // channel to 0 exactly and keeps every later division finite.
+    if (!(scale > 0.0f) || !std::isfinite(scale))
+        return 1.0f;
+    return scale;
+}
+
+ChannelRanges::ChannelRanges(int channels)
+    : absmax_(size_t(channels), 0.0f)
+{
+    GSSR_ASSERT(channels >= 0, "negative channel count");
+}
+
+void
+ChannelRanges::observe(const Tensor &tensor)
+{
+    if (absmax_.empty())
+        absmax_.assign(size_t(tensor.channels()), 0.0f);
+    GSSR_ASSERT(tensor.channels() == channels(),
+                "calibration channel-count mismatch");
+    const i64 plane = i64(tensor.height()) * tensor.width();
+    for (int c = 0; c < tensor.channels(); ++c) {
+        const f32 *src = tensor.channelData(c);
+        f32 m = absmax_[size_t(c)];
+        for (i64 i = 0; i < plane; ++i) {
+            f32 v = src[size_t(i)];
+            GSSR_ASSERT(std::isfinite(v),
+                        "non-finite calibration activation");
+            f32 a = v < 0.0f ? -v : v;
+            m = a > m ? a : m;
+        }
+        absmax_[size_t(c)] = m;
+    }
+}
+
+f32
+ChannelRanges::channelAbsMax(int c) const
+{
+    GSSR_ASSERT(c >= 0 && c < channels(), "range channel out of bounds");
+    return absmax_[size_t(c)];
+}
+
+f32
+ChannelRanges::tensorAbsMax() const
+{
+    f32 m = 0.0f;
+    for (f32 a : absmax_)
+        m = a > m ? a : m;
+    return m;
+}
+
+std::vector<f32>
+ChannelRanges::channelScales(QuantBits bits) const
+{
+    std::vector<f32> scales(absmax_.size());
+    for (size_t c = 0; c < absmax_.size(); ++c)
+        scales[c] = quantScaleFor(absmax_[c], bits);
+    return scales;
+}
+
+f32
+ChannelRanges::tensorScale(QuantBits bits) const
+{
+    return quantScaleFor(tensorAbsMax(), bits);
+}
+
+QuantizedTensor
+quantizeTensor(const Tensor &tensor, const std::vector<f32> &scales,
+               QuantBits bits)
+{
+    GSSR_ASSERT(scales.size() == 1 ||
+                    scales.size() == size_t(tensor.channels()),
+                "need one scale per channel or a per-tensor scale");
+    QuantizedTensor q;
+    q.bits = bits;
+    q.channels = tensor.channels();
+    q.height = tensor.height();
+    q.width = tensor.width();
+    q.data.assign(size_t(tensor.elementCount()), 0);
+    q.scales = scales;
+
+    const i32 qmax = quantMax(bits);
+    const i64 plane = i64(q.height) * q.width;
+    for (int c = 0; c < q.channels; ++c) {
+        f32 scale = q.scaleFor(c);
+        GSSR_ASSERT(scale > 0.0f && std::isfinite(scale),
+                    "quant scale must be finite and positive");
+        f32 inv = 1.0f / scale;
+        const f32 *src = tensor.channelData(c);
+        i16 *dst = q.channelData(c);
+        for (i64 i = 0; i < plane; ++i)
+            dst[size_t(i)] = quantizeValue(src[size_t(i)], inv, qmax);
+    }
+    return q;
+}
+
+Tensor
+dequantizeTensor(const QuantizedTensor &q)
+{
+    Tensor out(q.channels, q.height, q.width);
+    const i64 plane = i64(q.height) * q.width;
+    for (int c = 0; c < q.channels; ++c) {
+        f32 scale = q.scaleFor(c);
+        const i16 *src = q.channelData(c);
+        f32 *dst = out.channelData(c);
+        for (i64 i = 0; i < plane; ++i)
+            dst[size_t(i)] = f32(src[size_t(i)]) * scale;
+    }
+    return out;
+}
+
+QuantizedConv2d::QuantizedConv2d(const Conv2d &reference,
+                                 QuantBits act_bits, f32 act_scale)
+    : in_channels_(reference.inChannels()),
+      out_channels_(reference.outChannels()),
+      kernel_(reference.kernelSize()), pad_(reference.kernelSize() / 2),
+      act_bits_(act_bits), act_scale_(act_scale)
+{
+    GSSR_ASSERT(act_scale_ > 0.0f && std::isfinite(act_scale_),
+                "activation scale must be finite and positive");
+    // int32-accumulator overflow bound: taps * |w|max * |act|max must
+    // stay below 2^31. With int8 weights this admits any int16-
+    // activation layer up to ~516 input taps — far beyond every layer
+    // in this codebase (CompactSrNet peaks at 14*3*3 = 126).
+    const i64 taps = i64(in_channels_) * kernel_ * kernel_;
+    GSSR_ASSERT(taps * 127 * quantMax(act_bits_) <
+                    i64(std::numeric_limits<i32>::max()),
+                "quantized conv would overflow its i32 accumulator");
+
+    // Per-output-channel symmetric int8 weight quantization.
+    const AlignedVec<f32> &w = reference.weights();
+    const AlignedVec<f32> &b = reference.biases();
+    weight_q_.assign(w.size(), 0);
+    wscale_.resize(size_t(out_channels_));
+    bias_.assign(b.begin(), b.end());
+    const i64 per_co = i64(in_channels_) * kernel_ * kernel_;
+    for (int co = 0; co < out_channels_; ++co) {
+        const f32 *src = &w[size_t(i64(co) * per_co)];
+        f32 absmax = 0.0f;
+        for (i64 i = 0; i < per_co; ++i) {
+            f32 a = src[size_t(i)] < 0.0f ? -src[size_t(i)]
+                                          : src[size_t(i)];
+            absmax = a > absmax ? a : absmax;
+        }
+        f32 scale = quantScaleFor(absmax, QuantBits::Int8);
+        wscale_[size_t(co)] = scale;
+        f32 inv = 1.0f / scale;
+        i16 *dst = &weight_q_[size_t(i64(co) * per_co)];
+        for (i64 i = 0; i < per_co; ++i)
+            dst[size_t(i)] = quantizeValue(src[size_t(i)], inv, 127);
+    }
+}
+
+Tensor
+QuantizedConv2d::forward(const Tensor &input) const
+{
+    GSSR_ASSERT(input.channels() == in_channels_,
+                "quantized conv input channel mismatch");
+    const int h = input.height();
+    const int w = input.width();
+
+    // Layer boundary: quantize the float input with the calibrated
+    // per-tensor activation scale.
+    QuantizedTensor q =
+        quantizeTensor(input, {act_scale_}, act_bits_);
+
+    Tensor out(out_channels_, h, w);
+    parallelFor(0, i64(out_channels_) * h, kQConvRowGrain,
+                [&](i64 band_begin, i64 band_end) {
+        while (band_begin < band_end) {
+            int co = int(band_begin / h);
+            int row0 = int(band_begin % h);
+            int row1 = int(std::min(i64(h), row0 + (band_end -
+                                                    band_begin)));
+            forwardRows(q, out, co, row0, row1);
+            band_begin += row1 - row0;
+        }
+    });
+    return out;
+}
+
+void
+QuantizedConv2d::forwardRows(const QuantizedTensor &input, Tensor &out,
+                             int co, int row0, int row1) const
+{
+    const int h = input.height;
+    const int w = input.width;
+    const int rows = row1 - row0;
+
+    // int32 accumulators for the band; the epilogue dequantizes.
+    AlignedVec<i32> acc(size_t(i64(rows) * w), 0);
+
+    for (int ci0 = 0; ci0 < in_channels_; ci0 += kQConvCiTile) {
+        int ci1 = std::min(in_channels_, ci0 + kQConvCiTile);
+        for (int y = row0; y < row1; ++y) {
+            i32 *acc_row = &acc[size_t(i64(y - row0) * w)];
+            for (int ci = ci0; ci < ci1; ++ci) {
+                const i16 *in_c = input.channelData(ci);
+                for (int ky = 0; ky < kernel_; ++ky) {
+                    int sy = y + ky - pad_;
+                    if (sy < 0 || sy >= h)
+                        continue;
+                    const i16 *src_row = in_c + size_t(sy) * w;
+                    for (int kx = 0; kx < kernel_; ++kx) {
+                        i32 wv =
+                            weight_q_[weightIndex(co, ci, ky, kx)];
+                        if (wv == 0)
+                            continue;
+                        int dx = kx - pad_;
+                        int x0 = std::max(0, -dx);
+                        int x1 = std::min(w, w - dx);
+                        if (x1 <= x0)
+                            continue;
+                        kern::maddI16I32(acc_row + x0,
+                                         src_row + x0 + dx, wv,
+                                         x1 - x0);
+                    }
+                }
+            }
+        }
+    }
+
+    // Dequantize epilogue: out = acc * (act_scale * w_scale) + bias.
+    f32 *out_c = out.channelData(co);
+    const f32 scale = act_scale_ * wscale_[size_t(co)];
+    const f32 b = bias_[size_t(co)];
+    for (i64 i = 0; i < i64(rows) * w; ++i)
+        out_c[size_t(i64(row0) * w + i)] =
+            f32(acc[size_t(i)]) * scale + b;
+}
+
+PrecisionPlan
+PrecisionPlan::uniform(int layer_count, Precision p)
+{
+    GSSR_ASSERT(p != Precision::HybridInt8,
+                "HybridInt8 is a network-level mode, not a per-layer "
+                "precision");
+    PrecisionPlan plan;
+    plan.name = precisionName(p);
+    plan.layers.assign(size_t(layer_count), p);
+    return plan;
+}
+
+bool
+PrecisionPlan::anyQuantized() const
+{
+    for (Precision p : layers)
+        if (p != Precision::Fp32)
+            return true;
+    return false;
+}
+
+} // namespace gssr

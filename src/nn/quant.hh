@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Post-training quantization for the from-scratch CNN library
+ * (NAWQ-SR direction, PAPERS.md): symmetric absmax quantization with
+ * per-channel weight scales and per-tensor activation scales, a
+ * calibration observer that collects per-channel absmax ranges over
+ * representative activations, and an int32-accumulator quantized
+ * convolution built on the SIMD kernel dispatch layer.
+ *
+ * Scale math (DESIGN.md §14): for a range absmax and a target width
+ * with qmax = 127 (int8) or 32767 (int16),
+ *
+ *     scale = absmax / qmax
+ *     q     = clamp(lround(x / scale), -qmax, +qmax)
+ *     x'    = q * scale
+ *
+ * so |x - x'| <= scale/2 for in-range values and out-of-range values
+ * saturate. A degenerate range (absmax == 0, or so small the scale
+ * would round to zero) falls back to scale = 1.0: everything in the
+ * channel quantizes to 0 exactly and no path can divide by zero or
+ * produce a non-finite value.
+ *
+ * The quantized conv keeps weights at int8 (per-output-channel
+ * scales) for every precision; the layer precision chooses the
+ * *activation* width (int8 or int16), mirroring NAWQ-SR's hybrid
+ * activation scheme. int8-weight x int16-activation products bound
+ * the int32 accumulator for any realistic layer (the constructor
+ * asserts the bound), which is what lets one integer kernel serve
+ * both widths.
+ */
+
+#ifndef GSSR_NN_QUANT_HH
+#define GSSR_NN_QUANT_HH
+
+#include <string>
+#include <vector>
+
+#include "nn/layers.hh"
+#include "nn/tensor.hh"
+
+namespace gssr
+{
+
+/** Integer width of a quantized tensor. */
+enum class QuantBits
+{
+    Int8,
+    Int16,
+};
+
+/** Largest representable magnitude of a width (symmetric range). */
+inline i32
+quantMax(QuantBits bits)
+{
+    return bits == QuantBits::Int8 ? 127 : 32767;
+}
+
+/** Report name of a width ("int8" / "int16"). */
+const char *quantBitsName(QuantBits bits);
+
+/**
+ * Symmetric absmax scale for one channel. Always finite and strictly
+ * positive: degenerate ranges (absmax == 0, or small enough that
+ * absmax/qmax underflows to zero) yield 1.0.
+ */
+f32 quantScaleFor(f32 absmax, QuantBits bits);
+
+/**
+ * Calibration observer: per-channel absolute-maximum ranges collected
+ * over any number of representative tensors (the "calibration set").
+ * All observed values must be finite — calibration is offline, so the
+ * observer asserts instead of propagating garbage ranges.
+ */
+class ChannelRanges
+{
+  public:
+    ChannelRanges() = default;
+
+    /** Ranges for tensors of @p channels channels, all starting at 0. */
+    explicit ChannelRanges(int channels);
+
+    /** Fold one tensor's per-channel absmax into the ranges. */
+    void observe(const Tensor &tensor);
+
+    int channels() const { return int(absmax_.size()); }
+
+    /** Largest |x| seen in channel @p c. */
+    f32 channelAbsMax(int c) const;
+
+    /** Largest |x| seen in any channel. */
+    f32 tensorAbsMax() const;
+
+    /** Per-channel symmetric scales for @p bits. */
+    std::vector<f32> channelScales(QuantBits bits) const;
+
+    /**
+     * Single per-tensor scale for @p bits (the per-channel ranges
+     * folded by max). Activation quantization uses this: an integer
+     * conv accumulates across input channels, so its input must share
+     * one scale (DESIGN.md §14).
+     */
+    f32 tensorScale(QuantBits bits) const;
+
+  private:
+    std::vector<f32> absmax_;
+};
+
+/**
+ * A quantized CHW tensor. Values are stored widened to i16 regardless
+ * of the logical width — the integer madd kernel consumes i16 lanes —
+ * with int8 tensors guaranteed to hold only values in [-127, 127].
+ * This models the *arithmetic* of a narrow datapath; the DRAM-traffic
+ * benefit of narrow storage is modeled by the NPU device model, not
+ * by this container.
+ */
+struct QuantizedTensor
+{
+    QuantBits bits = QuantBits::Int8;
+    int channels = 0;
+    int height = 0;
+    int width = 0;
+    AlignedVec<i16> data;
+
+    /** One scale per channel, or a single per-tensor scale. */
+    std::vector<f32> scales;
+
+    i16 *channelData(int c)
+    {
+        return &data[size_t(i64(c) * height * width)];
+    }
+    const i16 *channelData(int c) const
+    {
+        return &data[size_t(i64(c) * height * width)];
+    }
+
+    /** Scale of channel @p c (the shared scale when per-tensor). */
+    f32
+    scaleFor(int c) const
+    {
+        return scales.size() == 1 ? scales[0] : scales[size_t(c)];
+    }
+};
+
+/**
+ * Quantize @p tensor with the given @p scales (either one per channel
+ * or a single per-tensor entry): q = clamp(lround(x/scale), ±qmax).
+ */
+QuantizedTensor quantizeTensor(const Tensor &tensor,
+                               const std::vector<f32> &scales,
+                               QuantBits bits);
+
+/** Reconstruct a float tensor: x' = q * scale. */
+Tensor dequantizeTensor(const QuantizedTensor &q);
+
+/**
+ * Post-training-quantized 2-D convolution ("same" padding, stride 1)
+ * built from a trained float Conv2d: int8 weights with symmetric
+ * per-output-channel scales, activations quantized at the layer
+ * boundary with a calibrated per-tensor scale, int32 accumulation
+ * through the kern::maddI16I32 dispatch kernel, and a float epilogue
+ * that dequantizes (acc * in_scale * w_scale[co]) and adds the float
+ * bias. Integer arithmetic is exact, so scalar and AVX2 paths produce
+ * bit-identical outputs by construction.
+ */
+class QuantizedConv2d
+{
+  public:
+    /**
+     * @param reference the trained float layer to quantize.
+     * @param act_bits activation width of this layer (int8 or int16).
+     * @param act_scale calibrated per-tensor input activation scale.
+     */
+    QuantizedConv2d(const Conv2d &reference, QuantBits act_bits,
+                    f32 act_scale);
+
+    /** Forward pass: quantize input, integer conv, dequantize. */
+    Tensor forward(const Tensor &input) const;
+
+    QuantBits activationBits() const { return act_bits_; }
+    f32 activationScale() const { return act_scale_; }
+    const std::vector<f32> &weightScales() const { return wscale_; }
+
+    int inChannels() const { return in_channels_; }
+    int outChannels() const { return out_channels_; }
+
+  private:
+    void forwardRows(const QuantizedTensor &input, Tensor &out, int co,
+                     int row0, int row1) const;
+
+    size_t
+    weightIndex(int co, int ci, int ky, int kx) const
+    {
+        return size_t(((i64(co) * in_channels_ + ci) * kernel_ + ky) *
+                          kernel_ +
+                      kx);
+    }
+
+    int in_channels_;
+    int out_channels_;
+    int kernel_;
+    int pad_;
+    QuantBits act_bits_;
+    f32 act_scale_;
+    AlignedVec<i16> weight_q_; ///< int8 values widened for the kernel
+    std::vector<f32> wscale_;  ///< per-output-channel weight scales
+    std::vector<f32> bias_;
+};
+
+/**
+ * Per-layer precision schedule for a quantized network. Each entry is
+ * Fp32 (run the float reference layer), Int16 or Int8; HybridInt8 is
+ * a *network-level* mode (it expands to a mixed per-layer schedule)
+ * and is rejected as a per-layer value.
+ */
+struct PrecisionPlan
+{
+    std::string name = "fp32";
+    std::vector<Precision> layers;
+
+    /** Every layer at @p p. */
+    static PrecisionPlan uniform(int layer_count, Precision p);
+
+    /** True when at least one layer runs quantized. */
+    bool anyQuantized() const;
+};
+
+} // namespace gssr
+
+#endif // GSSR_NN_QUANT_HH

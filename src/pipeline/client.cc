@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/mathutil.hh"
+#include "pipeline/degrade.hh"
 #include "sr/interpolate.hh"
 
 namespace gssr
@@ -161,7 +162,9 @@ GssrClient::processFrame(const EncodedFrame &frame,
     trace.type = frame.type;
     trace.encoded_bytes = frame.sizeBytes();
 
-    const int tier = clamp(cond.tier, 0, 3);
+    const int tier =
+        clamp(cond.tier, 0, DegradationLadder::kTierCount - 1);
+    const Precision prec = cond.sr_precision;
 
     // Hardware decode (codec-agnostic, pixels only). Runs at every
     // tier — the decoder must stay reference-consistent even while
@@ -178,10 +181,10 @@ GssrClient::processFrame(const EncodedFrame &frame,
     if (config_.compute_pixels)
         lr = decoder_.decode(frame);
 
-    if (tier >= 3) {
-        // Tier-3 frame hold: decode only. The session engine
-        // substitutes the held output and charges the hold blit and
-        // display stages itself.
+    if (tier >= DegradationLadder::kTierHold) {
+        // Frame hold: decode only. The session engine substitutes
+        // the held output and charges the hold blit and display
+        // stages itself.
         return result;
     }
 
@@ -196,27 +199,28 @@ GssrClient::processFrame(const EncodedFrame &frame,
     // An NPU invocation failure falls back to the GPU bilinear
     // output for this frame: the watchdog timeout is charged, the
     // RoI is not super-resolved and there is nothing to merge.
-    const bool use_npu = tier < 2 && !cond.npu_faulted;
+    const bool use_npu =
+        tier < DegradationLadder::kTierGpuOnly && !cond.npu_faulted;
 
-    if (tier >= 2) {
-        // Tier-2 GPU bilinear only: the NPU stays idle and cools.
+    if (tier >= DegradationLadder::kTierGpuOnly) {
+        // GPU bilinear only: the NPU stays idle and cools.
         StageScope(trace, Stage::Upscale, Resource::ClientGpu)
             .latencyMs(gpu_ms)
             .energyMj(dev.gpu.energyMj(gpu_ms));
     } else {
         // Parallel upscaling (Fig. 9): the RoI goes to the NPU for
         // DNN SR while the GPU bilinear-upscales the rest; the stage
-        // latency is the max of the two, the energy is the sum.
-        i64 roi_macs =
-            dnn_.macs({r.width, r.height}, config_.scale_factor);
-        f64 npu_ms =
-            cond.npu_faulted
-                ? cond.npu_timeout_ms
-                : dev.npu.latencyMs(roi_macs, r.area()) *
-                      cond.npu_scale;
+        // latency is the max of the two, the energy is the sum. The
+        // invocation is charged at the frame's SR precision; at Fp32
+        // the cost reduces to the unquantized model bit for bit.
+        NpuModel::InvocationCost npu_cost = dnn_.npuCost(
+            dev.npu, {r.width, r.height}, config_.scale_factor, prec);
+        f64 npu_ms = cond.npu_faulted
+                         ? cond.npu_timeout_ms
+                         : npu_cost.latency_ms * cond.npu_scale;
         StageScope(trace, Stage::Upscale, Resource::ClientNpu)
             .latencyMs(std::max(npu_ms, gpu_ms))
-            .energyMj(dev.npu.energyMj(npu_ms))
+            .energyMj(npu_ms * npu_cost.power_w)
             .energyMj(dev.gpu.energyMj(gpu_ms));
     }
 
@@ -233,8 +237,8 @@ GssrClient::processFrame(const EncodedFrame &frame,
         ColorImage hr =
             resizeImage(lr, hrSize(), InterpKernel::Bilinear);
         if (use_npu) {
-            ColorImage roi_hr =
-                dnn_.upscale(lr.crop(r), config_.scale_factor);
+            ColorImage roi_hr = dnn_.upscaleWithPrecision(
+                lr.crop(r), config_.scale_factor, prec);
             hr.blit(roi_hr, hr_roi.x, hr_roi.y);
         }
         result.upscaled = std::move(hr);
@@ -362,16 +366,17 @@ SrDecoderClient::processFrame(const EncodedFrame &frame,
 
         // A failed NPU invocation is retried (the cached-reference
         // scheme needs the upscaled anchor): timeout + invocation.
-        i64 roi_macs =
-            dnn_.macs({r.width, r.height}, config_.scale_factor);
-        f64 npu_ms = dev.npu.latencyMs(roi_macs, r.area()) *
-                         cond.npu_scale +
+        // Charged at the frame's SR precision, like the GssrClient.
+        NpuModel::InvocationCost npu_cost =
+            dnn_.npuCost(dev.npu, {r.width, r.height},
+                         config_.scale_factor, cond.sr_precision);
+        f64 npu_ms = npu_cost.latency_ms * cond.npu_scale +
                      (cond.npu_faulted ? cond.npu_timeout_ms : 0.0);
         i64 gpu_ops = resizeOpCount(hrSize(), InterpKernel::Bilinear);
         f64 gpu_ms = dev.gpu.latencyMs(gpu_ops) * cond.gpu_scale;
         StageScope(trace, Stage::Upscale, Resource::ClientNpu)
             .latencyMs(std::max(npu_ms, gpu_ms))
-            .energyMj(dev.npu.energyMj(npu_ms))
+            .energyMj(npu_ms * npu_cost.power_w)
             .energyMj(dev.gpu.energyMj(gpu_ms));
         f64 merge_ms =
             dev.gpu.latencyMs(hr_roi.area()) * cond.gpu_scale;
@@ -385,8 +390,8 @@ SrDecoderClient::processFrame(const EncodedFrame &frame,
             ColorImage lr = yuv420ToRgb(lr_yuv);
             ColorImage hr =
                 resizeImage(lr, hrSize(), InterpKernel::Bilinear);
-            ColorImage roi_hr =
-                dnn_.upscale(lr.crop(r), config_.scale_factor);
+            ColorImage roi_hr = dnn_.upscaleWithPrecision(
+                lr.crop(r), config_.scale_factor, cond.sr_precision);
             hr.blit(roi_hr, hr_roi.x, hr_roi.y);
             hr_cached_ = rgbToYuv420(hr);
             hr_roi_ = hr_roi;

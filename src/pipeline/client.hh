@@ -59,6 +59,17 @@ struct ClientConfig
 
     /** Trained quality net (required when compute_pixels). */
     std::shared_ptr<const CompactSrNet> sr_net;
+
+    /**
+     * SR inference precision (NAWQ-SR direction, DESIGN.md §14):
+     * Fp32 (default — bit-identical to the unquantized pipeline),
+     * Int16/Int8 (uniform quantized schedules) or HybridInt8
+     * (sensitivity-ranked mix). Honored by the NPU-driven designs
+     * (GssrClient, SrDecoderClient); the NEMO baseline has no
+     * quantized deployment and always runs Fp32. The degradation
+     * ladder can override per frame via FrameConditions.
+     */
+    Precision sr_precision = Precision::Fp32;
 };
 
 /** Output of processing one frame at the client. */
@@ -89,7 +100,9 @@ class StreamingClient
     processFrame(const EncodedFrame &frame,
                  const std::optional<Rect> &roi)
     {
-        return processFrame(frame, roi, FrameConditions{});
+        FrameConditions cond;
+        cond.sr_precision = config_.sr_precision;
+        return processFrame(frame, roi, cond);
     }
 
     /**

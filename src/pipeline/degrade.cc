@@ -38,7 +38,20 @@ DegradationLadder::bitrateScale() const
 f64
 DegradationLadder::roiShrink() const
 {
-    return tier_ == 1 ? config_.roi_shrink : 1.0;
+    return tier_ == kTierRoiShrink ? config_.roi_shrink : 1.0;
+}
+
+Precision
+degradedPrecision(Precision base, int tier)
+{
+    if (tier <= 0)
+        return base;
+    if (tier == DegradationLadder::kTierPrecision) {
+        return base == Precision::Fp32 || base == Precision::Int16
+                   ? Precision::HybridInt8
+                   : Precision::Int8;
+    }
+    return Precision::Int8;
 }
 
 LadderTransition

@@ -8,9 +8,16 @@
  * temperature — steps it back up, one tier at a time:
  *
  *   tier 0  hybrid NPU-RoI SR + GPU bilinear     (the paper design)
- *   tier 1  shrunken RoI SR (roi_shrink x edge)  (less NPU work/heat)
- *   tier 2  GPU bilinear only                    (NPU idle, cools)
- *   tier 3  frame hold                           (decode only)
+ *   tier 1  reduced SR precision (NAWQ hybrid)   (2-4x less NPU time)
+ *   tier 2  shrunken RoI SR (roi_shrink x edge)  (less NPU work/heat)
+ *   tier 3  GPU bilinear only                    (NPU idle, cools)
+ *   tier 4  frame hold                           (decode only)
+ *
+ * Tier 1 trades *precision before resolution* (the NAWQ-SR axis):
+ * the SR output stays full-RoI, full-resolution, but the NPU runs
+ * the quantized hybrid-int8 schedule — the cheapest degradation the
+ * user can perceive. Tier 2 keeps the cheap precision and starts
+ * shrinking the RoI; see degradedPrecision().
  *
  * Hysteresis is asymmetric by design: stepping down takes
  * down_after_misses consecutive misses (fast — a hot device must
@@ -60,7 +67,7 @@ struct LadderConfig
      *  Ignored when the session has no stress model. */
     f64 min_headroom_c = 2.0;
 
-    /** Tier-1 RoI edge scale in (0, 1]. */
+    /** Tier-2 RoI edge scale in (0, 1]. */
     f64 roi_shrink = 0.6;
 
     /** Encoder-bitrate scale per tier (bitrate_step ^ tier). */
@@ -79,8 +86,11 @@ enum class LadderTransition
 class DegradationLadder
 {
   public:
-    static constexpr int kTierCount = 4;
-    static constexpr int kTierHold = 3;
+    static constexpr int kTierPrecision = 1;
+    static constexpr int kTierRoiShrink = 2;
+    static constexpr int kTierGpuOnly = 3;
+    static constexpr int kTierHold = 4;
+    static constexpr int kTierCount = 5;
 
     explicit DegradationLadder(const LadderConfig &config);
 
@@ -90,7 +100,7 @@ class DegradationLadder
     /** Encoder-bitrate scale for the current tier (1.0 at tier 0). */
     f64 bitrateScale() const;
 
-    /** Tier-1 RoI shrink factor (1.0 at every other tier). */
+    /** Tier-2 RoI shrink factor (1.0 at every other tier). */
     f64 roiShrink() const;
 
     /** True when @p busy_ms blows the configured frame budget. */
@@ -114,6 +124,16 @@ class DegradationLadder
     int miss_run_ = 0;
     int clean_run_ = 0;
 };
+
+/**
+ * SR inference precision the client should run at @p tier, given the
+ * session's configured base precision. Tier 0 is the base unchanged
+ * (the ladder stays a strict no-op); tier 1 steps one notch down the
+ * precision axis (Fp32/Int16 -> HybridInt8, HybridInt8 -> Int8);
+ * tiers 2+ run Int8 everywhere — by tier 3 the NPU is idle anyway,
+ * so the value only matters if the ladder steps back up through it.
+ */
+Precision degradedPrecision(Precision base, int tier);
 
 } // namespace gssr
 

@@ -302,6 +302,7 @@ SessionEngine::SessionEngine(const SessionConfig &config)
     client_config.codec = config_.codec;
     client_config.compute_pixels = config_.compute_pixels;
     client_config.sr_net = config_.sr_net;
+    client_config.sr_precision = config_.sr_precision;
     client_ = makeClient(config_.design, client_config);
 
     const ResilienceConfig &res = config_.resilience;
@@ -579,9 +580,12 @@ SessionEngine::finishFrame(PendingFrame pending,
     FrameConditions cond;
     if (stress_)
         cond = stress_->beginFrame(frames_run_);
+    cond.sr_precision = config_.sr_precision;
     if (ladder_active_) {
         cond.tier = ladder_.tier();
         cond.roi_shrink = ladder_.roiShrink();
+        cond.sr_precision =
+            degradedPrecision(config_.sr_precision, cond.tier);
     }
     const bool monitored = stress_.has_value() || ladder_active_;
     DegradationStats &deg = result_.degradation;
@@ -607,7 +611,7 @@ SessionEngine::finishFrame(PendingFrame pending,
                 deg.decode_stalls += 1;
         }
         if (held) {
-            // Tier-3 frame hold: the decoder ran (the reference
+            // Hold-tier frame hold: the decoder ran (the reference
             // chain stays valid) but the display repeats the last
             // good HR output. Charged like a concealment blit;
             // counted as frames_held, not frames_concealed — this is

@@ -102,6 +102,16 @@ struct SessionConfig
     /** Trained SR net (required when compute_pixels). */
     std::shared_ptr<const CompactSrNet> sr_net;
 
+    /**
+     * SR inference precision (ClientConfig::sr_precision): Fp32
+     * (default, bit-identical to the unquantized pipeline — pinned
+     * by test_golden_trace), Int16, Int8 or HybridInt8. The
+     * degradation ladder degrades this per frame at tiers >= 1
+     * (degradedPrecision()): precision is traded *before*
+     * resolution.
+     */
+    Precision sr_precision = Precision::Fp32;
+
     /** Measure PSNR every quality_stride-th frame. */
     bool measure_quality = false;
     int quality_stride = 1;
@@ -209,11 +219,11 @@ struct DegradationStats
     /** Memory-pressure decode stalls that hit processed frames. */
     i64 decode_stalls = 0;
 
-    /** Frames the ladder held at tier 3 (decode-only). */
+    /** Frames the ladder held at the hold tier (decode-only). */
     i64 frames_held = 0;
 
     /** Processed-frame residency per ladder tier. */
-    i64 tier_frames[DegradationLadder::kTierCount] = {0, 0, 0, 0};
+    i64 tier_frames[DegradationLadder::kTierCount] = {0, 0, 0, 0, 0};
 
     /** Peak SoC temperature over the session (°C; ambient when the
      *  session ran without a stress model). */

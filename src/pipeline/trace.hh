@@ -71,7 +71,7 @@ enum class RecoveryEvent
     LadderStepDown, ///< degradation ladder dropped one tier
     LadderStepUp,   ///< degradation ladder recovered one tier
     NpuFault,       ///< NPU invocation failed (watchdog timeout)
-    FrameHeld,      ///< tier-3 hold: output substituted, not lost
+    FrameHeld,      ///< hold-tier: output substituted, not lost
     FecRecovered,   ///< packet loss repaired by FEC parity (zero RTT)
     SliceConcealed, ///< one lost slice band concealed (per band)
 };

@@ -61,6 +61,13 @@ EdsrNetwork::macs(int h, int w) const
 }
 
 i64
+EdsrNetwork::macsEdge(int h, int w) const
+{
+    return head_.macs(h, w) + upsample_.macs(h, w) +
+           tail_.macs(h * config_.scale, w * config_.scale);
+}
+
+i64
 EdsrNetwork::parameterCount() const
 {
     auto count = [](const Conv2d &conv) {

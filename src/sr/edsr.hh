@@ -50,6 +50,14 @@ class EdsrNetwork
     /** Exact multiply-accumulate count for an h x w input. */
     i64 macs(int h, int w) const;
 
+    /**
+     * MACs of the quality-critical "edge" layers — head, upsample and
+     * tail — the ones a NAWQ-style hybrid schedule keeps at wide
+     * precision while the residual body runs int8. macs() minus this
+     * is the int8 body share (the bulk: ~89 % at EDSR-16/64).
+     */
+    i64 macsEdge(int h, int w) const;
+
     /** Total trainable parameter count. */
     i64 parameterCount() const;
 

@@ -71,6 +71,16 @@ class CompactSrNet
 
     const CompactSrConfig &config() const { return config_; }
 
+    /** Number of conv layers (the unit of a PrecisionPlan entry). */
+    static constexpr int kConvLayers = 3;
+
+    /** The trained conv layers, in forward order — consumed by the
+     *  quantized inference wrapper (sr/srcnn_quant.hh), which
+     *  re-runs the forward chain with per-layer precision. */
+    const Conv2d &conv1() const { return conv1_; }
+    const Conv2d &conv2() const { return conv2_; }
+    const Conv2d &conv3() const { return conv3_; }
+
   private:
     /** Forward pass retaining intermediate activations. */
     struct Activations

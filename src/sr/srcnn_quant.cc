@@ -1,0 +1,158 @@
+#include "sr/srcnn_quant.hh"
+
+#include <algorithm>
+
+namespace gssr
+{
+
+namespace
+{
+
+/** Activation width of a per-layer precision (Fp32 has none). */
+QuantBits
+actBitsFor(Precision p)
+{
+    GSSR_ASSERT(p == Precision::Int8 || p == Precision::Int16,
+                "per-layer precision must be Int8 or Int16");
+    return p == Precision::Int8 ? QuantBits::Int8 : QuantBits::Int16;
+}
+
+/** Mean squared difference between two same-shaped tensors. */
+f64
+meanSquaredError(const Tensor &a, const Tensor &b)
+{
+    GSSR_ASSERT(a.sameShape(b), "MSE shape mismatch");
+    f64 sum = 0.0;
+    for (size_t i = 0; i < a.data().size(); ++i) {
+        f64 d = f64(a.data()[i]) - f64(b.data()[i]);
+        sum += d * d;
+    }
+    return sum / f64(std::max<i64>(1, a.elementCount()));
+}
+
+} // namespace
+
+SrCalibration
+calibrateSrNet(const CompactSrNet &net, const std::vector<Tensor> &inputs)
+{
+    GSSR_ASSERT(!inputs.empty(), "calibration needs at least one input");
+    SrCalibration cal;
+    for (const Tensor &input : inputs) {
+        GSSR_ASSERT(input.channels() == 1,
+                    "SR calibration input must be single-channel luma");
+        cal.conv1_in.observe(input);
+        Tensor a1 = Relu::forward(net.conv1().forward(input));
+        cal.conv2_in.observe(a1);
+        Tensor a2 = Relu::forward(net.conv2().forward(a1));
+        cal.conv3_in.observe(a2);
+    }
+    return cal;
+}
+
+QuantizedSrNet::QuantizedSrNet(std::shared_ptr<const CompactSrNet> net,
+                               const PrecisionPlan &plan,
+                               const SrCalibration &calibration)
+    : net_(std::move(net)), plan_(plan)
+{
+    GSSR_ASSERT(net_ != nullptr, "QuantizedSrNet needs a net");
+    GSSR_ASSERT(plan_.layers.size() == size_t(CompactSrNet::kConvLayers),
+                "PrecisionPlan must cover all three conv layers");
+    const ChannelRanges *ranges[CompactSrNet::kConvLayers] = {
+        &calibration.conv1_in, &calibration.conv2_in,
+        &calibration.conv3_in};
+    const Conv2d *convs[CompactSrNet::kConvLayers] = {
+        &net_->conv1(), &net_->conv2(), &net_->conv3()};
+    std::optional<QuantizedConv2d> *slots[CompactSrNet::kConvLayers] = {
+        &q1_, &q2_, &q3_};
+    for (int li = 0; li < CompactSrNet::kConvLayers; ++li) {
+        Precision p = plan_.layers[size_t(li)];
+        if (p == Precision::Fp32)
+            continue;
+        QuantBits bits = actBitsFor(p);
+        slots[li]->emplace(*convs[li], bits,
+                           ranges[li]->tensorScale(bits));
+    }
+}
+
+Tensor
+QuantizedSrNet::forward(const Tensor &input) const
+{
+    GSSR_ASSERT(input.channels() == 1,
+                "quantized SR net expects single-channel luma");
+    Tensor a1 = Relu::forward(q1_ ? q1_->forward(input)
+                                  : net_->conv1().forward(input));
+    Tensor a2 = Relu::forward(q2_ ? q2_->forward(a1)
+                                  : net_->conv2().forward(a1));
+    Tensor z3 = q3_ ? q3_->forward(a2) : net_->conv3().forward(a2);
+    PixelShuffle shuffle(net_->config().scale);
+    Tensor residual = shuffle.forward(z3);
+    Tensor out =
+        bilinearUpscaleTensor(input, net_->config().scale);
+    out.add(residual);
+    return out;
+}
+
+std::vector<f64>
+layerSensitivity(const std::shared_ptr<const CompactSrNet> &net,
+                 const SrCalibration &calibration,
+                 const std::vector<Tensor> &inputs)
+{
+    GSSR_ASSERT(!inputs.empty(), "sensitivity needs calibration inputs");
+    std::vector<Tensor> references;
+    references.reserve(inputs.size());
+    for (const Tensor &input : inputs)
+        references.push_back(net->forward(input));
+
+    std::vector<f64> sensitivity(CompactSrNet::kConvLayers, 0.0);
+    for (int li = 0; li < CompactSrNet::kConvLayers; ++li) {
+        PrecisionPlan plan = PrecisionPlan::uniform(
+            CompactSrNet::kConvLayers, Precision::Fp32);
+        plan.layers[size_t(li)] = Precision::Int8;
+        QuantizedSrNet probe(net, plan, calibration);
+        f64 mse = 0.0;
+        for (size_t i = 0; i < inputs.size(); ++i)
+            mse += meanSquaredError(probe.forward(inputs[i]),
+                                    references[i]);
+        sensitivity[size_t(li)] = mse / f64(inputs.size());
+    }
+    return sensitivity;
+}
+
+PrecisionPlan
+hybridPlan(const std::shared_ptr<const CompactSrNet> &net,
+           const SrCalibration &calibration,
+           const std::vector<Tensor> &inputs, int wide_layers)
+{
+    GSSR_ASSERT(wide_layers >= 0 &&
+                    wide_layers <= CompactSrNet::kConvLayers,
+                "wide-layer budget out of range");
+    std::vector<f64> sens = layerSensitivity(net, calibration, inputs);
+
+    // Rank layers by descending sensitivity; ties break on the lower
+    // layer index so the plan is deterministic.
+    std::vector<int> order(sens.size());
+    for (size_t i = 0; i < order.size(); ++i)
+        order[i] = int(i);
+    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+        return sens[size_t(a)] > sens[size_t(b)];
+    });
+
+    PrecisionPlan plan = PrecisionPlan::uniform(
+        CompactSrNet::kConvLayers, Precision::Int8);
+    plan.name = precisionName(Precision::HybridInt8);
+    for (int i = 0; i < wide_layers; ++i)
+        plan.layers[size_t(order[size_t(i)])] = Precision::Int16;
+    return plan;
+}
+
+PrecisionPlan
+planForPrecision(const std::shared_ptr<const CompactSrNet> &net,
+                 const SrCalibration &calibration,
+                 const std::vector<Tensor> &inputs, Precision p)
+{
+    if (p == Precision::HybridInt8)
+        return hybridPlan(net, calibration, inputs);
+    return PrecisionPlan::uniform(CompactSrNet::kConvLayers, p);
+}
+
+} // namespace gssr

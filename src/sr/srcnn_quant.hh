@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Hybrid-precision quantized inference for the trained CompactSrNet
+ * (NAWQ-SR direction): a calibration pass runs the float network over
+ * representative luma inputs and records per-layer activation ranges;
+ * QuantizedSrNet then re-executes the forward chain with each conv at
+ * its PrecisionPlan precision (Fp32 reference layer, or int8-weight
+ * QuantizedConv2d with int8/int16 activations), keeping ReLU, the
+ * PixelShuffle and the global bilinear residual in float exactly as
+ * the reference network does.
+ *
+ * The hybrid schedule is data-driven: layerSensitivity() measures the
+ * output MSE of quantizing each conv alone to int8, and hybridPlan()
+ * keeps the most sensitive layers at int16 activations while the rest
+ * run int8 — the NAWQ-SR policy at CompactSrNet scale.
+ */
+
+#ifndef GSSR_SR_SRCNN_QUANT_HH
+#define GSSR_SR_SRCNN_QUANT_HH
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "nn/quant.hh"
+#include "sr/srcnn.hh"
+
+namespace gssr
+{
+
+/**
+ * Per-layer activation ranges of a CompactSrNet over a calibration
+ * set: the observed inputs of conv1, conv2 and conv3.
+ */
+struct SrCalibration
+{
+    ChannelRanges conv1_in; ///< network input (luma, 1 channel)
+    ChannelRanges conv2_in; ///< ReLU(conv1) activations
+    ChannelRanges conv3_in; ///< ReLU(conv2) activations
+};
+
+/**
+ * Run the float network over @p inputs (each a (1, h, w) luma tensor)
+ * and collect the per-layer activation ranges.
+ */
+SrCalibration calibrateSrNet(const CompactSrNet &net,
+                             const std::vector<Tensor> &inputs);
+
+/**
+ * CompactSrNet with a per-layer post-training-quantized forward pass.
+ * Holds the float reference network (shared) plus one QuantizedConv2d
+ * per non-Fp32 plan entry; Fp32 entries run the reference layer, so a
+ * plan of all-Fp32 reproduces CompactSrNet::forward() bit for bit.
+ */
+class QuantizedSrNet
+{
+  public:
+    /**
+     * @param net trained reference network (shared, not copied).
+     * @param plan per-layer precision schedule (3 entries).
+     * @param calibration activation ranges for the layer boundaries.
+     */
+    QuantizedSrNet(std::shared_ptr<const CompactSrNet> net,
+                   const PrecisionPlan &plan,
+                   const SrCalibration &calibration);
+
+    /** Upscale a (1, h, w) luma tensor to (1, h*r, w*r). */
+    Tensor forward(const Tensor &input) const;
+
+    const PrecisionPlan &plan() const { return plan_; }
+
+  private:
+    std::shared_ptr<const CompactSrNet> net_;
+    PrecisionPlan plan_;
+    std::optional<QuantizedConv2d> q1_;
+    std::optional<QuantizedConv2d> q2_;
+    std::optional<QuantizedConv2d> q3_;
+};
+
+/**
+ * Quantization sensitivity of each conv layer: mean output MSE vs the
+ * float network over @p inputs when that layer alone runs int8. The
+ * ranking is what hybridPlan() spends its wide-precision budget on.
+ */
+std::vector<f64>
+layerSensitivity(const std::shared_ptr<const CompactSrNet> &net,
+                 const SrCalibration &calibration,
+                 const std::vector<Tensor> &inputs);
+
+/**
+ * NAWQ-style hybrid schedule: the @p wide_layers most sensitive
+ * layers get int16 activations, the rest int8 (weights are int8
+ * everywhere). Plan name: "hybrid-int8".
+ */
+PrecisionPlan
+hybridPlan(const std::shared_ptr<const CompactSrNet> &net,
+           const SrCalibration &calibration,
+           const std::vector<Tensor> &inputs, int wide_layers = 1);
+
+/**
+ * Expand a network-level Precision knob into a per-layer plan:
+ * Fp32/Int16/Int8 map to uniform plans, HybridInt8 to hybridPlan().
+ */
+PrecisionPlan
+planForPrecision(const std::shared_ptr<const CompactSrNet> &net,
+                 const SrCalibration &calibration,
+                 const std::vector<Tensor> &inputs, Precision p);
+
+} // namespace gssr
+
+#endif // GSSR_SR_SRCNN_QUANT_HH

@@ -100,6 +100,95 @@ DnnUpscaler::upscale(const ColorImage &input, int factor) const
     return fromYcbcr(out);
 }
 
+namespace
+{
+
+/** Slot of a non-Fp32 precision in the lazy quant-net array. */
+int
+quantSlot(Precision p)
+{
+    switch (p) {
+      case Precision::Int16: return 0;
+      case Precision::Int8: return 1;
+      case Precision::HybridInt8: return 2;
+      case Precision::Fp32: break;
+    }
+    GSSR_ASSERT(false, "Fp32 has no quantized net slot");
+    return 0;
+}
+
+} // namespace
+
+const QuantizedSrNet &
+DnnUpscaler::quantNetFor(Precision p, const Tensor &first_input) const
+{
+    std::unique_ptr<QuantizedSrNet> &slot = quant_nets_[quantSlot(p)];
+    if (!slot) {
+        // Online calibration on the first luma this precision sees:
+        // a rendered game frame is representative of the stream, and
+        // out-of-range later values saturate by design. Deterministic
+        // because the frame stream is.
+        std::vector<Tensor> calibration{first_input};
+        SrCalibration ranges =
+            calibrateSrNet(*quality_net_, calibration);
+        slot = std::make_unique<QuantizedSrNet>(
+            quality_net_,
+            planForPrecision(quality_net_, ranges, calibration, p),
+            ranges);
+    }
+    return *slot;
+}
+
+ColorImage
+DnnUpscaler::upscaleWithPrecision(const ColorImage &input, int factor,
+                                  Precision p) const
+{
+    if (p == Precision::Fp32)
+        return upscale(input, factor);
+    GSSR_ASSERT(factor >= 2 && factor <= 4, "unsupported SR factor");
+    Ycbcr444 ycc = toYcbcr(input);
+
+    Tensor luma = Tensor::fromPlane(ycc.y);
+    const QuantizedSrNet &net = quantNetFor(p, luma);
+    Tensor up = net.forward(luma);
+    if (factor == 4)
+        up = net.forward(up);
+    PlaneU8 luma_up = up.toPlane();
+
+    Size target{input.width() * factor, input.height() * factor};
+    if (luma_up.size() != target)
+        luma_up = resizePlane(luma_up, target, InterpKernel::Bicubic);
+
+    Ycbcr444 out;
+    out.y = std::move(luma_up);
+    out.cb = resizePlane(ycc.cb, target, InterpKernel::Bicubic);
+    out.cr = resizePlane(ycc.cr, target, InterpKernel::Bicubic);
+    return fromYcbcr(out);
+}
+
+NpuModel::InvocationCost
+DnnUpscaler::npuCost(const NpuModel &npu, Size input, int factor,
+                     Precision p) const
+{
+    const i64 total = macs(input, factor);
+    const i64 area = input.area();
+    if (p == Precision::Fp32)
+        return {npu.latencyMs(total, area), npu.active_power_w};
+    if (p == Precision::HybridInt8) {
+        i64 edge;
+        if (factor == cost_model_.config().scale) {
+            edge = cost_model_.macsEdge(input.height, input.width);
+        } else {
+            EdsrConfig config = cost_model_.config();
+            config.scale = factor;
+            edge = EdsrNetwork(config).macsEdge(input.height,
+                                                input.width);
+        }
+        return npu.hybridCost(edge, total - edge, area);
+    }
+    return npu.invocationCost(total, area, p);
+}
+
 i64
 DnnUpscaler::macs(Size input, int factor) const
 {

@@ -12,10 +12,12 @@
 #include <memory>
 #include <string>
 
+#include "device/models.hh"
 #include "frame/image.hh"
 #include "sr/edsr.hh"
 #include "sr/interpolate.hh"
 #include "sr/srcnn.hh"
+#include "sr/srcnn_quant.hh"
 
 namespace gssr
 {
@@ -98,12 +100,44 @@ class DnnUpscaler : public Upscaler
 
     i64 macs(Size input, int factor) const override;
 
+    /**
+     * Upscale at an inference precision (the client ladder's
+     * precision knob). Fp32 is byte-for-byte upscale(); quantized
+     * modes run the luma through a post-training-quantized net
+     * (sr/srcnn_quant.hh), built lazily on first use and calibrated
+     * on that first input — deterministic for a deterministic frame
+     * stream. Not safe for concurrent calls on one instance (the
+     * session drivers are single-threaded per client).
+     */
+    ColorImage upscaleWithPrecision(const ColorImage &input, int factor,
+                                    Precision p) const;
+
+    /**
+     * NPU latency/power of one SR invocation at @p p, from the EDSR
+     * cost model: uniform precisions charge the whole graph at that
+     * width; HybridInt8 charges head/upsample/tail at int16 and the
+     * residual body at int8 (macsEdge()). At Fp32 the latency is
+     * exactly NpuModel::latencyMs(macs(input, factor), area) and the
+     * power is exactly active_power_w, so existing call sites that
+     * migrate to this helper stay bit-identical.
+     */
+    NpuModel::InvocationCost npuCost(const NpuModel &npu, Size input,
+                                     int factor, Precision p) const;
+
     /** The EDSR cost model (for per-layer inspection). */
     const EdsrNetwork &costModel() const { return cost_model_; }
 
   private:
+    /** Lazily built quantized quality net for a non-Fp32 precision,
+     *  calibrated on @p first_input at construction. */
+    const QuantizedSrNet &quantNetFor(Precision p,
+                                      const Tensor &first_input) const;
+
     std::shared_ptr<const CompactSrNet> quality_net_;
     EdsrNetwork cost_model_;
+
+    /** One slot per non-Fp32 precision (Int16, Int8, HybridInt8). */
+    mutable std::unique_ptr<QuantizedSrNet> quant_nets_[3];
 };
 
 } // namespace gssr

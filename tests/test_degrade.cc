@@ -5,8 +5,9 @@
  * (pipeline/degrade.hh), plus their session integration: the
  * robustness acceptance criterion (a stressed ladder-enabled client
  * strictly reduces deadline misses vs. a ladder-disabled one), the
- * tier-3 frame-hold path, the bitrate control-loop feedback, and the
- * DnnUpscaler construction invariant.
+ * hold-tier frame-hold path, the precision-before-resolution tier
+ * mapping, the bitrate control-loop feedback, and the DnnUpscaler
+ * construction invariant.
  */
 
 #include <gtest/gtest.h>
@@ -130,11 +131,64 @@ TEST(LadderTest, BitrateScaleIsExactPowerOfStep)
     ladder.onFrame(over, 100.0);
     ladder.onFrame(over, 100.0);
     ladder.onFrame(over, 100.0);
-    ASSERT_EQ(ladder.tier(), 2);
+    ASSERT_EQ(ladder.tier(), DegradationLadder::kTierRoiShrink);
     EXPECT_DOUBLE_EQ(ladder.bitrateScale(),
                      config.bitrate_step * config.bitrate_step);
-    // The RoI shrink only applies at tier 1.
+    // The RoI shrink applies exactly at its own tier.
+    EXPECT_EQ(ladder.roiShrink(), config.roi_shrink);
+    ladder.onFrame(over, 100.0);
+    ladder.onFrame(over, 100.0);
+    ASSERT_EQ(ladder.tier(), DegradationLadder::kTierGpuOnly);
     EXPECT_EQ(ladder.roiShrink(), 1.0);
+}
+
+TEST(LadderTest, PrecisionTierTradesPrecisionBeforeResolution)
+{
+    // Tier 1 drops precision, not resolution: the first step down
+    // from any wide base is the NAWQ hybrid schedule, and the RoI
+    // stays untouched until kTierRoiShrink.
+    EXPECT_EQ(degradedPrecision(Precision::Fp32, 0),
+              Precision::Fp32);
+    EXPECT_EQ(degradedPrecision(Precision::Fp32,
+                                DegradationLadder::kTierPrecision),
+              Precision::HybridInt8);
+    EXPECT_EQ(degradedPrecision(Precision::Int16,
+                                DegradationLadder::kTierPrecision),
+              Precision::HybridInt8);
+    EXPECT_EQ(degradedPrecision(Precision::HybridInt8,
+                                DegradationLadder::kTierPrecision),
+              Precision::Int8);
+    EXPECT_EQ(degradedPrecision(Precision::Int8,
+                                DegradationLadder::kTierPrecision),
+              Precision::Int8);
+    // Tiers 2+ run int8 everywhere regardless of the base.
+    for (int tier = DegradationLadder::kTierRoiShrink;
+         tier < DegradationLadder::kTierCount; ++tier) {
+        EXPECT_EQ(degradedPrecision(Precision::Fp32, tier),
+                  Precision::Int8)
+            << tier;
+    }
+    // Tier 0 is a strict no-op for every base precision.
+    for (Precision p :
+         {Precision::Fp32, Precision::Int16, Precision::Int8,
+          Precision::HybridInt8})
+        EXPECT_EQ(degradedPrecision(p, 0), p);
+}
+
+TEST(LadderTest, RoiShrinkAppliesOnlyAtItsOwnTier)
+{
+    DegradationLadder ladder(quickLadder());
+    const f64 over = ladder.config().budget_ms * 2.0;
+    for (int tier = 0; tier < DegradationLadder::kTierCount; ++tier) {
+        EXPECT_EQ(ladder.tier(), tier);
+        if (tier == DegradationLadder::kTierRoiShrink)
+            EXPECT_EQ(ladder.roiShrink(),
+                      ladder.config().roi_shrink);
+        else
+            EXPECT_EQ(ladder.roiShrink(), 1.0);
+        ladder.onFrame(over, 100.0);
+        ladder.onFrame(over, 100.0);
+    }
 }
 
 // ---------------------------------------------------------------
@@ -416,7 +470,7 @@ TEST(DegradationSessionTest, HoldTierSubstitutesAndKeepsDecoding)
 {
     // Permanent severe memory pressure: the decode stage alone blows
     // the budget, so no tier can recover and the ladder must ride
-    // down to tier-3 frame holds.
+    // all the way down to hold-tier frame holds.
     SessionConfig config = stressedSessionConfig(true);
     config.device_faults =
         DeviceFaultScenario::memoryPressure(0, 150, 1.0, 25.0);

@@ -179,6 +179,38 @@ TEST_P(GoldenTraceTest, FaultFreeStressAndLadderDoNotPerturbGolden)
               config.device_stress.thermal.npu.knee_c);
 }
 
+TEST_P(GoldenTraceTest, Fp32QuantizationDefaultDoesNotPerturbGolden)
+{
+    // The quantized inference path (DESIGN.md §14) is compiled in and
+    // reachable from SessionConfig, but the default precision is Fp32
+    // and every precision-aware call site must reduce to the original
+    // expressions there — the checked-in fingerprints are the proof.
+    // Setting the knob explicitly (rather than relying on the struct
+    // default) pins the Fp32 branch itself, not just the default.
+    const Golden &golden = GetParam();
+    SessionConfig config = canonicalConfig(golden.design);
+    config.sr_precision = Precision::Fp32;
+    EXPECT_EQ(sessionFingerprint(runSession(config)),
+              golden.fingerprint)
+        << "explicit Fp32 precision perturbed the " << golden.name
+        << " session trace — the quantization plumbing must be a "
+           "strict no-op at Fp32";
+}
+
+TEST(GoldenTraceTest, QuantizedPrecisionMovesTheFingerprint)
+{
+    // The converse guard: the precision knob is live. A hybrid-int8
+    // session must diverge from the golden (different SR pixels and
+    // different NPU latency/power accounting), so the Fp32 guard
+    // above cannot pass vacuously.
+    SessionConfig config = canonicalConfig(DesignKind::GameStreamSR);
+    config.sr_precision = Precision::HybridInt8;
+    SessionResult result = runSession(config);
+    EXPECT_NE(sessionFingerprint(result), kGoldens[0].fingerprint);
+    // Quality stays in the same regime — quantized, not broken.
+    EXPECT_GT(result.meanPsnrDb(), kGoldens[0].mean_psnr_db - 1.0);
+}
+
 TEST(GoldenTraceTest, RerunIsBitIdentical)
 {
     SessionConfig config = canonicalConfig(DesignKind::GameStreamSR);

@@ -1,0 +1,596 @@
+/**
+ * @file
+ * Property tests, calibration fuzz tests and end-to-end quality
+ * tests for the hybrid-precision quantized inference path (nn/quant,
+ * sr/srcnn_quant, the precision-aware NPU model and the DnnUpscaler
+ * precision knob). The property suite pins the symmetric absmax scale
+ * math (scale correctness, saturation, error bound, idempotence); the
+ * fuzz suite hammers the calibration observer with 200 randomized
+ * tensors plus degenerate shapes (all-zero channels, single-value
+ * channels, extreme dynamic range) and demands finite scales and
+ * NaN/inf-free round trips; the e2e suite checks the NAWQ-style
+ * hybrid schedule lands within 0.5 dB of fp32 on renderer content
+ * while int8-everywhere is strictly worse.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "common/fingerprint.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "common/simd.hh"
+#include "device/models.hh"
+#include "frame/downsample.hh"
+#include "metrics/psnr.hh"
+#include "nn/quant.hh"
+#include "render/games.hh"
+#include "render/rasterizer.hh"
+#include "sr/edsr.hh"
+#include "sr/srcnn_quant.hh"
+#include "sr/trainer.hh"
+#include "sr/upscaler.hh"
+
+namespace gssr
+{
+namespace
+{
+
+Tensor
+randomTensor(int c, int h, int w, u64 seed, f64 lo = -1.0,
+             f64 hi = 1.0)
+{
+    Rng rng(seed);
+    Tensor t(c, h, w);
+    for (auto &v : t.data())
+        v = f32(rng.uniform(lo, hi));
+    return t;
+}
+
+/** Quick hermetically trained net shared by the e2e tests (separate
+ *  cache path from the bench net to stay hermetic). */
+std::shared_ptr<const CompactSrNet>
+quickTrainedNet()
+{
+    static std::shared_ptr<const CompactSrNet> net = [] {
+        TrainerConfig config;
+        config.iterations = 250;
+        return std::make_shared<const CompactSrNet>(
+            trainedSrNet("", config));
+    }();
+    return net;
+}
+
+// ---------------------------------------------------------------
+// Scale properties.
+// ---------------------------------------------------------------
+
+TEST(QuantScaleTest, PerChannelScalesAreAbsmaxOverQmax)
+{
+    Tensor t = randomTensor(4, 9, 11, 31, -3.0, 5.0);
+    ChannelRanges ranges;
+    ranges.observe(t);
+    ASSERT_EQ(ranges.channels(), 4);
+
+    for (int c = 0; c < 4; ++c) {
+        // Recompute the channel absmax directly.
+        f32 absmax = 0.0f;
+        const f32 *src = t.channelData(c);
+        for (i64 i = 0; i < i64(t.height()) * t.width(); ++i)
+            absmax = std::max(absmax, std::abs(src[size_t(i)]));
+        EXPECT_EQ(ranges.channelAbsMax(c), absmax) << c;
+        EXPECT_EQ(ranges.channelScales(QuantBits::Int8)[size_t(c)],
+                  absmax / 127.0f)
+            << c;
+        EXPECT_EQ(ranges.channelScales(QuantBits::Int16)[size_t(c)],
+                  absmax / 32767.0f)
+            << c;
+    }
+    EXPECT_EQ(ranges.tensorScale(QuantBits::Int8),
+              ranges.tensorAbsMax() / 127.0f);
+}
+
+TEST(QuantScaleTest, ObservationsFoldByMaxAcrossTheCalibrationSet)
+{
+    ChannelRanges ranges;
+    ranges.observe(randomTensor(2, 5, 5, 1, -0.5, 0.5));
+    f32 first = ranges.channelAbsMax(0);
+    Tensor bigger(2, 1, 1);
+    bigger.at(0, 0, 0) = -7.5f;
+    ranges.observe(bigger);
+    EXPECT_EQ(ranges.channelAbsMax(0), 7.5f);
+    EXPECT_GE(ranges.channelAbsMax(0), first);
+}
+
+TEST(QuantScaleTest, DegenerateRangesFallBackToOne)
+{
+    // All-zero channel.
+    EXPECT_EQ(quantScaleFor(0.0f, QuantBits::Int8), 1.0f);
+    EXPECT_EQ(quantScaleFor(0.0f, QuantBits::Int16), 1.0f);
+    // So small that absmax/qmax underflows to zero.
+    EXPECT_EQ(quantScaleFor(1e-44f, QuantBits::Int8), 1.0f);
+    // Tiny but representable: finite and positive, no fallback.
+    f32 tiny = quantScaleFor(1e-30f, QuantBits::Int8);
+    EXPECT_TRUE(std::isfinite(tiny));
+    EXPECT_GT(tiny, 0.0f);
+    // Huge: still finite.
+    f32 huge = quantScaleFor(1e37f, QuantBits::Int16);
+    EXPECT_TRUE(std::isfinite(huge));
+    EXPECT_GT(huge, 0.0f);
+}
+
+// ---------------------------------------------------------------
+// Quantize/dequantize properties.
+// ---------------------------------------------------------------
+
+TEST(QuantizeTest, SaturatesAtTheSymmetricRange)
+{
+    Tensor t(1, 1, 6);
+    t.at(0, 0, 0) = 10.0f;
+    t.at(0, 0, 1) = -10.0f;
+    t.at(0, 0, 2) = 1.0f;
+    t.at(0, 0, 3) = -1.0f;
+    t.at(0, 0, 4) = 0.5f;
+    t.at(0, 0, 5) = 0.0f;
+
+    // Calibrated for absmax == 1: everything beyond saturates.
+    QuantizedTensor q8 =
+        quantizeTensor(t, {1.0f / 127.0f}, QuantBits::Int8);
+    EXPECT_EQ(q8.data[0], 127);
+    EXPECT_EQ(q8.data[1], -127);
+    EXPECT_EQ(q8.data[2], 127);
+    EXPECT_EQ(q8.data[3], -127);
+    EXPECT_EQ(q8.data[4], 64); // lround(0.5 * 127) = 64
+    EXPECT_EQ(q8.data[5], 0);
+
+    QuantizedTensor q16 =
+        quantizeTensor(t, {1.0f / 32767.0f}, QuantBits::Int16);
+    EXPECT_EQ(q16.data[0], 32767);
+    EXPECT_EQ(q16.data[1], -32767);
+    EXPECT_EQ(q16.data[2], 32767);
+    EXPECT_EQ(q16.data[3], -32767);
+    EXPECT_EQ(q16.data[5], 0);
+}
+
+TEST(QuantizeTest, RoundTripErrorBoundedByHalfScale)
+{
+    for (QuantBits bits : {QuantBits::Int8, QuantBits::Int16}) {
+        Tensor t = randomTensor(3, 13, 17, 7, -2.5, 2.5);
+        ChannelRanges ranges;
+        ranges.observe(t);
+        std::vector<f32> scales = ranges.channelScales(bits);
+        Tensor back = dequantizeTensor(quantizeTensor(t, scales, bits));
+
+        for (int c = 0; c < 3; ++c) {
+            // Slack of 1e-4 * scale for the f32 divide/multiply.
+            const f32 bound = scales[size_t(c)] * 0.5f * 1.0001f;
+            for (i64 i = 0; i < i64(t.height()) * t.width(); ++i) {
+                f32 err = std::abs(t.channelData(c)[size_t(i)] -
+                                   back.channelData(c)[size_t(i)]);
+                ASSERT_LE(err, bound)
+                    << quantBitsName(bits) << " c=" << c << " i=" << i;
+            }
+        }
+    }
+}
+
+TEST(QuantizeTest, DoubleQuantizationIsExactlyIdempotent)
+{
+    for (QuantBits bits : {QuantBits::Int8, QuantBits::Int16}) {
+        // Include out-of-range values: saturation must be a fixed
+        // point of the round trip too.
+        Tensor t = randomTensor(2, 11, 9, 13, -4.0, 4.0);
+        ChannelRanges ranges;
+        ranges.observe(randomTensor(2, 11, 9, 14, -1.0, 1.0));
+        std::vector<f32> scales = ranges.channelScales(bits);
+
+        QuantizedTensor q1 = quantizeTensor(t, scales, bits);
+        Tensor d1 = dequantizeTensor(q1);
+        QuantizedTensor q2 = quantizeTensor(d1, scales, bits);
+        Tensor d2 = dequantizeTensor(q2);
+
+        // Bit-exact: identical integer codes, identical floats.
+        ASSERT_EQ(q1.data.size(), q2.data.size());
+        for (size_t i = 0; i < q1.data.size(); ++i)
+            ASSERT_EQ(q1.data[i], q2.data[i])
+                << quantBitsName(bits) << " i=" << i;
+        EXPECT_EQ(fnv1aVec(d1.data()), fnv1aVec(d2.data()));
+    }
+}
+
+// ---------------------------------------------------------------
+// Calibration fuzz: randomized + degenerate inputs.
+// ---------------------------------------------------------------
+
+TEST(CalibrationFuzzTest, TwoHundredRandomTensorsStayFinite)
+{
+    for (u64 seed = 0; seed < 200; ++seed) {
+        Rng rng(seed * 2654435761u + 17);
+        const int c = int(rng.uniformInt(1, 6));
+        const int h = int(rng.uniformInt(1, 13));
+        const int w = int(rng.uniformInt(1, 17));
+
+        // Extreme dynamic range: magnitudes spanning ~60 decades.
+        Tensor t(c, h, w);
+        for (auto &v : t.data()) {
+            f64 mag = std::pow(10.0, rng.uniform(-30.0, 30.0));
+            v = f32(rng.uniform(-1.0, 1.0) * mag);
+        }
+        // Degenerate shapes on a rotating schedule.
+        if (seed % 3 == 0)
+            for (i64 i = 0; i < i64(h) * w; ++i)
+                t.channelData(0)[size_t(i)] = 0.0f; // all-zero channel
+        if (seed % 5 == 0)
+            for (i64 i = 0; i < i64(h) * w; ++i)
+                t.channelData(c - 1)[size_t(i)] = 0.125f; // single value
+
+        ChannelRanges ranges;
+        ranges.observe(t);
+        for (QuantBits bits : {QuantBits::Int8, QuantBits::Int16}) {
+            std::vector<f32> scales = ranges.channelScales(bits);
+            ASSERT_EQ(scales.size(), size_t(c));
+            for (f32 s : scales) {
+                ASSERT_TRUE(std::isfinite(s)) << "seed " << seed;
+                ASSERT_GT(s, 0.0f) << "seed " << seed;
+            }
+            f32 ts = ranges.tensorScale(bits);
+            ASSERT_TRUE(std::isfinite(ts) && ts > 0.0f);
+
+            Tensor back =
+                dequantizeTensor(quantizeTensor(t, scales, bits));
+            for (f32 v : back.data())
+                ASSERT_TRUE(std::isfinite(v)) << "seed " << seed;
+        }
+    }
+}
+
+TEST(CalibrationFuzzTest, AllZeroTensorQuantizesToExactZero)
+{
+    Tensor t(3, 7, 7); // zero-initialized
+    ChannelRanges ranges;
+    ranges.observe(t);
+    for (QuantBits bits : {QuantBits::Int8, QuantBits::Int16}) {
+        std::vector<f32> scales = ranges.channelScales(bits);
+        for (f32 s : scales)
+            EXPECT_EQ(s, 1.0f); // the degenerate fallback
+        QuantizedTensor q = quantizeTensor(t, scales, bits);
+        for (i16 v : q.data)
+            ASSERT_EQ(v, 0);
+        Tensor back = dequantizeTensor(q);
+        for (f32 v : back.data())
+            ASSERT_EQ(v, 0.0f);
+    }
+}
+
+TEST(CalibrationFuzzTest, ExtremeDynamicRangeInOneTensor)
+{
+    // A channel holding both 1e37 and 1e-37: the huge value sets the
+    // scale, the small one underflows to code 0 — never to NaN/inf.
+    Tensor t(1, 1, 3);
+    t.at(0, 0, 0) = 1e37f;
+    t.at(0, 0, 1) = 1e-37f;
+    t.at(0, 0, 2) = -1e37f;
+    ChannelRanges ranges;
+    ranges.observe(t);
+    for (QuantBits bits : {QuantBits::Int8, QuantBits::Int16}) {
+        f32 s = ranges.tensorScale(bits);
+        ASSERT_TRUE(std::isfinite(s) && s > 0.0f);
+        QuantizedTensor q = quantizeTensor(t, {s}, bits);
+        EXPECT_EQ(q.data[0], quantMax(bits));
+        EXPECT_EQ(q.data[1], 0);
+        EXPECT_EQ(q.data[2], -quantMax(bits));
+        Tensor back = dequantizeTensor(q);
+        for (f32 v : back.data())
+            ASSERT_TRUE(std::isfinite(v));
+    }
+}
+
+// ---------------------------------------------------------------
+// Quantized convolution.
+// ---------------------------------------------------------------
+
+TEST(QuantizedConvTest, TracksFloatConvAndInt16IsTighter)
+{
+    Rng rng(21);
+    Conv2d conv(3, 5, 3);
+    conv.initHe(rng);
+    Tensor in = randomTensor(3, 19, 23, 22);
+    ChannelRanges ranges;
+    ranges.observe(in);
+
+    Tensor ref = conv.forward(in);
+    auto mseVs = [&](QuantBits bits) {
+        QuantizedConv2d q(conv, bits, ranges.tensorScale(bits));
+        Tensor out = q.forward(in);
+        f64 sum = 0.0;
+        for (size_t i = 0; i < out.data().size(); ++i) {
+            f64 d = f64(out.data()[i]) - f64(ref.data()[i]);
+            sum += d * d;
+        }
+        return sum / f64(out.data().size());
+    };
+
+    f64 mse16 = mseVs(QuantBits::Int16);
+    f64 mse8 = mseVs(QuantBits::Int8);
+    // Wider activations strictly reduce quantization noise, and both
+    // widths stay in the same ballpark as the float layer.
+    EXPECT_LT(mse16, mse8);
+    EXPECT_LT(mse16, 1e-3);
+    EXPECT_LT(mse8, 1e-1);
+}
+
+TEST(QuantizedConvTest, PerOutputChannelWeightScalesAreFinite)
+{
+    Rng rng(23);
+    Conv2d conv(4, 6, 3);
+    conv.initHe(rng);
+    // Degenerate weights: zero out one output channel entirely.
+    const i64 per_co = i64(4) * 3 * 3;
+    for (i64 i = 0; i < per_co; ++i)
+        conv.weights()[size_t(2 * per_co + i)] = 0.0f;
+
+    QuantizedConv2d q(conv, QuantBits::Int8, 0.01f);
+    ASSERT_EQ(q.weightScales().size(), 6u);
+    for (f32 s : q.weightScales()) {
+        EXPECT_TRUE(std::isfinite(s));
+        EXPECT_GT(s, 0.0f);
+    }
+    // The zeroed channel hits the degenerate fallback and its output
+    // must be exactly its bias.
+    Tensor out = q.forward(randomTensor(4, 5, 5, 24));
+    for (i64 i = 0; i < 25; ++i)
+        EXPECT_EQ(out.channelData(2)[size_t(i)], conv.biases()[2]);
+}
+
+TEST(QuantizedConvTest, ScalarAndAvx2PathsBitIdentical)
+{
+    if (detectedSimdLevel() < SimdLevel::Avx2)
+        GTEST_SKIP() << "host has no AVX2 path";
+
+    auto run = [] {
+        Rng rng(25);
+        Conv2d conv(5, 7, 3); // odd channel counts: partial ci tiles
+        conv.initHe(rng);
+        Tensor in = randomTensor(5, 29, 37, 26); // odd spatial dims
+        ChannelRanges ranges;
+        ranges.observe(in);
+        u64 h = 0;
+        for (QuantBits bits : {QuantBits::Int8, QuantBits::Int16}) {
+            QuantizedConv2d q(conv, bits, ranges.tensorScale(bits));
+            h = fnv1aVec(q.forward(in).data(), h);
+        }
+        return h;
+    };
+
+    forceSimdLevel(SimdLevel::Scalar);
+    u64 scalar = run();
+    forceSimdLevel(SimdLevel::Avx2);
+    u64 avx2 = run();
+    clearForcedSimdLevel();
+    EXPECT_EQ(scalar, avx2);
+}
+
+TEST(QuantizedConvTest, AccumulatorOverflowGuardTrips)
+{
+    Rng rng(27);
+    // 58 * 3 * 3 = 522 taps: over the ~516-tap int16-activation bound
+    // (522 * 127 * 32767 > 2^31), still fine for int8 activations.
+    Conv2d big(58, 2, 3);
+    big.initHe(rng);
+    EXPECT_THROW(QuantizedConv2d(big, QuantBits::Int16, 0.01f),
+                 PanicError);
+    EXPECT_NO_THROW(QuantizedConv2d(big, QuantBits::Int8, 0.01f));
+}
+
+// ---------------------------------------------------------------
+// Precision plans + quantized SR net.
+// ---------------------------------------------------------------
+
+TEST(PrecisionPlanTest, UniformPlansAndQuantizedDetection)
+{
+    PrecisionPlan fp = PrecisionPlan::uniform(3, Precision::Fp32);
+    EXPECT_EQ(fp.name, "fp32");
+    EXPECT_EQ(fp.layers.size(), 3u);
+    EXPECT_FALSE(fp.anyQuantized());
+
+    PrecisionPlan i8 = PrecisionPlan::uniform(3, Precision::Int8);
+    EXPECT_EQ(i8.name, "int8");
+    EXPECT_TRUE(i8.anyQuantized());
+
+    // Hybrid is a network-level mode, not a per-layer value.
+    EXPECT_THROW(PrecisionPlan::uniform(3, Precision::HybridInt8),
+                 PanicError);
+}
+
+TEST(QuantizedSrNetTest, AllFp32PlanIsBitIdenticalToReference)
+{
+    auto net = std::make_shared<const CompactSrNet>();
+    Tensor in = randomTensor(1, 24, 32, 33, 0.0, 1.0);
+    SrCalibration cal = calibrateSrNet(*net, {in});
+    QuantizedSrNet qnet(
+        net, PrecisionPlan::uniform(CompactSrNet::kConvLayers,
+                                    Precision::Fp32),
+        cal);
+    EXPECT_EQ(fnv1aVec(qnet.forward(in).data()),
+              fnv1aVec(net->forward(in).data()));
+}
+
+TEST(QuantizedSrNetTest, QuantizedForwardStaysCloseToReference)
+{
+    auto net = quickTrainedNet();
+    Tensor in = randomTensor(1, 24, 32, 35, 0.0, 1.0);
+    SrCalibration cal = calibrateSrNet(*net, {in});
+    Tensor ref = net->forward(in);
+
+    for (Precision p : {Precision::Int16, Precision::HybridInt8,
+                        Precision::Int8}) {
+        QuantizedSrNet qnet(net, planForPrecision(net, cal, {in}, p),
+                            cal);
+        Tensor out = qnet.forward(in);
+        ASSERT_TRUE(out.sameShape(ref));
+        f64 sum = 0.0;
+        for (size_t i = 0; i < out.data().size(); ++i) {
+            f64 d = f64(out.data()[i]) - f64(ref.data()[i]);
+            sum += d * d;
+        }
+        // In [0,1] luma space even int8-everywhere stays well under
+        // perceptible drift on a single layer stack.
+        EXPECT_LT(sum / f64(out.data().size()), 1e-3)
+            << precisionName(p);
+    }
+}
+
+TEST(HybridPlanTest, SpendsWideBudgetOnMostSensitiveLayer)
+{
+    auto net = quickTrainedNet();
+    std::vector<Tensor> cal_set{randomTensor(1, 20, 28, 41, 0.0, 1.0)};
+    SrCalibration cal = calibrateSrNet(*net, cal_set);
+
+    std::vector<f64> sens = layerSensitivity(net, cal, cal_set);
+    ASSERT_EQ(sens.size(), size_t(CompactSrNet::kConvLayers));
+    for (f64 s : sens)
+        EXPECT_GE(s, 0.0);
+
+    PrecisionPlan plan = hybridPlan(net, cal, cal_set, 1);
+    EXPECT_EQ(plan.name, "hybrid-int8");
+    ASSERT_EQ(plan.layers.size(), size_t(CompactSrNet::kConvLayers));
+    int wide = 0;
+    size_t wide_index = 0;
+    for (size_t i = 0; i < plan.layers.size(); ++i) {
+        if (plan.layers[i] == Precision::Int16) {
+            wide += 1;
+            wide_index = i;
+        } else {
+            EXPECT_EQ(plan.layers[i], Precision::Int8);
+        }
+    }
+    EXPECT_EQ(wide, 1);
+    // The one wide layer is the sensitivity argmax.
+    for (size_t i = 0; i < sens.size(); ++i)
+        EXPECT_LE(sens[i], sens[wide_index]);
+}
+
+// ---------------------------------------------------------------
+// Precision-aware NPU model.
+// ---------------------------------------------------------------
+
+TEST(NpuPrecisionModelTest, Fp32PathsAreBitIdenticalToLegacy)
+{
+    NpuModel npu;
+    const i64 macs = 123456789012;
+    const i64 area = 300 * 300;
+    EXPECT_EQ(npu.latencyMs(macs, area, Precision::Fp32),
+              npu.latencyMs(macs, area));
+    NpuModel::InvocationCost c =
+        npu.invocationCost(macs, area, Precision::Fp32);
+    EXPECT_EQ(c.latency_ms, npu.latencyMs(macs, area));
+    EXPECT_EQ(c.power_w, npu.active_power_w);
+    EXPECT_EQ(npu.powerW(Precision::Fp32), npu.active_power_w);
+    EXPECT_EQ(npu.throughputScale(Precision::Fp32), 1.0);
+    EXPECT_EQ(npu.kneePx(Precision::Fp32), npu.area_knee_px);
+}
+
+TEST(NpuPrecisionModelTest, Int8HalvesLatencyAndEnergy)
+{
+    NpuModel npu;
+    EdsrNetwork edsr(EdsrConfig{});
+    for (Size roi : {Size{300, 300}, Size{1280, 720}}) {
+        const i64 macs = edsr.macs(roi.height, roi.width);
+        const i64 area = roi.area();
+        auto cost = [&](Precision p) {
+            return npu.invocationCost(macs, area, p);
+        };
+        NpuModel::InvocationCost fp32 = cost(Precision::Fp32);
+        NpuModel::InvocationCost i16 = cost(Precision::Int16);
+        NpuModel::InvocationCost i8 = cost(Precision::Int8);
+
+        // The acceptance bar: int8 at least halves both latency and
+        // energy vs fp32, and int16 sits strictly between.
+        EXPECT_LE(i8.latency_ms, 0.5 * fp32.latency_ms);
+        EXPECT_LE(i8.latency_ms * i8.power_w,
+                  0.5 * fp32.latency_ms * fp32.power_w);
+        EXPECT_LT(i8.latency_ms, i16.latency_ms);
+        EXPECT_LT(i16.latency_ms, fp32.latency_ms);
+
+        // Hybrid: int16 edge + int8 body lands between the uniforms.
+        const i64 edge = edsr.macsEdge(roi.height, roi.width);
+        ASSERT_GT(edge, 0);
+        ASSERT_LT(edge, macs);
+        NpuModel::InvocationCost hyb =
+            npu.hybridCost(edge, macs - edge, area);
+        EXPECT_GT(hyb.latency_ms, i8.latency_ms);
+        EXPECT_LT(hyb.latency_ms, i16.latency_ms);
+        EXPECT_GT(hyb.power_w, npu.powerW(Precision::Int8));
+        EXPECT_LT(hyb.power_w, npu.active_power_w);
+    }
+}
+
+TEST(NpuPrecisionModelTest, NarrowActivationsPushTheKneeOut)
+{
+    NpuModel npu;
+    EXPECT_EQ(npu.kneePx(Precision::Int16), 2.0 * npu.area_knee_px);
+    EXPECT_EQ(npu.kneePx(Precision::Int8), 4.0 * npu.area_knee_px);
+}
+
+// ---------------------------------------------------------------
+// End-to-end quality on renderer scenes.
+// ---------------------------------------------------------------
+
+TEST(QuantizedSrE2ETest, Fp32KnobIsByteIdenticalToUpscale)
+{
+    auto net = quickTrainedNet();
+    DnnUpscaler dnn(net, 2);
+    GameWorld world(GameId::G7_TombRaider, 77);
+    ColorImage hr = renderScene(world.sceneAt(1.3), {192, 128}).color;
+    ColorImage lr = boxDownsample(hr, 2);
+
+    ColorImage a = dnn.upscale(lr, 2);
+    ColorImage b = dnn.upscaleWithPrecision(lr, 2, Precision::Fp32);
+    u64 ha = fnv1aVec(a.r().data());
+    ha = fnv1aVec(a.g().data(), ha);
+    ha = fnv1aVec(a.b().data(), ha);
+    u64 hb = fnv1aVec(b.r().data());
+    hb = fnv1aVec(b.g().data(), hb);
+    hb = fnv1aVec(b.b().data(), hb);
+    EXPECT_EQ(ha, hb);
+}
+
+TEST(QuantizedSrE2ETest, HybridWithinHalfDbAndStrictlyBeatsInt8)
+{
+    auto net = quickTrainedNet();
+    DnnUpscaler dnn(net, 2);
+
+    // Held-out frames (different game/seed than the trainer corpus).
+    GameWorld world(GameId::G7_TombRaider, 77);
+    std::vector<ColorImage> frames;
+    frames.push_back(renderScene(world.sceneAt(1.3), {320, 192}).color);
+    frames.push_back(renderScene(world.sceneAt(2.6), {320, 192}).color);
+
+    f64 sum_fp32 = 0.0, sum_hybrid = 0.0, sum_int8 = 0.0;
+    for (const ColorImage &hr : frames) {
+        ColorImage lr = boxDownsample(hr, 2);
+        f64 p_fp32 = psnr(dnn.upscale(lr, 2), hr);
+        f64 p_hyb = psnr(
+            dnn.upscaleWithPrecision(lr, 2, Precision::HybridInt8),
+            hr);
+        f64 p_i8 = psnr(
+            dnn.upscaleWithPrecision(lr, 2, Precision::Int8), hr);
+        // Hybrid int8 holds within 0.5 dB of fp32 on every frame.
+        EXPECT_GE(p_hyb, p_fp32 - 0.5) << "frame";
+        sum_fp32 += p_fp32;
+        sum_hybrid += p_hyb;
+        sum_int8 += p_i8;
+    }
+    // int8-everywhere is strictly worse than the hybrid schedule —
+    // the wide layer buys measurable quality.
+    EXPECT_LT(sum_int8, sum_hybrid);
+    // And hybrid is still a quality trade, not a free lunch: it can't
+    // beat fp32 by more than noise.
+    EXPECT_LE(sum_hybrid, sum_fp32 + 0.5);
+}
+
+} // namespace
+} // namespace gssr

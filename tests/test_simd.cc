@@ -306,6 +306,36 @@ TEST(SimdKernelTest, U8ToF64AndProductsBitExact)
     }
 }
 
+TEST(SimdKernelTest, MaddI16I32BitExact)
+{
+    SKIP_WITHOUT_AVX2();
+    Rng rng(9);
+    for (i64 n : kLengths) {
+        // +3 offset: unaligned accumulator and source pointers.
+        for (i64 off : {i64(0), i64(3)}) {
+            AlignedVec<i16> src(static_cast<size_t>(n + off));
+            for (auto &v : src)
+                v = i16(rng.uniformInt(-32768, 32767));
+            AlignedVec<i32> a0(static_cast<size_t>(n + off));
+            for (auto &v : a0)
+                v = i32(rng.uniformInt(-100000, 100000));
+            AlignedVec<i32> a1 = a0;
+            // Weights spanning the int8 range, including the
+            // extremes where i32 products are largest.
+            for (i32 w : {i32(-127), i32(-1), i32(0), i32(1),
+                          i32(rng.uniformInt(-127, 127)), i32(127)}) {
+                ref.madd_i16_i32(a0.data() + off, src.data() + off, w,
+                                 n);
+                avx->madd_i16_i32(a1.data() + off, src.data() + off,
+                                  w, n);
+                ASSERT_EQ(fnv1a(a0.data(), a0.size() * sizeof(i32)),
+                          fnv1a(a1.data(), a1.size() * sizeof(i32)))
+                    << "n=" << n << " off=" << off << " w=" << w;
+            }
+        }
+    }
+}
+
 TEST(SimdKernelTest, BoxDown2BitExact)
 {
     SKIP_WITHOUT_AVX2();

@@ -67,7 +67,68 @@ def check_report(path, doc):
     body = [k for k in doc if k not in REPORT_HEADER]
     if not body:
         fail(path, "report has a header but no bench payload")
+    payload_check = PAYLOAD_CHECKS.get(doc["bench"])
+    if payload_check is not None:
+        detail = payload_check(path, doc)
+        return f"bench '{doc['bench']}', {detail}"
     return f"bench '{doc['bench']}', payload keys {body}"
+
+
+def check_finite_number(path, where, value):
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        fail(path, f"{where} must be a number")
+    if value != value or value in (float("inf"), float("-inf")):
+        fail(path, f"{where} must be finite")
+
+
+# Per-row required keys of the BENCH_quant.json payload arrays.
+QUANT_PRECISIONS = {"fp32", "int16", "int8", "hybrid-int8"}
+QUANT_QUALITY_KEYS = ("precision", "frames", "mean_psnr_db",
+                      "delta_vs_fp32_db")
+QUANT_NPU_KEYS = ("model", "roi", "precision", "latency_ms",
+                  "power_w", "energy_mj", "latency_speedup_vs_fp32",
+                  "energy_reduction_vs_fp32")
+
+
+def check_quant_payload(path, doc):
+    """Deep-validate the quant_precision bench payload: both sweep
+    arrays present, one row per precision, finite numbers, positive
+    latencies/energies."""
+    for array, keys in (("quality", QUANT_QUALITY_KEYS),
+                        ("npu", QUANT_NPU_KEYS)):
+        rows = doc.get(array)
+        if not isinstance(rows, list) or not rows:
+            fail(path, f"'{array}' must be a non-empty array")
+        seen = set()
+        for i, row in enumerate(rows):
+            if not isinstance(row, dict):
+                fail(path, f"{array}[{i}] must be an object")
+            for key in keys:
+                if key not in row:
+                    fail(path, f"{array}[{i}] missing '{key}'")
+            if row["precision"] not in QUANT_PRECISIONS:
+                fail(path, f"{array}[{i}] has unknown precision "
+                           f"'{row['precision']}'")
+            seen.add(row["precision"])
+            for key in keys:
+                if key in ("precision", "model", "roi"):
+                    continue
+                check_finite_number(path, f"{array}[{i}].{key}",
+                                    row[key])
+            if array == "npu":
+                if row["latency_ms"] <= 0 or row["energy_mj"] <= 0:
+                    fail(path, f"{array}[{i}] latency/energy must be "
+                               f"positive")
+        if seen != QUANT_PRECISIONS:
+            fail(path, f"'{array}' covers precisions {sorted(seen)}, "
+                       f"expected {sorted(QUANT_PRECISIONS)}")
+    return "quant payload: quality + npu sweeps complete"
+
+
+# Bench names with a dedicated payload validator beyond the header.
+PAYLOAD_CHECKS = {
+    "quant_precision": check_quant_payload,
+}
 
 
 def check_chrome_trace(path, doc):
