@@ -1,0 +1,283 @@
+/**
+ * @file
+ * Unified QoE control-plane bench — runs the canonical heterogeneous
+ * fleet mix through two fault scenarios (a bursty-loss channel
+ * episode hitting every tenant, and a thermal-throttle episode on
+ * every client device) with the three legacy independent knob loops
+ * (AIMD backoff, degradation ladder, admission ladder) against the
+ * unified QoeController arbitrating the same advisors' proposals by
+ * predicted delta-QoE-per-cost.
+ *
+ * The fleet objective is the 10th percentile of the per-frame QoE
+ * distribution across all tenants — maximize the worst-served
+ * experience, not the average. The bench asserts the unified plane
+ * strictly improves p10 QoE on both scenarios without regressing
+ * p99 motion-to-photon latency.
+ *
+ * The predictor is calibrated once against measured PSNR on two
+ * renderer scenes (calibrateQoePredictor) and the same calibrated
+ * model scores both arms, so the comparison isolates the *control*
+ * difference. Writes BENCH_qoe.json. `--smoke` runs a reduced
+ * configuration for CI.
+ */
+
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "obs/report.hh"
+#include "obs/telemetry.hh"
+#include "pipeline/fleet.hh"
+#include "qoe/predictor.hh"
+
+using namespace gssr;
+using namespace gssr::bench;
+
+namespace
+{
+
+/** One (scenario x arm) fleet run. */
+struct ArmResult
+{
+    std::string scenario;
+    bool unified = false;
+    FleetResult fleet;
+
+    /** qoe.fleet_p10 gauge after the final tick (the live view). */
+    f64 live_fleet_p10 = 0.0;
+};
+
+/** Scripted per-tenant overrides of one fault scenario. */
+struct Scenario
+{
+    std::string name;
+    FaultScenario channel;
+    bool device_stress = false;
+    DeviceFaultScenario device_faults = DeviceFaultScenario::none();
+};
+
+/** Two pinned-Bad Gilbert-Elliott burst windows plus residual loss:
+ *  every tenant rides through the same two loss episodes. */
+FaultScenario
+burstyLoss(int ticks)
+{
+    FaultScenario s;
+    s.name = "bursty-loss";
+    const i64 len = std::max<i64>(12, ticks / 12);
+    FaultEvent burst;
+    burst.force_burst = true;
+    burst.extra_loss = 0.08;
+    burst.start_frame = ticks / 6;
+    burst.end_frame = burst.start_frame + len;
+    s.events.push_back(burst);
+    burst.start_frame = ticks / 2;
+    burst.end_frame = burst.start_frame + len;
+    s.events.push_back(burst);
+    return s;
+}
+
+ArmResult
+runArm(const Scenario &sc, bool unified, int sessions, int ticks,
+       const qoe::QoeCalibration &calibration)
+{
+    obs::Telemetry telemetry(/*spans=*/false);
+    FleetServer fleet(ServerProfile::edgeRack(2), SchedulePolicy::Edf);
+    fleet.setTelemetry(&telemetry);
+
+    for (int i = 0; i < sessions; ++i) {
+        SessionConfig config = fleetMixSessionConfig(i);
+        // All tenants run the GameStreamSR client: the NEMO baseline
+        // has no NPU degradation ladder, so its frames would dilute
+        // the p10 objective with a floor no control plane can move.
+        config.design = DesignKind::GameStreamSR;
+        config.frames = ticks;
+        config.fault_scenario = sc.channel;
+        config.device_stress.enabled = sc.device_stress;
+        config.device_faults = sc.device_faults;
+        // Both arms score QoE with the same calibrated predictor;
+        // only the *control* differs.
+        config.qoe.predictor.calibration = calibration;
+        config.qoe.enabled = unified;
+        fleet.admit(config);
+    }
+
+    ArmResult arm;
+    arm.scenario = sc.name;
+    arm.unified = unified;
+    arm.fleet = fleet.run(ticks);
+
+    obs::MetricsRegistry &reg = telemetry.registry();
+    if (auto id = reg.find("qoe.fleet_p10"))
+        arm.live_fleet_p10 = reg.gaugeValue(*id);
+    return arm;
+}
+
+void
+writeReport(bool smoke, int sessions, int ticks,
+            const qoe::CalibrationResult &calibration,
+            const std::vector<ArmResult> &arms)
+{
+    obs::Report report("BENCH_qoe.json", "qoe_control", smoke);
+    obs::JsonWriter &w = report.json();
+    w.field("sessions", sessions);
+    w.field("ticks", ticks);
+
+    w.key("calibration");
+    w.beginObject();
+    w.field("gain", calibration.calibration.gain, 6);
+    w.field("offset", calibration.calibration.offset, 6);
+    w.field("max_abs_error_db", calibration.max_abs_error_db, 4);
+    w.field("samples", i64(calibration.samples.size()));
+    w.endObject();
+
+    w.key("scenarios");
+    w.beginArray();
+    for (size_t i = 0; i + 1 < arms.size(); i += 2) {
+        const ArmResult &indep = arms[i];
+        const ArmResult &uni = arms[i + 1];
+        w.beginObject();
+        w.field("scenario", indep.scenario);
+        w.key("arms");
+        w.beginArray();
+        for (const ArmResult *a : {&indep, &uni}) {
+            const FleetResult &fl = a->fleet;
+            i64 actions = 0;
+            for (const FleetSessionStats &s : fl.sessions)
+                actions += s.qoe_actions;
+            w.beginObject();
+            w.field("arm",
+                    std::string(a->unified ? "unified"
+                                           : "independent"));
+            w.field("p10_qoe", fl.qoe.percentile(10.0), 4);
+            w.field("p50_qoe", fl.qoe.percentile(50.0), 4);
+            w.field("mean_qoe", fl.qoe.mean(), 4);
+            w.field("live_fleet_p10", a->live_fleet_p10, 4);
+            w.field("p50_mtp_ms", fl.mtp_ms.percentile(50.0), 4);
+            w.field("p99_mtp_ms", fl.mtp_ms.percentile(99.0), 4);
+            w.field("frames", fl.frames_total);
+            w.field("shed", fl.frames_shed);
+            w.field("dropped", fl.frames_dropped);
+            w.field("qoe_actions", actions);
+            w.field("aggregate_mbps", fl.aggregate_bitrate_mbps, 4);
+            w.endObject();
+        }
+        w.endArray();
+        w.field("p10_qoe_gain",
+                uni.fleet.qoe.percentile(10.0) -
+                    indep.fleet.qoe.percentile(10.0),
+                4);
+        w.field("p99_mtp_delta_ms",
+                uni.fleet.mtp_ms.percentile(99.0) -
+                    indep.fleet.mtp_ms.percentile(99.0),
+                4);
+        w.endObject();
+    }
+    w.endArray();
+
+    report.close();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0)
+            smoke = true;
+    }
+
+    printHeader("QoE control plane",
+                "unified controller vs. independent knob loops, "
+                "fleet p10 QoE objective" +
+                    std::string(smoke ? " (smoke)" : ""));
+
+    const int sessions = smoke ? 6 : 8;
+    const int ticks = smoke ? 240 : 600;
+
+    // Calibrate the spatial core once against measured PSNR on two
+    // renderer scenes; both arms score with the result.
+    const qoe::CalibrationResult calibration = calibrateQoePredictor(
+        qoe::QoePredictorConfig{}, Size{192, 96},
+        {{GameId::G3_Witcher3, 7}, {GameId::G1_MetroExodus, 3}});
+    std::cout << "calibration: gain="
+              << TableWriter::num(calibration.calibration.gain, 3)
+              << " offset="
+              << TableWriter::num(calibration.calibration.offset, 2)
+              << " max_err="
+              << TableWriter::num(calibration.max_abs_error_db, 2)
+              << " dB over " << calibration.samples.size()
+              << " samples\n\n";
+
+    std::vector<Scenario> scenarios;
+    scenarios.push_back(
+        {"bursty-loss", burstyLoss(ticks), false,
+         DeviceFaultScenario::none()});
+    // A hard soak window with recovery room on both sides: the
+    // proactive thermal advisor differentiates entering the episode
+    // (precision steps before the knee) and the eager unified
+    // up-steps differentiate leaving it (the legacy ladder waits 48
+    // clean frames while headroom is already back).
+    scenarios.push_back({"thermal-throttle", FaultScenario::none(),
+                         true,
+                         DeviceFaultScenario::thermalSoak(
+                             ticks / 6, ticks / 6 + ticks / 2,
+                             10.0)});
+
+    std::vector<ArmResult> arms;
+    TableWriter table({"scenario", "arm", "p10 QoE", "p50 QoE",
+                       "mean QoE", "p99 MTP", "shed", "dropped",
+                       "actions", "Mbit/s"});
+    for (const Scenario &sc : scenarios) {
+        for (bool unified : {false, true}) {
+            arms.push_back(runArm(sc, unified, sessions, ticks,
+                                  calibration.calibration));
+            const ArmResult &a = arms.back();
+            const FleetResult &fl = a.fleet;
+            i64 actions = 0;
+            for (const FleetSessionStats &s : fl.sessions)
+                actions += s.qoe_actions;
+            table.addRow(
+                {a.scenario, a.unified ? "unified" : "independent",
+                 TableWriter::num(fl.qoe.percentile(10.0), 2),
+                 TableWriter::num(fl.qoe.percentile(50.0), 2),
+                 TableWriter::num(fl.qoe.mean(), 2),
+                 TableWriter::num(fl.mtp_ms.percentile(99.0), 2),
+                 std::to_string(fl.frames_shed),
+                 std::to_string(fl.frames_dropped),
+                 std::to_string(actions),
+                 TableWriter::num(fl.aggregate_bitrate_mbps, 2)});
+        }
+    }
+    printTable(table);
+
+    // The headline contract: on every scenario the unified plane
+    // strictly raises the fleet's p10 QoE without hurting tail MTP.
+    for (size_t i = 0; i + 1 < arms.size(); i += 2) {
+        const FleetResult &indep = arms[i].fleet;
+        const FleetResult &uni = arms[i + 1].fleet;
+        const f64 p10_gain = uni.qoe.percentile(10.0) -
+                             indep.qoe.percentile(10.0);
+        const f64 mtp_delta = uni.mtp_ms.percentile(99.0) -
+                              indep.mtp_ms.percentile(99.0);
+        std::cout << "\n" << arms[i].scenario << ": p10 QoE "
+                  << TableWriter::num(indep.qoe.percentile(10.0), 2)
+                  << " -> "
+                  << TableWriter::num(uni.qoe.percentile(10.0), 2)
+                  << " (+" << TableWriter::num(p10_gain, 2)
+                  << "), p99 MTP delta "
+                  << TableWriter::num(mtp_delta, 3) << " ms\n";
+        GSSR_ASSERT(p10_gain > 0.0,
+                    "unified control plane must strictly improve "
+                    "fleet p10 QoE");
+        GSSR_ASSERT(mtp_delta <= 1e-6,
+                    "unified control plane must not regress p99 "
+                    "MTP");
+    }
+
+    writeReport(smoke, sessions, ticks, calibration, arms);
+    return 0;
+}

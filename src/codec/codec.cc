@@ -1,5 +1,6 @@
 #include "codec/codec.hh"
 
+#include <cmath>
 #include <numeric>
 
 #include "codec/bitstream.hh"
@@ -55,6 +56,47 @@ add(const PlaneU8 &prediction, const PlaneF32 &residual)
                     f64(residual.data()[size_t(i)]));
     }
     return out;
+}
+
+/** Mean MV magnitude (px) — the QoE model's temporal-content cue. */
+f64
+mvMeanMagnitude(const MvField &field)
+{
+    if (field.vectors.empty())
+        return 0.0;
+    f64 sum = 0.0;
+    for (const MotionVector &v : field.vectors)
+        sum += std::hypot(f64(v.dx), f64(v.dy));
+    return sum / f64(field.vectors.size());
+}
+
+/** RMS of (plane - 128): energy of the intra-coded luma. */
+f64
+lumaRms(const PlaneU8 &plane)
+{
+    f64 sum_sq = 0.0;
+    for (i64 i = 0; i < plane.sampleCount(); ++i) {
+        const f64 s = f64(plane.data()[size_t(i)]) - 128.0;
+        sum_sq += s * s;
+    }
+    return plane.sampleCount() > 0
+               ? std::sqrt(sum_sq / f64(plane.sampleCount()))
+               : 0.0;
+}
+
+/** RMS of (a - b): energy of the inter prediction residual. */
+f64
+lumaDiffRms(const PlaneU8 &a, const PlaneU8 &b)
+{
+    f64 sum_sq = 0.0;
+    for (i64 i = 0; i < a.sampleCount(); ++i) {
+        const f64 s =
+            f64(a.data()[size_t(i)]) - f64(b.data()[size_t(i)]);
+        sum_sq += s * s;
+    }
+    return a.sampleCount() > 0
+               ? std::sqrt(sum_sq / f64(a.sampleCount()))
+               : 0.0;
 }
 
 void
@@ -259,6 +301,7 @@ GopEncoder::encodeYuv(const Yuv420Image &frame)
     writer.putByte(u8(config_.qp));
 
     if (out.type == FrameType::Reference) {
+        out.residual_rms = lumaRms(frame.y);
         Yuv420Image recon(size_.width, size_.height);
         recon.y = rebias(encodePlane(unbias(frame.y), config_.qp,
                                      writer));
@@ -273,6 +316,8 @@ GopEncoder::encodeYuv(const Yuv420Image &frame)
                                     config_.search_range);
         writeMvField(mv, writer);
         Yuv420Image prediction = motionCompensate(recon_prev_, mv);
+        out.mv_mean_px = mvMeanMagnitude(mv);
+        out.residual_rms = lumaDiffRms(frame.y, prediction.y);
 
         Yuv420Image recon(size_.width, size_.height);
         recon.y = add(prediction.y,
@@ -321,6 +366,7 @@ GopEncoder::encodeYuvSliced(const Yuv420Image &frame)
     ByteWriter sw;
 
     if (out.type == FrameType::Reference) {
+        out.residual_rms = lumaRms(frame.y);
         for (auto [r0, r1] : bands) {
             const int rows = r1 - r0;
             const Rect ly{0, r0, size_.width, rows};
@@ -344,6 +390,8 @@ GopEncoder::encodeYuvSliced(const Yuv420Image &frame)
         MvField mv = estimateMotion(recon_prev_.y, frame.y, bs,
                                     config_.search_range);
         Yuv420Image prediction = motionCompensate(recon_prev_, mv);
+        out.mv_mean_px = mvMeanMagnitude(mv);
+        out.residual_rms = lumaDiffRms(frame.y, prediction.y);
         for (auto [r0, r1] : bands) {
             const int rows = r1 - r0;
             const Rect ly{0, r0, size_.width, rows};

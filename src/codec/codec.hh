@@ -87,6 +87,17 @@ struct EncodedFrame
      */
     std::vector<bool> slice_present;
 
+    /**
+     * Encoder-side content statistics, produced for free while
+     * encoding (QoE-model inputs; not part of the bitstream):
+     * mean luma motion-vector magnitude in pixels (0 for intra
+     * frames) and RMS of the luma plane the encoder coded — the
+     * bias-removed frame for intra, the prediction residual for
+     * inter.
+     */
+    f64 mv_mean_px = 0.0;
+    f64 residual_rms = 0.0;
+
     /** Compressed size in bytes (what the network transports). */
     size_t sizeBytes() const { return payload.size(); }
 };

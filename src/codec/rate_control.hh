@@ -144,6 +144,22 @@ class AimdController
     /** Number of multiplicative backoffs applied. */
     i64 backoffCount() const { return backoffs_; }
 
+    /** True while a backoff (or noted external cut) is fresh — the
+     *  window within which further cuts are suppressed. */
+    bool
+    inRefractory(f64 now_ms) const
+    {
+        return now_ms - last_backoff_ms_ < config_.backoff_hold_ms;
+    }
+
+    /**
+     * Note a bitrate cut applied by another knob writer (e.g. the
+     * degradation ladder stepping its bitrate scale down). Arms the
+     * refractory window without counting a backoff, so one overload
+     * episode yields one cut no matter which loop fired first.
+     */
+    void noteExternalCut(f64 now_ms) { last_backoff_ms_ = now_ms; }
+
     /**
      * Attach a telemetry sink (not owned; null detaches). State
      * transitions then report through it: aimd.backoffs counts

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "common/mathutil.hh"
 
 namespace gssr
 {
@@ -54,22 +55,29 @@ degradedPrecision(Precision base, int tier)
     return Precision::Int8;
 }
 
-LadderTransition
-DegradationLadder::onFrame(f64 busy_ms, f64 headroom_c)
+LadderAdvice
+DegradationLadder::adviseFrame(f64 busy_ms, f64 headroom_c)
 {
+    LadderAdvice advice;
     if (!config_.enabled)
-        return LadderTransition::None;
+        return advice;
 
     if (isMiss(busy_ms)) {
         clean_run_ = 0;
         miss_run_ += 1;
         if (miss_run_ >= config_.down_after_misses &&
             tier_ < kTierCount - 1) {
-            tier_ += 1;
             miss_run_ = 0;
-            return LadderTransition::StepDown;
+            advice.transition = LadderTransition::StepDown;
+            // Urgency scales with how far past the budget the frame
+            // ran; an exhausted thermal budget is maximally urgent.
+            advice.urgency =
+                clamp((busy_ms - config_.budget_ms) / config_.budget_ms,
+                      0.25, 1.0);
+            if (headroom_c <= 0.0)
+                advice.urgency = 1.0;
         }
-        return LadderTransition::None;
+        return advice;
     }
 
     miss_run_ = 0;
@@ -77,11 +85,33 @@ DegradationLadder::onFrame(f64 busy_ms, f64 headroom_c)
     if (tier_ > 0 && clean_run_ >= config_.up_after_clean &&
         busy_ms < config_.budget_ms * config_.up_margin &&
         headroom_c >= config_.min_headroom_c) {
-        tier_ -= 1;
         clean_run_ = 0;
-        return LadderTransition::StepUp;
+        advice.transition = LadderTransition::StepUp;
+        advice.urgency = 0.2;
     }
-    return LadderTransition::None;
+    return advice;
+}
+
+void
+DegradationLadder::setTier(int tier)
+{
+    tier_ = clamp(tier, 0, kTierCount - 1);
+    miss_run_ = 0;
+    clean_run_ = 0;
+}
+
+LadderTransition
+DegradationLadder::onFrame(f64 busy_ms, f64 headroom_c)
+{
+    const LadderAdvice advice = adviseFrame(busy_ms, headroom_c);
+    // adviseFrame has already reset the relevant hysteresis run, so
+    // applying the move directly reproduces the pre-split behavior
+    // bit for bit.
+    if (advice.transition == LadderTransition::StepDown)
+        tier_ += 1;
+    else if (advice.transition == LadderTransition::StepUp)
+        tier_ -= 1;
+    return advice.transition;
 }
 
 } // namespace gssr

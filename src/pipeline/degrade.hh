@@ -82,6 +82,20 @@ enum class LadderTransition
     StepUp,
 };
 
+/**
+ * A recommended tier move (the advisor view of the ladder). In the
+ * unified control plane the ladder no longer moves its own tier: it
+ * emits advice and the QoeController decides whether the tier step is
+ * the cheapest way to buy back QoE this tick.
+ */
+struct LadderAdvice
+{
+    LadderTransition transition = LadderTransition::None;
+
+    /** How overloaded the client is, in [0, 1] (StepDown only). */
+    f64 urgency = 0.0;
+};
+
 /** Deadline watchdog + tier state machine. */
 class DegradationLadder
 {
@@ -113,8 +127,23 @@ class DegradationLadder
      * Observe one completed frame's client processing cost and the
      * device's thermal headroom (+inf when unstressed); returns the
      * transition applied to the tier for subsequent frames.
+     * Equivalent to adviseFrame() + applying the recommendation (the
+     * legacy independent-loop behavior, bit-identical to before the
+     * advisor split).
      */
     LadderTransition onFrame(f64 busy_ms, f64 headroom_c);
+
+    /**
+     * Advisor variant of onFrame: updates the hysteresis counters and
+     * recommends a transition but leaves the tier untouched — the
+     * unified control plane applies (or rejects) the move itself.
+     */
+    LadderAdvice adviseFrame(f64 busy_ms, f64 headroom_c);
+
+    /** Move to @p tier (clamped) and restart the hysteresis runs —
+     *  how the control plane reflects an applied tier action back
+     *  into the advisor's state machine. */
+    void setTier(int tier);
 
     const LadderConfig &config() const { return config_; }
 

@@ -95,6 +95,13 @@ FleetServer::setTelemetry(obs::Telemetry *telemetry)
     tm_.frames_concealed = reg.counter("fleet.frames_concealed");
     tm_.mtp_ms = reg.histogram(
         "fleet.mtp_ms", obs::HistogramLayout::linear(0, 250, 500));
+    // Shared with the tenants' QoE scoring (session/controller side
+    // registers the same name): the fleet reads its percentile back
+    // out as the live p10-QoE objective gauge.
+    tm_.qoe_frame_score = reg.histogram(
+        "qoe.frame_score",
+        obs::HistogramLayout::linear(0.0, 100.0, 100));
+    tm_.qoe_fleet_p10 = reg.gauge("qoe.fleet_p10");
 }
 
 AdmissionDecision
@@ -116,11 +123,16 @@ FleetServer::admit(SessionConfig config)
     obs::SpanExporter *spans =
         telemetry_ ? telemetry_->spans() : nullptr;
     f64 cost = estimateSessionCostMs(profile_, config);
+    qoe::ControlAction step;
+    step.advisor = "admission";
     while (committed_ms_ + cost / f64(fps_divisor) > budget) {
         const Size smaller = degradeResolution(config.lr_size);
         if (smaller.width >= kMinDegradedWidth) {
             config.lr_size = smaller;
             decision.outcome = AdmissionOutcome::Degraded;
+            step.kind = qoe::ActionKind::ResolutionStep;
+            step.direction = -1;
+            decision.actions.push_back(step);
             if (spans)
                 spans->instant("admission.degrade_resolution",
                                "admission", next_id_, 0.0,
@@ -128,11 +140,17 @@ FleetServer::admit(SessionConfig config)
         } else if (fps_divisor == 1) {
             fps_divisor = 2;
             decision.outcome = AdmissionOutcome::Degraded;
+            step.kind = qoe::ActionKind::FrameRateStep;
+            step.direction = -1;
+            decision.actions.push_back(step);
             if (spans)
                 spans->instant("admission.degrade_fps", "admission",
                                next_id_, 0.0, 30.0);
         } else {
             decision.outcome = AdmissionOutcome::Rejected;
+            step.kind = qoe::ActionKind::Shed;
+            step.direction = 0;
+            decision.actions.push_back(step);
             decision.config = std::move(config);
             rejected_ += 1;
             if (telemetry_)
@@ -144,6 +162,9 @@ FleetServer::admit(SessionConfig config)
         }
         cost = estimateSessionCostMs(profile_, config);
     }
+    step.kind = qoe::ActionKind::Admit;
+    step.direction = 0;
+    decision.actions.push_back(step);
 
     if (telemetry_) {
         telemetry_->registry().add(
@@ -243,6 +264,11 @@ FleetServer::run(int ticks)
         s.frames_held = session.degradation.frames_held;
         s.final_tier = session.degradation.final_tier;
         s.peak_temperature_c = session.degradation.peak_temperature_c;
+        s.mean_qoe = session.meanQoe();
+        s.p10_qoe = session.qoePercentile(10.0);
+        s.qoe_actions = session.qoe_actions;
+        for (f64 score : session.qoe_frames)
+            result.qoe.add(score);
 
         f64 queue_total = 0.0;
         f64 mtp_total = 0.0;
@@ -297,6 +323,11 @@ FleetServer::updateTickTelemetry(i64 tick, f64 now_ms)
     reg.set(tm_.shed_rate, shed);
     reg.set(tm_.drop_rate, drop);
     reg.set(tm_.conceal_rate, conceal);
+    // The fleet objective, live: p10 of every tenant's per-frame QoE
+    // scores (bucket-resolved from the shared histogram).
+    const f64 p10_qoe =
+        reg.histogramPercentile(tm_.qoe_frame_score, 10.0);
+    reg.set(tm_.qoe_fleet_p10, p10_qoe);
     telemetry_->updateParallelPoolMetrics();
 
     // Fleet-wide counter series on the reserved track -1: the

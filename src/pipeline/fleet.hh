@@ -21,6 +21,7 @@
 
 #include "common/stats.hh"
 #include "pipeline/scheduler.hh"
+#include "qoe/actions.hh"
 
 namespace gssr
 {
@@ -55,6 +56,14 @@ struct AdmissionDecision
 
     /** Estimated per-tick service-time commitment (ms). */
     f64 estimated_cost_ms = 0.0;
+
+    /**
+     * The admission ladder's moves in the unified ControlAction
+     * vocabulary (qoe/actions.hh): one ResolutionStep/FrameRateStep
+     * per degradation applied, terminated by Admit or Shed. The
+     * legacy lr_size/fps_divisor fields above are derived views.
+     */
+    std::vector<qoe::ControlAction> actions;
 };
 
 /** Per-session summary in a FleetResult. */
@@ -91,6 +100,13 @@ struct FleetSessionStats
 
     /** Transmitted stream bitrate over the run (Mbit/s). */
     f64 bitrate_mbps = 0.0;
+
+    /** Mean / p10 per-frame QoE score (session.hh qoe_frames). */
+    f64 mean_qoe = 0.0;
+    f64 p10_qoe = 0.0;
+
+    /** Unified-controller actions applied (0 when disabled). */
+    i64 qoe_actions = 0;
 };
 
 /** Aggregate outcome of one fleet run. */
@@ -114,6 +130,14 @@ struct FleetResult
 
     /** MTP of every delivered frame across all sessions (ms). */
     SampleStats mtp_ms;
+
+    /**
+     * Per-frame QoE scores across every tenant — the fleet
+     * objective is the 10th percentile of this distribution
+     * (qoe.percentile(10.0)): maximize the experience of the
+     * worst-served tenants, not the average.
+     */
+    SampleStats qoe;
 
     /** Sum of per-session transmitted bitrates (Mbit/s). */
     f64 aggregate_bitrate_mbps = 0.0;
@@ -208,6 +232,8 @@ class FleetServer
         u32 frames_dropped = 0;
         u32 frames_concealed = 0;
         u32 mtp_ms = 0;
+        u32 qoe_frame_score = 0;
+        u32 qoe_fleet_p10 = 0;
     };
 
     /** Refresh the live fleet-wide gauges at the end of one tick. */

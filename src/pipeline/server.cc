@@ -52,6 +52,13 @@ GameStreamServer::requestIntraRefresh()
 }
 
 void
+GameStreamServer::applyKnobs(const qoe::KnobState &knobs)
+{
+    if (rate_controller_.has_value() && knobs.target_mbps > 0.0)
+        rate_controller_->setTargetMbps(knobs.target_mbps);
+}
+
+void
 GameStreamServer::setTargetBitrate(f64 mbps)
 {
     GSSR_ASSERT(rate_controller_.has_value(),

@@ -15,6 +15,7 @@
 #include "codec/rate_control.hh"
 #include "device/profiles.hh"
 #include "pipeline/trace.hh"
+#include "qoe/actions.hh"
 #include "render/games.hh"
 #include "render/rasterizer.hh"
 #include "roi/roi_detector.hh"
@@ -146,9 +147,20 @@ class GameStreamServer
     i64 intraRefreshCount() const { return intra_refreshes_; }
 
     /**
-     * Retarget the encoder's rate controller (the AIMD backoff
-     * loop). Requires a rate-controlled server
-     * (target_bitrate_mbps > 0).
+     * Apply the control plane's knob state to the server-side knobs.
+     * Today that is the encoder rate target (resolution and frame
+     * rate are admission-time knobs, fixed once the stream starts);
+     * ignored for fixed-qp servers (knobs.target_mbps == 0). This is
+     * the one entry point the session's knob writer calls.
+     */
+    void applyKnobs(const qoe::KnobState &knobs);
+
+    /**
+     * Retarget the encoder's rate controller. Requires a
+     * rate-controlled server (target_bitrate_mbps > 0).
+     * @deprecated Thin legacy shim — knob writes go through
+     * applyKnobs(); only the legacy independent-loop path and old
+     * tests call this directly.
      */
     void setTargetBitrate(f64 mbps);
 

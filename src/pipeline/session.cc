@@ -213,6 +213,26 @@ SessionResult::meanPsnrDb() const
 }
 
 f64
+SessionResult::meanQoe() const
+{
+    if (qoe_frames.empty())
+        return 0.0;
+    f64 total = 0.0;
+    for (f64 s : qoe_frames)
+        total += s;
+    return total / f64(qoe_frames.size());
+}
+
+f64
+SessionResult::qoePercentile(f64 p) const
+{
+    SampleStats stats;
+    for (f64 s : qoe_frames)
+        stats.add(s);
+    return stats.percentile(p);
+}
+
+f64
 SessionResult::meanLpips() const
 {
     f64 total = 0.0;
@@ -253,6 +273,19 @@ SessionEngine::serverConfigFor(const SessionConfig &config)
     return server_config;
 }
 
+LadderConfig
+SessionEngine::ladderConfigFor(const SessionConfig &config)
+{
+    LadderConfig ladder = config.ladder;
+    // Unified mode recovers eagerly: the controller's own hysteresis
+    // and delta-QoE scoring guard against oscillation, so the
+    // advisor can recommend up-steps much sooner than the legacy
+    // free-running ladder dared to.
+    if (config.qoe.enabled)
+        ladder.up_after_clean = config.qoe.ladder_up_after_clean;
+    return ladder;
+}
+
 Size
 SessionEngine::roiWindowFor(const SessionConfig &config)
 {
@@ -277,7 +310,8 @@ SessionEngine::SessionEngine(const SessionConfig &config)
       channel_(config.channel, config.channel_seed,
                config.fault_scenario),
       concealer_(config.resilience.concealment),
-      ladder_(config.ladder),
+      ladder_(ladderConfigFor(config)),
+      qoe_predictor_(config.qoe.predictor),
       hr_size_{config.lr_size.width * config.scale_factor,
                config.lr_size.height * config.scale_factor}
 {
@@ -308,6 +342,17 @@ SessionEngine::SessionEngine(const SessionConfig &config)
     const ResilienceConfig &res = config_.resilience;
     if (res.aimd && config_.target_bitrate_mbps > 0.0) {
         aimd_.emplace(res.aimd_config, config_.target_bitrate_mbps);
+    }
+
+    // Unified QoE control plane: seed the knob state from the
+    // session config — from here on the controller is the only
+    // writer of these knobs; AIMD and the ladder merely advise.
+    if (config_.qoe.enabled) {
+        qoe::KnobState knobs;
+        knobs.lr_size = config_.lr_size;
+        knobs.target_mbps = config_.target_bitrate_mbps;
+        knobs.sr_precision = config_.sr_precision;
+        qoe_.emplace(config_.qoe, knobs);
     }
 
     if (config_.telemetry) {
@@ -343,11 +388,18 @@ SessionEngine::SessionEngine(const SessionConfig &config)
         tm_.tier_gauge = reg.gauge("client.tier");
         tm_.temperature_gauge = reg.gauge("client.temperature_c");
         tm_.headroom_gauge = reg.gauge("client.thermal_headroom_c");
+        tm_.qoe_score = reg.gauge("qoe.score");
+        tm_.qoe_frame_score = reg.histogram(
+            "qoe.frame_score",
+            obs::HistogramLayout::linear(0.0, 100.0, 100));
         channel_.setTelemetry(config_.telemetry,
                               config_.telemetry_track);
         if (aimd_)
             aimd_->setTelemetry(config_.telemetry,
                                 config_.telemetry_track);
+        if (qoe_)
+            qoe_->setTelemetry(config_.telemetry,
+                               config_.telemetry_track);
     }
 }
 
@@ -360,19 +412,37 @@ SessionEngine::beginFrame(f64 now_ms)
         !feedback_.drainArrived(now_ms).empty())
         server_.requestIntraRefresh();
 
-    // The AIMD loop retargets the encoder's rate controller; a
-    // degraded client additionally requests bitrate_step^tier of the
-    // target — the server should not stream full quality at a device
-    // that cannot upscale it. At tier 0 the scale is exactly 1.0, so
-    // the fixed-target no-op path below is bit-identical to a
-    // ladder-free session.
+    // Encoder retargeting. Unified mode: the controller's knob state
+    // is the single source of truth — nothing else writes the target.
+    //
+    // Legacy mode: the AIMD loop retargets the encoder's rate
+    // controller; a degraded client additionally requests
+    // bitrate_step^tier of the target — the server should not stream
+    // full quality at a device that cannot upscale it. At tier 0 the
+    // scale is exactly 1.0, so the fixed-target no-op path below is
+    // bit-identical to a ladder-free session. Ladder scale
+    // *decreases* are gated behind the AIMD refractory window (and
+    // arm it when they do apply), so one overload episode produces
+    // one bitrate cut, not a ladder-cut x AIMD-backoff double
+    // penalty.
     if (server_.rateControlled()) {
-        f64 target = aimd_ ? aimd_->targetMbps()
-                           : config_.target_bitrate_mbps;
-        f64 scaled =
-            target * (ladder_active_ ? ladder_.bitrateScale() : 1.0);
-        if (aimd_ || scaled != target)
-            server_.setTargetBitrate(scaled);
+        if (qoe_) {
+            server_.applyKnobs(qoe_->knobs());
+        } else {
+            f64 target = aimd_ ? aimd_->targetMbps()
+                               : config_.target_bitrate_mbps;
+            f64 want_scale =
+                ladder_active_ ? ladder_.bitrateScale() : 1.0;
+            f64 scale = qoe::gatedLadderScale(
+                applied_ladder_scale_, want_scale,
+                aimd_ && aimd_->inRefractory(now_ms));
+            if (scale < applied_ladder_scale_ && aimd_)
+                aimd_->noteExternalCut(now_ms);
+            applied_ladder_scale_ = scale;
+            f64 scaled = target * scale;
+            if (aimd_ || scaled != target)
+                server_.setTargetBitrate(scaled);
+        }
     }
 
     PendingFrame pending;
@@ -662,16 +732,18 @@ SessionEngine::finishFrame(PendingFrame pending,
     // nothing about client load. The trace events below are recorded
     // only in monitored sessions, so unmonitored traces (and the
     // fault-free goldens, which never miss the budget) are
-    // bit-identical to the pre-ladder pipeline.
+    // bit-identical to the pre-ladder pipeline. In unified mode the
+    // ladder only *advises*: its recommendation is proposed to the
+    // controller inside runControlPlane instead of applied here.
+    const f64 busy_ms = trace.clientBottleneckMs();
+    const f64 headroom_c = stress_ ? stress_->headroomC() : 1e18;
     if (decodable && monitored) {
-        f64 busy = trace.clientBottleneckMs();
-        if (ladder_.isMiss(busy)) {
+        if (ladder_.isMiss(busy_ms)) {
             trace.addEvent(RecoveryEvent::DeadlineMiss);
             deg.deadline_misses += 1;
         }
-        if (ladder_active_) {
-            f64 headroom = stress_ ? stress_->headroomC() : 1e18;
-            switch (ladder_.onFrame(busy, headroom)) {
+        if (ladder_active_ && !qoe_) {
+            switch (ladder_.onFrame(busy_ms, headroom_c)) {
               case LadderTransition::StepDown:
                 trace.addEvent(RecoveryEvent::LadderStepDown);
                 deg.ladder_step_downs += 1;
@@ -682,6 +754,34 @@ SessionEngine::finishFrame(PendingFrame pending,
                 break;
               case LadderTransition::None:
                 break;
+            }
+        }
+    }
+
+    // Per-frame QoE score: computed for every session (controller on
+    // or off, write-only, cheap) so control-plane arms are compared
+    // on identical footing. Unified mode then gathers the advisors'
+    // proposals and lets the controller apply at most one action.
+    {
+        qoe_conceal_ewma_ =
+            0.9 * qoe_conceal_ewma_ +
+            0.1 * ((trace.concealed || trace.dropped) ? 1.0 : 0.0);
+        const qoe::QoeFeatures f =
+            frameFeatures(produced.encoded, trace, cond.sr_precision);
+        if (qoe_) {
+            qoe_->observeFrame(f);
+            result_.qoe_frames.push_back(qoe_->lastScore());
+            runControlPlane(trace, now_ms, decodable, busy_ms,
+                            headroom_c);
+            result_.qoe_actions = qoe_->actionsApplied();
+        } else {
+            const f64 score = qoe_predictor_.score(f);
+            result_.qoe_frames.push_back(score);
+            if (config_.telemetry) {
+                obs::MetricsRegistry &reg =
+                    config_.telemetry->registry();
+                reg.set(tm_.qoe_score, score);
+                reg.observe(tm_.qoe_frame_score, score);
             }
         }
     }
@@ -736,6 +836,119 @@ SessionEngine::finishFrame(PendingFrame pending,
     result_.traces.push_back(std::move(trace));
     stats.intra_refreshes = server_.intraRefreshCount();
     frames_run_ += 1;
+}
+
+qoe::QoeFeatures
+SessionEngine::frameFeatures(const EncodedFrame &encoded,
+                             const FrameTrace &trace,
+                             Precision precision) const
+{
+    qoe::QoeFeatures f;
+    f.qp = f64(encoded.qp);
+    f.mv_mean_px = encoded.mv_mean_px;
+    f.residual_rms = encoded.residual_rms;
+    f.conceal_rate = qoe_conceal_ewma_;
+    // Achieved display rate: bounded by the client's pipelined
+    // bottleneck; a frame cheaper than the 60 FPS period displays at
+    // the full cadence.
+    const f64 busy = std::max(trace.clientBottleneckMs(),
+                              kFramePeriodMs);
+    f.frame_rate = clamp(1000.0 / busy, 1.0, 60.0);
+    f.resolution_scale =
+        clamp(f64(config_.lr_size.width) / 1280.0, 1.0 / 16.0, 1.0);
+    f.sr_precision = precision;
+    return f;
+}
+
+void
+SessionEngine::runControlPlane(FrameTrace &trace, f64 now_ms,
+                               bool decodable, f64 busy_ms,
+                               f64 headroom_c)
+{
+    qoe::QoeController &ctl = *qoe_;
+
+    // AIMD advisor: the congestion state machine still runs
+    // (onCongestion / onDelivered), but its target is advice — when
+    // it diverges from the knob state, propose a step toward it.
+    if (aimd_ && server_.rateControlled()) {
+        const f64 knob = ctl.knobs().target_mbps;
+        const f64 want = aimd_->targetMbps();
+        if (knob > 0.0 && want < knob * 0.95) {
+            qoe::ControlAction a;
+            a.kind = qoe::ActionKind::BitrateStep;
+            a.direction = -1;
+            a.magnitude = std::max(want / knob,
+                                   ctl.config().bitrate_step);
+            a.urgency = 0.7;
+            a.advisor = "aimd";
+            ctl.propose(a);
+        } else if (knob > 0.0 && want > knob * 1.05) {
+            qoe::ControlAction a;
+            a.kind = qoe::ActionKind::BitrateStep;
+            a.direction = 1;
+            a.magnitude = std::max(knob / want,
+                                   ctl.config().bitrate_step);
+            a.urgency = 0.1;
+            a.advisor = "aimd";
+            ctl.propose(a);
+        }
+    }
+
+    // Ladder advisor: deadline/thermal hysteresis recommends a tier
+    // move; the controller decides whether that beats a bitrate turn.
+    if (ladder_active_ && decodable) {
+        const LadderAdvice advice =
+            ladder_.adviseFrame(busy_ms, headroom_c);
+        if (advice.transition != LadderTransition::None) {
+            qoe::ControlAction a;
+            a.kind = qoe::ActionKind::PrecisionStep;
+            a.direction =
+                advice.transition == LadderTransition::StepDown ? -1
+                                                                : 1;
+            a.magnitude = 1.0;
+            a.urgency = advice.urgency;
+            a.advisor = "ladder";
+            ctl.propose(a);
+        }
+
+        // Thermal advisor, the unified plane's foresight: while the
+        // headroom to the throttle knee is shrinking, propose a
+        // proactive tier step so the controller can shed NPU work
+        // *before* the knee converts into the deadline-miss cascade
+        // the reactive ladder advisor above waits for. Capped to the
+        // precision tiers: the deep tiers (RoI shrink and below) cost
+        // real quality and are gated behind the reactive ladder's
+        // sustained-miss evidence, because under a long soak the
+        // headroom gate blocks up-steps and a session pushed deep
+        // stays deep.
+        const f64 margin = ctl.config().thermal_margin_c;
+        if (stress_ && margin > 0.0 && headroom_c < margin &&
+            ctl.knobs().tier < DegradationLadder::kTierRoiShrink) {
+            qoe::ControlAction a;
+            a.kind = qoe::ActionKind::PrecisionStep;
+            a.direction = -1;
+            a.magnitude = 1.0;
+            a.urgency =
+                clamp((margin - headroom_c) / margin, 0.0, 1.0);
+            a.advisor = "thermal";
+            ctl.propose(a);
+        }
+    }
+
+    const qoe::ControlAction applied = ctl.decide(now_ms);
+    if (applied.kind == qoe::ActionKind::PrecisionStep) {
+        // Reflect the applied tier into the advisor's state machine
+        // and the degradation accounting the fleet reports.
+        ladder_.setTier(ctl.knobs().tier);
+        DegradationStats &deg = result_.degradation;
+        if (applied.direction < 0) {
+            trace.addEvent(RecoveryEvent::LadderStepDown);
+            deg.ladder_step_downs += 1;
+        } else {
+            trace.addEvent(RecoveryEvent::LadderStepUp);
+            deg.ladder_step_ups += 1;
+        }
+    }
 }
 
 void

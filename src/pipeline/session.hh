@@ -21,6 +21,7 @@
 #include "pipeline/degrade.hh"
 #include "pipeline/resilience.hh"
 #include "pipeline/server.hh"
+#include "qoe/controller.hh"
 
 namespace gssr
 {
@@ -80,6 +81,15 @@ struct SessionConfig
      * GameStreamSR hybrid client; other designs ignore the ladder.
      */
     LadderConfig ladder;
+
+    /**
+     * Unified QoE control plane (qoe/controller.hh). Disabled by
+     * default: the legacy independent loops (AIMD, degradation
+     * ladder) write their knobs exactly as before, bit-identical to
+     * the checked-in goldens. Enabled, the loops become advisors and
+     * the QoeController is the single writer of the session knobs.
+     */
+    qoe::QoeControlConfig qoe;
 
     /** Streamed resolution and scale. */
     Size lr_size{1280, 720};
@@ -241,6 +251,24 @@ struct SessionResult
     ResilienceStats resilience;
     DegradationStats degradation;
 
+    /**
+     * Per-frame QoE scores (qoe/predictor.hh), one per finished
+     * frame. Scored for every session — controller enabled or not —
+     * so control-plane arms can be compared on identical footing.
+     * Derived view over the trace: NOT fingerprinted.
+     */
+    std::vector<f64> qoe_frames;
+
+    /** Control actions the unified controller applied (0 when the
+     *  control plane is disabled). Not fingerprinted. */
+    i64 qoe_actions = 0;
+
+    /** Mean per-frame QoE score over the session. */
+    f64 meanQoe() const;
+
+    /** p-th percentile of the per-frame QoE scores. */
+    f64 qoePercentile(f64 p) const;
+
     /** Mean MTP latency over frames of @p type. */
     f64 meanMtpMs(FrameType type) const;
 
@@ -375,6 +403,8 @@ class SessionEngine
         obs::MetricId tier_gauge = 0;
         obs::MetricId temperature_gauge = 0;
         obs::MetricId headroom_gauge = 0;
+        obs::MetricId qoe_score = 0;
+        obs::MetricId qoe_frame_score = 0;
     };
 
     /** Counters/histograms + stage spans for one finished frame. */
@@ -392,6 +422,10 @@ class SessionEngine
     std::optional<DeviceStressModel> stress_;
     DegradationLadder ladder_;
     bool ladder_active_ = false;
+    std::optional<qoe::QoeController> qoe_;
+    qoe::QoePredictor qoe_predictor_;
+    f64 qoe_conceal_ewma_ = 0.0;
+    f64 applied_ladder_scale_ = 1.0;
     PerceptualMetric perceptual_;
     Size hr_size_;
     SessionResult result_;
@@ -403,7 +437,17 @@ class SessionEngine
     i64 frames_run_ = 0;
     TelemetryIds tm_;
 
+    /** QoE feature vector of one finished frame. */
+    qoe::QoeFeatures frameFeatures(const EncodedFrame &encoded,
+                                   const FrameTrace &trace,
+                                   Precision precision) const;
+
+    /** Advisor proposals + controller decide (unified mode only). */
+    void runControlPlane(FrameTrace &trace, f64 now_ms, bool decodable,
+                         f64 busy_ms, f64 headroom_c);
+
     static ServerConfig serverConfigFor(const SessionConfig &config);
+    static LadderConfig ladderConfigFor(const SessionConfig &config);
     static Size roiWindowFor(const SessionConfig &config);
 };
 

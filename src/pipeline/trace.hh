@@ -107,18 +107,6 @@ struct FrameTrace
         records.push_back(record);
     }
 
-    /**
-     * Append a stage record field by field.
-     * @deprecated Transitional shim for one release — construct a
-     * StageScope instead, which records the stage on scope exit and
-     * keeps the (stage, resource) pair and its costs in one place.
-     */
-    void
-    add(Stage stage, Resource resource, f64 latency_ms, f64 energy_mj)
-    {
-        pushRecord({stage, resource, latency_ms, energy_mj});
-    }
-
     /** Append a recovery event. */
     void addEvent(RecoveryEvent event) { events.push_back(event); }
 

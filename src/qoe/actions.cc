@@ -1,0 +1,99 @@
+#include "qoe/actions.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gssr::qoe
+{
+
+const char *
+actionKindName(ActionKind kind)
+{
+    switch (kind) {
+      case ActionKind::Hold:
+        return "hold";
+      case ActionKind::ResolutionStep:
+        return "resolution-step";
+      case ActionKind::FrameRateStep:
+        return "frame-rate-step";
+      case ActionKind::BitrateStep:
+        return "bitrate-step";
+      case ActionKind::PrecisionStep:
+        return "precision-step";
+      case ActionKind::Admit:
+        return "admit";
+      case ActionKind::Shed:
+        return "shed";
+    }
+    return "?";
+}
+
+bool
+applyAction(KnobState &knobs, const ControlAction &action,
+            const KnobBounds &bounds)
+{
+    switch (action.kind) {
+      case ActionKind::Hold:
+      case ActionKind::Admit:
+      case ActionKind::Shed:
+        // Admission outcomes and explicit holds have no per-knob
+        // effect (the fleet instantiates or drops the whole session).
+        return false;
+
+      case ActionKind::ResolutionStep: {
+        // The x3/4 admission ladder step, snapped to multiples of 4
+        // (codec block alignment). Admission-time only: a session's
+        // stream resolution is fixed once the encoder starts.
+        if (action.direction >= 0)
+            return false; // no in-vocabulary resolution up-step
+        Size smaller{(knobs.lr_size.width * 3 / 4) & ~3,
+                     (knobs.lr_size.height * 3 / 4) & ~3};
+        if (smaller.width < bounds.min_width)
+            return false;
+        knobs.lr_size = smaller;
+        return true;
+      }
+
+      case ActionKind::FrameRateStep: {
+        if (action.direction < 0) {
+            if (knobs.fps_divisor >= bounds.max_fps_divisor)
+                return false;
+            knobs.fps_divisor *= 2;
+        } else {
+            if (knobs.fps_divisor <= 1)
+                return false;
+            knobs.fps_divisor /= 2;
+        }
+        return true;
+      }
+
+      case ActionKind::BitrateStep: {
+        if (knobs.target_mbps <= 0.0)
+            return false; // fixed-qp session: no bitrate knob
+        const f64 factor =
+            clamp(action.magnitude, 1.0 / 16.0, 1.0);
+        f64 target = action.direction < 0
+                         ? knobs.target_mbps * factor
+                         : knobs.target_mbps / factor;
+        target = clamp(target, bounds.min_mbps, bounds.max_mbps);
+        if (target == knobs.target_mbps)
+            return false;
+        knobs.target_mbps = target;
+        return true;
+      }
+
+      case ActionKind::PrecisionStep: {
+        const int steps =
+            std::max(1, int(std::lround(action.magnitude)));
+        int tier = knobs.tier - action.direction * steps;
+        tier = clamp(tier, 0, bounds.max_tier);
+        if (tier == knobs.tier)
+            return false;
+        knobs.tier = tier;
+        return true;
+      }
+    }
+    return false;
+}
+
+} // namespace gssr::qoe

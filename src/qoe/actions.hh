@@ -1,0 +1,143 @@
+/**
+ * @file
+ * The unified session-control vocabulary: one typed `ControlAction`
+ * per knob turn and one `KnobState` snapshot of every knob a session
+ * exposes. Before this API the knobs were plumbed ad hoc — the AIMD
+ * loop called GameStreamServer::setTargetBitrate directly, the
+ * degradation ladder multiplied its own bitrate scale on top, the
+ * fleet admission ladder mutated SessionConfig resolution/fps ints in
+ * place, and SessionConfig::sr_precision was threaded separately.
+ * Every one of those writers now speaks this vocabulary; the
+ * QoeController (qoe/controller.hh) is the only component that
+ * *applies* actions when the unified control plane is enabled, and
+ * the legacy loops apply them through the same helpers when it is
+ * not.
+ */
+
+#ifndef GSSR_QOE_ACTIONS_HH
+#define GSSR_QOE_ACTIONS_HH
+
+#include "common/mathutil.hh"
+#include "common/types.hh"
+
+namespace gssr::qoe
+{
+
+/** What kind of knob turn a ControlAction performs. */
+enum class ActionKind
+{
+    Hold,           ///< explicit no-op (the null action candidates beat)
+    ResolutionStep, ///< stream resolution ladder step (x3/4 per step)
+    FrameRateStep,  ///< frame-rate ladder step (fps divisor x2)
+    BitrateStep,    ///< encoder-target multiplicative step
+    PrecisionStep,  ///< SR inference precision / degradation-tier step
+    Admit,          ///< fleet admission: accept the session
+    Shed,           ///< fleet admission: reject / shed the session
+};
+
+/** Action name for tables / telemetry. */
+const char *actionKindName(ActionKind kind);
+
+/**
+ * One proposed (or applied) knob turn. Advisors propose these with an
+ * urgency; the controller scores candidates by predicted
+ * delta-QoE-per-cost and applies at most one per tick.
+ */
+struct ControlAction
+{
+    ActionKind kind = ActionKind::Hold;
+
+    /** +1 steps toward quality, -1 toward load shedding; 0 for
+     *  Hold/Admit/Shed. */
+    int direction = 0;
+
+    /**
+     * Kind-specific step size: the multiplicative factor for
+     * BitrateStep (e.g. 0.85 = cut to 85 %), the number of tier
+     * steps for PrecisionStep, unused (1.0) otherwise.
+     */
+    f64 magnitude = 1.0;
+
+    /** Advisor urgency in [0, 1]; scales the controller's score. */
+    f64 urgency = 0.0;
+
+    /** Advisor name for telemetry ("aimd", "ladder", "thermal",
+     *  "admission"). */
+    const char *advisor = "";
+};
+
+/** The Hold action (what the controller applies on a quiet tick). */
+inline ControlAction
+holdAction()
+{
+    return ControlAction{};
+}
+
+/**
+ * Snapshot of every session knob the control plane owns. One
+ * KnobState per session is the single source of truth; subsystems
+ * read their knob from it instead of carrying private copies
+ * (SessionConfig::sr_precision and target_bitrate_mbps seed it, the
+ * fleet admission ladder rewrites lr_size / fps_divisor through it,
+ * and the degradation tier lives here instead of in scattered ints).
+ */
+struct KnobState
+{
+    /** Streamed (low) resolution. */
+    Size lr_size{1280, 720};
+
+    /** 1 = full rate (60 FPS), 2 = every other tick (30 FPS). */
+    int fps_divisor = 1;
+
+    /** Encoder rate-control target (Mbit/s); 0 = fixed qp. */
+    f64 target_mbps = 0.0;
+
+    /** Session-configured SR inference precision. */
+    Precision sr_precision = Precision::Fp32;
+
+    /** Degradation tier (pipeline/degrade.hh semantics, 0..4). */
+    int tier = 0;
+};
+
+/** Bounds the controller clamps knob writes against. */
+struct KnobBounds
+{
+    f64 min_mbps = 2.0;
+    f64 max_mbps = 120.0;
+    int max_tier = 4;
+
+    /** Resolution ladder floor (matches the fleet admission floor). */
+    int min_width = 480;
+
+    /** Frame-rate ladder floor: divisor 2 = 30 FPS. */
+    int max_fps_divisor = 2;
+};
+
+/**
+ * Apply one action to a knob state, clamped to @p bounds. Returns
+ * false (state untouched) when the action cannot apply — stepping up
+ * from tier 0, stepping a bitrate knob of a fixed-qp session, or an
+ * Admit/Shed (admission-time actions have no per-tick knob effect).
+ */
+bool applyAction(KnobState &knobs, const ControlAction &action,
+                 const KnobBounds &bounds);
+
+/**
+ * Gate a quality-*reducing* ladder bitrate scale behind the AIMD
+ * refractory window — the fix for the double-penalty bug where the
+ * degradation ladder and the AIMD loop both cut the encoder target
+ * in the same tick. A scale increase (the ladder recovering) always
+ * applies; a decrease is deferred while a multiplicative backoff is
+ * fresh, so one overload episode produces one cut.
+ */
+inline f64
+gatedLadderScale(f64 applied, f64 want, bool in_refractory)
+{
+    if (want >= applied || !in_refractory)
+        return want;
+    return applied;
+}
+
+} // namespace gssr::qoe
+
+#endif // GSSR_QOE_ACTIONS_HH

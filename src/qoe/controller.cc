@@ -1,0 +1,261 @@
+#include "qoe/controller.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/mathutil.hh"
+#include "obs/telemetry.hh"
+
+namespace gssr::qoe
+{
+
+namespace
+{
+
+// Degradation-tier landmarks (pipeline/degrade.hh semantics, restated
+// here to keep the what-if model free of a pipeline dependency).
+constexpr int kWhatIfTierRoiShrink = 2;
+constexpr int kWhatIfTierGpuOnly = 3;
+constexpr int kWhatIfTierHold = 4;
+
+/** Precision the client runs at a given degradation tier (mirrors
+ *  pipeline/degrade.hh degradedPrecision, restated here to keep the
+ *  what-if model free of a pipeline dependency). */
+Precision
+tierPrecision(Precision base, int tier)
+{
+    if (tier < 1)
+        return base;
+    if (tier == 1)
+        return (base == Precision::Fp32 || base == Precision::Int16)
+                   ? Precision::HybridInt8
+                   : Precision::Int8;
+    return Precision::Int8;
+}
+
+/** True when applying @p cand reduces the encoder bitrate target
+ *  relative to @p cur (the class of action the shared refractory
+ *  window meters). */
+bool
+reducesBitrate(const KnobState &cur, const KnobState &cand)
+{
+    return cur.target_mbps > 0.0 &&
+           cand.target_mbps < cur.target_mbps;
+}
+
+} // namespace
+
+QoeController::QoeController(const QoeControlConfig &config,
+                             const KnobState &initial)
+    : config_(config), predictor_(config.predictor), knobs_(initial),
+      requested_(initial)
+{
+    GSSR_ASSERT(config_.hysteresis_ticks >= 0,
+                "hysteresis window must be >= 0");
+    GSSR_ASSERT(config_.min_action_gap_ticks >= 0,
+                "action gap must be >= 0");
+    GSSR_ASSERT(config_.bitrate_step > 0.0 &&
+                    config_.bitrate_step <= 1.0,
+                "bitrate step must be in (0, 1]");
+    proposals_.reserve(8);
+}
+
+void
+QoeController::setTelemetry(obs::Telemetry *telemetry, i32 track)
+{
+    telemetry_ = telemetry;
+    telemetry_track_ = track;
+    if (!telemetry_)
+        return;
+    obs::MetricsRegistry &reg = telemetry_->registry();
+    tm_score_ = reg.gauge("qoe.score");
+    tm_frame_score_ = reg.histogram(
+        "qoe.frame_score", obs::HistogramLayout::linear(0.0, 100.0, 100));
+    tm_actions_ = reg.counter("qoe.actions");
+    tm_holds_ = reg.counter("qoe.holds");
+    tm_deferred_cuts_ = reg.counter("qoe.deferred_cuts");
+    tm_target_mbps_ = reg.gauge("qoe.target_mbps");
+    tm_tier_ = reg.gauge("qoe.tier");
+    reg.set(tm_target_mbps_, knobs_.target_mbps);
+    reg.set(tm_tier_, f64(knobs_.tier));
+}
+
+void
+QoeController::observeFrame(const QoeFeatures &features)
+{
+    features_ = features;
+    score_ = predictor_.score(features);
+    observed_ = true;
+    if (telemetry_) {
+        obs::MetricsRegistry &reg = telemetry_->registry();
+        reg.set(tm_score_, score_);
+        reg.observe(tm_frame_score_, score_);
+    }
+}
+
+void
+QoeController::propose(const ControlAction &action)
+{
+    if (action.kind == ActionKind::Hold)
+        return;
+    proposals_.push_back(action);
+}
+
+QoeFeatures
+QoeController::predictFeatures(const KnobState &cand, f64 urgency,
+                               int direction) const
+{
+    QoeFeatures f = features_;
+
+    // Bitrate and resolution act through bits-per-pixel: halving the
+    // per-pixel budget costs roughly one qp step band (empirically
+    // sub-linear, hence the 0.8 exponent).
+    const f64 cur_area =
+        f64(knobs_.lr_size.width) * f64(knobs_.lr_size.height);
+    const f64 cand_area =
+        f64(cand.lr_size.width) * f64(cand.lr_size.height);
+    if (knobs_.target_mbps > 0.0 && cand.target_mbps > 0.0 &&
+        cand_area > 0.0) {
+        const f64 bpp_ratio = (knobs_.target_mbps / cur_area) /
+                              (cand.target_mbps / cand_area);
+        f.qp = clamp(f.qp * std::pow(bpp_ratio, 0.8), 1.0, 51.0);
+    }
+    f.resolution_scale *=
+        f64(cand.lr_size.width) / f64(knobs_.lr_size.width);
+
+    // Frame-rate ladder: divisor 2 halves the delivered rate.
+    if (cand.fps_divisor != knobs_.fps_divisor && cand.fps_divisor > 0)
+        f.frame_rate = clamp(f.frame_rate * f64(knobs_.fps_divisor) /
+                                 f64(cand.fps_divisor),
+                             1.0, 60.0);
+
+    // Degradation tier: precision downgrade plus the coarser effects
+    // of the upper tiers (RoI shrink softens detail; GPU-only loses
+    // the SR pass; hold repeats stale frames).
+    f.sr_precision = tierPrecision(cand.sr_precision, cand.tier);
+    if (cand.tier >= kWhatIfTierRoiShrink)
+        f.resolution_scale *= 0.9;
+    if (cand.tier >= kWhatIfTierGpuOnly)
+        f.resolution_scale *= 0.75;
+    if (cand.tier >= kWhatIfTierHold) {
+        f.conceal_rate = clamp(f.conceal_rate + 0.5, 0.0, 1.0);
+        f.frame_rate = clamp(f.frame_rate * 0.5, 1.0, 60.0);
+    }
+
+    // Shedding under distress relieves the pressure that produced
+    // the observed symptoms — concealment on a lossy channel, a
+    // frame-rate shortfall on a throttled client; quality up-steps
+    // get no such credit. The relief is proportional to the
+    // advisor's urgency, so a routine proposal barely moves the
+    // prediction while a distress call does.
+    if (direction < 0) {
+        const f64 relief = config_.congestion_relief *
+                           clamp(urgency, 0.0, 1.0);
+        f.conceal_rate =
+            clamp(f.conceal_rate * (1.0 - relief), 0.0, 1.0);
+        f.frame_rate = clamp(
+            f.frame_rate + relief * (60.0 - f.frame_rate), 1.0, 60.0);
+    }
+    return f;
+}
+
+f64
+QoeController::knobCost(const KnobState &cand) const
+{
+    // Distance from the requested operating point: being shed costs;
+    // holding position is free. Keeps the greedy arbiter from parking
+    // in a deep-degraded corner whose *predicted* score looks fine.
+    f64 cost = 1.0;
+    if (requested_.target_mbps > 0.0 && cand.target_mbps > 0.0 &&
+        cand.target_mbps < requested_.target_mbps)
+        cost += 0.5 * std::log2(requested_.target_mbps /
+                                cand.target_mbps);
+    cost += 0.4 * f64(std::max(0, cand.tier - requested_.tier));
+    if (cand.lr_size.width < requested_.lr_size.width)
+        cost += 0.6 * std::log2(f64(requested_.lr_size.width) /
+                                f64(cand.lr_size.width));
+    if (cand.fps_divisor > requested_.fps_divisor)
+        cost += 0.5;
+    return cost;
+}
+
+ControlAction
+QoeController::decide(f64 now_ms)
+{
+    tick_ += 1;
+
+    ControlAction best = holdAction();
+    KnobState best_knobs = knobs_;
+    f64 best_value = config_.min_gain;
+    bool deferred_cut = false;
+
+    const bool gap_open =
+        tick_ - last_action_tick_ >= config_.min_action_gap_ticks;
+
+    if (observed_ && gap_open) {
+        for (const ControlAction &cand : proposals_) {
+            // Hysteresis: never reverse the previous action within
+            // the window (prevents tier/bitrate ping-pong).
+            if (tick_ - last_action_tick_ < config_.hysteresis_ticks &&
+                cand.kind == last_action_.kind &&
+                cand.direction == -last_action_.direction &&
+                last_action_.direction != 0)
+                continue;
+
+            KnobState next = knobs_;
+            if (!applyAction(next, cand, config_.bounds))
+                continue;
+
+            // One bitrate-affecting cut per refractory window — the
+            // double-penalty fix, applied uniformly to every advisor.
+            if (reducesBitrate(knobs_, next) &&
+                inCutRefractory(now_ms)) {
+                deferred_cut = true;
+                continue;
+            }
+
+            const QoeFeatures predicted =
+                predictFeatures(next, cand.urgency, cand.direction);
+            const f64 gain = predictor_.score(predicted) - score_;
+            const f64 value = gain *
+                              (1.0 + clamp(cand.urgency, 0.0, 1.0)) /
+                              knobCost(next);
+            if (value > best_value) {
+                best_value = value;
+                best = cand;
+                best_knobs = next;
+            }
+        }
+    }
+    proposals_.clear();
+
+    if (best.kind != ActionKind::Hold) {
+        const bool cut = reducesBitrate(knobs_, best_knobs);
+        knobs_ = best_knobs;
+        last_action_ = best;
+        last_action_tick_ = tick_;
+        actions_applied_ += 1;
+        if (cut)
+            noteCut(now_ms);
+    }
+
+    if (telemetry_) {
+        obs::MetricsRegistry &reg = telemetry_->registry();
+        if (best.kind != ActionKind::Hold)
+            reg.add(tm_actions_);
+        else
+            reg.add(tm_holds_);
+        if (deferred_cut && best.kind == ActionKind::Hold)
+            reg.add(tm_deferred_cuts_);
+        reg.set(tm_target_mbps_, knobs_.target_mbps);
+        reg.set(tm_tier_, f64(knobs_.tier));
+        if (obs::SpanExporter *spans = telemetry_->spans()) {
+            if (best.kind != ActionKind::Hold)
+                spans->instant(actionKindName(best.kind), "qoe",
+                               telemetry_track_, now_ms, score_);
+        }
+    }
+    return best;
+}
+
+} // namespace gssr::qoe

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * The unified per-session QoE control plane. Before this controller
+ * the reproduction had three independent knob loops — AIMD bitrate
+ * backoff (codec/rate_control.hh), the client thermal degradation
+ * ladder (pipeline/degrade.hh) and the fleet admission ladder
+ * (pipeline/fleet.hh) — each writing its own knob with no awareness
+ * of the others, so one overload episode could be punished twice
+ * (ladder bitrate scale x AIMD backoff in the same tick) and the
+ * knob chosen was whichever loop fired first, not the one that hurt
+ * QoE least.
+ *
+ * The redesign turns those loops into *advisors*: each proposes
+ * typed ControlActions (qoe/actions.hh) with an urgency, and the
+ * QoeController — the only writer of session knobs — greedily picks
+ * the candidate with the best predicted delta-QoE-per-cost under a
+ * cheap what-if evaluation of the QoePredictor. Hysteresis (no
+ * action reversal inside a window, at most one action per gap) and a
+ * shared bitrate-cut refractory window prevent oscillation and the
+ * double-penalty bug by construction.
+ *
+ * When disabled (the default) none of this is instantiated and the
+ * legacy loops behave exactly as before — controller-off sessions
+ * are bit-identical to the checked-in goldens.
+ */
+
+#ifndef GSSR_QOE_CONTROLLER_HH
+#define GSSR_QOE_CONTROLLER_HH
+
+#include <vector>
+
+#include "qoe/actions.hh"
+#include "qoe/predictor.hh"
+
+namespace gssr
+{
+namespace obs
+{
+class Telemetry;
+}
+} // namespace gssr
+
+namespace gssr::qoe
+{
+
+/** Unified control-plane policy. */
+struct QoeControlConfig
+{
+    /** Master switch; disabled = legacy independent loops. */
+    bool enabled = false;
+
+    /** Predictor weights + calibration. */
+    QoePredictorConfig predictor;
+
+    /** Knob clamps. */
+    KnobBounds bounds;
+
+    /** Multiplicative step of one controller BitrateStep. Gentler
+     *  than the AIMD advisor's own 0.7 backoff: the controller cuts
+     *  more often (subject to the refractory) but less deeply. */
+    f64 bitrate_step = 0.85;
+
+    /** No action may reverse the previous one within this many
+     *  ticks, and at most one action applies per gap ticks. */
+    int hysteresis_ticks = 3;
+    int min_action_gap_ticks = 2;
+
+    /** One bitrate-affecting cut per refractory window (ms) — the
+     *  window the legacy ladder/AIMD double-cut fix also uses. */
+    f64 cut_refractory_ms = 250.0;
+
+    /** Minimum predicted QoE gain (points) needed to leave Hold. */
+    f64 min_gain = 0.05;
+
+    /** Expected conceal-rate relief of a shedding action at urgency
+     *  1 (what makes "degrade now" beat Hold under distress). */
+    f64 congestion_relief = 0.6;
+
+    /** Thermal-advisor margin (deg C): while the device's headroom
+     *  to the throttle knee is below this, the session proposes
+     *  proactive tier steps with urgency growing as headroom
+     *  shrinks — shedding *before* the knee converts into the
+     *  deadline-miss cascade the reactive ladder waits for. Kept
+     *  tight (and capped to the shallow precision tiers by the
+     *  session) because an eager margin parks sessions in deep
+     *  tiers they cannot climb out of while the soak lasts.
+     *  <= 0 disables the advisor. */
+    f64 thermal_margin_c = 1.0;
+
+    /** Clean frames the unified-mode ladder advisor needs before
+     *  recommending a tier up-step (eager vs. the legacy 48: the
+     *  controller's own hysteresis guards oscillation). */
+    int ladder_up_after_clean = 12;
+};
+
+/**
+ * Greedy delta-QoE-per-cost knob arbiter. Protocol per tick (one
+ * displayed frame):
+ *
+ *   controller.observeFrame(features);   // session-measured signals
+ *   controller.propose(action);          // each advisor, 0..n times
+ *   ControlAction applied = controller.decide(now_ms);
+ *   // read controller.knobs() — the single source of truth
+ */
+class QoeController
+{
+  public:
+    QoeController(const QoeControlConfig &config,
+                  const KnobState &initial);
+
+    /**
+     * Attach a telemetry sink (not owned; null detaches). Registers
+     * the qoe.* instruments: qoe.score gauge, qoe.frame_score
+     * histogram, qoe.actions / qoe.holds / qoe.deferred_cuts
+     * counters, qoe.target_mbps and qoe.tier gauges. Write-only.
+     */
+    void setTelemetry(obs::Telemetry *telemetry, i32 track);
+
+    /** Record the signals measured on the frame just displayed. */
+    void observeFrame(const QoeFeatures &features);
+
+    /** Advisor proposal for this tick (buffered until decide). */
+    void propose(const ControlAction &action);
+
+    /** Score candidates, apply the winner to the knob state, and
+     *  return it (Hold when nothing beats the status quo). */
+    ControlAction decide(f64 now_ms);
+
+    /** The session knob state (the only writer is decide()). */
+    const KnobState &knobs() const { return knobs_; }
+
+    /** QoE score of the most recently observed frame. */
+    f64 lastScore() const { return score_; }
+
+    /** Predictor evaluating this controller's calibrated model. */
+    const QoePredictor &predictor() const { return predictor_; }
+
+    /** True while a bitrate cut is fresh (shared refractory). */
+    bool
+    inCutRefractory(f64 now_ms) const
+    {
+        return now_ms - last_cut_ms_ < config_.cut_refractory_ms;
+    }
+
+    /** Arm the cut refractory for an externally applied cut. */
+    void noteCut(f64 now_ms) { last_cut_ms_ = now_ms; }
+
+    /** Non-Hold actions applied so far. */
+    i64 actionsApplied() const { return actions_applied_; }
+
+    const QoeControlConfig &config() const { return config_; }
+
+  private:
+    /** What-if features under @p cand knobs (relief at @p urgency
+     *  for shedding actions). */
+    QoeFeatures predictFeatures(const KnobState &cand, f64 urgency,
+                                int direction) const;
+
+    /** Distance of @p cand from the requested operating point. */
+    f64 knobCost(const KnobState &cand) const;
+
+    QoeControlConfig config_;
+    QoePredictor predictor_;
+    KnobState knobs_;
+    KnobState requested_;
+    QoeFeatures features_;
+    f64 score_ = 0.0;
+    bool observed_ = false;
+
+    std::vector<ControlAction> proposals_;
+    i64 tick_ = 0;
+    i64 last_action_tick_ = -1048576;
+    ControlAction last_action_;
+    f64 last_cut_ms_ = -1e18;
+    i64 actions_applied_ = 0;
+
+    obs::Telemetry *telemetry_ = nullptr;
+    i32 telemetry_track_ = 0;
+    u32 tm_score_ = 0;
+    u32 tm_frame_score_ = 0;
+    u32 tm_actions_ = 0;
+    u32 tm_holds_ = 0;
+    u32 tm_deferred_cuts_ = 0;
+    u32 tm_target_mbps_ = 0;
+    u32 tm_tier_ = 0;
+};
+
+} // namespace gssr::qoe
+
+#endif // GSSR_QOE_CONTROLLER_HH

@@ -1,0 +1,169 @@
+#include "qoe/predictor.hh"
+
+#include <cmath>
+
+#include "codec/codec.hh"
+#include "common/logging.hh"
+#include "common/mathutil.hh"
+#include "metrics/psnr.hh"
+#include "metrics/ssim.hh"
+#include "render/rasterizer.hh"
+
+namespace gssr::qoe
+{
+
+namespace
+{
+
+f64
+precisionPenaltyDb(const QoePredictorConfig &c, Precision p)
+{
+    switch (p) {
+      case Precision::Fp32:
+        return 0.0;
+      case Precision::Int16:
+        return c.precision_penalty_int16_db;
+      case Precision::HybridInt8:
+        return c.precision_penalty_hybrid_db;
+      case Precision::Int8:
+        return c.precision_penalty_int8_db;
+    }
+    return 0.0;
+}
+
+} // namespace
+
+QoePredictor::QoePredictor(const QoePredictorConfig &config)
+    : config_(config)
+{
+    GSSR_ASSERT(config_.qp_slope >= 0.0, "qp slope must be >= 0");
+    GSSR_ASSERT(config_.width_db > 0.0, "logistic width must be > 0");
+    GSSR_ASSERT(config_.fps_exp >= 0.0, "fps exponent must be >= 0");
+    GSSR_ASSERT(config_.conceal_exp >= 1.0,
+                "conceal exponent must be >= 1");
+    GSSR_ASSERT(config_.calibration.gain > 0.0,
+                "calibration gain must be > 0");
+}
+
+f64
+QoePredictor::spatialDb(const QoeFeatures &f) const
+{
+    const QoePredictorConfig &c = config_;
+    const f64 res_scale = clamp(f.resolution_scale, 1.0 / 16.0, 1.0);
+    f64 raw = c.psnr0 - c.qp_slope * std::max(0.0, f.qp) -
+              c.res_loss_db * std::log2(1.0 / res_scale) -
+              c.residual_loss_db *
+                  std::log1p(std::max(0.0, f.residual_rms)) -
+              c.mv_loss_db * std::log1p(std::max(0.0, f.mv_mean_px)) -
+              precisionPenaltyDb(c, f.sr_precision);
+    return c.calibration.gain * raw + c.calibration.offset;
+}
+
+f64
+QoePredictor::score(const QoeFeatures &f) const
+{
+    const QoePredictorConfig &c = config_;
+
+    // Spatial core: logistic map of the calibrated PSNR proxy into
+    // [0, 1] — monotone in the dB value, hence non-increasing in qp.
+    const f64 db = spatialDb(f);
+    const f64 spatial =
+        1.0 / (1.0 + std::exp(-(db - c.mid_db) / c.width_db));
+
+    // Temporal term (adaptive frame-rate tradeoff): saturating power
+    // of the achieved rate, monotone non-decreasing in frame rate.
+    const f64 fps = clamp(f.frame_rate, 1.0, 60.0);
+    const f64 temporal = std::pow(fps / 60.0, c.fps_exp);
+
+    // Delivery term: concealed/held frames repeat stale content;
+    // super-linear penalty, monotone non-increasing in conceal rate.
+    const f64 conceal = clamp(f.conceal_rate, 0.0, 1.0);
+    const f64 delivery = std::pow(1.0 - conceal, c.conceal_exp);
+
+    return 100.0 * spatial * temporal * delivery;
+}
+
+CalibrationResult
+calibrateQoePredictor(const QoePredictorConfig &config, Size frame_size,
+                      const std::vector<std::pair<GameId, u64>> &scenes)
+{
+    GSSR_ASSERT(!scenes.empty(), "calibration needs at least one scene");
+
+    // Uncalibrated model: raw dB values, identity calibration.
+    QoePredictorConfig raw_config = config;
+    raw_config.calibration = QoeCalibration{};
+    QoePredictor raw(raw_config);
+
+    static constexpr int kQpSweep[] = {8, 14, 24, 36};
+    static constexpr int kFramesPerScene = 3;
+
+    CalibrationResult result;
+    for (const auto &[game, seed] : scenes) {
+        GameWorld world(game, seed);
+        CodecConfig codec;
+        codec.gop_size = kFramesPerScene + 1;
+        for (int qp : kQpSweep) {
+            codec.qp = qp;
+            GopEncoder encoder(codec, frame_size);
+            FrameDecoder decoder(codec, frame_size);
+            for (int i = 0; i < kFramesPerScene; ++i) {
+                ColorImage frame =
+                    renderScene(world.sceneAt(f64(i) / 60.0),
+                                frame_size)
+                        .color;
+                EncodedFrame encoded = encoder.encode(frame);
+                ColorImage decoded =
+                    yuv420ToRgb(decoder.decode(encoded));
+
+                CalibrationSample sample;
+                sample.qp = qp;
+                sample.measured_psnr = psnr(decoded, frame);
+                sample.measured_ssim = ssim(decoded, frame);
+
+                QoeFeatures f;
+                f.qp = f64(encoded.qp);
+                f.mv_mean_px = encoded.mv_mean_px;
+                f.residual_rms = encoded.residual_rms;
+                f.resolution_scale = f64(frame_size.width) / 1280.0;
+                sample.raw_db = raw.spatialDb(f);
+                result.samples.push_back(sample);
+            }
+        }
+    }
+
+    // Closed-form least squares psnr ~= gain * raw + offset.
+    f64 sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+    const f64 n = f64(result.samples.size());
+    for (const CalibrationSample &s : result.samples) {
+        sx += s.raw_db;
+        sy += s.measured_psnr;
+        sxx += s.raw_db * s.raw_db;
+        sxy += s.raw_db * s.measured_psnr;
+    }
+    const f64 denom = n * sxx - sx * sx;
+    QoeCalibration fit;
+    if (std::abs(denom) > 1e-9) {
+        fit.gain = (n * sxy - sx * sy) / denom;
+        fit.offset = (sy - fit.gain * sx) / n;
+    } else {
+        fit.gain = 1.0;
+        fit.offset = (sy - sx) / n;
+    }
+    // A degenerate fit (non-positive slope) would break the
+    // monotonicity contract; fall back to a pure offset correction.
+    if (fit.gain <= 0.0) {
+        fit.gain = 1.0;
+        fit.offset = (sy - sx) / n;
+    }
+    result.calibration = fit;
+
+    for (const CalibrationSample &s : result.samples) {
+        const f64 err = std::abs(fit.gain * s.raw_db + fit.offset -
+                                 s.measured_psnr);
+        result.max_abs_error_db =
+            std::max(result.max_abs_error_db, err);
+    }
+    return result;
+}
+
+} // namespace gssr::qoe

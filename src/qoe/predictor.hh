@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Cheap per-frame QoE prediction in the style of GAMIVAL's
+ * no-reference gaming-video quality model: a spatial-quality core
+ * computed from signals the pipeline already emits (encoder qp, mean
+ * motion-vector magnitude, residual energy, stream resolution, SR
+ * precision), corrected by a temporal term for the achieved frame
+ * rate (the Liu/March/Mantiuk adaptive frame-rate/resolution
+ * tradeoff) and a delivery term for the windowed concealment rate.
+ * No pixels are touched at runtime — the model costs a handful of
+ * flops per frame, so the QoeController can evaluate what-if
+ * candidates every tick.
+ *
+ * The spatial core is expressed in dB (a PSNR proxy) and calibrated
+ * once against measured PSNR on renderer scenes
+ * (calibrateQoePredictor); the checked-in default calibration was
+ * produced by exactly that procedure, and tests/test_qoe.cc pins the
+ * fit bounds so the constants cannot drift from the measurement.
+ *
+ * Monotonicity contract (property-tested): the score is
+ * non-increasing in qp and in conceal rate, and non-decreasing in
+ * frame rate.
+ */
+
+#ifndef GSSR_QOE_PREDICTOR_HH
+#define GSSR_QOE_PREDICTOR_HH
+
+#include <utility>
+#include <vector>
+
+#include "common/types.hh"
+#include "render/games.hh"
+
+namespace gssr::qoe
+{
+
+/** Per-frame feature vector the predictor consumes. */
+struct QoeFeatures
+{
+    /** Encoder quantization parameter of the displayed frame. */
+    f64 qp = 14.0;
+
+    /** Mean luma motion-vector magnitude (px; 0 for intra frames). */
+    f64 mv_mean_px = 0.0;
+
+    /** RMS of the plane the encoder coded (residual for inter). */
+    f64 residual_rms = 0.0;
+
+    /** Fraction of recently displayed frames that were concealed or
+     *  held, in [0, 1] (windowed). */
+    f64 conceal_rate = 0.0;
+
+    /** Achieved display frame rate (fresh frames / s). */
+    f64 frame_rate = 60.0;
+
+    /** Stream width relative to the native 1280-wide operating
+     *  point, in (0, 1]. */
+    f64 resolution_scale = 1.0;
+
+    /** SR inference precision the client ran at. */
+    Precision sr_precision = Precision::Fp32;
+};
+
+/**
+ * Affine calibration of the spatial core against measured PSNR:
+ * psnr_hat = gain * raw_db + offset. Identity when uncalibrated.
+ */
+struct QoeCalibration
+{
+    f64 gain = 1.0;
+    f64 offset = 0.0;
+};
+
+/** Model weights. Defaults are the checked-in calibrated set. */
+struct QoePredictorConfig
+{
+    /** Spatial core: raw_db = psnr0 - qp_slope*qp
+     *  - res_loss*log2(1/res_scale) - residual_loss*log1p(rms)
+     *  - mv_loss*log1p(mv) - precision penalty. */
+    f64 psnr0 = 44.0;
+    f64 qp_slope = 0.55;
+    f64 res_loss_db = 2.2;
+    f64 residual_loss_db = 1.2;
+    f64 mv_loss_db = 0.35;
+    f64 precision_penalty_hybrid_db = 0.25;
+    f64 precision_penalty_int8_db = 0.9;
+    f64 precision_penalty_int16_db = 0.05;
+
+    /** Logistic dB -> [0,1] map (midpoint / width in dB). */
+    f64 mid_db = 26.0;
+    f64 width_db = 6.0;
+
+    /** Temporal term exponent: (fps/60)^fps_exp. */
+    f64 fps_exp = 0.45;
+
+    /** Delivery term exponent: (1-conceal_rate)^conceal_exp. */
+    f64 conceal_exp = 1.6;
+
+    /** Calibration of the spatial core (see QoeCalibration). */
+    QoeCalibration calibration;
+};
+
+/**
+ * The predictor. Stateless: score() is a pure function of the
+ * feature vector, so the controller can evaluate candidate knob
+ * settings without touching session state.
+ */
+class QoePredictor
+{
+  public:
+    QoePredictor() = default;
+    explicit QoePredictor(const QoePredictorConfig &config);
+
+    /** Calibrated spatial core in dB (the PSNR proxy). */
+    f64 spatialDb(const QoeFeatures &f) const;
+
+    /** QoE score in [0, 100]. */
+    f64 score(const QoeFeatures &f) const;
+
+    const QoePredictorConfig &config() const { return config_; }
+
+  private:
+    QoePredictorConfig config_;
+};
+
+/** One calibration sample: model input vs. pixel measurement. */
+struct CalibrationSample
+{
+    f64 raw_db = 0.0;      ///< uncalibrated spatial core
+    f64 measured_psnr = 0.0;
+    f64 measured_ssim = 0.0;
+    int qp = 0;
+};
+
+/** Result of calibrateQoePredictor. */
+struct CalibrationResult
+{
+    QoeCalibration calibration;
+
+    /** Max |calibrated raw_db - measured PSNR| over the samples. */
+    f64 max_abs_error_db = 0.0;
+
+    /** The samples themselves (tests pin bounds against these). */
+    std::vector<CalibrationSample> samples;
+};
+
+/**
+ * Calibrate the spatial core against measured PSNR/SSIM: renders a
+ * few frames of each given renderer scene, encodes/decodes them at a
+ * sweep of qp values with the real codec, measures PSNR and SSIM
+ * against the pre-encode frame, and least-squares fits the affine
+ * map from the model's raw dB to measured PSNR. Deterministic: same
+ * games/seeds/size -> same calibration.
+ */
+CalibrationResult calibrateQoePredictor(
+    const QoePredictorConfig &config, Size frame_size,
+    const std::vector<std::pair<GameId, u64>> &scenes);
+
+} // namespace gssr::qoe
+
+#endif // GSSR_QOE_PREDICTOR_HH

@@ -24,70 +24,18 @@
 #include <cstdio>
 
 #include "common/parallel.hh"
+#include "golden_sessions.hh"
 #include "obs/telemetry.hh"
 #include "pipeline/session.hh"
-#include "sr/trainer.hh"
 
 namespace gssr
 {
 namespace
 {
 
-std::shared_ptr<const CompactSrNet>
-sharedNet()
-{
-    static std::shared_ptr<const CompactSrNet> net = [] {
-        TrainerConfig config;
-        config.iterations = 200;
-        return std::make_shared<const CompactSrNet>(
-            trainedSrNet("", config));
-    }();
-    return net;
-}
-
-/**
- * The canonical golden session: 30 frames of Witcher 3 at a reduced
- * pixel-computing resolution, lossy channel with a scripted burst,
- * NACK + AIMD resilience, PSNR sampled every 5th frame.
- */
-SessionConfig
-canonicalConfig(DesignKind design)
-{
-    SessionConfig config;
-    config.game = GameId::G3_Witcher3;
-    config.world_seed = 7;
-    config.frames = 30;
-    config.design = design;
-    config.lr_size = {192, 96};
-    config.codec.gop_size = 8;
-    config.channel = ChannelConfig::wifi();
-    config.channel_seed = 42;
-    config.fault_scenario = FaultScenario::lossBurst(10, 2);
-    config.target_bitrate_mbps = 6.0;
-    config.resilience.nack = true;
-    config.resilience.aimd = true;
-    config.compute_pixels = true;
-    config.sr_net = sharedNet();
-    config.measure_quality = true;
-    config.quality_stride = 5;
-    return config;
-}
-
-struct Golden
-{
-    const char *name;
-    DesignKind design;
-    u64 fingerprint;
-    f64 mean_psnr_db;
-};
-
-// Regenerate with the instruction in the file comment.
-constexpr Golden kGoldens[] = {
-    {"gamestreamsr", DesignKind::GameStreamSR, 0x1b3511947d4aa776ull,
-     30.053332504097},
-    {"nemo", DesignKind::Nemo, 0xec05ae16caf74dc0ull,
-     29.068673926025},
-};
+using golden::canonicalConfig;
+using golden::Golden;
+using golden::kGoldens;
 
 class GoldenTraceTest : public testing::TestWithParam<Golden>
 {

@@ -30,9 +30,13 @@ TEST(TraceTest, StageAndResourceNames)
 TEST(TraceTest, MtpIsSumOfStageLatencies)
 {
     FrameTrace t;
-    t.add(Stage::Render, Resource::ServerGpu, 6.0, 0.0);
-    t.add(Stage::Network, Resource::NetworkLink, 10.0, 1.0);
-    t.add(Stage::Upscale, Resource::ClientNpu, 16.0, 30.0);
+    StageScope(t, Stage::Render, Resource::ServerGpu).latencyMs(6.0);
+    StageScope(t, Stage::Network, Resource::NetworkLink)
+        .latencyMs(10.0)
+        .energyMj(1.0);
+    StageScope(t, Stage::Upscale, Resource::ClientNpu)
+        .latencyMs(16.0)
+        .energyMj(30.0);
     EXPECT_DOUBLE_EQ(t.mtpLatencyMs(), 32.0);
     EXPECT_DOUBLE_EQ(t.stageLatencyMs(Stage::Upscale), 16.0);
     EXPECT_DOUBLE_EQ(t.stageEnergyMj(Stage::Upscale), 30.0);
@@ -42,24 +46,34 @@ TEST(TraceTest, BottleneckGroupsByResource)
 {
     // NEMO-style: decode and upscale share the CPU -> they add up.
     FrameTrace nemo;
-    nemo.add(Stage::Decode, Resource::ClientCpu, 12.0, 0.0);
-    nemo.add(Stage::Upscale, Resource::ClientCpu, 14.0, 0.0);
+    StageScope(nemo, Stage::Decode, Resource::ClientCpu)
+        .latencyMs(12.0);
+    StageScope(nemo, Stage::Upscale, Resource::ClientCpu)
+        .latencyMs(14.0);
     EXPECT_DOUBLE_EQ(nemo.clientBottleneckMs(), 26.0);
 
     // GameStreamSR: decode (HW), upscale (NPU), merge (GPU) overlap.
     FrameTrace ours;
-    ours.add(Stage::Decode, Resource::ClientHwDecoder, 2.0, 0.0);
-    ours.add(Stage::Upscale, Resource::ClientNpu, 16.2, 0.0);
-    ours.add(Stage::Merge, Resource::ClientGpu, 0.5, 0.0);
+    StageScope(ours, Stage::Decode, Resource::ClientHwDecoder)
+        .latencyMs(2.0);
+    StageScope(ours, Stage::Upscale, Resource::ClientNpu)
+        .latencyMs(16.2);
+    StageScope(ours, Stage::Merge, Resource::ClientGpu).latencyMs(0.5);
     EXPECT_DOUBLE_EQ(ours.clientBottleneckMs(), 16.2);
 }
 
 TEST(TraceTest, ClientEnergyExcludesServerStages)
 {
     FrameTrace t;
-    t.add(Stage::Render, Resource::ServerGpu, 6.0, 100.0);
-    t.add(Stage::Upscale, Resource::ClientNpu, 16.0, 30.0);
-    t.add(Stage::Display, Resource::ClientDisplay, 16.0, 2.5);
+    StageScope(t, Stage::Render, Resource::ServerGpu)
+        .latencyMs(6.0)
+        .energyMj(100.0);
+    StageScope(t, Stage::Upscale, Resource::ClientNpu)
+        .latencyMs(16.0)
+        .energyMj(30.0);
+    StageScope(t, Stage::Display, Resource::ClientDisplay)
+        .latencyMs(16.0)
+        .energyMj(2.5);
     EXPECT_DOUBLE_EQ(t.clientEnergyMj(), 32.5);
 }
 

@@ -1,0 +1,560 @@
+/**
+ * @file
+ * Unit tests for the unified QoE control plane (src/qoe): the
+ * ControlAction/KnobState vocabulary, the predictor's monotonicity
+ * contract, the once-off calibration against measured PSNR/SSIM on
+ * renderer scenes, the controller's hysteresis / refractory
+ * no-oscillation guarantees, the ladder-vs-AIMD double-cut
+ * regression, and the golden guard: a controller-disabled session is
+ * bit-identical to the checked-in golden fingerprints.
+ */
+
+#include <gtest/gtest.h>
+
+#include "codec/rate_control.hh"
+#include "golden_sessions.hh"
+#include "pipeline/session.hh"
+#include "qoe/actions.hh"
+#include "qoe/controller.hh"
+#include "qoe/predictor.hh"
+
+namespace gssr
+{
+namespace
+{
+
+using namespace qoe;
+
+// ---------------------------------------------------------------
+// ControlAction / KnobState vocabulary
+// ---------------------------------------------------------------
+
+KnobState
+defaultKnobs()
+{
+    KnobState knobs;
+    knobs.lr_size = {1280, 720};
+    knobs.target_mbps = 6.0;
+    return knobs;
+}
+
+TEST(ActionTest, KindNames)
+{
+    EXPECT_STREQ(actionKindName(ActionKind::Hold), "hold");
+    EXPECT_STREQ(actionKindName(ActionKind::BitrateStep),
+                 "bitrate-step");
+    EXPECT_STREQ(actionKindName(ActionKind::Shed), "shed");
+}
+
+TEST(ActionTest, ResolutionStepsDownByThreeQuartersSnapped)
+{
+    KnobState knobs = defaultKnobs();
+    KnobBounds bounds;
+    ControlAction step{ActionKind::ResolutionStep, -1, 1.0, 0.5, ""};
+    ASSERT_TRUE(applyAction(knobs, step, bounds));
+    EXPECT_EQ(knobs.lr_size.width, 960);
+    EXPECT_EQ(knobs.lr_size.width % 4, 0);
+    EXPECT_EQ(knobs.lr_size.height % 4, 0);
+
+    // Stepping repeatedly hits the admission floor and then refuses.
+    while (applyAction(knobs, step, bounds))
+        ;
+    EXPECT_GE(knobs.lr_size.width, bounds.min_width);
+}
+
+TEST(ActionTest, FrameRateStepTogglesDivisorWithinBounds)
+{
+    KnobState knobs = defaultKnobs();
+    KnobBounds bounds;
+    ControlAction down{ActionKind::FrameRateStep, -1, 1.0, 0.5, ""};
+    ControlAction up{ActionKind::FrameRateStep, +1, 1.0, 0.0, ""};
+    ASSERT_TRUE(applyAction(knobs, down, bounds));
+    EXPECT_EQ(knobs.fps_divisor, 2);
+    EXPECT_FALSE(applyAction(knobs, down, bounds)); // divisor floor
+    ASSERT_TRUE(applyAction(knobs, up, bounds));
+    EXPECT_EQ(knobs.fps_divisor, 1);
+    EXPECT_FALSE(applyAction(knobs, up, bounds)); // already full rate
+}
+
+TEST(ActionTest, BitrateStepIsMultiplicativeAndClamped)
+{
+    KnobState knobs = defaultKnobs();
+    KnobBounds bounds;
+    ControlAction cut{ActionKind::BitrateStep, -1, 0.85, 0.7, ""};
+    ASSERT_TRUE(applyAction(knobs, cut, bounds));
+    EXPECT_DOUBLE_EQ(knobs.target_mbps, 6.0 * 0.85);
+
+    ControlAction raise{ActionKind::BitrateStep, +1, 0.85, 0.0, ""};
+    ASSERT_TRUE(applyAction(knobs, raise, bounds));
+    EXPECT_DOUBLE_EQ(knobs.target_mbps, 6.0);
+
+    // Clamped at the floor; at the floor a further cut is a no-op.
+    knobs.target_mbps = bounds.min_mbps;
+    EXPECT_FALSE(applyAction(knobs, cut, bounds));
+    EXPECT_DOUBLE_EQ(knobs.target_mbps, bounds.min_mbps);
+
+    // Fixed-qp sessions (no target) have no bitrate knob to turn.
+    knobs.target_mbps = 0.0;
+    EXPECT_FALSE(applyAction(knobs, cut, bounds));
+}
+
+TEST(ActionTest, PrecisionStepWalksTheTierLadder)
+{
+    KnobState knobs = defaultKnobs();
+    KnobBounds bounds;
+    ControlAction down{ActionKind::PrecisionStep, -1, 1.0, 1.0, ""};
+    ControlAction up{ActionKind::PrecisionStep, +1, 1.0, 0.2, ""};
+
+    EXPECT_FALSE(applyAction(knobs, up, bounds)); // tier-0 ceiling
+    ASSERT_TRUE(applyAction(knobs, down, bounds));
+    EXPECT_EQ(knobs.tier, 1);
+    for (int i = 0; i < 10; ++i)
+        applyAction(knobs, down, bounds);
+    EXPECT_EQ(knobs.tier, bounds.max_tier); // clamped
+    ASSERT_TRUE(applyAction(knobs, up, bounds));
+    EXPECT_EQ(knobs.tier, bounds.max_tier - 1);
+}
+
+TEST(ActionTest, HoldAdmitShedLeaveKnobsUntouched)
+{
+    KnobState knobs = defaultKnobs();
+    const KnobState before = knobs;
+    KnobBounds bounds;
+    for (ActionKind kind :
+         {ActionKind::Hold, ActionKind::Admit, ActionKind::Shed}) {
+        ControlAction action;
+        action.kind = kind;
+        EXPECT_FALSE(applyAction(knobs, action, bounds));
+    }
+    EXPECT_EQ(knobs.lr_size.width, before.lr_size.width);
+    EXPECT_EQ(knobs.fps_divisor, before.fps_divisor);
+    EXPECT_DOUBLE_EQ(knobs.target_mbps, before.target_mbps);
+    EXPECT_EQ(knobs.tier, before.tier);
+}
+
+// ---------------------------------------------------------------
+// Predictor monotonicity (the documented property contract)
+// ---------------------------------------------------------------
+
+TEST(PredictorTest, ScoreIsNonIncreasingInQp)
+{
+    QoePredictor predictor;
+    QoeFeatures f;
+    f64 prev = 1e9;
+    for (f64 qp = 4.0; qp <= 48.0; qp += 2.0) {
+        f.qp = qp;
+        const f64 s = predictor.score(f);
+        EXPECT_LE(s, prev) << "score increased at qp=" << qp;
+        prev = s;
+    }
+}
+
+TEST(PredictorTest, ScoreIsNonIncreasingInConcealRate)
+{
+    QoePredictor predictor;
+    QoeFeatures f;
+    f64 prev = 1e9;
+    for (f64 c = 0.0; c <= 1.0; c += 0.05) {
+        f.conceal_rate = c;
+        const f64 s = predictor.score(f);
+        EXPECT_LE(s, prev) << "score increased at conceal=" << c;
+        prev = s;
+    }
+    f.conceal_rate = 1.0; // fully concealed
+    EXPECT_NEAR(predictor.score(f), 0.0, 1e-9);
+}
+
+TEST(PredictorTest, ScoreIsNonDecreasingInFrameRate)
+{
+    QoePredictor predictor;
+    QoeFeatures f;
+    f64 prev = -1.0;
+    for (f64 fps = 1.0; fps <= 60.0; fps += 1.0) {
+        f.frame_rate = fps;
+        const f64 s = predictor.score(f);
+        EXPECT_GE(s, prev) << "score decreased at fps=" << fps;
+        prev = s;
+    }
+}
+
+TEST(PredictorTest, ScoreIsNonDecreasingInResolutionScale)
+{
+    QoePredictor predictor;
+    QoeFeatures f;
+    f64 prev = -1.0;
+    for (f64 scale = 0.1; scale <= 1.0; scale += 0.05) {
+        f.resolution_scale = scale;
+        const f64 s = predictor.score(f);
+        EXPECT_GE(s, prev) << "score decreased at scale=" << scale;
+        prev = s;
+    }
+}
+
+TEST(PredictorTest, ScoreStaysWithinZeroToHundred)
+{
+    QoePredictor predictor;
+    for (f64 qp : {1.0, 14.0, 51.0}) {
+        for (f64 conceal : {0.0, 0.3, 1.0}) {
+            for (f64 fps : {1.0, 30.0, 60.0}) {
+                for (f64 scale : {0.1, 0.5, 1.0}) {
+                    QoeFeatures f;
+                    f.qp = qp;
+                    f.conceal_rate = conceal;
+                    f.frame_rate = fps;
+                    f.resolution_scale = scale;
+                    f.mv_mean_px = 3.0;
+                    f.residual_rms = 8.0;
+                    const f64 s = predictor.score(f);
+                    EXPECT_GE(s, 0.0);
+                    EXPECT_LE(s, 100.0);
+                }
+            }
+        }
+    }
+}
+
+TEST(PredictorTest, PrecisionPenaltyOrdersTheScores)
+{
+    QoePredictor predictor;
+    QoeFeatures f;
+    f.sr_precision = Precision::Fp32;
+    const f64 fp32 = predictor.score(f);
+    f.sr_precision = Precision::Int16;
+    const f64 int16 = predictor.score(f);
+    f.sr_precision = Precision::HybridInt8;
+    const f64 hybrid = predictor.score(f);
+    f.sr_precision = Precision::Int8;
+    const f64 int8 = predictor.score(f);
+    EXPECT_GT(fp32, int16);
+    EXPECT_GT(int16, hybrid);
+    EXPECT_GT(hybrid, int8);
+}
+
+// ---------------------------------------------------------------
+// Calibration against measured PSNR/SSIM on renderer scenes
+// ---------------------------------------------------------------
+
+TEST(CalibrationTest, FitsMeasuredPsnrOnTwoScenes)
+{
+    const std::vector<std::pair<GameId, u64>> scenes = {
+        {GameId::G3_Witcher3, 7}, {GameId::G1_MetroExodus, 3}};
+    CalibrationResult result = calibrateQoePredictor(
+        QoePredictorConfig{}, Size{192, 96}, scenes);
+
+    // 2 scenes x 4-point qp sweep x 3 frames.
+    ASSERT_EQ(result.samples.size(), 24u);
+    for (const CalibrationSample &s : result.samples) {
+        EXPECT_GT(s.measured_psnr, 10.0);
+        EXPECT_LT(s.measured_psnr, 60.0);
+        EXPECT_GT(s.measured_ssim, 0.0);
+        EXPECT_LE(s.measured_ssim, 1.0);
+    }
+
+    // The affine fit must preserve monotonicity (positive gain) and
+    // land every sample within a sane band of the measurement.
+    EXPECT_GT(result.calibration.gain, 0.0);
+    EXPECT_LT(result.max_abs_error_db, 6.0)
+        << "calibrated spatial core drifted from measured PSNR";
+
+    // Calibration is deterministic: same scenes -> same fit.
+    CalibrationResult again = calibrateQoePredictor(
+        QoePredictorConfig{}, Size{192, 96}, scenes);
+    EXPECT_DOUBLE_EQ(result.calibration.gain, again.calibration.gain);
+    EXPECT_DOUBLE_EQ(result.calibration.offset,
+                     again.calibration.offset);
+}
+
+TEST(CalibrationTest, CalibratedPredictorTracksQpSweep)
+{
+    // Measured PSNR falls with qp on real scenes; the calibrated
+    // spatial proxy must fall with it (same ordering at the sweep
+    // points, averaged over the samples).
+    const std::vector<std::pair<GameId, u64>> scenes = {
+        {GameId::G3_Witcher3, 7}};
+    CalibrationResult result = calibrateQoePredictor(
+        QoePredictorConfig{}, Size{192, 96}, scenes);
+
+    f64 mean_low = 0.0, mean_high = 0.0;
+    int n_low = 0, n_high = 0;
+    for (const CalibrationSample &s : result.samples) {
+        if (s.qp <= 14) {
+            mean_low += s.measured_psnr;
+            ++n_low;
+        } else {
+            mean_high += s.measured_psnr;
+            ++n_high;
+        }
+    }
+    ASSERT_GT(n_low, 0);
+    ASSERT_GT(n_high, 0);
+    EXPECT_GT(mean_low / n_low, mean_high / n_high)
+        << "renderer scenes do not exercise the qp/PSNR tradeoff";
+}
+
+// ---------------------------------------------------------------
+// Controller: hysteresis, refractory, greedy arbitration
+// ---------------------------------------------------------------
+
+QoeControlConfig
+enabledConfig()
+{
+    QoeControlConfig config;
+    config.enabled = true;
+    return config;
+}
+
+QoeFeatures
+distressedFeatures()
+{
+    QoeFeatures f;
+    f.qp = 20.0;
+    f.conceal_rate = 0.4;
+    return f;
+}
+
+TEST(ControllerTest, QuietSessionHolds)
+{
+    QoeController controller(enabledConfig(), defaultKnobs());
+    QoeFeatures clean;
+    for (int tick = 0; tick < 10; ++tick) {
+        controller.observeFrame(clean);
+        // A zero-urgency cut proposal on a clean session predicts a
+        // QoE loss -> the controller holds.
+        controller.propose(
+            {ActionKind::BitrateStep, -1, 0.85, 0.0, "aimd"});
+        const ControlAction applied =
+            controller.decide(f64(tick) * 16.7);
+        EXPECT_EQ(applied.kind, ActionKind::Hold);
+    }
+    EXPECT_EQ(controller.actionsApplied(), 0);
+    EXPECT_DOUBLE_EQ(controller.knobs().target_mbps, 6.0);
+}
+
+TEST(ControllerTest, DistressAppliesTheSheddingAction)
+{
+    QoeController controller(enabledConfig(), defaultKnobs());
+    controller.observeFrame(distressedFeatures());
+    controller.propose(
+        {ActionKind::BitrateStep, -1, 0.85, 1.0, "aimd"});
+    const ControlAction applied = controller.decide(0.0);
+    EXPECT_EQ(applied.kind, ActionKind::BitrateStep);
+    EXPECT_EQ(applied.direction, -1);
+    EXPECT_DOUBLE_EQ(controller.knobs().target_mbps, 6.0 * 0.85);
+    EXPECT_TRUE(controller.inCutRefractory(100.0));
+}
+
+TEST(ControllerTest, HysteresisBlocksReversalWithinWindow)
+{
+    QoeControlConfig config = enabledConfig();
+    ASSERT_EQ(config.hysteresis_ticks, 3);
+    QoeController controller(config, defaultKnobs());
+
+    // Tick 1: distress -> cut applied.
+    controller.observeFrame(distressedFeatures());
+    controller.propose(
+        {ActionKind::BitrateStep, -1, 0.85, 1.0, "aimd"});
+    ASSERT_EQ(controller.decide(0.0).kind, ActionKind::BitrateStep);
+
+    // Ticks 2..3 (inside the window): the channel recovers and the
+    // advisor proposes the exact reversal -> must hold, even though
+    // the predicted gain is positive.
+    QoeFeatures clean;
+    for (int tick = 2; tick <= 3; ++tick) {
+        controller.observeFrame(clean);
+        controller.propose(
+            {ActionKind::BitrateStep, +1, 0.85, 0.3, "aimd"});
+        EXPECT_EQ(controller.decide(f64(tick) * 500.0).kind,
+                  ActionKind::Hold)
+            << "reversal applied inside the hysteresis window";
+    }
+
+    // Tick 4 (window expired): the up-step goes through.
+    controller.observeFrame(clean);
+    controller.propose(
+        {ActionKind::BitrateStep, +1, 0.85, 0.3, "aimd"});
+    EXPECT_EQ(controller.decide(2000.0).kind,
+              ActionKind::BitrateStep);
+    EXPECT_DOUBLE_EQ(controller.knobs().target_mbps, 6.0);
+}
+
+TEST(ControllerTest, NoOscillationUnderAlternatingAdvice)
+{
+    // Adversarial advisors flip their advice every tick; hysteresis
+    // + the action gap must keep the knob from ping-ponging: across
+    // 60 ticks the controller may act, but never reverse within the
+    // hysteresis window.
+    QoeControlConfig config = enabledConfig();
+    QoeController controller(config, defaultKnobs());
+
+    i64 last_applied_tick = -1000;
+    int last_direction = 0;
+    for (int tick = 0; tick < 60; ++tick) {
+        const bool bad = tick % 2 == 0;
+        controller.observeFrame(bad ? distressedFeatures()
+                                    : QoeFeatures{});
+        controller.propose({ActionKind::BitrateStep, bad ? -1 : +1,
+                            0.85, bad ? 1.0 : 0.3, "aimd"});
+        const ControlAction applied =
+            controller.decide(f64(tick) * 500.0);
+        if (applied.kind == ActionKind::Hold)
+            continue;
+        if (applied.direction == -last_direction &&
+            last_direction != 0) {
+            EXPECT_GE(tick - last_applied_tick,
+                      config.hysteresis_ticks)
+                << "reversal inside the hysteresis window at tick "
+                << tick;
+        }
+        EXPECT_GE(tick - last_applied_tick,
+                  config.min_action_gap_ticks)
+            << "two actions inside the gap at tick " << tick;
+        last_applied_tick = tick;
+        last_direction = applied.direction;
+    }
+}
+
+TEST(ControllerTest, RefractoryDefersSecondCut)
+{
+    QoeController controller(enabledConfig(), defaultKnobs());
+
+    // An external cut (e.g. the legacy ladder) arms the window.
+    controller.noteCut(1000.0);
+    controller.observeFrame(distressedFeatures());
+    controller.propose(
+        {ActionKind::BitrateStep, -1, 0.85, 1.0, "aimd"});
+    EXPECT_EQ(controller.decide(1100.0).kind, ActionKind::Hold)
+        << "second bitrate cut applied inside the refractory window";
+    EXPECT_DOUBLE_EQ(controller.knobs().target_mbps, 6.0);
+
+    // Past the window the same advice is followed.
+    controller.observeFrame(distressedFeatures());
+    controller.propose(
+        {ActionKind::BitrateStep, -1, 0.85, 1.0, "aimd"});
+    EXPECT_EQ(controller.decide(1400.0).kind,
+              ActionKind::BitrateStep);
+}
+
+TEST(ControllerTest, GreedyPicksTheCheaperEquivalentRelief)
+{
+    // Two shedding proposals with equal urgency: the bitrate cut is
+    // cheaper (smaller knob distance) than jumping to the hold tier,
+    // so greedy delta-QoE-per-cost must choose it.
+    QoeController controller(enabledConfig(), defaultKnobs());
+    controller.observeFrame(distressedFeatures());
+    controller.propose(
+        {ActionKind::BitrateStep, -1, 0.85, 0.8, "aimd"});
+    controller.propose(
+        {ActionKind::PrecisionStep, -1, 4.0, 0.8, "ladder"});
+    const ControlAction applied = controller.decide(0.0);
+    EXPECT_EQ(applied.kind, ActionKind::BitrateStep);
+    EXPECT_EQ(controller.knobs().tier, 0);
+}
+
+// ---------------------------------------------------------------
+// Double-cut regression: ladder x AIMD one-cut-per-episode
+// ---------------------------------------------------------------
+
+TEST(DoubleCutTest, GatedLadderScaleDefersDecreaseInRefractory)
+{
+    // Decrease during refractory: deferred (keeps the applied scale).
+    EXPECT_DOUBLE_EQ(gatedLadderScale(1.0, 0.8, true), 1.0);
+    // Decrease outside refractory: applies.
+    EXPECT_DOUBLE_EQ(gatedLadderScale(1.0, 0.8, false), 0.8);
+    // Recovery (increase) always applies, refractory or not.
+    EXPECT_DOUBLE_EQ(gatedLadderScale(0.8, 1.0, true), 1.0);
+    EXPECT_DOUBLE_EQ(gatedLadderScale(0.8, 1.0, false), 1.0);
+}
+
+TEST(DoubleCutTest, ExternalCutArmsAimdRefractory)
+{
+    AimdController aimd(AimdConfig{}, 6.0);
+    ASSERT_FALSE(aimd.inRefractory(0.0));
+
+    // The ladder cuts first; AIMD must not cut again in the window.
+    aimd.noteExternalCut(0.0);
+    EXPECT_TRUE(aimd.inRefractory(100.0));
+    EXPECT_FALSE(aimd.onCongestion(100.0))
+        << "AIMD backed off on top of the ladder's cut";
+    EXPECT_EQ(aimd.backoffCount(), 0);
+    EXPECT_DOUBLE_EQ(aimd.targetMbps(), 6.0);
+
+    // Past the window congestion is a fresh episode.
+    EXPECT_FALSE(aimd.inRefractory(300.0));
+    EXPECT_TRUE(aimd.onCongestion(300.0));
+    EXPECT_EQ(aimd.backoffCount(), 1);
+    EXPECT_DOUBLE_EQ(aimd.targetMbps(), 6.0 * 0.7);
+}
+
+TEST(DoubleCutTest, AimdBackoffGatesLadderScaleDecrease)
+{
+    // The converse order: AIMD backs off first, then the ladder asks
+    // for a scale decrease in the same episode -> deferred; the same
+    // request after the window applies.
+    AimdController aimd(AimdConfig{}, 6.0);
+    ASSERT_TRUE(aimd.onCongestion(50.0));
+    f64 applied = 1.0;
+    applied = gatedLadderScale(applied, 0.85,
+                               aimd.inRefractory(100.0));
+    EXPECT_DOUBLE_EQ(applied, 1.0) << "double cut in one episode";
+    applied = gatedLadderScale(applied, 0.85,
+                               aimd.inRefractory(400.0));
+    EXPECT_DOUBLE_EQ(applied, 0.85);
+}
+
+// ---------------------------------------------------------------
+// Golden guard: the control plane off is a strict no-op
+// ---------------------------------------------------------------
+
+TEST(QoeGoldenGuardTest, ControllerOffSessionsMatchGoldens)
+{
+    for (const golden::Golden &g : golden::kGoldens) {
+        SessionConfig config = golden::canonicalConfig(g.design);
+        config.qoe.enabled = false; // explicit, not just the default
+        SessionResult result = runSession(config);
+        EXPECT_EQ(sessionFingerprint(result), g.fingerprint)
+            << "disabled QoE control plane perturbed the " << g.name
+            << " golden session";
+        EXPECT_EQ(result.qoe_actions, 0);
+
+        // QoE is still *scored* in legacy mode (observability), one
+        // sample per displayed frame, without touching the trace.
+        ASSERT_EQ(result.qoe_frames.size(), 30u);
+        for (f64 s : result.qoe_frames) {
+            EXPECT_GE(s, 0.0);
+            EXPECT_LE(s, 100.0);
+        }
+        EXPECT_GT(result.meanQoe(), 0.0);
+        EXPECT_LE(result.qoePercentile(10.0), result.meanQoe());
+    }
+}
+
+TEST(QoeGoldenGuardTest, UnifiedModeRunsAndScoresEveryFrame)
+{
+    // The enabled control plane must drive a session to completion
+    // with sane scores; behavior (and hence the fingerprint) may
+    // legitimately differ from the goldens — this is the liveness
+    // counterpart of the no-op guard above.
+    SessionConfig config =
+        golden::canonicalConfig(DesignKind::GameStreamSR);
+    config.qoe.enabled = true;
+    SessionResult result = runSession(config);
+    ASSERT_EQ(result.qoe_frames.size(), 30u);
+    for (f64 s : result.qoe_frames) {
+        EXPECT_GE(s, 0.0);
+        EXPECT_LE(s, 100.0);
+    }
+    EXPECT_EQ(result.traces.size(), 30u);
+}
+
+TEST(QoeGoldenGuardTest, UnifiedModeIsDeterministic)
+{
+    SessionConfig config =
+        golden::canonicalConfig(DesignKind::GameStreamSR);
+    config.qoe.enabled = true;
+    const u64 first = sessionFingerprint(runSession(config));
+    const u64 second = sessionFingerprint(runSession(config));
+    EXPECT_EQ(first, second);
+}
+
+} // namespace
+} // namespace gssr

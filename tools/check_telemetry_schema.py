@@ -125,9 +125,71 @@ def check_quant_payload(path, doc):
     return "quant payload: quality + npu sweeps complete"
 
 
+# Required keys of each BENCH_qoe.json scenario arm row.
+QOE_ARMS = {"independent", "unified"}
+QOE_ARM_KEYS = ("arm", "p10_qoe", "p50_qoe", "mean_qoe",
+                "live_fleet_p10", "p50_mtp_ms", "p99_mtp_ms",
+                "frames", "shed", "dropped", "qoe_actions",
+                "aggregate_mbps")
+
+
+def check_qoe_payload(path, doc):
+    """Deep-validate the qoe_control bench payload: a calibration
+    block with a positive fitted gain, and per-scenario arm pairs
+    (independent vs unified) with finite QoE/MTP statistics."""
+    cal = doc.get("calibration")
+    if not isinstance(cal, dict):
+        fail(path, "'calibration' must be an object")
+    for key in ("gain", "offset", "max_abs_error_db", "samples"):
+        if key not in cal:
+            fail(path, f"calibration missing '{key}'")
+        check_finite_number(path, f"calibration.{key}", cal[key])
+    if cal["gain"] <= 0:
+        fail(path, "calibration gain must be positive")
+    if cal["samples"] <= 0:
+        fail(path, "calibration must use at least one sample")
+
+    scenarios = doc.get("scenarios")
+    if not isinstance(scenarios, list) or not scenarios:
+        fail(path, "'scenarios' must be a non-empty array")
+    for i, sc in enumerate(scenarios):
+        if not isinstance(sc, dict):
+            fail(path, f"scenarios[{i}] must be an object")
+        for key in ("scenario", "arms", "p10_qoe_gain",
+                    "p99_mtp_delta_ms"):
+            if key not in sc:
+                fail(path, f"scenarios[{i}] missing '{key}'")
+        arms = sc["arms"]
+        if not isinstance(arms, list):
+            fail(path, f"scenarios[{i}].arms must be an array")
+        seen = set()
+        for j, arm in enumerate(arms):
+            where = f"scenarios[{i}].arms[{j}]"
+            if not isinstance(arm, dict):
+                fail(path, f"{where} must be an object")
+            for key in QOE_ARM_KEYS:
+                if key not in arm:
+                    fail(path, f"{where} missing '{key}'")
+                if key != "arm":
+                    check_finite_number(path, f"{where}.{key}",
+                                        arm[key])
+            if not 0 <= arm["p10_qoe"] <= 100:
+                fail(path, f"{where}.p10_qoe out of [0, 100]")
+            seen.add(arm["arm"])
+        if seen != QOE_ARMS:
+            fail(path, f"scenarios[{i}] covers arms {sorted(seen)}, "
+                       f"expected {sorted(QOE_ARMS)}")
+        for key in ("p10_qoe_gain", "p99_mtp_delta_ms"):
+            check_finite_number(path, f"scenarios[{i}].{key}",
+                                sc[key])
+    names = [sc["scenario"] for sc in scenarios]
+    return f"qoe payload: scenarios {names}, arm pairs complete"
+
+
 # Bench names with a dedicated payload validator beyond the header.
 PAYLOAD_CHECKS = {
     "quant_precision": check_quant_payload,
+    "qoe_control": check_qoe_payload,
 }
 
 
