@@ -1,0 +1,388 @@
+/**
+ * @file
+ * Cluster failover bench — sweeps 1k–10k accounting-only (proxy
+ * render) sessions across a six-server heterogeneous cluster and
+ * injects a single-server crash, comparing live migration against
+ * the no-migration baseline in which displaced sessions are simply
+ * lost and score zero QoE for the rest of the run. A
+ * rolling-maintenance scenario cycles every server through a drain
+ * window at the smallest sweep point, and the smallest crash run is
+ * replayed to pin byte-identical determinism at a fixed seed.
+ *
+ * Contract checks (GSSR_ASSERT, so CI fails loudly):
+ *  - the migration arm loses zero sessions at every sweep point;
+ *  - every displaced session is back on a server within the handoff
+ *    deadline plus one frame period;
+ *  - the migration arm's fleet p10 QoE strictly beats the
+ *    no-migration baseline's at every sweep point;
+ *  - the replayed run is byte-identical (fleet fingerprint and every
+ *    failover counter).
+ *
+ * Writes BENCH_cluster.json. `--smoke` runs a reduced configuration
+ * for CI; `--seed <n>` offsets the cluster / channel / world seeds
+ * (default 0 keeps the pinned deterministic configuration).
+ */
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "cluster/cluster.hh"
+#include "obs/report.hh"
+#include "obs/telemetry.hh"
+
+using namespace gssr;
+using namespace gssr::bench;
+
+namespace
+{
+
+/** Seed-offset knob shared by every run of one bench invocation. */
+struct SeedPlan
+{
+    u64 seed = 0;
+
+    u64 cluster() const { return 1 + seed; }
+    u64 world(int i) const { return 1 + u64(i) + seed * 7919; }
+    u64 channel(int i) const
+    {
+        return 1000 + u64(i) + seed * 1000003;
+    }
+};
+
+/** One (scenario x arm) cluster run. */
+struct RunResult
+{
+    std::string scenario;
+    bool migration = true;
+    int sessions = 0;
+    int ticks = 0;
+    ClusterResult cluster;
+};
+
+/**
+ * The heterogeneous six-server fleet for @p sessions admitted
+ * streams: two local, two metro (+4 ms) and two WAN (+12 ms) racks,
+ * slot counts weighted so capacity is uneven but the fleet holds
+ * every session with enough headroom for the five survivors to
+ * absorb a crashed server's tenants.
+ */
+ClusterConfig
+fleetConfig(int sessions)
+{
+    static const struct
+    {
+        const char *region;
+        f64 rtt_ms;
+        f64 weight;
+    } kRacks[6] = {{"local", 0.0, 1.0},  {"local", 0.0, 1.25},
+                   {"metro", 4.0, 0.75}, {"metro", 4.0, 1.25},
+                   {"wan", 12.0, 0.75},  {"wan", 12.0, 1.0}};
+
+    ClusterConfig config;
+    for (const auto &rack : kRacks) {
+        ClusterServerConfig server;
+        const int slots = std::max(
+            6, int(f64(sessions) / 8.0 * rack.weight + 0.5));
+        server.profile = ServerProfile::edgeRack(slots);
+        server.region = rack.region;
+        server.region_rtt_ms = rack.rtt_ms;
+        config.servers.push_back(server);
+    }
+    return config;
+}
+
+RunResult
+runCluster(const std::string &scenario_name,
+           const ClusterFaultScenario &scenario, bool migration,
+           int sessions, int ticks, const SeedPlan &seeds)
+{
+    ClusterConfig config = fleetConfig(sessions);
+    config.migration = migration;
+    config.seed = seeds.cluster();
+
+    obs::Telemetry telemetry(/*spans=*/false);
+    ClusterController cluster(config);
+    cluster.setTelemetry(&telemetry);
+
+    for (int i = 0; i < sessions; ++i) {
+        SessionConfig session = fleetMixSessionConfig(i);
+        session.frames = ticks;
+        // The sweep is accounting-only at a small proxy raster — the
+        // point is fleet-scale failover dynamics, not pixels.
+        session.server_proxy_size = {32, 18};
+        session.world_seed = seeds.world(i);
+        session.channel_seed = seeds.channel(i);
+        cluster.admit(session);
+    }
+
+    RunResult run;
+    run.scenario = scenario_name;
+    run.migration = migration;
+    run.sessions = sessions;
+    run.ticks = ticks;
+    run.cluster = cluster.run(ticks, scenario);
+
+    // The cluster.* instruments must agree with the typed result —
+    // the observability plane is part of the bench contract.
+    obs::MetricsRegistry &reg = telemetry.registry();
+    if (auto id = reg.find("cluster.migrations"))
+        GSSR_ASSERT(reg.counterValue(*id) == run.cluster.migrations,
+                    "cluster.migrations counter out of sync");
+    if (auto id = reg.find("cluster.sessions_lost"))
+        GSSR_ASSERT(reg.counterValue(*id) ==
+                        run.cluster.sessions_lost,
+                    "cluster.sessions_lost counter out of sync");
+    return run;
+}
+
+void
+armJson(obs::JsonWriter &w, const RunResult &run)
+{
+    const ClusterResult &c = run.cluster;
+    w.beginObject();
+    w.field("arm", std::string(run.migration ? "migration"
+                                             : "no-migration"));
+    w.field("admitted", c.fleet.admitted + c.fleet.degraded);
+    w.field("rejected", c.fleet.rejected);
+    w.field("frames", c.fleet.frames_total);
+    w.field("displaced", c.sessions_displaced);
+    w.field("migrations", c.migrations);
+    w.field("cold_readmissions", c.cold_readmissions);
+    w.field("sessions_lost", c.sessions_lost);
+    w.field("handoff_attempts", c.handoff_attempts);
+    w.field("handoff_retries", c.handoff_retries);
+    w.field("displaced_frames", c.displaced_frames);
+    w.field("p10_qoe", c.fleet.qoe.percentile(10.0), 4);
+    w.field("mean_qoe", c.fleet.qoe.mean(), 4);
+    w.field("p99_mtp_ms", c.fleet.mtp_ms.percentile(99.0), 4);
+    if (c.time_to_recover_ms.count() > 0) {
+        w.field("ttr_p50_ms", c.time_to_recover_ms.percentile(50.0),
+                4);
+        w.field("ttr_max_ms", c.time_to_recover_ms.max(), 4);
+    }
+    w.hexField("fingerprint", c.fleet.fingerprint);
+    w.endObject();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    SeedPlan seeds;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0)
+            smoke = true;
+        else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc)
+            seeds.seed = u64(std::strtoull(argv[++i], nullptr, 10));
+    }
+
+    printHeader("Cluster failover",
+                "live migration vs. lost sessions under server "
+                "crash and rolling maintenance" +
+                    std::string(smoke ? " (smoke)" : ""));
+
+    // Sweep points chosen so every run simulates a comparable frame
+    // volume (~48k session-frames): scale comes from the admitted
+    // population, not from run length.
+    std::vector<std::pair<int, int>> sweep; // (sessions, ticks)
+    if (smoke)
+        sweep = {{96, 48}};
+    else
+        sweep = {{1000, 48}, {2500, 20}, {5000, 10}, {10000, 8}};
+
+    const f64 kFramePeriodMs = 1000.0 / 60.0;
+    const HandoffConfig handoff; // pinned defaults, reported below
+
+    std::vector<RunResult> runs;
+    TableWriter table({"scenario", "arm", "N", "ticks", "displaced",
+                       "migrated", "cold", "lost", "retries",
+                       "p10 QoE", "mean QoE", "TTRmax ms"});
+    auto addRow = [&](const RunResult &run) {
+        const ClusterResult &c = run.cluster;
+        table.addRow(
+            {run.scenario,
+             run.migration ? "migration" : "no-migration",
+             std::to_string(run.sessions),
+             std::to_string(run.ticks),
+             std::to_string(c.sessions_displaced),
+             std::to_string(c.migrations),
+             std::to_string(c.cold_readmissions),
+             std::to_string(c.sessions_lost),
+             std::to_string(c.handoff_retries),
+             TableWriter::num(c.fleet.qoe.percentile(10.0), 2),
+             TableWriter::num(c.fleet.qoe.mean(), 2),
+             c.time_to_recover_ms.count()
+                 ? TableWriter::num(c.time_to_recover_ms.max(), 2)
+                 : std::string("-")});
+    };
+
+    for (const auto &[sessions, ticks] : sweep) {
+        const ClusterFaultScenario crash =
+            ClusterFaultScenario::serverCrash(0, ticks / 8, ticks);
+        for (bool migration : {true, false}) {
+            runs.push_back(runCluster("server-crash", crash,
+                                      migration, sessions, ticks,
+                                      seeds));
+            addRow(runs.back());
+        }
+    }
+
+    // Rolling maintenance cycles all six servers through end-to-end
+    // drain windows at the smallest sweep point (every session in
+    // the fleet is displaced at least once and must survive).
+    {
+        const auto [sessions, ticks] = sweep.front();
+        const i64 drain = std::max<i64>(2, ticks / 8);
+        runs.push_back(runCluster(
+            "rolling-maintenance",
+            ClusterFaultScenario::rollingMaintenance(6, ticks / 6,
+                                                     drain),
+            true, sessions, ticks, seeds));
+        addRow(runs.back());
+    }
+
+    // Replay the smallest crash run: a fixed seed must reproduce the
+    // fleet byte for byte, faults and retries included.
+    const RunResult &first = runs.front();
+    const RunResult replay = runCluster(
+        "server-crash",
+        ClusterFaultScenario::serverCrash(0, first.ticks / 8,
+                                          first.ticks),
+        true, first.sessions, first.ticks, seeds);
+    printTable(table);
+
+    // Contract checks.
+    for (size_t i = 0; i + 1 < runs.size(); i += 2) {
+        const ClusterResult &mig = runs[i].cluster;
+        const ClusterResult &base = runs[i + 1].cluster;
+        if (runs[i].scenario != "server-crash")
+            break;
+        GSSR_ASSERT(mig.fleet.rejected == 0,
+                    "the fleet must hold the whole sweep population");
+        GSSR_ASSERT(mig.sessions_displaced > 0,
+                    "the crash must displace the failed server's "
+                    "tenants");
+        GSSR_ASSERT(mig.sessions_lost == 0,
+                    "migration must lose zero sessions on a "
+                    "single-server crash");
+        GSSR_ASSERT(mig.time_to_recover_ms.count() ==
+                        mig.sessions_displaced,
+                    "every displaced session must be re-homed");
+        GSSR_ASSERT(mig.time_to_recover_ms.max() <=
+                        handoff.deadline_ms + kFramePeriodMs,
+                    "time-to-recover must respect the handoff "
+                    "deadline");
+        GSSR_ASSERT(base.sessions_lost > 0,
+                    "the no-migration baseline must lose the "
+                    "crashed server's sessions");
+        const f64 gain = mig.fleet.qoe.percentile(10.0) -
+                         base.fleet.qoe.percentile(10.0);
+        std::cout << "\nN=" << runs[i].sessions << ": p10 QoE "
+                  << TableWriter::num(
+                         base.fleet.qoe.percentile(10.0), 2)
+                  << " -> "
+                  << TableWriter::num(
+                         mig.fleet.qoe.percentile(10.0), 2)
+                  << " (+" << TableWriter::num(gain, 2)
+                  << "), TTR max "
+                  << TableWriter::num(mig.time_to_recover_ms.max(),
+                                      2)
+                  << " ms\n";
+        GSSR_ASSERT(gain > 0.0,
+                    "migration must strictly beat the no-migration "
+                    "baseline's fleet p10 QoE");
+    }
+    const ClusterResult &rolling = runs.back().cluster;
+    GSSR_ASSERT(rolling.sessions_lost == 0,
+                "rolling maintenance must not lose sessions");
+    GSSR_ASSERT(rolling.sessions_displaced >=
+                    i64(runs.back().sessions),
+                "rolling maintenance must displace every session");
+
+    GSSR_ASSERT(replay.cluster.fleet.fingerprint ==
+                        first.cluster.fleet.fingerprint &&
+                    replay.cluster.migrations ==
+                        first.cluster.migrations &&
+                    replay.cluster.handoff_attempts ==
+                        first.cluster.handoff_attempts &&
+                    replay.cluster.handoff_retries ==
+                        first.cluster.handoff_retries,
+                "a fixed seed must replay the faulty run "
+                "byte-identically");
+    std::cout << "replay: fingerprint match at seed " << seeds.seed
+              << "\n";
+
+    obs::Report report("BENCH_cluster.json", "cluster_failover",
+                       smoke);
+    obs::JsonWriter &w = report.json();
+    w.field("seed", i64(seeds.seed));
+    w.field("placement", std::string("least-loaded"));
+    w.key("handoff");
+    w.beginObject();
+    w.field("max_attempts", i64(handoff.max_attempts));
+    w.field("base_backoff_ms", handoff.base_backoff_ms, 2);
+    w.field("backoff_multiplier", handoff.backoff_multiplier, 2);
+    w.field("max_backoff_ms", handoff.max_backoff_ms, 2);
+    w.field("jitter", handoff.jitter, 2);
+    w.field("deadline_ms", handoff.deadline_ms, 2);
+    w.endObject();
+    w.key("servers");
+    w.beginArray();
+    for (const ClusterServerConfig &s :
+         fleetConfig(sweep.front().first).servers) {
+        w.beginObject();
+        w.field("region", s.region);
+        w.field("region_rtt_ms", s.region_rtt_ms, 2);
+        w.field("gpu_slots", i64(s.profile.gpu_slots));
+        w.endObject();
+    }
+    w.endArray();
+    w.key("sweep");
+    w.beginArray();
+    for (size_t i = 0; i + 1 < runs.size(); i += 2) {
+        if (runs[i].scenario != "server-crash")
+            break;
+        w.beginObject();
+        w.field("scenario", runs[i].scenario);
+        w.field("sessions", i64(runs[i].sessions));
+        w.field("ticks", i64(runs[i].ticks));
+        w.key("arms");
+        w.beginArray();
+        armJson(w, runs[i]);
+        armJson(w, runs[i + 1]);
+        w.endArray();
+        w.field("p10_qoe_gain",
+                runs[i].cluster.fleet.qoe.percentile(10.0) -
+                    runs[i + 1].cluster.fleet.qoe.percentile(10.0),
+                4);
+        w.endObject();
+    }
+    {
+        const RunResult &run = runs.back();
+        w.beginObject();
+        w.field("scenario", run.scenario);
+        w.field("sessions", i64(run.sessions));
+        w.field("ticks", i64(run.ticks));
+        w.key("arms");
+        w.beginArray();
+        armJson(w, run);
+        w.endArray();
+        w.endObject();
+    }
+    w.endArray();
+    w.key("determinism");
+    w.beginObject();
+    w.field("sessions", i64(first.sessions));
+    w.hexField("fingerprint_a", first.cluster.fleet.fingerprint);
+    w.hexField("fingerprint_b", replay.cluster.fleet.fingerprint);
+    w.field("match", true);
+    w.endObject();
+    report.close();
+    return 0;
+}

@@ -21,6 +21,7 @@
  * configuration for CI.
  */
 
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
@@ -80,7 +81,7 @@ burstyLoss(int ticks)
 
 ArmResult
 runArm(const Scenario &sc, bool unified, int sessions, int ticks,
-       const qoe::QoeCalibration &calibration)
+       const qoe::QoeCalibration &calibration, u64 seed)
 {
     obs::Telemetry telemetry(/*spans=*/false);
     FleetServer fleet(ServerProfile::edgeRack(2), SchedulePolicy::Edf);
@@ -92,6 +93,10 @@ runArm(const Scenario &sc, bool unified, int sessions, int ticks,
         // has no NPU degradation ladder, so its frames would dilute
         // the p10 objective with a floor no control plane can move.
         config.design = DesignKind::GameStreamSR;
+        // --seed offsets the stochastic streams; 0 (the default)
+        // keeps the pinned configuration bit for bit.
+        config.world_seed += seed * 7919;
+        config.channel_seed += seed * 1000003;
         config.frames = ticks;
         config.fault_scenario = sc.channel;
         config.device_stress.enabled = sc.device_stress;
@@ -115,7 +120,7 @@ runArm(const Scenario &sc, bool unified, int sessions, int ticks,
 }
 
 void
-writeReport(bool smoke, int sessions, int ticks,
+writeReport(bool smoke, int sessions, int ticks, u64 seed,
             const qoe::CalibrationResult &calibration,
             const std::vector<ArmResult> &arms)
 {
@@ -123,6 +128,7 @@ writeReport(bool smoke, int sessions, int ticks,
     obs::JsonWriter &w = report.json();
     w.field("sessions", sessions);
     w.field("ticks", ticks);
+    w.field("seed", i64(seed));
 
     w.key("calibration");
     w.beginObject();
@@ -185,9 +191,12 @@ int
 main(int argc, char **argv)
 {
     bool smoke = false;
+    u64 seed = 0;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--smoke") == 0)
             smoke = true;
+        else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc)
+            seed = u64(std::strtoull(argv[++i], nullptr, 10));
     }
 
     printHeader("QoE control plane",
@@ -234,7 +243,7 @@ main(int argc, char **argv)
     for (const Scenario &sc : scenarios) {
         for (bool unified : {false, true}) {
             arms.push_back(runArm(sc, unified, sessions, ticks,
-                                  calibration.calibration));
+                                  calibration.calibration, seed));
             const ArmResult &a = arms.back();
             const FleetResult &fl = a.fleet;
             i64 actions = 0;
@@ -278,6 +287,6 @@ main(int argc, char **argv)
                     "MTP");
     }
 
-    writeReport(smoke, sessions, ticks, calibration, arms);
+    writeReport(smoke, sessions, ticks, seed, calibration, arms);
     return 0;
 }

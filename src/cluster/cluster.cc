@@ -1,0 +1,527 @@
+#include "cluster/cluster.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <string>
+#include <utility>
+
+#include "common/fingerprint.hh"
+#include "common/logging.hh"
+#include "obs/telemetry.hh"
+
+namespace gssr
+{
+
+const char *
+placementPolicyName(PlacementPolicy policy)
+{
+    switch (policy) {
+      case PlacementPolicy::ConsistentHash:
+        return "consistent-hash";
+      case PlacementPolicy::LeastLoaded:
+        return "least-loaded";
+    }
+    return "?";
+}
+
+ClusterController::ClusterController(const ClusterConfig &config)
+    : config_(config), rng_(config.seed)
+{
+    GSSR_ASSERT(!config_.servers.empty(),
+                "cluster needs at least one server");
+    GSSR_ASSERT(config_.hash_replicas >= 1,
+                "hash ring needs at least one replica per server");
+    validateHandoffConfig(config_.handoff);
+    for (const ClusterServerConfig &server : config_.servers) {
+        GSSR_ASSERT(server.profile.gpu_slots >= 1,
+                    "cluster server needs at least one GPU slot");
+        GSSR_ASSERT(std::isfinite(server.region_rtt_ms) &&
+                        server.region_rtt_ms >= 0.0,
+                    "region RTT must be finite and >= 0");
+        fleet_.push_back(std::make_unique<FleetServer>(
+            server.profile, config_.schedule));
+    }
+    displaced_out_.assign(fleet_.size(), false);
+
+    // Hash ring: hash_replicas virtual nodes per server, points a
+    // pure function of (server, replica) so placement is stable
+    // across seeds and runs.
+    ring_.reserve(fleet_.size() * size_t(config_.hash_replicas));
+    for (int s = 0; s < int(fleet_.size()); ++s) {
+        for (int r = 0; r < config_.hash_replicas; ++r)
+            ring_.emplace_back(fnv1aValue(i64(r), fnv1aValue(i64(s))),
+                               s);
+    }
+    std::sort(ring_.begin(), ring_.end());
+}
+
+void
+ClusterController::setTelemetry(obs::Telemetry *telemetry)
+{
+    telemetry_ = telemetry;
+    for (auto &server : fleet_)
+        server->setTelemetry(telemetry);
+    if (!telemetry_)
+        return;
+    obs::MetricsRegistry &reg = telemetry_->registry();
+    tm_.migrations = reg.counter("cluster.migrations");
+    tm_.handoff_attempts = reg.counter("cluster.handoff_attempts");
+    tm_.handoff_retries = reg.counter("cluster.handoff_retries");
+    tm_.cold_readmissions = reg.counter("cluster.cold_readmissions");
+    tm_.sessions_lost = reg.counter("cluster.sessions_lost");
+    tm_.time_to_recover_ms = reg.histogram(
+        "cluster.time_to_recover_ms",
+        obs::HistogramLayout::linear(0.0,
+                                     2.0 * config_.handoff.deadline_ms,
+                                     128));
+    tm_.servers_up = reg.gauge("cluster.servers_up");
+    tm_.pending_handoffs = reg.gauge("cluster.pending_handoffs");
+    tm_.occupancy.clear();
+    for (size_t s = 0; s < fleet_.size(); ++s) {
+        tm_.occupancy.push_back(reg.gauge(
+            "cluster.server" + std::to_string(s) + ".occupancy"));
+    }
+}
+
+AdmissionDecision
+ClusterController::admit(SessionConfig config)
+{
+    const std::vector<bool> all(fleet_.size(), true);
+    const std::vector<int> order =
+        placementOrder(next_session_id_, all);
+    for (int s : order) {
+        SessionConfig cfg = config;
+        cfg.channel.rtt_ms += config_.servers[s].region_rtt_ms;
+        fleet_[s]->setNextTenantId(next_session_id_);
+        AdmissionDecision decision = fleet_[s]->admit(std::move(cfg));
+        if (decision.outcome != AdmissionOutcome::Rejected) {
+            next_session_id_ += 1;
+            return decision;
+        }
+    }
+    rejected_ += 1;
+    AdmissionDecision decision;
+    decision.outcome = AdmissionOutcome::Rejected;
+    decision.config = std::move(config);
+    return decision;
+}
+
+i64
+ClusterController::sessionCount() const
+{
+    i64 count = 0;
+    for (const auto &server : fleet_)
+        count += server->sessionCount();
+    return count;
+}
+
+std::vector<bool>
+ClusterController::eligibleServers(
+    i64 tick, const ClusterFaultScenario &scenario) const
+{
+    std::vector<bool> eligible(fleet_.size(), true);
+    for (int s = 0; s < int(fleet_.size()); ++s) {
+        if (scenario.serverDown(s, tick) ||
+            scenario.serverDraining(s, tick))
+            eligible[s] = false;
+    }
+    return eligible;
+}
+
+std::vector<int>
+ClusterController::placementOrder(
+    int session_id, const std::vector<bool> &eligible) const
+{
+    std::vector<int> order;
+    order.reserve(fleet_.size());
+    if (config_.placement == PlacementPolicy::ConsistentHash) {
+        // Walk the ring clockwise from the session's key; the first
+        // pass over each server's nearest virtual node fixes the
+        // fallback order.
+        const u64 key = fnv1aValue(i64(session_id));
+        const auto it = std::lower_bound(
+            ring_.begin(), ring_.end(),
+            std::make_pair(key, std::numeric_limits<int>::min()));
+        const size_t start =
+            it == ring_.end() ? 0 : size_t(it - ring_.begin());
+        std::vector<bool> seen(fleet_.size(), false);
+        for (size_t k = 0; k < ring_.size(); ++k) {
+            const int s = ring_[(start + k) % ring_.size()].second;
+            if (!seen[s]) {
+                seen[s] = true;
+                order.push_back(s);
+            }
+        }
+    } else {
+        order.resize(fleet_.size());
+        std::iota(order.begin(), order.end(), 0);
+        std::stable_sort(order.begin(), order.end(),
+                         [this](int a, int b) {
+            const f64 la = fleet_[a]->committedCostMs() /
+                           fleet_[a]->capacity().budgetMsPerTick();
+            const f64 lb = fleet_[b]->committedCostMs() /
+                           fleet_[b]->capacity().budgetMsPerTick();
+            if (la != lb)
+                return la < lb;
+            return a < b;
+        });
+    }
+    std::vector<int> filtered;
+    filtered.reserve(order.size());
+    for (int s : order) {
+        if (eligible[s])
+            filtered.push_back(s);
+    }
+    return filtered;
+}
+
+void
+ClusterController::displaceServer(int s, i64 t, f64 now_ms)
+{
+    std::vector<FleetServer::Tenant> drained =
+        fleet_[s]->drainTenants();
+    for (FleetServer::Tenant &tenant : drained) {
+        sessions_displaced_ += 1;
+        PendingHandoff ph;
+        ph.session = tenant.id;
+        ph.outcome = tenant.outcome;
+        ph.fps_divisor = tenant.fps_divisor;
+        ph.from_server = s;
+        ph.estimated_cost_ms = tenant.estimated_cost_ms;
+        ph.config = tenant.engine->config();
+        ph.state = tenant.engine->exportHandoff();
+        ph.displaced_tick = t;
+        ph.displaced_ms = now_ms;
+        ph.next_attempt_ms = now_ms;
+        if (config_.migration) {
+            pending_.push_back(std::move(ph));
+        } else {
+            // Failure baseline: the session dies with its server.
+            HandoffResult hr;
+            hr.outcome = HandoffOutcome::Lost;
+            hr.session = ph.session;
+            hr.from_server = ph.from_server;
+            hr.displaced_tick = ph.displaced_tick;
+            recordHandoff(hr);
+            LostSession lost;
+            lost.session = ph.session;
+            lost.outcome = ph.outcome;
+            lost.fps_divisor = ph.fps_divisor;
+            lost.lr_size = ph.config.lr_size;
+            lost.estimated_cost_ms = ph.estimated_cost_ms;
+            lost.displaced_tick = ph.displaced_tick;
+            lost.result = std::move(ph.state.result);
+            lost_.push_back(std::move(lost));
+        }
+    }
+}
+
+i64
+ClusterController::missedSubmissions(const PendingHandoff &ph,
+                                     i64 t) const
+{
+    i64 missed = 0;
+    for (i64 tick = ph.displaced_tick; tick < t; ++tick) {
+        if (tick % ph.fps_divisor == ph.session % ph.fps_divisor)
+            missed += 1;
+    }
+    return missed;
+}
+
+bool
+ClusterController::tryPlace(PendingHandoff &ph, i64 t, f64 now_ms,
+                            const ClusterFaultScenario &scenario)
+{
+    const std::vector<int> order =
+        placementOrder(ph.session, eligibleServers(t, scenario));
+    if (order.empty())
+        return false;
+
+    // Submission ticks missed while displaced score zero QoE; rolled
+    // back below if no server takes the session this tick.
+    const i64 missed = missedSubmissions(ph, t);
+    const size_t base_frames = ph.state.result.qoe_frames.size();
+    for (i64 k = 0; k < missed; ++k)
+        ph.state.result.qoe_frames.push_back(0.0);
+    ph.state.migrated_at_ms = now_ms;
+
+    for (int s : order) {
+        SessionConfig cfg = ph.config;
+        cfg.channel.rtt_ms +=
+            config_.servers[s].region_rtt_ms -
+            config_.servers[ph.from_server].region_rtt_ms;
+        if (!fleet_[s]->admitHandoff(ph.session, ph.outcome,
+                                     ph.fps_divisor, std::move(cfg),
+                                     std::move(ph.state)))
+            continue;
+        displaced_frames_ += missed;
+        HandoffResult hr;
+        hr.outcome = ph.cold ? HandoffOutcome::ColdReadmitted
+                             : HandoffOutcome::Migrated;
+        hr.session = ph.session;
+        hr.from_server = ph.from_server;
+        hr.to_server = s;
+        hr.attempts = ph.attempts;
+        hr.displaced_tick = ph.displaced_tick;
+        hr.completed_tick = t;
+        hr.time_to_recover_ms = now_ms - ph.displaced_ms;
+        recordHandoff(hr);
+        return true;
+    }
+    ph.state.result.qoe_frames.resize(base_frames);
+    return false;
+}
+
+void
+ClusterController::processHandoffs(i64 t, f64 now_ms,
+                                   const ClusterFaultScenario &scenario)
+{
+    if (pending_.empty())
+        return;
+    const bool partitioned = scenario.partitioned(t);
+    std::vector<PendingHandoff> still;
+    still.reserve(pending_.size());
+    for (PendingHandoff &ph : pending_) {
+        if (now_ms < ph.next_attempt_ms) {
+            still.push_back(std::move(ph));
+            continue;
+        }
+        // Past the deadline (or out of warm attempts) the session
+        // falls back to cold re-admission: the control-loop state is
+        // dropped, only the collected result follows it.
+        if (!ph.cold &&
+            (now_ms - ph.displaced_ms > config_.handoff.deadline_ms ||
+             ph.attempts >= config_.handoff.max_attempts)) {
+            ph.cold = true;
+            ph.state.cold = true;
+        }
+        ph.attempts += 1;
+        handoff_attempts_ += 1;
+        const bool retry = ph.attempts > 1;
+        if (retry)
+            handoff_retries_ += 1;
+        if (telemetry_) {
+            obs::MetricsRegistry &reg = telemetry_->registry();
+            reg.add(tm_.handoff_attempts);
+            if (retry)
+                reg.add(tm_.handoff_retries);
+        }
+        // A partitioned control plane cannot commit placements: the
+        // attempt is burned and the session backs off.
+        if (!partitioned && tryPlace(ph, t, now_ms, scenario))
+            continue;
+        ph.next_attempt_ms =
+            now_ms +
+            handoffBackoffMs(config_.handoff, ph.attempts - 1, rng_);
+        still.push_back(std::move(ph));
+    }
+    pending_ = std::move(still);
+}
+
+void
+ClusterController::recordHandoff(const HandoffResult &result)
+{
+    handoffs_.push_back(result);
+    switch (result.outcome) {
+      case HandoffOutcome::Migrated:
+        migrations_ += 1;
+        break;
+      case HandoffOutcome::ColdReadmitted:
+        cold_readmissions_ += 1;
+        break;
+      case HandoffOutcome::Lost:
+        sessions_lost_ += 1;
+        break;
+    }
+    if (result.outcome != HandoffOutcome::Lost)
+        time_to_recover_ms_.add(result.time_to_recover_ms);
+    if (!telemetry_)
+        return;
+    obs::MetricsRegistry &reg = telemetry_->registry();
+    switch (result.outcome) {
+      case HandoffOutcome::Migrated:
+        reg.add(tm_.migrations);
+        break;
+      case HandoffOutcome::ColdReadmitted:
+        reg.add(tm_.cold_readmissions);
+        break;
+      case HandoffOutcome::Lost:
+        reg.add(tm_.sessions_lost);
+        break;
+    }
+    if (result.outcome != HandoffOutcome::Lost)
+        reg.observe(tm_.time_to_recover_ms,
+                    result.time_to_recover_ms);
+}
+
+void
+ClusterController::updateTickTelemetry(
+    i64 t, const ClusterFaultScenario &scenario)
+{
+    obs::MetricsRegistry &reg = telemetry_->registry();
+    int up = 0;
+    for (int s = 0; s < int(fleet_.size()); ++s) {
+        if (!scenario.serverDown(s, t))
+            up += 1;
+    }
+    reg.set(tm_.servers_up, f64(up));
+    reg.set(tm_.pending_handoffs, f64(pending_.size()));
+    for (size_t s = 0; s < fleet_.size(); ++s) {
+        reg.set(tm_.occupancy[s],
+                fleet_[s]->committedCostMs() /
+                    fleet_[s]->capacity().budgetMsPerTick());
+    }
+}
+
+ClusterResult
+ClusterController::run(int ticks, const ClusterFaultScenario &scenario)
+{
+    GSSR_ASSERT(ticks >= 1, "cluster run needs at least one tick");
+    const f64 period = fleet_[0]->capacity().frame_period_ms;
+
+    for (i64 t = 0; t < ticks; ++t) {
+        const f64 now_ms = f64(t) * period;
+        for (int s = 0; s < int(fleet_.size()); ++s) {
+            const bool out = scenario.serverDown(s, t) ||
+                             scenario.serverDraining(s, t);
+            if (out && !displaced_out_[s]) {
+                displaced_out_[s] = true;
+                displaceServer(s, t, now_ms);
+            } else if (!out && displaced_out_[s]) {
+                displaced_out_[s] = false;
+            }
+        }
+        processHandoffs(t, now_ms, scenario);
+        for (int s = 0; s < int(fleet_.size()); ++s) {
+            if (!scenario.serverDown(s, t))
+                fleet_[s]->runTick(t);
+        }
+        if (telemetry_)
+            updateTickTelemetry(t, scenario);
+    }
+
+    // Displacements still pending when the run ends are lost.
+    for (PendingHandoff &ph : pending_) {
+        HandoffResult hr;
+        hr.outcome = HandoffOutcome::Lost;
+        hr.session = ph.session;
+        hr.from_server = ph.from_server;
+        hr.attempts = ph.attempts;
+        hr.displaced_tick = ph.displaced_tick;
+        recordHandoff(hr);
+        LostSession lost;
+        lost.session = ph.session;
+        lost.outcome = ph.outcome;
+        lost.fps_divisor = ph.fps_divisor;
+        lost.lr_size = ph.config.lr_size;
+        lost.estimated_cost_ms = ph.estimated_cost_ms;
+        lost.displaced_tick = ph.displaced_tick;
+        lost.result = std::move(ph.state.result);
+        lost_.push_back(std::move(lost));
+    }
+    pending_.clear();
+
+    // A lost session's missed submission ticks through the end of
+    // the run score zero QoE in the fleet distribution.
+    for (LostSession &lost : lost_) {
+        i64 missed = 0;
+        for (i64 tick = lost.displaced_tick; tick < ticks; ++tick) {
+            if (tick % lost.fps_divisor ==
+                lost.session % lost.fps_divisor)
+                missed += 1;
+        }
+        for (i64 k = 0; k < missed; ++k)
+            lost.result.qoe_frames.push_back(0.0);
+        displaced_frames_ += missed;
+    }
+
+    ClusterResult result;
+    result.ticks = ticks;
+    result.servers = int(fleet_.size());
+    result.placement = config_.placement;
+    result.sessions_displaced = sessions_displaced_;
+    result.migrations = migrations_;
+    result.cold_readmissions = cold_readmissions_;
+    result.sessions_lost = sessions_lost_;
+    result.handoff_attempts = handoff_attempts_;
+    result.handoff_retries = handoff_retries_;
+    result.displaced_frames = displaced_frames_;
+    result.time_to_recover_ms = time_to_recover_ms_;
+    result.handoffs = handoffs_;
+
+    FleetResult &fleet = result.fleet;
+    fleet.policy = config_.schedule;
+    fleet.gpu_slots = 0;
+    fleet.ticks = ticks;
+    fleet.rejected = rejected_;
+    for (const auto &server : fleet_) {
+        const f64 budget = server->capacity().budgetMsPerTick();
+        fleet.gpu_slots += server->capacity().gpu_slots;
+        fleet.committed_cost_ms += server->committedCostMs();
+        fleet.budget_ms += budget;
+        fleet.frames_shed += server->framesShed();
+        fleet.max_backlog_ms =
+            std::max(fleet.max_backlog_ms, server->maxBacklogMs());
+        result.server_occupancy.push_back(server->committedCostMs() /
+                                          budget);
+    }
+
+    // Merge per-session stats in cluster-id order — live tenants
+    // wherever they ended up, plus lost sessions — reproducing the
+    // standalone FleetServer collection (and its fingerprint chain)
+    // bit for bit when M = 1 and no faults fired.
+    struct Entry
+    {
+        int id;
+        const FleetServer::Tenant *tenant;
+        const LostSession *lost;
+    };
+    std::vector<Entry> entries;
+    for (const auto &server : fleet_) {
+        for (const FleetServer::Tenant &tenant : server->tenants())
+            entries.push_back({tenant.id, &tenant, nullptr});
+    }
+    for (const LostSession &lost : lost_)
+        entries.push_back({lost.session, nullptr, &lost});
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry &a, const Entry &b) {
+        return a.id < b.id;
+    });
+
+    const f64 run_s = f64(ticks) * period / 1000.0;
+    u64 fleet_hash = kFnvOffsetBasis;
+    for (const Entry &e : entries) {
+        const AdmissionOutcome outcome =
+            e.tenant ? e.tenant->outcome : e.lost->outcome;
+        if (outcome == AdmissionOutcome::Degraded)
+            fleet.degraded += 1;
+        else
+            fleet.admitted += 1;
+
+        FleetSessionStats s =
+            e.tenant
+                ? summarizeFleetSession(
+                      e.id, e.tenant->outcome, e.tenant->fps_divisor,
+                      e.tenant->engine->config().lr_size,
+                      e.tenant->estimated_cost_ms,
+                      e.tenant->engine->result(), run_s,
+                      fleet.mtp_ms, fleet.qoe)
+                : summarizeFleetSession(
+                      e.id, e.lost->outcome, e.lost->fps_divisor,
+                      e.lost->lr_size, e.lost->estimated_cost_ms,
+                      e.lost->result, run_s, fleet.mtp_ms, fleet.qoe);
+
+        fleet.frames_total += s.frames;
+        fleet.frames_dropped += s.frames_dropped;
+        fleet.aggregate_bitrate_mbps += s.bitrate_mbps;
+        fleet_hash = fnv1aValue(e.id, fleet_hash);
+        fleet_hash = fnv1aValue(s.fingerprint, fleet_hash);
+        fleet.sessions.push_back(s);
+    }
+    fleet.fingerprint = fleet_hash;
+    return result;
+}
+
+} // namespace gssr

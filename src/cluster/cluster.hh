@@ -1,0 +1,283 @@
+/**
+ * @file
+ * The multi-server cluster control plane: places sessions across M
+ * heterogeneous FleetServers (consistent-hash or least-loaded
+ * placement, per-server inter-region RTT), drives all servers in 60 Hz
+ * lockstep, and keeps sessions alive through scripted server faults
+ * (cluster/fault.hh) by live-migrating them — drain the source,
+ * hand the exported session state off under the bounded
+ * retry/timeout/backoff loop (cluster/handoff.hh), and resume on the
+ * destination with a forced intra refresh so the client's reference
+ * chain re-seeds without a cold restart.
+ *
+ * Everything is deterministic: same config + same admissions + same
+ * fault scenario => bit-identical ClusterResult; with one server and
+ * no faults the run is bit-identical to a standalone FleetServer
+ * (pinned by test_cluster's golden guard).
+ */
+
+#ifndef GSSR_CLUSTER_CLUSTER_HH
+#define GSSR_CLUSTER_CLUSTER_HH
+
+#include <memory>
+#include <vector>
+
+#include "cluster/fault.hh"
+#include "cluster/handoff.hh"
+#include "common/rng.hh"
+#include "pipeline/fleet.hh"
+
+namespace gssr
+{
+
+namespace obs
+{
+class Telemetry;
+}
+
+/** How the cluster picks a server for a session. */
+enum class PlacementPolicy
+{
+    /** Hash-ring placement: stable under fleet growth, sessions only
+     *  move when their arc's server goes away. */
+    ConsistentHash,
+
+    /** Greedy least-relative-load placement (committed admission
+     *  budget over capacity). */
+    LeastLoaded,
+};
+
+/** Policy name for tables / JSON. */
+const char *placementPolicyName(PlacementPolicy policy);
+
+/** One server of the cluster fleet. */
+struct ClusterServerConfig
+{
+    ServerProfile profile = ServerProfile::edgeRack(8);
+
+    /** One-way inter-region RTT penalty added to the channel RTT of
+     *  every session homed on this server (ms). 0 = same region as
+     *  the client population. */
+    f64 region_rtt_ms = 0.0;
+
+    /** Region label for tables / telemetry. */
+    std::string region = "local";
+};
+
+/** Cluster-wide configuration. */
+struct ClusterConfig
+{
+    std::vector<ClusterServerConfig> servers;
+    SchedulePolicy schedule = SchedulePolicy::Edf;
+    PlacementPolicy placement = PlacementPolicy::LeastLoaded;
+
+    /** Migration retry/timeout/backoff policy. */
+    HandoffConfig handoff;
+
+    /**
+     * Live migration on/off. Off is the failure baseline the
+     * failover bench compares against: a displaced session is simply
+     * lost, and its missed frames score zero QoE for the rest of the
+     * run.
+     */
+    bool migration = true;
+
+    /** Seed of the handoff-jitter RNG stream. */
+    u64 seed = 1;
+
+    /** Virtual nodes per server on the consistent-hash ring. */
+    int hash_replicas = 32;
+};
+
+/** Aggregate outcome of one cluster run. */
+struct ClusterResult
+{
+    i64 ticks = 0;
+    int servers = 0;
+    PlacementPolicy placement = PlacementPolicy::LeastLoaded;
+
+    /**
+     * Merged fleet view across all servers, sessions in cluster-id
+     * order (lost sessions included, their missed submission ticks
+     * scored as zero-QoE frames). With one server and no faults this
+     * is bit-identical to FleetServer::run's result.
+     */
+    FleetResult fleet;
+
+    /** Sessions displaced by server faults. */
+    i64 sessions_displaced = 0;
+
+    /** Displacements resolved by warm migration. */
+    i64 migrations = 0;
+
+    /** Displacements resolved by deadline-expired cold re-admission. */
+    i64 cold_readmissions = 0;
+
+    /** Displacements never re-homed (plus no-migration losses). */
+    i64 sessions_lost = 0;
+
+    /** Warm/cold placement attempts, and attempts after the first
+     *  per displacement (the retry count). */
+    i64 handoff_attempts = 0;
+    i64 handoff_retries = 0;
+
+    /** Submission ticks sessions missed while displaced (each scores
+     *  a zero-QoE frame in the fleet distribution). */
+    i64 displaced_frames = 0;
+
+    /** Displacement → back-on-a-server latency per re-homed session
+     *  (ms). */
+    SampleStats time_to_recover_ms;
+
+    /** One typed record per displacement episode. */
+    std::vector<HandoffResult> handoffs;
+
+    /** End-of-run committed budget fraction per server. */
+    std::vector<f64> server_occupancy;
+};
+
+/**
+ * The cluster controller. Usage mirrors FleetServer: setTelemetry
+ * (optional, before admissions), admit() each candidate session,
+ * then run(ticks, scenario) once.
+ */
+class ClusterController
+{
+  public:
+    explicit ClusterController(const ClusterConfig &config);
+
+    /**
+     * Attach a telemetry sink (not owned; null detaches). Call
+     * before admit(): registers the cluster.* instruments
+     * (migrations, handoff attempts/retries, cold re-admissions,
+     * lost sessions, time-to-recover histogram, per-server occupancy
+     * gauges) and forwards the handle to every server fleet.
+     */
+    void setTelemetry(obs::Telemetry *telemetry);
+
+    /**
+     * Place and admission-control a session: walks the placement
+     * policy's candidate order and admits on the first server whose
+     * ladder accepts (possibly degraded). The server's region RTT is
+     * folded into the session's channel config. Returns the winning
+     * server's decision (Rejected when every server refused).
+     */
+    AdmissionDecision admit(SessionConfig config);
+
+    /** Live (admitted + degraded) session count across the fleet. */
+    i64 sessionCount() const;
+
+    int serverCount() const { return int(fleet_.size()); }
+
+    const FleetServer &server(int i) const { return *fleet_[i]; }
+
+    /** Drive the whole cluster for @p ticks 60 Hz ticks under
+     *  @p scenario. One-shot, like FleetServer::run. */
+    ClusterResult run(int ticks, const ClusterFaultScenario &scenario =
+                                     ClusterFaultScenario::none());
+
+    const ClusterConfig &config() const { return config_; }
+
+  private:
+    /** One displaced session waiting to be re-homed. */
+    struct PendingHandoff
+    {
+        int session = 0;
+        AdmissionOutcome outcome = AdmissionOutcome::Admitted;
+        int fps_divisor = 1;
+        int from_server = 0;
+        f64 estimated_cost_ms = 0.0;
+        SessionConfig config;
+        SessionHandoffState state;
+        i64 displaced_tick = 0;
+        f64 displaced_ms = 0.0;
+        f64 next_attempt_ms = 0.0;
+        int attempts = 0;
+        bool cold = false;
+    };
+
+    /** A session that died (no-migration baseline or failed
+     *  handoff); its collected result still joins the fleet view. */
+    struct LostSession
+    {
+        int session = 0;
+        AdmissionOutcome outcome = AdmissionOutcome::Admitted;
+        int fps_divisor = 1;
+        Size lr_size{0, 0};
+        f64 estimated_cost_ms = 0.0;
+        i64 displaced_tick = 0;
+        SessionResult result;
+    };
+
+    /** Cluster-level registry handles (valid when telemetry_ set). */
+    struct TelemetryIds
+    {
+        u32 migrations = 0;
+        u32 handoff_attempts = 0;
+        u32 handoff_retries = 0;
+        u32 cold_readmissions = 0;
+        u32 sessions_lost = 0;
+        u32 time_to_recover_ms = 0;
+        u32 servers_up = 0;
+        u32 pending_handoffs = 0;
+        std::vector<u32> occupancy;
+    };
+
+    /** Candidate servers for @p session_id in placement-policy
+     *  order, restricted to @p eligible. */
+    std::vector<int> placementOrder(int session_id,
+                                    const std::vector<bool> &eligible)
+        const;
+
+    /** Servers accepting placements at @p tick under @p scenario. */
+    std::vector<bool> eligibleServers(
+        i64 tick, const ClusterFaultScenario &scenario) const;
+
+    /** Displace every tenant of server @p s at tick @p t. */
+    void displaceServer(int s, i64 t, f64 now_ms);
+
+    /** Drive the retry/timeout/backoff loop for one tick. */
+    void processHandoffs(i64 t, f64 now_ms,
+                         const ClusterFaultScenario &scenario);
+
+    /** Submission ticks session would have made in
+     *  [displaced_tick, t). */
+    i64 missedSubmissions(const PendingHandoff &ph, i64 t) const;
+
+    /** Try every eligible candidate; true when re-homed. */
+    bool tryPlace(PendingHandoff &ph, i64 t, f64 now_ms,
+                  const ClusterFaultScenario &scenario);
+
+    /** Record a completed displacement episode. */
+    void recordHandoff(const HandoffResult &result);
+
+    void updateTickTelemetry(i64 t, const ClusterFaultScenario &scenario);
+
+    ClusterConfig config_;
+    std::vector<std::unique_ptr<FleetServer>> fleet_;
+    Rng rng_;
+    int next_session_id_ = 0;
+    i64 rejected_ = 0;
+    i64 sessions_displaced_ = 0;
+    i64 migrations_ = 0;
+    i64 cold_readmissions_ = 0;
+    i64 sessions_lost_ = 0;
+    i64 handoff_attempts_ = 0;
+    i64 handoff_retries_ = 0;
+    i64 displaced_frames_ = 0;
+    SampleStats time_to_recover_ms_;
+    std::vector<HandoffResult> handoffs_;
+    std::vector<PendingHandoff> pending_;
+    std::vector<LostSession> lost_;
+    std::vector<bool> displaced_out_;
+
+    /** Consistent-hash ring: (point, server), sorted by point. */
+    std::vector<std::pair<u64, int>> ring_;
+
+    obs::Telemetry *telemetry_ = nullptr;
+    TelemetryIds tm_;
+};
+
+} // namespace gssr
+
+#endif // GSSR_CLUSTER_CLUSTER_HH

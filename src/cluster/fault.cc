@@ -1,0 +1,106 @@
+#include "cluster/fault.hh"
+
+namespace gssr
+{
+
+const char *
+clusterFaultKindName(ClusterFaultKind kind)
+{
+    switch (kind) {
+      case ClusterFaultKind::ServerCrash:
+        return "server-crash";
+      case ClusterFaultKind::MaintenanceDrain:
+        return "maintenance-drain";
+      case ClusterFaultKind::ControlPartition:
+        return "control-partition";
+    }
+    return "?";
+}
+
+namespace
+{
+
+bool
+windowActive(const ClusterFaultEvent &event, i64 tick)
+{
+    return tick >= event.start_tick && tick < event.end_tick;
+}
+
+} // namespace
+
+bool
+ClusterFaultScenario::serverDown(int server, i64 tick) const
+{
+    for (const ClusterFaultEvent &e : events) {
+        if (e.kind == ClusterFaultKind::ServerCrash &&
+            e.server == server && windowActive(e, tick))
+            return true;
+    }
+    return false;
+}
+
+bool
+ClusterFaultScenario::serverDraining(int server, i64 tick) const
+{
+    for (const ClusterFaultEvent &e : events) {
+        if (e.kind == ClusterFaultKind::MaintenanceDrain &&
+            e.server == server && windowActive(e, tick))
+            return true;
+    }
+    return false;
+}
+
+bool
+ClusterFaultScenario::partitioned(i64 tick) const
+{
+    for (const ClusterFaultEvent &e : events) {
+        if (e.kind == ClusterFaultKind::ControlPartition &&
+            windowActive(e, tick))
+            return true;
+    }
+    return false;
+}
+
+ClusterFaultScenario
+ClusterFaultScenario::none()
+{
+    return ClusterFaultScenario{};
+}
+
+ClusterFaultScenario
+ClusterFaultScenario::serverCrash(int server, i64 at_tick,
+                                  i64 down_ticks)
+{
+    ClusterFaultScenario scenario;
+    scenario.name = "server-crash";
+    scenario.events.push_back({ClusterFaultKind::ServerCrash, server,
+                               at_tick, at_tick + down_ticks});
+    return scenario;
+}
+
+ClusterFaultScenario
+ClusterFaultScenario::rollingMaintenance(int servers, i64 start_tick,
+                                         i64 drain_ticks)
+{
+    ClusterFaultScenario scenario;
+    scenario.name = "rolling-maintenance";
+    i64 at = start_tick;
+    for (int s = 0; s < servers; ++s) {
+        scenario.events.push_back({ClusterFaultKind::MaintenanceDrain,
+                                   s, at, at + drain_ticks});
+        at += drain_ticks;
+    }
+    return scenario;
+}
+
+ClusterFaultScenario
+ClusterFaultScenario::controlPartition(i64 start_tick, i64 ticks)
+{
+    ClusterFaultScenario scenario;
+    scenario.name = "control-partition";
+    scenario.events.push_back({ClusterFaultKind::ControlPartition, 0,
+                               start_tick, start_tick + ticks});
+    return scenario;
+}
+
+} // namespace gssr

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Scripted fault scenarios for the server cluster — the net/fault.hh
+ * FaultScenario pattern generalized from one channel's frames to a
+ * fleet of servers' ticks. A ClusterFaultScenario is a deterministic
+ * schedule of ClusterFaultEvents: windows of ticks in which a server
+ * is crashed, drained for rolling maintenance, or the control plane
+ * is partitioned (handoffs cannot commit). Together with the cluster
+ * seed this makes an entire faulty cluster run bit-for-bit
+ * reproducible, which is what the failover bench and the migration
+ * tests replay.
+ */
+
+#ifndef GSSR_CLUSTER_FAULT_HH
+#define GSSR_CLUSTER_FAULT_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace gssr
+{
+
+/** What a scheduled cluster fault does. */
+enum class ClusterFaultKind
+{
+    /** The server vanishes: it neither ticks nor accepts sessions
+     *  while the window is open; its tenants are displaced at the
+     *  window start. */
+    ServerCrash,
+
+    /** Rolling maintenance: the server keeps running but must be
+     *  emptied — tenants are migrated away at the window start and
+     *  no new sessions are placed on it until the window closes. */
+    MaintenanceDrain,
+
+    /** Control-plane partition (cluster-wide, server field unused):
+     *  handoff and cold re-admission decisions cannot commit while
+     *  the window is open; displaced sessions keep retrying. */
+    ControlPartition,
+};
+
+/** Fault-kind name for tables / JSON. */
+const char *clusterFaultKindName(ClusterFaultKind kind);
+
+/** One scheduled fault window, active for ticks
+ *  [start_tick, end_tick). */
+struct ClusterFaultEvent
+{
+    ClusterFaultKind kind = ClusterFaultKind::ServerCrash;
+
+    /** Target server index (ignored for ControlPartition). */
+    int server = 0;
+
+    i64 start_tick = 0;
+    i64 end_tick = 0; ///< exclusive
+};
+
+/**
+ * A named, ordered schedule of cluster fault events. Windows may
+ * overlap; each query below ORs the windows of its kind.
+ */
+struct ClusterFaultScenario
+{
+    std::string name = "none";
+    std::vector<ClusterFaultEvent> events;
+
+    bool empty() const { return events.empty(); }
+
+    /** True when @p server is crashed at @p tick. */
+    bool serverDown(int server, i64 tick) const;
+
+    /** True when @p server is draining for maintenance at @p tick. */
+    bool serverDraining(int server, i64 tick) const;
+
+    /** True when the control plane is partitioned at @p tick. */
+    bool partitioned(i64 tick) const;
+
+    /** The healthy cluster (no scripted faults). */
+    static ClusterFaultScenario none();
+
+    /** One server crashes at @p at_tick and stays down for
+     *  @p down_ticks (the single-server-failure scenario the
+     *  failover bench asserts on). */
+    static ClusterFaultScenario serverCrash(int server, i64 at_tick,
+                                            i64 down_ticks);
+
+    /**
+     * Rolling maintenance over servers [0, servers): each server in
+     * turn is drained for @p drain_ticks, windows laid end to end
+     * from @p start_tick — the whole fleet is cycled with only one
+     * server out at a time.
+     */
+    static ClusterFaultScenario rollingMaintenance(int servers,
+                                                   i64 start_tick,
+                                                   i64 drain_ticks);
+
+    /** The control plane partitions for ticks [start, start + ticks). */
+    static ClusterFaultScenario controlPartition(i64 start_tick,
+                                                 i64 ticks);
+};
+
+} // namespace gssr
+
+#endif // GSSR_CLUSTER_FAULT_HH

@@ -1,0 +1,61 @@
+#include "cluster/handoff.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace gssr
+{
+
+const char *
+handoffOutcomeName(HandoffOutcome outcome)
+{
+    switch (outcome) {
+      case HandoffOutcome::Migrated:
+        return "migrated";
+      case HandoffOutcome::ColdReadmitted:
+        return "cold-readmitted";
+      case HandoffOutcome::Lost:
+        return "lost";
+    }
+    return "?";
+}
+
+void
+validateHandoffConfig(const HandoffConfig &config)
+{
+    GSSR_ASSERT(config.max_attempts >= 1,
+                "handoff needs at least one attempt");
+    GSSR_ASSERT(config.base_backoff_ms > 0.0,
+                "handoff base backoff must be positive");
+    GSSR_ASSERT(config.backoff_multiplier >= 1.0,
+                "handoff backoff multiplier must be >= 1");
+    GSSR_ASSERT(config.max_backoff_ms >= config.base_backoff_ms,
+                "handoff backoff ceiling below the base");
+    GSSR_ASSERT(config.jitter >= 0.0 && config.jitter < 1.0,
+                "handoff jitter must be in [0, 1)");
+    GSSR_ASSERT(config.deadline_ms > 0.0,
+                "handoff deadline must be positive");
+}
+
+f64
+handoffNominalBackoffMs(const HandoffConfig &config, int attempt)
+{
+    GSSR_ASSERT(attempt >= 0, "backoff attempt must be >= 0");
+    const f64 nominal =
+        config.base_backoff_ms *
+        std::pow(config.backoff_multiplier, f64(attempt));
+    return std::min(nominal, config.max_backoff_ms);
+}
+
+f64
+handoffBackoffMs(const HandoffConfig &config, int attempt, Rng &rng)
+{
+    const f64 nominal = handoffNominalBackoffMs(config, attempt);
+    const f64 scale =
+        1.0 + config.jitter * (2.0 * rng.uniform() - 1.0);
+    return nominal * scale;
+}
+
+} // namespace gssr

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The live-migration handoff protocol: when a session is displaced
+ * from a failing or draining server, the cluster controller tries to
+ * re-home it with a bounded retry loop — exponential backoff with
+ * seeded jitter between attempts, a hard wall-clock deadline (and an
+ * attempt cap) after which the session is re-admitted *cold*
+ * (control-loop state dropped, collected result kept), and a typed
+ * HandoffResult recording how each displacement ended. The backoff
+ * curve is a pure function of (config, attempt, rng draw) so the
+ * property tests can pin monotonicity, the cap and the jitter bounds
+ * directly.
+ */
+
+#ifndef GSSR_CLUSTER_HANDOFF_HH
+#define GSSR_CLUSTER_HANDOFF_HH
+
+#include "common/rng.hh"
+#include "common/types.hh"
+
+namespace gssr
+{
+
+/** Retry/timeout policy of the migration handoff loop. */
+struct HandoffConfig
+{
+    /** Warm attempts before falling back to cold re-admission. */
+    int max_attempts = 6;
+
+    /** Nominal backoff after the first failed attempt (ms). */
+    f64 base_backoff_ms = 8.0;
+
+    /** Nominal backoff growth per failed attempt. */
+    f64 backoff_multiplier = 2.0;
+
+    /** Nominal backoff ceiling (ms). */
+    f64 max_backoff_ms = 250.0;
+
+    /** Symmetric jitter fraction in [0, 1): each backoff is drawn
+     *  uniformly from nominal * [1 - jitter, 1 + jitter] using the
+     *  cluster's seeded RNG, so retries de-synchronize without
+     *  breaking reproducibility. */
+    f64 jitter = 0.2;
+
+    /** Hard deadline from displacement to warm-handoff completion
+     *  (ms); past it the session is re-admitted cold. */
+    f64 deadline_ms = 1000.0;
+};
+
+/** How one displacement ended. */
+enum class HandoffOutcome
+{
+    /** Warm handoff: session resumed with its control state. */
+    Migrated,
+
+    /** Deadline or attempt cap hit: session re-admitted cold. */
+    ColdReadmitted,
+
+    /** No server could take the session before the run ended. */
+    Lost,
+};
+
+/** Outcome name for tables / JSON. */
+const char *handoffOutcomeName(HandoffOutcome outcome);
+
+/** Typed record of one displacement → re-homing episode. */
+struct HandoffResult
+{
+    HandoffOutcome outcome = HandoffOutcome::Lost;
+
+    /** Cluster-wide session id. */
+    int session = 0;
+
+    int from_server = 0;
+    int to_server = -1; ///< -1 when the session was lost
+
+    /** Placement attempts made (>= 1 unless lost before any). */
+    int attempts = 0;
+
+    i64 displaced_tick = 0;
+    i64 completed_tick = -1; ///< -1 when the session was lost
+
+    /** Displacement → first tick back on a server (ms). */
+    f64 time_to_recover_ms = 0.0;
+};
+
+/**
+ * Nominal (jitter-free) backoff after failed attempt @p attempt
+ * (0-based): base * multiplier^attempt, clamped to max_backoff_ms.
+ */
+f64 handoffNominalBackoffMs(const HandoffConfig &config, int attempt);
+
+/**
+ * Jittered backoff after failed attempt @p attempt: the nominal
+ * curve scaled by a uniform draw from [1 - jitter, 1 + jitter] on
+ * @p rng. Consumes exactly one draw.
+ */
+f64 handoffBackoffMs(const HandoffConfig &config, int attempt,
+                     Rng &rng);
+
+/** Validate a handoff policy (GSSR_ASSERT on bad input). */
+void validateHandoffConfig(const HandoffConfig &config);
+
+} // namespace gssr
+
+#endif // GSSR_CLUSTER_HANDOFF_HH

@@ -192,6 +192,22 @@ class GopEncoder
     void forceIntraRefresh() { gop_pos_ = 0; }
 
     /**
+     * Resume an interrupted stream at frame @p index (live session
+     * migration): subsequent frames continue the original numbering
+     * and GOP phase. The caller decides whether to
+     * forceIntraRefresh() on top — the migration path does, so the
+     * first frame the destination emits re-seeds the client's
+     * reference chain (and is ledgered as a forced refresh).
+     */
+    void
+    seekTo(i64 index)
+    {
+        GSSR_ASSERT(index >= 0, "stream position must be >= 0");
+        next_index_ = index;
+        gop_pos_ = index % i64(config_.gop_size);
+    }
+
+    /**
      * Change the quantization parameter for subsequent frames (used
      * by the rate controller). The qp travels in each frame header,
      * so no decoder coordination is needed.

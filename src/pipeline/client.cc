@@ -146,8 +146,16 @@ StreamingClient::addDisplayStage(FrameTrace &trace) const
 }
 
 GssrClient::GssrClient(const ClientConfig &config)
-    : StreamingClient(config), decoder_(config.codec, config.lr_size)
+    : StreamingClient(config)
 {
+}
+
+HardwareDecoder &
+GssrClient::decoder()
+{
+    if (!decoder_)
+        decoder_.emplace(config_.codec, config_.lr_size);
+    return *decoder_;
 }
 
 ClientFrameResult
@@ -179,7 +187,7 @@ GssrClient::processFrame(const EncodedFrame &frame,
 
     ColorImage lr;
     if (config_.compute_pixels)
-        lr = decoder_.decode(frame);
+        lr = decoder().decode(frame);
 
     if (tier >= DegradationLadder::kTierHold) {
         // Frame hold: decode only. The session engine substitutes
@@ -249,8 +257,16 @@ GssrClient::processFrame(const EncodedFrame &frame,
 }
 
 NemoClient::NemoClient(const ClientConfig &config)
-    : StreamingClient(config), decoder_(config.codec, config.lr_size)
+    : StreamingClient(config)
 {
+}
+
+SoftwareDecoder &
+NemoClient::decoder()
+{
+    if (!decoder_)
+        decoder_.emplace(config_.codec, config_.lr_size);
+    return *decoder_;
 }
 
 ClientFrameResult
@@ -279,7 +295,7 @@ NemoClient::processFrame(const EncodedFrame &frame,
     DecoderInternals internals;
     Yuv420Image lr_yuv;
     if (config_.compute_pixels)
-        lr_yuv = decoder_.decode(frame, internals);
+        lr_yuv = decoder().decode(frame, internals);
 
     if (frame.type == FrameType::Reference) {
         // Full-frame DNN SR on the NPU. NEMO has no fallback path
@@ -332,8 +348,16 @@ NemoClient::processFrame(const EncodedFrame &frame,
 }
 
 SrDecoderClient::SrDecoderClient(const ClientConfig &config)
-    : StreamingClient(config), decoder_(config.codec, config.lr_size)
+    : StreamingClient(config)
 {
+}
+
+FrameDecoder &
+SrDecoderClient::decoder()
+{
+    if (!decoder_)
+        decoder_.emplace(config_.codec, config_.lr_size);
+    return *decoder_;
 }
 
 ClientFrameResult
@@ -386,7 +410,7 @@ SrDecoderClient::processFrame(const EncodedFrame &frame,
 
         if (config_.compute_pixels) {
             DecoderInternals internals;
-            Yuv420Image lr_yuv = decoder_.decode(frame, &internals);
+            Yuv420Image lr_yuv = decoder().decode(frame, &internals);
             ColorImage lr = yuv420ToRgb(lr_yuv);
             ColorImage hr =
                 resizeImage(lr, hrSize(), InterpKernel::Bilinear);
@@ -417,7 +441,7 @@ SrDecoderClient::processFrame(const EncodedFrame &frame,
             GSSR_ASSERT(!hr_cached_.empty(),
                         "non-reference frame before a reference");
             DecoderInternals internals;
-            decoder_.decode(frame, &internals);
+            decoder().decode(frame, &internals);
             MvField hr_mv =
                 scaleMvField(internals.mv, config_.scale_factor);
             Yuv420Image prediction =

@@ -151,7 +151,13 @@ class GssrClient : public StreamingClient
         override;
 
   private:
-    HardwareDecoder decoder_;
+    /** The decoder's reference buffers are sized for the full LR
+     *  frame, so it is built on first pixel use — accounting-only
+     *  clients (compute_pixels = false) never touch pixels, and a
+     *  fleet of thousands of them must not hold decoder state. */
+    HardwareDecoder &decoder();
+
+    std::optional<HardwareDecoder> decoder_;
 };
 
 /** NEMO baseline (Yeo et al., MobiCom 2020) ported to game streams. */
@@ -169,7 +175,10 @@ class NemoClient : public StreamingClient
         override;
 
   private:
-    SoftwareDecoder decoder_;
+    /** Built on first pixel use (see GssrClient::decoder). */
+    SoftwareDecoder &decoder();
+
+    std::optional<SoftwareDecoder> decoder_;
     Yuv420Image hr_previous_; ///< reconstructed HR anchor state
 };
 
@@ -188,7 +197,11 @@ class SrDecoderClient : public StreamingClient
         override;
 
   private:
-    FrameDecoder decoder_; ///< models the SR-integrated HW decoder
+    /** Built on first pixel use (see GssrClient::decoder); models
+     *  the SR-integrated HW decoder. */
+    FrameDecoder &decoder();
+
+    std::optional<FrameDecoder> decoder_;
     Yuv420Image hr_cached_; ///< decoder-buffer cached upscaled ref
     Rect hr_roi_;           ///< RoI (HR coordinates) of the cached ref
 };

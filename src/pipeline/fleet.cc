@@ -50,6 +50,10 @@ FleetServer::FleetServer(const ServerProfile &profile,
     : profile_(profile), capacity_(capacity),
       scheduler_(policy, capacity)
 {
+    GSSR_ASSERT(profile_.gpu_slots >= 1,
+                "fleet server needs at least one GPU slot");
+    GSSR_ASSERT(capacity_.gpu_slots >= 1,
+                "fleet capacity needs at least one GPU slot");
 }
 
 f64
@@ -189,45 +193,135 @@ FleetServer::admit(SessionConfig config)
     return decision;
 }
 
+std::vector<FleetServer::Tenant>
+FleetServer::drainTenants()
+{
+    std::vector<Tenant> drained = std::move(tenants_);
+    tenants_.clear();
+    committed_ms_ = 0.0;
+    return drained;
+}
+
+bool
+FleetServer::admitHandoff(int id, AdmissionOutcome outcome,
+                          int fps_divisor, SessionConfig config,
+                          SessionHandoffState &&handoff)
+{
+    GSSR_ASSERT(fps_divisor >= 1, "fps divisor must be >= 1");
+    const f64 cost =
+        estimateSessionCostMs(profile_, config) / f64(fps_divisor);
+    if (committed_ms_ + cost > capacity_.budgetMsPerTick())
+        return false;
+
+    config.server_profile = profile_;
+    config.telemetry = telemetry_;
+    config.telemetry_track = id;
+    committed_ms_ += cost;
+
+    Tenant tenant;
+    tenant.id = id;
+    tenant.outcome = outcome;
+    tenant.fps_divisor = fps_divisor;
+    tenant.estimated_cost_ms = cost;
+    tenant.engine =
+        std::make_unique<SessionEngine>(config, std::move(handoff));
+    tenants_.push_back(std::move(tenant));
+    next_id_ = std::max(next_id_, id + 1);
+    return true;
+}
+
+void
+FleetServer::runTick(i64 t)
+{
+    const f64 now_ms = f64(t) * capacity_.frame_period_ms;
+    jobs_.clear();
+    pending_.clear();
+    submitters_.clear();
+
+    // Half-rate tenants submit on alternating phases (id parity)
+    // so degraded sessions do not all pile onto the same tick.
+    for (size_t i = 0; i < tenants_.size(); ++i) {
+        Tenant &tenant = tenants_[i];
+        if (t % tenant.fps_divisor != tenant.id % tenant.fps_divisor)
+            continue;
+        pending_.push_back(tenant.engine->beginFrame(now_ms));
+        jobs_.push_back({tenant.id, pending_.back().server_gpu_ms});
+        submitters_.push_back(i);
+    }
+
+    std::vector<ServerContention> contention =
+        scheduler_.scheduleTick(now_ms, jobs_);
+    for (size_t j = 0; j < submitters_.size(); ++j) {
+        tenants_[submitters_[j]].engine->finishFrame(
+            std::move(pending_[j]), contention[j]);
+    }
+
+    if (telemetry_)
+        updateTickTelemetry(t, now_ms);
+}
+
+FleetSessionStats
+summarizeFleetSession(int id, AdmissionOutcome outcome,
+                      int fps_divisor, Size lr_size,
+                      f64 estimated_cost_ms,
+                      const SessionResult &session, f64 run_s,
+                      SampleStats &mtp_out, SampleStats &qoe_out)
+{
+    FleetSessionStats s;
+    s.session = id;
+    s.outcome = outcome;
+    s.fps_divisor = fps_divisor;
+    s.lr_size = lr_size;
+    s.estimated_cost_ms = estimated_cost_ms;
+    s.fingerprint = sessionFingerprint(session);
+    s.frames = i64(session.traces.size());
+    s.frames_shed = session.resilience.frames_shed;
+    s.frames_dropped = session.resilience.frames_dropped;
+    s.frames_concealed = session.resilience.frames_concealed;
+    s.aimd_backoffs = session.resilience.aimd_backoffs;
+    s.deadline_misses = session.degradation.deadline_misses;
+    s.frames_held = session.degradation.frames_held;
+    s.final_tier = session.degradation.final_tier;
+    s.peak_temperature_c = session.degradation.peak_temperature_c;
+    s.mean_qoe = session.meanQoe();
+    s.p10_qoe = session.qoePercentile(10.0);
+    s.qoe_actions = session.qoe_actions;
+    for (f64 score : session.qoe_frames)
+        qoe_out.add(score);
+
+    f64 queue_total = 0.0;
+    f64 mtp_total = 0.0;
+    i64 delivered = 0;
+    size_t transmitted_bytes = 0;
+    for (const FrameTrace &trace : session.traces) {
+        queue_total += trace.stageLatencyMs(Stage::ServerQueue);
+        if (!trace.hasEvent(RecoveryEvent::ServerShed))
+            transmitted_bytes += trace.encoded_bytes;
+        if (!trace.dropped && !trace.concealed) {
+            const f64 mtp = trace.mtpLatencyMs();
+            mtp_total += mtp;
+            mtp_out.add(mtp);
+            delivered += 1;
+        }
+    }
+    s.mean_queue_ms = s.frames ? queue_total / f64(s.frames) : 0.0;
+    s.mean_mtp_ms = delivered ? mtp_total / f64(delivered) : 0.0;
+    s.bitrate_mbps = f64(transmitted_bytes) * 8.0 / 1e6 / run_s;
+    return s;
+}
+
 FleetResult
 FleetServer::run(int ticks)
 {
     GSSR_ASSERT(ticks >= 1, "fleet run needs at least one tick");
+    for (int t = 0; t < ticks; ++t)
+        runTick(t);
+    return collectResult(ticks);
+}
 
-    std::vector<SchedulerJob> jobs;
-    std::vector<SessionEngine::PendingFrame> pending;
-    std::vector<size_t> submitters;
-
-    for (int t = 0; t < ticks; ++t) {
-        const f64 now_ms = f64(t) * capacity_.frame_period_ms;
-        jobs.clear();
-        pending.clear();
-        submitters.clear();
-
-        // Half-rate tenants submit on alternating phases (id parity)
-        // so degraded sessions do not all pile onto the same tick.
-        for (size_t i = 0; i < tenants_.size(); ++i) {
-            Tenant &tenant = tenants_[i];
-            if (t % tenant.fps_divisor !=
-                tenant.id % tenant.fps_divisor)
-                continue;
-            pending.push_back(tenant.engine->beginFrame(now_ms));
-            jobs.push_back(
-                {tenant.id, pending.back().server_gpu_ms});
-            submitters.push_back(i);
-        }
-
-        std::vector<ServerContention> contention =
-            scheduler_.scheduleTick(now_ms, jobs);
-        for (size_t j = 0; j < submitters.size(); ++j) {
-            tenants_[submitters[j]].engine->finishFrame(
-                std::move(pending[j]), contention[j]);
-        }
-
-        if (telemetry_)
-            updateTickTelemetry(t, now_ms);
-    }
-
+FleetResult
+FleetServer::collectResult(i64 ticks)
+{
     FleetResult result;
     result.policy = scheduler_.policy();
     result.gpu_slots = capacity_.gpu_slots;
@@ -247,49 +341,11 @@ FleetServer::run(int ticks)
         else
             result.admitted += 1;
 
-        const SessionResult &session = tenant.engine->result();
-        FleetSessionStats s;
-        s.session = tenant.id;
-        s.outcome = tenant.outcome;
-        s.fps_divisor = tenant.fps_divisor;
-        s.lr_size = tenant.engine->config().lr_size;
-        s.estimated_cost_ms = tenant.estimated_cost_ms;
-        s.fingerprint = sessionFingerprint(session);
-        s.frames = i64(session.traces.size());
-        s.frames_shed = session.resilience.frames_shed;
-        s.frames_dropped = session.resilience.frames_dropped;
-        s.frames_concealed = session.resilience.frames_concealed;
-        s.aimd_backoffs = session.resilience.aimd_backoffs;
-        s.deadline_misses = session.degradation.deadline_misses;
-        s.frames_held = session.degradation.frames_held;
-        s.final_tier = session.degradation.final_tier;
-        s.peak_temperature_c = session.degradation.peak_temperature_c;
-        s.mean_qoe = session.meanQoe();
-        s.p10_qoe = session.qoePercentile(10.0);
-        s.qoe_actions = session.qoe_actions;
-        for (f64 score : session.qoe_frames)
-            result.qoe.add(score);
-
-        f64 queue_total = 0.0;
-        f64 mtp_total = 0.0;
-        i64 delivered = 0;
-        size_t transmitted_bytes = 0;
-        for (const FrameTrace &trace : session.traces) {
-            queue_total += trace.stageLatencyMs(Stage::ServerQueue);
-            if (!trace.hasEvent(RecoveryEvent::ServerShed))
-                transmitted_bytes += trace.encoded_bytes;
-            if (!trace.dropped && !trace.concealed) {
-                const f64 mtp = trace.mtpLatencyMs();
-                mtp_total += mtp;
-                result.mtp_ms.add(mtp);
-                delivered += 1;
-            }
-        }
-        s.mean_queue_ms =
-            s.frames ? queue_total / f64(s.frames) : 0.0;
-        s.mean_mtp_ms = delivered ? mtp_total / f64(delivered) : 0.0;
-        s.bitrate_mbps =
-            f64(transmitted_bytes) * 8.0 / 1e6 / run_s;
+        FleetSessionStats s = summarizeFleetSession(
+            tenant.id, tenant.outcome, tenant.fps_divisor,
+            tenant.engine->config().lr_size, tenant.estimated_cost_ms,
+            tenant.engine->result(), run_s, result.mtp_ms,
+            result.qoe);
 
         result.frames_total += s.frames;
         result.frames_dropped += s.frames_dropped;

@@ -160,6 +160,18 @@ struct FleetResult
 class FleetServer
 {
   public:
+    /** One admitted session and its admission-time metadata. Public
+     *  so the cluster controller (cluster/cluster.hh) can drain a
+     *  failing server's tenants and re-home them. */
+    struct Tenant
+    {
+        int id = 0;
+        AdmissionOutcome outcome = AdmissionOutcome::Admitted;
+        int fps_divisor = 1;
+        f64 estimated_cost_ms = 0.0;
+        std::unique_ptr<SessionEngine> engine;
+    };
+
     FleetServer(const ServerProfile &profile, SchedulePolicy policy);
     FleetServer(const ServerProfile &profile, SchedulePolicy policy,
                 const ServerCapacity &capacity);
@@ -196,6 +208,60 @@ class FleetServer
     FleetResult run(int ticks);
 
     /**
+     * Drive all admitted sessions for one 60 Hz tick @p t (the loop
+     * body of run(), exposed so a cluster controller can interleave
+     * many servers and inject fault transitions between ticks).
+     * Driving runTick for t = 0..ticks-1 and then collectResult is
+     * bit-identical to run(ticks).
+     */
+    void runTick(i64 t);
+
+    /** Aggregate the per-session results (the tail of run()). */
+    FleetResult collectResult(i64 ticks);
+
+    /**
+     * Live migration, source side: release every tenant (with its
+     * session engine, still running) and the committed admission
+     * budget. The fleet is empty afterwards; the caller owns the
+     * extracted tenants and re-homes or retires them.
+     */
+    std::vector<Tenant> drainTenants();
+
+    /**
+     * Live migration, destination side: re-admit a migrated session
+     * under its existing (possibly already degraded) configuration —
+     * no further degradation is applied; if the remaining budget
+     * cannot take the session as-is the handoff is refused (false,
+     * @p handoff untouched) and the caller retries elsewhere. On
+     * success the session resumes from @p handoff with a forced
+     * intra refresh, keeping its cluster-wide id (submission phase
+     * and telemetry track follow it).
+     */
+    bool admitHandoff(int id, AdmissionOutcome outcome,
+                      int fps_divisor, SessionConfig config,
+                      SessionHandoffState &&handoff);
+
+    /**
+     * Override the next tenant id. A cluster controller allocates
+     * session ids globally so a session keeps one identity across
+     * servers; the default per-server sequence (0, 1, 2, ...) is
+     * what a standalone fleet uses.
+     */
+    void setNextTenantId(int id) { next_id_ = id; }
+
+    /** The admitted tenants, in admission/handoff order. */
+    const std::vector<Tenant> &tenants() const { return tenants_; }
+
+    /** Frames shed by the scheduler so far. */
+    i64 framesShed() const { return scheduler_.framesShed(); }
+
+    /** Deepest end-of-tick backlog seen so far (ms). */
+    f64 maxBacklogMs() const { return scheduler_.maxBacklogMs(); }
+
+    /** Sessions this server's admission control rejected. */
+    i64 rejectedCount() const { return rejected_; }
+
+    /**
      * Admission estimate of one frame's server service time: the
      * capacity model's render + RoI + encode charge for the
      * session's stream resolution (ms). The scheduler itself uses
@@ -205,15 +271,6 @@ class FleetServer
                                      const SessionConfig &config);
 
   private:
-    struct Tenant
-    {
-        int id = 0;
-        AdmissionOutcome outcome = AdmissionOutcome::Admitted;
-        int fps_divisor = 1;
-        f64 estimated_cost_ms = 0.0;
-        std::unique_ptr<SessionEngine> engine;
-    };
-
     /** Fleet-level registry handles (valid when telemetry_ is set). */
     struct TelemetryIds
     {
@@ -248,7 +305,24 @@ class FleetServer
     i64 rejected_ = 0;
     obs::Telemetry *telemetry_ = nullptr;
     TelemetryIds tm_;
+
+    /** Per-tick scratch (reused across ticks, cleared each call). */
+    std::vector<SchedulerJob> jobs_;
+    std::vector<SessionEngine::PendingFrame> pending_;
+    std::vector<size_t> submitters_;
 };
+
+/**
+ * Per-session fleet accounting shared by FleetServer::collectResult
+ * and the cluster controller's merged result: summarizes one session
+ * and folds its QoE and delivered-frame MTP samples into the
+ * fleet-level accumulators (in the same order run() always used, so
+ * a one-server cluster reproduces a standalone fleet bit for bit).
+ */
+FleetSessionStats summarizeFleetSession(
+    int id, AdmissionOutcome outcome, int fps_divisor, Size lr_size,
+    f64 estimated_cost_ms, const SessionResult &session, f64 run_s,
+    SampleStats &mtp_out, SampleStats &qoe_out);
 
 /**
  * The canonical heterogeneous tenant mix used by the fleet bench and

@@ -52,6 +52,14 @@ GameStreamServer::requestIntraRefresh()
 }
 
 void
+GameStreamServer::seekToFrame(i64 frame_index)
+{
+    GSSR_ASSERT(frame_index >= 0, "frame index must be >= 0");
+    frame_index_ = frame_index;
+    encoder_.seekTo(frame_index);
+}
+
+void
 GameStreamServer::applyKnobs(const qoe::KnobState &knobs)
 {
     if (rate_controller_.has_value() && knobs.target_mbps > 0.0)

@@ -170,6 +170,14 @@ class GameStreamServer
     /** Frames produced so far. */
     i64 frameCount() const { return frame_index_; }
 
+    /**
+     * Resume an interrupted stream at @p frame_index (live session
+     * migration onto this server): scene time, trace frame numbering
+     * and the encoder's stream position continue where the source
+     * server stopped, and the encoder's GOP restarts at an intra.
+     */
+    void seekToFrame(i64 frame_index);
+
     const ServerConfig &config() const { return config_; }
     const RoiDetector &roiDetector() const { return roi_detector_; }
 

@@ -122,11 +122,21 @@ negotiatedRoiWindow(const DeviceProfile &device, int scale_factor,
                     Size lr_size)
 {
     // Probe with the deployed SR model (EDSR cost model); the
-    // quality net inside the upscaler is irrelevant for sizing.
-    DnnUpscaler probe(std::make_shared<const CompactSrNet>(),
-                      scale_factor);
+    // quality net inside the upscaler is irrelevant for sizing, and
+    // sizing only reads the pure cost model (macs()), so one shared
+    // probe per scale serves every session — constructing a fresh
+    // EDSR cost model here would re-run its weight init per engine,
+    // which dominates setup time for large fleets.
+    GSSR_ASSERT(scale_factor >= 2 && scale_factor <= 4,
+                "unsupported SR scale factor");
+    static const std::shared_ptr<const CompactSrNet> quality_net =
+        std::make_shared<const CompactSrNet>();
+    static const DnnUpscaler probes[3] = {DnnUpscaler(quality_net, 2),
+                                          DnnUpscaler(quality_net, 3),
+                                          DnnUpscaler(quality_net, 4)};
     return chooseRoiWindow(FovealParams{}, device.display_ppi,
-                           device.npu, probe, scale_factor, lr_size);
+                           device.npu, probes[scale_factor - 2],
+                           scale_factor, lr_size);
 }
 
 f64
@@ -401,6 +411,68 @@ SessionEngine::SessionEngine(const SessionConfig &config)
             qoe_->setTelemetry(config_.telemetry,
                                config_.telemetry_track);
     }
+}
+
+SessionEngine::SessionEngine(const SessionConfig &config,
+                             SessionHandoffState &&handoff)
+    : SessionEngine(config)
+{
+    // Stream position always survives — a migrated session keeps its
+    // scene time, frame numbering and collected result even when the
+    // control state is dropped (cold re-admission).
+    frames_run_ = handoff.frames_run;
+    measured_ = handoff.measured;
+    result_ = std::move(handoff.result);
+    intra_refresh_base_ = handoff.intra_refreshes;
+    server_.seekToFrame(handoff.server_frame_index);
+
+    if (!handoff.cold) {
+        mean_frame_bytes_ = handoff.mean_frame_bytes;
+        qoe_conceal_ewma_ = handoff.qoe_conceal_ewma;
+        applied_ladder_scale_ = handoff.applied_ladder_scale;
+        last_nack_ms_ = handoff.last_nack_ms;
+        stale_since_ms_ = handoff.stale_since_ms;
+        stale_run_ = handoff.stale_run;
+        if (ladder_active_)
+            ladder_.setTier(handoff.ladder_tier);
+        if (aimd_ && handoff.aimd_target_mbps > 0.0)
+            aimd_.emplace(config_.resilience.aimd_config,
+                          handoff.aimd_target_mbps);
+        if (qoe_ && handoff.has_knobs)
+            qoe_->restoreKnobs(handoff.knobs, handoff.migrated_at_ms);
+    }
+
+    // The migration splice is the PR 3 recovery path: the client's
+    // reference chain broke when the source server vanished, and the
+    // destination's first frame must be an intra to re-seed it.
+    tracker_.onFrameLost();
+    server_.requestIntraRefresh();
+}
+
+SessionHandoffState
+SessionEngine::exportHandoff()
+{
+    SessionHandoffState handoff;
+    handoff.frames_run = frames_run_;
+    handoff.server_frame_index = server_.frameCount();
+    handoff.intra_refreshes =
+        intra_refresh_base_ + server_.intraRefreshCount();
+    handoff.mean_frame_bytes = mean_frame_bytes_;
+    handoff.qoe_conceal_ewma = qoe_conceal_ewma_;
+    handoff.applied_ladder_scale = applied_ladder_scale_;
+    handoff.last_nack_ms = last_nack_ms_;
+    handoff.stale_since_ms = stale_since_ms_;
+    handoff.stale_run = stale_run_;
+    handoff.measured = measured_;
+    handoff.ladder_tier = ladder_.tier();
+    if (aimd_)
+        handoff.aimd_target_mbps = aimd_->targetMbps();
+    if (qoe_) {
+        handoff.has_knobs = true;
+        handoff.knobs = qoe_->knobs();
+    }
+    handoff.result = std::move(result_);
+    return handoff;
 }
 
 SessionEngine::PendingFrame
@@ -834,7 +906,8 @@ SessionEngine::finishFrame(PendingFrame pending,
         exportFrameTelemetry(trace, now_ms);
 
     result_.traces.push_back(std::move(trace));
-    stats.intra_refreshes = server_.intraRefreshCount();
+    stats.intra_refreshes =
+        intra_refresh_base_ + server_.intraRefreshCount();
     frames_run_ += 1;
 }
 

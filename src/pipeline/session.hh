@@ -299,6 +299,69 @@ struct SessionResult
 };
 
 /**
+ * Everything a session must carry across a live migration between
+ * fleet servers (cluster/cluster.hh): the collected result so far,
+ * the frame/stream position, and the control-loop state (AIMD
+ * target, ladder tier, QoE knobs) so the destination resumes the
+ * session's operating point instead of resetting it. Produced by
+ * SessionEngine::exportHandoff on the drained source; consumed by
+ * the SessionEngine handoff constructor on the destination.
+ *
+ * When @p cold is set (deadline-expired handoff re-admitted cold)
+ * only the result and stream position survive — the destination
+ * rebuilds the control loops from the session config, exactly like
+ * a fresh admission.
+ */
+struct SessionHandoffState
+{
+    /** Frames completed on previous servers. */
+    i64 frames_run = 0;
+
+    /** Server stream position (scene time + frame numbering). */
+    i64 server_frame_index = 0;
+
+    /** Intra refreshes already served by previous servers. */
+    i64 intra_refreshes = 0;
+
+    /** Paced-bitrate EWMA of the stream's frame bytes. */
+    f64 mean_frame_bytes = 0.0;
+
+    /** QoE predictor's conceal-rate EWMA. */
+    f64 qoe_conceal_ewma = 0.0;
+
+    /** Legacy-mode gated ladder bitrate scale. */
+    f64 applied_ladder_scale = 1.0;
+
+    /** NACK pacing + stale-episode bookkeeping. */
+    f64 last_nack_ms = -1e18;
+    f64 stale_since_ms = -1.0;
+    i64 stale_run = 0;
+
+    /** Quality-measurement stride position. */
+    int measured = 0;
+
+    /** Degradation-ladder tier at handoff. */
+    int ladder_tier = 0;
+
+    /** AIMD rate-control target (0 = AIMD was off / fixed qp). */
+    f64 aimd_target_mbps = 0.0;
+
+    /** Unified-controller knob state (valid when has_knobs). */
+    bool has_knobs = false;
+    qoe::KnobState knobs;
+
+    /** Deadline-expired handoff: control state does not survive. */
+    bool cold = false;
+
+    /** Session time of the migration (arms the QoE cut refractory
+     *  so the controller does not punish the handoff twice). */
+    f64 migrated_at_ms = 0.0;
+
+    /** The session's collected result so far. */
+    SessionResult result;
+};
+
+/**
  * Shared-server contention injected into one frame by the fleet
  * scheduler (pipeline/scheduler.hh). Default-constructed contention
  * is the uncontended single-tenant case.
@@ -336,8 +399,25 @@ class SessionEngine
   public:
     explicit SessionEngine(const SessionConfig &config);
 
+    /**
+     * Resume a migrated session on a new server: constructs the
+     * fresh engine for @p config, then restores the stream position
+     * and (unless the handoff is cold) the control-loop state from
+     * @p handoff, and forces an intra refresh so the first frame the
+     * destination produces re-seeds the client's reference chain —
+     * the PR 3 recovery path, reused as the migration splice.
+     */
+    SessionEngine(const SessionConfig &config,
+                  SessionHandoffState &&handoff);
+
     SessionEngine(const SessionEngine &) = delete;
     SessionEngine &operator=(const SessionEngine &) = delete;
+
+    /**
+     * Export the state a live migration carries to the destination
+     * server (ends this engine's session: the result moves out).
+     */
+    SessionHandoffState exportHandoff();
 
     /** One produced-but-untransmitted frame. */
     struct PendingFrame
@@ -435,6 +515,10 @@ class SessionEngine
     f64 stale_since_ms_ = -1.0;
     i64 stale_run_ = 0;
     i64 frames_run_ = 0;
+
+    /** Intra refreshes served by previous servers (live migration):
+     *  added to this server's count in the session accounting. */
+    i64 intra_refresh_base_ = 0;
     TelemetryIds tm_;
 
     /** QoE feature vector of one finished frame. */

@@ -81,6 +81,22 @@ QoeController::setTelemetry(obs::Telemetry *telemetry, i32 track)
 }
 
 void
+QoeController::restoreKnobs(const KnobState &knobs, f64 now_ms)
+{
+    // Only the *current* state migrates; requested_ keeps the
+    // operating point the session asked for at admission, so the
+    // arbiter's knobCost still pulls the session back up once the
+    // post-handoff distress clears.
+    knobs_ = knobs;
+    noteCut(now_ms);
+    if (telemetry_) {
+        obs::MetricsRegistry &reg = telemetry_->registry();
+        reg.set(tm_target_mbps_, knobs_.target_mbps);
+        reg.set(tm_tier_, f64(knobs_.tier));
+    }
+}
+
+void
 QoeController::observeFrame(const QoeFeatures &features)
 {
     features_ = features;

@@ -145,6 +145,17 @@ class QoeController
     /** Arm the cut refractory for an externally applied cut. */
     void noteCut(f64 now_ms) { last_cut_ms_ = now_ms; }
 
+    /**
+     * Live-migration carryover: adopt the knob state a session had
+     * on its previous server without touching the *requested*
+     * operating point, so the migrated session keeps climbing back
+     * toward what it originally asked for instead of treating the
+     * degraded handoff state as its new target. Arms the cut
+     * refractory at @p now_ms — the handoff itself is a disruption;
+     * the controller must not pile a bitrate cut on top of it.
+     */
+    void restoreKnobs(const KnobState &knobs, f64 now_ms);
+
     /** Non-Hold actions applied so far. */
     i64 actionsApplied() const { return actions_applied_; }
 

@@ -59,14 +59,48 @@ fromYcbcr(const Ycbcr444 &ycc)
 
 } // namespace
 
+namespace
+{
+
+/**
+ * The EDSR cost model at @p scale, built once per process: its
+ * construction is deterministic and DnnUpscaler only ever reads it
+ * (macs/macsEdge/config), so every upscaler of the same scale can
+ * share one instance instead of re-running the weight init per
+ * client.
+ */
+std::shared_ptr<const EdsrNetwork>
+sharedCostModel(int scale)
+{
+    GSSR_ASSERT(scale >= 2 && scale <= 4,
+                "EDSR cost model scale must be 2, 3 or 4");
+    static const std::shared_ptr<const EdsrNetwork> models[3] = {
+        std::make_shared<const EdsrNetwork>(
+            EdsrConfig{.residual_blocks = 16,
+                       .channels = 64,
+                       .scale = 2,
+                       .in_channels = 3,
+                       .residual_scale = 0.1f}),
+        std::make_shared<const EdsrNetwork>(
+            EdsrConfig{.residual_blocks = 16,
+                       .channels = 64,
+                       .scale = 3,
+                       .in_channels = 3,
+                       .residual_scale = 0.1f}),
+        std::make_shared<const EdsrNetwork>(
+            EdsrConfig{.residual_blocks = 16,
+                       .channels = 64,
+                       .scale = 4,
+                       .in_channels = 3,
+                       .residual_scale = 0.1f})};
+    return models[scale - 2];
+}
+
+} // namespace
+
 DnnUpscaler::DnnUpscaler(std::shared_ptr<const CompactSrNet> quality_net,
                          int scale)
-    : quality_net_(std::move(quality_net)),
-      cost_model_(EdsrConfig{.residual_blocks = 16,
-                             .channels = 64,
-                             .scale = scale,
-                             .in_channels = 3,
-                             .residual_scale = 0.1f})
+    : quality_net_(std::move(quality_net)), cost_model_(sharedCostModel(scale))
 {
     GSSR_ASSERT(quality_net_ != nullptr, "DnnUpscaler needs a net");
     GSSR_ASSERT(quality_net_->config().scale == 2,
@@ -176,10 +210,10 @@ DnnUpscaler::npuCost(const NpuModel &npu, Size input, int factor,
         return {npu.latencyMs(total, area), npu.active_power_w};
     if (p == Precision::HybridInt8) {
         i64 edge;
-        if (factor == cost_model_.config().scale) {
-            edge = cost_model_.macsEdge(input.height, input.width);
+        if (factor == cost_model_->config().scale) {
+            edge = cost_model_->macsEdge(input.height, input.width);
         } else {
-            EdsrConfig config = cost_model_.config();
+            EdsrConfig config = cost_model_->config();
             config.scale = factor;
             edge = EdsrNetwork(config).macsEdge(input.height,
                                                 input.width);
@@ -192,9 +226,9 @@ DnnUpscaler::npuCost(const NpuModel &npu, Size input, int factor,
 i64
 DnnUpscaler::macs(Size input, int factor) const
 {
-    if (factor == cost_model_.config().scale)
-        return cost_model_.macs(input.height, input.width);
-    EdsrConfig config = cost_model_.config();
+    if (factor == cost_model_->config().scale)
+        return cost_model_->macs(input.height, input.width);
+    EdsrConfig config = cost_model_->config();
     config.scale = factor;
     return EdsrNetwork(config).macs(input.height, input.width);
 }

@@ -125,7 +125,7 @@ class DnnUpscaler : public Upscaler
                                      int factor, Precision p) const;
 
     /** The EDSR cost model (for per-layer inspection). */
-    const EdsrNetwork &costModel() const { return cost_model_; }
+    const EdsrNetwork &costModel() const { return *cost_model_; }
 
   private:
     /** Lazily built quantized quality net for a non-Fp32 precision,
@@ -134,7 +134,14 @@ class DnnUpscaler : public Upscaler
                                       const Tensor &first_input) const;
 
     std::shared_ptr<const CompactSrNet> quality_net_;
-    EdsrNetwork cost_model_;
+
+    /**
+     * Per-scale EDSR cost model, shared across every upscaler of the
+     * same scale (its construction is deterministic and it is only
+     * ever read): a fleet of thousands of accounting-only sessions
+     * must not re-run the EDSR weight init once per client.
+     */
+    std::shared_ptr<const EdsrNetwork> cost_model_;
 
     /** One slot per non-Fp32 precision (Int16, Int8, HybridInt8). */
     mutable std::unique_ptr<QuantizedSrNet> quant_nets_[3];

@@ -1,0 +1,372 @@
+/**
+ * @file
+ * Cluster fault-tolerance tests: the handoff retry loop's backoff
+ * properties (monotone nominal curve, cap, jitter bounds, seeded
+ * determinism), the constructor guards, the M=1 no-fault golden
+ * guard (a one-server cluster is bit-identical to a standalone
+ * FleetServer), and the migration machinery end to end — server
+ * crash and rolling maintenance displace every tenant without
+ * permanent loss, control-plane partitions force retries and
+ * deadline-expired cold re-admissions, the no-migration baseline
+ * loses sessions, and faulty runs stay bit-deterministic.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hh"
+
+namespace gssr
+{
+namespace
+{
+
+const f64 kPeriod = 1000.0 / 60.0;
+
+ClusterConfig
+smallCluster(int servers, PlacementPolicy placement =
+                              PlacementPolicy::LeastLoaded)
+{
+    ClusterConfig config;
+    for (int s = 0; s < servers; ++s)
+        config.servers.push_back({ServerProfile::edgeRack(8), 0.0,
+                                  "local"});
+    config.placement = placement;
+    return config;
+}
+
+void
+admitMix(ClusterController &cluster, int n)
+{
+    for (int i = 0; i < n; ++i) {
+        AdmissionDecision d = cluster.admit(fleetMixSessionConfig(i));
+        ASSERT_NE(d.outcome, AdmissionOutcome::Rejected);
+    }
+}
+
+TEST(HandoffBackoffTest, NominalCurveIsMonotoneAndCapped)
+{
+    HandoffConfig config;
+    config.base_backoff_ms = 5.0;
+    config.backoff_multiplier = 1.7;
+    config.max_backoff_ms = 120.0;
+    EXPECT_EQ(handoffNominalBackoffMs(config, 0),
+              config.base_backoff_ms);
+    f64 prev = 0.0;
+    for (int attempt = 0; attempt < 32; ++attempt) {
+        const f64 b = handoffNominalBackoffMs(config, attempt);
+        EXPECT_GE(b, prev);
+        EXPECT_LE(b, config.max_backoff_ms);
+        prev = b;
+    }
+    EXPECT_EQ(prev, config.max_backoff_ms); // cap reached
+}
+
+TEST(HandoffBackoffTest, JitterStaysWithinBounds)
+{
+    HandoffConfig config;
+    config.jitter = 0.3;
+    Rng rng(42);
+    for (int attempt = 0; attempt < 8; ++attempt) {
+        const f64 nominal = handoffNominalBackoffMs(config, attempt);
+        for (int trial = 0; trial < 200; ++trial) {
+            const f64 b = handoffBackoffMs(config, attempt, rng);
+            EXPECT_GE(b, nominal * (1.0 - config.jitter));
+            EXPECT_LE(b, nominal * (1.0 + config.jitter));
+        }
+    }
+}
+
+TEST(HandoffBackoffTest, SeededJitterIsDeterministic)
+{
+    HandoffConfig config;
+    Rng a(7), b(7), c(8);
+    bool diverged = false;
+    for (int i = 0; i < 64; ++i) {
+        const f64 ba = handoffBackoffMs(config, i % 6, a);
+        const f64 bb = handoffBackoffMs(config, i % 6, b);
+        const f64 bc = handoffBackoffMs(config, i % 6, c);
+        EXPECT_EQ(ba, bb);
+        diverged = diverged || ba != bc;
+    }
+    EXPECT_TRUE(diverged); // a different seed takes a different path
+}
+
+TEST(HandoffBackoffTest, ValidateRejectsBadPolicies)
+{
+    auto bad = [](auto mutate) {
+        HandoffConfig config;
+        mutate(config);
+        EXPECT_THROW(validateHandoffConfig(config), PanicError);
+    };
+    bad([](HandoffConfig &c) { c.max_attempts = 0; });
+    bad([](HandoffConfig &c) { c.base_backoff_ms = 0.0; });
+    bad([](HandoffConfig &c) { c.backoff_multiplier = 0.5; });
+    bad([](HandoffConfig &c) { c.max_backoff_ms = 1.0; });
+    bad([](HandoffConfig &c) { c.jitter = 1.0; });
+    bad([](HandoffConfig &c) { c.jitter = -0.1; });
+    bad([](HandoffConfig &c) { c.deadline_ms = 0.0; });
+}
+
+TEST(ClusterGuardTest, CtorRejectsBadConfigs)
+{
+    EXPECT_THROW(ClusterController(ClusterConfig{}), PanicError);
+
+    ClusterConfig no_slots = smallCluster(2);
+    no_slots.servers[1].profile.gpu_slots = 0;
+    EXPECT_THROW(ClusterController{no_slots}, PanicError);
+
+    ClusterConfig negative_rtt = smallCluster(2);
+    negative_rtt.servers[0].region_rtt_ms = -5.0;
+    EXPECT_THROW(ClusterController{negative_rtt}, PanicError);
+
+    ClusterConfig nan_rtt = smallCluster(2);
+    nan_rtt.servers[0].region_rtt_ms =
+        std::numeric_limits<f64>::quiet_NaN();
+    EXPECT_THROW(ClusterController{nan_rtt}, PanicError);
+
+    ClusterConfig no_replicas = smallCluster(2);
+    no_replicas.hash_replicas = 0;
+    EXPECT_THROW(ClusterController{no_replicas}, PanicError);
+
+    ClusterConfig bad_handoff = smallCluster(2);
+    bad_handoff.handoff.max_attempts = 0;
+    EXPECT_THROW(ClusterController{bad_handoff}, PanicError);
+
+    EXPECT_THROW(ServerProfile::edgeRack(0), PanicError);
+}
+
+TEST(ClusterGoldenTest, OneServerNoFaultMatchesStandaloneFleet)
+{
+    // The cluster layered over a single healthy server must be a
+    // bit-identical no-op: same fingerprint chain, same sample
+    // streams, same admission ledger as FleetServer::run.
+    const int sessions = 12, ticks = 45;
+    FleetServer fleet(ServerProfile::edgeRack(8), SchedulePolicy::Edf);
+    for (int i = 0; i < sessions; ++i)
+        fleet.admit(fleetMixSessionConfig(i));
+    FleetResult direct = fleet.run(ticks);
+
+    ClusterController cluster(smallCluster(1));
+    for (int i = 0; i < sessions; ++i)
+        cluster.admit(fleetMixSessionConfig(i));
+    ClusterResult layered = cluster.run(ticks);
+
+    EXPECT_EQ(layered.fleet.fingerprint, direct.fingerprint);
+    ASSERT_EQ(layered.fleet.sessions.size(), direct.sessions.size());
+    for (size_t i = 0; i < direct.sessions.size(); ++i) {
+        EXPECT_EQ(layered.fleet.sessions[i].fingerprint,
+                  direct.sessions[i].fingerprint);
+    }
+    EXPECT_EQ(layered.fleet.admitted, direct.admitted);
+    EXPECT_EQ(layered.fleet.degraded, direct.degraded);
+    EXPECT_EQ(layered.fleet.rejected, direct.rejected);
+    EXPECT_EQ(layered.fleet.committed_cost_ms,
+              direct.committed_cost_ms);
+    EXPECT_EQ(layered.fleet.budget_ms, direct.budget_ms);
+    EXPECT_EQ(layered.fleet.frames_total, direct.frames_total);
+    EXPECT_EQ(layered.fleet.frames_shed, direct.frames_shed);
+    EXPECT_EQ(layered.fleet.mtp_ms.count(), direct.mtp_ms.count());
+    EXPECT_EQ(layered.fleet.mtp_ms.mean(), direct.mtp_ms.mean());
+    EXPECT_EQ(layered.fleet.qoe.count(), direct.qoe.count());
+    EXPECT_EQ(layered.fleet.qoe.percentile(10.0),
+              direct.qoe.percentile(10.0));
+    EXPECT_EQ(layered.fleet.aggregate_bitrate_mbps,
+              direct.aggregate_bitrate_mbps);
+    EXPECT_EQ(layered.sessions_displaced, 0);
+    EXPECT_EQ(layered.migrations, 0);
+}
+
+TEST(ClusterMigrationTest, HandoffStateFollowsTheSession)
+{
+    // Export -> import -> re-export: the session resumes where it
+    // left off (frame numbering, collected result) and the first
+    // frame on the destination re-seeds the client with an intra.
+    SessionConfig config = fleetMixSessionConfig(0);
+    SessionEngine engine(config);
+    for (int t = 0; t < 30; ++t)
+        engine.finishFrame(engine.beginFrame(f64(t) * kPeriod));
+
+    SessionHandoffState state = engine.exportHandoff();
+    EXPECT_EQ(state.frames_run, 30);
+    EXPECT_EQ(state.server_frame_index, 30);
+    EXPECT_GT(state.mean_frame_bytes, 0.0);
+    EXPECT_GT(state.aimd_target_mbps, 0.0);
+    EXPECT_EQ(state.result.traces.size(), 30u);
+    const size_t qoe_before = state.result.qoe_frames.size();
+    const i64 intra_before = state.intra_refreshes;
+
+    SessionEngine resumed(config, std::move(state));
+    resumed.finishFrame(resumed.beginFrame(30.0 * kPeriod));
+    EXPECT_EQ(resumed.result().traces.size(), 31u);
+    EXPECT_EQ(resumed.result().qoe_frames.size(), qoe_before + 1);
+
+    SessionHandoffState again = resumed.exportHandoff();
+    EXPECT_EQ(again.frames_run, 31);
+    EXPECT_EQ(again.server_frame_index, 31);
+    // the forced destination intra refresh is in the ledger
+    EXPECT_GE(again.intra_refreshes, intra_before + 1);
+}
+
+TEST(ClusterMigrationTest, ServerCrashMigratesEverySessionInTime)
+{
+    ClusterConfig config = smallCluster(3);
+    ClusterController cluster(config);
+    admitMix(cluster, 18);
+    const i64 live = cluster.sessionCount();
+
+    ClusterResult result = cluster.run(
+        90, ClusterFaultScenario::serverCrash(0, 15, 30));
+
+    EXPECT_GT(result.sessions_displaced, 0);
+    EXPECT_EQ(result.sessions_lost, 0);
+    EXPECT_EQ(result.migrations + result.cold_readmissions,
+              result.sessions_displaced);
+    EXPECT_EQ(i64(result.fleet.sessions.size()), live);
+    // Recovery is bounded by the handoff deadline (plus the tick
+    // quantization of the simulation).
+    for (const HandoffResult &h : result.handoffs) {
+        ASSERT_NE(h.outcome, HandoffOutcome::Lost);
+        EXPECT_LE(h.time_to_recover_ms,
+                  config.handoff.deadline_ms + kPeriod);
+        EXPECT_GE(h.attempts, 1);
+    }
+    // The crashed server is empty; the survivors hold everyone.
+    EXPECT_EQ(cluster.server(0).sessionCount(), 0);
+    EXPECT_EQ(cluster.server(1).sessionCount() +
+                  cluster.server(2).sessionCount(),
+              live);
+}
+
+TEST(ClusterMigrationTest, NoMigrationBaselineLosesSessions)
+{
+    auto run = [](bool migration) {
+        ClusterConfig config = smallCluster(3);
+        config.migration = migration;
+        ClusterController cluster(config);
+        for (int i = 0; i < 18; ++i)
+            cluster.admit(fleetMixSessionConfig(i));
+        return cluster.run(90,
+                           ClusterFaultScenario::serverCrash(0, 15,
+                                                             30));
+    };
+    ClusterResult with = run(true);
+    ClusterResult without = run(false);
+
+    EXPECT_EQ(with.sessions_lost, 0);
+    EXPECT_GT(without.sessions_lost, 0);
+    EXPECT_EQ(without.sessions_lost, without.sessions_displaced);
+    // Dead sessions score zero for the rest of the run, so the
+    // migrating cluster's worst-tenant QoE strictly wins.
+    EXPECT_GT(with.fleet.qoe.percentile(10.0),
+              without.fleet.qoe.percentile(10.0));
+    EXPECT_GT(with.fleet.frames_total, without.fleet.frames_total);
+}
+
+TEST(ClusterMigrationTest, RollingMaintenanceKeepsEverySession)
+{
+    ClusterController cluster(smallCluster(3));
+    admitMix(cluster, 18);
+    const i64 live = cluster.sessionCount();
+
+    ClusterResult result = cluster.run(
+        120, ClusterFaultScenario::rollingMaintenance(3, 10, 25));
+
+    // Every server was cycled, so everyone moved at least once.
+    EXPECT_GE(result.sessions_displaced, live);
+    EXPECT_EQ(result.sessions_lost, 0);
+    EXPECT_EQ(i64(result.fleet.sessions.size()), live);
+    for (const HandoffResult &h : result.handoffs)
+        EXPECT_NE(h.outcome, HandoffOutcome::Lost);
+    EXPECT_EQ(cluster.sessionCount(), live);
+}
+
+TEST(ClusterMigrationTest, PartitionForcesRetriesAndColdFallback)
+{
+    // Crash a server while the control plane is partitioned for
+    // longer than the handoff deadline: every displaced session must
+    // burn retries against the partition, blow the deadline, and
+    // come back through the cold re-admission path once the
+    // partition heals.
+    ClusterConfig config = smallCluster(2);
+    config.handoff.deadline_ms = 100.0;
+    ClusterController cluster(config);
+    admitMix(cluster, 8);
+
+    ClusterFaultScenario scenario =
+        ClusterFaultScenario::serverCrash(0, 10, 60);
+    scenario.events.push_back(
+        {ClusterFaultKind::ControlPartition, 0, 10, 30});
+
+    ClusterResult result = cluster.run(120, scenario);
+
+    EXPECT_GT(result.sessions_displaced, 0);
+    EXPECT_GT(result.handoff_retries, 0);
+    EXPECT_EQ(result.migrations, 0); // deadline passed mid-partition
+    EXPECT_EQ(result.cold_readmissions, result.sessions_displaced);
+    EXPECT_EQ(result.sessions_lost, 0);
+    for (const HandoffResult &h : result.handoffs) {
+        EXPECT_EQ(h.outcome, HandoffOutcome::ColdReadmitted);
+        EXPECT_GT(h.attempts, 1);
+    }
+}
+
+TEST(ClusterMigrationTest, FaultyRunsAreDeterministic)
+{
+    auto once = [] {
+        ClusterConfig config = smallCluster(3);
+        config.seed = 99;
+        ClusterController cluster(config);
+        for (int i = 0; i < 18; ++i)
+            cluster.admit(fleetMixSessionConfig(i));
+        ClusterFaultScenario scenario =
+            ClusterFaultScenario::serverCrash(0, 15, 30);
+        scenario.events.push_back(
+            {ClusterFaultKind::ControlPartition, 0, 15, 20});
+        return cluster.run(90, scenario);
+    };
+    ClusterResult a = once();
+    ClusterResult b = once();
+    EXPECT_EQ(a.fleet.fingerprint, b.fleet.fingerprint);
+    EXPECT_EQ(a.migrations, b.migrations);
+    EXPECT_EQ(a.handoff_attempts, b.handoff_attempts);
+    EXPECT_EQ(a.handoff_retries, b.handoff_retries);
+    EXPECT_EQ(a.displaced_frames, b.displaced_frames);
+    ASSERT_EQ(a.handoffs.size(), b.handoffs.size());
+    for (size_t i = 0; i < a.handoffs.size(); ++i) {
+        EXPECT_EQ(a.handoffs[i].to_server, b.handoffs[i].to_server);
+        EXPECT_EQ(a.handoffs[i].completed_tick,
+                  b.handoffs[i].completed_tick);
+        EXPECT_EQ(a.handoffs[i].time_to_recover_ms,
+                  b.handoffs[i].time_to_recover_ms);
+    }
+}
+
+TEST(ClusterPlacementTest, PoliciesSpreadSessionsAcrossServers)
+{
+    for (PlacementPolicy policy : {PlacementPolicy::ConsistentHash,
+                                   PlacementPolicy::LeastLoaded}) {
+        ClusterController cluster(smallCluster(3, policy));
+        admitMix(cluster, 12);
+        EXPECT_EQ(cluster.sessionCount(), 12);
+        int used = 0;
+        for (int s = 0; s < cluster.serverCount(); ++s)
+            used += cluster.server(s).sessionCount() > 0 ? 1 : 0;
+        EXPECT_GE(used, 2) << placementPolicyName(policy);
+    }
+}
+
+TEST(ClusterPlacementTest, RegionRttFollowsTheSessionHome)
+{
+    // A remote region's RTT penalty lands in the admitted config.
+    ClusterConfig config = smallCluster(1);
+    config.servers[0].region_rtt_ms = 40.0;
+    config.servers[0].region = "remote";
+    ClusterController cluster(config);
+    SessionConfig base = fleetMixSessionConfig(0);
+    AdmissionDecision d = cluster.admit(base);
+    ASSERT_NE(d.outcome, AdmissionOutcome::Rejected);
+    EXPECT_EQ(d.config.channel.rtt_ms, base.channel.rtt_ms + 40.0);
+}
+
+} // namespace
+} // namespace gssr

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cstring>
 #include <vector>
 
@@ -289,6 +290,65 @@ TEST(ChannelTest, ResetRestoresBurstStateAndDropCounters)
     }
     for (size_t c = 0; c < std::size(kCauses); ++c)
         EXPECT_EQ(ch.dropCount(kCauses[c]), totals[c]);
+}
+
+TEST(ChannelTest, ResetReplaysPacketModeBitmapsBitIdentically)
+{
+    // Packet-mode regression pin for reset(): the per-packet
+    // delivery bitmaps, per-cause loss ledger and GE chain state
+    // must all restart, or a reused packet-granularity channel
+    // (cluster failover replays migrate sessions onto fresh
+    // channels) diverges from its first run. Stop the first pass
+    // mid-burst so a stale ge_bad_ would flip the replayed bitmaps
+    // immediately.
+    ChannelConfig config = ChannelConfig::wifiBursty();
+    config.granularity = LossGranularity::Packet;
+    NetworkChannel ch(config, 29, FaultScenario::lossBurst(40, 8));
+
+    std::vector<std::vector<bool>> bitmaps;
+    std::vector<f64> latency;
+    std::array<i64, 5> lost_by_cause{};
+    int transmitted = 0;
+    bool stopped_in_burst = false;
+    for (int i = 0; i < 400; ++i) {
+        PacketTransmitResult tx = ch.transmitPackets(48000, 35, 18.0);
+        bitmaps.push_back(tx.delivered);
+        latency.push_back(tx.latency_ms);
+        for (size_t c = 0; c < lost_by_cause.size(); ++c)
+            lost_by_cause[c] += tx.lost_by_cause[c];
+        transmitted += 1;
+        // Quit the moment the GE chain is mid-burst: the strongest
+        // stale-state probe for the reset below.
+        if (i >= 100 && ch.inBurst()) {
+            stopped_in_burst = true;
+            break;
+        }
+    }
+    ASSERT_TRUE(stopped_in_burst)
+        << "bursty config never entered a burst; weak test";
+    const i64 packets_total = ch.packetsTotal();
+    const i64 packets_lost = ch.packetsLost();
+    EXPECT_EQ(packets_total, i64(transmitted) * 35);
+
+    ch.reset();
+    EXPECT_EQ(ch.packetsTotal(), 0);
+    EXPECT_EQ(ch.packetsLost(), 0);
+    EXPECT_FALSE(ch.inBurst());
+    for (size_t c = 1; c < lost_by_cause.size(); ++c)
+        EXPECT_EQ(ch.dropCount(DropCause(c)), 0);
+
+    std::array<i64, 5> replay_by_cause{};
+    for (int i = 0; i < transmitted; ++i) {
+        PacketTransmitResult tx = ch.transmitPackets(48000, 35, 18.0);
+        ASSERT_EQ(tx.delivered, bitmaps[size_t(i)])
+            << "delivery bitmap diverged at frame " << i;
+        EXPECT_DOUBLE_EQ(tx.latency_ms, latency[size_t(i)]);
+        for (size_t c = 0; c < replay_by_cause.size(); ++c)
+            replay_by_cause[c] += tx.lost_by_cause[c];
+    }
+    EXPECT_EQ(replay_by_cause, lost_by_cause);
+    EXPECT_EQ(ch.packetsTotal(), packets_total);
+    EXPECT_EQ(ch.packetsLost(), packets_lost);
 }
 
 TEST(GilbertElliottTest, LongRunLossRateMatchesStationaryChain)

@@ -186,10 +186,139 @@ def check_qoe_payload(path, doc):
     return f"qoe payload: scenarios {names}, arm pairs complete"
 
 
+# Required keys of each BENCH_cluster.json sweep arm row.
+CLUSTER_SCENARIOS = {"server-crash", "rolling-maintenance"}
+CLUSTER_ARMS = {"migration", "no-migration"}
+CLUSTER_ARM_KEYS = ("arm", "admitted", "rejected", "frames",
+                    "displaced", "migrations", "cold_readmissions",
+                    "sessions_lost", "handoff_attempts",
+                    "handoff_retries", "displaced_frames", "p10_qoe",
+                    "mean_qoe", "p99_mtp_ms", "fingerprint")
+CLUSTER_HANDOFF_KEYS = ("max_attempts", "base_backoff_ms",
+                        "backoff_multiplier", "max_backoff_ms",
+                        "jitter", "deadline_ms")
+
+
+def check_fingerprint(path, where, value):
+    if not (isinstance(value, str) and len(value) == 16
+            and all(c in "0123456789abcdef" for c in value)):
+        fail(path, f"{where} must be a 16-digit hex fingerprint")
+
+
+def check_cluster_payload(path, doc):
+    """Deep-validate the cluster_failover bench payload: the handoff
+    policy block, the heterogeneous server list, per-sweep-point arm
+    rows (migration vs no-migration under server-crash, plus the
+    rolling-maintenance run), and the determinism replay block with
+    matching fingerprints."""
+    handoff = doc.get("handoff")
+    if not isinstance(handoff, dict):
+        fail(path, "'handoff' must be an object")
+    for key in CLUSTER_HANDOFF_KEYS:
+        if key not in handoff:
+            fail(path, f"handoff missing '{key}'")
+        check_finite_number(path, f"handoff.{key}", handoff[key])
+    if handoff["deadline_ms"] <= 0 or handoff["max_attempts"] <= 0:
+        fail(path, "handoff deadline/attempts must be positive")
+
+    servers = doc.get("servers")
+    if not isinstance(servers, list) or not servers:
+        fail(path, "'servers' must be a non-empty array")
+    for i, server in enumerate(servers):
+        if not isinstance(server, dict):
+            fail(path, f"servers[{i}] must be an object")
+        for key in ("region", "region_rtt_ms", "gpu_slots"):
+            if key not in server:
+                fail(path, f"servers[{i}] missing '{key}'")
+        check_finite_number(path, f"servers[{i}].region_rtt_ms",
+                            server["region_rtt_ms"])
+        if server["gpu_slots"] < 1:
+            fail(path, f"servers[{i}].gpu_slots must be >= 1")
+
+    sweep = doc.get("sweep")
+    if not isinstance(sweep, list) or not sweep:
+        fail(path, "'sweep' must be a non-empty array")
+    scenarios_seen = set()
+    for i, point in enumerate(sweep):
+        if not isinstance(point, dict):
+            fail(path, f"sweep[{i}] must be an object")
+        for key in ("scenario", "sessions", "ticks", "arms"):
+            if key not in point:
+                fail(path, f"sweep[{i}] missing '{key}'")
+        if point["scenario"] not in CLUSTER_SCENARIOS:
+            fail(path, f"sweep[{i}] has unknown scenario "
+                       f"'{point['scenario']}'")
+        scenarios_seen.add(point["scenario"])
+        arms = point["arms"]
+        if not isinstance(arms, list) or not arms:
+            fail(path, f"sweep[{i}].arms must be a non-empty array")
+        seen = set()
+        for j, arm in enumerate(arms):
+            where = f"sweep[{i}].arms[{j}]"
+            if not isinstance(arm, dict):
+                fail(path, f"{where} must be an object")
+            for key in CLUSTER_ARM_KEYS:
+                if key not in arm:
+                    fail(path, f"{where} missing '{key}'")
+            check_fingerprint(path, f"{where}.fingerprint",
+                              arm["fingerprint"])
+            for key in CLUSTER_ARM_KEYS:
+                if key in ("arm", "fingerprint"):
+                    continue
+                check_finite_number(path, f"{where}.{key}", arm[key])
+            if arm["arm"] not in CLUSTER_ARMS:
+                fail(path, f"{where} has unknown arm '{arm['arm']}'")
+            seen.add(arm["arm"])
+            if not 0 <= arm["p10_qoe"] <= 100:
+                fail(path, f"{where}.p10_qoe out of [0, 100]")
+            if arm["arm"] == "migration":
+                if arm["sessions_lost"] != 0:
+                    fail(path, f"{where}: migration arm lost sessions")
+                ttr = arm.get("ttr_max_ms")
+                if ttr is not None:
+                    check_finite_number(path, f"{where}.ttr_max_ms",
+                                        ttr)
+                    if ttr > handoff["deadline_ms"] + 17:
+                        fail(path, f"{where}.ttr_max_ms exceeds the "
+                                   f"handoff deadline")
+        if point["scenario"] == "server-crash":
+            if seen != CLUSTER_ARMS:
+                fail(path, f"sweep[{i}] covers arms {sorted(seen)}, "
+                           f"expected {sorted(CLUSTER_ARMS)}")
+            if "p10_qoe_gain" not in point:
+                fail(path, f"sweep[{i}] missing 'p10_qoe_gain'")
+            check_finite_number(path, f"sweep[{i}].p10_qoe_gain",
+                                point["p10_qoe_gain"])
+            if point["p10_qoe_gain"] <= 0:
+                fail(path, f"sweep[{i}]: migration must improve "
+                           f"fleet p10 QoE")
+    if scenarios_seen != CLUSTER_SCENARIOS:
+        fail(path, f"sweep covers scenarios {sorted(scenarios_seen)}, "
+                   f"expected {sorted(CLUSTER_SCENARIOS)}")
+
+    det = doc.get("determinism")
+    if not isinstance(det, dict):
+        fail(path, "'determinism' must be an object")
+    for key in ("sessions", "fingerprint_a", "fingerprint_b", "match"):
+        if key not in det:
+            fail(path, f"determinism missing '{key}'")
+    check_fingerprint(path, "determinism.fingerprint_a",
+                      det["fingerprint_a"])
+    check_fingerprint(path, "determinism.fingerprint_b",
+                      det["fingerprint_b"])
+    if det["fingerprint_a"] != det["fingerprint_b"]:
+        fail(path, "determinism replay fingerprints differ")
+    if det["match"] is not True:
+        fail(path, "determinism.match must be true")
+    points = [(p["scenario"], p["sessions"]) for p in sweep]
+    return f"cluster payload: sweep {points}, replay matched"
+
+
 # Bench names with a dedicated payload validator beyond the header.
 PAYLOAD_CHECKS = {
     "quant_precision": check_quant_payload,
     "qoe_control": check_qoe_payload,
+    "cluster_failover": check_cluster_payload,
 }
 
 
